@@ -1,0 +1,34 @@
+// Shared helpers for the paper-reproduction bench binaries. Every bench
+// prints a header stating the experiment it reproduces and the scale used,
+// then paper-style rows through TablePrinter. Elapsed times are simulated
+// milliseconds under the paper's disk constants (Table 1) unless noted.
+#ifndef CORRMAP_BENCH_BENCH_COMMON_H_
+#define CORRMAP_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/table_printer.h"
+
+namespace corrmap::bench {
+
+inline void PrintHeader(const std::string& id, const std::string& claim,
+                        const std::string& scale) {
+  std::cout << "==================================================================\n";
+  std::cout << "Reproduces: " << id << "\n";
+  std::cout << "Paper claim: " << claim << "\n";
+  std::cout << "Scale: " << scale << "\n";
+  std::cout << "Costs: simulated disk ms (seek 5.5 ms, seq page 0.078 ms)\n";
+  std::cout << "==================================================================\n";
+}
+
+inline std::string Ms(double v) { return TablePrinter::Fmt(v, 2); }
+inline std::string Sec(double ms) { return TablePrinter::Fmt(ms / 1000.0, 3); }
+inline std::string Min(double ms) {
+  return TablePrinter::Fmt(ms / 60000.0, 1);
+}
+
+}  // namespace corrmap::bench
+
+#endif  // CORRMAP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,168 @@
+// Micro-benchmarks (google-benchmark): raw operation throughput of the
+// core structures -- CM lookup/insert/delete, B+Tree insert/lookup/scan,
+// bucketer mapping, clustered-index probes. These complement the
+// paper-figure benches with wall-clock numbers for the in-memory hot paths.
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "common/rng.h"
+#include "core/correlation_map.h"
+#include "index/btree.h"
+#include "index/clustered_index.h"
+#include "storage/table.h"
+
+namespace corrmap {
+namespace {
+
+std::unique_ptr<Table> MakeTable(size_t rows) {
+  Schema schema({ColumnDef::Int64("c"), ColumnDef::Int64("u")});
+  auto t = std::make_unique<Table>("t", std::move(schema));
+  Rng rng(1);
+  t->Reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    const int64_t u = rng.UniformInt(0, 9999);
+    const std::array<Key, 2> row = {Key(u / 8 + rng.UniformInt(0, 1)), Key(u)};
+    t->AppendRowKeys(row);
+  }
+  (void)t->ClusterBy(0);
+  return t;
+}
+
+CorrelationMap MakeCm(const Table* t) {
+  CmOptions opts;
+  opts.u_cols = {1};
+  opts.u_bucketers = {Bucketer::Identity()};
+  opts.c_col = 0;
+  auto cm = CorrelationMap::Create(t, opts);
+  (void)cm->BuildFromTable();
+  return std::move(*cm);
+}
+
+void BM_CmBuild(benchmark::State& state) {
+  auto t = MakeTable(size_t(state.range(0)));
+  for (auto _ : state) {
+    CorrelationMap cm = MakeCm(t.get());
+    benchmark::DoNotOptimize(cm.NumEntries());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CmBuild)->Arg(10000)->Arg(100000);
+
+void BM_CmLookupPoint(benchmark::State& state) {
+  auto t = MakeTable(100000);
+  CorrelationMap cm = MakeCm(t.get());
+  Rng rng(2);
+  for (auto _ : state) {
+    std::array<CmColumnPredicate, 1> preds = {
+        CmColumnPredicate::Points({Key(rng.UniformInt(0, 9999))})};
+    benchmark::DoNotOptimize(cm.CmLookup(preds));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CmLookupPoint);
+
+void BM_CmLookupRangeScansMap(benchmark::State& state) {
+  auto t = MakeTable(100000);
+  CorrelationMap cm = MakeCm(t.get());
+  Rng rng(3);
+  for (auto _ : state) {
+    const double lo = rng.UniformDouble(0, 9000);
+    std::array<CmColumnPredicate, 1> preds = {
+        CmColumnPredicate::Range(lo, lo + 500)};
+    benchmark::DoNotOptimize(cm.CmLookup(preds));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CmLookupRangeScansMap);
+
+void BM_CmInsertDelete(benchmark::State& state) {
+  auto t = MakeTable(100000);
+  CorrelationMap cm = MakeCm(t.get());
+  Rng rng(4);
+  for (auto _ : state) {
+    const std::array<Key, 1> u = {Key(rng.UniformInt(0, 9999))};
+    const int64_t c = rng.UniformInt(0, 1300);
+    cm.InsertValues(u, c);
+    benchmark::DoNotOptimize(cm.DeleteValues(u, c));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_CmInsertDelete);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  Rng rng(5);
+  BTree tree;
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.Insert(CompositeKey(Key(rng.UniformInt(0, 1 << 30))), RowId(i++)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  BTree tree;
+  Rng rng(6);
+  for (int64_t i = 0; i < 200000; ++i) {
+    (void)tree.Insert(CompositeKey(Key(rng.UniformInt(0, 99999))), RowId(i));
+  }
+  std::vector<RowId> out;
+  for (auto _ : state) {
+    out.clear();
+    tree.Lookup(CompositeKey(Key(rng.UniformInt(0, 99999))), &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeLookup);
+
+void BM_BTreeRangeScan(benchmark::State& state) {
+  BTree tree;
+  for (int64_t i = 0; i < 200000; ++i) {
+    (void)tree.Insert(CompositeKey(Key(i)), RowId(i));
+  }
+  Rng rng(7);
+  for (auto _ : state) {
+    const int64_t lo = rng.UniformInt(0, 190000);
+    size_t n = 0;
+    tree.Scan(CompositeKey(Key(lo)), CompositeKey(Key(lo + 1000)),
+              [&](const CompositeKey&, RowId) {
+                ++n;
+                return true;
+              });
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_BTreeRangeScan);
+
+void BM_BucketerValueOrdinal(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<double> vals;
+  for (int i = 0; i < 100000; ++i) vals.push_back(double(i) * 1.7);
+  Bucketer b = Bucketer::ValueOrdinalFromValues(vals, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.BucketOf(Key(rng.UniformDouble(0, 170000))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BucketerValueOrdinal);
+
+void BM_ClusteredIndexLookup(benchmark::State& state) {
+  auto t = MakeTable(200000);
+  auto cidx = ClusteredIndex::Build(*t, 0);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cidx->LookupEqual(Key(rng.UniformInt(0, 1300))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClusteredIndexLookup);
+
+}  // namespace
+}  // namespace corrmap
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Catalogue scenario (the paper's Experiment 1 in miniature): a product
+// table clustered on category id, with prices strongly (but softly)
+// determined by category. A bucketed CM on Price answers range queries at
+// near-B+Tree speed with a structure thousands of times smaller.
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "core/correlation_map.h"
+#include "exec/access_path.h"
+#include "index/clustered_index.h"
+#include "workload/ebay_gen.h"
+
+using namespace corrmap;
+
+int main() {
+  EbayGenConfig cfg;
+  cfg.num_categories = 800;
+  auto items = GenerateEbayItems(cfg);
+  (void)items->ClusterBy(kEbay.catid);
+  auto cidx = ClusteredIndex::Build(*items, kEbay.catid);
+  auto cbuckets = ClusteredBucketing::Build(*items, kEbay.catid,
+                                            10 * items->TuplesPerPage());
+
+  std::cout << "catalogue: " << items->TotalTuples() << " items in "
+            << cfg.num_categories << " categories, "
+            << TablePrinter::FmtBytes(items->HeapBytes()) << " heap\n";
+
+  // CM on Price with 2^10 distinct values per bucket.
+  CmOptions opts;
+  opts.u_cols = {kEbay.price};
+  opts.u_bucketers = {Bucketer::ValueOrdinalFromColumn(*items, kEbay.price, 10)};
+  opts.c_col = kEbay.catid;
+  opts.c_buckets = &*cbuckets;
+  auto cm = CorrelationMap::Create(items.get(), opts);
+  (void)cm->BuildFromTable();
+  std::cout << "CM on Price: " << TablePrinter::FmtBytes(cm->SizeBytes())
+            << " (" << cm->NumEntries() << " pairs); a dense index would be "
+            << TablePrinter::FmtBytes(items->TotalTuples() * 20) << "\n\n";
+
+  TablePrinter out({"query", "access path", "simulated ms", "matches"});
+  for (double lo : {5'000.0, 250'000.0, 900'000.0}) {
+    Query q({Predicate::Between(*items, "Price", Value(lo), Value(lo + 500))});
+    auto cms = CmScan(*items, *cm, *cidx, q);
+    auto scan = FullTableScan(*items, q);
+    const std::string label =
+        "Price in [" + std::to_string(int(lo)) + ", " +
+        std::to_string(int(lo + 500)) + "]";
+    out.AddRow({label, "cm_scan", TablePrinter::Fmt(cms.ms, 2),
+                std::to_string(cms.rows.size())});
+    out.AddRow({label, "seq_scan", TablePrinter::Fmt(scan.ms, 2),
+                std::to_string(scan.rows.size())});
+    if (cms.rows != scan.rows) {
+      std::cerr << "result mismatch!\n";
+      return 1;
+    }
+  }
+  out.Print(std::cout);
+  std::cout << "\nCM answers match the scan exactly; bucketing introduces "
+               "only extra examined rows, never wrong answers.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Sky-survey scenario (the paper's Experiment 5 in miniature): neither ra
+// nor dec alone predicts an object's position in the objID-clustered table,
+// but the (ra, dec) pair does. A composite CM exploits the pair correlation
+// that a composite B+Tree cannot (it can only use its key prefix for a
+// two-range predicate).
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "core/correlation_map.h"
+#include "exec/access_path.h"
+#include "index/clustered_index.h"
+#include "index/secondary_index.h"
+#include "workload/sdss_gen.h"
+
+using namespace corrmap;
+
+int main() {
+  SdssGenConfig cfg;
+  cfg.num_rows = 400'000;
+  auto sky = GenerateSdssPhotoObj(cfg);
+  (void)sky->ClusterBy(0);  // objID
+  auto cidx = ClusteredIndex::Build(*sky, 0);
+  auto cbuckets = ClusteredBucketing::Build(*sky, 0, 10 * sky->TuplesPerPage());
+
+  const size_t ra = *sky->ColumnIndex("ra");
+  const size_t dec = *sky->ColumnIndex("dec");
+
+  auto make_cm = [&](std::vector<size_t> cols, std::vector<Bucketer> bks) {
+    CmOptions opts;
+    opts.u_cols = std::move(cols);
+    opts.u_bucketers = std::move(bks);
+    opts.c_col = 0;
+    opts.c_buckets = &*cbuckets;
+    auto cm = CorrelationMap::Create(sky.get(), opts);
+    (void)cm->BuildFromTable();
+    return std::move(*cm);
+  };
+  auto cm_ra = make_cm({ra}, {Bucketer::NumericWidth(0.25)});
+  auto cm_pair = make_cm({ra, dec}, {Bucketer::NumericWidth(0.25),
+                                     Bucketer::NumericWidth(0.25)});
+  SecondaryIndex btree(sky.get(), {ra, dec});
+  (void)btree.BuildFromTable();
+
+  // A small sky box.
+  Query q({Predicate::Between(*sky, "ra", Value(170.0), Value(171.2)),
+           Predicate::Between(*sky, "dec", Value(3.0), Value(4.1))});
+
+  auto scan = FullTableScan(*sky, q);
+  auto r_ra = CmScan(*sky, cm_ra, *cidx, q);
+  auto r_pair = CmScan(*sky, cm_pair, *cidx, q);
+  auto r_bt = SortedIndexScan(*sky, btree, q);
+
+  TablePrinter out({"access path", "simulated ms", "size", "matches"});
+  out.AddRow({"seq_scan", TablePrinter::Fmt(scan.ms, 1), "-",
+              std::to_string(scan.rows.size())});
+  out.AddRow({"cm_scan CM(ra)", TablePrinter::Fmt(r_ra.ms, 1),
+              TablePrinter::FmtBytes(cm_ra.SizeBytes()),
+              std::to_string(r_ra.rows.size())});
+  out.AddRow({"cm_scan CM(ra,dec)", TablePrinter::Fmt(r_pair.ms, 1),
+              TablePrinter::FmtBytes(cm_pair.SizeBytes()),
+              std::to_string(r_pair.rows.size())});
+  out.AddRow({"sorted_index_scan B+Tree(ra,dec)",
+              TablePrinter::Fmt(r_bt.ms, 1),
+              TablePrinter::FmtBytes(btree.SizeBytes()),
+              std::to_string(r_bt.rows.size())});
+  out.Print(std::cout);
+
+  const bool agree =
+      scan.rows == r_ra.rows && scan.rows == r_pair.rows && scan.rows == r_bt.rows;
+  std::cout << "\nall paths return " << (agree ? "identical" : "DIFFERENT")
+            << " rows; the composite CM sweeps only the sky cells where "
+               "both ranges intersect.\n";
+  return agree ? 0 : 1;
+}

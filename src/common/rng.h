@@ -1,0 +1,92 @@
+// Deterministic pseudo-random number generation for workload generators and
+// sampling. All generators are seeded explicitly so every dataset, sample,
+// and experiment is reproducible run-to-run.
+#ifndef CORRMAP_COMMON_RNG_H_
+#define CORRMAP_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/value.h"
+
+namespace corrmap {
+
+/// xoshiro256++ generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) {
+    // Seed the state with splitmix64, as recommended by the authors.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      si = Mix64(x);
+      x += 0x9e3779b97f4a7c15ULL;
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  result_type operator()() {
+    const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>((*this)() % span);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    const double u = static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    return lo + u * (hi - lo);
+  }
+
+  /// Standard normal via Box-Muller (no cached spare; simple and stateless).
+  double Gaussian(double mean, double stddev) {
+    double u1 = UniformDouble(std::numeric_limits<double>::min(), 1.0);
+    double u2 = UniformDouble(0.0, 1.0);
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    return mean + stddev * z;
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return UniformDouble(0.0, 1.0) < p; }
+
+  /// Zipf-distributed integer in [1, n] with exponent theta (rejection-
+  /// inversion; exact for the benchmark scales used here).
+  int64_t Zipf(int64_t n, double theta) {
+    // Precomputing zeta is the caller's job for tight loops; this is the
+    // simple path used by generators at build time.
+    double zeta = 0.0;
+    for (int64_t i = 1; i <= n; ++i) zeta += 1.0 / std::pow(double(i), theta);
+    double u = UniformDouble(0.0, 1.0) * zeta;
+    double sum = 0.0;
+    for (int64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(double(i), theta);
+      if (sum >= u) return i;
+    }
+    return n;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_COMMON_RNG_H_

@@ -1,0 +1,33 @@
+#include "common/string_pool.h"
+
+#include <cassert>
+
+namespace corrmap {
+
+int64_t StringPool::Intern(std::string_view s) {
+  auto it = codes_.find(std::string(s));
+  if (it != codes_.end()) return it->second;
+  const int64_t code = static_cast<int64_t>(strings_.size());
+  strings_.emplace_back(s);
+  codes_.emplace(strings_.back(), code);
+  return code;
+}
+
+int64_t StringPool::Find(std::string_view s) const {
+  auto it = codes_.find(std::string(s));
+  return it == codes_.end() ? -1 : it->second;
+}
+
+const std::string& StringPool::Get(int64_t code) const {
+  assert(code >= 0 && static_cast<size_t>(code) < strings_.size());
+  return strings_[static_cast<size_t>(code)];
+}
+
+size_t StringPool::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& s : strings_) bytes += s.size() + sizeof(std::string);
+  bytes += codes_.size() * (sizeof(int64_t) + sizeof(void*) * 2);
+  return bytes;
+}
+
+}  // namespace corrmap

@@ -1,0 +1,39 @@
+// Append-only string dictionary used by string-typed columns. Values are
+// stored once; columns hold int64 codes. Codes are assigned in first-seen
+// order and are stable for the lifetime of the pool.
+#ifndef CORRMAP_COMMON_STRING_POOL_H_
+#define CORRMAP_COMMON_STRING_POOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace corrmap {
+
+/// Per-column dictionary: string <-> int64 code.
+class StringPool {
+ public:
+  /// Returns the code for `s`, interning it if new.
+  int64_t Intern(std::string_view s);
+
+  /// Returns the code for `s`, or -1 if it has never been interned.
+  int64_t Find(std::string_view s) const;
+
+  /// Returns the string for a code; aborts on out-of-range codes.
+  const std::string& Get(int64_t code) const;
+
+  size_t size() const { return strings_.size(); }
+
+  /// Approximate heap footprint in bytes (string payloads + code table).
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, int64_t> codes_;
+};
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_COMMON_STRING_POOL_H_

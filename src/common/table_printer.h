@@ -1,0 +1,38 @@
+// Aligned text-table rendering for benchmark output. Every bench binary
+// prints paper-style rows through this, so EXPERIMENTS.md and the benches
+// share one format.
+#ifndef CORRMAP_COMMON_TABLE_PRINTER_H_
+#define CORRMAP_COMMON_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace corrmap {
+
+/// Collects rows of string cells and prints them with padded columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; pads or truncates to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision (helper for callers).
+  static std::string Fmt(double v, int precision = 2);
+  static std::string FmtBytes(uint64_t bytes);
+
+  /// Renders the table (header, separator, rows) to `os`.
+  void Print(std::ostream& os) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_COMMON_TABLE_PRINTER_H_

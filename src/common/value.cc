@@ -1,0 +1,98 @@
+#include "common/value.h"
+
+#include <bit>
+#include <cassert>
+#include <cstdio>
+
+namespace corrmap {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64: return "int64";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+  }
+  return "unknown";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt64: return std::to_string(AsInt64());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", AsDouble());
+      return buf;
+    }
+    case ValueType::kString: return AsString();
+  }
+  return "?";
+}
+
+std::string Key::ToString() const {
+  if (is_double()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", AsDouble());
+    return buf;
+  }
+  return std::to_string(AsInt64());
+}
+
+uint64_t Key::Hash() const {
+  if (is_double()) {
+    // Normalize -0.0 to +0.0 so equal keys hash equally.
+    double d = AsDouble();
+    if (d == 0.0) d = 0.0;
+    return Mix64(std::bit_cast<uint64_t>(d) ^ 0xd6e8feb86659fd93ULL);
+  }
+  return Mix64(static_cast<uint64_t>(AsInt64()));
+}
+
+CompositeKey::CompositeKey(std::initializer_list<Key> keys) : n_(0) {
+  for (const Key& k : keys) Append(k);
+}
+
+void CompositeKey::Append(Key k) {
+  assert(n_ < kMaxCompositeKeyParts);
+  parts_[n_++] = k;
+}
+
+std::string CompositeKey::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < n_; ++i) {
+    if (i > 0) out += ", ";
+    out += parts_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+uint64_t CompositeKey::Hash() const {
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (size_t i = 0; i < n_; ++i) {
+    h = Mix64(h ^ parts_[i].Hash());
+  }
+  return h;
+}
+
+std::strong_ordering CompositeKey::operator<=>(const CompositeKey& o) const {
+  const size_t n = n_ < o.n_ ? n_ : o.n_;
+  for (size_t i = 0; i < n; ++i) {
+    auto c = parts_[i] <=> o.parts_[i];
+    if (c != std::partial_ordering::equivalent) {
+      // Keys within one column are homogeneous; NaNs are not stored.
+      return c == std::partial_ordering::less ? std::strong_ordering::less
+                                              : std::strong_ordering::greater;
+    }
+  }
+  return n_ <=> o.n_;
+}
+
+bool CompositeKey::operator==(const CompositeKey& o) const {
+  if (n_ != o.n_) return false;
+  for (size_t i = 0; i < n_; ++i) {
+    if (!(parts_[i] == o.parts_[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace corrmap

@@ -1,0 +1,139 @@
+// Logical values, physical keys, and composite keys shared by the storage
+// engine, indexes, and correlation maps.
+#ifndef CORRMAP_COMMON_VALUE_H_
+#define CORRMAP_COMMON_VALUE_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace corrmap {
+
+/// Logical column types. Strings are dictionary-encoded in storage; their
+/// physical representation is an int64 dictionary code.
+enum class ValueType : uint8_t { kInt64 = 0, kDouble = 1, kString = 2 };
+
+/// Returns a short human-readable name ("int64", "double", "string").
+const char* ValueTypeName(ValueType t);
+
+/// A logical value as seen at API boundaries (query literals, tuples).
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  Value(int64_t v) : v_(v) {}                 // NOLINT(runtime/explicit)
+  Value(int v) : v_(int64_t{v}) {}            // NOLINT(runtime/explicit)
+  Value(double v) : v_(v) {}                  // NOLINT(runtime/explicit)
+  Value(std::string v) : v_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : v_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  ValueType type() const { return static_cast<ValueType>(v_.index()); }
+  bool is_int64() const { return type() == ValueType::kInt64; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+
+  int64_t AsInt64() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Numeric view: int64 widened to double; aborts on strings.
+  double NumericValue() const {
+    return is_int64() ? static_cast<double>(AsInt64()) : AsDouble();
+  }
+
+  std::string ToString() const;
+
+  auto operator<=>(const Value&) const = default;
+  bool operator==(const Value&) const = default;
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+/// A physical scalar key: the on-page encoding of one attribute value.
+/// Strings appear here as their dictionary codes, so a Key is always an
+/// int64 or a double. Keys from the same column are homogeneous, which makes
+/// the variant ordering (type index first) safe.
+class Key {
+ public:
+  Key() : v_(int64_t{0}) {}
+  explicit Key(int64_t v) : v_(v) {}
+  explicit Key(double v) : v_(v) {}
+
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  int64_t AsInt64() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+
+  /// Numeric view regardless of physical type.
+  double Numeric() const {
+    return is_double() ? AsDouble() : static_cast<double>(AsInt64());
+  }
+
+  std::string ToString() const;
+
+  auto operator<=>(const Key&) const = default;
+  bool operator==(const Key&) const = default;
+
+  /// 64-bit hash (splitmix-based avalanche over the raw bits).
+  uint64_t Hash() const;
+
+ private:
+  std::variant<int64_t, double> v_;
+};
+
+/// Maximum number of attributes in a composite CM / index key. The paper's
+/// composite designs use at most four attributes (Table 4 / Experiment 5).
+inline constexpr size_t kMaxCmAttributes = 4;
+
+/// Inline capacity of CompositeKey: up to kMaxCmAttributes unclustered
+/// parts plus one clustered part (statistics pair the two, §4.2).
+inline constexpr size_t kMaxCompositeKeyParts = kMaxCmAttributes + 1;
+
+/// A fixed-capacity composite key. Avoids per-key heap allocation on the
+/// index and CM hot paths.
+class CompositeKey {
+ public:
+  CompositeKey() : n_(0) {}
+  explicit CompositeKey(Key k) : n_(1) { parts_[0] = k; }
+  CompositeKey(std::initializer_list<Key> keys);
+
+  /// Appends one part; aborts if capacity is exceeded.
+  void Append(Key k);
+
+  size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  const Key& operator[](size_t i) const { return parts_[i]; }
+  Key& operator[](size_t i) { return parts_[i]; }
+
+  std::string ToString() const;
+  uint64_t Hash() const;
+
+  std::strong_ordering operator<=>(const CompositeKey& o) const;
+  bool operator==(const CompositeKey& o) const;
+
+ private:
+  std::array<Key, kMaxCompositeKeyParts> parts_;
+  uint8_t n_;
+};
+
+/// splitmix64 finalizer; the basis of all hashing in the library.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+struct KeyHash {
+  size_t operator()(const Key& k) const { return k.Hash(); }
+};
+struct CompositeKeyHash {
+  size_t operator()(const CompositeKey& k) const { return k.Hash(); }
+};
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_COMMON_VALUE_H_

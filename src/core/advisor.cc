@@ -1,0 +1,300 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "stats/adaptive_estimator.h"
+#include "stats/correlation_stats.h"
+#include "stats/distinct_sampling.h"
+
+namespace corrmap {
+
+std::string CmDesign::Label(const Table& table) const {
+  std::string out;
+  for (size_t i = 0; i < u_cols.size(); ++i) {
+    if (i) out += ", ";
+    out += table.schema().column(u_cols[i]).name;
+    if (!u_bucketers[i].is_identity()) {
+      out += "(" + u_bucketers[i].ToString() + ")";
+    }
+  }
+  return out;
+}
+
+CmAdvisor::CmAdvisor(const Table* table, const ClusteredIndex* cidx,
+                     const ClusteredBucketing* c_buckets, AdvisorConfig config)
+    : table_(table),
+      cidx_(cidx),
+      c_buckets_(c_buckets),
+      config_(config),
+      sample_(RowSample::Collect(*table, config.sample_size,
+                                 config.sample_seed)) {}
+
+std::vector<size_t> CmAdvisor::PrunedColumns(const Query& query) const {
+  // Keep predicates selective enough to help (§6.2.2), most selective
+  // first, clustered column excluded (it already has an access path).
+  struct ColSel {
+    size_t col;
+    double sel;
+  };
+  std::vector<ColSel> cols;
+  for (const auto& p : query.predicates()) {
+    if (p.column() == cidx_->column()) continue;
+    Query single({p});
+    const double sel = single.EstimateSelectivity(*table_, sample_);
+    if (sel > config_.selectivity_threshold) continue;
+    bool dup = false;
+    for (auto& c : cols) {
+      if (c.col == p.column()) {
+        c.sel = std::min(c.sel, sel);
+        dup = true;
+      }
+    }
+    if (!dup) cols.push_back({p.column(), sel});
+  }
+  std::sort(cols.begin(), cols.end(),
+            [](const ColSel& a, const ColSel& b) { return a.sel < b.sel; });
+  if (cols.size() > config_.max_attrs) cols.resize(config_.max_attrs);
+  std::vector<size_t> out;
+  for (const auto& c : cols) out.push_back(c.col);
+  return out;
+}
+
+std::vector<BucketingCandidates> CmAdvisor::CandidateBucketings(
+    const Query& query) const {
+  std::vector<BucketingCandidates> out;
+  for (size_t col : PrunedColumns(query)) {
+    const double d = DistinctSampler::EstimateColumn(*table_, col);
+    out.push_back(EnumerateBucketings(table_->schema().column(col).name, d,
+                                      config_.min_buckets,
+                                      config_.max_buckets));
+  }
+  return out;
+}
+
+Bucketer CmAdvisor::MakeBucketer(size_t col, int level) const {
+  if (level < 0) return Bucketer::Identity();
+  // Boundaries from the sample's distinct values, scaled: the sample holds
+  // ~r/n of the distinct values of a near-unique column, so 2^level values
+  // per bucket over the full column corresponds to fewer sample values per
+  // bucket. Using sample ordinals directly preserves monotonicity and the
+  // bucket-count target.
+  std::vector<double> vals;
+  vals.reserve(sample_.size());
+  for (RowId r : sample_.rows()) {
+    vals.push_back(table_->GetKey(r, col).Numeric());
+  }
+  std::sort(vals.begin(), vals.end());
+  vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  const double d_full = DistinctSampler::EstimateColumn(*table_, col);
+  const double frac = d_full > 0 ? double(vals.size()) / d_full : 1.0;
+  const double per_bucket_full = std::ldexp(1.0, level);
+  const uint64_t per_bucket_sample = std::max<uint64_t>(
+      1, uint64_t(std::llround(per_bucket_full * frac)));
+  const int sample_level =
+      std::max(0, int(std::round(std::log2(double(per_bucket_sample)))));
+  return Bucketer::ValueOrdinalFromValues(std::move(vals), sample_level);
+}
+
+void CmAdvisor::EstimateDesign(const Query& query, CmDesign* d) const {
+  // Sample-driven estimates (AE): distinct bucketed-u keys, distinct
+  // (u, c) pairs, and the u-buckets the query's predicates touch.
+  std::vector<CompositeKey> u_keys, uc_keys;
+  std::unordered_set<uint64_t> matching_u;
+  u_keys.reserve(sample_.size());
+  uc_keys.reserve(sample_.size());
+
+  for (RowId r : sample_.rows()) {
+    CompositeKey uk;
+    bool matches = true;
+    for (size_t i = 0; i < d->u_cols.size(); ++i) {
+      const Key raw = table_->GetKey(r, d->u_cols[i]);
+      uk.Append(Key(d->u_bucketers[i].BucketOf(raw)));
+      for (const auto& p : query.predicates()) {
+        if (p.column() == d->u_cols[i] && !p.MatchesKey(raw)) matches = false;
+      }
+    }
+    u_keys.push_back(uk);
+    CompositeKey uck = uk;
+    const int64_t c_ord = c_buckets_ != nullptr
+                              ? c_buckets_->BucketOfRow(r)
+                              : cidx_->LowerBoundKey(
+                                    table_->GetKey(r, cidx_->column()));
+    uck.Append(Key(c_ord));
+    uc_keys.push_back(uck);
+    if (matches) matching_u.insert(uk.Hash());
+  }
+
+  const uint64_t n = sample_.population();
+  const double d_u = AdaptiveEstimator::Estimate(u_keys, n);
+  double d_uc = AdaptiveEstimator::Estimate(uc_keys, n);
+  if (d_uc < d_u) d_uc = d_u;
+  d->est_c_per_u = d_u > 0 ? d_uc / d_u : 1.0;
+
+  // u-buckets touched by the query: scale the sample's matching buckets by
+  // the same AE ratio used for d_u.
+  SampleFrequencies uf = SampleFrequencies::FromKeys(u_keys);
+  const double scale = uf.distinct > 0 ? d_u / double(uf.distinct) : 1.0;
+  d->est_n_lookups = std::max(1.0, double(matching_u.size()) * scale);
+
+  // Cost of the CM access under the §4 model: per u-bucket lookup, sweep
+  // c_per_u clustered regions of c_pages each.
+  CostInputs in;
+  in.tups_per_page = double(table_->TuplesPerPage());
+  in.total_tups = double(table_->TotalTuples());
+  in.btree_height = double(cidx_->BTreeHeight());
+  in.n_lookups = d->est_n_lookups;
+  in.c_per_u = d->est_c_per_u;
+  in.c_tups = c_buckets_ != nullptr
+                  ? double(table_->TotalTuples()) /
+                        double(std::max<size_t>(1, c_buckets_->NumBuckets()))
+                  : cidx_->CTups();
+  d->est_cost_ms = cost_model_.SortedCost(in);
+
+  // Size: distinct (u, c-ordinal) pairs drive the CM's row count (§5.3).
+  const double entry_bytes = double(8 * d->u_cols.size() + 8 + 4);
+  d->est_size_bytes = d_uc * entry_bytes;
+}
+
+double CmAdvisor::BTreeBaselineCostMs(const Query& query) const {
+  // Baseline: sorted index scan via an unbucketed secondary B+Tree on the
+  // query's most selective predicated attribute (what a DBA would build).
+  const auto cols = PrunedColumns(query);
+  if (cols.empty()) {
+    CostInputs in;
+    in.tups_per_page = double(table_->TuplesPerPage());
+    in.total_tups = double(table_->TotalTuples());
+    return cost_model_.ScanCost(in);
+  }
+  const size_t col = cols.front();
+  std::vector<size_t> u_cols{col};
+  CorrelationStats stats =
+      EstimateCorrelationStats(*table_, sample_, u_cols, cidx_->column());
+  CostInputs in;
+  in.tups_per_page = double(table_->TuplesPerPage());
+  in.total_tups = double(table_->TotalTuples());
+  in.btree_height = double(cidx_->BTreeHeight());
+  in.u_tups = stats.u_tups;
+  in.c_tups = cidx_->CTups();
+  in.c_per_u = stats.c_per_u;
+  // n_lookups: distinct predicated values of that column in the sample,
+  // scaled as in EstimateDesign.
+  std::unordered_set<uint64_t> matching;
+  std::unordered_set<uint64_t> all;
+  const Predicate* pred = nullptr;
+  for (const auto& p : query.predicates()) {
+    if (p.column() == col) pred = &p;
+  }
+  for (RowId r : sample_.rows()) {
+    const Key k = table_->GetKey(r, col);
+    all.insert(k.Hash());
+    if (pred != nullptr && pred->MatchesKey(k)) matching.insert(k.Hash());
+  }
+  const double scale =
+      all.empty() ? 1.0 : stats.d_u / double(all.size());
+  in.n_lookups = std::max(1.0, double(matching.size()) * scale);
+  return cost_model_.SortedCost(in);
+}
+
+std::vector<CmDesign> CmAdvisor::EnumerateDesigns(const Query& query) const {
+  const std::vector<size_t> cols = PrunedColumns(query);
+  std::vector<BucketingCandidates> cands;
+  cands.reserve(cols.size());
+  for (size_t col : cols) {
+    const double d = DistinctSampler::EstimateColumn(*table_, col);
+    cands.push_back(EnumerateBucketings(table_->schema().column(col).name, d,
+                                        config_.min_buckets,
+                                        config_.max_buckets));
+  }
+
+  // Per-column options: -2 = excluded, -1 = identity, >= 0 = 2^level.
+  std::vector<std::vector<int>> options(cols.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    options[i].push_back(-2);
+    if (cands[i].include_identity) options[i].push_back(-1);
+    for (int lv = cands[i].min_level; lv <= cands[i].max_level; ++lv) {
+      options[i].push_back(lv);
+    }
+  }
+
+  std::vector<CmDesign> designs;
+  std::vector<size_t> idx(cols.size(), 0);
+  if (cols.empty()) return designs;
+  while (true) {
+    CmDesign d;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      const int opt = options[i][idx[i]];
+      if (opt == -2) continue;
+      d.u_cols.push_back(cols[i]);
+      d.u_bucketers.push_back(MakeBucketer(cols[i], opt));
+    }
+    if (!d.u_cols.empty()) {
+      EstimateDesign(query, &d);
+      designs.push_back(std::move(d));
+    }
+    size_t i = 0;
+    for (; i < idx.size(); ++i) {
+      if (++idx[i] < options[i].size()) break;
+      idx[i] = 0;
+    }
+    if (i == idx.size()) break;
+  }
+
+  const double baseline = BTreeBaselineCostMs(query);
+  const double btree_bytes = double(table_->TotalTuples()) * 20.0;
+  for (auto& d : designs) {
+    d.runtime_delta = baseline > 0 ? (d.est_cost_ms - baseline) / baseline : 0;
+    d.size_ratio = d.est_size_bytes / btree_bytes;
+  }
+  std::sort(designs.begin(), designs.end(),
+            [](const CmDesign& a, const CmDesign& b) {
+              return a.est_cost_ms < b.est_cost_ms;
+            });
+  return designs;
+}
+
+Result<CmDesign> CmAdvisor::Recommend(const Query& query) const {
+  std::vector<CmDesign> designs = EnumerateDesigns(query);
+  if (designs.empty()) {
+    return Status::NotFound("no candidate attributes survive pruning");
+  }
+  // A CM must beat a full scan to be worth building (§6.2.2).
+  CostInputs in;
+  in.tups_per_page = double(table_->TuplesPerPage());
+  in.total_tups = double(table_->TotalTuples());
+  const double scan = cost_model_.ScanCost(in);
+
+  const double best_cost = designs.front().est_cost_ms;
+  if (best_cost >= scan) {
+    return Status::NotFound("no CM design is expected to beat a table scan");
+  }
+  const double limit = best_cost * (1.0 + config_.perf_target);
+  const CmDesign* pick = nullptr;
+  for (const auto& d : designs) {
+    if (d.est_cost_ms > limit) continue;
+    if (pick == nullptr || d.est_size_bytes < pick->est_size_bytes) pick = &d;
+  }
+  assert(pick != nullptr);
+  return *pick;
+}
+
+Result<CorrelationMap> CmAdvisor::BuildCm(const CmDesign& design) const {
+  CmOptions opts;
+  opts.u_cols = design.u_cols;
+  // Rebuild value-ordinal bucketers from the full column for exact builds.
+  for (size_t i = 0; i < design.u_cols.size(); ++i) {
+    const Bucketer& b = design.u_bucketers[i];
+    opts.u_bucketers.push_back(b);
+  }
+  opts.c_col = cidx_->column();
+  opts.c_buckets = c_buckets_;
+  auto cm = CorrelationMap::Create(table_, std::move(opts));
+  if (!cm.ok()) return cm.status();
+  Status s = cm->BuildFromTable();
+  if (!s.ok()) return s;
+  return cm;
+}
+
+}  // namespace corrmap

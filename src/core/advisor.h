@@ -1,0 +1,101 @@
+// The CM Advisor (§6): given a clustered table and a training query, it
+// (1) enumerates candidate bucketings per predicated attribute (Table 4),
+// (2) exhaustively enumerates composite CM designs over those attributes
+//     and bucketings (§6.1.3),
+// (3) estimates each design's c_per_u, query cost, and size from one
+//     in-memory random sample via the Adaptive Estimator (§4.2), and
+// (4) recommends the smallest design within a user performance target
+//     relative to a secondary B+Tree (Table 5).
+#ifndef CORRMAP_CORE_ADVISOR_H_
+#define CORRMAP_CORE_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/bucketing.h"
+#include "core/correlation_map.h"
+#include "core/cost_model.h"
+#include "exec/predicate.h"
+#include "index/clustered_index.h"
+#include "stats/sampler.h"
+
+namespace corrmap {
+
+/// Advisor tuning, defaults matching the paper.
+struct AdvisorConfig {
+  size_t sample_size = 30000;        ///< §6.1.3
+  uint64_t min_buckets = 4;          ///< 2^2  (§6.1.2)
+  uint64_t max_buckets = 65536;      ///< 2^16 (§6.1.2)
+  double perf_target = 0.10;         ///< max slowdown vs B+Tree (Table 5)
+  double selectivity_threshold = 0.5;///< drop weaker predicates (§6.2.2)
+  size_t max_attrs = kMaxCmAttributes;
+  uint64_t sample_seed = 0xad150fULL;  ///< reproducible sampling
+};
+
+/// One candidate CM design with its estimates.
+struct CmDesign {
+  std::vector<size_t> u_cols;
+  std::vector<Bucketer> u_bucketers;   ///< parallel to u_cols
+  double est_c_per_u = 0;
+  double est_n_lookups = 1;            ///< u-buckets the query touches
+  double est_cost_ms = 0;              ///< model cost of the CM access
+  double est_size_bytes = 0;
+  double runtime_delta = 0;            ///< (cm - btree) / btree
+  double size_ratio = 0;               ///< est size / secondary B+Tree size
+
+  /// Table-5 style label, e.g. "psfMag_g(2^13), type, fieldID, mode".
+  std::string Label(const Table& table) const;
+};
+
+/// Per-query advisor over one clustered table.
+class CmAdvisor {
+ public:
+  /// `c_buckets` may be null (CM designs then map to raw clustered values).
+  CmAdvisor(const Table* table, const ClusteredIndex* cidx,
+            const ClusteredBucketing* c_buckets, AdvisorConfig config = {});
+
+  /// Table 4: candidate bucketings per predicated attribute of `query`
+  /// (after selectivity pruning), with DS-estimated cardinalities.
+  std::vector<BucketingCandidates> CandidateBucketings(const Query& query) const;
+
+  /// All composite designs with estimates, sorted by estimated cost
+  /// ascending (Table 5 rows).
+  std::vector<CmDesign> EnumerateDesigns(const Query& query) const;
+
+  /// The smallest design whose estimated cost is within perf_target of the
+  /// best (lowest-cost) design; NotFound if no design beats a full scan.
+  Result<CmDesign> Recommend(const Query& query) const;
+
+  /// Materializes a recommended design into a real CM (full build scan).
+  Result<CorrelationMap> BuildCm(const CmDesign& design) const;
+
+  /// Estimated cost of answering `query` with a secondary B+Tree on its
+  /// (single most selective) predicated attribute -- the Table 5 baseline.
+  double BTreeBaselineCostMs(const Query& query) const;
+
+  const RowSample& sample() const { return sample_; }
+  const AdvisorConfig& config() const { return config_; }
+
+ private:
+  /// Columns surviving selectivity pruning, most selective first, capped at
+  /// config_.max_attrs.
+  std::vector<size_t> PrunedColumns(const Query& query) const;
+
+  /// Builds the bucketer for (col, level); level < 0 means identity.
+  Bucketer MakeBucketer(size_t col, int level) const;
+
+  /// Fills est_* fields of `d` for `query`.
+  void EstimateDesign(const Query& query, CmDesign* d) const;
+
+  const Table* table_;
+  const ClusteredIndex* cidx_;
+  const ClusteredBucketing* c_buckets_;
+  AdvisorConfig config_;
+  RowSample sample_;
+  CostModel cost_model_;
+};
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_CORE_ADVISOR_H_

@@ -1,0 +1,257 @@
+#include "core/bucketing.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace corrmap {
+
+Bucketer Bucketer::Identity() {
+  Bucketer b;
+  b.kind_ = Kind::kIdentity;
+  return b;
+}
+
+Bucketer Bucketer::NumericWidth(double width, double origin) {
+  assert(width > 0);
+  Bucketer b;
+  b.kind_ = Kind::kNumericWidth;
+  b.width_ = width;
+  b.origin_ = origin;
+  return b;
+}
+
+Bucketer Bucketer::ValueOrdinalFromColumn(const Table& table, size_t col,
+                                          int level) {
+  std::vector<double> vals;
+  vals.reserve(table.NumRows());
+  for (RowId r = 0; r < table.NumRows(); ++r) {
+    if (table.IsDeleted(r)) continue;
+    vals.push_back(table.GetKey(r, col).Numeric());
+  }
+  std::sort(vals.begin(), vals.end());
+  vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  return ValueOrdinalFromValues(std::move(vals), level);
+}
+
+Bucketer Bucketer::ValueOrdinalFromValues(std::vector<double> sorted_distinct,
+                                          int level) {
+  assert(level >= 0);
+  Bucketer b;
+  b.kind_ = Kind::kValueOrdinal;
+  b.level_ = level;
+  const uint64_t per_bucket = uint64_t{1} << level;
+  auto bounds = std::make_shared<std::vector<double>>();
+  for (size_t i = 0; i < sorted_distinct.size(); i += per_bucket) {
+    bounds->push_back(sorted_distinct[i]);
+  }
+  if (bounds->empty()) bounds->push_back(0.0);
+  b.boundaries_ = std::move(bounds);
+  return b;
+}
+
+Bucketer Bucketer::FromBoundaries(std::vector<double> boundaries) {
+  assert(std::is_sorted(boundaries.begin(), boundaries.end()));
+  Bucketer b;
+  b.kind_ = Kind::kValueOrdinal;
+  b.level_ = -1;  // variable-width: no single 2^level label
+  if (boundaries.empty()) boundaries.push_back(0.0);
+  b.boundaries_ =
+      std::make_shared<const std::vector<double>>(std::move(boundaries));
+  return b;
+}
+
+int64_t Bucketer::BucketOf(const Key& k) const {
+  switch (kind_) {
+    case Kind::kIdentity:
+      return k.is_double() ? std::bit_cast<int64_t>(k.AsDouble()) : k.AsInt64();
+    case Kind::kNumericWidth:
+      return static_cast<int64_t>(std::floor((k.Numeric() - origin_) / width_));
+    case Kind::kValueOrdinal: {
+      const auto& b = *boundaries_;
+      // Bucket whose lower bound is the last boundary <= value.
+      auto it = std::upper_bound(b.begin(), b.end(), k.Numeric());
+      if (it == b.begin()) return 0;  // below the first boundary
+      return static_cast<int64_t>(it - b.begin()) - 1;
+    }
+  }
+  return 0;
+}
+
+BucketRange Bucketer::RangeOf(int64_t bucket) const {
+  switch (kind_) {
+    case Kind::kIdentity: {
+      // Works for integer domains; identity-double ordinals are bit patterns
+      // and are only compared for equality (rewriting decodes them).
+      const double v = double(bucket);
+      return {v, v};
+    }
+    case Kind::kNumericWidth:
+      return {origin_ + double(bucket) * width_,
+              origin_ + double(bucket + 1) * width_};
+    case Kind::kValueOrdinal: {
+      const auto& b = *boundaries_;
+      const size_t i = size_t(std::clamp<int64_t>(bucket, 0,
+                                                  int64_t(b.size()) - 1));
+      const double lo = b[i];
+      const double hi = (i + 1 < b.size())
+                            ? std::nextafter(b[i + 1], lo)
+                            : std::numeric_limits<double>::infinity();
+      return {lo, hi};
+    }
+  }
+  return {};
+}
+
+std::pair<int64_t, int64_t> Bucketer::BucketsCovering(double lo,
+                                                      double hi) const {
+  switch (kind_) {
+    case Kind::kIdentity:
+      return {static_cast<int64_t>(std::ceil(lo)),
+              static_cast<int64_t>(std::floor(hi))};
+    case Kind::kNumericWidth:
+      return {static_cast<int64_t>(std::floor((lo - origin_) / width_)),
+              static_cast<int64_t>(std::floor((hi - origin_) / width_))};
+    case Kind::kValueOrdinal:
+      return {BucketOf(Key(lo)), BucketOf(Key(hi))};
+  }
+  return {0, -1};
+}
+
+std::string Bucketer::ToString() const {
+  switch (kind_) {
+    case Kind::kIdentity: return "none";
+    case Kind::kNumericWidth: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "width=%.6g", width_);
+      return buf;
+    }
+    case Kind::kValueOrdinal:
+      if (level_ < 0) {
+        return "variable(" + std::to_string(boundaries_->size()) + ")";
+      }
+      return "2^" + std::to_string(level_);
+  }
+  return "?";
+}
+
+double Bucketer::ExpectedBuckets(double d) const {
+  switch (kind_) {
+    case Kind::kIdentity: return d;
+    case Kind::kNumericWidth: return d / width_;  // domain-dependent guess
+    case Kind::kValueOrdinal: return d / double(uint64_t{1} << level_);
+  }
+  return d;
+}
+
+Result<ClusteredBucketing> ClusteredBucketing::Build(
+    const Table& table, size_t col, uint64_t target_tuples_per_bucket) {
+  if (table.clustered_column() != static_cast<int>(col)) {
+    return Status::InvalidArgument("table not clustered on given column");
+  }
+  if (target_tuples_per_bucket == 0) {
+    return Status::InvalidArgument("bucket size must be positive");
+  }
+  ClusteredBucketing cb;
+  cb.target_ = target_tuples_per_bucket;
+  const size_t n = table.NumRows();
+  cb.end_ = n;
+  RowId r = 0;
+  while (r < n) {
+    cb.starts_.push_back(r);
+    RowId fill_end = std::min<RowId>(r + target_tuples_per_bucket, n);
+    if (fill_end >= n) break;
+    // Extend the bucket so the boundary value does not straddle buckets:
+    // keep assigning rows while the clustered value equals the fill-end
+    // boundary value (§6.1.1).
+    const Key boundary = table.GetKey(fill_end - 1, col);
+    while (fill_end < n && table.GetKey(fill_end, col) == boundary) {
+      ++fill_end;
+    }
+    r = fill_end;
+  }
+  return cb;
+}
+
+int64_t ClusteredBucketing::BucketOfRow(RowId row) const {
+  assert(row < end_);
+  auto it = std::upper_bound(starts_.begin(), starts_.end(), row);
+  return static_cast<int64_t>(it - starts_.begin()) - 1;
+}
+
+RowRange ClusteredBucketing::RangeOfBucket(int64_t b) const {
+  if (b < 0 || size_t(b) >= starts_.size()) return RowRange{};
+  const RowId begin = starts_[size_t(b)];
+  const RowId end = size_t(b) + 1 < starts_.size() ? starts_[size_t(b) + 1]
+                                                   : end_;
+  return RowRange{begin, end};
+}
+
+std::pair<Key, Key> ClusteredBucketing::KeyRangeOfBucket(const Table& table,
+                                                         size_t col,
+                                                         int64_t b) const {
+  const RowRange range = RangeOfBucket(b);
+  if (range.empty()) return {Key(), Key()};
+  return {table.GetKey(range.begin, col), table.GetKey(range.end - 1, col)};
+}
+
+std::string BucketingCandidates::WidthsLabel() const {
+  if (include_identity && max_level < min_level) return "none";
+  std::string hi = "2^" + std::to_string(max_level);
+  if (include_identity) return "none ~ " + hi;
+  return "2^" + std::to_string(min_level) + " ~ " + hi;
+}
+
+size_t BucketingCandidates::NumOptions() const {
+  size_t n = include_identity ? 1 : 0;
+  if (max_level >= min_level) n += size_t(max_level - min_level + 1);
+  return n;
+}
+
+Bucketer BuildVariableWidthBucketer(const Table& table, size_t u_col,
+                                    const ClusteredBucketing& c_buckets,
+                                    size_t max_c_per_bucket) {
+  assert(max_c_per_bucket >= 1);
+  // Distinct u values with the set of clustered buckets each maps to.
+  std::map<double, std::set<int64_t>> value_cbuckets;
+  for (RowId r = 0; r < table.NumRows(); ++r) {
+    if (table.IsDeleted(r)) continue;
+    value_cbuckets[table.GetKey(r, u_col).Numeric()].insert(
+        c_buckets.BucketOfRow(r));
+  }
+  std::vector<double> boundaries;
+  std::set<int64_t> current;
+  for (const auto& [v, cbs] : value_cbuckets) {
+    std::set<int64_t> merged = current;
+    merged.insert(cbs.begin(), cbs.end());
+    if (boundaries.empty() || merged.size() > max_c_per_bucket) {
+      boundaries.push_back(v);  // start a fresh bucket at this value
+      current = cbs;
+    } else {
+      current = std::move(merged);
+    }
+  }
+  return Bucketer::FromBoundaries(std::move(boundaries));
+}
+
+BucketingCandidates EnumerateBucketings(std::string column_name, double d,
+                                        uint64_t min_buckets,
+                                        uint64_t max_buckets) {
+  BucketingCandidates c;
+  c.column_name = std::move(column_name);
+  c.cardinality = d;
+  c.include_identity = d <= double(max_buckets);
+  // Width 2^w yields d / 2^w buckets. Keep min_buckets <= d/2^w <=
+  // max_buckets, i.e. log2(d/max_buckets) <= w <= log2(d/min_buckets).
+  const double lo = std::log2(std::max(1.0, d) / double(max_buckets));
+  const double hi = std::log2(std::max(1.0, d) / double(min_buckets));
+  c.min_level = std::max(1, static_cast<int>(std::ceil(lo)));
+  c.max_level = static_cast<int>(std::ceil(hi));
+  if (c.max_level < c.min_level) c.max_level = c.min_level - 1;  // none
+  return c;
+}
+
+}  // namespace corrmap

@@ -1,0 +1,160 @@
+// Bucketing schemes (paper §5.4, §6.1). Bucketing shrinks a CM by merging
+// ranges of the unclustered attribute into one key and ranges of the
+// clustered attribute into one bucket id, trading false positives
+// (extra sequential I/O) for size.
+//
+// Unclustered-attribute bucketers:
+//  * Identity       -- few-valued attributes ("none" in Table 4).
+//  * NumericWidth   -- equi-width truncation of a numeric domain (§5.4's
+//                      temperature/humidity example; ra/dec in Table 6).
+//  * ValueOrdinal   -- 2^level distinct values per bucket (Experiments 1-2:
+//                      "bucket level" = log2 of values per bucket), defined
+//                      by explicit lower-bound boundaries.
+//
+// Clustered-attribute bucketing (§6.1.1) is positional: assign ~b tuples to
+// a bucket, extending it so one clustered value never spans two buckets.
+#ifndef CORRMAP_CORE_BUCKETING_H_
+#define CORRMAP_CORE_BUCKETING_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "index/clustered_index.h"
+#include "storage/table.h"
+
+namespace corrmap {
+
+/// Closed value interval covered by one bucket, for predicate-overlap tests
+/// and rewriting. For identity buckets lo == hi.
+struct BucketRange {
+  double lo = 0;
+  double hi = 0;
+};
+
+/// Maps physical keys of one attribute to bucket ordinals, and ordinals back
+/// to covered value ranges. Monotone: k1 <= k2 implies bucket(k1) <=
+/// bucket(k2) (within one column's homogeneous key type), which guarantees
+/// CM lookups have no false negatives.
+class Bucketer {
+ public:
+  enum class Kind : uint8_t { kIdentity, kNumericWidth, kValueOrdinal };
+
+  /// One bucket per distinct value ("none" bucketing).
+  static Bucketer Identity();
+
+  /// Equi-width truncation: bucket = floor((v - origin) / width).
+  static Bucketer NumericWidth(double width, double origin = 0.0);
+
+  /// 2^level distinct values per bucket over the full column's value set.
+  static Bucketer ValueOrdinalFromColumn(const Table& table, size_t col,
+                                         int level);
+
+  /// Same, with boundaries taken from an arbitrary (e.g. sampled) sorted
+  /// distinct-value list.
+  static Bucketer ValueOrdinalFromValues(std::vector<double> sorted_distinct,
+                                         int level);
+
+  /// Bucketer over explicit ascending lower-bound boundaries (bucket i
+  /// covers [boundaries[i], boundaries[i+1])). Used by variable-width
+  /// bucketing (§8 future work).
+  static Bucketer FromBoundaries(std::vector<double> boundaries);
+
+  Kind kind() const { return kind_; }
+  bool is_identity() const { return kind_ == Kind::kIdentity; }
+
+  /// Bucket ordinal of a physical key. Identity on doubles uses the bit
+  /// pattern (equality-preserving).
+  int64_t BucketOf(const Key& k) const;
+
+  /// Value interval covered by bucket `b` (closed; best-effort for
+  /// identity-double, exact otherwise).
+  BucketRange RangeOf(int64_t b) const;
+
+  /// Ordinals of all buckets intersecting the closed interval [lo, hi].
+  /// Result is a contiguous inclusive ordinal range.
+  std::pair<int64_t, int64_t> BucketsCovering(double lo, double hi) const;
+
+  /// Human-readable label: "none", "width=0.25", "2^13".
+  std::string ToString() const;
+
+  /// Number of buckets this scheme would produce for cardinality `d`.
+  double ExpectedBuckets(double d) const;
+
+ private:
+  Bucketer() = default;
+
+  Kind kind_ = Kind::kIdentity;
+  double width_ = 1.0;
+  double origin_ = 0.0;
+  int level_ = 0;
+  // ValueOrdinal: boundaries_[i] is the lower bound of bucket i (ascending).
+  std::shared_ptr<const std::vector<double>> boundaries_;
+};
+
+/// Positional bucketing of the clustered attribute (§6.1.1). Build performs
+/// the paper's single sequential pass: fill bucket i with `target_tuples`
+/// rows, then extend it until the clustered value changes.
+class ClusteredBucketing {
+ public:
+  /// `table` must be clustered on `col`.
+  static Result<ClusteredBucketing> Build(const Table& table, size_t col,
+                                          uint64_t target_tuples_per_bucket);
+
+  size_t NumBuckets() const { return starts_.size(); }
+  uint64_t target_tuples_per_bucket() const { return target_; }
+
+  /// Bucket id containing row `row`.
+  int64_t BucketOfRow(RowId row) const;
+
+  /// Row range [begin, end) of bucket `b`.
+  RowRange RangeOfBucket(int64_t b) const;
+
+  /// First and last clustered key of bucket `b` (for SQL rewriting).
+  std::pair<Key, Key> KeyRangeOfBucket(const Table& table, size_t col,
+                                       int64_t b) const;
+
+ private:
+  std::vector<RowId> starts_;  // starts_[i] = first row of bucket i
+  RowId end_ = 0;
+  uint64_t target_ = 0;
+};
+
+/// Candidate bucket widths for one attribute, per the Advisor's rule
+/// (§6.1.2): every power-of-two values-per-bucket width yielding between
+/// `min_buckets` (default 2^2) and `max_buckets` (default 2^16) buckets,
+/// plus "none" when the cardinality itself is within range.
+struct BucketingCandidates {
+  std::string column_name;
+  double cardinality = 0;
+  bool include_identity = false;
+  int min_level = 1;  ///< smallest 2^level width considered
+  int max_level = 0;  ///< largest; max_level < min_level means none
+  /// Human-readable Table-4 style label, e.g. "none ~ 2^6" or "2^2 ~ 2^16".
+  std::string WidthsLabel() const;
+  /// Total number of candidate options including "not bucketed" choices.
+  size_t NumOptions() const;
+};
+
+/// Computes the candidate widths for cardinality `d`.
+BucketingCandidates EnumerateBucketings(std::string column_name, double d,
+                                        uint64_t min_buckets = 4,
+                                        uint64_t max_buckets = 65536);
+
+/// Variable-width bucketing (the paper's §8 future-work extension): walk
+/// the unclustered attribute's distinct values in sorted order and grow the
+/// current bucket greedily while the union of clustered buckets it maps to
+/// stays within `max_c_per_bucket`. Skewed regions whose values share
+/// clustered buckets collapse into wide buckets (fewer CM entries) while
+/// fast-moving regions keep narrow buckets (no extra false positives).
+/// `table` must be clustered on `c_buckets`'s column.
+Bucketer BuildVariableWidthBucketer(const Table& table, size_t u_col,
+                                    const ClusteredBucketing& c_buckets,
+                                    size_t max_c_per_bucket);
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_CORE_BUCKETING_H_

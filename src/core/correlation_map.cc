@@ -1,0 +1,279 @@
+#include "core/correlation_map.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace corrmap {
+
+std::string CmKey::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < n; ++i) {
+    if (i) out += ",";
+    out += std::to_string(v[i]);
+  }
+  return out + "]";
+}
+
+Result<CorrelationMap> CorrelationMap::Create(const Table* table,
+                                              CmOptions options) {
+  if (options.u_cols.empty() ||
+      options.u_cols.size() > kMaxCmAttributes) {
+    return Status::InvalidArgument("CM needs 1..4 unclustered attributes");
+  }
+  if (options.u_bucketers.size() != options.u_cols.size()) {
+    return Status::InvalidArgument("one bucketer per CM attribute required");
+  }
+  for (size_t c : options.u_cols) {
+    if (c >= table->schema().num_columns()) {
+      return Status::OutOfRange("CM attribute out of range");
+    }
+  }
+  if (options.c_col >= table->schema().num_columns()) {
+    return Status::OutOfRange("clustered attribute out of range");
+  }
+  if (table->clustered_column() != static_cast<int>(options.c_col)) {
+    return Status::InvalidArgument(
+        "table must be clustered on the CM's clustered attribute");
+  }
+  return CorrelationMap(table, std::move(options));
+}
+
+CmKey CorrelationMap::UKeyOfRow(RowId row) const {
+  CmKey key;
+  for (size_t i = 0; i < options_.u_cols.size(); ++i) {
+    key.Append(
+        options_.u_bucketers[i].BucketOf(table_->GetKey(row, options_.u_cols[i])));
+  }
+  return key;
+}
+
+CmKey CorrelationMap::UKeyOfValues(std::span<const Key> u_keys) const {
+  assert(u_keys.size() == options_.u_cols.size());
+  CmKey key;
+  for (size_t i = 0; i < u_keys.size(); ++i) {
+    key.Append(options_.u_bucketers[i].BucketOf(u_keys[i]));
+  }
+  return key;
+}
+
+int64_t CorrelationMap::ClusteredOrdinalOfRow(RowId row) const {
+  if (options_.c_buckets != nullptr) {
+    return options_.c_buckets->BucketOfRow(row);
+  }
+  const Key k = table_->GetKey(row, options_.c_col);
+  return k.is_double() ? std::bit_cast<int64_t>(k.AsDouble()) : k.AsInt64();
+}
+
+Key CorrelationMap::DecodeClusteredOrdinal(int64_t ordinal) const {
+  assert(!has_clustered_buckets());
+  const bool is_double =
+      table_->schema().column(options_.c_col).type == ValueType::kDouble;
+  return is_double ? Key(std::bit_cast<double>(ordinal)) : Key(ordinal);
+}
+
+Status CorrelationMap::BuildFromTable() {
+  // Algorithm 1: scan, bucket both sides, upsert co-occurrence counts.
+  const size_t n = table_->NumRows();
+  for (RowId r = 0; r < n; ++r) {
+    if (table_->IsDeleted(r)) continue;
+    InsertRow(r);
+  }
+  return Status::OK();
+}
+
+void CorrelationMap::InsertRow(RowId row) {
+  auto& counts = map_[UKeyOfRow(row)];
+  auto [it, inserted] = counts.emplace(ClusteredOrdinalOfRow(row), 1);
+  if (inserted) {
+    ++num_entries_;
+  } else {
+    ++it->second;
+  }
+}
+
+Status CorrelationMap::DeleteRow(RowId row) {
+  const CmKey ukey = UKeyOfRow(row);
+  auto mit = map_.find(ukey);
+  if (mit == map_.end()) return Status::NotFound("u-key not mapped");
+  const int64_t c = ClusteredOrdinalOfRow(row);
+  auto cit = mit->second.find(c);
+  if (cit == mit->second.end()) {
+    return Status::NotFound("clustered ordinal not mapped for u-key");
+  }
+  if (--cit->second == 0) {
+    mit->second.erase(cit);
+    --num_entries_;
+    if (mit->second.empty()) map_.erase(mit);
+  }
+  return Status::OK();
+}
+
+void CorrelationMap::InsertValues(std::span<const Key> u_keys,
+                                  int64_t c_ordinal) {
+  auto& counts = map_[UKeyOfValues(u_keys)];
+  auto [it, inserted] = counts.emplace(c_ordinal, 1);
+  if (inserted) {
+    ++num_entries_;
+  } else {
+    ++it->second;
+  }
+}
+
+Status CorrelationMap::DeleteValues(std::span<const Key> u_keys,
+                                    int64_t c_ordinal) {
+  auto mit = map_.find(UKeyOfValues(u_keys));
+  if (mit == map_.end()) return Status::NotFound("u-key not mapped");
+  auto cit = mit->second.find(c_ordinal);
+  if (cit == mit->second.end()) {
+    return Status::NotFound("clustered ordinal not mapped for u-key");
+  }
+  if (--cit->second == 0) {
+    mit->second.erase(cit);
+    --num_entries_;
+    if (mit->second.empty()) map_.erase(mit);
+  }
+  return Status::OK();
+}
+
+bool CorrelationMap::UKeyMatches(
+    const CmKey& key, std::span<const CmColumnPredicate> preds) const {
+  for (size_t i = 0; i < preds.size(); ++i) {
+    const Bucketer& b = options_.u_bucketers[i];
+    const int64_t ordinal = key.v[i];
+    const CmColumnPredicate& p = preds[i];
+    if (p.kind == CmColumnPredicate::Kind::kPoints) {
+      bool any = false;
+      for (const Key& pt : p.points) {
+        if (b.BucketOf(pt) == ordinal) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) return false;
+    } else {
+      if (b.is_identity() &&
+          table_->schema().column(options_.u_cols[i]).type ==
+              ValueType::kDouble) {
+        // Identity-double ordinals are bit patterns; decode for the test.
+        const double v = std::bit_cast<double>(ordinal);
+        if (v < p.lo || v > p.hi) return false;
+      } else {
+        const auto [blo, bhi] = b.BucketsCovering(p.lo, p.hi);
+        if (ordinal < blo || ordinal > bhi) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<int64_t> CorrelationMap::CmLookup(
+    std::span<const CmColumnPredicate> preds) const {
+  assert(preds.size() == options_.u_cols.size());
+  std::vector<int64_t> out;
+
+  bool all_points = true;
+  for (const auto& p : preds) {
+    if (p.kind != CmColumnPredicate::Kind::kPoints) all_points = false;
+  }
+
+  if (all_points) {
+    // Cross product of per-column bucket ordinals, probed directly.
+    std::vector<std::vector<int64_t>> per_col(preds.size());
+    for (size_t i = 0; i < preds.size(); ++i) {
+      for (const Key& pt : preds[i].points) {
+        per_col[i].push_back(options_.u_bucketers[i].BucketOf(pt));
+      }
+      std::sort(per_col[i].begin(), per_col[i].end());
+      per_col[i].erase(std::unique(per_col[i].begin(), per_col[i].end()),
+                       per_col[i].end());
+      if (per_col[i].empty()) return out;
+    }
+    std::vector<size_t> idx(preds.size(), 0);
+    while (true) {
+      CmKey key;
+      for (size_t i = 0; i < preds.size(); ++i) key.Append(per_col[i][idx[i]]);
+      auto it = map_.find(key);
+      if (it != map_.end()) {
+        for (const auto& [c, cnt] : it->second) out.push_back(c);
+      }
+      // Advance the mixed-radix counter.
+      size_t i = 0;
+      for (; i < idx.size(); ++i) {
+        if (++idx[i] < per_col[i].size()) break;
+        idx[i] = 0;
+      }
+      if (i == idx.size()) break;
+    }
+  } else {
+    // Range predicate present: scan the whole (in-memory) CM.
+    for (const auto& [key, counts] : map_) {
+      if (!UKeyMatches(key, preds)) continue;
+      for (const auto& [c, cnt] : counts) out.push_back(c);
+    }
+  }
+
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+uint64_t CorrelationMap::SizeBytes() const {
+  const uint64_t entry_bytes = 8 * options_.u_cols.size() + 8 + 4;
+  return uint64_t(num_entries_) * entry_bytes;
+}
+
+std::string CorrelationMap::Name() const {
+  std::string name = "cm";
+  for (size_t i = 0; i < options_.u_cols.size(); ++i) {
+    name += "_" + table_->schema().column(options_.u_cols[i]).name;
+    if (!options_.u_bucketers[i].is_identity()) {
+      name += "(" + options_.u_bucketers[i].ToString() + ")";
+    }
+  }
+  return name;
+}
+
+Status CorrelationMap::CheckInvariants() const {
+  size_t pairs = 0;
+  for (const auto& [key, counts] : map_) {
+    if (key.n != options_.u_cols.size()) {
+      return Status::Corruption("u-key arity mismatch");
+    }
+    if (counts.empty()) return Status::Corruption("empty u-key entry");
+    for (const auto& [c, cnt] : counts) {
+      if (cnt == 0) return Status::Corruption("zero co-occurrence count");
+      ++pairs;
+    }
+  }
+  if (pairs != num_entries_) {
+    return Status::Corruption("entry count mismatch");
+  }
+  return Status::OK();
+}
+
+std::vector<CorrelationMap::Record> CorrelationMap::ToRecords() const {
+  std::vector<Record> out;
+  out.reserve(num_entries_);
+  for (const auto& [key, counts] : map_) {
+    for (const auto& [c, cnt] : counts) out.push_back({key, c, cnt});
+  }
+  return out;
+}
+
+Status CorrelationMap::LoadRecords(std::span<const Record> records) {
+  map_.clear();
+  num_entries_ = 0;
+  for (const auto& rec : records) {
+    if (rec.u.n != options_.u_cols.size()) {
+      return Status::Corruption("record arity mismatch");
+    }
+    if (rec.count == 0) return Status::Corruption("zero count record");
+    auto [it, inserted] = map_[rec.u].emplace(rec.c_ordinal, rec.count);
+    if (!inserted) return Status::Corruption("duplicate record");
+    ++num_entries_;
+  }
+  return Status::OK();
+}
+
+}  // namespace corrmap

@@ -1,0 +1,169 @@
+// The Correlation Map (paper §5): a compressed secondary access structure
+// mapping each distinct (possibly bucketed, possibly composite) value of an
+// unclustered attribute set Au to the set of co-occurring clustered values
+// (or clustered bucket ids) of Ac, with per-pair co-occurrence counts so
+// deletes can retract entries (Algorithm 1).
+//
+// A CM answers cm_lookup({v1..vN}) with the clustered ordinals whose ranges
+// must be swept; the executor re-filters swept rows on the original
+// predicate, so bucketing introduces false positives but never false
+// negatives.
+#ifndef CORRMAP_CORE_CORRELATION_MAP_H_
+#define CORRMAP_CORE_CORRELATION_MAP_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "core/bucketing.h"
+#include "storage/table.h"
+
+namespace corrmap {
+
+/// Packed CM key: bucket ordinals of up to kMaxCmAttributes unclustered
+/// attributes.
+struct CmKey {
+  std::array<int64_t, kMaxCmAttributes> v{};
+  uint8_t n = 0;
+
+  void Append(int64_t ordinal) { v[n++] = ordinal; }
+  bool operator==(const CmKey& o) const {
+    if (n != o.n) return false;
+    for (size_t i = 0; i < n; ++i) {
+      if (v[i] != o.v[i]) return false;
+    }
+    return true;
+  }
+  std::string ToString() const;
+};
+
+struct CmKeyHash {
+  size_t operator()(const CmKey& k) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL ^ k.n;
+    for (size_t i = 0; i < k.n; ++i) h = Mix64(h ^ uint64_t(k.v[i]));
+    return h;
+  }
+};
+
+/// Per-CM-column predicate for cm_lookup.
+struct CmColumnPredicate {
+  enum class Kind : uint8_t { kPoints, kRange };
+  Kind kind = Kind::kPoints;
+  std::vector<Key> points;  ///< kPoints: equality / IN literals (physical)
+  double lo = 0, hi = 0;    ///< kRange: closed numeric interval
+
+  static CmColumnPredicate Points(std::vector<Key> pts) {
+    CmColumnPredicate p;
+    p.kind = Kind::kPoints;
+    p.points = std::move(pts);
+    return p;
+  }
+  static CmColumnPredicate Range(double lo, double hi) {
+    CmColumnPredicate p;
+    p.kind = Kind::kRange;
+    p.lo = lo;
+    p.hi = hi;
+    return p;
+  }
+};
+
+/// Configuration of one CM.
+struct CmOptions {
+  std::vector<size_t> u_cols;        ///< CM attributes (<= 4)
+  std::vector<Bucketer> u_bucketers; ///< parallel to u_cols
+  size_t c_col = 0;                  ///< clustered attribute
+  /// Optional clustered-attribute bucketing; when null the CM maps to raw
+  /// clustered values (the paper's base structure, e.g. city -> {states}).
+  const ClusteredBucketing* c_buckets = nullptr;
+};
+
+/// The Correlation Map.
+class CorrelationMap {
+ public:
+  /// Creates an empty CM over `table` with the given options.
+  static Result<CorrelationMap> Create(const Table* table, CmOptions options);
+
+  /// Algorithm 1: full-scan build (also usable after Create on a non-empty
+  /// table). Skips deleted rows.
+  Status BuildFromTable();
+
+  /// Maintenance for a single row currently present in the table.
+  void InsertRow(RowId row);
+  Status DeleteRow(RowId row);
+
+  /// Maintenance from explicit attribute values (used by batched loaders
+  /// before rows land in the table). `u_keys` parallel to u_cols.
+  void InsertValues(std::span<const Key> u_keys, int64_t c_ordinal);
+  Status DeleteValues(std::span<const Key> u_keys, int64_t c_ordinal);
+
+  /// Clustered ordinal for a row (bucket id, or raw-key encoding when the
+  /// clustered attribute is unbucketed).
+  int64_t ClusteredOrdinalOfRow(RowId row) const;
+
+  /// cm_lookup (§5.2): clustered ordinals co-occurring with any u-key
+  /// matching all column predicates (one per CM attribute, in u_cols
+  /// order). Sorted ascending, deduplicated. Point predicates probe the
+  /// hash map; any range predicate falls back to a full in-memory CM scan
+  /// (the paper's CMs are small enough to scan from RAM, §7.2 Exp. 5).
+  std::vector<int64_t> CmLookup(std::span<const CmColumnPredicate> preds) const;
+
+  /// Decodes a clustered ordinal back to a Key when unbucketed (raw-key
+  /// encoding); only valid if !has_clustered_buckets().
+  Key DecodeClusteredOrdinal(int64_t ordinal) const;
+
+  bool has_clustered_buckets() const { return options_.c_buckets != nullptr; }
+  const CmOptions& options() const { return options_; }
+  const Table& table() const { return *table_; }
+
+  /// Distinct u-keys currently mapped.
+  size_t NumUKeys() const { return map_.size(); }
+  /// Total (u-key, clustered ordinal) pairs ("every unique pair", §5.3).
+  size_t NumEntries() const { return num_entries_; }
+
+  /// Size under the paper's physical representation: one row per pair with
+  /// 8 bytes per u attribute + 8-byte clustered ordinal + 4-byte count.
+  uint64_t SizeBytes() const;
+  /// Pages the CM occupies (for lookup-cost accounting when uncached).
+  uint64_t NumPages(size_t page_size = kDefaultPageSizeBytes) const {
+    return (SizeBytes() + page_size - 1) / page_size;
+  }
+
+  std::string Name() const;
+
+  /// Structural check: counts are positive, num_entries consistent.
+  Status CheckInvariants() const;
+
+  /// Serializes to flat (u-key, ordinal, count) records and rebuilds from
+  /// them (checkpoint/recovery path used with the WAL).
+  struct Record {
+    CmKey u;
+    int64_t c_ordinal;
+    uint32_t count;
+  };
+  std::vector<Record> ToRecords() const;
+  Status LoadRecords(std::span<const Record> records);
+
+ private:
+  CorrelationMap(const Table* table, CmOptions options)
+      : table_(table), options_(std::move(options)) {}
+
+  CmKey UKeyOfRow(RowId row) const;
+  CmKey UKeyOfValues(std::span<const Key> u_keys) const;
+  bool UKeyMatches(const CmKey& key,
+                   std::span<const CmColumnPredicate> preds) const;
+
+  const Table* table_;
+  CmOptions options_;
+  std::unordered_map<CmKey, std::map<int64_t, uint32_t>, CmKeyHash> map_;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_CORE_CORRELATION_MAP_H_

@@ -1,0 +1,42 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace corrmap {
+
+std::string CostInputs::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "tups_per_page=%.0f total_tups=%.0f height=%.0f n_lookups=%.0f "
+                "u_tups=%.1f c_tups=%.1f c_per_u=%.2f",
+                tups_per_page, total_tups, btree_height, n_lookups, u_tups,
+                c_tups, c_per_u);
+  return buf;
+}
+
+double CostModel::ScanCost(const CostInputs& in) const {
+  return disk_.seq_page_ms() * in.TotalPages();
+}
+
+double CostModel::PipelinedCost(const CostInputs& in) const {
+  return in.n_lookups * in.u_tups * disk_.seek_ms() * in.btree_height;
+}
+
+double CostModel::SortedCost(const CostInputs& in) const {
+  const double per_lookup =
+      in.c_per_u * (disk_.seek_ms() * in.btree_height +
+                    disk_.seq_page_ms() * in.CPages());
+  return std::min(in.n_lookups * per_lookup, ScanCost(in));
+}
+
+double CostModel::CmCost(const CostInputs& in, uint64_t cm_pages,
+                         bool cm_cached) const {
+  double cost = SortedCost(in);
+  if (!cm_cached) {
+    cost += disk_.seek_ms() + disk_.seq_page_ms() * double(cm_pages);
+  }
+  return cost;
+}
+
+}  // namespace corrmap

@@ -1,0 +1,67 @@
+// The paper's correlation-aware analytical cost model (§3, §4). Predicts
+// the I/O cost of the three access methods -- full scan, pipelined
+// secondary-index scan, sorted (bitmap) index scan -- from the Table 1/2
+// statistics, including the correlation statistic c_per_u.
+#ifndef CORRMAP_CORE_COST_MODEL_H_
+#define CORRMAP_CORE_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/disk_model.h"
+
+namespace corrmap {
+
+/// The statistics of paper Tables 1 and 2 for one (Au, Ac) pairing.
+struct CostInputs {
+  double tups_per_page = 0;  ///< tuples per heap page
+  double total_tups = 0;     ///< rows in the table
+  double btree_height = 0;   ///< root-to-leaf seeks per index descent
+  double n_lookups = 1;      ///< distinct Au values probed by the query
+  double u_tups = 0;         ///< avg tuples per Au value
+  double c_tups = 0;         ///< avg tuples per Ac value (Table 2)
+  double c_per_u = 1;        ///< avg distinct Ac values per Au value (Table 2)
+
+  /// Heap pages ("p" in §3).
+  double TotalPages() const {
+    return tups_per_page > 0 ? total_tups / tups_per_page : 0;
+  }
+  /// Pages spanned by one clustered value ("c_pages", §4.1).
+  double CPages() const {
+    return tups_per_page > 0 ? c_tups / tups_per_page : 0;
+  }
+
+  std::string ToString() const;
+};
+
+/// Evaluates the §3/§4 formulas under a DiskModel's constants.
+class CostModel {
+ public:
+  explicit CostModel(DiskModel disk = DiskModel()) : disk_(disk) {}
+
+  const DiskModel& disk() const { return disk_; }
+
+  /// cost_scan = seq_page_cost * p (§3).
+  double ScanCost(const CostInputs& in) const;
+
+  /// cost_uncorrelated = n_lookups * u_tups * seek_cost * btree_height
+  /// (§3.1, pipelined probes with no correlation awareness).
+  double PipelinedCost(const CostInputs& in) const;
+
+  /// cost_sorted = min(n_lookups * c_per_u * (seek*height + seq*c_pages),
+  /// cost_scan) (§4.1) -- the correlation-aware sorted index scan cost.
+  double SortedCost(const CostInputs& in) const;
+
+  /// SortedCost for a CM access: identical heap access pattern, but adds the
+  /// (usually negligible) cost of reading the CM itself when it does not fit
+  /// in memory: cm_pages sequential reads (§6.2: large CMs stop paying off).
+  double CmCost(const CostInputs& in, uint64_t cm_pages,
+                bool cm_cached = true) const;
+
+ private:
+  DiskModel disk_;
+};
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_CORE_COST_MODEL_H_

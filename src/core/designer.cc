@@ -1,0 +1,127 @@
+#include "core/designer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/bucketing.h"
+#include "core/cost_model.h"
+#include "index/clustered_index.h"
+
+namespace corrmap {
+
+namespace {
+
+/// Scores one candidate clustering over the workload.
+ClusteringChoice ScoreClustering(Table* scratch, size_t ccol,
+                                 const std::vector<Query>& workload,
+                                 const DesignerConfig& config) {
+  ClusteringChoice choice;
+  choice.clustered_col = ccol;
+  (void)scratch->ClusterBy(ccol);
+  auto cidx = ClusteredIndex::Build(*scratch, ccol);
+  auto cbuckets = ClusteredBucketing::Build(
+      *scratch, ccol,
+      config.clustered_bucket_pages * scratch->TuplesPerPage());
+  CmAdvisor advisor(scratch, &*cidx, &*cbuckets, config.advisor);
+
+  CostModel model;
+  CostInputs scan_in;
+  scan_in.tups_per_page = double(scratch->TuplesPerPage());
+  scan_in.total_tups = double(scratch->TotalTuples());
+  const double scan = model.ScanCost(scan_in);
+
+  for (const Query& q : workload) {
+    double best = scan;
+    // Clustered access if the query predicates the clustered column.
+    for (const auto& p : q.predicates()) {
+      if (p.column() != ccol) continue;
+      const double sel = q.EstimateSelectivity(*scratch, advisor.sample());
+      const double est = double(cidx->BTreeHeight()) * model.disk().seek_ms() +
+                         sel * double(scratch->NumPages()) *
+                             model.disk().seq_page_ms();
+      best = std::min(best, est);
+    }
+    auto designs = advisor.EnumerateDesigns(q);
+    if (!designs.empty()) best = std::min(best, designs.front().est_cost_ms);
+    choice.workload_cost_ms += best;
+    if (best < scan * 0.999) ++choice.queries_helped;
+  }
+  return choice;
+}
+
+}  // namespace
+
+Result<PhysicalDesign> DesignPhysicalLayout(const Table& table,
+                                            const std::vector<Query>& workload,
+                                            const DesignerConfig& config) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("designer needs at least one query");
+  }
+  // Candidate clustered attributes: every predicated column.
+  std::set<size_t> candidates;
+  for (const Query& q : workload) {
+    for (size_t c : q.PredicatedColumns()) candidates.insert(c);
+  }
+  if (candidates.empty()) {
+    return Status::InvalidArgument("workload predicates no columns");
+  }
+
+  PhysicalDesign out;
+  bool first = true;
+  for (size_t ccol : candidates) {
+    auto scratch = table.Clone();
+    ClusteringChoice choice =
+        ScoreClustering(scratch.get(), ccol, workload, config);
+    out.considered.push_back(choice);
+    if (first || choice.workload_cost_ms < out.clustering.workload_cost_ms) {
+      out.clustering = choice;
+      first = false;
+    }
+  }
+
+  // Recommend CMs under the winning clustering, deduplicated by label,
+  // admitted greedily by (benefit / byte) until the budget is spent.
+  auto scratch = table.Clone();
+  (void)scratch->ClusterBy(out.clustering.clustered_col);
+  auto cidx = ClusteredIndex::Build(*scratch, out.clustering.clustered_col);
+  auto cbuckets = ClusteredBucketing::Build(
+      *scratch, out.clustering.clustered_col,
+      config.clustered_bucket_pages * scratch->TuplesPerPage());
+  CmAdvisor advisor(scratch.get(), &*cidx, &*cbuckets, config.advisor);
+
+  struct Pick {
+    CmDesign design;
+    double benefit_per_byte;
+    std::string label;
+  };
+  std::vector<Pick> picks;
+  CostModel model;
+  CostInputs scan_in;
+  scan_in.tups_per_page = double(scratch->TuplesPerPage());
+  scan_in.total_tups = double(scratch->TotalTuples());
+  const double scan = model.ScanCost(scan_in);
+  for (const Query& q : workload) {
+    auto rec = advisor.Recommend(q);
+    if (!rec.ok()) continue;  // no CM helps this query
+    const std::string label = rec->Label(*scratch);
+    bool dup = false;
+    for (const auto& p : picks) {
+      if (p.label == label) dup = true;
+    }
+    if (dup) continue;
+    const double benefit = std::max(0.0, scan - rec->est_cost_ms);
+    picks.push_back({*rec, benefit / std::max(1.0, rec->est_size_bytes), label});
+  }
+  std::sort(picks.begin(), picks.end(), [](const Pick& a, const Pick& b) {
+    return a.benefit_per_byte > b.benefit_per_byte;
+  });
+  for (auto& p : picks) {
+    const uint64_t bytes = uint64_t(p.design.est_size_bytes);
+    if (out.total_cm_bytes + bytes > config.space_budget_bytes) continue;
+    out.total_cm_bytes += bytes;
+    out.cms.push_back(std::move(p.design));
+  }
+  return out;
+}
+
+}  // namespace corrmap

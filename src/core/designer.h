@@ -1,0 +1,60 @@
+// Physical designer (the paper's §8 conclusion / future work): given a
+// workload of training queries and a space budget, choose
+//   (a) the clustered attribute that maximizes exploitable correlations
+//       across the workload, and
+//   (b) a set of CMs (one recommended design per query, deduplicated)
+//       fitting the budget.
+// Candidate clusterings are scored by the summed per-query cost of the best
+// access path under the §4 cost model, reusing the CM Advisor's estimation
+// machinery. This is a deliberate, documented extension beyond the paper's
+// evaluated system.
+#ifndef CORRMAP_CORE_DESIGNER_H_
+#define CORRMAP_CORE_DESIGNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/advisor.h"
+#include "exec/predicate.h"
+#include "storage/table.h"
+
+namespace corrmap {
+
+struct DesignerConfig {
+  AdvisorConfig advisor;
+  /// Total bytes allowed for all recommended CMs.
+  uint64_t space_budget_bytes = 16ull << 20;
+  /// Clustered bucket target in pages (Table 3 sweet spot).
+  uint64_t clustered_bucket_pages = 10;
+};
+
+/// One candidate clustering with its workload score.
+struct ClusteringChoice {
+  size_t clustered_col = 0;
+  double workload_cost_ms = 0;  ///< sum of best per-query estimated costs
+  size_t queries_helped = 0;    ///< queries where a CM beats the scan
+};
+
+/// The designer's final output.
+struct PhysicalDesign {
+  ClusteringChoice clustering;
+  std::vector<CmDesign> cms;          ///< deduplicated, budget-constrained
+  uint64_t total_cm_bytes = 0;
+  std::vector<ClusteringChoice> considered;  ///< all scored candidates
+};
+
+/// Enumerates candidate clustered attributes (every column predicated by
+/// the workload), scores each by re-clustering a scratch copy of the table
+/// and running the Advisor per query, then picks the best clustering and a
+/// CM set within the budget.
+///
+/// NOTE: scoring physically re-clusters a copy of `table` per candidate
+/// (the designer is an offline tool, like the paper's Advisor).
+Result<PhysicalDesign> DesignPhysicalLayout(const Table& table,
+                                            const std::vector<Query>& workload,
+                                            const DesignerConfig& config = {});
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_CORE_DESIGNER_H_

@@ -1,0 +1,177 @@
+#include "core/maintenance.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace corrmap {
+
+MaintenanceDriver::MaintenanceDriver(Table* table, BufferPool* pool,
+                                     WriteAheadLog* wal,
+                                     MaintenanceConfig config)
+    : table_(table), pool_(pool), wal_(wal), config_(config) {
+  heap_file_ = pool_->RegisterFile();
+}
+
+double MaintenanceDriver::DrainIoMs() {
+  DiskStats io = pool_->DrainIo();
+  io += wal_->DrainIo();
+  report_.io += io;
+  return config_.disk.CostMs(io);
+}
+
+void MaintenanceDriver::InsertBatch(const std::vector<std::vector<Key>>& rows) {
+  const uint64_t txn = next_txn_++;
+  double cpu_ms = 0;
+
+  // 1. Heap appends: new tuples land on the tail pages (sequential dirty).
+  std::vector<RowId> new_rows;
+  new_rows.reserve(rows.size());
+  for (const auto& row : rows) {
+    const RowId rid = table_->NumRows();
+    table_->AppendRowKeys(std::span<const Key>(row.data(), row.size()));
+    new_rows.push_back(rid);
+    pool_->Access(PageId{heap_file_, table_->layout().PageOfRow(rid)},
+                  /*mark_dirty=*/true);
+    cpu_ms += config_.cpu_per_insert_ms;
+    // Base-table WAL record (full tuple image).
+    wal_->Append({WalRecordType::kCmInsert, txn,
+                  std::string(table_->layout().tuple_bytes, 'x')});
+  }
+
+  // 2. Secondary B+Tree maintenance: random leaf pages dirtied through the
+  // shared pool. Sorting the batch by key localizes leaf touches.
+  for (SecondaryIndex* idx : btrees_) {
+    std::vector<RowId> order = new_rows;
+    if (config_.sort_batches) {
+      std::sort(order.begin(), order.end(), [&](RowId a, RowId b) {
+        return idx->KeyOfRow(a) < idx->KeyOfRow(b);
+      });
+    }
+    for (RowId r : order) {
+      Status s = idx->InsertRow(r);
+      assert(s.ok());
+      (void)s;
+      cpu_ms += config_.cpu_per_index_update_ms;
+    }
+  }
+
+  // 3. CM maintenance: in-RAM hash updates + logical WAL records.
+  for (CorrelationMap* cm : cms_) {
+    for (RowId r : new_rows) {
+      cm->InsertRow(r);
+      // Logical redo record: (cm id, u ordinals, c ordinal).
+      wal_->Append({WalRecordType::kCmInsert, txn,
+                    std::string(8 * cm->options().u_cols.size() + 12, 'c')});
+      cpu_ms += config_.cpu_per_index_update_ms;
+    }
+  }
+
+  // 4. Two-phase commit: prepare + commit each force a log flush (§7.1).
+  wal_->Prepare(txn);
+  wal_->Commit(txn);
+
+  report_.tuples_inserted += rows.size();
+  report_.insert_ms += cpu_ms + DrainIoMs();
+}
+
+ExecResult MaintenanceDriver::SelectViaBTree(const SecondaryIndex& index,
+                                             const Query& query) {
+  // The index probe touches its own pages via the tree's pool hooks; heap
+  // pages of matching rids are then fetched through the pool (bitmap-style,
+  // page-deduplicated).
+  ExecResult out;
+  out.path = "sorted_index_scan(pooled)";
+  const size_t icol = index.columns().front();
+  const Predicate* pred = nullptr;
+  for (const auto& p : query.predicates()) {
+    if (p.column() == icol) pred = &p;
+  }
+  assert(pred != nullptr);
+
+  std::vector<RowId> rids;
+  if (pred->op() == Predicate::Op::kRange) {
+    rids = index.LookupRange(CompositeKey(Key(pred->lo())),
+                             CompositeKey(Key(pred->hi())));
+  } else {
+    for (const Key& k : pred->keys()) {
+      auto r = index.LookupEqual(CompositeKey(k));
+      rids.insert(rids.end(), r.begin(), r.end());
+    }
+  }
+  std::sort(rids.begin(), rids.end());
+  // Heap pages: misses are swept in page order (readahead merges small
+  // gaps), so the read cost is run-based; the pool caches what was read.
+  std::vector<PageNo> missed;
+  PageNo last = PageNo(-1);
+  for (RowId r : rids) {
+    const PageNo p = table_->layout().PageOfRow(r);
+    if (p != last) {
+      if (!pool_->IsCached(PageId{heap_file_, p})) missed.push_back(p);
+      pool_->Admit(PageId{heap_file_, p}, /*mark_dirty=*/false);
+      last = p;
+    }
+    ++out.rows_examined;
+    if (!table_->IsDeleted(r) && query.Matches(*table_, r)) {
+      out.rows.push_back(r);
+    }
+  }
+  const uint64_t gap = uint64_t(config_.disk.seek_ms() / config_.disk.seq_page_ms());
+  out.io = CostOfRuns(ExtractRuns(std::move(missed), gap));
+  out.io += pool_->DrainIo();  // index-page misses + eviction write-backs
+  report_.io += out.io;
+  out.ms = config_.disk.CostMs(out.io);
+  report_.select_ms += out.ms;
+  return out;
+}
+
+ExecResult MaintenanceDriver::SelectViaCm(const CorrelationMap& cm,
+                                          const ClusteredIndex& cidx,
+                                          const Query& query) {
+  ExecResult out;
+  out.path = "cm_scan(pooled)";
+  auto preds = CmPredicatesFor(cm, query);
+  assert(preds.ok());
+  const std::vector<int64_t> ordinals = cm.CmLookup(*preds);
+
+  std::vector<RowRange> ranges;
+  if (cm.has_clustered_buckets()) {
+    for (int64_t b : ordinals) {
+      RowRange range = cm.options().c_buckets->RangeOfBucket(b);
+      if (!range.empty()) ranges.push_back(range);
+    }
+  } else {
+    std::vector<Key> keys;
+    for (int64_t o : ordinals) keys.push_back(cm.DecodeClusteredOrdinal(o));
+    std::sort(keys.begin(), keys.end());
+    for (const Key& k : keys) {
+      RowRange range = cidx.LookupEqual(k);
+      if (!range.empty()) ranges.push_back(range);
+    }
+  }
+  std::sort(ranges.begin(), ranges.end(),
+            [](const RowRange& a, const RowRange& b) { return a.begin < b.begin; });
+  std::vector<PageNo> missed;
+  for (const auto& range : ranges) {
+    const PageNo first = table_->layout().PageOfRow(range.begin);
+    const PageNo last = table_->layout().PageOfRow(range.end - 1);
+    for (PageNo p = first; p <= last; ++p) {
+      if (!pool_->IsCached(PageId{heap_file_, p})) missed.push_back(p);
+      pool_->Admit(PageId{heap_file_, p}, /*mark_dirty=*/false);
+    }
+    for (RowId r = range.begin; r < range.end; ++r) {
+      ++out.rows_examined;
+      if (!table_->IsDeleted(r) && query.Matches(*table_, r)) {
+        out.rows.push_back(r);
+      }
+    }
+  }
+  const uint64_t gap = uint64_t(config_.disk.seek_ms() / config_.disk.seq_page_ms());
+  out.io = CostOfRuns(ExtractRuns(std::move(missed), gap));
+  out.io += pool_->DrainIo();  // eviction write-backs
+  report_.io += out.io;
+  out.ms = config_.disk.CostMs(out.io);
+  report_.select_ms += out.ms;
+  return out;
+}
+
+}  // namespace corrmap

@@ -1,0 +1,101 @@
+// Batched insert/select driver reproducing the paper's maintenance
+// experiments (§7.2 Experiments 3): tuples are appended to the heap in
+// batches; every secondary B+Tree is updated through the buffer pool
+// (dirtying random leaf pages), every CM is updated in RAM and made
+// recoverable through the WAL with a 2PC-style flush per batch.
+//
+// Simulated time = disk model cost of (pool I/O + WAL I/O + heap appends)
+// plus a per-tuple CPU charge for the base INSERT path (parse/plan/execute
+// overhead a row takes in PostgreSQL regardless of indexing).
+#ifndef CORRMAP_CORE_MAINTENANCE_H_
+#define CORRMAP_CORE_MAINTENANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/correlation_map.h"
+#include "exec/access_path.h"
+#include "exec/predicate.h"
+#include "index/clustered_index.h"
+#include "index/secondary_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/table.h"
+#include "storage/wal.h"
+
+namespace corrmap {
+
+/// Maintenance cost configuration.
+struct MaintenanceConfig {
+  DiskModel disk;
+  /// CPU milliseconds charged per inserted tuple for the base INSERT path.
+  double cpu_per_insert_ms = 0.8;
+  /// CPU milliseconds per index/CM entry update (in-memory work).
+  double cpu_per_index_update_ms = 0.01;
+  /// Sort each batch by index key before applying (the standard batched-
+  /// update optimization the paper's 10k-tuple batches imply).
+  bool sort_batches = true;
+};
+
+/// Accumulated costs of a maintenance run.
+struct MaintenanceReport {
+  uint64_t tuples_inserted = 0;
+  double insert_ms = 0;        ///< simulated time in INSERT work
+  double select_ms = 0;        ///< simulated time in SELECT work (mixed runs)
+  DiskStats io;
+  uint64_t wal_flushes = 0;
+
+  double TotalMs() const { return insert_ms + select_ms; }
+  double InsertTuplesPerSec() const {
+    return insert_ms > 0 ? 1000.0 * double(tuples_inserted) / insert_ms : 0;
+  }
+};
+
+/// Drives batched inserts (and optionally interleaved selects) against one
+/// table with attached secondary B+Trees and CMs.
+class MaintenanceDriver {
+ public:
+  MaintenanceDriver(Table* table, BufferPool* pool, WriteAheadLog* wal,
+                    MaintenanceConfig config = {});
+
+  /// Registers structures to maintain. B+Trees must have been created with
+  /// BTreeOptions.pool == the driver's pool so their page traffic lands in
+  /// the shared cache.
+  void AttachBTree(SecondaryIndex* index) { btrees_.push_back(index); }
+  void AttachCm(CorrelationMap* cm) { cms_.push_back(cm); }
+
+  /// Inserts one batch of rows (each row: schema-arity physical keys).
+  /// Appends to the heap, updates all structures, commits via 2PC.
+  void InsertBatch(const std::vector<std::vector<Key>>& rows);
+
+  /// Runs one SELECT through a secondary B+Tree, charging heap and index
+  /// page reads through the shared buffer pool (the mixed-workload path
+  /// where evicted pages must be re-read).
+  ExecResult SelectViaBTree(const SecondaryIndex& index, const Query& query);
+
+  /// Same through a CM: the map itself is RAM-resident; heap page reads go
+  /// through the pool.
+  ExecResult SelectViaCm(const CorrelationMap& cm, const ClusteredIndex& cidx,
+                         const Query& query);
+
+  const MaintenanceReport& report() const { return report_; }
+  uint32_t heap_file_id() const { return heap_file_; }
+
+ private:
+  /// Drains pool+WAL I/O into the report and returns its simulated ms.
+  double DrainIoMs();
+
+  Table* table_;
+  BufferPool* pool_;
+  WriteAheadLog* wal_;
+  MaintenanceConfig config_;
+  std::vector<SecondaryIndex*> btrees_;
+  std::vector<CorrelationMap*> cms_;
+  MaintenanceReport report_;
+  uint32_t heap_file_;
+  uint64_t next_txn_ = 1;
+};
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_CORE_MAINTENANCE_H_

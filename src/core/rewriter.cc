@@ -1,0 +1,80 @@
+#include "core/rewriter.h"
+
+#include <algorithm>
+
+#include "exec/access_path.h"
+
+namespace corrmap {
+
+Result<RewrittenQuery> RewriteWithCm(const Table& table,
+                                     const CorrelationMap& cm,
+                                     const ClusteredIndex& cidx,
+                                     const Query& query) {
+  (void)cidx;  // reserved for range validation of bucketed rewrites
+  auto preds = CmPredicatesFor(cm, query);
+  if (!preds.ok()) return preds.status();
+
+  RewrittenQuery out;
+  out.clustered_ordinals = cm.CmLookup(*preds);
+  out.empty_result = out.clustered_ordinals.empty();
+
+  const size_t c_col = cm.options().c_col;
+  const std::string& c_name = table.schema().column(c_col).name;
+  const Column& c_column = table.column(c_col);
+
+  std::string introduced;
+  if (cm.has_clustered_buckets()) {
+    // Bucket ids become value ranges over the clustered key.
+    for (int64_t b : out.clustered_ordinals) {
+      auto [lo, hi] =
+          cm.options().c_buckets->KeyRangeOfBucket(table, c_col, b);
+      out.ranges.emplace_back(lo, hi);
+    }
+    // Merge adjacent/overlapping ranges for a compact clause.
+    std::sort(out.ranges.begin(), out.ranges.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<std::pair<Key, Key>> merged;
+    for (const auto& r : out.ranges) {
+      if (!merged.empty() && !(merged.back().second < r.first)) {
+        if (merged.back().second < r.second) merged.back().second = r.second;
+      } else {
+        merged.push_back(r);
+      }
+    }
+    out.ranges = std::move(merged);
+    for (size_t i = 0; i < out.ranges.size(); ++i) {
+      if (i) introduced += " OR ";
+      introduced += c_name + " BETWEEN " + out.ranges[i].first.ToString() +
+                    " AND " + out.ranges[i].second.ToString();
+    }
+    if (out.ranges.size() > 1) introduced = "(" + introduced + ")";
+  } else {
+    for (int64_t o : out.clustered_ordinals) {
+      out.in_list.push_back(cm.DecodeClusteredOrdinal(o));
+    }
+    std::sort(out.in_list.begin(), out.in_list.end());
+    introduced = c_name + " IN (";
+    for (size_t i = 0; i < out.in_list.size(); ++i) {
+      if (i) introduced += ", ";
+      // Decode dictionary codes back to strings for readable SQL.
+      if (c_column.type() == ValueType::kString &&
+          out.in_list[i].AsInt64() >= 0) {
+        introduced += "'" + c_column.dictionary()->Get(out.in_list[i].AsInt64()) +
+                      "'";
+      } else {
+        introduced += out.in_list[i].ToString();
+      }
+    }
+    introduced += ")";
+  }
+
+  out.sql = "SELECT * FROM " + table.name() + " WHERE " + query.ToString(table);
+  if (out.empty_result) {
+    out.sql += " AND FALSE";
+  } else {
+    out.sql += " AND " + introduced;
+  }
+  return out;
+}
+
+}  // namespace corrmap

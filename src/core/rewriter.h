@@ -1,0 +1,44 @@
+// Predicate introduction (§5.2, §7.1): given a query with a predicate on a
+// CM's attributes, derive the extra clustered-attribute restriction the CM
+// implies and emit both an executable form (clustered values / bucket
+// ranges) and SQL-like text, mirroring the paper's front-end that adds an
+// IN clause before handing the query to PostgreSQL.
+#ifndef CORRMAP_CORE_REWRITER_H_
+#define CORRMAP_CORE_REWRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/correlation_map.h"
+#include "exec/predicate.h"
+#include "index/clustered_index.h"
+
+namespace corrmap {
+
+/// Result of rewriting one query against one CM.
+struct RewrittenQuery {
+  /// Clustered ordinals the CM maps the predicate to (bucket ids or raw
+  /// values).
+  std::vector<int64_t> clustered_ordinals;
+  /// The introduced restriction, as clustered-key values (unbucketed CM)...
+  std::vector<Key> in_list;
+  /// ...or as closed clustered-key ranges (bucketed clustered attribute).
+  std::vector<std::pair<Key, Key>> ranges;
+  /// SQL-like rendering: "SELECT ... WHERE <original> AND <introduced>".
+  std::string sql;
+  /// True when the CM produced no ordinals (predicate matches nothing).
+  bool empty_result = false;
+};
+
+/// Rewrites `query` using `cm`. Fails if the query does not predicate every
+/// CM attribute. `cidx` supplies key ranges for bucketed clustered
+/// attributes.
+Result<RewrittenQuery> RewriteWithCm(const Table& table,
+                                     const CorrelationMap& cm,
+                                     const ClusteredIndex& cidx,
+                                     const Query& query);
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_CORE_REWRITER_H_

@@ -1,0 +1,323 @@
+#include "exec/access_path.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace corrmap {
+
+namespace {
+
+/// Finds the predicate on `col` in `query`, if any.
+const Predicate* FindPredicateOn(const Query& query, size_t col) {
+  for (const auto& p : query.predicates()) {
+    if (p.column() == col) return &p;
+  }
+  return nullptr;
+}
+
+/// Applies the min(..., cost_scan) bound (§4.1): when a bitmap-style sweep
+/// would cost more than reading the table front to back, the executor scans
+/// instead. Matched rows are already exact; only the I/O story changes.
+void MaybeDegradeToScan(const Table& table, const ExecOptions& opts,
+                        ExecResult* out) {
+  if (!opts.degrade_to_scan) return;
+  DiskStats scan_io;
+  scan_io.seq_pages = table.NumPages();
+  const double scan_ms = opts.disk.CostMs(scan_io);
+  if (out->ms <= scan_ms) return;
+  out->io = scan_io;
+  out->ms = scan_ms;
+  out->rows_examined = table.NumLiveRows();
+  out->path += "->seq_scan";
+}
+
+/// Scans the rows of `ranges` (sorted, non-overlapping), evaluating `query`
+/// and charging the page-run sweep. Shared by clustered-index and CM scans.
+void SweepRanges(const Table& table, const Query& query,
+                 const std::vector<RowRange>& ranges, const ExecOptions& opts,
+                 ExecResult* out) {
+  std::vector<PageNo> pages;
+  for (const auto& range : ranges) {
+    if (range.empty()) continue;
+    const PageNo first = table.layout().PageOfRow(range.begin);
+    const PageNo last = table.layout().PageOfRow(range.end - 1);
+    for (PageNo p = first; p <= last; ++p) pages.push_back(p);
+    for (RowId r = range.begin; r < range.end; ++r) {
+      ++out->rows_examined;
+      if (table.IsDeleted(r)) continue;
+      if (query.Matches(table, r)) out->rows.push_back(r);
+    }
+  }
+  if (opts.keep_trace) {
+    for (PageNo p : pages) out->trace.Touch(p);
+  }
+  const auto runs = ExtractRuns(std::move(pages), opts.EffectiveGapTolerance());
+  out->io += CostOfRuns(runs);
+}
+
+/// Index descent + leaf-scan I/O for probing `n_probes` regions covering
+/// `n_entries` matching entries in a B+Tree of height `height`.
+DiskStats IndexProbeIo(size_t n_probes, uint64_t n_entries, size_t height,
+                       uint64_t leaf_pages) {
+  DiskStats io;
+  io.seeks = uint64_t(n_probes) * height;
+  io.seq_pages = leaf_pages;
+  (void)n_entries;
+  return io;
+}
+
+/// Heap sweep I/O + filtering for a bitmap-style RID set: pages are
+/// deduplicated and swept in order; every live row on a touched page is NOT
+/// examined -- only the RIDs themselves are fetched, as PostgreSQL does
+/// with its per-tuple bitmap.
+void SweepRidPages(const Table& table, const Query& query,
+                   std::vector<RowId> rids, const ExecOptions& opts,
+                   ExecResult* out) {
+  std::sort(rids.begin(), rids.end());
+  rids.erase(std::unique(rids.begin(), rids.end()), rids.end());
+  std::vector<PageNo> pages;
+  pages.reserve(rids.size());
+  for (RowId r : rids) {
+    pages.push_back(table.layout().PageOfRow(r));
+    ++out->rows_examined;
+    if (table.IsDeleted(r)) continue;
+    if (query.Matches(table, r)) out->rows.push_back(r);
+  }
+  if (opts.keep_trace) {
+    for (PageNo p : pages) out->trace.Touch(p);
+  }
+  const auto runs = ExtractRuns(std::move(pages), opts.EffectiveGapTolerance());
+  out->io += CostOfRuns(runs);
+}
+
+}  // namespace
+
+ExecResult FullTableScan(const Table& table, const Query& query,
+                         const ExecOptions& opts) {
+  ExecResult out;
+  out.path = "seq_scan";
+  const size_t n = table.NumRows();
+  for (RowId r = 0; r < n; ++r) {
+    ++out.rows_examined;
+    if (table.IsDeleted(r)) continue;
+    if (query.Matches(table, r)) out.rows.push_back(r);
+  }
+  out.io.seq_pages = table.NumPages();
+  if (opts.keep_trace) {
+    for (PageNo p = 0; p < table.NumPages(); ++p) out.trace.Touch(p);
+  }
+  out.ms = opts.disk.CostMs(out.io);
+  return out;
+}
+
+ExecResult ClusteredIndexScan(const Table& table, const ClusteredIndex& cidx,
+                              const Query& query, const ExecOptions& opts) {
+  ExecResult out;
+  out.path = "clustered_index_scan";
+  const Predicate* pred = FindPredicateOn(query, cidx.column());
+  assert(pred != nullptr && "query must predicate the clustered column");
+
+  std::vector<RowRange> ranges;
+  size_t n_probes = 0;
+  if (pred->op() == Predicate::Op::kRange) {
+    Key lo = table.column(cidx.column()).EncodeKey(Value(pred->lo()));
+    Key hi = table.column(cidx.column()).EncodeKey(Value(pred->hi()));
+    ranges.push_back(cidx.LookupRange(lo, hi));
+    n_probes = 1;
+  } else {
+    for (const Key& k : pred->keys()) {
+      RowRange range = cidx.LookupEqual(k);
+      if (!range.empty()) ranges.push_back(range);
+    }
+    n_probes = pred->keys().size();
+  }
+  std::sort(ranges.begin(), ranges.end(),
+            [](const RowRange& a, const RowRange& b) { return a.begin < b.begin; });
+  out.io.seeks += uint64_t(n_probes) * cidx.BTreeHeight();
+  SweepRanges(table, query, ranges, opts, &out);
+  out.ms = opts.disk.CostMs(out.io);
+  return out;
+}
+
+ExecResult PipelinedIndexScan(const Table& table, const SecondaryIndex& index,
+                              const Query& query, const ExecOptions& opts) {
+  ExecResult out;
+  out.path = "pipelined_index_scan";
+  const size_t icol = index.columns().front();
+  const Predicate* pred = FindPredicateOn(query, icol);
+  assert(pred != nullptr && "query must predicate the indexed column");
+
+  // Probe values one at a time in the order given; each probe descends the
+  // tree, then fetches heap tuples in index order (no sorting).
+  std::vector<RowId> rids;
+  size_t n_probes = 0;
+  if (pred->op() == Predicate::Op::kRange) {
+    CompositeKey lo(Key(pred->lo())), hi(Key(pred->hi()));
+    if (table.schema().column(icol).type != ValueType::kDouble) {
+      lo = CompositeKey(Key(int64_t(std::ceil(pred->lo()))));
+      hi = CompositeKey(Key(int64_t(std::floor(pred->hi()))));
+    }
+    rids = index.LookupRange(lo, hi);
+    n_probes = 1;
+  } else {
+    for (const Key& k : pred->keys()) {
+      auto r = index.LookupEqual(CompositeKey(k));
+      rids.insert(rids.end(), r.begin(), r.end());
+      ++n_probes;
+    }
+  }
+  out.io += IndexProbeIo(n_probes, rids.size(), index.Height(),
+                         index.tree().LeafPagesFor(rids.size()));
+  // Heap access in arrival order: seek whenever the page changes.
+  PageNo last_page = PageNo(-1);
+  for (RowId r : rids) {
+    const PageNo p = table.layout().PageOfRow(r);
+    if (p != last_page) {
+      ++out.io.seeks;
+      last_page = p;
+      if (opts.keep_trace) out.trace.Touch(p);
+    }
+    ++out.rows_examined;
+    if (table.IsDeleted(r)) continue;
+    if (query.Matches(table, r)) out.rows.push_back(r);
+  }
+  std::sort(out.rows.begin(), out.rows.end());
+  out.ms = opts.disk.CostMs(out.io);
+  return out;
+}
+
+ExecResult SortedIndexScan(const Table& table, const SecondaryIndex& index,
+                           const Query& query, const ExecOptions& opts) {
+  ExecResult out;
+  out.path = "sorted_index_scan";
+  const size_t icol = index.columns().front();
+  const Predicate* pred = FindPredicateOn(query, icol);
+  assert(pred != nullptr && "query must predicate the indexed column");
+
+  std::vector<RowId> rids;
+  size_t n_probes = 0;
+  if (pred->op() == Predicate::Op::kRange) {
+    CompositeKey lo(Key(pred->lo())), hi(Key(pred->hi()));
+    if (table.schema().column(icol).type != ValueType::kDouble) {
+      lo = CompositeKey(Key(int64_t(std::ceil(pred->lo()))));
+      hi = CompositeKey(Key(int64_t(std::floor(pred->hi()))));
+    }
+    rids = index.LookupRange(lo, hi);
+    n_probes = 1;
+  } else {
+    for (const Key& k : pred->keys()) {
+      auto r = index.LookupEqual(CompositeKey(k));
+      rids.insert(rids.end(), r.begin(), r.end());
+      ++n_probes;
+    }
+  }
+  out.io += IndexProbeIo(n_probes, rids.size(), index.Height(),
+                         index.tree().LeafPagesFor(rids.size()));
+  SweepRidPages(table, query, std::move(rids), opts, &out);
+  out.ms = opts.disk.CostMs(out.io);
+  MaybeDegradeToScan(table, opts, &out);
+  return out;
+}
+
+ExecResult VirtualSortedIndexScan(const Table& table, const Query& query,
+                                  size_t index_col, const ExecOptions& opts) {
+  ExecResult out;
+  out.path = "sorted_index_scan(virtual)";
+  const Predicate* pred = FindPredicateOn(query, index_col);
+  assert(pred != nullptr && "query must predicate the indexed column");
+
+  // Matching RIDs found from the column directly; index descent + leaf I/O
+  // charged analytically exactly as SortedIndexScan would.
+  std::vector<RowId> rids;
+  const size_t n = table.NumRows();
+  for (RowId r = 0; r < n; ++r) {
+    if (table.IsDeleted(r)) continue;
+    if (pred->MatchesKey(table.GetKey(r, index_col))) rids.push_back(r);
+  }
+  // Height of a hypothetical dense secondary B+Tree on this column:
+  // leaf level + levels needed to index the leaf pages.
+  const double fanout = double(kDefaultPageSizeBytes) / 20.0;
+  const double leaves = std::max(1.0, std::ceil(double(n) / fanout));
+  const size_t height =
+      1 + size_t(std::ceil(std::log(leaves) / std::log(fanout)));
+  const size_t n_probes = pred->op() == Predicate::Op::kRange
+                              ? 1
+                              : std::max<size_t>(1, pred->keys().size());
+  const uint64_t leaf_pages = (rids.size() + 399) / 400;
+  out.io += IndexProbeIo(n_probes, rids.size(), height, leaf_pages);
+  SweepRidPages(table, query, std::move(rids), opts, &out);
+  out.ms = opts.disk.CostMs(out.io);
+  MaybeDegradeToScan(table, opts, &out);
+  return out;
+}
+
+Result<std::vector<CmColumnPredicate>> CmPredicatesFor(
+    const CorrelationMap& cm, const Query& query) {
+  std::vector<CmColumnPredicate> preds;
+  for (size_t ucol : cm.options().u_cols) {
+    const Predicate* p = FindPredicateOn(query, ucol);
+    if (p == nullptr) {
+      return Status::InvalidArgument(
+          "CM attribute '" + cm.table().schema().column(ucol).name +
+          "' is not predicated by the query");
+    }
+    if (p->op() == Predicate::Op::kRange) {
+      preds.push_back(CmColumnPredicate::Range(p->lo(), p->hi()));
+    } else {
+      preds.push_back(CmColumnPredicate::Points(p->keys()));
+    }
+  }
+  return preds;
+}
+
+ExecResult CmScan(const Table& table, const CorrelationMap& cm,
+                  const ClusteredIndex& cidx, const Query& query,
+                  const ExecOptions& opts) {
+  ExecResult out;
+  out.path = "cm_scan";
+  auto preds = CmPredicatesFor(cm, query);
+  assert(preds.ok() && "query must predicate every CM attribute");
+
+  const std::vector<int64_t> ordinals = cm.CmLookup(*preds);
+
+  // CM lookup I/O: free when cached (the normal case -- CMs are tiny);
+  // otherwise one sequential read of the map.
+  if (!opts.cm_cached) {
+    ++out.io.seeks;
+    out.io.seq_pages += cm.NumPages();
+  }
+
+  // Translate ordinals to row ranges.
+  std::vector<RowRange> ranges;
+  ranges.reserve(ordinals.size());
+  size_t n_probes = 0;
+  if (cm.has_clustered_buckets()) {
+    for (int64_t b : ordinals) {
+      RowRange range = cm.options().c_buckets->RangeOfBucket(b);
+      if (!range.empty()) ranges.push_back(range);
+    }
+    // Bucket ids resolve positionally; probing the clustered index costs
+    // one descent for the whole sorted set (ranges are swept in order).
+    n_probes = ordinals.empty() ? 0 : 1;
+  } else {
+    std::vector<Key> keys;
+    keys.reserve(ordinals.size());
+    for (int64_t o : ordinals) keys.push_back(cm.DecodeClusteredOrdinal(o));
+    std::sort(keys.begin(), keys.end());
+    for (const Key& k : keys) {
+      RowRange range = cidx.LookupEqual(k);
+      if (!range.empty()) ranges.push_back(range);
+    }
+    n_probes = keys.size();
+  }
+  std::sort(ranges.begin(), ranges.end(),
+            [](const RowRange& a, const RowRange& b) { return a.begin < b.begin; });
+  out.io.seeks += uint64_t(n_probes) * cidx.BTreeHeight();
+  SweepRanges(table, query, ranges, opts, &out);
+  out.ms = opts.disk.CostMs(out.io);
+  MaybeDegradeToScan(table, opts, &out);
+  return out;
+}
+
+}  // namespace corrmap

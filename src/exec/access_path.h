@@ -1,0 +1,119 @@
+// The five access paths the paper compares (§3, §5.2), each executed
+// against the in-memory table while charging simulated I/O for the page
+// access pattern it would generate on disk:
+//
+//   FullTableScan      -- sequential sweep of every heap page.
+//   ClusteredIndexScan -- descend the clustered index, sweep one range.
+//   PipelinedIndexScan -- per-value secondary B+Tree probes, heap access in
+//                         index order (§3.1, the uncorrelated disaster case).
+//   SortedIndexScan    -- bitmap-style: collect matching RIDs, dedupe pages,
+//                         sweep page runs in order (§3.2).
+//   CmScan             -- cm_lookup -> clustered ranges -> sweep -> refilter
+//                         on the original predicate (§5.2).
+//
+// Every path returns the exact matching rows plus DiskStats and simulated
+// milliseconds, so benches can compare result sets for correctness and
+// costs for the paper's figures.
+#ifndef CORRMAP_EXEC_ACCESS_PATH_H_
+#define CORRMAP_EXEC_ACCESS_PATH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/correlation_map.h"
+#include "core/cost_model.h"
+#include "exec/predicate.h"
+#include "index/clustered_index.h"
+#include "index/secondary_index.h"
+#include "storage/disk_model.h"
+#include "storage/table.h"
+
+namespace corrmap {
+
+/// Result of one access-path execution.
+struct ExecResult {
+  std::vector<RowId> rows;      ///< matching live rows, ascending
+  uint64_t rows_examined = 0;   ///< rows touched (false positives included)
+  DiskStats io;
+  double ms = 0;                ///< simulated elapsed time
+  std::string path;             ///< which access path produced this
+  AccessTrace trace;            ///< pages touched, for Fig. 1 rendering
+
+  uint64_t NumMatches() const { return rows.size(); }
+};
+
+/// Options shared by the path executors.
+struct ExecOptions {
+  DiskModel disk;
+  /// CM lookups read the map from RAM when true (the paper's normal case);
+  /// when false the CM's own pages are charged as sequential reads.
+  bool cm_cached = true;
+  /// Merge page runs separated by at most this many pages: reading through
+  /// a small hole is cheaper than seeking over it. kAutoGapTolerance
+  /// derives the break-even gap from the disk constants
+  /// (seek_ms / seq_page_ms, ~70 pages for the paper's disk).
+  static constexpr uint64_t kAutoGapTolerance = ~uint64_t{0};
+  uint64_t run_gap_tolerance = kAutoGapTolerance;
+  /// Sorted/bitmap-style paths whose sweep would cost more than a full
+  /// sequential scan degrade to the scan instead (the paper's
+  /// min(..., cost_scan) bound, §4.1; PostgreSQL's planner does the same).
+  /// Pipelined scans cannot degrade mid-flight and are never capped.
+  bool degrade_to_scan = true;
+  /// Record the page-access trace (costs a vector push per page).
+  bool keep_trace = false;
+
+  uint64_t EffectiveGapTolerance() const {
+    if (run_gap_tolerance != kAutoGapTolerance) return run_gap_tolerance;
+    return uint64_t(disk.seek_ms() / disk.seq_page_ms());
+  }
+};
+
+/// Sequential scan of the whole heap, evaluating `query` on live rows.
+ExecResult FullTableScan(const Table& table, const Query& query,
+                         const ExecOptions& opts = {});
+
+/// Clustered-index driven scan; `query` must contain a predicate on the
+/// clustered column (Eq/In/Range); other predicates are applied as filters.
+ExecResult ClusteredIndexScan(const Table& table, const ClusteredIndex& cidx,
+                              const Query& query,
+                              const ExecOptions& opts = {});
+
+/// Pipelined (unsorted) secondary index scan on `index` for the predicate
+/// over its first column; heap pages are visited in index order, seeking
+/// whenever the page changes (§3.1).
+ExecResult PipelinedIndexScan(const Table& table, const SecondaryIndex& index,
+                              const Query& query,
+                              const ExecOptions& opts = {});
+
+/// Sorted (bitmap) secondary index scan (§3.2): probe the index for all
+/// matching RIDs, sort/dedupe their pages, sweep runs in page order.
+ExecResult SortedIndexScan(const Table& table, const SecondaryIndex& index,
+                           const Query& query, const ExecOptions& opts = {});
+
+/// Sorted index scan with the index I/O costed analytically from the
+/// matching-RID set (no materialized B+Tree needed). Cost-equivalent to
+/// SortedIndexScan for a freshly built index; used by wide parameter sweeps
+/// (Fig. 2) where building 39 B+Trees per clustering is pointless.
+ExecResult VirtualSortedIndexScan(const Table& table, const Query& query,
+                                  size_t index_col,
+                                  const ExecOptions& opts = {});
+
+/// CM-driven scan (§5.2): cm_lookup on the predicates over the CM's
+/// attributes, translate co-occurring clustered ordinals to row ranges
+/// (via the CM's clustered bucketing or `cidx`), sweep, and re-filter every
+/// examined row on the full query.
+ExecResult CmScan(const Table& table, const CorrelationMap& cm,
+                  const ClusteredIndex& cidx, const Query& query,
+                  const ExecOptions& opts = {});
+
+/// Builds the CmColumnPredicate vector for `cm` from `query`; fails if a CM
+/// attribute has no predicate in the query (§6.2.1: a CM applies only when
+/// its attributes are predicated).
+Result<std::vector<CmColumnPredicate>> CmPredicatesFor(
+    const CorrelationMap& cm, const Query& query);
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_EXEC_ACCESS_PATH_H_

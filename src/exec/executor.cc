@@ -1,0 +1,154 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "stats/correlation_stats.h"
+
+namespace corrmap {
+
+namespace {
+
+const Predicate* FindPredicateOn(const Query& query, size_t col) {
+  for (const auto& p : query.predicates()) {
+    if (p.column() == col) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Executor::Executor(const Table* table, const ClusteredIndex* cidx,
+                   ExecOptions exec_options, size_t sample_size)
+    : table_(table),
+      cidx_(cidx),
+      exec_options_(exec_options),
+      sample_(RowSample::Collect(*table, sample_size)),
+      cost_model_(exec_options.disk) {}
+
+double Executor::EstimateScanMs() const {
+  CostInputs in;
+  in.tups_per_page = double(table_->TuplesPerPage());
+  in.total_tups = double(table_->TotalTuples());
+  return cost_model_.ScanCost(in);
+}
+
+double Executor::EstimateSortedIndexMs(const SecondaryIndex& index,
+                                       const Query& query) const {
+  const size_t icol = index.columns().front();
+  const Predicate* pred = FindPredicateOn(query, icol);
+  if (pred == nullptr) return -1;  // inapplicable
+
+  std::vector<size_t> u_cols{icol};
+  CorrelationStats stats =
+      EstimateCorrelationStats(*table_, sample_, u_cols, cidx_->column());
+  CostInputs in;
+  in.tups_per_page = double(table_->TuplesPerPage());
+  in.total_tups = double(table_->TotalTuples());
+  in.btree_height = double(index.Height());
+  in.u_tups = stats.u_tups;
+  in.c_tups = cidx_->CTups();
+  in.c_per_u = stats.c_per_u;
+  // Distinct predicated values: count in the sample, scale by D(u).
+  std::unordered_set<uint64_t> matching, all;
+  for (RowId r : sample_.rows()) {
+    const Key k = table_->GetKey(r, icol);
+    all.insert(k.Hash());
+    if (pred->MatchesKey(k)) matching.insert(k.Hash());
+  }
+  const double scale = all.empty() ? 1.0 : stats.d_u / double(all.size());
+  in.n_lookups = std::max(1.0, double(matching.size()) * scale);
+  return cost_model_.SortedCost(in);
+}
+
+double Executor::EstimateCmMs(const CorrelationMap& cm,
+                              const Query& query) const {
+  auto preds = CmPredicatesFor(cm, query);
+  if (!preds.ok()) return -1;  // inapplicable: CM attr not predicated
+  // CMs are in memory: estimate directly from the actual lookup.
+  const std::vector<int64_t> ordinals = cm.CmLookup(*preds);
+  if (ordinals.empty()) return 0.0;
+  double pages = 0;
+  uint64_t n_seeks = 0;
+  if (cm.has_clustered_buckets()) {
+    for (int64_t b : ordinals) {
+      pages += double(cm.options().c_buckets->RangeOfBucket(b).size()) /
+               double(table_->TuplesPerPage());
+    }
+    n_seeks = ordinals.size() + cidx_->BTreeHeight();
+  } else {
+    pages = double(ordinals.size()) * cidx_->CPages();
+    n_seeks = ordinals.size() * cidx_->BTreeHeight();
+  }
+  const double cost = double(n_seeks) * cost_model_.disk().seek_ms() +
+                      pages * cost_model_.disk().seq_page_ms();
+  return std::min(cost, EstimateScanMs());
+}
+
+ExecutorResult Executor::Execute(const Query& query) const {
+  ExecutorResult out;
+
+  struct Candidate {
+    enum Kind { kScan, kClustered, kSortedIndex, kCm } kind;
+    const SecondaryIndex* index = nullptr;
+    const CorrelationMap* cm = nullptr;
+    double est = 0;
+  };
+  std::vector<Candidate> cands;
+
+  cands.push_back({Candidate::kScan, nullptr, nullptr, EstimateScanMs()});
+  out.candidates.push_back({"seq_scan", cands.back().est, false});
+
+  if (FindPredicateOn(query, cidx_->column()) != nullptr) {
+    // Clustered access: height seeks + range pages.
+    const Predicate* p = FindPredicateOn(query, cidx_->column());
+    Query single({*p});
+    const double sel = single.EstimateSelectivity(*table_, sample_);
+    const double pages = sel * double(table_->NumPages());
+    const double est = double(cidx_->BTreeHeight()) *
+                           cost_model_.disk().seek_ms() +
+                       pages * cost_model_.disk().seq_page_ms();
+    cands.push_back({Candidate::kClustered, nullptr, nullptr, est});
+    out.candidates.push_back({"clustered_index_scan", est, false});
+  }
+
+  for (const SecondaryIndex* idx : indexes_) {
+    const double est = EstimateSortedIndexMs(*idx, query);
+    if (est < 0) continue;
+    cands.push_back({Candidate::kSortedIndex, idx, nullptr, est});
+    out.candidates.push_back({"sorted_index_scan(" + idx->Name() + ")", est,
+                              false});
+  }
+  for (const CorrelationMap* cm : cms_) {
+    const double est = EstimateCmMs(*cm, query);
+    if (est < 0) continue;
+    cands.push_back({Candidate::kCm, nullptr, cm, est});
+    out.candidates.push_back({"cm_scan(" + cm->Name() + ")", est, false});
+  }
+
+  size_t best = 0;
+  for (size_t i = 1; i < cands.size(); ++i) {
+    if (cands[i].est < cands[best].est) best = i;
+  }
+  out.candidates[best].chosen = true;
+
+  switch (cands[best].kind) {
+    case Candidate::kScan:
+      out.result = FullTableScan(*table_, query, exec_options_);
+      break;
+    case Candidate::kClustered:
+      out.result = ClusteredIndexScan(*table_, *cidx_, query, exec_options_);
+      break;
+    case Candidate::kSortedIndex:
+      out.result =
+          SortedIndexScan(*table_, *cands[best].index, query, exec_options_);
+      break;
+    case Candidate::kCm:
+      out.result =
+          CmScan(*table_, *cands[best].cm, *cidx_, query, exec_options_);
+      break;
+  }
+  return out;
+}
+
+}  // namespace corrmap

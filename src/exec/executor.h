@@ -1,0 +1,69 @@
+// Cost-based access-path selection: given a query and the structures
+// available on a table (clustered index, secondary B+Trees, CMs), estimate
+// each candidate's cost with the §4 model, pick the cheapest, and execute
+// it. This is the engine-internal integration the paper says CMs would
+// ideally use (§7.1) in place of SQL-text rewriting.
+#ifndef CORRMAP_EXEC_EXECUTOR_H_
+#define CORRMAP_EXEC_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/correlation_map.h"
+#include "core/cost_model.h"
+#include "exec/access_path.h"
+#include "exec/predicate.h"
+#include "index/clustered_index.h"
+#include "index/secondary_index.h"
+#include "stats/sampler.h"
+
+namespace corrmap {
+
+/// One candidate plan with its estimated and (after execution) actual cost.
+struct PlanChoice {
+  std::string description;
+  double estimated_ms = 0;
+  bool chosen = false;
+};
+
+/// Execution outcome plus the optimizer's deliberation.
+struct ExecutorResult {
+  ExecResult result;
+  std::vector<PlanChoice> candidates;
+};
+
+/// Cost-based executor over one clustered table.
+class Executor {
+ public:
+  /// `sample` drives selectivity / c_per_u estimation for costing.
+  Executor(const Table* table, const ClusteredIndex* cidx,
+           ExecOptions exec_options = {}, size_t sample_size = 30000);
+
+  void AttachSecondaryIndex(const SecondaryIndex* index) {
+    indexes_.push_back(index);
+  }
+  void AttachCm(const CorrelationMap* cm) { cms_.push_back(cm); }
+
+  /// Estimates every applicable plan, runs the cheapest.
+  ExecutorResult Execute(const Query& query) const;
+
+  /// Cost estimate for answering `query` by full scan.
+  double EstimateScanMs() const;
+
+ private:
+  double EstimateSortedIndexMs(const SecondaryIndex& index,
+                               const Query& query) const;
+  double EstimateCmMs(const CorrelationMap& cm, const Query& query) const;
+
+  const Table* table_;
+  const ClusteredIndex* cidx_;
+  ExecOptions exec_options_;
+  RowSample sample_;
+  CostModel cost_model_;
+  std::vector<const SecondaryIndex*> indexes_;
+  std::vector<const CorrelationMap*> cms_;
+};
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_EXEC_EXECUTOR_H_

@@ -1,0 +1,153 @@
+#include "exec/predicate.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace corrmap {
+
+namespace {
+size_t MustColumn(const Table& t, const std::string& col) {
+  auto r = t.ColumnIndex(col);
+  assert(r.ok() && "unknown column in predicate");
+  return *r;
+}
+}  // namespace
+
+Predicate Predicate::Eq(const Table& t, const std::string& col,
+                        const Value& v) {
+  Predicate p;
+  p.col_ = MustColumn(t, col);
+  p.op_ = Op::kEq;
+  p.keys_.push_back(t.column(p.col_).EncodeKey(v));
+  return p;
+}
+
+Predicate Predicate::In(const Table& t, const std::string& col,
+                        const std::vector<Value>& vs) {
+  Predicate p;
+  p.col_ = MustColumn(t, col);
+  p.op_ = Op::kIn;
+  for (const Value& v : vs) p.keys_.push_back(t.column(p.col_).EncodeKey(v));
+  std::sort(p.keys_.begin(), p.keys_.end());
+  p.keys_.erase(std::unique(p.keys_.begin(), p.keys_.end()), p.keys_.end());
+  return p;
+}
+
+Predicate Predicate::Between(const Table& t, const std::string& col,
+                             const Value& lo, const Value& hi) {
+  Predicate p;
+  p.col_ = MustColumn(t, col);
+  p.op_ = Op::kRange;
+  p.lo_ = lo.NumericValue();
+  p.hi_ = hi.NumericValue();
+  return p;
+}
+
+Predicate Predicate::Le(const Table& t, const std::string& col,
+                        const Value& hi) {
+  Predicate p;
+  p.col_ = MustColumn(t, col);
+  p.op_ = Op::kRange;
+  p.hi_ = hi.NumericValue();
+  return p;
+}
+
+Predicate Predicate::Ge(const Table& t, const std::string& col,
+                        const Value& lo) {
+  Predicate p;
+  p.col_ = MustColumn(t, col);
+  p.op_ = Op::kRange;
+  p.lo_ = lo.NumericValue();
+  return p;
+}
+
+bool Predicate::MatchesKey(const Key& k) const {
+  switch (op_) {
+    case Op::kEq:
+      return k == keys_[0];
+    case Op::kIn:
+      return std::binary_search(keys_.begin(), keys_.end(), k);
+    case Op::kRange: {
+      const double v = k.Numeric();
+      return v >= lo_ && v <= hi_;
+    }
+  }
+  return false;
+}
+
+bool Predicate::Matches(const Table& t, RowId row) const {
+  return MatchesKey(t.GetKey(row, col_));
+}
+
+std::string Predicate::ToString(const Table& t) const {
+  const std::string& name = t.schema().column(col_).name;
+  switch (op_) {
+    case Op::kEq:
+      return name + " = " + keys_[0].ToString();
+    case Op::kIn: {
+      std::string out = name + " IN (";
+      for (size_t i = 0; i < keys_.size(); ++i) {
+        if (i) out += ", ";
+        out += keys_[i].ToString();
+      }
+      return out + ")";
+    }
+    case Op::kRange: {
+      if (lo_ == -std::numeric_limits<double>::infinity()) {
+        return name + " <= " + std::to_string(hi_);
+      }
+      if (hi_ == std::numeric_limits<double>::infinity()) {
+        return name + " >= " + std::to_string(lo_);
+      }
+      return name + " BETWEEN " + std::to_string(lo_) + " AND " +
+             std::to_string(hi_);
+    }
+  }
+  return "?";
+}
+
+bool Query::Matches(const Table& t, RowId row) const {
+  for (const auto& p : preds_) {
+    if (!p.Matches(t, row)) return false;
+  }
+  return true;
+}
+
+std::vector<size_t> Query::PredicatedColumns() const {
+  std::vector<size_t> cols;
+  for (const auto& p : preds_) cols.push_back(p.column());
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return cols;
+}
+
+double Query::EstimateSelectivity(const Table& t,
+                                  const RowSample& sample) const {
+  if (sample.size() == 0) return 1.0;
+  size_t hits = 0;
+  for (RowId r : sample.rows()) {
+    if (Matches(t, r)) ++hits;
+  }
+  return double(hits) / double(sample.size());
+}
+
+double Query::ExactSelectivity(const Table& t) const {
+  if (t.NumLiveRows() == 0) return 0.0;
+  size_t hits = 0;
+  for (RowId r = 0; r < t.NumRows(); ++r) {
+    if (t.IsDeleted(r)) continue;
+    if (Matches(t, r)) ++hits;
+  }
+  return double(hits) / double(t.NumLiveRows());
+}
+
+std::string Query::ToString(const Table& t) const {
+  std::string out;
+  for (size_t i = 0; i < preds_.size(); ++i) {
+    if (i) out += " AND ";
+    out += preds_[i].ToString(t);
+  }
+  return out.empty() ? "TRUE" : out;
+}
+
+}  // namespace corrmap

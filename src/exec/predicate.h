@@ -1,0 +1,96 @@
+// Conjunctive selection predicates over a table, bound to physical keys at
+// construction. These drive every access path and the CM Advisor's training
+// queries.
+#ifndef CORRMAP_EXEC_PREDICATE_H_
+#define CORRMAP_EXEC_PREDICATE_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "stats/sampler.h"
+#include "storage/table.h"
+
+namespace corrmap {
+
+/// One column predicate: equality, IN-list, or closed range.
+class Predicate {
+ public:
+  enum class Op : uint8_t { kEq, kIn, kRange };
+
+  /// col = literal
+  static Predicate Eq(const Table& t, const std::string& col, const Value& v);
+  /// col IN (literals)
+  static Predicate In(const Table& t, const std::string& col,
+                      const std::vector<Value>& vs);
+  /// lo <= col <= hi
+  static Predicate Between(const Table& t, const std::string& col,
+                           const Value& lo, const Value& hi);
+  /// col <= hi
+  static Predicate Le(const Table& t, const std::string& col, const Value& hi);
+  /// col >= lo
+  static Predicate Ge(const Table& t, const std::string& col, const Value& lo);
+
+  size_t column() const { return col_; }
+  Op op() const { return op_; }
+  const std::vector<Key>& keys() const { return keys_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Evaluates against one row.
+  bool Matches(const Table& t, RowId row) const;
+
+  /// Evaluates against an already-fetched physical key.
+  bool MatchesKey(const Key& k) const;
+
+  /// Number of distinct point values probed (n_lookups for Eq/In; 0 for
+  /// ranges, which probe one contiguous region).
+  size_t NumPoints() const {
+    return op_ == Op::kRange ? 0 : keys_.size();
+  }
+
+  std::string ToString(const Table& t) const;
+
+ private:
+  Predicate() = default;
+
+  size_t col_ = 0;
+  Op op_ = Op::kEq;
+  std::vector<Key> keys_;  // Eq/In points
+  double lo_ = -std::numeric_limits<double>::infinity();
+  double hi_ = std::numeric_limits<double>::infinity();
+};
+
+/// Conjunction of column predicates (the WHERE clause of a training query).
+class Query {
+ public:
+  Query() = default;
+  explicit Query(std::vector<Predicate> preds) : preds_(std::move(preds)) {}
+
+  void Add(Predicate p) { preds_.push_back(std::move(p)); }
+
+  const std::vector<Predicate>& predicates() const { return preds_; }
+  bool empty() const { return preds_.empty(); }
+
+  bool Matches(const Table& t, RowId row) const;
+
+  /// Columns referenced by any predicate (the Advisor's candidate set).
+  std::vector<size_t> PredicatedColumns() const;
+
+  /// Fraction of sampled rows matching; the Advisor prunes predicates less
+  /// selective than a threshold (§6.2.2).
+  double EstimateSelectivity(const Table& t, const RowSample& sample) const;
+
+  /// Exact selectivity by full scan (tests and benches).
+  double ExactSelectivity(const Table& t) const;
+
+  std::string ToString(const Table& t) const;
+
+ private:
+  std::vector<Predicate> preds_;
+};
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_EXEC_PREDICATE_H_

@@ -1,0 +1,313 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace corrmap {
+
+std::strong_ordering ComparePrefix(const CompositeKey& key,
+                                   const CompositeKey& bound) {
+  const size_t n = std::min(key.size(), bound.size());
+  for (size_t i = 0; i < n; ++i) {
+    auto c = key[i] <=> bound[i];
+    if (c == std::partial_ordering::less) return std::strong_ordering::less;
+    if (c == std::partial_ordering::greater) {
+      return std::strong_ordering::greater;
+    }
+  }
+  // All compared parts equal: the bound's prefix matches.
+  return std::strong_ordering::equal;
+}
+
+namespace {
+
+/// Entry / separator ordering: by key, then rid.
+bool EntryLess(const CompositeKey& k1, RowId r1, const CompositeKey& k2,
+               RowId r2) {
+  auto c = k1 <=> k2;
+  if (c != std::strong_ordering::equal) return c == std::strong_ordering::less;
+  return r1 < r2;
+}
+
+}  // namespace
+
+struct BTree::Node {
+  bool leaf;
+  PageNo page;
+  // Leaf: parallel (keys, rids) entry arrays.
+  // Internal: (keys, rids) are separator pairs; children.size()==keys.size()+1.
+  std::vector<CompositeKey> keys;
+  std::vector<RowId> rids;
+  std::vector<Node*> children;
+  Node* next = nullptr;  // leaf chain
+
+  size_t UpperBound(const CompositeKey& key, RowId rid) const {
+    size_t lo = 0, hi = keys.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (EntryLess(key, rid, keys[mid], rids[mid])) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  size_t LowerBound(const CompositeKey& key, RowId rid) const {
+    size_t lo = 0, hi = keys.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (EntryLess(keys[mid], rids[mid], key, rid)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+};
+
+BTree::BTree(BTreeOptions options) : options_(options) {
+  assert(options_.leaf_capacity >= 2 && options_.internal_capacity >= 3);
+  root_ = NewNode(/*leaf=*/true);
+}
+
+BTree::~BTree() { FreeTree(root_); }
+
+BTree::Node* BTree::NewNode(bool leaf) {
+  Node* n = new Node();
+  n->leaf = leaf;
+  n->page = next_page_++;
+  ++num_nodes_;
+  if (leaf) ++num_leaves_;
+  return n;
+}
+
+void BTree::FreeTree(Node* n) {
+  if (n == nullptr) return;
+  for (Node* c : n->children) FreeTree(c);
+  delete n;
+}
+
+void BTree::Touch(const Node* n, bool dirty) const {
+  if (options_.pool != nullptr) {
+    options_.pool->Access(PageId{options_.file_id, n->page}, dirty);
+  }
+}
+
+Status BTree::Insert(const CompositeKey& key, RowId rid) {
+  Status status;
+  Node* right = InsertRec(root_, key, rid, &status);
+  if (!status.ok()) return status;
+  if (right != nullptr) {
+    // Root split: grow the tree by one level. The separator pair is the
+    // smallest entry reachable under `right`.
+    Node* new_root = NewNode(/*leaf=*/false);
+    Node* leftmost = right;
+    while (!leftmost->leaf) leftmost = leftmost->children.front();
+    new_root->keys.push_back(leftmost->keys.front());
+    new_root->rids.push_back(leftmost->rids.front());
+    new_root->children.push_back(root_);
+    new_root->children.push_back(right);
+    root_ = new_root;
+    Touch(new_root, /*dirty=*/true);
+  }
+  ++num_entries_;
+  return Status::OK();
+}
+
+BTree::Node* BTree::InsertRec(Node* n, const CompositeKey& key, RowId rid,
+                              Status* status) {
+  if (n->leaf) {
+    const size_t pos = n->LowerBound(key, rid);
+    if (pos < n->keys.size() && n->keys[pos] == key && n->rids[pos] == rid) {
+      *status = Status::AlreadyExists("duplicate (key, rid) entry");
+      return nullptr;
+    }
+    Touch(n, /*dirty=*/true);
+    n->keys.insert(n->keys.begin() + pos, key);
+    n->rids.insert(n->rids.begin() + pos, rid);
+    if (n->keys.size() <= options_.leaf_capacity) return nullptr;
+    // Split: right sibling takes the upper half.
+    Node* right = NewNode(/*leaf=*/true);
+    const size_t mid = n->keys.size() / 2;
+    right->keys.assign(n->keys.begin() + mid, n->keys.end());
+    right->rids.assign(n->rids.begin() + mid, n->rids.end());
+    n->keys.resize(mid);
+    n->rids.resize(mid);
+    right->next = n->next;
+    n->next = right;
+    Touch(right, /*dirty=*/true);
+    return right;
+  }
+
+  Touch(n, /*dirty=*/false);
+  const size_t child_idx = n->UpperBound(key, rid);
+  Node* split = InsertRec(n->children[child_idx], key, rid, status);
+  if (!status->ok() || split == nullptr) return nullptr;
+
+  // Promote the smallest entry under `split` as the separator.
+  Node* leftmost = split;
+  while (!leftmost->leaf) leftmost = leftmost->children.front();
+  Touch(n, /*dirty=*/true);
+  n->keys.insert(n->keys.begin() + child_idx, leftmost->keys.front());
+  n->rids.insert(n->rids.begin() + child_idx, leftmost->rids.front());
+  n->children.insert(n->children.begin() + child_idx + 1, split);
+  if (n->children.size() <= options_.internal_capacity) return nullptr;
+
+  // Split the internal node: middle separator moves up.
+  Node* right = NewNode(/*leaf=*/false);
+  const size_t mid = n->keys.size() / 2;
+  right->keys.assign(n->keys.begin() + mid + 1, n->keys.end());
+  right->rids.assign(n->rids.begin() + mid + 1, n->rids.end());
+  right->children.assign(n->children.begin() + mid + 1, n->children.end());
+  n->keys.resize(mid);
+  n->rids.resize(mid);
+  n->children.resize(mid + 1);
+  Touch(right, /*dirty=*/true);
+  return right;
+}
+
+Status BTree::Delete(const CompositeKey& key, RowId rid) {
+  Node* n = root_;
+  while (!n->leaf) {
+    Touch(n, /*dirty=*/false);
+    n = n->children[n->UpperBound(key, rid)];
+  }
+  const size_t pos = n->LowerBound(key, rid);
+  if (pos >= n->keys.size() || !(n->keys[pos] == key) || n->rids[pos] != rid) {
+    return Status::NotFound("entry not present");
+  }
+  Touch(n, /*dirty=*/true);
+  n->keys.erase(n->keys.begin() + pos);
+  n->rids.erase(n->rids.begin() + pos);
+  --num_entries_;
+  // Lazy deletion: empty leaves remain chained and are skipped by scans.
+  return Status::OK();
+}
+
+void BTree::Lookup(const CompositeKey& key, std::vector<RowId>* out) const {
+  Scan(key, key, [&](const CompositeKey& k, RowId rid) {
+    if (k == key) out->push_back(rid);
+    return true;
+  });
+}
+
+void BTree::Scan(const CompositeKey& lo, const CompositeKey& hi,
+                 const std::function<bool(const CompositeKey&, RowId)>& fn) const {
+  // Descend toward the first entry with key >= lo (rid 0 is minimal).
+  Node* n = root_;
+  while (!n->leaf) {
+    Touch(n, /*dirty=*/false);
+    n = n->children[n->UpperBound(lo, 0)];
+  }
+  // The descent can land one leaf late when `lo` equals a separator that was
+  // promoted from a since-shifted boundary; entries >= lo cannot be to the
+  // left of this leaf, so walking forward is sufficient.
+  for (; n != nullptr; n = n->next) {
+    Touch(n, /*dirty=*/false);
+    for (size_t i = 0; i < n->keys.size(); ++i) {
+      if (ComparePrefix(n->keys[i], lo) == std::strong_ordering::less) continue;
+      if (ComparePrefix(n->keys[i], hi) == std::strong_ordering::greater) {
+        return;
+      }
+      if (!fn(n->keys[i], n->rids[i])) return;
+    }
+  }
+}
+
+void BTree::ScanAll(
+    const std::function<bool(const CompositeKey&, RowId)>& fn) const {
+  Node* n = root_;
+  while (!n->leaf) n = n->children.front();
+  for (; n != nullptr; n = n->next) {
+    for (size_t i = 0; i < n->keys.size(); ++i) {
+      if (!fn(n->keys[i], n->rids[i])) return;
+    }
+  }
+}
+
+size_t BTree::Height() const {
+  size_t h = 1;
+  for (const Node* n = root_; !n->leaf; n = n->children.front()) ++h;
+  return h;
+}
+
+uint64_t BTree::SizeBytes() const {
+  return uint64_t(num_nodes_) * kDefaultPageSizeBytes;
+}
+
+Status BTree::CheckInvariants() const {
+  size_t leaf_depth = 0;
+  Status s = CheckNode(root_, 1, &leaf_depth);
+  if (!s.ok()) return s;
+  // Leaf chain must be globally sorted and cover every entry.
+  const Node* n = root_;
+  while (!n->leaf) n = n->children.front();
+  size_t count = 0;
+  const CompositeKey* prev_key = nullptr;
+  RowId prev_rid = 0;
+  for (; n != nullptr; n = n->next) {
+    for (size_t i = 0; i < n->keys.size(); ++i) {
+      if (prev_key != nullptr &&
+          !EntryLess(*prev_key, prev_rid, n->keys[i], n->rids[i])) {
+        return Status::Corruption("leaf chain out of order");
+      }
+      prev_key = &n->keys[i];
+      prev_rid = n->rids[i];
+      ++count;
+    }
+  }
+  if (count != num_entries_) {
+    return Status::Corruption("entry count mismatch: chain=" +
+                              std::to_string(count) + " recorded=" +
+                              std::to_string(num_entries_));
+  }
+  return Status::OK();
+}
+
+Status BTree::CheckNode(const Node* n, size_t depth, size_t* leaf_depth) const {
+  for (size_t i = 1; i < n->keys.size(); ++i) {
+    if (!EntryLess(n->keys[i - 1], n->rids[i - 1], n->keys[i], n->rids[i])) {
+      return Status::Corruption("node keys out of order");
+    }
+  }
+  if (n->leaf) {
+    if (n->keys.size() > options_.leaf_capacity) {
+      return Status::Corruption("leaf over capacity");
+    }
+    if (*leaf_depth == 0) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Corruption("non-uniform leaf depth");
+    }
+    return Status::OK();
+  }
+  if (n->children.size() != n->keys.size() + 1) {
+    return Status::Corruption("internal child/separator mismatch");
+  }
+  if (n->children.size() > options_.internal_capacity) {
+    return Status::Corruption("internal over capacity");
+  }
+  for (size_t i = 0; i < n->children.size(); ++i) {
+    const Node* c = n->children[i];
+    // Child subtree entries must respect separators: entries in children[i]
+    // are < separator[i] and >= separator[i-1].
+    if (!c->keys.empty()) {
+      if (i > 0 && EntryLess(c->keys.front(), c->rids.front(), n->keys[i - 1],
+                             n->rids[i - 1])) {
+        return Status::Corruption("child entry below separator");
+      }
+      if (i < n->keys.size() &&
+          !EntryLess(c->keys.back(), c->rids.back(), n->keys[i], n->rids[i])) {
+        return Status::Corruption("child entry at/above separator");
+      }
+    }
+    Status s = CheckNode(c, depth + 1, leaf_depth);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace corrmap

@@ -1,0 +1,76 @@
+#include "index/clustered_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace corrmap {
+
+Result<ClusteredIndex> ClusteredIndex::Build(const Table& table, size_t col) {
+  if (col >= table.schema().num_columns()) {
+    return Status::OutOfRange("no such column");
+  }
+  if (table.clustered_column() != static_cast<int>(col)) {
+    return Status::InvalidArgument(
+        "table is not clustered on column " +
+        table.schema().column(col).name + "; call Table::ClusterBy first");
+  }
+  ClusteredIndex idx(&table, col);
+  const size_t n = table.NumRows();
+  for (RowId r = 0; r < n; ++r) {
+    Key k = table.GetKey(r, col);
+    if (idx.keys_.empty() || !(idx.keys_.back() == k)) {
+      idx.keys_.push_back(k);
+      idx.first_row_.push_back(r);
+    }
+  }
+  return idx;
+}
+
+size_t ClusteredIndex::LowerBoundKey(const Key& key) const {
+  return std::lower_bound(keys_.begin(), keys_.end(), key) - keys_.begin();
+}
+
+RowRange ClusteredIndex::LookupEqual(const Key& key) const {
+  const size_t i = LowerBoundKey(key);
+  if (i >= keys_.size() || !(keys_[i] == key)) return RowRange{};
+  const RowId begin = first_row_[i];
+  const RowId end =
+      (i + 1 < first_row_.size()) ? first_row_[i + 1] : table_->NumRows();
+  return RowRange{begin, end};
+}
+
+RowRange ClusteredIndex::LookupRange(const Key& lo, const Key& hi) const {
+  const size_t i = LowerBoundKey(lo);
+  if (i >= keys_.size()) return RowRange{};
+  // First key strictly greater than hi.
+  const size_t j =
+      std::upper_bound(keys_.begin(), keys_.end(), hi) - keys_.begin();
+  if (j <= i) return RowRange{};
+  const RowId begin = first_row_[i];
+  const RowId end = (j < first_row_.size()) ? first_row_[j] : table_->NumRows();
+  return RowRange{begin, end};
+}
+
+double ClusteredIndex::CTups() const {
+  if (keys_.empty()) return 0.0;
+  return double(table_->NumRows()) / double(keys_.size());
+}
+
+double ClusteredIndex::CPages() const {
+  return CTups() / double(table_->TuplesPerPage());
+}
+
+size_t ClusteredIndex::BTreeHeight() const {
+  // Fanout of a dense clustered B+Tree with ~20 B entries in 8 KiB pages:
+  // height = 1 (leaf level) + levels needed to index the leaf pages.
+  const double fanout = double(kDefaultPageSizeBytes) / 20.0;
+  const double n = std::max<double>(1.0, double(table_->NumRows()));
+  const double leaves = std::max(1.0, std::ceil(n / fanout));
+  return 1 + static_cast<size_t>(std::ceil(std::log(leaves) / std::log(fanout)));
+}
+
+uint64_t ClusteredIndex::SizeBytes() const {
+  return keys_.size() * (sizeof(Key) + sizeof(RowId));
+}
+
+}  // namespace corrmap

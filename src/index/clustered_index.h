@@ -1,0 +1,76 @@
+// Sparse clustered index over a table physically ordered by one attribute.
+// Maps a clustered-attribute value (or range) to the contiguous row/page
+// range that holds it, and supplies the paper's clustered statistics
+// (c_tups, c_pages, btree_height).
+#ifndef CORRMAP_INDEX_CLUSTERED_INDEX_H_
+#define CORRMAP_INDEX_CLUSTERED_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/page.h"
+#include "storage/table.h"
+
+namespace corrmap {
+
+/// Half-open row range [begin, end).
+struct RowRange {
+  RowId begin = 0;
+  RowId end = 0;
+  uint64_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+  bool operator==(const RowRange&) const = default;
+};
+
+/// Sparse index over the clustered attribute of a physically ordered table.
+class ClusteredIndex {
+ public:
+  /// Builds over `table`, which must already be clustered on `col`
+  /// (Table::ClusterBy). Scans once to record each distinct key's first row.
+  static Result<ClusteredIndex> Build(const Table& table, size_t col);
+
+  size_t column() const { return col_; }
+  size_t NumDistinctKeys() const { return keys_.size(); }
+
+  /// Rows whose clustered attribute equals `key` (empty range if absent).
+  RowRange LookupEqual(const Key& key) const;
+
+  /// Rows whose clustered attribute is in [lo, hi] inclusive.
+  RowRange LookupRange(const Key& lo, const Key& hi) const;
+
+  /// The i-th distinct clustered value, in sorted order.
+  const Key& DistinctKey(size_t i) const { return keys_[i]; }
+
+  /// Index of the first distinct key >= `key` (== NumDistinctKeys() if none).
+  size_t LowerBoundKey(const Key& key) const;
+
+  /// Average tuples per clustered value ("c_tups", paper Table 2).
+  double CTups() const;
+
+  /// Pages spanned by one average clustered value ("c_pages", §4.1).
+  double CPages() const;
+
+  /// Simulated root-to-leaf height of an equivalent dense clustered B+Tree
+  /// ("btree_height", paper Table 1), computed from fanout.
+  size_t BTreeHeight() const;
+
+  /// Size of the sparse directory itself in bytes.
+  uint64_t SizeBytes() const;
+
+  const Table& table() const { return *table_; }
+
+ private:
+  ClusteredIndex(const Table* table, size_t col) : table_(table), col_(col) {}
+
+  const Table* table_;
+  size_t col_;
+  std::vector<Key> keys_;        // distinct clustered values, ascending
+  std::vector<RowId> first_row_; // parallel: first row holding keys_[i]
+};
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_INDEX_CLUSTERED_INDEX_H_

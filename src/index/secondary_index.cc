@@ -1,0 +1,65 @@
+#include "index/secondary_index.h"
+
+#include <cassert>
+
+namespace corrmap {
+
+SecondaryIndex::SecondaryIndex(const Table* table, std::vector<size_t> columns,
+                               BTreeOptions options)
+    : table_(table), columns_(std::move(columns)) {
+  assert(!columns_.empty() && columns_.size() <= kMaxCmAttributes);
+  // Size leaf entries by actual key width: 8 bytes per part + 8-byte rid +
+  // 4 bytes item overhead (PostgreSQL-like density).
+  options.entry_bytes = columns_.size() * 8 + 12;
+  options.leaf_capacity = kDefaultPageSizeBytes / options.entry_bytes;
+  options.internal_capacity = options.leaf_capacity;
+  tree_ = std::make_unique<BTree>(options);
+}
+
+CompositeKey SecondaryIndex::KeyOfRow(RowId row) const {
+  CompositeKey key;
+  for (size_t col : columns_) key.Append(table_->GetKey(row, col));
+  return key;
+}
+
+Status SecondaryIndex::BuildFromTable() {
+  const size_t n = table_->NumRows();
+  for (RowId r = 0; r < n; ++r) {
+    if (table_->IsDeleted(r)) continue;
+    Status s = tree_->Insert(KeyOfRow(r), r);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status SecondaryIndex::InsertRow(RowId row) {
+  return tree_->Insert(KeyOfRow(row), row);
+}
+
+Status SecondaryIndex::DeleteRow(RowId row) {
+  return tree_->Delete(KeyOfRow(row), row);
+}
+
+std::vector<RowId> SecondaryIndex::LookupEqual(const CompositeKey& key) const {
+  std::vector<RowId> out;
+  tree_->Lookup(key, &out);
+  return out;
+}
+
+std::vector<RowId> SecondaryIndex::LookupRange(const CompositeKey& lo,
+                                               const CompositeKey& hi) const {
+  std::vector<RowId> out;
+  tree_->Scan(lo, hi, [&](const CompositeKey&, RowId rid) {
+    out.push_back(rid);
+    return true;
+  });
+  return out;
+}
+
+std::string SecondaryIndex::Name() const {
+  std::string name = "idx_" + table_->name();
+  for (size_t c : columns_) name += "_" + table_->schema().column(c).name;
+  return name;
+}
+
+}  // namespace corrmap

@@ -1,0 +1,72 @@
+// Unclustered secondary index: a B+Tree over one or more attributes of a
+// table, mapping (possibly composite) attribute values to RowIds. This is
+// the paper's baseline access structure that CMs compress away.
+#ifndef CORRMAP_INDEX_SECONDARY_INDEX_H_
+#define CORRMAP_INDEX_SECONDARY_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "index/btree.h"
+#include "storage/table.h"
+
+namespace corrmap {
+
+/// A secondary (unclustered) B+Tree index on `columns` of `table`.
+class SecondaryIndex {
+ public:
+  /// Creates an empty index; call BuildFromTable or insert rows manually.
+  SecondaryIndex(const Table* table, std::vector<size_t> columns,
+                 BTreeOptions options = {});
+
+  /// Bulk-loads every live row of the table.
+  Status BuildFromTable();
+
+  /// Index maintenance for one row (caller supplies the row id; key parts
+  /// are read from the table).
+  Status InsertRow(RowId row);
+  Status DeleteRow(RowId row);
+
+  /// Maintenance from explicit key parts (used when the row's values are
+  /// known without a table read, e.g. batched appends).
+  Status InsertKey(const CompositeKey& key, RowId row) {
+    return tree_->Insert(key, row);
+  }
+  Status DeleteKey(const CompositeKey& key, RowId row) {
+    return tree_->Delete(key, row);
+  }
+
+  /// RowIds whose indexed attributes equal `key` exactly.
+  std::vector<RowId> LookupEqual(const CompositeKey& key) const;
+
+  /// RowIds with lo <= key <= hi; bounds may be composite prefixes, in which
+  /// case only the prefix attributes constrain the scan (a composite B+Tree
+  /// can use only its key prefix for a range -- Experiment 5's handicap).
+  std::vector<RowId> LookupRange(const CompositeKey& lo,
+                                 const CompositeKey& hi) const;
+
+  /// Extracts the composite key of `row` from the table.
+  CompositeKey KeyOfRow(RowId row) const;
+
+  const std::vector<size_t>& columns() const { return columns_; }
+  const BTree& tree() const { return *tree_; }
+  BTree& tree_mutable() { return *tree_; }
+
+  size_t NumEntries() const { return tree_->NumEntries(); }
+  uint64_t SizeBytes() const { return tree_->SizeBytes(); }
+  size_t Height() const { return tree_->Height(); }
+
+  std::string Name() const;
+
+ private:
+  const Table* table_;
+  std::vector<size_t> columns_;
+  std::unique_ptr<BTree> tree_;
+};
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_INDEX_SECONDARY_INDEX_H_

@@ -1,0 +1,56 @@
+#include "stats/adaptive_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace corrmap {
+
+SampleFrequencies SampleFrequencies::FromKeys(
+    std::span<const CompositeKey> keys) {
+  std::unordered_map<CompositeKey, uint32_t, CompositeKeyHash> counts;
+  counts.reserve(keys.size() * 2);
+  for (const auto& k : keys) ++counts[k];
+  SampleFrequencies f;
+  f.sample_size = keys.size();
+  f.distinct = counts.size();
+  for (const auto& [k, c] : counts) {
+    if (c == 1) ++f.f1;
+    if (c == 2) ++f.f2;
+  }
+  return f;
+}
+
+double AdaptiveEstimator::GEE(const SampleFrequencies& f, uint64_t population) {
+  if (f.sample_size == 0) return 0.0;
+  const double scale = std::sqrt(double(population) / double(f.sample_size));
+  const double est = scale * double(f.f1) + double(f.distinct - f.f1);
+  return std::clamp(est, double(f.distinct), double(population));
+}
+
+double AdaptiveEstimator::Chao(const SampleFrequencies& f, uint64_t population) {
+  if (f.f2 == 0) return GEE(f, population);
+  const double est =
+      double(f.distinct) + double(f.f1) * double(f.f1) / (2.0 * double(f.f2));
+  return std::clamp(est, double(f.distinct), double(population));
+}
+
+double AdaptiveEstimator::Estimate(const SampleFrequencies& f,
+                                   uint64_t population) {
+  if (f.sample_size == 0) return 0.0;
+  if (f.sample_size >= population) return double(f.distinct);
+  const double singleton_frac =
+      f.distinct == 0 ? 0.0 : double(f.f1) / double(f.distinct);
+  // High singleton fraction => near-unique attribute, trust GEE's sqrt
+  // scale-up; low fraction => repeated values dominate, Chao is tighter.
+  const double gee = GEE(f, population);
+  const double chao = Chao(f, population);
+  const double est = singleton_frac * gee + (1.0 - singleton_frac) * chao;
+  return std::clamp(est, double(f.distinct), double(population));
+}
+
+double AdaptiveEstimator::Estimate(std::span<const CompositeKey> keys,
+                                   uint64_t population) {
+  return Estimate(SampleFrequencies::FromKeys(keys), population);
+}
+
+}  // namespace corrmap

@@ -1,0 +1,88 @@
+#include "stats/correlation_stats.h"
+
+#include <unordered_set>
+
+#include "core/bucketing.h"
+#include "stats/adaptive_estimator.h"
+
+namespace corrmap {
+
+namespace {
+
+/// Bucketed composite key of the unclustered attributes of one row, with an
+/// optional extra slot for the (bucketed) clustered attribute.
+CompositeKey MakeKey(const Table& table, RowId row,
+                     const std::vector<size_t>& u_cols,
+                     const std::vector<const Bucketer*>* u_bucketers,
+                     bool with_c, size_t c_col, const Bucketer* c_bucketer) {
+  CompositeKey k;
+  for (size_t i = 0; i < u_cols.size(); ++i) {
+    Key raw = table.GetKey(row, u_cols[i]);
+    if (u_bucketers != nullptr && (*u_bucketers)[i] != nullptr) {
+      k.Append(Key((*u_bucketers)[i]->BucketOf(raw)));
+    } else {
+      k.Append(raw);
+    }
+  }
+  if (with_c) {
+    Key raw = table.GetKey(row, c_col);
+    if (c_bucketer != nullptr) {
+      k.Append(Key(c_bucketer->BucketOf(raw)));
+    } else {
+      k.Append(raw);
+    }
+  }
+  return k;
+}
+
+}  // namespace
+
+CorrelationStats ComputeExactCorrelationStats(
+    const Table& table, const std::vector<size_t>& u_cols, size_t c_col,
+    const std::vector<const Bucketer*>* u_bucketers,
+    const Bucketer* c_bucketer) {
+  std::unordered_set<uint64_t> du, duc;
+  uint64_t n = 0;
+  for (RowId r = 0; r < table.NumRows(); ++r) {
+    if (table.IsDeleted(r)) continue;
+    ++n;
+    du.insert(
+        MakeKey(table, r, u_cols, u_bucketers, false, c_col, c_bucketer).Hash());
+    duc.insert(
+        MakeKey(table, r, u_cols, u_bucketers, true, c_col, c_bucketer).Hash());
+  }
+  CorrelationStats s;
+  s.total_tups = n;
+  s.d_u = double(du.size());
+  s.d_uc = double(duc.size());
+  s.c_per_u = s.d_u > 0 ? s.d_uc / s.d_u : 0.0;
+  s.u_tups = s.d_u > 0 ? double(n) / s.d_u : 0.0;
+  return s;
+}
+
+CorrelationStats EstimateCorrelationStats(
+    const Table& table, const RowSample& sample,
+    const std::vector<size_t>& u_cols, size_t c_col,
+    const std::vector<const Bucketer*>* u_bucketers,
+    const Bucketer* c_bucketer) {
+  std::vector<CompositeKey> u_keys, uc_keys;
+  u_keys.reserve(sample.size());
+  uc_keys.reserve(sample.size());
+  for (RowId r : sample.rows()) {
+    u_keys.push_back(
+        MakeKey(table, r, u_cols, u_bucketers, false, c_col, c_bucketer));
+    uc_keys.push_back(
+        MakeKey(table, r, u_cols, u_bucketers, true, c_col, c_bucketer));
+  }
+  CorrelationStats s;
+  s.total_tups = sample.population();
+  s.d_u = AdaptiveEstimator::Estimate(u_keys, sample.population());
+  s.d_uc = AdaptiveEstimator::Estimate(uc_keys, sample.population());
+  // D(Au, Ac) >= D(Au) must hold; estimation noise can briefly violate it.
+  if (s.d_uc < s.d_u) s.d_uc = s.d_u;
+  s.c_per_u = s.d_u > 0 ? s.d_uc / s.d_u : 0.0;
+  s.u_tups = s.d_u > 0 ? double(s.total_tups) / s.d_u : 0.0;
+  return s;
+}
+
+}  // namespace corrmap

@@ -1,0 +1,46 @@
+// Correlation statistics between an unclustered attribute set Au and the
+// clustered attribute Ac: the paper's Table 1/2 quantities. Exact paths
+// scan the table; estimated paths use a RowSample + AdaptiveEstimator,
+// mirroring the Advisor's cheap evaluation loop.
+#ifndef CORRMAP_STATS_CORRELATION_STATS_H_
+#define CORRMAP_STATS_CORRELATION_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/value.h"
+#include "stats/sampler.h"
+#include "storage/table.h"
+
+namespace corrmap {
+
+class Bucketer;  // core/bucketing.h
+
+/// Statistics over one (Au set, Ac) attribute pairing.
+struct CorrelationStats {
+  double d_u = 0;       ///< D(Au): distinct unclustered (bucketed) values
+  double d_uc = 0;      ///< D(Au, Ac): distinct co-occurring pairs
+  double c_per_u = 0;   ///< D(Au,Ac) / D(Au): soft-FD strength (Table 2)
+  double u_tups = 0;    ///< avg tuples per Au value (Table 1)
+  uint64_t total_tups = 0;
+};
+
+/// Exact statistics via one full scan. `u_bucketers`, if non-null, maps raw
+/// keys to bucket ordinals before counting (one per column, parallel to
+/// `u_cols`); same for `c_bucketer` on the clustered attribute.
+CorrelationStats ComputeExactCorrelationStats(
+    const Table& table, const std::vector<size_t>& u_cols, size_t c_col,
+    const std::vector<const Bucketer*>* u_bucketers = nullptr,
+    const Bucketer* c_bucketer = nullptr);
+
+/// Estimated statistics from a random sample (AdaptiveEstimator on both
+/// D(Au) and D(Au, Ac)).
+CorrelationStats EstimateCorrelationStats(
+    const Table& table, const RowSample& sample,
+    const std::vector<size_t>& u_cols, size_t c_col,
+    const std::vector<const Bucketer*>* u_bucketers = nullptr,
+    const Bucketer* c_bucketer = nullptr);
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_STATS_CORRELATION_STATS_H_

@@ -1,0 +1,50 @@
+#include "stats/distinct_sampling.h"
+
+#include <cmath>
+
+namespace corrmap {
+
+namespace {
+int TrailingZeros(uint64_t h) {
+  if (h == 0) return 64;
+  return __builtin_ctzll(h);
+}
+}  // namespace
+
+DistinctSampler::DistinctSampler(size_t max_sample_size)
+    : max_sample_size_(max_sample_size == 0 ? 1 : max_sample_size) {}
+
+void DistinctSampler::Add(const Key& key) {
+  const uint64_t h = key.Hash();
+  if (TrailingZeros(h) < level_) return;
+  sample_.insert(h);
+  while (sample_.size() > max_sample_size_) Promote();
+}
+
+void DistinctSampler::Promote() {
+  ++level_;
+  for (auto it = sample_.begin(); it != sample_.end();) {
+    if (TrailingZeros(*it) < level_) {
+      it = sample_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+double DistinctSampler::Estimate() const {
+  return std::ldexp(double(sample_.size()), level_);
+}
+
+double DistinctSampler::EstimateColumn(const Table& table, size_t col,
+                                       size_t max_sample_size) {
+  DistinctSampler ds(max_sample_size);
+  const size_t n = table.NumRows();
+  for (RowId r = 0; r < n; ++r) {
+    if (table.IsDeleted(r)) continue;
+    ds.Add(table.GetKey(r, col));
+  }
+  return ds.Estimate();
+}
+
+}  // namespace corrmap

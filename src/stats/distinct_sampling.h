@@ -1,0 +1,50 @@
+// Gibbons' Distinct Sampling (VLDB 2001): single-attribute cardinality
+// estimation with one full scan and bounded memory. The paper uses DS for
+// single-attribute cardinalities because sampling-only estimators are too
+// inaccurate for design decisions (§4.2).
+//
+// Sketch: each value is hashed; a value enters the sample only if its hash
+// has at least `level` trailing zero bits. When the sample overflows the
+// budget, the level increments and the sample is pruned. The estimate is
+// |distinct values in sample| * 2^level.
+#ifndef CORRMAP_STATS_DISTINCT_SAMPLING_H_
+#define CORRMAP_STATS_DISTINCT_SAMPLING_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/value.h"
+#include "storage/table.h"
+
+namespace corrmap {
+
+/// Streaming distinct-count sketch for one attribute.
+class DistinctSampler {
+ public:
+  /// `max_sample_size`: distinct values retained before level promotion.
+  explicit DistinctSampler(size_t max_sample_size = 8192);
+
+  /// Offers one value to the sketch.
+  void Add(const Key& key);
+
+  /// Current cardinality estimate.
+  double Estimate() const;
+
+  int level() const { return level_; }
+  size_t sample_size() const { return sample_.size(); }
+
+  /// Convenience: one-pass estimate over a table column (skips deleted rows).
+  static double EstimateColumn(const Table& table, size_t col,
+                               size_t max_sample_size = 8192);
+
+ private:
+  void Promote();
+
+  size_t max_sample_size_;
+  int level_ = 0;
+  std::unordered_set<uint64_t> sample_;  // hashes of retained values
+};
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_STATS_DISTINCT_SAMPLING_H_

@@ -1,0 +1,69 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace corrmap {
+
+EquiWidthHistogram EquiWidthHistogram::Build(const Table& table, size_t col,
+                                             size_t num_bins,
+                                             const RowSample* sample) {
+  EquiWidthHistogram h;
+  std::vector<double> vals;
+  auto visit = [&](RowId r) {
+    if (table.IsDeleted(r)) return;
+    vals.push_back(table.GetKey(r, col).Numeric());
+  };
+  if (sample != nullptr) {
+    for (RowId r : sample->rows()) visit(r);
+  } else {
+    for (RowId r = 0; r < table.NumRows(); ++r) visit(r);
+  }
+  if (vals.empty()) {
+    h.counts_.assign(std::max<size_t>(1, num_bins), 0);
+    return h;
+  }
+  auto [mn, mx] = std::minmax_element(vals.begin(), vals.end());
+  h.min_ = *mn;
+  h.max_ = *mx;
+  h.width_ = (h.max_ > h.min_) ? (h.max_ - h.min_) / double(num_bins) : 1.0;
+  h.counts_.assign(std::max<size_t>(1, num_bins), 0);
+  for (double v : vals) {
+    size_t bin = size_t((v - h.min_) / h.width_);
+    if (bin >= h.counts_.size()) bin = h.counts_.size() - 1;
+    ++h.counts_[bin];
+  }
+  h.total_ = vals.size();
+  std::sort(vals.begin(), vals.end());
+  vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  h.distinct_ = std::move(vals);
+  return h;
+}
+
+double EquiWidthHistogram::SelectivityRange(double lo, double hi) const {
+  if (total_ == 0 || hi < lo) return 0.0;
+  lo = std::max(lo, min_);
+  hi = std::min(hi, max_);
+  if (hi < lo) return 0.0;
+  double mass = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double blo = min_ + double(i) * width_;
+    const double bhi = blo + width_;
+    const double olap = std::min(hi, bhi) - std::max(lo, blo);
+    if (olap <= 0) continue;
+    mass += double(counts_[i]) * std::min(1.0, olap / width_);
+  }
+  return mass / double(total_);
+}
+
+double EquiWidthHistogram::SelectivityPoint(double v) const {
+  if (total_ == 0 || v < min_ || v > max_) return 0.0;
+  size_t bin = size_t((v - min_) / width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  // Assume distinct values spread evenly across bins.
+  const double d_per_bin =
+      std::max(1.0, double(distinct_.size()) / double(counts_.size()));
+  return double(counts_[bin]) / d_per_bin / double(total_);
+}
+
+}  // namespace corrmap

@@ -1,0 +1,54 @@
+// Equi-width histograms over one attribute, built from a sample or a full
+// column. The CM Advisor uses them for selectivity estimation and to seed
+// candidate bucketings (§6.1.2: "builds equi-width histograms of several
+// different bucket widths from the random data sample").
+#ifndef CORRMAP_STATS_HISTOGRAM_H_
+#define CORRMAP_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/sampler.h"
+#include "storage/table.h"
+
+namespace corrmap {
+
+/// Fixed-bin equi-width histogram over a numeric view of one column.
+class EquiWidthHistogram {
+ public:
+  /// Builds from the sampled rows of `col` (or the full column when
+  /// `sample` is nullptr).
+  static EquiWidthHistogram Build(const Table& table, size_t col,
+                                  size_t num_bins,
+                                  const RowSample* sample = nullptr);
+
+  size_t num_bins() const { return counts_.size(); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  uint64_t total() const { return total_; }
+  uint64_t bin_count(size_t i) const { return counts_[i]; }
+  double bin_width() const { return width_; }
+
+  /// Estimated fraction of rows with value in [lo, hi] (linear
+  /// interpolation within boundary bins).
+  double SelectivityRange(double lo, double hi) const;
+
+  /// Estimated fraction of rows equal to v (bin mass / bin value span,
+  /// assuming locally uniform distinct values).
+  double SelectivityPoint(double v) const;
+
+  /// Sorted distinct values observed while building (for value-ordinal
+  /// bucketing of sampled data).
+  const std::vector<double>& distinct_values() const { return distinct_; }
+
+ private:
+  double min_ = 0, max_ = 0, width_ = 1;
+  uint64_t total_ = 0;
+  std::vector<uint64_t> counts_;
+  std::vector<double> distinct_;
+};
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_STATS_HISTOGRAM_H_

@@ -1,0 +1,26 @@
+#include "stats/sampler.h"
+
+namespace corrmap {
+
+RowSample RowSample::Collect(const Table& table, size_t target_size,
+                             uint64_t seed) {
+  RowSample sample;
+  Rng rng(seed);
+  const size_t n = table.NumRows();
+  uint64_t seen = 0;
+  for (RowId r = 0; r < n; ++r) {
+    if (table.IsDeleted(r)) continue;
+    ++seen;
+    if (sample.rows_.size() < target_size) {
+      sample.rows_.push_back(r);
+    } else {
+      // Classic Algorithm R replacement.
+      const uint64_t j = rng.UniformInt(0, int64_t(seen) - 1);
+      if (j < target_size) sample.rows_[j] = r;
+    }
+  }
+  sample.population_ = seen;
+  return sample;
+}
+
+}  // namespace corrmap

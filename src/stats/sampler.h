@@ -1,0 +1,37 @@
+// Reservoir sampling of table rows. The paper collects an in-memory random
+// sample during the Distinct Sampling table scan and feeds it to the
+// Adaptive Estimator and the CM Advisor's bucketing search (§4.2, §6.1.3,
+// ~30,000 tuples).
+#ifndef CORRMAP_STATS_SAMPLER_H_
+#define CORRMAP_STATS_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/page.h"
+#include "storage/table.h"
+
+namespace corrmap {
+
+/// A uniform random sample of row ids from one table.
+class RowSample {
+ public:
+  /// Draws a reservoir sample of up to `target_size` live rows in one pass.
+  static RowSample Collect(const Table& table, size_t target_size,
+                           uint64_t seed = 0xa5a5a5a5ULL);
+
+  const std::vector<RowId>& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+
+  /// Total live rows in the sampled table at collection time.
+  uint64_t population() const { return population_; }
+
+ private:
+  std::vector<RowId> rows_;
+  uint64_t population_ = 0;
+};
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_STATS_SAMPLER_H_

@@ -1,0 +1,96 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace corrmap {
+
+std::string BufferPoolStats::ToString() const {
+  return "hits=" + std::to_string(hits) + " misses=" + std::to_string(misses) +
+         " evictions=" + std::to_string(evictions) +
+         " dirty_evictions=" + std::to_string(dirty_evictions);
+}
+
+BufferPool::BufferPool(size_t capacity_pages)
+    : capacity_pages_(capacity_pages == 0 ? 1 : capacity_pages) {}
+
+void BufferPool::Access(PageId page, bool mark_dirty) {
+  auto it = frames_.find(page);
+  if (it != frames_.end()) {
+    ++stats_.hits;
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(page);
+    it->second.lru_it = lru_.begin();
+    if (mark_dirty && !it->second.dirty) {
+      it->second.dirty = true;
+      ++num_dirty_;
+    }
+    return;
+  }
+  ++stats_.misses;
+  ++io_.seeks;  // random read to fault the page in
+  if (frames_.size() >= capacity_pages_) EvictOne();
+  lru_.push_front(page);
+  Frame f;
+  f.lru_it = lru_.begin();
+  f.dirty = mark_dirty;
+  if (mark_dirty) ++num_dirty_;
+  frames_.emplace(page, f);
+}
+
+bool BufferPool::AccessIfCached(PageId page, bool mark_dirty) {
+  auto it = frames_.find(page);
+  if (it == frames_.end()) return false;
+  Access(page, mark_dirty);
+  return true;
+}
+
+void BufferPool::Admit(PageId page, bool mark_dirty) {
+  if (AccessIfCached(page, mark_dirty)) return;
+  ++stats_.misses;
+  if (frames_.size() >= capacity_pages_) EvictOne();
+  lru_.push_front(page);
+  Frame f;
+  f.lru_it = lru_.begin();
+  f.dirty = mark_dirty;
+  if (mark_dirty) ++num_dirty_;
+  frames_.emplace(page, f);
+}
+
+void BufferPool::EvictOne() {
+  assert(!lru_.empty());
+  const PageId victim = lru_.back();
+  lru_.pop_back();
+  auto it = frames_.find(victim);
+  assert(it != frames_.end());
+  ++stats_.evictions;
+  if (it->second.dirty) {
+    ++stats_.dirty_evictions;
+    ++io_.pages_written;
+    --num_dirty_;
+  }
+  frames_.erase(it);
+}
+
+void BufferPool::FlushAll() {
+  for (auto& [page, frame] : frames_) {
+    if (frame.dirty) {
+      frame.dirty = false;
+      ++io_.pages_written;
+    }
+  }
+  num_dirty_ = 0;
+}
+
+void BufferPool::Clear() {
+  frames_.clear();
+  lru_.clear();
+  num_dirty_ = 0;
+}
+
+DiskStats BufferPool::DrainIo() {
+  DiskStats out = io_;
+  io_ = DiskStats{};
+  return out;
+}
+
+}  // namespace corrmap

@@ -1,0 +1,88 @@
+// LRU buffer pool with dirty-page tracking. This is the mechanism behind the
+// paper's Experiment 3: many secondary B+Trees dirty more pages than fit in
+// RAM, so batched inserts force eviction write-backs; CMs stay resident.
+#ifndef CORRMAP_STORAGE_BUFFER_POOL_H_
+#define CORRMAP_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "storage/disk_model.h"
+#include "storage/page.h"
+
+namespace corrmap {
+
+/// Cache hit/miss and eviction counters.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_evictions = 0;
+
+  std::string ToString() const;
+};
+
+/// Fixed-capacity LRU page cache. Page reads on miss and dirty-page
+/// write-backs are charged to an internal DiskStats ledger that callers
+/// drain into their operation cost.
+class BufferPool {
+ public:
+  explicit BufferPool(size_t capacity_pages);
+
+  size_t capacity_pages() const { return capacity_pages_; }
+  size_t num_cached() const { return frames_.size(); }
+  size_t num_dirty() const { return num_dirty_; }
+
+  /// Issues a fresh file id for a table or index backed by this pool.
+  uint32_t RegisterFile() { return next_file_id_++; }
+
+  /// Touches a page: hit moves it to MRU; miss charges one random read and
+  /// may evict the LRU page (charging a write if dirty). `mark_dirty`
+  /// records an in-place modification.
+  void Access(PageId page, bool mark_dirty);
+
+  /// Touches a page only if it is already resident (returns false on miss,
+  /// charging nothing). Used by read paths that model their own I/O.
+  bool AccessIfCached(PageId page, bool mark_dirty);
+
+  /// Like Access, but a miss does NOT charge a read seek -- the caller has
+  /// already accounted the read as part of a sequential sweep. Evicted
+  /// dirty pages still charge their write-back.
+  void Admit(PageId page, bool mark_dirty);
+
+  bool IsCached(PageId page) const { return frames_.count(page) > 0; }
+
+  /// Writes back all dirty pages (checkpoint), charging one write each.
+  void FlushAll();
+
+  /// Drops every frame without writing (used to model a cold cache between
+  /// experiment trials, like the paper's drop_caches).
+  void Clear();
+
+  const BufferPoolStats& stats() const { return stats_; }
+
+  /// Returns and resets the accumulated I/O charges.
+  DiskStats DrainIo();
+
+ private:
+  struct Frame {
+    std::list<PageId>::iterator lru_it;
+    bool dirty = false;
+  };
+
+  void EvictOne();
+
+  size_t capacity_pages_;
+  std::list<PageId> lru_;  // front = MRU, back = LRU
+  std::unordered_map<PageId, Frame, PageIdHash> frames_;
+  size_t num_dirty_ = 0;
+  uint32_t next_file_id_ = 0;
+  BufferPoolStats stats_;
+  DiskStats io_;
+};
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,64 @@
+#include "storage/disk_model.h"
+
+#include <algorithm>
+
+namespace corrmap {
+
+std::string DiskStats::ToString() const {
+  return "seeks=" + std::to_string(seeks) +
+         " seq_pages=" + std::to_string(seq_pages) +
+         " pages_written=" + std::to_string(pages_written);
+}
+
+std::vector<PageRun> ExtractRuns(std::vector<PageNo> pages,
+                                 uint64_t gap_tolerance) {
+  std::vector<PageRun> runs;
+  if (pages.empty()) return runs;
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+
+  PageRun cur{pages[0], 1};
+  for (size_t i = 1; i < pages.size(); ++i) {
+    const PageNo expected = cur.first + cur.length;
+    if (pages[i] <= expected + gap_tolerance) {
+      // Extend through any tolerated gap: the skipped pages are read too.
+      cur.length = pages[i] - cur.first + 1;
+    } else {
+      runs.push_back(cur);
+      cur = PageRun{pages[i], 1};
+    }
+  }
+  runs.push_back(cur);
+  return runs;
+}
+
+DiskStats CostOfRuns(std::span<const PageRun> runs) {
+  DiskStats s;
+  s.seeks = runs.size();
+  for (const auto& r : runs) s.seq_pages += r.length;
+  return s;
+}
+
+size_t AccessTrace::NumRuns() const {
+  return ExtractRuns(pages_).size();
+}
+
+size_t AccessTrace::NumDistinctPages() const {
+  std::vector<PageNo> p = pages_;
+  std::sort(p.begin(), p.end());
+  p.erase(std::unique(p.begin(), p.end()), p.end());
+  return p.size();
+}
+
+std::string AccessTrace::Render(uint64_t total_pages, size_t width) const {
+  std::string out(width, '.');
+  if (total_pages == 0) return out;
+  for (PageNo p : pages_) {
+    size_t cell = static_cast<size_t>((__int128(p) * width) / total_pages);
+    if (cell >= width) cell = width - 1;
+    out[cell] = '#';
+  }
+  return out;
+}
+
+}  // namespace corrmap

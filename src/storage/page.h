@@ -1,0 +1,62 @@
+// Page-layout arithmetic. The engine stores tables columnar in memory but
+// accounts all I/O against a row-major page layout (fixed tuple width per
+// schema, 8 KiB pages), matching the heap-file model the paper's cost
+// formulas assume.
+#ifndef CORRMAP_STORAGE_PAGE_H_
+#define CORRMAP_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "common/value.h"
+
+namespace corrmap {
+
+/// Row position within a table (0-based, dense; deletions are tombstoned).
+using RowId = uint64_t;
+
+/// Page number within one file.
+using PageNo = uint64_t;
+
+/// Default page size, matching PostgreSQL's 8 KiB pages.
+inline constexpr size_t kDefaultPageSizeBytes = 8192;
+
+/// Fixed-width page layout for one table or index file.
+struct PageLayout {
+  size_t page_size_bytes = kDefaultPageSizeBytes;
+  size_t tuple_bytes = 0;
+
+  /// Number of tuples stored per page ("tups_per_page" in the paper).
+  size_t TuplesPerPage() const {
+    return tuple_bytes == 0 ? 1 : std::max<size_t>(1, page_size_bytes / tuple_bytes);
+  }
+
+  PageNo PageOfRow(RowId row) const { return row / TuplesPerPage(); }
+
+  /// Pages needed to hold `rows` tuples.
+  uint64_t NumPages(uint64_t rows) const {
+    const size_t tpp = TuplesPerPage();
+    return (rows + tpp - 1) / tpp;
+  }
+};
+
+/// Globally unique page identity: (file, page). File ids are issued by the
+/// BufferPool's registry; the base table is conventionally file 0.
+struct PageId {
+  uint32_t file = 0;
+  PageNo page = 0;
+
+  bool operator==(const PageId&) const = default;
+  auto operator<=>(const PageId&) const = default;
+};
+
+struct PageIdHash {
+  size_t operator()(const PageId& p) const {
+    return Mix64((uint64_t(p.file) << 48) ^ p.page);
+  }
+};
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_STORAGE_PAGE_H_

@@ -1,0 +1,32 @@
+#include "storage/schema.h"
+
+namespace corrmap {
+
+Schema::Schema(std::vector<ColumnDef> cols) : cols_(std::move(cols)) {}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+size_t Schema::TupleBytes() const {
+  size_t bytes = kTupleHeaderBytes;
+  for (const auto& c : cols_) bytes += c.byte_width;
+  return bytes;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (i) out += ", ";
+    out += cols_[i].name;
+    out += " ";
+    out += ValueTypeName(cols_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace corrmap

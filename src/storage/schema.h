@@ -1,0 +1,60 @@
+// Table schemas: typed, named columns with declared physical widths.
+#ifndef CORRMAP_STORAGE_SCHEMA_H_
+#define CORRMAP_STORAGE_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace corrmap {
+
+/// One column: name, logical type, and the byte width it occupies in the
+/// row-major page layout (strings store their declared width, not the
+/// dictionary code width, so page math matches a real heap file).
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+  size_t byte_width = 8;
+
+  static ColumnDef Int64(std::string name) {
+    return {std::move(name), ValueType::kInt64, 8};
+  }
+  static ColumnDef Double(std::string name) {
+    return {std::move(name), ValueType::kDouble, 8};
+  }
+  static ColumnDef String(std::string name, size_t width = 16) {
+    return {std::move(name), ValueType::kString, width};
+  }
+};
+
+/// Ordered collection of column definitions.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> cols);
+
+  size_t num_columns() const { return cols_.size(); }
+  const ColumnDef& column(size_t i) const { return cols_[i]; }
+
+  /// Index of the column named `name`, or error if absent.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Total bytes per tuple (sum of declared widths plus a small header,
+  /// mirroring heap-tuple overhead).
+  size_t TupleBytes() const;
+
+  /// Per-tuple header bytes included in TupleBytes().
+  static constexpr size_t kTupleHeaderBytes = 24;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> cols_;
+};
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_STORAGE_SCHEMA_H_

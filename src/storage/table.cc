@@ -1,0 +1,173 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace corrmap {
+
+Column::Column(ValueType type) : type_(type) {
+  if (type_ == ValueType::kString) dict_ = std::make_unique<StringPool>();
+}
+
+size_t Column::size() const {
+  return type_ == ValueType::kDouble ? doubles_.size() : ints_.size();
+}
+
+void Column::AppendInt64(int64_t v) {
+  assert(type_ != ValueType::kDouble);
+  ints_.push_back(v);
+}
+
+void Column::AppendDouble(double v) {
+  assert(type_ == ValueType::kDouble);
+  doubles_.push_back(v);
+}
+
+void Column::AppendString(std::string_view v) {
+  assert(type_ == ValueType::kString);
+  ints_.push_back(dict_->Intern(v));
+}
+
+Status Column::AppendValue(const Value& v) {
+  switch (type_) {
+    case ValueType::kInt64:
+      if (!v.is_int64()) return Status::InvalidArgument("expected int64");
+      AppendInt64(v.AsInt64());
+      return Status::OK();
+    case ValueType::kDouble:
+      if (v.is_string()) return Status::InvalidArgument("expected numeric");
+      AppendDouble(v.NumericValue());
+      return Status::OK();
+    case ValueType::kString:
+      if (!v.is_string()) return Status::InvalidArgument("expected string");
+      AppendString(v.AsString());
+      return Status::OK();
+  }
+  return Status::Internal("bad column type");
+}
+
+Value Column::GetValue(RowId row) const {
+  switch (type_) {
+    case ValueType::kInt64: return Value(ints_[row]);
+    case ValueType::kDouble: return Value(doubles_[row]);
+    case ValueType::kString: return Value(dict_->Get(ints_[row]));
+  }
+  return Value();
+}
+
+Key Column::EncodeKey(const Value& v) const {
+  switch (type_) {
+    case ValueType::kInt64:
+      return Key(v.is_double() ? static_cast<int64_t>(v.AsDouble()) : v.AsInt64());
+    case ValueType::kDouble: return Key(v.NumericValue());
+    case ValueType::kString: return Key(dict_->Find(v.AsString()));
+  }
+  return Key();
+}
+
+void Column::ApplyPermutation(const std::vector<RowId>& perm) {
+  if (type_ == ValueType::kDouble) {
+    std::vector<double> out(perm.size());
+    for (size_t i = 0; i < perm.size(); ++i) out[i] = doubles_[perm[i]];
+    doubles_ = std::move(out);
+  } else {
+    std::vector<int64_t> out(perm.size());
+    for (size_t i = 0; i < perm.size(); ++i) out[i] = ints_[perm[i]];
+    ints_ = std::move(out);
+  }
+}
+
+Column Column::Clone() const {
+  Column out(type_);
+  out.ints_ = ints_;
+  out.doubles_ = doubles_;
+  if (dict_ != nullptr) *out.dict_ = *dict_;
+  return out;
+}
+
+void Column::Reserve(size_t n) {
+  if (type_ == ValueType::kDouble) {
+    doubles_.reserve(n);
+  } else {
+    ints_.reserve(n);
+  }
+}
+
+Table::Table(std::string name, Schema schema, size_t page_size_bytes)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  layout_.page_size_bytes = page_size_bytes;
+  layout_.tuple_bytes = schema_.TupleBytes();
+  cols_.reserve(schema_.num_columns());
+  for (size_t i = 0; i < schema_.num_columns(); ++i) {
+    cols_.emplace_back(schema_.column(i).type);
+  }
+}
+
+Status Table::AppendRow(std::span<const Value> values) {
+  if (values.size() != cols_.size()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    Status s = cols_[i].AppendValue(values[i]);
+    if (!s.ok()) return s;
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+void Table::AppendRowKeys(std::span<const Key> keys) {
+  assert(keys.size() == cols_.size());
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i].type() == ValueType::kDouble) {
+      cols_[i].AppendDouble(keys[i].Numeric());
+    } else {
+      cols_[i].AppendInt64(keys[i].AsInt64());
+    }
+  }
+  ++num_rows_;
+}
+
+Status Table::DeleteRow(RowId row) {
+  if (row >= num_rows_) return Status::OutOfRange("row id past end");
+  if (deleted_.size() < num_rows_) deleted_.resize(num_rows_, false);
+  if (deleted_[row]) return Status::NotFound("row already deleted");
+  deleted_[row] = true;
+  ++num_deleted_;
+  return Status::OK();
+}
+
+Status Table::ClusterBy(size_t col) {
+  if (col >= cols_.size()) return Status::OutOfRange("no such column");
+  std::vector<RowId> perm(num_rows_);
+  std::iota(perm.begin(), perm.end(), RowId{0});
+  const Column& c = cols_[col];
+  std::stable_sort(perm.begin(), perm.end(), [&](RowId a, RowId b) {
+    return c.GetKey(a) < c.GetKey(b);
+  });
+  for (auto& column : cols_) column.ApplyPermutation(perm);
+  if (!deleted_.empty()) {
+    std::vector<bool> out(perm.size());
+    for (size_t i = 0; i < perm.size(); ++i) out[i] = deleted_[perm[i]];
+    deleted_ = std::move(out);
+  }
+  clustered_col_ = static_cast<int>(col);
+  return Status::OK();
+}
+
+std::unique_ptr<Table> Table::Clone() const {
+  auto out = std::make_unique<Table>(name_, schema_, layout_.page_size_bytes);
+  out->cols_.clear();
+  for (const auto& c : cols_) out->cols_.push_back(c.Clone());
+  out->deleted_ = deleted_;
+  out->num_rows_ = num_rows_;
+  out->num_deleted_ = num_deleted_;
+  out->clustered_col_ = clustered_col_;
+  return out;
+}
+
+void Table::Reserve(size_t n) {
+  for (auto& c : cols_) c.Reserve(n);
+}
+
+}  // namespace corrmap

@@ -1,0 +1,139 @@
+// Columnar heap table with a row-major page-layout view for I/O accounting.
+// Supports append, tombstone delete, clustering (stable sort by one column),
+// and typed row access. This is the storage substrate every index, CM, and
+// access path operates over.
+#ifndef CORRMAP_STORAGE_TABLE_H_
+#define CORRMAP_STORAGE_TABLE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/string_pool.h"
+#include "common/value.h"
+#include "storage/page.h"
+#include "storage/schema.h"
+
+namespace corrmap {
+
+/// Typed column storage. Int64 and dictionary codes share the int vector;
+/// doubles have their own. Strings are interned into a per-column pool.
+class Column {
+ public:
+  explicit Column(ValueType type);
+
+  ValueType type() const { return type_; }
+  size_t size() const;
+
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string_view v);
+
+  /// Appends a logical value; must match the column type.
+  Status AppendValue(const Value& v);
+
+  int64_t GetInt64(RowId row) const { return ints_[row]; }
+  double GetDouble(RowId row) const { return doubles_[row]; }
+
+  /// Physical key (dict code for strings).
+  Key GetKey(RowId row) const {
+    return type_ == ValueType::kDouble ? Key(doubles_[row]) : Key(ints_[row]);
+  }
+
+  /// Logical value (decoded string for string columns).
+  Value GetValue(RowId row) const;
+
+  /// Encodes a logical literal to its physical key in this column's domain.
+  /// Unknown strings encode to code -1 (matches nothing).
+  Key EncodeKey(const Value& v) const;
+
+  const StringPool* dictionary() const { return dict_.get(); }
+
+  /// Reorders the column contents by `perm` (new[i] = old[perm[i]]).
+  void ApplyPermutation(const std::vector<RowId>& perm);
+
+  /// Deep copy (dictionary included).
+  Column Clone() const;
+
+  void Reserve(size_t n);
+
+ private:
+  ValueType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::unique_ptr<StringPool> dict_;
+};
+
+/// A heap table: schema + columns + page layout + optional clustering.
+class Table {
+ public:
+  Table(std::string name, Schema schema,
+        size_t page_size_bytes = kDefaultPageSizeBytes);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const PageLayout& layout() const { return layout_; }
+
+  size_t NumRows() const { return num_rows_; }
+  /// Live (non-tombstoned) rows.
+  size_t NumLiveRows() const { return num_rows_ - num_deleted_; }
+  uint64_t NumPages() const { return layout_.NumPages(num_rows_); }
+
+  /// "total_tups" and "tups_per_page" as used by the paper's cost model.
+  uint64_t TotalTuples() const { return NumLiveRows(); }
+  size_t TuplesPerPage() const { return layout_.TuplesPerPage(); }
+
+  /// Appends one row; the span must match the schema arity and types.
+  Status AppendRow(std::span<const Value> values);
+
+  /// Fast path for generators: append physical keys directly.
+  void AppendRowKeys(std::span<const Key> keys);
+
+  /// Tombstones a row. Scans and access paths skip deleted rows.
+  Status DeleteRow(RowId row);
+  bool IsDeleted(RowId row) const {
+    return row < deleted_.size() && deleted_[row];
+  }
+
+  const Column& column(size_t i) const { return cols_[i]; }
+  Column& column_mutable(size_t i) { return cols_[i]; }
+  Result<size_t> ColumnIndex(const std::string& name) const {
+    return schema_.ColumnIndex(name);
+  }
+
+  Key GetKey(RowId row, size_t col) const { return cols_[col].GetKey(row); }
+  Value GetValue(RowId row, size_t col) const { return cols_[col].GetValue(row); }
+
+  /// Physically reorders the table so `col` is in ascending order (stable),
+  /// making `col` the clustered attribute. Invalidates RowIds held by
+  /// indexes built earlier; cluster first, then build indexes.
+  Status ClusterBy(size_t col);
+
+  /// Clustered column index, or -1 if the table is unclustered (heap order).
+  int clustered_column() const { return clustered_col_; }
+
+  /// Size of the heap file in bytes under the page layout.
+  uint64_t HeapBytes() const { return NumPages() * layout_.page_size_bytes; }
+
+  /// Deep copy, used by offline tools (e.g. the physical designer) that
+  /// score alternative clusterings on scratch copies.
+  std::unique_ptr<Table> Clone() const;
+
+  void Reserve(size_t n);
+
+ private:
+  std::string name_;
+  Schema schema_;
+  PageLayout layout_;
+  std::vector<Column> cols_;
+  std::vector<bool> deleted_;
+  size_t num_rows_ = 0;
+  size_t num_deleted_ = 0;
+  int clustered_col_ = -1;
+};
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_STORAGE_TABLE_H_

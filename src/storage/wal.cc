@@ -1,0 +1,43 @@
+#include "storage/wal.h"
+
+namespace corrmap {
+
+namespace {
+// Fixed per-record framing overhead: type, txn, length, CRC.
+constexpr size_t kRecordHeaderBytes = 24;
+}  // namespace
+
+void WriteAheadLog::Append(WalRecord rec) {
+  pending_bytes_ += kRecordHeaderBytes + rec.payload.size();
+  pending_.push_back(std::move(rec));
+}
+
+void WriteAheadLog::Flush() {
+  if (pending_.empty()) return;
+  const uint64_t pages = (pending_bytes_ + page_size_ - 1) / page_size_;
+  ++io_.seeks;  // position at log tail
+  io_.seq_pages += pages;  // sequential log write
+  bytes_durable_ += pending_bytes_;
+  ++num_flushes_;
+  for (auto& r : pending_) durable_.push_back(std::move(r));
+  pending_.clear();
+  pending_bytes_ = 0;
+}
+
+void WriteAheadLog::Prepare(uint64_t txn_id) {
+  Append({WalRecordType::kPrepare, txn_id, ""});
+  Flush();
+}
+
+void WriteAheadLog::Commit(uint64_t txn_id) {
+  Append({WalRecordType::kCommit, txn_id, ""});
+  Flush();
+}
+
+DiskStats WriteAheadLog::DrainIo() {
+  DiskStats out = io_;
+  io_ = DiskStats{};
+  return out;
+}
+
+}  // namespace corrmap

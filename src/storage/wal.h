@@ -1,0 +1,77 @@
+// Write-ahead log used for CM recoverability (paper §7.1: the prototype
+// keeps CMs in memory and makes them recoverable by flushing a WAL during
+// two-phase commit with PostgreSQL). Records are in-memory byte strings;
+// I/O is charged through DiskStats: appends are buffered, a flush charges
+// one seek plus the buffered bytes as sequential page writes.
+#ifndef CORRMAP_STORAGE_WAL_H_
+#define CORRMAP_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/disk_model.h"
+
+namespace corrmap {
+
+/// Logical WAL record kinds for CM maintenance.
+enum class WalRecordType : uint8_t {
+  kCmInsert = 1,
+  kCmDelete = 2,
+  kPrepare = 3,
+  kCommit = 4,
+  kCheckpoint = 5,
+};
+
+struct WalRecord {
+  WalRecordType type;
+  uint64_t txn_id;
+  std::string payload;  ///< serialized (cm_id, u_key, c_bucket) triple
+};
+
+/// Append-only simulated log with group flush.
+class WriteAheadLog {
+ public:
+  explicit WriteAheadLog(size_t page_size_bytes = 8192)
+      : page_size_(page_size_bytes) {}
+
+  /// Buffers a record (no I/O yet).
+  void Append(WalRecord rec);
+
+  /// Durably writes buffered records: one seek + ceil(bytes/page) sequential
+  /// page writes, matching a log-file fsync.
+  void Flush();
+
+  /// Two-phase commit hooks (paper's PREPARE COMMIT / COMMIT PREPARED):
+  /// each writes a marker record and flushes.
+  void Prepare(uint64_t txn_id);
+  void Commit(uint64_t txn_id);
+
+  /// All records flushed so far, for replay/recovery.
+  const std::vector<WalRecord>& durable_records() const { return durable_; }
+
+  /// Records appended but not yet flushed (lost on crash).
+  size_t pending_records() const { return pending_.size(); }
+
+  uint64_t bytes_durable() const { return bytes_durable_; }
+  uint64_t num_flushes() const { return num_flushes_; }
+
+  /// Returns and resets the accumulated I/O charges.
+  DiskStats DrainIo();
+
+  /// Simulates a crash: drops buffered, un-flushed records.
+  void Crash() { pending_.clear(); pending_bytes_ = 0; }
+
+ private:
+  size_t page_size_;
+  std::vector<WalRecord> pending_;
+  std::vector<WalRecord> durable_;
+  size_t pending_bytes_ = 0;
+  uint64_t bytes_durable_ = 0;
+  uint64_t num_flushes_ = 0;
+  DiskStats io_;
+};
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_STORAGE_WAL_H_

@@ -1,0 +1,73 @@
+#include "workload/ebay_gen.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/schema.h"
+
+namespace corrmap {
+
+namespace {
+
+/// Deterministic category-path labels: each level's label encodes its
+/// position so sibling subtrees share CAT1..k prefixes like a real taxonomy.
+std::array<std::string, 6> PathLabels(size_t catid, int fanout) {
+  std::array<std::string, 6> labels;
+  size_t x = catid;
+  std::array<size_t, 6> digits{};
+  for (int lv = 5; lv >= 0; --lv) {
+    digits[size_t(lv)] = x % size_t(fanout);
+    x /= size_t(fanout);
+  }
+  std::string prefix;
+  for (int lv = 0; lv < 6; ++lv) {
+    prefix += (lv ? "/" : "") + std::to_string(digits[size_t(lv)]);
+    labels[size_t(lv)] = "cat" + std::to_string(lv + 1) + ":" + prefix;
+  }
+  return labels;
+}
+
+}  // namespace
+
+std::unique_ptr<Table> GenerateEbayItems(const EbayGenConfig& config) {
+  Schema schema({
+      ColumnDef::Int64("CATID"),
+      ColumnDef::String("CAT1", 12),
+      ColumnDef::String("CAT2", 14),
+      ColumnDef::String("CAT3", 16),
+      ColumnDef::String("CAT4", 18),
+      ColumnDef::String("CAT5", 20),
+      ColumnDef::String("CAT6", 22),
+      ColumnDef::Int64("ItemID"),
+      ColumnDef::Double("Price"),
+  });
+  auto table = std::make_unique<Table>("items", std::move(schema));
+  Rng rng(config.seed);
+
+  int64_t next_item = 1;
+  for (size_t cat = 0; cat < config.num_categories; ++cat) {
+    const auto labels = PathLabels(cat, config.fanout_per_level);
+    const size_t n_items = size_t(
+        rng.UniformInt(int64_t(config.min_items_per_category),
+                       int64_t(config.max_items_per_category)));
+    const double median = rng.UniformDouble(0.0, config.max_median_price);
+    for (size_t i = 0; i < n_items; ++i) {
+      const double price =
+          std::max(0.01, rng.Gaussian(median, config.price_stddev));
+      const std::array<Value, 9> row = {
+          Value(int64_t(cat)),   Value(labels[0]), Value(labels[1]),
+          Value(labels[2]),      Value(labels[3]), Value(labels[4]),
+          Value(labels[5]),      Value(next_item++),
+          // Prices quantized to cents, as a catalogue would store them.
+          Value(std::round(price * 100.0) / 100.0),
+      };
+      Status s = table->AppendRow(row);
+      (void)s;
+    }
+  }
+  return table;
+}
+
+}  // namespace corrmap

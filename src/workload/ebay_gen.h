@@ -1,0 +1,50 @@
+// Synthetic hierarchical catalogue dataset matching the paper's description
+// (§7.1.1): categories arranged in a 6-level hierarchy, items assigned
+// uniformly per category, per-category median price drawn uniformly from
+// [0, $1M] and item prices Gaussian around the median with sd = $100 --
+// yielding a strong (but soft) Price -> CATID functional dependency.
+//
+// Schema: ITEMS(CATID, CAT1..CAT6, ItemID, Price).
+#ifndef CORRMAP_WORKLOAD_EBAY_GEN_H_
+#define CORRMAP_WORKLOAD_EBAY_GEN_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "storage/table.h"
+
+namespace corrmap {
+
+struct EbayGenConfig {
+  /// Number of leaf categories (paper: 24,000).
+  size_t num_categories = 2400;
+  /// Items per category drawn uniformly from [min_items, max_items]
+  /// (paper: 500..3000).
+  size_t min_items_per_category = 50;
+  size_t max_items_per_category = 300;
+  /// Price model (paper: median U[0, 1M], sd = 100).
+  double max_median_price = 1'000'000.0;
+  double price_stddev = 100.0;
+  /// Hierarchy fanout at each of the 6 levels (top-down). The product
+  /// should be >= num_categories.
+  int fanout_per_level = 8;
+  uint64_t seed = 0xebabe5ULL;
+};
+
+/// Column indexes of the generated table.
+struct EbaySchema {
+  size_t catid = 0;
+  size_t cat1 = 1, cat2 = 2, cat3 = 3, cat4 = 4, cat5 = 5, cat6 = 6;
+  size_t item_id = 7;
+  size_t price = 8;
+};
+
+/// Generates the ITEMS table (unclustered; callers typically ClusterBy
+/// CATID as in Experiments 1-4).
+std::unique_ptr<Table> GenerateEbayItems(const EbayGenConfig& config = {});
+
+inline constexpr EbaySchema kEbay{};
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_WORKLOAD_EBAY_GEN_H_

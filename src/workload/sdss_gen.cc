@@ -1,0 +1,127 @@
+#include "workload/sdss_gen.h"
+
+#include <array>
+#include <cmath>
+
+#include "common/rng.h"
+#include "storage/schema.h"
+
+namespace corrmap {
+
+namespace {
+
+const std::vector<std::string> kAttrs = {
+    // Position family (soft functions of the field sweep).
+    "fieldID", "run", "camcol", "field", "mjd", "stripe", "strip", "zoneID",
+    "htmID", "sector", "segment", "skyRegion", "extinction_r",
+    // Sky coordinates.
+    "ra", "dec",
+    // Brightness family (shared latent magnitude).
+    "psfMag_u", "psfMag_g", "psfMag_r", "psfMag_i", "psfMag_z",
+    "petroMag_u", "petroMag_g", "petroMag_r", "petroMag_i", "petroMag_z",
+    "modelMag_g", "g", "rho",
+    // Few-valued.
+    "mode", "type", "status", "insideMask", "flagsCat",
+    // Independent.
+    "rowc", "colc", "sky_u", "err_g", "specObjID", "priority",
+};
+
+}  // namespace
+
+const std::vector<std::string>& SdssQueryAttributes() { return kAttrs; }
+
+std::unique_ptr<Table> GenerateSdssPhotoObj(const SdssGenConfig& config) {
+  std::vector<ColumnDef> cols;
+  cols.push_back(ColumnDef::Int64("objID"));
+  for (const auto& name : kAttrs) {
+    const bool is_double =
+        name == "ra" || name == "dec" || name.find("Mag") != std::string::npos ||
+        name == "g" || name == "rho" || name == "extinction_r" ||
+        name == "rowc" || name == "colc" || name == "sky_u" || name == "err_g";
+    cols.push_back(is_double ? ColumnDef::Double(name)
+                             : ColumnDef::Int64(name));
+  }
+  auto table = std::make_unique<Table>("photoobj", Schema(std::move(cols)));
+  table->Reserve(config.num_rows);
+  Rng rng(config.seed);
+
+  const size_t n_fields =
+      std::max<size_t>(1, config.num_rows / config.objects_per_field);
+  const size_t ncols =
+      std::max<size_t>(1, size_t(std::round(std::sqrt(double(n_fields)))));
+  // Sky cell size in degrees: survey window 40deg (ra) x 40deg (dec).
+  const double cell_ra = 40.0 / double(ncols);
+  const size_t nrows_grid = (n_fields + ncols - 1) / ncols;
+  const double cell_dec = 40.0 / double(std::max<size_t>(1, nrows_grid));
+
+  for (size_t i = 0; i < config.num_rows; ++i) {
+    const size_t field = std::min(i / config.objects_per_field, n_fields - 1);
+    const size_t grow = field / ncols;   // dec row
+    const size_t gcol = field % ncols;   // ra column
+    const double ra = 150.0 + double(gcol) * cell_ra +
+                      rng.UniformDouble(0.0, cell_ra);
+    const double dec = -20.0 + double(grow) * cell_dec +
+                       rng.UniformDouble(0.0, cell_dec);
+    const double brightness = rng.UniformDouble(14.0, 26.0);
+    const double ext = 0.05 + 0.4 * std::fabs(std::sin(double(field) * 0.37));
+
+    auto mag = [&](double offset, double sd) {
+      return brightness + offset + rng.Gaussian(0.0, sd);
+    };
+
+    std::array<Key, 40> row;
+    size_t c = 0;
+    row[c++] = Key(int64_t(i));                                 // objID
+    row[c++] = Key(int64_t(field));                             // fieldID
+    row[c++] = Key(int64_t(grow));                              // run
+    row[c++] = Key(int64_t(gcol % 6));                          // camcol
+    row[c++] = Key(int64_t(gcol));                              // field
+    row[c++] = Key(int64_t(50000 + field * 2 +
+                           uint64_t(rng.UniformInt(0, 1))));    // mjd
+    row[c++] = Key(int64_t(grow / 2));                          // stripe
+    row[c++] = Key(int64_t(grow % 2));                          // strip
+    row[c++] = Key(int64_t(grow * 2 + (dec - (-20.0 + double(grow) * cell_dec) >
+                                               cell_dec / 2
+                                           ? 1
+                                           : 0)));              // zoneID
+    row[c++] = Key(int64_t(field * 16 + uint64_t(rng.UniformInt(0, 15))));
+                                                                // htmID
+    row[c++] = Key(int64_t(field / 8));                         // sector
+    row[c++] = Key(int64_t(field / 32));                        // segment
+    row[c++] = Key(int64_t(field / 128));                       // skyRegion
+    row[c++] = Key(ext + rng.Gaussian(0.0, 0.02));              // extinction_r
+    row[c++] = Key(ra);                                         // ra
+    row[c++] = Key(dec);                                        // dec
+    row[c++] = Key(mag(1.1, 0.2));                              // psfMag_u
+    row[c++] = Key(mag(0.0, 0.2));                              // psfMag_g
+    row[c++] = Key(mag(-0.4, 0.2));                             // psfMag_r
+    row[c++] = Key(mag(-0.7, 0.2));                             // psfMag_i
+    row[c++] = Key(mag(-1.0, 0.2));                             // psfMag_z
+    row[c++] = Key(mag(1.2, 0.3));                              // petroMag_u
+    row[c++] = Key(mag(0.1, 0.3));                              // petroMag_g
+    row[c++] = Key(mag(-0.3, 0.3));                             // petroMag_r
+    row[c++] = Key(mag(-0.6, 0.3));                             // petroMag_i
+    row[c++] = Key(mag(-0.9, 0.3));                             // petroMag_z
+    row[c++] = Key(mag(0.05, 0.15));                            // modelMag_g
+    row[c++] = Key(mag(0.0, 0.25));                             // g
+    row[c++] = Key(rng.Gaussian(3.0, 1.0));                     // rho
+    // mode: heavily skewed toward primary observations.
+    const double mu = rng.UniformDouble(0, 1);
+    row[c++] = Key(int64_t(mu < 0.85 ? 1 : (mu < 0.97 ? 2 : 3)));  // mode
+    static const int64_t kTypes[5] = {0, 3, 5, 6, 8};
+    row[c++] = Key(kTypes[rng.UniformInt(0, 4)]);               // type
+    row[c++] = Key(rng.UniformInt(0, 7));                       // status
+    row[c++] = Key(rng.UniformInt(0, 1));                       // insideMask
+    row[c++] = Key(rng.UniformInt(0, 15));                      // flagsCat
+    row[c++] = Key(rng.UniformDouble(0.0, 2048.0));             // rowc
+    row[c++] = Key(rng.UniformDouble(0.0, 2048.0));             // colc
+    row[c++] = Key(rng.UniformDouble(0.0, 30.0));               // sky_u
+    row[c++] = Key(rng.UniformDouble(0.0, 0.5));                // err_g
+    row[c++] = Key(int64_t(rng() >> 1));                        // specObjID
+    row[c++] = Key(rng.UniformInt(0, 999));                     // priority
+    table->AppendRowKeys(row);
+  }
+  return table;
+}
+
+}  // namespace corrmap

@@ -1,0 +1,55 @@
+// Synthetic lineitem-like table reproducing the two TPC-H correlations the
+// paper exploits (§3.3, Fig. 1, Fig. 3):
+//   * receiptdate = shipdate + a few "bump" day offsets (mostly 2, 4, 5
+//     days -- standard/air/ground shipping), a tight soft FD;
+//   * suppkey is moderately correlated with partkey (each supplier supplies
+//     a limited band of parts).
+//
+// Schema (subset of TPC-H lineitem, 136-byte tuples like the paper's):
+// LINEITEM(orderkey, linenumber, partkey, suppkey, quantity, extendedprice,
+//          discount, shipdate, commitdate, receiptdate).
+// Dates are integer day numbers.
+#ifndef CORRMAP_WORKLOAD_TPCH_GEN_H_
+#define CORRMAP_WORKLOAD_TPCH_GEN_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "storage/table.h"
+
+namespace corrmap {
+
+struct TpchGenConfig {
+  /// Rows to generate (paper: 18M at scale 3; default is laptop scale).
+  size_t num_rows = 600'000;
+  /// Distinct ship days (paper's ~7-year date range).
+  int64_t num_ship_days = 2526;
+  /// Suppliers and parts.
+  int64_t num_suppliers = 1000;
+  int64_t num_parts = 20000;
+  /// Parts each supplier draws from (moderate suppkey->partkey correlation).
+  int64_t parts_per_supplier = 80;
+  uint64_t seed = 0x79c4ULL;
+};
+
+/// Column indexes of the generated table.
+struct TpchSchema {
+  size_t orderkey = 0;
+  size_t linenumber = 1;
+  size_t partkey = 2;
+  size_t suppkey = 3;
+  size_t quantity = 4;
+  size_t extendedprice = 5;
+  size_t discount = 6;
+  size_t shipdate = 7;
+  size_t commitdate = 8;
+  size_t receiptdate = 9;
+};
+
+std::unique_ptr<Table> GenerateLineitem(const TpchGenConfig& config = {});
+
+inline constexpr TpchSchema kTpch{};
+
+}  // namespace corrmap
+
+#endif  // CORRMAP_WORKLOAD_TPCH_GEN_H_

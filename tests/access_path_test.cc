@@ -1,0 +1,245 @@
+// Tests for the five access paths: every path must return exactly the rows
+// a full scan returns (no false positives/negatives in results), and their
+// relative simulated costs must follow the paper's §3 analysis.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/rng.h"
+#include "exec/access_path.h"
+#include "workload/tpch_gen.h"
+
+namespace corrmap {
+namespace {
+
+/// Correlated numeric workload: table clustered on c; u ~ soft FD of c.
+struct Fixture {
+  std::unique_ptr<Table> table;
+  std::unique_ptr<ClusteredIndex> cidx;
+  std::unique_ptr<SecondaryIndex> sidx;
+  std::unique_ptr<CorrelationMap> cm;
+
+  explicit Fixture(size_t rows = 30000, bool correlated = true) {
+    Schema schema({ColumnDef::Int64("c"), ColumnDef::Int64("u"),
+                   ColumnDef::Double("payload")});
+    table = std::make_unique<Table>("t", std::move(schema));
+    Rng rng(59);
+    for (size_t i = 0; i < rows; ++i) {
+      const int64_t u = rng.UniformInt(0, 999);
+      const int64_t c = correlated ? u / 10 + rng.UniformInt(0, 1)
+                                   : rng.UniformInt(0, 99);
+      std::array<Value, 3> row = {Value(c), Value(u),
+                                  Value(rng.UniformDouble(0, 1))};
+      EXPECT_TRUE(table->AppendRow(row).ok());
+    }
+    EXPECT_TRUE(table->ClusterBy(0).ok());
+    auto ci = ClusteredIndex::Build(*table, 0);
+    EXPECT_TRUE(ci.ok());
+    cidx = std::make_unique<ClusteredIndex>(std::move(*ci));
+    sidx = std::make_unique<SecondaryIndex>(table.get(),
+                                            std::vector<size_t>{1});
+    EXPECT_TRUE(sidx->BuildFromTable().ok());
+    CmOptions opts;
+    opts.u_cols = {1};
+    opts.u_bucketers = {Bucketer::Identity()};
+    opts.c_col = 0;
+    auto m = CorrelationMap::Create(table.get(), opts);
+    EXPECT_TRUE(m.ok());
+    EXPECT_TRUE(m->BuildFromTable().ok());
+    cm = std::make_unique<CorrelationMap>(std::move(*m));
+  }
+};
+
+TEST(AccessPathTest, AllPathsAgreeOnEqualityResults) {
+  Fixture f;
+  Query q({Predicate::Eq(*f.table, "u", Value(137))});
+  auto scan = FullTableScan(*f.table, q);
+  auto pipelined = PipelinedIndexScan(*f.table, *f.sidx, q);
+  auto sorted = SortedIndexScan(*f.table, *f.sidx, q);
+  auto virt = VirtualSortedIndexScan(*f.table, q, 1);
+  auto cms = CmScan(*f.table, *f.cm, *f.cidx, q);
+  ASSERT_GT(scan.rows.size(), 0u);
+  EXPECT_EQ(pipelined.rows, scan.rows);
+  EXPECT_EQ(sorted.rows, scan.rows);
+  EXPECT_EQ(virt.rows, scan.rows);
+  EXPECT_EQ(cms.rows, scan.rows);
+}
+
+TEST(AccessPathTest, AllPathsAgreeOnInListResults) {
+  Fixture f;
+  Query q({Predicate::In(*f.table, "u", {Value(5), Value(500), Value(990)})});
+  auto scan = FullTableScan(*f.table, q);
+  auto sorted = SortedIndexScan(*f.table, *f.sidx, q);
+  auto cms = CmScan(*f.table, *f.cm, *f.cidx, q);
+  EXPECT_EQ(sorted.rows, scan.rows);
+  EXPECT_EQ(cms.rows, scan.rows);
+}
+
+TEST(AccessPathTest, RangePredicateResultsAgree) {
+  Fixture f;
+  Query q({Predicate::Between(*f.table, "u", Value(100), Value(140))});
+  auto scan = FullTableScan(*f.table, q);
+  auto sorted = SortedIndexScan(*f.table, *f.sidx, q);
+  auto cms = CmScan(*f.table, *f.cm, *f.cidx, q);
+  ASSERT_GT(scan.rows.size(), 0u);
+  EXPECT_EQ(sorted.rows, scan.rows);
+  EXPECT_EQ(cms.rows, scan.rows);
+}
+
+TEST(AccessPathTest, ClusteredIndexScanMatchesScan) {
+  // Large enough that the clustered descent's seeks beat a full sweep (on
+  // tiny tables the 5.5 ms seek floor exceeds the scan, per the model).
+  Fixture f(150000);
+  Query q({Predicate::Between(*f.table, "c", Value(10), Value(20))});
+  auto scan = FullTableScan(*f.table, q);
+  auto clustered = ClusteredIndexScan(*f.table, *f.cidx, q);
+  EXPECT_EQ(clustered.rows, scan.rows);
+  EXPECT_LT(clustered.ms, scan.ms);
+}
+
+TEST(AccessPathTest, ScanCostIsPagesTimesSeqCost) {
+  Fixture f;
+  Query q({Predicate::Eq(*f.table, "u", Value(1))});
+  auto scan = FullTableScan(*f.table, q);
+  EXPECT_EQ(scan.io.seq_pages, f.table->NumPages());
+  EXPECT_EQ(scan.io.seeks, 0u);
+  EXPECT_DOUBLE_EQ(scan.ms, 0.078 * double(f.table->NumPages()));
+}
+
+TEST(AccessPathTest, CorrelationMakesSortedScanCheap) {
+  Fixture corr(200000, /*correlated=*/true);
+  Fixture uncorr(200000, /*correlated=*/false);
+  Query qc({Predicate::Eq(*corr.table, "u", Value(321))});
+  Query qu({Predicate::Eq(*uncorr.table, "u", Value(321))});
+  auto sc = SortedIndexScan(*corr.table, *corr.sidx, qc);
+  auto su = SortedIndexScan(*uncorr.table, *uncorr.sidx, qu);
+  // Same matching rows scattered vs clustered: correlated must be much
+  // cheaper (the Fig. 1 effect); the uncorrelated sweep degrades to ~scan.
+  EXPECT_LT(sc.ms * 3, su.ms);
+}
+
+TEST(AccessPathTest, PipelinedWorseThanSortedWhenScattered) {
+  Fixture f(30000, /*correlated=*/false);
+  Query q(
+      {Predicate::In(*f.table, "u", {Value(1), Value(2), Value(3), Value(4)})});
+  auto pipelined = PipelinedIndexScan(*f.table, *f.sidx, q);
+  auto sorted = SortedIndexScan(*f.table, *f.sidx, q);
+  EXPECT_EQ(pipelined.rows, sorted.rows);
+  EXPECT_GE(pipelined.ms, sorted.ms);
+}
+
+TEST(AccessPathTest, CmScanExaminesSuperset) {
+  // Bucketed CM reads false-positive rows but filters them out.
+  Schema schema({ColumnDef::Int64("c"), ColumnDef::Double("u")});
+  Table t("t", std::move(schema));
+  Rng rng(61);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.UniformDouble(0, 10000);
+    std::array<Value, 2> row = {Value(int64_t(u / 100)), Value(u)};
+    ASSERT_TRUE(t.AppendRow(row).ok());
+  }
+  ASSERT_TRUE(t.ClusterBy(0).ok());
+  auto cidx = ClusteredIndex::Build(t, 0);
+  ASSERT_TRUE(cidx.ok());
+  auto cb = ClusteredBucketing::Build(t, 0, 256);
+  ASSERT_TRUE(cb.ok());
+  CmOptions opts;
+  opts.u_cols = {1};
+  opts.u_bucketers = {Bucketer::ValueOrdinalFromColumn(t, 1, 6)};
+  opts.c_col = 0;
+  opts.c_buckets = &*cb;
+  auto cm = CorrelationMap::Create(&t, opts);
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE(cm->BuildFromTable().ok());
+
+  Query q({Predicate::Between(t, "u", Value(2000.0), Value(2200.0))});
+  auto scan = FullTableScan(t, q);
+  auto cms = CmScan(t, *cm, *cidx, q);
+  EXPECT_EQ(cms.rows, scan.rows);           // exact answers
+  EXPECT_GT(cms.rows_examined, cms.rows.size());  // but superset examined
+  EXPECT_LT(cms.ms, scan.ms);               // and still cheaper than a scan
+}
+
+TEST(AccessPathTest, UncachedCmChargesItsPages) {
+  Fixture f(200000);
+  Query q({Predicate::Eq(*f.table, "u", Value(10))});
+  ExecOptions cached;
+  ExecOptions uncached;
+  uncached.cm_cached = false;
+  auto a = CmScan(*f.table, *f.cm, *f.cidx, q, cached);
+  auto b = CmScan(*f.table, *f.cm, *f.cidx, q, uncached);
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_GT(b.ms, a.ms);
+}
+
+TEST(AccessPathTest, TraceRecordsTouchedPages) {
+  Fixture f;
+  Query q({Predicate::Eq(*f.table, "u", Value(77))});
+  ExecOptions opts;
+  opts.keep_trace = true;
+  auto sorted = SortedIndexScan(*f.table, *f.sidx, q, opts);
+  EXPECT_GT(sorted.trace.NumDistinctPages(), 0u);
+  EXPECT_LE(sorted.trace.NumDistinctPages(), f.table->NumPages());
+}
+
+TEST(AccessPathTest, CmPredicatesForRejectsUnpredicatedAttr) {
+  Fixture f;
+  Query q({Predicate::Eq(*f.table, "payload", Value(0.5))});
+  auto preds = CmPredicatesFor(*f.cm, q);
+  EXPECT_FALSE(preds.ok());
+}
+
+TEST(AccessPathTest, DeletedRowsExcludedEverywhere) {
+  Fixture f;
+  Query q({Predicate::Eq(*f.table, "u", Value(137))});
+  auto before = FullTableScan(*f.table, q);
+  ASSERT_GT(before.rows.size(), 0u);
+  ASSERT_TRUE(f.table->DeleteRow(before.rows[0]).ok());
+  auto scan = FullTableScan(*f.table, q);
+  auto sorted = SortedIndexScan(*f.table, *f.sidx, q);
+  auto cms = CmScan(*f.table, *f.cm, *f.cidx, q);
+  EXPECT_EQ(scan.rows.size(), before.rows.size() - 1);
+  EXPECT_EQ(sorted.rows, scan.rows);
+  EXPECT_EQ(cms.rows, scan.rows);
+}
+
+/// Property sweep over TPC-H shipdate lookups: result-set agreement for
+/// every path at several IN-list sizes.
+class TpchPathAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpchPathAgreementTest, ResultsAgree) {
+  const int n_dates = GetParam();
+  TpchGenConfig cfg;
+  cfg.num_rows = 60000;
+  auto table = GenerateLineitem(cfg);
+  ASSERT_TRUE(table->ClusterBy(kTpch.receiptdate).ok());
+  auto cidx = ClusteredIndex::Build(*table, kTpch.receiptdate);
+  ASSERT_TRUE(cidx.ok());
+  SecondaryIndex sidx(table.get(), {kTpch.shipdate});
+  ASSERT_TRUE(sidx.BuildFromTable().ok());
+  CmOptions opts;
+  opts.u_cols = {kTpch.shipdate};
+  opts.u_bucketers = {Bucketer::Identity()};
+  opts.c_col = kTpch.receiptdate;
+  auto cm = CorrelationMap::Create(table.get(), opts);
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE(cm->BuildFromTable().ok());
+
+  Rng rng{uint64_t(n_dates)};
+  std::vector<Value> dates;
+  for (int i = 0; i < n_dates; ++i) {
+    dates.push_back(Value(rng.UniformInt(0, 2525)));
+  }
+  Query q({Predicate::In(*table, "shipdate", dates)});
+  auto scan = FullTableScan(*table, q);
+  auto sorted = SortedIndexScan(*table, sidx, q);
+  auto cms = CmScan(*table, *cm, *cidx, q);
+  EXPECT_EQ(sorted.rows, scan.rows);
+  EXPECT_EQ(cms.rows, scan.rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(InListSizes, TpchPathAgreementTest,
+                         ::testing::Values(1, 4, 16, 64));
+
+}  // namespace
+}  // namespace corrmap

@@ -1,0 +1,211 @@
+// Tests for the CM Advisor: selectivity pruning, candidate bucketing
+// enumeration, design estimation ordering, recommendation under a
+// performance target, and materialization of recommended CMs.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/rng.h"
+#include "core/advisor.h"
+#include "exec/access_path.h"
+
+namespace corrmap {
+namespace {
+
+/// SDSS-flavoured miniature: clustered objid; fieldid strongly correlated;
+/// a many-valued magnitude softly correlated; a few-valued type; an
+/// independent noise column.
+struct MiniSdss {
+  std::unique_ptr<Table> table;
+  std::unique_ptr<ClusteredIndex> cidx;
+  std::unique_ptr<ClusteredBucketing> cbuckets;
+
+  explicit MiniSdss(size_t rows = 300000) {
+    Schema schema({ColumnDef::Int64("objid"), ColumnDef::Int64("fieldid"),
+                   ColumnDef::Double("mag"), ColumnDef::Int64("type"),
+                   ColumnDef::Int64("noise")});
+    table = std::make_unique<Table>("photo", std::move(schema));
+    Rng rng(71);
+    for (size_t i = 0; i < rows; ++i) {
+      const int64_t objid = int64_t(i);
+      const int64_t fieldid = objid / 200;
+      const double mag =
+          14.0 + 12.0 * double(objid) / double(rows) + rng.Gaussian(0, 0.05);
+      std::array<Value, 5> row = {Value(objid), Value(fieldid), Value(mag),
+                                  Value(rng.UniformInt(0, 4)),
+                                  Value(rng.UniformInt(0, 999999))};
+      EXPECT_TRUE(table->AppendRow(row).ok());
+    }
+    EXPECT_TRUE(table->ClusterBy(0).ok());
+    auto ci = ClusteredIndex::Build(*table, 0);
+    EXPECT_TRUE(ci.ok());
+    cidx = std::make_unique<ClusteredIndex>(std::move(*ci));
+    auto cb = ClusteredBucketing::Build(
+        *table, 0, uint64_t(10 * table->TuplesPerPage()));
+    EXPECT_TRUE(cb.ok());
+    cbuckets = std::make_unique<ClusteredBucketing>(std::move(*cb));
+  }
+};
+
+TEST(AdvisorTest, CandidateBucketingsFollowCardinality) {
+  MiniSdss m;
+  Query q({Predicate::In(*m.table, "fieldid", {Value(3), Value(5)}),
+           Predicate::Eq(*m.table, "type", Value(2)),
+           Predicate::Between(*m.table, "mag", Value(15.0), Value(15.5))});
+  CmAdvisor advisor(m.table.get(), m.cidx.get(), m.cbuckets.get());
+  auto cands = advisor.CandidateBucketings(q);
+  ASSERT_EQ(cands.size(), 3u);
+  // Few-valued type must allow identity; many-valued mag must not.
+  bool saw_type = false, saw_mag = false;
+  for (const auto& c : cands) {
+    if (c.column_name == "type") {
+      EXPECT_TRUE(c.include_identity);
+      saw_type = true;
+    }
+    if (c.column_name == "mag") {
+      EXPECT_FALSE(c.include_identity);
+      EXPECT_GE(c.max_level, c.min_level);
+      saw_mag = true;
+    }
+  }
+  EXPECT_TRUE(saw_type);
+  EXPECT_TRUE(saw_mag);
+}
+
+TEST(AdvisorTest, NonSelectivePredicatesPruned) {
+  MiniSdss m;
+  // type IN (0..3) covers ~80% of rows: pruned by the 0.5 threshold.
+  Query q({Predicate::In(*m.table, "type",
+                         {Value(0), Value(1), Value(2), Value(3)}),
+           Predicate::Eq(*m.table, "fieldid", Value(7))});
+  CmAdvisor advisor(m.table.get(), m.cidx.get(), m.cbuckets.get());
+  auto cands = advisor.CandidateBucketings(q);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands[0].column_name, "fieldid");
+}
+
+TEST(AdvisorTest, DesignsSortedByEstimatedCost) {
+  MiniSdss m;
+  Query q({Predicate::Eq(*m.table, "fieldid", Value(11)),
+           Predicate::Between(*m.table, "mag", Value(16.0), Value(16.2))});
+  CmAdvisor advisor(m.table.get(), m.cidx.get(), m.cbuckets.get());
+  auto designs = advisor.EnumerateDesigns(q);
+  ASSERT_GT(designs.size(), 3u);
+  for (size_t i = 1; i < designs.size(); ++i) {
+    EXPECT_LE(designs[i - 1].est_cost_ms, designs[i].est_cost_ms);
+  }
+  // Every design must carry consistent estimates.
+  for (const auto& d : designs) {
+    EXPECT_GE(d.est_c_per_u, 1.0 - 1e-9);
+    EXPECT_GT(d.est_size_bytes, 0.0);
+    EXPECT_GE(d.est_n_lookups, 1.0);
+  }
+}
+
+TEST(AdvisorTest, WiderBucketsShrinkEstimatedSize) {
+  MiniSdss m;
+  Query q({Predicate::Between(*m.table, "mag", Value(16.0), Value(16.3))});
+  CmAdvisor advisor(m.table.get(), m.cidx.get(), m.cbuckets.get());
+  auto designs = advisor.EnumerateDesigns(q);
+  // Among single-attribute mag designs, a coarser level must not estimate
+  // a larger CM.
+  double prev_size = 1e300;
+  int prev_level = -100;
+  std::vector<std::pair<int, double>> by_level;
+  for (const auto& d : designs) {
+    if (d.u_cols.size() != 1) continue;
+    if (d.u_bucketers[0].is_identity()) continue;
+    // Parse level back from the label "2^k".
+    const std::string s = d.u_bucketers[0].ToString();
+    by_level.emplace_back(std::stoi(s.substr(2)), d.est_size_bytes);
+  }
+  std::sort(by_level.begin(), by_level.end());
+  for (const auto& [level, size] : by_level) {
+    if (prev_level != -100) EXPECT_LE(size, prev_size * 1.05);
+    prev_level = level;
+    prev_size = size;
+  }
+}
+
+TEST(AdvisorTest, RecommendPicksSmallestWithinTarget) {
+  MiniSdss m;
+  Query q({Predicate::Eq(*m.table, "fieldid", Value(42))});
+  AdvisorConfig cfg;
+  cfg.perf_target = 0.10;
+  CmAdvisor advisor(m.table.get(), m.cidx.get(), m.cbuckets.get(), cfg);
+  auto rec = advisor.Recommend(q);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  auto designs = advisor.EnumerateDesigns(q);
+  const double limit = designs.front().est_cost_ms * 1.10;
+  // Nothing within the target can be smaller than the recommendation.
+  for (const auto& d : designs) {
+    if (d.est_cost_ms <= limit) {
+      EXPECT_GE(d.est_size_bytes, rec->est_size_bytes - 1e-6);
+    }
+  }
+}
+
+TEST(AdvisorTest, LooserTargetNeverIncreasesSize) {
+  MiniSdss m;
+  Query q({Predicate::Between(*m.table, "mag", Value(17.0), Value(17.1))});
+  AdvisorConfig tight;
+  tight.perf_target = 0.01;
+  AdvisorConfig loose;
+  loose.perf_target = 0.50;
+  CmAdvisor a_tight(m.table.get(), m.cidx.get(), m.cbuckets.get(), tight);
+  CmAdvisor a_loose(m.table.get(), m.cidx.get(), m.cbuckets.get(), loose);
+  auto r_tight = a_tight.Recommend(q);
+  auto r_loose = a_loose.Recommend(q);
+  ASSERT_TRUE(r_tight.ok());
+  ASSERT_TRUE(r_loose.ok());
+  EXPECT_LE(r_loose->est_size_bytes, r_tight->est_size_bytes + 1e-6);
+}
+
+TEST(AdvisorTest, RecommendationMaterializesAndAnswersCorrectly) {
+  MiniSdss m;
+  Query q({Predicate::Between(*m.table, "mag", Value(18.0), Value(18.1))});
+  CmAdvisor advisor(m.table.get(), m.cidx.get(), m.cbuckets.get());
+  auto rec = advisor.Recommend(q);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  auto cm = advisor.BuildCm(*rec);
+  ASSERT_TRUE(cm.ok()) << cm.status().ToString();
+  auto scan = FullTableScan(*m.table, q);
+  auto cms = CmScan(*m.table, *cm, *m.cidx, q);
+  EXPECT_EQ(cms.rows, scan.rows);
+  EXPECT_LT(cms.ms, scan.ms);
+}
+
+TEST(AdvisorTest, NoUsefulAttributeMeansNotFound) {
+  // Independent noise column as the only predicate over a near-unique
+  // domain: huge c_per_u, CM cannot beat a scan.
+  MiniSdss m;
+  Query q({Predicate::Between(*m.table, "noise", Value(0), Value(499999))});
+  CmAdvisor advisor(m.table.get(), m.cidx.get(), m.cbuckets.get());
+  auto rec = advisor.Recommend(q);
+  EXPECT_FALSE(rec.ok());
+}
+
+TEST(AdvisorTest, CompositeDesignConsidered) {
+  MiniSdss m;
+  Query q({Predicate::Eq(*m.table, "fieldid", Value(13)),
+           Predicate::Eq(*m.table, "type", Value(1))});
+  CmAdvisor advisor(m.table.get(), m.cidx.get(), m.cbuckets.get());
+  auto designs = advisor.EnumerateDesigns(q);
+  bool saw_composite = false;
+  for (const auto& d : designs) {
+    if (d.u_cols.size() == 2) saw_composite = true;
+  }
+  EXPECT_TRUE(saw_composite);
+}
+
+TEST(AdvisorTest, BaselineCostIsFiniteAndPositive) {
+  MiniSdss m;
+  Query q({Predicate::Eq(*m.table, "fieldid", Value(3))});
+  CmAdvisor advisor(m.table.get(), m.cidx.get(), m.cbuckets.get());
+  const double baseline = advisor.BTreeBaselineCostMs(q);
+  EXPECT_GT(baseline, 0.0);
+  EXPECT_LT(baseline, 1e9);
+}
+
+}  // namespace
+}  // namespace corrmap

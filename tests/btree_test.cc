@@ -1,0 +1,247 @@
+// Unit and property tests for the B+Tree: ordering, duplicates, deletes,
+// structural invariants under random operation sequences, prefix scans,
+// and buffer-pool integration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/btree.h"
+
+namespace corrmap {
+namespace {
+
+CompositeKey K(int64_t v) { return CompositeKey(Key(v)); }
+CompositeKey K2(int64_t a, int64_t b) {
+  return CompositeKey{Key(a), Key(b)};
+}
+
+TEST(BTreeTest, InsertAndLookup) {
+  BTree tree;
+  ASSERT_TRUE(tree.Insert(K(5), 100).ok());
+  ASSERT_TRUE(tree.Insert(K(3), 200).ok());
+  std::vector<RowId> out;
+  tree.Lookup(K(5), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 100u);
+  out.clear();
+  tree.Lookup(K(99), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BTreeTest, DuplicateKeysDifferentRids) {
+  BTree tree;
+  ASSERT_TRUE(tree.Insert(K(7), 1).ok());
+  ASSERT_TRUE(tree.Insert(K(7), 2).ok());
+  ASSERT_TRUE(tree.Insert(K(7), 3).ok());
+  std::vector<RowId> out;
+  tree.Lookup(K(7), &out);
+  EXPECT_EQ(out, (std::vector<RowId>{1, 2, 3}));
+}
+
+TEST(BTreeTest, ExactDuplicateRejected) {
+  BTree tree;
+  ASSERT_TRUE(tree.Insert(K(7), 1).ok());
+  Status s = tree.Insert(K(7), 1);
+  EXPECT_EQ(s.code(), Status::Code::kAlreadyExists);
+  EXPECT_EQ(tree.NumEntries(), 1u);
+}
+
+TEST(BTreeTest, DeleteRemovesOneEntry) {
+  BTree tree;
+  ASSERT_TRUE(tree.Insert(K(7), 1).ok());
+  ASSERT_TRUE(tree.Insert(K(7), 2).ok());
+  ASSERT_TRUE(tree.Delete(K(7), 1).ok());
+  std::vector<RowId> out;
+  tree.Lookup(K(7), &out);
+  EXPECT_EQ(out, (std::vector<RowId>{2}));
+  EXPECT_FALSE(tree.Delete(K(7), 1).ok());
+}
+
+TEST(BTreeTest, ScanRangeInclusive) {
+  BTree tree;
+  for (int64_t i = 0; i < 100; ++i) ASSERT_TRUE(tree.Insert(K(i), RowId(i)).ok());
+  std::vector<int64_t> seen;
+  tree.Scan(K(10), K(20), [&](const CompositeKey& k, RowId) {
+    seen.push_back(k[0].AsInt64());
+    return true;
+  });
+  ASSERT_EQ(seen.size(), 11u);
+  EXPECT_EQ(seen.front(), 10);
+  EXPECT_EQ(seen.back(), 20);
+}
+
+TEST(BTreeTest, ScanEarlyStop) {
+  BTree tree;
+  for (int64_t i = 0; i < 100; ++i) ASSERT_TRUE(tree.Insert(K(i), RowId(i)).ok());
+  int count = 0;
+  tree.Scan(K(0), K(99), [&](const CompositeKey&, RowId) {
+    return ++count < 5;
+  });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(BTreeTest, CompositePrefixScan) {
+  BTree tree;
+  for (int64_t a = 0; a < 10; ++a) {
+    for (int64_t b = 0; b < 10; ++b) {
+      ASSERT_TRUE(tree.Insert(K2(a, b), RowId(a * 10 + b)).ok());
+    }
+  }
+  // Prefix bounds: all entries with first part == 4.
+  std::vector<RowId> seen;
+  tree.Scan(K(4), K(4), [&](const CompositeKey&, RowId r) {
+    seen.push_back(r);
+    return true;
+  });
+  ASSERT_EQ(seen.size(), 10u);
+  EXPECT_EQ(seen.front(), 40u);
+  EXPECT_EQ(seen.back(), 49u);
+}
+
+TEST(BTreeTest, HeightGrowsLogarithmically) {
+  BTreeOptions opts;
+  opts.leaf_capacity = 8;
+  opts.internal_capacity = 8;
+  BTree tree(opts);
+  EXPECT_EQ(tree.Height(), 1u);
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(tree.Insert(K(i), RowId(i)).ok());
+  }
+  EXPECT_GE(tree.Height(), 3u);
+  EXPECT_LE(tree.Height(), 6u);
+  EXPECT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+}
+
+TEST(BTreeTest, SizeBytesTracksNodes) {
+  BTree tree;
+  const uint64_t empty = tree.SizeBytes();
+  for (int64_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(tree.Insert(K(i), RowId(i)).ok());
+  }
+  EXPECT_GT(tree.SizeBytes(), empty);
+  EXPECT_EQ(tree.SizeBytes(), tree.NumNodes() * kDefaultPageSizeBytes);
+}
+
+TEST(BTreeTest, ScanAllIsSorted) {
+  BTree tree;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    tree.Insert(K(rng.UniformInt(0, 1000)), RowId(i));
+  }
+  CompositeKey prev;
+  bool first = true;
+  size_t n = 0;
+  tree.ScanAll([&](const CompositeKey& k, RowId) {
+    if (!first) EXPECT_LE(prev, k);
+    prev = k;
+    first = false;
+    ++n;
+    return true;
+  });
+  EXPECT_EQ(n, tree.NumEntries());
+}
+
+TEST(BTreeTest, PoolChargesTraversals) {
+  BufferPool pool(1024);
+  BTreeOptions opts;
+  opts.pool = &pool;
+  opts.file_id = pool.RegisterFile();
+  opts.leaf_capacity = 16;
+  opts.internal_capacity = 16;
+  BTree tree(opts);
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(tree.Insert(K(i), RowId(i)).ok());
+  }
+  EXPECT_GT(pool.stats().misses, 0u);
+  EXPECT_GT(pool.num_dirty(), 0u);
+}
+
+/// Property sweep: random interleaved inserts/deletes against a reference
+/// multimap, then full invariant + content check.
+class BTreeRandomOpsTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BTreeRandomOpsTest, MatchesReferenceModel) {
+  const auto [seed, n_ops, key_space] = GetParam();
+  BTreeOptions opts;
+  opts.leaf_capacity = 16;
+  opts.internal_capacity = 16;
+  BTree tree(opts);
+  std::set<std::pair<int64_t, RowId>> model;
+  Rng rng{uint64_t(seed)};
+  for (int i = 0; i < n_ops; ++i) {
+    const int64_t key = rng.UniformInt(0, key_space - 1);
+    const RowId rid = RowId(rng.UniformInt(0, 9));
+    if (rng.Bernoulli(0.7)) {
+      const bool fresh = model.emplace(key, rid).second;
+      Status s = tree.Insert(K(key), rid);
+      EXPECT_EQ(s.ok(), fresh) << "insert " << key << "/" << rid;
+    } else {
+      const bool present = model.erase({key, rid}) > 0;
+      Status s = tree.Delete(K(key), rid);
+      EXPECT_EQ(s.ok(), present) << "delete " << key << "/" << rid;
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+  EXPECT_EQ(tree.NumEntries(), model.size());
+  // Content equality via full scan.
+  auto it = model.begin();
+  tree.ScanAll([&](const CompositeKey& k, RowId r) {
+    EXPECT_NE(it, model.end());
+    EXPECT_EQ(k[0].AsInt64(), it->first);
+    EXPECT_EQ(r, it->second);
+    ++it;
+    return true;
+  });
+  EXPECT_EQ(it, model.end());
+  // Point lookups agree for every key in the space.
+  for (int64_t key = 0; key < key_space; ++key) {
+    std::vector<RowId> out;
+    tree.Lookup(K(key), &out);
+    std::vector<RowId> expect;
+    for (auto [k, r] : model) {
+      if (k == key) expect.push_back(r);
+    }
+    EXPECT_EQ(out, expect) << "lookup " << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomOps, BTreeRandomOpsTest,
+    ::testing::Values(std::tuple{1, 2000, 50}, std::tuple{2, 2000, 500},
+                      std::tuple{3, 5000, 20}, std::tuple{4, 500, 5},
+                      std::tuple{5, 8000, 2000}, std::tuple{6, 3000, 100}));
+
+/// Property sweep: bulk ascending/descending/shuffled loads keep the tree
+/// balanced and ordered.
+class BTreeLoadOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeLoadOrderTest, InvariantsHoldForAllLoadOrders) {
+  const int mode = GetParam();
+  std::vector<int64_t> keys(3000);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = int64_t(i);
+  if (mode == 1) std::reverse(keys.begin(), keys.end());
+  if (mode == 2) {
+    Rng rng(9);
+    for (size_t i = keys.size(); i > 1; --i) {
+      std::swap(keys[i - 1], keys[size_t(rng.UniformInt(0, int64_t(i) - 1))]);
+    }
+  }
+  BTreeOptions opts;
+  opts.leaf_capacity = 8;
+  opts.internal_capacity = 8;
+  BTree tree(opts);
+  for (int64_t k : keys) ASSERT_TRUE(tree.Insert(K(k), RowId(k)).ok());
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+  EXPECT_EQ(tree.NumEntries(), keys.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadOrders, BTreeLoadOrderTest,
+                         ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace corrmap

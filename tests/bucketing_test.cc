@@ -1,0 +1,236 @@
+// Unit and property tests for bucketing: the three bucketer kinds, the
+// clustered-attribute positional bucketing algorithm (paper §6.1.1), and
+// the Advisor's candidate-width enumeration rule (§6.1.2 / Table 4).
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/rng.h"
+#include "core/bucketing.h"
+#include "storage/table.h"
+
+namespace corrmap {
+namespace {
+
+TEST(BucketerTest, IdentityOnInts) {
+  Bucketer b = Bucketer::Identity();
+  EXPECT_EQ(b.BucketOf(Key(int64_t{42})), 42);
+  EXPECT_EQ(b.ToString(), "none");
+  auto [lo, hi] = b.BucketsCovering(10, 20);
+  EXPECT_EQ(lo, 10);
+  EXPECT_EQ(hi, 20);
+}
+
+TEST(BucketerTest, NumericWidthTruncation) {
+  // The paper's §5.4 temperature example: 1-degree buckets.
+  Bucketer b = Bucketer::NumericWidth(1.0);
+  EXPECT_EQ(b.BucketOf(Key(12.3)), 12);
+  EXPECT_EQ(b.BucketOf(Key(12.7)), 12);
+  EXPECT_EQ(b.BucketOf(Key(14.4)), 14);
+  EXPECT_EQ(b.BucketOf(Key(-0.5)), -1);
+  BucketRange r = b.RangeOf(12);
+  EXPECT_DOUBLE_EQ(r.lo, 12.0);
+  EXPECT_DOUBLE_EQ(r.hi, 13.0);
+}
+
+TEST(BucketerTest, NumericWidthCovering) {
+  Bucketer b = Bucketer::NumericWidth(0.5, /*origin=*/10.0);
+  auto [lo, hi] = b.BucketsCovering(10.0, 11.0);
+  EXPECT_EQ(lo, 0);
+  EXPECT_EQ(hi, 2);
+}
+
+TEST(BucketerTest, ValueOrdinalGroupsDistinctValues) {
+  std::vector<double> vals = {1, 2, 3, 5, 8, 13, 21, 34};
+  Bucketer b = Bucketer::ValueOrdinalFromValues(vals, /*level=*/1);  // 2/bucket
+  EXPECT_EQ(b.BucketOf(Key(1.0)), 0);
+  EXPECT_EQ(b.BucketOf(Key(2.0)), 0);
+  EXPECT_EQ(b.BucketOf(Key(3.0)), 1);
+  EXPECT_EQ(b.BucketOf(Key(5.0)), 1);
+  EXPECT_EQ(b.BucketOf(Key(34.0)), 3);
+  // Unseen values land in the bucket of their predecessor boundary.
+  EXPECT_EQ(b.BucketOf(Key(4.0)), 1);
+  EXPECT_EQ(b.BucketOf(Key(0.5)), 0);  // below first boundary
+  EXPECT_EQ(b.ToString(), "2^1");
+}
+
+TEST(BucketerTest, ValueOrdinalMonotone) {
+  Rng rng(7);
+  std::vector<double> vals;
+  for (int i = 0; i < 1000; ++i) vals.push_back(rng.UniformDouble(0, 1e6));
+  std::sort(vals.begin(), vals.end());
+  vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  Bucketer b = Bucketer::ValueOrdinalFromValues(vals, 4);
+  for (size_t i = 1; i < vals.size(); ++i) {
+    EXPECT_LE(b.BucketOf(Key(vals[i - 1])), b.BucketOf(Key(vals[i])));
+  }
+}
+
+TEST(BucketerTest, ValueOrdinalRangeOfRoundTrips) {
+  std::vector<double> vals = {10, 20, 30, 40, 50, 60};
+  Bucketer b = Bucketer::ValueOrdinalFromValues(vals, 1);
+  for (double v : vals) {
+    const int64_t bucket = b.BucketOf(Key(v));
+    BucketRange r = b.RangeOf(bucket);
+    EXPECT_GE(v, r.lo);
+    EXPECT_LE(v, r.hi);
+  }
+}
+
+/// Property: wider value-ordinal levels never increase the bucket count and
+/// never split values that a narrower level grouped together.
+class BucketerLevelSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BucketerLevelSweepTest, CoarseningIsMonotone) {
+  const int level = GetParam();
+  Rng rng(11);
+  std::vector<double> vals;
+  for (int i = 0; i < 4096; ++i) vals.push_back(double(i) * 1.5);
+  Bucketer fine = Bucketer::ValueOrdinalFromValues(vals, level);
+  Bucketer coarse = Bucketer::ValueOrdinalFromValues(vals, level + 1);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double a = vals[size_t(rng.UniformInt(0, 4095))];
+    const double b = vals[size_t(rng.UniformInt(0, 4095))];
+    if (fine.BucketOf(Key(a)) == fine.BucketOf(Key(b))) {
+      EXPECT_EQ(coarse.BucketOf(Key(a)), coarse.BucketOf(Key(b)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, BucketerLevelSweepTest,
+                         ::testing::Values(0, 1, 2, 3, 5, 8));
+
+std::unique_ptr<Table> ClusteredInts(size_t rows, int64_t distinct) {
+  Schema schema({ColumnDef::Int64("c")});
+  auto t = std::make_unique<Table>("t", std::move(schema));
+  Rng rng(3);
+  for (size_t i = 0; i < rows; ++i) {
+    std::array<Value, 1> row = {Value(rng.UniformInt(0, distinct - 1))};
+    EXPECT_TRUE(t->AppendRow(row).ok());
+  }
+  EXPECT_TRUE(t->ClusterBy(0).ok());
+  return t;
+}
+
+TEST(ClusteredBucketingTest, RequiresClusteredColumn) {
+  Schema schema({ColumnDef::Int64("c")});
+  Table t("t", std::move(schema));
+  EXPECT_FALSE(ClusteredBucketing::Build(t, 0, 100).ok());
+}
+
+TEST(ClusteredBucketingTest, BucketsPartitionAllRows) {
+  auto t = ClusteredInts(10000, 500);
+  auto cb = ClusteredBucketing::Build(*t, 0, 128);
+  ASSERT_TRUE(cb.ok());
+  uint64_t covered = 0;
+  for (size_t b = 0; b < cb->NumBuckets(); ++b) {
+    RowRange range = cb->RangeOfBucket(int64_t(b));
+    covered += range.size();
+    EXPECT_FALSE(range.empty());
+  }
+  EXPECT_EQ(covered, 10000u);
+}
+
+TEST(ClusteredBucketingTest, ValueNeverSpansBuckets) {
+  // The §6.1.1 guarantee: all rows with one clustered value share a bucket.
+  auto t = ClusteredInts(20000, 300);
+  auto cb = ClusteredBucketing::Build(*t, 0, 64);
+  ASSERT_TRUE(cb.ok());
+  for (RowId r = 1; r < t->NumRows(); ++r) {
+    if (t->GetKey(r, 0) == t->GetKey(r - 1, 0)) {
+      EXPECT_EQ(cb->BucketOfRow(r), cb->BucketOfRow(r - 1))
+          << "value split across buckets at row " << r;
+    }
+  }
+}
+
+TEST(ClusteredBucketingTest, BucketOfRowMatchesRanges) {
+  auto t = ClusteredInts(5000, 100);
+  auto cb = ClusteredBucketing::Build(*t, 0, 200);
+  ASSERT_TRUE(cb.ok());
+  for (RowId r = 0; r < t->NumRows(); r += 37) {
+    const int64_t b = cb->BucketOfRow(r);
+    RowRange range = cb->RangeOfBucket(b);
+    EXPECT_GE(r, range.begin);
+    EXPECT_LT(r, range.end);
+  }
+}
+
+TEST(ClusteredBucketingTest, LargerTargetMeansFewerBuckets) {
+  auto t = ClusteredInts(20000, 2000);
+  auto small = ClusteredBucketing::Build(*t, 0, 64);
+  auto large = ClusteredBucketing::Build(*t, 0, 1024);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(small->NumBuckets(), large->NumBuckets());
+}
+
+TEST(ClusteredBucketingTest, KeyRangeOfBucketIsOrdered) {
+  auto t = ClusteredInts(5000, 500);
+  auto cb = ClusteredBucketing::Build(*t, 0, 100);
+  ASSERT_TRUE(cb.ok());
+  for (size_t b = 0; b + 1 < cb->NumBuckets(); ++b) {
+    auto [lo1, hi1] = cb->KeyRangeOfBucket(*t, 0, int64_t(b));
+    auto [lo2, hi2] = cb->KeyRangeOfBucket(*t, 0, int64_t(b) + 1);
+    EXPECT_LE(lo1, hi1);
+    EXPECT_LT(hi1, lo2);  // §6.1.1: no value spans buckets
+  }
+}
+
+// Table 4 enumeration rule (§6.1.2): reproduce the paper's exact rows.
+TEST(EnumerateBucketingsTest, PaperTable4Mode) {
+  // mode: cardinality 3 -> "none" only.
+  BucketingCandidates c = EnumerateBucketings("mode", 3);
+  EXPECT_TRUE(c.include_identity);
+  EXPECT_LT(c.max_level, c.min_level);
+  EXPECT_EQ(c.WidthsLabel(), "none");
+}
+
+TEST(EnumerateBucketingsTest, PaperTable4Type) {
+  // type: cardinality 5 -> "none ~ 2^1".
+  BucketingCandidates c = EnumerateBucketings("type", 5);
+  EXPECT_TRUE(c.include_identity);
+  EXPECT_EQ(c.min_level, 1);
+  EXPECT_EQ(c.max_level, 1);
+  EXPECT_EQ(c.WidthsLabel(), "none ~ 2^1");
+}
+
+TEST(EnumerateBucketingsTest, PaperTable4FieldID) {
+  // fieldID: cardinality 251 -> "none ~ 2^6".
+  BucketingCandidates c = EnumerateBucketings("fieldID", 251);
+  EXPECT_TRUE(c.include_identity);
+  EXPECT_EQ(c.max_level, 6);
+  EXPECT_EQ(c.WidthsLabel(), "none ~ 2^6");
+}
+
+TEST(EnumerateBucketingsTest, PaperTable4PsfMag) {
+  // psfMag_g: cardinality 196352 -> "2^2 ~ 2^16", identity excluded.
+  BucketingCandidates c = EnumerateBucketings("psfMag_g", 196352);
+  EXPECT_FALSE(c.include_identity);
+  EXPECT_EQ(c.min_level, 2);
+  EXPECT_EQ(c.max_level, 16);
+  EXPECT_EQ(c.WidthsLabel(), "2^2 ~ 2^16");
+}
+
+TEST(EnumerateBucketingsTest, PaperExample100Values) {
+  // §6.1.2's inline example: 100 values -> widths 2^1..2^5.
+  BucketingCandidates c = EnumerateBucketings("col", 100);
+  EXPECT_EQ(c.min_level, 1);
+  EXPECT_EQ(c.max_level, 5);
+}
+
+TEST(EnumerateBucketingsTest, OptionCountMatchesPaperFormula) {
+  // §6.1.3: Table 4's options give (2*3*16*8)-1 = 767 composite designs.
+  const size_t n_mode = EnumerateBucketings("mode", 3).NumOptions() + 1;
+  const size_t n_type = EnumerateBucketings("type", 5).NumOptions() + 1;
+  const size_t n_psf = EnumerateBucketings("psfMag_g", 196352).NumOptions() + 1;
+  const size_t n_field = EnumerateBucketings("fieldID", 251).NumOptions() + 1;
+  EXPECT_EQ(n_mode, 2u);
+  EXPECT_EQ(n_type, 3u);
+  EXPECT_EQ(n_psf, 16u);
+  EXPECT_EQ(n_field, 8u);
+  EXPECT_EQ(n_mode * n_type * n_psf * n_field - 1, 767u);
+}
+
+}  // namespace
+}  // namespace corrmap

@@ -1,0 +1,199 @@
+// Unit tests for common/: Status/Result, Value/Key/CompositeKey, Rng,
+// StringPool, TablePrinter.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_pool.h"
+#include "common/table_printer.h"
+#include "common/value.h"
+
+namespace corrmap {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad width");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad width");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::NotFound("x"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value(int64_t{7}).is_int64());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value("abc").is_string());
+  EXPECT_EQ(Value(7).AsInt64(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+  EXPECT_DOUBLE_EQ(Value(7).NumericValue(), 7.0);
+}
+
+TEST(ValueTest, OrderingWithinType) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value(1.0), Value(2.0));
+  EXPECT_LT(Value("a"), Value("b"));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+}
+
+TEST(KeyTest, OrderingAndEquality) {
+  EXPECT_LT(Key(int64_t{1}), Key(int64_t{2}));
+  EXPECT_LT(Key(1.5), Key(2.5));
+  EXPECT_EQ(Key(int64_t{5}), Key(int64_t{5}));
+  EXPECT_NE(Key(int64_t{5}).Hash(), Key(int64_t{6}).Hash());
+}
+
+TEST(KeyTest, HashIsStableAndSpreads) {
+  std::unordered_set<uint64_t> hashes;
+  for (int64_t i = 0; i < 10000; ++i) hashes.insert(Key(i).Hash());
+  EXPECT_EQ(hashes.size(), 10000u);  // splitmix64 is injective on 64 bits
+  EXPECT_EQ(Key(int64_t{123}).Hash(), Key(int64_t{123}).Hash());
+}
+
+TEST(KeyTest, NegativeZeroHashesLikeZero) {
+  EXPECT_EQ(Key(-0.0).Hash(), Key(0.0).Hash());
+  EXPECT_EQ(Key(-0.0), Key(0.0));
+}
+
+TEST(CompositeKeyTest, LexicographicOrder) {
+  CompositeKey a{Key(int64_t{1}), Key(int64_t{5})};
+  CompositeKey b{Key(int64_t{1}), Key(int64_t{6})};
+  CompositeKey c{Key(int64_t{2})};
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);
+  EXPECT_LT(b, c);
+}
+
+TEST(CompositeKeyTest, PrefixIsLess) {
+  CompositeKey prefix{Key(int64_t{1})};
+  CompositeKey full{Key(int64_t{1}), Key(int64_t{0})};
+  EXPECT_LT(prefix, full);
+}
+
+TEST(CompositeKeyTest, EqualityRequiresSameArity) {
+  CompositeKey a{Key(int64_t{1})};
+  CompositeKey b{Key(int64_t{1}), Key(int64_t{1})};
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a == CompositeKey{Key(int64_t{1})});
+}
+
+TEST(CompositeKeyTest, HashMatchesEquality) {
+  CompositeKey a{Key(int64_t{3}), Key(2.0)};
+  CompositeKey b{Key(int64_t{3}), Key(2.0)};
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(double(hits) / 100000.0, 0.3, 0.01);
+}
+
+TEST(StringPoolTest, InternIsIdempotent) {
+  StringPool pool;
+  const int64_t a = pool.Intern("boston");
+  const int64_t b = pool.Intern("springfield");
+  EXPECT_EQ(pool.Intern("boston"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.Get(a), "boston");
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(StringPoolTest, FindMissingReturnsMinusOne) {
+  StringPool pool;
+  EXPECT_EQ(pool.Find("nope"), -1);
+  pool.Intern("yes");
+  EXPECT_EQ(pool.Find("yes"), 0);
+}
+
+TEST(StringPoolTest, CodesAreDense) {
+  StringPool pool;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(pool.Intern("s" + std::to_string(i)), i);
+  }
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter tp({"name", "value"});
+  tp.AddRow({"a", "1"});
+  tp.AddRow({"longer", "22"});
+  const std::string out = tp.ToString();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FmtHelpers) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::FmtBytes(512), "512 B");
+  EXPECT_EQ(TablePrinter::FmtBytes(2 * 1024 * 1024), "2.00 MB");
+}
+
+TEST(Mix64Test, AvalanchesLowBits) {
+  // Consecutive inputs should not produce consecutive outputs.
+  EXPECT_NE(Mix64(1) + 1, Mix64(2));
+  EXPECT_NE(Mix64(0), 0u);
+}
+
+}  // namespace
+}  // namespace corrmap

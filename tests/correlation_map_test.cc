@@ -1,0 +1,349 @@
+// Unit and property tests for the Correlation Map: Algorithm-1 builds,
+// maintenance (insert/delete with co-occurrence counts), cm_lookup with
+// point and range predicates, bucketed variants, serialization round-trip,
+// and the central no-false-negative invariant under random data.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "core/correlation_map.h"
+#include "storage/table.h"
+
+namespace corrmap {
+namespace {
+
+/// The paper's Figure 4 example: people(state, city, salary), clustered on
+/// state, CM on city.
+std::unique_ptr<Table> Fig4Table() {
+  Schema schema({ColumnDef::String("state", 2), ColumnDef::String("city", 16),
+                 ColumnDef::Double("salary")});
+  auto t = std::make_unique<Table>("people", std::move(schema));
+  const std::array<std::array<const char*, 2>, 10> rows = {{
+      {"MA", "Boston"},      {"MA", "Boston"},  {"MA", "Boston"},
+      {"MA", "Springfield"}, {"MN", "Manchester"}, {"MS", "Jackson"},
+      {"NH", "Boston"},      {"NH", "Manchester"}, {"OH", "Springfield"},
+      {"OH", "Toledo"},
+  }};
+  for (const auto& r : rows) {
+    std::array<Value, 3> row = {Value(r[0]), Value(r[1]), Value(50.0)};
+    EXPECT_TRUE(t->AppendRow(row).ok());
+  }
+  EXPECT_TRUE(t->ClusterBy(0).ok());
+  return t;
+}
+
+CmOptions CityCmOptions(const Table& t) {
+  CmOptions opts;
+  opts.u_cols = {1};
+  opts.u_bucketers = {Bucketer::Identity()};
+  opts.c_col = 0;
+  return opts;
+}
+
+TEST(CorrelationMapTest, CreateValidation) {
+  auto t = Fig4Table();
+  CmOptions bad = CityCmOptions(*t);
+  bad.u_cols.clear();
+  bad.u_bucketers.clear();
+  EXPECT_FALSE(CorrelationMap::Create(t.get(), bad).ok());
+
+  CmOptions wrong_cluster = CityCmOptions(*t);
+  wrong_cluster.c_col = 2;  // table is clustered on 0
+  EXPECT_FALSE(CorrelationMap::Create(t.get(), wrong_cluster).ok());
+
+  CmOptions mismatched = CityCmOptions(*t);
+  mismatched.u_bucketers.push_back(Bucketer::Identity());
+  EXPECT_FALSE(CorrelationMap::Create(t.get(), mismatched).ok());
+}
+
+TEST(CorrelationMapTest, Fig4BostonMapsToMaNh) {
+  auto t = Fig4Table();
+  auto cm = CorrelationMap::Create(t.get(), CityCmOptions(*t));
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE(cm->BuildFromTable().ok());
+  ASSERT_TRUE(cm->CheckInvariants().ok());
+
+  const Key boston = t->column(1).EncodeKey(Value("Boston"));
+  std::array<CmColumnPredicate, 1> preds = {
+      CmColumnPredicate::Points({boston})};
+  auto ordinals = cm->CmLookup(preds);
+  std::set<std::string> states;
+  for (int64_t o : ordinals) {
+    states.insert(t->column(0).dictionary()->Get(
+        cm->DecodeClusteredOrdinal(o).AsInt64()));
+  }
+  EXPECT_EQ(states, (std::set<std::string>{"MA", "NH"}));
+}
+
+TEST(CorrelationMapTest, Fig4OrPredicateUnionsStates) {
+  auto t = Fig4Table();
+  auto cm = CorrelationMap::Create(t.get(), CityCmOptions(*t));
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE(cm->BuildFromTable().ok());
+  // city IN ('Boston','Springfield') -> {MA, NH, OH} (the paper's example).
+  std::array<CmColumnPredicate, 1> preds = {CmColumnPredicate::Points(
+      {t->column(1).EncodeKey(Value("Boston")),
+       t->column(1).EncodeKey(Value("Springfield"))})};
+  auto ordinals = cm->CmLookup(preds);
+  std::set<std::string> states;
+  for (int64_t o : ordinals) {
+    states.insert(t->column(0).dictionary()->Get(
+        cm->DecodeClusteredOrdinal(o).AsInt64()));
+  }
+  EXPECT_EQ(states, (std::set<std::string>{"MA", "NH", "OH"}));
+}
+
+TEST(CorrelationMapTest, EntriesAreUniquePairs) {
+  auto t = Fig4Table();
+  auto cm = CorrelationMap::Create(t.get(), CityCmOptions(*t));
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE(cm->BuildFromTable().ok());
+  // Distinct (city, state) pairs in Fig4: Boston{MA,NH}, Springfield{MA,OH},
+  // Manchester{MN,NH}, Jackson{MS}, Toledo{OH} = 8 pairs, 5 cities.
+  EXPECT_EQ(cm->NumEntries(), 8u);
+  EXPECT_EQ(cm->NumUKeys(), 5u);
+  EXPECT_EQ(cm->SizeBytes(), 8u * (8 + 8 + 4));
+}
+
+TEST(CorrelationMapTest, DeleteDecrementsAndErases) {
+  auto t = Fig4Table();
+  auto cm = CorrelationMap::Create(t.get(), CityCmOptions(*t));
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE(cm->BuildFromTable().ok());
+
+  // Find the NH/Boston row (exactly one).
+  RowId nh_boston = 0;
+  for (RowId r = 0; r < t->NumRows(); ++r) {
+    if (t->GetValue(r, 0) == Value("NH") && t->GetValue(r, 1) == Value("Boston")) {
+      nh_boston = r;
+    }
+  }
+  ASSERT_TRUE(cm->DeleteRow(nh_boston).ok());
+  ASSERT_TRUE(cm->CheckInvariants().ok());
+
+  const Key boston = t->column(1).EncodeKey(Value("Boston"));
+  std::array<CmColumnPredicate, 1> preds = {
+      CmColumnPredicate::Points({boston})};
+  auto ordinals = cm->CmLookup(preds);
+  EXPECT_EQ(ordinals.size(), 1u);  // only MA remains
+
+  // Deleting one of three MA/Boston rows keeps the MA mapping (count 3->2).
+  RowId ma_boston = 0;
+  for (RowId r = 0; r < t->NumRows(); ++r) {
+    if (t->GetValue(r, 0) == Value("MA") && t->GetValue(r, 1) == Value("Boston")) {
+      ma_boston = r;
+    }
+  }
+  ASSERT_TRUE(cm->DeleteRow(ma_boston).ok());
+  ordinals = cm->CmLookup(preds);
+  EXPECT_EQ(ordinals.size(), 1u);
+}
+
+TEST(CorrelationMapTest, DeleteMissingFails) {
+  auto t = Fig4Table();
+  auto cm = CorrelationMap::Create(t.get(), CityCmOptions(*t));
+  ASSERT_TRUE(cm.ok());
+  // Nothing built yet.
+  EXPECT_FALSE(cm->DeleteRow(0).ok());
+}
+
+TEST(CorrelationMapTest, InsertDeleteRoundTripEqualsFreshBuild) {
+  auto t = Fig4Table();
+  auto cm = CorrelationMap::Create(t.get(), CityCmOptions(*t));
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE(cm->BuildFromTable().ok());
+  const size_t entries = cm->NumEntries();
+  // Delete then re-insert every row.
+  for (RowId r = 0; r < t->NumRows(); ++r) ASSERT_TRUE(cm->DeleteRow(r).ok());
+  EXPECT_EQ(cm->NumEntries(), 0u);
+  EXPECT_EQ(cm->NumUKeys(), 0u);
+  for (RowId r = 0; r < t->NumRows(); ++r) cm->InsertRow(r);
+  EXPECT_EQ(cm->NumEntries(), entries);
+  ASSERT_TRUE(cm->CheckInvariants().ok());
+}
+
+TEST(CorrelationMapTest, RecordsRoundTrip) {
+  auto t = Fig4Table();
+  auto cm = CorrelationMap::Create(t.get(), CityCmOptions(*t));
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE(cm->BuildFromTable().ok());
+  auto records = cm->ToRecords();
+  auto cm2 = CorrelationMap::Create(t.get(), CityCmOptions(*t));
+  ASSERT_TRUE(cm2.ok());
+  ASSERT_TRUE(cm2->LoadRecords(records).ok());
+  EXPECT_EQ(cm2->NumEntries(), cm->NumEntries());
+  EXPECT_EQ(cm2->NumUKeys(), cm->NumUKeys());
+  ASSERT_TRUE(cm2->CheckInvariants().ok());
+}
+
+TEST(CorrelationMapTest, LoadRejectsCorruptRecords) {
+  auto t = Fig4Table();
+  auto cm = CorrelationMap::Create(t.get(), CityCmOptions(*t));
+  ASSERT_TRUE(cm.ok());
+  CorrelationMap::Record bad;
+  bad.u.n = 3;  // arity mismatch
+  bad.c_ordinal = 0;
+  bad.count = 1;
+  std::array<CorrelationMap::Record, 1> recs = {bad};
+  EXPECT_FALSE(cm->LoadRecords(recs).ok());
+}
+
+/// Numeric table with a soft FD: c = u / k + noise, clustered on c, with a
+/// bucketed CM on u. Parameterized over (bucket level, clustered bucket
+/// target) to sweep the design space.
+class BucketedCmPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  void SetUp() override {
+    Schema schema({ColumnDef::Int64("c"), ColumnDef::Double("u")});
+    table_ = std::make_unique<Table>("t", std::move(schema));
+    Rng rng(41);
+    for (int i = 0; i < 20000; ++i) {
+      const double u = rng.UniformDouble(0, 100000);
+      const int64_t c = int64_t(u / 1000.0) + rng.UniformInt(0, 2);
+      std::array<Value, 2> row = {Value(c), Value(u)};
+      ASSERT_TRUE(table_->AppendRow(row).ok());
+    }
+    ASSERT_TRUE(table_->ClusterBy(0).ok());
+  }
+  std::unique_ptr<Table> table_;
+};
+
+TEST_P(BucketedCmPropertyTest, NoFalseNegativesOnRangeLookups) {
+  const auto [level, c_target] = GetParam();
+  auto cb = ClusteredBucketing::Build(*table_, 0, uint64_t(c_target));
+  ASSERT_TRUE(cb.ok());
+  CmOptions opts;
+  opts.u_cols = {1};
+  opts.u_bucketers = {Bucketer::ValueOrdinalFromColumn(*table_, 1, level)};
+  opts.c_col = 0;
+  opts.c_buckets = &*cb;
+  auto cm = CorrelationMap::Create(table_.get(), opts);
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE(cm->BuildFromTable().ok());
+  ASSERT_TRUE(cm->CheckInvariants().ok());
+
+  Rng rng(uint64_t(level) * 31 + uint64_t(c_target));
+  for (int trial = 0; trial < 20; ++trial) {
+    const double lo = rng.UniformDouble(0, 90000);
+    const double hi = lo + rng.UniformDouble(0, 5000);
+    std::array<CmColumnPredicate, 1> preds = {CmColumnPredicate::Range(lo, hi)};
+    auto ordinals = cm->CmLookup(preds);
+    std::unordered_set<int64_t> covered(ordinals.begin(), ordinals.end());
+    // Every truly-matching row's clustered bucket must be in the lookup.
+    for (RowId r = 0; r < table_->NumRows(); ++r) {
+      const double u = table_->GetKey(r, 1).Numeric();
+      if (u >= lo && u <= hi) {
+        EXPECT_TRUE(covered.count(cb->BucketOfRow(r)))
+            << "false negative at row " << r << " (u=" << u << ")";
+      }
+    }
+  }
+}
+
+TEST_P(BucketedCmPropertyTest, MaintenanceMatchesRebuild) {
+  const auto [level, c_target] = GetParam();
+  auto cb = ClusteredBucketing::Build(*table_, 0, uint64_t(c_target));
+  ASSERT_TRUE(cb.ok());
+  CmOptions opts;
+  opts.u_cols = {1};
+  opts.u_bucketers = {Bucketer::ValueOrdinalFromColumn(*table_, 1, level)};
+  opts.c_col = 0;
+  opts.c_buckets = &*cb;
+  auto incremental = CorrelationMap::Create(table_.get(), opts);
+  ASSERT_TRUE(incremental.ok());
+  // Insert all rows, delete every 7th, like an update stream.
+  for (RowId r = 0; r < table_->NumRows(); ++r) incremental->InsertRow(r);
+  for (RowId r = 0; r < table_->NumRows(); r += 7) {
+    ASSERT_TRUE(incremental->DeleteRow(r).ok());
+  }
+  for (RowId r = 0; r < table_->NumRows(); r += 7) incremental->InsertRow(r);
+
+  auto fresh = CorrelationMap::Create(table_.get(), opts);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(fresh->BuildFromTable().ok());
+  EXPECT_EQ(incremental->NumEntries(), fresh->NumEntries());
+  EXPECT_EQ(incremental->NumUKeys(), fresh->NumUKeys());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BucketedCmPropertyTest,
+    ::testing::Combine(::testing::Values(0, 2, 5, 9),
+                       ::testing::Values(64, 512, 4096)));
+
+TEST(CompositeCmTest, PairLookupIntersectsBothColumns) {
+  // z determined by (x, y) jointly, weak alone -- longitude/latitude
+  // example (§6).
+  Schema schema(
+      {ColumnDef::Int64("z"), ColumnDef::Int64("x"), ColumnDef::Int64("y")});
+  Table t("t", std::move(schema));
+  Rng rng(43);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t x = rng.UniformInt(0, 29);
+    const int64_t y = rng.UniformInt(0, 29);
+    std::array<Value, 3> row = {Value(x * 30 + y), Value(x), Value(y)};
+    ASSERT_TRUE(t.AppendRow(row).ok());
+  }
+  ASSERT_TRUE(t.ClusterBy(0).ok());
+
+  CmOptions opts;
+  opts.u_cols = {1, 2};
+  opts.u_bucketers = {Bucketer::Identity(), Bucketer::Identity()};
+  opts.c_col = 0;
+  auto cm = CorrelationMap::Create(&t, opts);
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE(cm->BuildFromTable().ok());
+
+  std::array<CmColumnPredicate, 2> preds = {
+      CmColumnPredicate::Points({Key(int64_t{7})}),
+      CmColumnPredicate::Points({Key(int64_t{11})})};
+  auto ordinals = cm->CmLookup(preds);
+  ASSERT_EQ(ordinals.size(), 1u);
+  EXPECT_EQ(cm->DecodeClusteredOrdinal(ordinals[0]).AsInt64(), 7 * 30 + 11);
+}
+
+TEST(CompositeCmTest, SizeBytesUsesKeyWidth) {
+  Schema schema(
+      {ColumnDef::Int64("z"), ColumnDef::Int64("x"), ColumnDef::Int64("y")});
+  Table t("t", std::move(schema));
+  std::array<Value, 3> row = {Value(1), Value(2), Value(3)};
+  ASSERT_TRUE(t.AppendRow(row).ok());
+  ASSERT_TRUE(t.ClusterBy(0).ok());
+  CmOptions opts;
+  opts.u_cols = {1, 2};
+  opts.u_bucketers = {Bucketer::Identity(), Bucketer::Identity()};
+  opts.c_col = 0;
+  auto cm = CorrelationMap::Create(&t, opts);
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE(cm->BuildFromTable().ok());
+  EXPECT_EQ(cm->SizeBytes(), 1u * (16 + 8 + 4));
+}
+
+TEST(CorrelationMapTest, CompressionVsDenseIndex) {
+  // §5.3: CM stores unique pairs, not tuples. With 100k rows over 200
+  // (u, c) pairs the CM must be ~500x smaller than a per-tuple structure.
+  Schema schema({ColumnDef::Int64("c"), ColumnDef::Int64("u")});
+  Table t("t", std::move(schema));
+  Rng rng(47);
+  for (int i = 0; i < 100000; ++i) {
+    const int64_t u = rng.UniformInt(0, 99);
+    std::array<Value, 2> row = {Value(u / 2 + rng.UniformInt(0, 1)), Value(u)};
+    ASSERT_TRUE(t.AppendRow(row).ok());
+  }
+  ASSERT_TRUE(t.ClusterBy(0).ok());
+  CmOptions opts;
+  opts.u_cols = {1};
+  opts.u_bucketers = {Bucketer::Identity()};
+  opts.c_col = 0;
+  auto cm = CorrelationMap::Create(&t, opts);
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE(cm->BuildFromTable().ok());
+  const uint64_t dense_index_bytes = 100000 * 20;
+  EXPECT_LT(cm->SizeBytes() * 100, dense_index_bytes);
+}
+
+}  // namespace
+}  // namespace corrmap

@@ -1,0 +1,140 @@
+// Tests for the cost-based executor: plan choice follows the cost model,
+// chosen plans return exact answers, and CMs win when correlations are
+// strong while scans win when they are not.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/rng.h"
+#include "exec/executor.h"
+
+namespace corrmap {
+namespace {
+
+struct World {
+  std::unique_ptr<Table> table;
+  std::unique_ptr<ClusteredIndex> cidx;
+  std::unique_ptr<SecondaryIndex> sidx;
+  std::unique_ptr<CorrelationMap> cm;
+
+  explicit World(bool correlated, size_t rows = 40000) {
+    Schema schema({ColumnDef::Int64("c"), ColumnDef::Int64("u"),
+                   ColumnDef::Int64("w")});
+    table = std::make_unique<Table>("t", std::move(schema));
+    Rng rng(91);
+    for (size_t i = 0; i < rows; ++i) {
+      const int64_t u = rng.UniformInt(0, 1999);
+      const int64_t c =
+          correlated ? u / 4 + rng.UniformInt(0, 1) : rng.UniformInt(0, 499);
+      std::array<Value, 3> row = {Value(c), Value(u),
+                                  Value(rng.UniformInt(0, 99))};
+      EXPECT_TRUE(table->AppendRow(row).ok());
+    }
+    EXPECT_TRUE(table->ClusterBy(0).ok());
+    auto ci = ClusteredIndex::Build(*table, 0);
+    EXPECT_TRUE(ci.ok());
+    cidx = std::make_unique<ClusteredIndex>(std::move(*ci));
+    sidx = std::make_unique<SecondaryIndex>(table.get(),
+                                            std::vector<size_t>{1});
+    EXPECT_TRUE(sidx->BuildFromTable().ok());
+    CmOptions opts;
+    opts.u_cols = {1};
+    opts.u_bucketers = {Bucketer::Identity()};
+    opts.c_col = 0;
+    auto m = CorrelationMap::Create(table.get(), opts);
+    EXPECT_TRUE(m.ok());
+    EXPECT_TRUE(m->BuildFromTable().ok());
+    cm = std::make_unique<CorrelationMap>(std::move(*m));
+  }
+};
+
+TEST(ExecutorTest, ChoosesCmForSelectiveCorrelatedLookup) {
+  World w(/*correlated=*/true, /*rows=*/200000);
+  Executor ex(w.table.get(), w.cidx.get());
+  ex.AttachCm(w.cm.get());
+  Query q({Predicate::Eq(*w.table, "u", Value(777))});
+  auto r = ex.Execute(q);
+  EXPECT_EQ(r.result.path, "cm_scan");
+  auto scan = FullTableScan(*w.table, q);
+  EXPECT_EQ(r.result.rows, scan.rows);
+  EXPECT_LT(r.result.ms, scan.ms);
+}
+
+TEST(ExecutorTest, ChoosesScanWhenPredicateUnselective) {
+  World w(/*correlated=*/true);
+  Executor ex(w.table.get(), w.cidx.get());
+  ex.AttachSecondaryIndex(w.sidx.get());
+  ex.AttachCm(w.cm.get());
+  Query q({Predicate::Between(*w.table, "u", Value(0), Value(1900))});
+  auto r = ex.Execute(q);
+  EXPECT_EQ(r.result.path, "seq_scan");
+}
+
+TEST(ExecutorTest, ChoosesClusteredIndexForClusteredPredicate) {
+  World w(/*correlated=*/true);
+  Executor ex(w.table.get(), w.cidx.get());
+  Query q({Predicate::Eq(*w.table, "c", Value(100))});
+  auto r = ex.Execute(q);
+  EXPECT_EQ(r.result.path, "clustered_index_scan");
+  auto scan = FullTableScan(*w.table, q);
+  EXPECT_EQ(r.result.rows, scan.rows);
+}
+
+TEST(ExecutorTest, UncorrelatedLookupFallsBackSensibly) {
+  World w(/*correlated=*/false);
+  Executor ex(w.table.get(), w.cidx.get());
+  ex.AttachCm(w.cm.get());
+  // Uncorrelated: the CM maps one u to ~many clustered values; the
+  // estimate should push the executor toward a scan for wide predicates.
+  Query q({Predicate::Between(*w.table, "u", Value(0), Value(1000))});
+  auto r = ex.Execute(q);
+  EXPECT_EQ(r.result.path, "seq_scan");
+  auto scan = FullTableScan(*w.table, q);
+  EXPECT_EQ(r.result.rows, scan.rows);
+}
+
+TEST(ExecutorTest, CandidateListCoversAttachedStructures) {
+  World w(/*correlated=*/true);
+  Executor ex(w.table.get(), w.cidx.get());
+  ex.AttachSecondaryIndex(w.sidx.get());
+  ex.AttachCm(w.cm.get());
+  Query q({Predicate::Eq(*w.table, "u", Value(10))});
+  auto r = ex.Execute(q);
+  ASSERT_EQ(r.candidates.size(), 3u);  // scan, index, cm (no clustered pred)
+  size_t chosen = 0;
+  for (const auto& c : r.candidates) chosen += c.chosen;
+  EXPECT_EQ(chosen, 1u);
+}
+
+TEST(ExecutorTest, EstimatesTrackActualWithinFactor) {
+  // The §7.2 claim that the model predicts runtime: chosen-plan estimate
+  // within ~3x of simulated actual for selective correlated lookups.
+  World w(/*correlated=*/true);
+  Executor ex(w.table.get(), w.cidx.get());
+  ex.AttachCm(w.cm.get());
+  Query q({Predicate::Eq(*w.table, "u", Value(555))});
+  auto r = ex.Execute(q);
+  double est = 0;
+  for (const auto& c : r.candidates) {
+    if (c.chosen) est = c.estimated_ms;
+  }
+  ASSERT_GT(est, 0.0);
+  EXPECT_LT(r.result.ms, est * 3 + 1);
+  EXPECT_GT(r.result.ms * 3 + 1, est);
+}
+
+TEST(ExecutorTest, InapplicableCmIsSkipped) {
+  World w(/*correlated=*/true);
+  Executor ex(w.table.get(), w.cidx.get());
+  ex.AttachCm(w.cm.get());
+  Query q({Predicate::Eq(*w.table, "w", Value(5))});  // CM attr not predicated
+  auto r = ex.Execute(q);
+  for (const auto& c : r.candidates) {
+    EXPECT_EQ(c.description.find("cm_scan"), std::string::npos);
+  }
+  auto scan = FullTableScan(*w.table, q);
+  EXPECT_EQ(r.result.rows, scan.rows);
+}
+
+}  // namespace
+}  // namespace corrmap

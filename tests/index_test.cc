@@ -1,0 +1,148 @@
+// Unit tests for the clustered sparse index and the secondary index wrapper.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "index/clustered_index.h"
+#include "index/secondary_index.h"
+#include "storage/table.h"
+
+namespace corrmap {
+namespace {
+
+/// Small city/state table (the paper's §5 running example).
+std::unique_ptr<Table> CityTable() {
+  Schema schema({ColumnDef::String("state", 2), ColumnDef::String("city", 16),
+                 ColumnDef::Double("salary")});
+  auto t = std::make_unique<Table>("people", std::move(schema));
+  const std::array<std::array<const char*, 2>, 10> rows = {{
+      {"MA", "Boston"}, {"NH", "Manchester"}, {"MA", "Boston"},
+      {"MA", "Boston"}, {"MS", "Jackson"}, {"NH", "Boston"},
+      {"MA", "Springfield"}, {"NH", "Manchester"}, {"OH", "Springfield"},
+      {"OH", "Toledo"},
+  }};
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::array<Value, 3> row = {Value(rows[i][0]), Value(rows[i][1]),
+                                Value(double(i) * 10.0)};
+    EXPECT_TRUE(t->AppendRow(row).ok());
+  }
+  EXPECT_TRUE(t->ClusterBy(0).ok());
+  return t;
+}
+
+TEST(ClusteredIndexTest, RequiresClusteredTable) {
+  Schema schema({ColumnDef::Int64("a"), ColumnDef::Int64("b")});
+  Table t("t", std::move(schema));
+  EXPECT_FALSE(ClusteredIndex::Build(t, 0).ok());
+}
+
+TEST(ClusteredIndexTest, LookupEqualFindsContiguousRange) {
+  auto t = CityTable();
+  auto idx = ClusteredIndex::Build(*t, 0);
+  ASSERT_TRUE(idx.ok());
+  const Key ma = t->column(0).EncodeKey(Value("MA"));
+  RowRange range = idx->LookupEqual(ma);
+  EXPECT_EQ(range.size(), 4u);  // 4 MA rows
+  for (RowId r = range.begin; r < range.end; ++r) {
+    EXPECT_EQ(t->GetValue(r, 0), Value("MA"));
+  }
+}
+
+TEST(ClusteredIndexTest, LookupMissingIsEmpty) {
+  auto t = CityTable();
+  auto idx = ClusteredIndex::Build(*t, 0);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_TRUE(idx->LookupEqual(Key(int64_t{-1})).empty());
+}
+
+TEST(ClusteredIndexTest, StatsMatchDefinition) {
+  auto t = CityTable();
+  auto idx = ClusteredIndex::Build(*t, 0);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx->NumDistinctKeys(), 4u);  // MA, NH, MS, OH
+  EXPECT_DOUBLE_EQ(idx->CTups(), 10.0 / 4.0);
+  EXPECT_GE(idx->BTreeHeight(), 1u);
+}
+
+TEST(ClusteredIndexTest, RangeLookupOnInts) {
+  Schema schema({ColumnDef::Int64("k")});
+  Table t("t", std::move(schema));
+  for (int64_t i = 0; i < 100; ++i) {
+    std::array<Value, 1> row = {Value(i / 10)};  // keys 0..9, 10 rows each
+    ASSERT_TRUE(t.AppendRow(row).ok());
+  }
+  ASSERT_TRUE(t.ClusterBy(0).ok());
+  auto idx = ClusteredIndex::Build(t, 0);
+  ASSERT_TRUE(idx.ok());
+  RowRange range = idx->LookupRange(Key(int64_t{3}), Key(int64_t{5}));
+  EXPECT_EQ(range.size(), 30u);
+  EXPECT_EQ(idx->LookupRange(Key(int64_t{100}), Key(int64_t{200})).size(), 0u);
+  // Range covering everything.
+  EXPECT_EQ(idx->LookupRange(Key(int64_t{0}), Key(int64_t{9})).size(), 100u);
+}
+
+TEST(SecondaryIndexTest, BuildAndLookup) {
+  auto t = CityTable();
+  auto r = t->ColumnIndex("city");
+  ASSERT_TRUE(r.ok());
+  SecondaryIndex idx(t.get(), {*r});
+  ASSERT_TRUE(idx.BuildFromTable().ok());
+  EXPECT_EQ(idx.NumEntries(), 10u);
+  const Key boston = t->column(*r).EncodeKey(Value("Boston"));
+  auto rids = idx.LookupEqual(CompositeKey(boston));
+  EXPECT_EQ(rids.size(), 4u);  // 3 in MA + 1 in NH
+  for (RowId rid : rids) EXPECT_EQ(t->GetValue(rid, *r), Value("Boston"));
+}
+
+TEST(SecondaryIndexTest, MaintenanceInsertDelete) {
+  auto t = CityTable();
+  SecondaryIndex idx(t.get(), {1});
+  ASSERT_TRUE(idx.BuildFromTable().ok());
+  const size_t before = idx.NumEntries();
+  ASSERT_TRUE(idx.DeleteRow(0).ok());
+  EXPECT_EQ(idx.NumEntries(), before - 1);
+  ASSERT_TRUE(idx.InsertRow(0).ok());
+  EXPECT_EQ(idx.NumEntries(), before);
+}
+
+TEST(SecondaryIndexTest, CompositeKeyPrefixRange) {
+  Schema schema({ColumnDef::Int64("a"), ColumnDef::Int64("b")});
+  Table t("t", std::move(schema));
+  for (int64_t a = 0; a < 5; ++a) {
+    for (int64_t b = 0; b < 5; ++b) {
+      std::array<Value, 2> row = {Value(a), Value(b)};
+      ASSERT_TRUE(t.AppendRow(row).ok());
+    }
+  }
+  SecondaryIndex idx(&t, {0, 1});
+  ASSERT_TRUE(idx.BuildFromTable().ok());
+  // Prefix range on `a` only: the composite B+Tree's usable restriction.
+  auto rids = idx.LookupRange(CompositeKey(Key(int64_t{2})),
+                              CompositeKey(Key(int64_t{3})));
+  EXPECT_EQ(rids.size(), 10u);
+}
+
+TEST(SecondaryIndexTest, EntryBytesScaleWithKeyWidth) {
+  Schema schema({ColumnDef::Int64("a"), ColumnDef::Int64("b")});
+  Table t("t", std::move(schema));
+  SecondaryIndex one(&t, {0});
+  SecondaryIndex two(&t, {0, 1});
+  EXPECT_LT(one.tree().options().entry_bytes, two.tree().options().entry_bytes);
+}
+
+TEST(SecondaryIndexTest, NameIncludesColumns) {
+  auto t = CityTable();
+  SecondaryIndex idx(t.get(), {1});
+  EXPECT_EQ(idx.Name(), "idx_people_city");
+}
+
+TEST(SecondaryIndexTest, SkipsDeletedRowsOnBuild) {
+  auto t = CityTable();
+  ASSERT_TRUE(t->DeleteRow(3).ok());
+  SecondaryIndex idx(t.get(), {1});
+  ASSERT_TRUE(idx.BuildFromTable().ok());
+  EXPECT_EQ(idx.NumEntries(), 9u);
+}
+
+}  // namespace
+}  // namespace corrmap

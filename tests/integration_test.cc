@@ -1,0 +1,280 @@
+// End-to-end integration tests across modules: full pipelines on each of
+// the three workloads (generate -> cluster -> advise -> build CM -> rewrite
+// -> execute -> verify), plus cross-structure consistency under updates.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/advisor.h"
+#include "core/maintenance.h"
+#include "core/rewriter.h"
+#include "exec/executor.h"
+#include "workload/ebay_gen.h"
+#include "workload/sdss_gen.h"
+#include "workload/tpch_gen.h"
+
+namespace corrmap {
+namespace {
+
+TEST(IntegrationTest, EbayPriceRangePipeline) {
+  // Experiment 1 in miniature: cluster on CATID, CM on bucketed Price,
+  // range query answered exactly and cheaply.
+  EbayGenConfig cfg;
+  cfg.num_categories = 400;
+  auto table = GenerateEbayItems(cfg);
+  ASSERT_TRUE(table->ClusterBy(kEbay.catid).ok());
+  auto cidx = ClusteredIndex::Build(*table, kEbay.catid);
+  ASSERT_TRUE(cidx.ok());
+  auto cb = ClusteredBucketing::Build(*table, kEbay.catid,
+                                      10 * table->TuplesPerPage());
+  ASSERT_TRUE(cb.ok());
+
+  CmOptions opts;
+  opts.u_cols = {kEbay.price};
+  opts.u_bucketers = {Bucketer::ValueOrdinalFromColumn(*table, kEbay.price, 8)};
+  opts.c_col = kEbay.catid;
+  opts.c_buckets = &*cb;
+  auto cm = CorrelationMap::Create(table.get(), opts);
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE(cm->BuildFromTable().ok());
+
+  Query q({Predicate::Between(*table, "Price", Value(1000.0), Value(1100.0))});
+  auto scan = FullTableScan(*table, q);
+  auto cms = CmScan(*table, *cm, *cidx, q);
+  EXPECT_EQ(cms.rows, scan.rows);
+  EXPECT_LT(cms.ms * 2, scan.ms);
+  // The CM is orders of magnitude smaller than a dense per-tuple index.
+  EXPECT_LT(cm->SizeBytes() * 50, table->TotalTuples() * 20);
+}
+
+TEST(IntegrationTest, TpchShipdateRewritePipeline) {
+  TpchGenConfig cfg;
+  cfg.num_rows = 600000;  // large enough for lookups to beat the scan
+  auto table = GenerateLineitem(cfg);
+  ASSERT_TRUE(table->ClusterBy(kTpch.receiptdate).ok());
+  auto cidx = ClusteredIndex::Build(*table, kTpch.receiptdate);
+  ASSERT_TRUE(cidx.ok());
+  CmOptions opts;
+  opts.u_cols = {kTpch.shipdate};
+  opts.u_bucketers = {Bucketer::Identity()};
+  opts.c_col = kTpch.receiptdate;
+  auto cm = CorrelationMap::Create(table.get(), opts);
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE(cm->BuildFromTable().ok());
+
+  Query q({Predicate::Eq(*table, "shipdate", Value(1000))});
+  auto rw = RewriteWithCm(*table, *cm, *cidx, q);
+  ASSERT_TRUE(rw.ok());
+  // shipdate=1000 -> receiptdate in {1002..1014}: a small IN list.
+  EXPECT_GE(rw->in_list.size(), 3u);
+  EXPECT_LE(rw->in_list.size(), 13u);
+  EXPECT_NE(rw->sql.find("receiptdate IN"), std::string::npos);
+
+  auto scan = FullTableScan(*table, q);
+  auto cms = CmScan(*table, *cm, *cidx, q);
+  EXPECT_EQ(cms.rows, scan.rows);
+  EXPECT_LT(cms.ms * 2, scan.ms);
+}
+
+TEST(IntegrationTest, SdssAdvisorToExecutionPipeline) {
+  SdssGenConfig cfg;
+  cfg.num_rows = 60000;
+  auto table = GenerateSdssPhotoObj(cfg);
+  ASSERT_TRUE(table->ClusterBy(0).ok());  // objID
+  auto cidx = ClusteredIndex::Build(*table, 0);
+  ASSERT_TRUE(cidx.ok());
+  auto cb = ClusteredBucketing::Build(*table, 0, 10 * table->TuplesPerPage());
+  ASSERT_TRUE(cb.ok());
+
+  // SX6-flavoured training query.
+  Query q({Predicate::In(*table, "fieldID", {Value(10), Value(40)}),
+           Predicate::Eq(*table, "mode", Value(1))});
+  CmAdvisor advisor(table.get(), &*cidx, &*cb);
+  auto rec = advisor.Recommend(q);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  auto cm = advisor.BuildCm(*rec);
+  ASSERT_TRUE(cm.ok());
+
+  Executor ex(table.get(), &*cidx);
+  ex.AttachCm(&*cm);
+  auto r = ex.Execute(q);
+  auto scan = FullTableScan(*table, q);
+  EXPECT_EQ(r.result.rows, scan.rows);
+  EXPECT_EQ(r.result.path, "cm_scan");
+  EXPECT_LT(r.result.ms * 2, scan.ms);
+}
+
+TEST(IntegrationTest, CompositeCmBeatsSinglesOnSdss) {
+  // Experiment 5's headline, as an invariant: the (ra, dec) CM sweeps
+  // fewer pages than either single-attribute CM for a box query.
+  SdssGenConfig cfg;
+  cfg.num_rows = 80000;
+  auto table = GenerateSdssPhotoObj(cfg);
+  ASSERT_TRUE(table->ClusterBy(0).ok());
+  auto cidx = ClusteredIndex::Build(*table, 0);
+  ASSERT_TRUE(cidx.ok());
+  auto cb = ClusteredBucketing::Build(*table, 0, 10 * table->TuplesPerPage());
+  ASSERT_TRUE(cb.ok());
+
+  auto make_cm = [&](std::vector<size_t> cols, std::vector<Bucketer> bks) {
+    CmOptions opts;
+    opts.u_cols = std::move(cols);
+    opts.u_bucketers = std::move(bks);
+    opts.c_col = 0;
+    opts.c_buckets = &*cb;
+    auto cm = CorrelationMap::Create(table.get(), opts);
+    EXPECT_TRUE(cm.ok());
+    EXPECT_TRUE(cm->BuildFromTable().ok());
+    return std::move(*cm);
+  };
+  const size_t ra = *table->ColumnIndex("ra");
+  const size_t dec = *table->ColumnIndex("dec");
+  auto cm_ra = make_cm({ra}, {Bucketer::NumericWidth(0.25)});
+  auto cm_dec = make_cm({dec}, {Bucketer::NumericWidth(0.25)});
+  auto cm_pair = make_cm({ra, dec}, {Bucketer::NumericWidth(0.25),
+                                     Bucketer::NumericWidth(0.25)});
+
+  Query q({Predicate::Between(*table, "ra", Value(163.0), Value(164.4)),
+           Predicate::Between(*table, "dec", Value(-1.0), Value(0.4))});
+  auto scan = FullTableScan(*table, q);
+  auto r_ra = CmScan(*table, cm_ra, *cidx, q);
+  auto r_dec = CmScan(*table, cm_dec, *cidx, q);
+  auto r_pair = CmScan(*table, cm_pair, *cidx, q);
+  EXPECT_EQ(r_ra.rows, scan.rows);
+  EXPECT_EQ(r_dec.rows, scan.rows);
+  EXPECT_EQ(r_pair.rows, scan.rows);
+  EXPECT_LT(r_pair.ms, r_ra.ms);
+  EXPECT_LT(r_pair.ms, r_dec.ms);
+}
+
+TEST(IntegrationTest, StructuresStayConsistentThroughUpdateStream) {
+  // Mixed insert/delete stream applied to table + B+Tree + CM; every 10
+  // batches, all three access paths must agree.
+  TpchGenConfig cfg;
+  cfg.num_rows = 30000;
+  auto table = GenerateLineitem(cfg);
+  ASSERT_TRUE(table->ClusterBy(kTpch.receiptdate).ok());
+  auto cidx = ClusteredIndex::Build(*table, kTpch.receiptdate);
+  ASSERT_TRUE(cidx.ok());
+  SecondaryIndex sidx(table.get(), {kTpch.shipdate});
+  ASSERT_TRUE(sidx.BuildFromTable().ok());
+  CmOptions opts;
+  opts.u_cols = {kTpch.shipdate};
+  opts.u_bucketers = {Bucketer::Identity()};
+  opts.c_col = kTpch.receiptdate;
+  auto cm = CorrelationMap::Create(table.get(), opts);
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE(cm->BuildFromTable().ok());
+
+  Rng rng(97);
+  for (int round = 0; round < 5; ++round) {
+    // Delete ~200 random live rows, maintaining every structure.
+    for (int i = 0; i < 200; ++i) {
+      const RowId r = RowId(rng.UniformInt(0, int64_t(table->NumRows()) - 1));
+      if (table->IsDeleted(r)) continue;
+      ASSERT_TRUE(cm->DeleteRow(r).ok());
+      ASSERT_TRUE(sidx.DeleteRow(r).ok());
+      ASSERT_TRUE(table->DeleteRow(r).ok());
+    }
+    ASSERT_TRUE(cm->CheckInvariants().ok());
+    ASSERT_TRUE(sidx.tree().CheckInvariants().ok());
+
+    Query q({Predicate::Eq(*table, "shipdate",
+                           Value(rng.UniformInt(0, 2525)))});
+    auto scan = FullTableScan(*table, q);
+    auto sorted = SortedIndexScan(*table, sidx, q);
+    auto cms = CmScan(*table, *cm, *cidx, q);
+    EXPECT_EQ(sorted.rows, scan.rows) << "round " << round;
+    EXPECT_EQ(cms.rows, scan.rows) << "round " << round;
+  }
+}
+
+TEST(IntegrationTest, UpdateAsDeletePlusInsert) {
+  // §5.1: updates are delete+insert on the CM. Simulate price updates.
+  EbayGenConfig cfg;
+  cfg.num_categories = 100;
+  auto table = GenerateEbayItems(cfg);
+  ASSERT_TRUE(table->ClusterBy(kEbay.catid).ok());
+  CmOptions opts;
+  opts.u_cols = {kEbay.price};
+  opts.u_bucketers = {Bucketer::NumericWidth(1000.0)};
+  opts.c_col = kEbay.catid;
+  auto cm = CorrelationMap::Create(table.get(), opts);
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE(cm->BuildFromTable().ok());
+
+  // "Update" = retract old (u, c) pair, insert the new one.
+  Rng rng(101);
+  for (int i = 0; i < 500; ++i) {
+    const RowId r = RowId(rng.UniformInt(0, int64_t(table->NumRows()) - 1));
+    const Key old_price = table->GetKey(r, kEbay.price);
+    const Key new_price = Key(old_price.Numeric() + 50.0);
+    const int64_t c_ord = cm->ClusteredOrdinalOfRow(r);
+    std::array<Key, 1> old_u = {old_price};
+    std::array<Key, 1> new_u = {new_price};
+    ASSERT_TRUE(cm->DeleteValues(old_u, c_ord).ok());
+    cm->InsertValues(new_u, c_ord);
+  }
+  ASSERT_TRUE(cm->CheckInvariants().ok());
+}
+
+TEST(IntegrationTest, ColdCacheMixedWorkloadFavorsCm) {
+  // Fig. 9's effect: under insert pressure, B+Tree selects re-read evicted
+  // pages while CM selects stay cheap.
+  EbayGenConfig cfg;
+  cfg.num_categories = 300;
+  auto table = GenerateEbayItems(cfg);
+  ASSERT_TRUE(table->ClusterBy(kEbay.catid).ok());
+  auto cidx = ClusteredIndex::Build(*table, kEbay.catid);
+  ASSERT_TRUE(cidx.ok());
+
+  BufferPool pool(512);
+  WriteAheadLog wal;
+  MaintenanceDriver driver(table.get(), &pool, &wal);
+  BTreeOptions bopts;
+  bopts.pool = &pool;
+  bopts.file_id = pool.RegisterFile();
+  SecondaryIndex sidx(table.get(), {kEbay.cat3}, bopts);
+  ASSERT_TRUE(sidx.BuildFromTable().ok());
+  driver.AttachBTree(&sidx);
+  CmOptions copts;
+  copts.u_cols = {kEbay.cat3};
+  copts.u_bucketers = {Bucketer::Identity()};
+  copts.c_col = kEbay.catid;
+  auto cm = CorrelationMap::Create(table.get(), copts);
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE(cm->BuildFromTable().ok());
+  driver.AttachCm(&*cm);
+  pool.DrainIo();
+
+  // Interleave inserts and selects; accumulate select costs per structure.
+  Rng rng(103);
+  double btree_select_ms = 0, cm_select_ms = 0;
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::vector<Key>> batch;
+    for (int i = 0; i < 2000; ++i) {
+      const int64_t cat = rng.UniformInt(0, 299);
+      std::vector<Key> row(table->schema().num_columns(), Key(int64_t(0)));
+      row[kEbay.catid] = Key(cat);
+      for (size_t k = kEbay.cat1; k <= kEbay.cat6; ++k) {
+        row[k] = table->GetKey(RowId(cat) % table->NumRows(), k);
+      }
+      row[kEbay.item_id] = Key(int64_t(1'000'000 + round * 2000 + i));
+      row[kEbay.price] = Key(rng.UniformDouble(0, 1e6));
+      batch.push_back(std::move(row));
+    }
+    driver.InsertBatch(batch);
+    const Key cat3 = table->GetKey(RowId(rng.UniformInt(
+                                       0, int64_t(table->NumRows()) - 1)),
+                                   kEbay.cat3);
+    Query q({Predicate::Eq(*table, "CAT3",
+                           Value(table->column(kEbay.cat3)
+                                     .dictionary()
+                                     ->Get(cat3.AsInt64())))});
+    btree_select_ms += driver.SelectViaBTree(sidx, q).ms;
+    cm_select_ms += driver.SelectViaCm(*cm, *cidx, q).ms;
+  }
+  EXPECT_LT(cm_select_ms, btree_select_ms);
+}
+
+}  // namespace
+}  // namespace corrmap

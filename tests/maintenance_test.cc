@@ -1,0 +1,214 @@
+// Tests for the maintenance driver: batched inserts keep the table, B+Trees
+// and CMs mutually consistent; buffer-pool pressure grows with index count;
+// CM maintenance stays cheap; WAL-based crash recovery restores CMs.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/rng.h"
+#include "core/maintenance.h"
+#include "exec/access_path.h"
+
+namespace corrmap {
+namespace {
+
+/// Small correlated table clustered on c, used as the insert target.
+struct Target {
+  std::unique_ptr<Table> table;
+  std::unique_ptr<ClusteredIndex> cidx;
+
+  explicit Target(size_t rows = 20000) {
+    Schema schema({ColumnDef::Int64("c"), ColumnDef::Int64("u"),
+                   ColumnDef::Int64("v")});
+    table = std::make_unique<Table>("t", std::move(schema));
+    Rng rng(83);
+    for (size_t i = 0; i < rows; ++i) {
+      const int64_t u = rng.UniformInt(0, 999);
+      std::array<Value, 3> row = {Value(u / 10), Value(u),
+                                  Value(rng.UniformInt(0, 999))};
+      EXPECT_TRUE(table->AppendRow(row).ok());
+    }
+    EXPECT_TRUE(table->ClusterBy(0).ok());
+    auto ci = ClusteredIndex::Build(*table, 0);
+    EXPECT_TRUE(ci.ok());
+    cidx = std::make_unique<ClusteredIndex>(std::move(*ci));
+  }
+
+  std::vector<std::vector<Key>> MakeBatch(size_t n, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::vector<Key>> rows;
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t u = rng.UniformInt(0, 999);
+      rows.push_back({Key(u / 10), Key(u), Key(rng.UniformInt(0, 999))});
+    }
+    return rows;
+  }
+};
+
+TEST(MaintenanceTest, InsertBatchUpdatesAllStructures) {
+  Target target;
+  BufferPool pool(4096);
+  WriteAheadLog wal;
+  MaintenanceDriver driver(target.table.get(), &pool, &wal);
+
+  BTreeOptions bopts;
+  bopts.pool = &pool;
+  bopts.file_id = pool.RegisterFile();
+  SecondaryIndex idx(target.table.get(), {1}, bopts);
+  ASSERT_TRUE(idx.BuildFromTable().ok());
+  driver.AttachBTree(&idx);
+
+  CmOptions copts;
+  copts.u_cols = {1};
+  copts.u_bucketers = {Bucketer::Identity()};
+  copts.c_col = 0;
+  auto cm = CorrelationMap::Create(target.table.get(), copts);
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE(cm->BuildFromTable().ok());
+  driver.AttachCm(&*cm);
+
+  const size_t rows_before = target.table->NumRows();
+  const size_t entries_before = idx.NumEntries();
+  driver.InsertBatch(target.MakeBatch(500, 1));
+
+  EXPECT_EQ(target.table->NumRows(), rows_before + 500);
+  EXPECT_EQ(idx.NumEntries(), entries_before + 500);
+  EXPECT_TRUE(cm->CheckInvariants().ok());
+  EXPECT_EQ(driver.report().tuples_inserted, 500u);
+  EXPECT_GT(driver.report().insert_ms, 0.0);
+  EXPECT_GE(wal.num_flushes(), 2u);  // prepare + commit
+
+  // Consistency: a CM scan and an index scan agree with a full scan after
+  // the batch.
+  Query q({Predicate::Eq(*target.table, "u", Value(250))});
+  auto scan = FullTableScan(*target.table, q);
+  auto cms = CmScan(*target.table, *cm, *target.cidx, q);
+  EXPECT_EQ(cms.rows, scan.rows);
+  std::vector<RowId> via_idx =
+      idx.LookupEqual(CompositeKey(Key(int64_t{250})));
+  std::sort(via_idx.begin(), via_idx.end());
+  EXPECT_EQ(via_idx, scan.rows);
+}
+
+TEST(MaintenanceTest, MoreBTreesMoreDirtyPressure) {
+  // The Fig. 8 mechanism in miniature: insert cost grows with the number of
+  // attached B+Trees, while CM cost stays near the 0-index baseline.
+  auto run_with = [&](size_t n_btrees, size_t n_cms) {
+    Target target(30000);
+    BufferPool pool(512);  // deliberately tight
+    WriteAheadLog wal;
+    MaintenanceDriver driver(target.table.get(), &pool, &wal);
+    std::vector<std::unique_ptr<SecondaryIndex>> idxs;
+    for (size_t i = 0; i < n_btrees; ++i) {
+      BTreeOptions bopts;
+      bopts.pool = &pool;
+      bopts.file_id = pool.RegisterFile();
+      idxs.push_back(std::make_unique<SecondaryIndex>(
+          target.table.get(), std::vector<size_t>{1 + (i % 2)}, bopts));
+      EXPECT_TRUE(idxs.back()->BuildFromTable().ok());
+      driver.AttachBTree(idxs.back().get());
+    }
+    std::vector<std::unique_ptr<CorrelationMap>> cms;
+    for (size_t i = 0; i < n_cms; ++i) {
+      CmOptions copts;
+      copts.u_cols = {1 + (i % 2)};
+      copts.u_bucketers = {Bucketer::Identity()};
+      copts.c_col = 0;
+      auto cm = CorrelationMap::Create(target.table.get(), copts);
+      EXPECT_TRUE(cm.ok());
+      EXPECT_TRUE(cm->BuildFromTable().ok());
+      cms.push_back(std::make_unique<CorrelationMap>(std::move(*cm)));
+      driver.AttachCm(cms.back().get());
+    }
+    pool.DrainIo();  // discard build-time I/O
+    for (int b = 0; b < 5; ++b) {
+      driver.InsertBatch(target.MakeBatch(2000, uint64_t(b) + 10));
+    }
+    return driver.report().insert_ms;
+  };
+
+  const double none = run_with(0, 0);
+  const double five_btrees = run_with(5, 0);
+  const double five_cms = run_with(0, 5);
+  EXPECT_GT(five_btrees, none * 1.5);
+  EXPECT_LT(five_cms, none * 1.3);
+  EXPECT_LT(five_cms * 2, five_btrees);
+}
+
+TEST(MaintenanceTest, CrashRecoveryRebuildsCmFromWal) {
+  Target target;
+  BufferPool pool(4096);
+  WriteAheadLog wal;
+  MaintenanceDriver driver(target.table.get(), &pool, &wal);
+
+  CmOptions copts;
+  copts.u_cols = {1};
+  copts.u_bucketers = {Bucketer::Identity()};
+  copts.c_col = 0;
+  auto cm = CorrelationMap::Create(target.table.get(), copts);
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE(cm->BuildFromTable().ok());
+  driver.AttachCm(&*cm);
+
+  // Checkpoint the CM, then apply a committed batch and crash.
+  auto checkpoint = cm->ToRecords();
+  const size_t committed_rows = target.table->NumRows();
+  driver.InsertBatch(target.MakeBatch(300, 2));
+  wal.Crash();  // nothing pending: batch was committed via 2PC
+
+  // Recovery: restore checkpoint, replay committed row inserts.
+  auto recovered = CorrelationMap::Create(target.table.get(), copts);
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_TRUE(recovered->LoadRecords(checkpoint).ok());
+  for (RowId r = committed_rows; r < target.table->NumRows(); ++r) {
+    recovered->InsertRow(r);
+  }
+  EXPECT_EQ(recovered->NumEntries(), cm->NumEntries());
+  EXPECT_EQ(recovered->NumUKeys(), cm->NumUKeys());
+}
+
+TEST(MaintenanceTest, MixedSelectsChargePoolReads) {
+  Target target;
+  BufferPool pool(256);
+  WriteAheadLog wal;
+  MaintenanceDriver driver(target.table.get(), &pool, &wal);
+
+  BTreeOptions bopts;
+  bopts.pool = &pool;
+  bopts.file_id = pool.RegisterFile();
+  SecondaryIndex idx(target.table.get(), {1}, bopts);
+  ASSERT_TRUE(idx.BuildFromTable().ok());
+  driver.AttachBTree(&idx);
+  pool.DrainIo();
+
+  Query q({Predicate::Eq(*target.table, "u", Value(77))});
+  auto r1 = driver.SelectViaBTree(idx, q);
+  auto scan = FullTableScan(*target.table, q);
+  EXPECT_EQ(r1.rows, scan.rows);
+  EXPECT_GT(driver.report().select_ms, 0.0);
+}
+
+TEST(MaintenanceTest, SelectViaCmAgreesAndStaysCheapUnderInserts) {
+  Target target;
+  BufferPool pool(1024);
+  WriteAheadLog wal;
+  MaintenanceDriver driver(target.table.get(), &pool, &wal);
+
+  CmOptions copts;
+  copts.u_cols = {1};
+  copts.u_bucketers = {Bucketer::Identity()};
+  copts.c_col = 0;
+  auto cm = CorrelationMap::Create(target.table.get(), copts);
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE(cm->BuildFromTable().ok());
+  driver.AttachCm(&*cm);
+
+  driver.InsertBatch(target.MakeBatch(1000, 3));
+  Query q({Predicate::Eq(*target.table, "u", Value(123))});
+  auto via_cm = driver.SelectViaCm(*cm, *target.cidx, q);
+  auto scan = FullTableScan(*target.table, q);
+  EXPECT_EQ(via_cm.rows, scan.rows);
+}
+
+}  // namespace
+}  // namespace corrmap

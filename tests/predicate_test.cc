@@ -1,0 +1,117 @@
+// Unit tests for predicates and conjunctive queries.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/rng.h"
+#include "exec/predicate.h"
+#include "storage/table.h"
+
+namespace corrmap {
+namespace {
+
+std::unique_ptr<Table> MixedTable() {
+  Schema schema({ColumnDef::Int64("k"), ColumnDef::String("s", 8),
+                 ColumnDef::Double("d")});
+  auto t = std::make_unique<Table>("t", std::move(schema));
+  for (int64_t i = 0; i < 100; ++i) {
+    std::array<Value, 3> row = {Value(i), Value(i % 2 ? "odd" : "even"),
+                                Value(double(i) / 2.0)};
+    EXPECT_TRUE(t->AppendRow(row).ok());
+  }
+  return t;
+}
+
+TEST(PredicateTest, EqInt) {
+  auto t = MixedTable();
+  Predicate p = Predicate::Eq(*t, "k", Value(5));
+  EXPECT_TRUE(p.Matches(*t, 5));
+  EXPECT_FALSE(p.Matches(*t, 6));
+  EXPECT_EQ(p.NumPoints(), 1u);
+}
+
+TEST(PredicateTest, EqStringUsesDictionary) {
+  auto t = MixedTable();
+  Predicate p = Predicate::Eq(*t, "s", Value("odd"));
+  EXPECT_TRUE(p.Matches(*t, 1));
+  EXPECT_FALSE(p.Matches(*t, 2));
+}
+
+TEST(PredicateTest, EqUnknownStringMatchesNothing) {
+  auto t = MixedTable();
+  Predicate p = Predicate::Eq(*t, "s", Value("nope"));
+  for (RowId r = 0; r < t->NumRows(); ++r) EXPECT_FALSE(p.Matches(*t, r));
+}
+
+TEST(PredicateTest, InDeduplicates) {
+  auto t = MixedTable();
+  Predicate p = Predicate::In(*t, "k", {Value(3), Value(7), Value(3)});
+  EXPECT_EQ(p.NumPoints(), 2u);
+  EXPECT_TRUE(p.Matches(*t, 3));
+  EXPECT_TRUE(p.Matches(*t, 7));
+  EXPECT_FALSE(p.Matches(*t, 4));
+}
+
+TEST(PredicateTest, BetweenInclusive) {
+  auto t = MixedTable();
+  Predicate p = Predicate::Between(*t, "d", Value(2.0), Value(3.0));
+  EXPECT_TRUE(p.Matches(*t, 4));   // d = 2.0
+  EXPECT_TRUE(p.Matches(*t, 6));   // d = 3.0
+  EXPECT_FALSE(p.Matches(*t, 7));  // d = 3.5
+  EXPECT_EQ(p.NumPoints(), 0u);
+}
+
+TEST(PredicateTest, OpenEndedRanges) {
+  auto t = MixedTable();
+  Predicate le = Predicate::Le(*t, "k", Value(10));
+  Predicate ge = Predicate::Ge(*t, "k", Value(90));
+  EXPECT_TRUE(le.Matches(*t, 10));
+  EXPECT_FALSE(le.Matches(*t, 11));
+  EXPECT_TRUE(ge.Matches(*t, 99));
+  EXPECT_FALSE(ge.Matches(*t, 89));
+}
+
+TEST(PredicateTest, ToStringRendersSql) {
+  auto t = MixedTable();
+  EXPECT_EQ(Predicate::Eq(*t, "k", Value(5)).ToString(*t), "k = 5");
+  const std::string in = Predicate::In(*t, "k", {Value(1), Value(2)}).ToString(*t);
+  EXPECT_EQ(in, "k IN (1, 2)");
+}
+
+TEST(QueryTest, ConjunctionSemantics) {
+  auto t = MixedTable();
+  Query q({Predicate::Between(*t, "k", Value(10), Value(20)),
+           Predicate::Eq(*t, "s", Value("even"))});
+  size_t matches = 0;
+  for (RowId r = 0; r < t->NumRows(); ++r) matches += q.Matches(*t, r);
+  EXPECT_EQ(matches, 6u);  // 10,12,14,16,18,20
+}
+
+TEST(QueryTest, EmptyQueryMatchesAll) {
+  auto t = MixedTable();
+  Query q;
+  EXPECT_DOUBLE_EQ(q.ExactSelectivity(*t), 1.0);
+}
+
+TEST(QueryTest, PredicatedColumnsDeduplicated) {
+  auto t = MixedTable();
+  Query q({Predicate::Ge(*t, "k", Value(1)), Predicate::Le(*t, "k", Value(5)),
+           Predicate::Eq(*t, "s", Value("odd"))});
+  EXPECT_EQ(q.PredicatedColumns(), (std::vector<size_t>{0, 1}));
+}
+
+TEST(QueryTest, SelectivityEstimateTracksExact) {
+  Schema schema({ColumnDef::Int64("k")});
+  Table t("t", std::move(schema));
+  Rng rng(5);
+  for (int i = 0; i < 50000; ++i) {
+    std::array<Value, 1> row = {Value(rng.UniformInt(0, 999))};
+    ASSERT_TRUE(t.AppendRow(row).ok());
+  }
+  Query q({Predicate::Between(t, "k", Value(0), Value(99))});
+  RowSample sample = RowSample::Collect(t, 5000);
+  EXPECT_NEAR(q.EstimateSelectivity(t, sample), q.ExactSelectivity(t), 0.02);
+}
+
+}  // namespace
+}  // namespace corrmap

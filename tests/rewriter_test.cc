@@ -1,0 +1,147 @@
+// Tests for predicate introduction (§5.2 / §7.1): the rewritten query must
+// add the CM-implied clustered restriction, render readable SQL, and agree
+// with direct execution.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/rng.h"
+#include "core/rewriter.h"
+#include "exec/access_path.h"
+
+namespace corrmap {
+namespace {
+
+std::unique_ptr<Table> CityTable() {
+  Schema schema({ColumnDef::String("state", 2), ColumnDef::String("city", 16),
+                 ColumnDef::Double("salary")});
+  auto t = std::make_unique<Table>("people", std::move(schema));
+  const std::array<std::array<const char*, 2>, 10> rows = {{
+      {"MA", "Boston"},      {"MA", "Boston"},  {"MA", "Cambridge"},
+      {"MA", "Springfield"}, {"MN", "Manchester"}, {"MS", "Jackson"},
+      {"NH", "Boston"},      {"NH", "Manchester"}, {"OH", "Springfield"},
+      {"OH", "Toledo"},
+  }};
+  for (const auto& r : rows) {
+    std::array<Value, 3> row = {Value(r[0]), Value(r[1]), Value(60.0)};
+    EXPECT_TRUE(t->AppendRow(row).ok());
+  }
+  EXPECT_TRUE(t->ClusterBy(0).ok());
+  return t;
+}
+
+struct CitySetup {
+  std::unique_ptr<Table> table = CityTable();
+  std::unique_ptr<ClusteredIndex> cidx;
+  std::unique_ptr<CorrelationMap> cm;
+
+  CitySetup() {
+    auto ci = ClusteredIndex::Build(*table, 0);
+    EXPECT_TRUE(ci.ok());
+    cidx = std::make_unique<ClusteredIndex>(std::move(*ci));
+    CmOptions opts;
+    opts.u_cols = {1};
+    opts.u_bucketers = {Bucketer::Identity()};
+    opts.c_col = 0;
+    auto m = CorrelationMap::Create(table.get(), opts);
+    EXPECT_TRUE(m.ok());
+    EXPECT_TRUE(m->BuildFromTable().ok());
+    cm = std::make_unique<CorrelationMap>(std::move(*m));
+  }
+};
+
+TEST(RewriterTest, IntroducesInClauseWithStateNames) {
+  CitySetup s;
+  Query q({Predicate::Eq(*s.table, "city", Value("Boston"))});
+  auto rw = RewriteWithCm(*s.table, *s.cm, *s.cidx, q);
+  ASSERT_TRUE(rw.ok());
+  EXPECT_FALSE(rw->empty_result);
+  EXPECT_NE(rw->sql.find("city = "), std::string::npos);
+  EXPECT_NE(rw->sql.find("state IN ('MA', 'NH')"), std::string::npos)
+      << rw->sql;
+  EXPECT_EQ(rw->in_list.size(), 2u);
+}
+
+TEST(RewriterTest, UnknownCityYieldsEmptyRestriction) {
+  CitySetup s;
+  Query q({Predicate::Eq(*s.table, "city", Value("Atlantis"))});
+  auto rw = RewriteWithCm(*s.table, *s.cm, *s.cidx, q);
+  ASSERT_TRUE(rw.ok());
+  EXPECT_TRUE(rw->empty_result);
+  EXPECT_NE(rw->sql.find("AND FALSE"), std::string::npos);
+}
+
+TEST(RewriterTest, FailsWithoutPredicateOnCmAttribute) {
+  CitySetup s;
+  Query q({Predicate::Ge(*s.table, "salary", Value(10.0))});
+  EXPECT_FALSE(RewriteWithCm(*s.table, *s.cm, *s.cidx, q).ok());
+}
+
+TEST(RewriterTest, RewriteAgreesWithCmScan) {
+  CitySetup s;
+  Query q({Predicate::In(*s.table, "city",
+                         {Value("Boston"), Value("Springfield")})});
+  auto rw = RewriteWithCm(*s.table, *s.cm, *s.cidx, q);
+  ASSERT_TRUE(rw.ok());
+  // Execute the rewritten restriction: scan the IN-list ranges and filter.
+  std::vector<RowId> rewritten_rows;
+  for (const Key& state : rw->in_list) {
+    RowRange range = s.cidx->LookupEqual(state);
+    for (RowId r = range.begin; r < range.end; ++r) {
+      if (q.Matches(*s.table, r)) rewritten_rows.push_back(r);
+    }
+  }
+  std::sort(rewritten_rows.begin(), rewritten_rows.end());
+  auto direct = CmScan(*s.table, *s.cm, *s.cidx, q);
+  EXPECT_EQ(rewritten_rows, direct.rows);
+  auto scan = FullTableScan(*s.table, q);
+  EXPECT_EQ(rewritten_rows, scan.rows);
+}
+
+TEST(RewriterTest, BucketedClusteredAttributeEmitsMergedRanges) {
+  // Numeric table, clustered bucketing: rewrite must produce BETWEEN ranges
+  // and merge adjacent buckets.
+  Schema schema({ColumnDef::Int64("c"), ColumnDef::Int64("u")});
+  Table t("t", std::move(schema));
+  Rng rng(67);
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t u = rng.UniformInt(0, 999);
+    std::array<Value, 2> row = {Value(u / 10), Value(u)};
+    ASSERT_TRUE(t.AppendRow(row).ok());
+  }
+  ASSERT_TRUE(t.ClusterBy(0).ok());
+  auto cidx = ClusteredIndex::Build(t, 0);
+  ASSERT_TRUE(cidx.ok());
+  auto cb = ClusteredBucketing::Build(t, 0, 512);
+  ASSERT_TRUE(cb.ok());
+  CmOptions opts;
+  opts.u_cols = {1};
+  opts.u_bucketers = {Bucketer::Identity()};
+  opts.c_col = 0;
+  opts.c_buckets = &*cb;
+  auto cm = CorrelationMap::Create(&t, opts);
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE(cm->BuildFromTable().ok());
+
+  Query q({Predicate::Between(t, "u", Value(100), Value(300))});
+  auto rw = RewriteWithCm(t, *cm, *cidx, q);
+  ASSERT_TRUE(rw.ok());
+  ASSERT_FALSE(rw->ranges.empty());
+  EXPECT_NE(rw->sql.find("BETWEEN"), std::string::npos);
+  // Ranges must be sorted, non-overlapping, and cover all matching rows.
+  for (size_t i = 1; i < rw->ranges.size(); ++i) {
+    EXPECT_LT(rw->ranges[i - 1].second, rw->ranges[i].first);
+  }
+  for (RowId r = 0; r < t.NumRows(); ++r) {
+    if (!q.Matches(t, r)) continue;
+    const Key c = t.GetKey(r, 0);
+    bool covered = false;
+    for (const auto& [lo, hi] : rw->ranges) {
+      if (!(c < lo) && !(hi < c)) covered = true;
+    }
+    EXPECT_TRUE(covered) << "row " << r << " not covered by rewrite";
+  }
+}
+
+}  // namespace
+}  // namespace corrmap

@@ -1,0 +1,252 @@
+// Unit tests for stats/: reservoir sampling, Distinct Sampling, the
+// GEE/Chao/adaptive estimators, correlation statistics, and histograms.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "stats/adaptive_estimator.h"
+#include "stats/correlation_stats.h"
+#include "stats/distinct_sampling.h"
+#include "stats/histogram.h"
+#include "stats/sampler.h"
+#include "storage/table.h"
+
+namespace corrmap {
+namespace {
+
+std::unique_ptr<Table> IntTable(size_t rows, int64_t distinct,
+                                uint64_t seed = 1) {
+  Schema schema({ColumnDef::Int64("a"), ColumnDef::Int64("b")});
+  auto t = std::make_unique<Table>("t", std::move(schema));
+  Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    const int64_t a = rng.UniformInt(0, distinct - 1);
+    std::array<Value, 2> row = {Value(a), Value(a / 4)};  // b determined by a
+    EXPECT_TRUE(t->AppendRow(row).ok());
+  }
+  return t;
+}
+
+TEST(RowSampleTest, SampleSizeIsBounded) {
+  auto t = IntTable(10000, 100);
+  RowSample s = RowSample::Collect(*t, 500);
+  EXPECT_EQ(s.size(), 500u);
+  EXPECT_EQ(s.population(), 10000u);
+}
+
+TEST(RowSampleTest, SmallTableFullySampled) {
+  auto t = IntTable(50, 10);
+  RowSample s = RowSample::Collect(*t, 500);
+  EXPECT_EQ(s.size(), 50u);
+}
+
+TEST(RowSampleTest, SkipsDeletedRows) {
+  auto t = IntTable(100, 10);
+  for (RowId r = 0; r < 50; ++r) ASSERT_TRUE(t->DeleteRow(r).ok());
+  RowSample s = RowSample::Collect(*t, 1000);
+  EXPECT_EQ(s.size(), 50u);
+  for (RowId r : s.rows()) EXPECT_GE(r, 50u);
+}
+
+TEST(RowSampleTest, RoughlyUniform) {
+  auto t = IntTable(10000, 100);
+  RowSample s = RowSample::Collect(*t, 2000, /*seed=*/7);
+  // Mean sampled row id should be near the middle.
+  double sum = 0;
+  for (RowId r : s.rows()) sum += double(r);
+  EXPECT_NEAR(sum / double(s.size()), 5000.0, 300.0);
+}
+
+TEST(DistinctSamplingTest, ExactWhenSampleFits) {
+  DistinctSampler ds(1024);
+  for (int64_t v = 0; v < 500; ++v) ds.Add(Key(v));
+  EXPECT_DOUBLE_EQ(ds.Estimate(), 500.0);
+  EXPECT_EQ(ds.level(), 0);
+}
+
+TEST(DistinctSamplingTest, DuplicatesDoNotInflate) {
+  DistinctSampler ds(1024);
+  for (int rep = 0; rep < 10; ++rep) {
+    for (int64_t v = 0; v < 300; ++v) ds.Add(Key(v));
+  }
+  EXPECT_DOUBLE_EQ(ds.Estimate(), 300.0);
+}
+
+TEST(DistinctSamplingTest, AccurateUnderPromotion) {
+  DistinctSampler ds(512);  // forces multiple level promotions
+  const int64_t true_d = 100000;
+  for (int64_t v = 0; v < true_d; ++v) ds.Add(Key(v));
+  EXPECT_GT(ds.level(), 0);
+  EXPECT_NEAR(ds.Estimate(), double(true_d), double(true_d) * 0.20);
+}
+
+TEST(DistinctSamplingTest, ColumnHelper) {
+  auto t = IntTable(20000, 1000);
+  const double est = DistinctSampler::EstimateColumn(*t, 0);
+  EXPECT_NEAR(est, 1000.0, 50.0);
+}
+
+TEST(SampleFrequenciesTest, CountsSingletonsAndDoubletons) {
+  std::vector<CompositeKey> keys;
+  keys.push_back(CompositeKey(Key(int64_t{1})));
+  keys.push_back(CompositeKey(Key(int64_t{2})));
+  keys.push_back(CompositeKey(Key(int64_t{2})));
+  keys.push_back(CompositeKey(Key(int64_t{3})));
+  keys.push_back(CompositeKey(Key(int64_t{3})));
+  keys.push_back(CompositeKey(Key(int64_t{3})));
+  SampleFrequencies f = SampleFrequencies::FromKeys(keys);
+  EXPECT_EQ(f.sample_size, 6u);
+  EXPECT_EQ(f.distinct, 3u);
+  EXPECT_EQ(f.f1, 1u);
+  EXPECT_EQ(f.f2, 1u);
+}
+
+TEST(AdaptiveEstimatorTest, ExactWhenSampleIsPopulation) {
+  std::vector<CompositeKey> keys;
+  for (int64_t v = 0; v < 100; ++v) {
+    keys.push_back(CompositeKey(Key(v % 25)));
+  }
+  EXPECT_DOUBLE_EQ(AdaptiveEstimator::Estimate(keys, 100), 25.0);
+}
+
+TEST(AdaptiveEstimatorTest, GEEScalesSingletons) {
+  SampleFrequencies f;
+  f.sample_size = 100;
+  f.distinct = 100;
+  f.f1 = 100;  // all singletons
+  // GEE = sqrt(10000/100)*100 = 1000.
+  EXPECT_DOUBLE_EQ(AdaptiveEstimator::GEE(f, 10000), 1000.0);
+}
+
+TEST(AdaptiveEstimatorTest, ClampedToPopulation) {
+  SampleFrequencies f;
+  f.sample_size = 10;
+  f.distinct = 10;
+  f.f1 = 10;
+  EXPECT_LE(AdaptiveEstimator::Estimate(f, 20), 20.0);
+  EXPECT_GE(AdaptiveEstimator::Estimate(f, 20), 10.0);
+}
+
+TEST(AdaptiveEstimatorTest, LowCardinalityColumnNearExact) {
+  // 50 distinct values, sample of 2000 from 100k rows: every value seen
+  // many times; estimate should be ~50, not scaled up.
+  Rng rng(5);
+  std::vector<CompositeKey> keys;
+  for (int i = 0; i < 2000; ++i) {
+    keys.push_back(CompositeKey(Key(rng.UniformInt(0, 49))));
+  }
+  const double est = AdaptiveEstimator::Estimate(keys, 100000);
+  EXPECT_NEAR(est, 50.0, 5.0);
+}
+
+TEST(AdaptiveEstimatorTest, HighCardinalityScalesUp) {
+  // Near-unique column: 2000 singleton samples from 1M rows must estimate
+  // far above the observed 2000.
+  std::vector<CompositeKey> keys;
+  for (int64_t i = 0; i < 2000; ++i) {
+    keys.push_back(CompositeKey(Key(i * 7919)));
+  }
+  const double est = AdaptiveEstimator::Estimate(keys, 1'000'000);
+  EXPECT_GT(est, 20000.0);
+}
+
+TEST(AdaptiveEstimatorTest, OrderingPreservedAcrossBucketWidths) {
+  // Coarser bucketing must never estimate MORE distinct values -- the
+  // advisor relies on this relative ordering.
+  Rng rng(17);
+  std::vector<CompositeKey> fine, coarse;
+  for (int i = 0; i < 3000; ++i) {
+    const int64_t v = rng.UniformInt(0, 99999);
+    fine.push_back(CompositeKey(Key(v)));
+    coarse.push_back(CompositeKey(Key(v / 64)));
+  }
+  EXPECT_GE(AdaptiveEstimator::Estimate(fine, 500000),
+            AdaptiveEstimator::Estimate(coarse, 500000));
+}
+
+TEST(CorrelationStatsTest, PerfectFunctionalDependency) {
+  auto t = IntTable(5000, 400);  // b = a / 4 exactly
+  CorrelationStats s = ComputeExactCorrelationStats(*t, {0}, 1);
+  // Every `a` maps to exactly one `b`: c_per_u == 1.
+  EXPECT_DOUBLE_EQ(s.c_per_u, 1.0);
+  EXPECT_NEAR(s.d_u, 400.0, 1.0);
+}
+
+TEST(CorrelationStatsTest, IndependentAttributesHaveHighCPerU) {
+  Schema schema({ColumnDef::Int64("a"), ColumnDef::Int64("b")});
+  Table t("t", std::move(schema));
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    std::array<Value, 2> row = {Value(rng.UniformInt(0, 49)),
+                                Value(rng.UniformInt(0, 49))};
+    ASSERT_TRUE(t.AppendRow(row).ok());
+  }
+  CorrelationStats s = ComputeExactCorrelationStats(t, {0}, 1);
+  EXPECT_GT(s.c_per_u, 40.0);  // nearly all 50 b-values per a-value
+}
+
+TEST(CorrelationStatsTest, CompositeStrongerThanParts) {
+  // The paper's (city,state)->zip intuition: a determined by (x,y) jointly.
+  Schema schema(
+      {ColumnDef::Int64("x"), ColumnDef::Int64("y"), ColumnDef::Int64("z")});
+  Table t("t", std::move(schema));
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t x = rng.UniformInt(0, 19);
+    const int64_t y = rng.UniformInt(0, 19);
+    std::array<Value, 3> row = {Value(x), Value(y), Value(x * 20 + y)};
+    ASSERT_TRUE(t.AppendRow(row).ok());
+  }
+  CorrelationStats sx = ComputeExactCorrelationStats(t, {0}, 2);
+  CorrelationStats sxy = ComputeExactCorrelationStats(t, {0, 1}, 2);
+  EXPECT_DOUBLE_EQ(sxy.c_per_u, 1.0);
+  EXPECT_GT(sx.c_per_u, 15.0);
+}
+
+TEST(CorrelationStatsTest, EstimateTracksExact) {
+  auto t = IntTable(50000, 200, /*seed=*/11);
+  RowSample sample = RowSample::Collect(*t, 5000);
+  CorrelationStats exact = ComputeExactCorrelationStats(*t, {0}, 1);
+  CorrelationStats est = EstimateCorrelationStats(*t, sample, {0}, 1);
+  EXPECT_NEAR(est.c_per_u, exact.c_per_u, 0.25);
+  EXPECT_NEAR(est.d_u, exact.d_u, exact.d_u * 0.2);
+}
+
+TEST(HistogramTest, BinCountsSumToTotal) {
+  auto t = IntTable(10000, 500);
+  EquiWidthHistogram h = EquiWidthHistogram::Build(*t, 0, 32);
+  uint64_t sum = 0;
+  for (size_t i = 0; i < h.num_bins(); ++i) sum += h.bin_count(i);
+  EXPECT_EQ(sum, 10000u);
+}
+
+TEST(HistogramTest, RangeSelectivityUniform) {
+  auto t = IntTable(50000, 1000, /*seed=*/23);
+  EquiWidthHistogram h = EquiWidthHistogram::Build(*t, 0, 64);
+  // Uniform over [0,999]: a [0,499] range is ~half the rows.
+  EXPECT_NEAR(h.SelectivityRange(0, 499), 0.5, 0.05);
+  EXPECT_NEAR(h.SelectivityRange(h.min(), h.max()), 1.0, 0.01);
+  EXPECT_DOUBLE_EQ(h.SelectivityRange(2000, 3000), 0.0);
+}
+
+TEST(HistogramTest, SampleBuildMatchesFullBuild) {
+  auto t = IntTable(50000, 1000, /*seed=*/29);
+  RowSample sample = RowSample::Collect(*t, 5000);
+  EquiWidthHistogram full = EquiWidthHistogram::Build(*t, 0, 32);
+  EquiWidthHistogram sampled = EquiWidthHistogram::Build(*t, 0, 32, &sample);
+  EXPECT_NEAR(sampled.SelectivityRange(100, 300),
+              full.SelectivityRange(100, 300), 0.05);
+}
+
+TEST(HistogramTest, PointSelectivity) {
+  auto t = IntTable(10000, 100, /*seed=*/31);
+  EquiWidthHistogram h = EquiWidthHistogram::Build(*t, 0, 10);
+  // 100 uniform values: each point is ~1% of rows.
+  EXPECT_NEAR(h.SelectivityPoint(50), 0.01, 0.005);
+}
+
+}  // namespace
+}  // namespace corrmap

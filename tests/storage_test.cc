@@ -1,0 +1,271 @@
+// Unit tests for storage/: page layout, schema, columnar table, disk model,
+// buffer pool, WAL.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_model.h"
+#include "storage/page.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/wal.h"
+
+namespace corrmap {
+namespace {
+
+Schema SmallSchema() {
+  return Schema({ColumnDef::Int64("id"), ColumnDef::String("city", 16),
+                 ColumnDef::Double("salary")});
+}
+
+TEST(PageLayoutTest, TuplesPerPage) {
+  PageLayout layout;
+  layout.tuple_bytes = 136;
+  EXPECT_EQ(layout.TuplesPerPage(), 8192u / 136u);
+  EXPECT_EQ(layout.PageOfRow(0), 0u);
+  EXPECT_EQ(layout.PageOfRow(layout.TuplesPerPage()), 1u);
+  EXPECT_EQ(layout.NumPages(0), 0u);
+  EXPECT_EQ(layout.NumPages(1), 1u);
+  EXPECT_EQ(layout.NumPages(layout.TuplesPerPage() + 1), 2u);
+}
+
+TEST(PageLayoutTest, OversizeTupleStillFitsOnePerPage) {
+  PageLayout layout;
+  layout.tuple_bytes = 10000;
+  EXPECT_EQ(layout.TuplesPerPage(), 1u);
+}
+
+TEST(SchemaTest, ColumnIndexAndWidths) {
+  Schema s = SmallSchema();
+  EXPECT_EQ(s.num_columns(), 3u);
+  EXPECT_EQ(*s.ColumnIndex("city"), 1u);
+  EXPECT_FALSE(s.ColumnIndex("nope").ok());
+  EXPECT_EQ(s.TupleBytes(), Schema::kTupleHeaderBytes + 8 + 16 + 8);
+}
+
+TEST(TableTest, AppendAndRead) {
+  Table t("people", SmallSchema());
+  std::array<Value, 3> row = {Value(1), Value("boston"), Value(95.5)};
+  ASSERT_TRUE(t.AppendRow(row).ok());
+  EXPECT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.GetValue(0, 0), Value(1));
+  EXPECT_EQ(t.GetValue(0, 1), Value("boston"));
+  EXPECT_EQ(t.GetValue(0, 2), Value(95.5));
+}
+
+TEST(TableTest, TypeMismatchRejected) {
+  Table t("people", SmallSchema());
+  std::array<Value, 3> bad = {Value("x"), Value("boston"), Value(1.0)};
+  EXPECT_FALSE(t.AppendRow(bad).ok());
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Table t("people", SmallSchema());
+  std::array<Value, 2> bad = {Value(1), Value("boston")};
+  EXPECT_FALSE(t.AppendRow(bad).ok());
+}
+
+TEST(TableTest, StringsAreDictionaryEncoded) {
+  Table t("people", SmallSchema());
+  std::array<Value, 3> r1 = {Value(1), Value("boston"), Value(1.0)};
+  std::array<Value, 3> r2 = {Value(2), Value("boston"), Value(2.0)};
+  std::array<Value, 3> r3 = {Value(3), Value("nyc"), Value(3.0)};
+  ASSERT_TRUE(t.AppendRow(r1).ok());
+  ASSERT_TRUE(t.AppendRow(r2).ok());
+  ASSERT_TRUE(t.AppendRow(r3).ok());
+  EXPECT_EQ(t.GetKey(0, 1), t.GetKey(1, 1));
+  EXPECT_NE(t.GetKey(0, 1), t.GetKey(2, 1));
+  // Encoding a known string finds its code; unknown maps to -1.
+  EXPECT_EQ(t.column(1).EncodeKey(Value("nyc")), t.GetKey(2, 1));
+  EXPECT_EQ(t.column(1).EncodeKey(Value("zzz")).AsInt64(), -1);
+}
+
+TEST(TableTest, ClusterBySortsAllColumns) {
+  Table t("people", SmallSchema());
+  const char* cities[] = {"c", "a", "b"};
+  for (int i = 0; i < 3; ++i) {
+    std::array<Value, 3> row = {Value(10 - i), Value(cities[i]),
+                                Value(double(i))};
+    ASSERT_TRUE(t.AppendRow(row).ok());
+  }
+  ASSERT_TRUE(t.ClusterBy(0).ok());
+  EXPECT_EQ(t.clustered_column(), 0);
+  EXPECT_EQ(t.GetValue(0, 0), Value(8));
+  EXPECT_EQ(t.GetValue(2, 0), Value(10));
+  // Row integrity: id 8 was the last appended row (city "b", salary 2).
+  EXPECT_EQ(t.GetValue(0, 1), Value("b"));
+  EXPECT_EQ(t.GetValue(0, 2), Value(2.0));
+}
+
+TEST(TableTest, DeleteTombstones) {
+  Table t("people", SmallSchema());
+  std::array<Value, 3> row = {Value(1), Value("x"), Value(1.0)};
+  ASSERT_TRUE(t.AppendRow(row).ok());
+  ASSERT_TRUE(t.AppendRow(row).ok());
+  EXPECT_EQ(t.NumLiveRows(), 2u);
+  ASSERT_TRUE(t.DeleteRow(0).ok());
+  EXPECT_TRUE(t.IsDeleted(0));
+  EXPECT_FALSE(t.IsDeleted(1));
+  EXPECT_EQ(t.NumLiveRows(), 1u);
+  EXPECT_FALSE(t.DeleteRow(0).ok());   // already deleted
+  EXPECT_FALSE(t.DeleteRow(99).ok());  // out of range
+}
+
+TEST(DiskModelTest, CostConstants) {
+  DiskModel m;
+  DiskStats s;
+  s.seeks = 2;
+  s.seq_pages = 100;
+  s.pages_written = 1;
+  EXPECT_DOUBLE_EQ(m.CostMs(s), 2 * 5.5 + 100 * 0.078 + 1 * 5.5);
+}
+
+TEST(ExtractRunsTest, MergesContiguous) {
+  auto runs = ExtractRuns({5, 1, 2, 3, 9, 10});
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0], (PageRun{1, 3}));
+  EXPECT_EQ(runs[1], (PageRun{5, 1}));
+  EXPECT_EQ(runs[2], (PageRun{9, 2}));
+}
+
+TEST(ExtractRunsTest, DeduplicatesPages) {
+  auto runs = ExtractRuns({4, 4, 4, 5});
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (PageRun{4, 2}));
+}
+
+TEST(ExtractRunsTest, GapToleranceReadsThroughHoles) {
+  auto runs = ExtractRuns({1, 3, 10}, /*gap_tolerance=*/1);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], (PageRun{1, 3}));  // hole at 2 read through
+  EXPECT_EQ(runs[1], (PageRun{10, 1}));
+}
+
+TEST(ExtractRunsTest, EmptyInput) {
+  EXPECT_TRUE(ExtractRuns({}).empty());
+}
+
+TEST(CostOfRunsTest, OneSeekPerRun) {
+  std::vector<PageRun> runs = {{0, 10}, {100, 5}};
+  DiskStats s = CostOfRuns(runs);
+  EXPECT_EQ(s.seeks, 2u);
+  EXPECT_EQ(s.seq_pages, 15u);
+}
+
+TEST(AccessTraceTest, RunsAndRender) {
+  AccessTrace t;
+  t.Touch(0);
+  t.Touch(1);
+  t.Touch(50);
+  EXPECT_EQ(t.NumRuns(), 2u);
+  EXPECT_EQ(t.NumDistinctPages(), 3u);
+  const std::string strip = t.Render(100, 10);
+  EXPECT_EQ(strip.size(), 10u);
+  EXPECT_EQ(strip[0], '#');
+  EXPECT_EQ(strip[5], '#');
+  EXPECT_EQ(strip[9], '.');
+}
+
+TEST(BufferPoolTest, HitsAndMisses) {
+  BufferPool pool(2);
+  pool.Access({0, 1}, false);
+  pool.Access({0, 1}, false);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+}
+
+TEST(BufferPoolTest, LruEviction) {
+  BufferPool pool(2);
+  pool.Access({0, 1}, false);
+  pool.Access({0, 2}, false);
+  pool.Access({0, 1}, false);  // 1 becomes MRU
+  pool.Access({0, 3}, false);  // evicts 2 (LRU)
+  EXPECT_TRUE(pool.IsCached({0, 1}));
+  EXPECT_FALSE(pool.IsCached({0, 2}));
+  EXPECT_TRUE(pool.IsCached({0, 3}));
+  EXPECT_EQ(pool.stats().evictions, 1u);
+}
+
+TEST(BufferPoolTest, DirtyEvictionChargesWrite) {
+  BufferPool pool(1);
+  pool.Access({0, 1}, /*mark_dirty=*/true);
+  pool.Access({0, 2}, false);  // evicts dirty page 1
+  DiskStats io = pool.DrainIo();
+  EXPECT_EQ(io.pages_written, 1u);
+  EXPECT_EQ(io.seeks, 2u);  // two read faults
+  EXPECT_EQ(pool.stats().dirty_evictions, 1u);
+}
+
+TEST(BufferPoolTest, FlushAllWritesDirtyOnly) {
+  BufferPool pool(4);
+  pool.Access({0, 1}, true);
+  pool.Access({0, 2}, false);
+  pool.DrainIo();
+  pool.FlushAll();
+  DiskStats io = pool.DrainIo();
+  EXPECT_EQ(io.pages_written, 1u);
+  EXPECT_EQ(pool.num_dirty(), 0u);
+}
+
+TEST(BufferPoolTest, AccessIfCached) {
+  BufferPool pool(2);
+  EXPECT_FALSE(pool.AccessIfCached({0, 1}, false));
+  pool.Access({0, 1}, false);
+  EXPECT_TRUE(pool.AccessIfCached({0, 1}, false));
+}
+
+TEST(BufferPoolTest, FileIdsDistinguishPages) {
+  BufferPool pool(4);
+  const uint32_t f1 = pool.RegisterFile();
+  const uint32_t f2 = pool.RegisterFile();
+  EXPECT_NE(f1, f2);
+  pool.Access({f1, 7}, false);
+  EXPECT_FALSE(pool.IsCached({f2, 7}));
+}
+
+TEST(WalTest, AppendBuffersUntilFlush) {
+  WriteAheadLog wal;
+  wal.Append({WalRecordType::kCmInsert, 1, "payload"});
+  EXPECT_EQ(wal.pending_records(), 1u);
+  EXPECT_EQ(wal.durable_records().size(), 0u);
+  wal.Flush();
+  EXPECT_EQ(wal.pending_records(), 0u);
+  EXPECT_EQ(wal.durable_records().size(), 1u);
+  EXPECT_EQ(wal.num_flushes(), 1u);
+}
+
+TEST(WalTest, FlushChargesSeekPlusSequentialPages) {
+  WriteAheadLog wal(8192);
+  // ~100 KB of records -> 13 pages.
+  for (int i = 0; i < 1000; ++i) {
+    wal.Append({WalRecordType::kCmInsert, 1, std::string(76, 'x')});
+  }
+  wal.Flush();
+  DiskStats io = wal.DrainIo();
+  EXPECT_EQ(io.seeks, 1u);
+  EXPECT_EQ(io.seq_pages, (1000 * (76 + 24) + 8191) / 8192);
+}
+
+TEST(WalTest, CrashDropsPendingOnly) {
+  WriteAheadLog wal;
+  wal.Append({WalRecordType::kCmInsert, 1, "a"});
+  wal.Flush();
+  wal.Append({WalRecordType::kCmInsert, 2, "b"});
+  wal.Crash();
+  EXPECT_EQ(wal.durable_records().size(), 1u);
+  EXPECT_EQ(wal.pending_records(), 0u);
+}
+
+TEST(WalTest, TwoPhaseCommitFlushesMarkers) {
+  WriteAheadLog wal;
+  wal.Prepare(42);
+  wal.Commit(42);
+  ASSERT_EQ(wal.durable_records().size(), 2u);
+  EXPECT_EQ(wal.durable_records()[0].type, WalRecordType::kPrepare);
+  EXPECT_EQ(wal.durable_records()[1].type, WalRecordType::kCommit);
+  EXPECT_EQ(wal.num_flushes(), 2u);
+}
+
+}  // namespace
+}  // namespace corrmap

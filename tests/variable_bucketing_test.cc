@@ -1,0 +1,175 @@
+// Tests for variable-width bucketing (the paper's §8 future-work
+// extension): correctness (monotone mapping, no false negatives through a
+// CM), the c-per-bucket budget, and the size win over fixed-width
+// bucketing on skewed data.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "common/rng.h"
+#include "core/bucketing.h"
+#include "core/correlation_map.h"
+#include "exec/access_path.h"
+#include "index/clustered_index.h"
+
+namespace corrmap {
+namespace {
+
+/// Skewed workload: a dense low region where thousands of u values share a
+/// few clustered values, and a sparse high region where every u value maps
+/// to its own clustered value.
+std::unique_ptr<Table> SkewedTable(size_t rows = 30000) {
+  Schema schema({ColumnDef::Int64("c"), ColumnDef::Double("u")});
+  auto t = std::make_unique<Table>("t", std::move(schema));
+  Rng rng(201);
+  for (size_t i = 0; i < rows; ++i) {
+    double u;
+    int64_t c;
+    if (rng.Bernoulli(0.7)) {
+      // Dense region: u in [0, 1000), c constant per 500-wide slab.
+      u = rng.UniformDouble(0, 1000);
+      c = int64_t(u / 500);
+    } else {
+      // Sparse region: u in [10000, 20000), c tracks u tightly.
+      u = rng.UniformDouble(10000, 20000);
+      c = int64_t(u / 10);
+    }
+    std::array<Value, 2> row = {Value(c), Value(u)};
+    EXPECT_TRUE(t->AppendRow(row).ok());
+  }
+  EXPECT_TRUE(t->ClusterBy(0).ok());
+  return t;
+}
+
+TEST(VariableBucketingTest, FromBoundariesMapsRanges) {
+  Bucketer b = Bucketer::FromBoundaries({0.0, 10.0, 100.0});
+  EXPECT_EQ(b.BucketOf(Key(5.0)), 0);
+  EXPECT_EQ(b.BucketOf(Key(10.0)), 1);
+  EXPECT_EQ(b.BucketOf(Key(99.0)), 1);
+  EXPECT_EQ(b.BucketOf(Key(100.0)), 2);
+  EXPECT_EQ(b.BucketOf(Key(1e9)), 2);
+  EXPECT_NE(b.ToString().find("variable"), std::string::npos);
+}
+
+TEST(VariableBucketingTest, RespectsCPerBucketBudget) {
+  auto t = SkewedTable();
+  auto cb = ClusteredBucketing::Build(*t, 0, 256);
+  ASSERT_TRUE(cb.ok());
+  const size_t kMaxC = 3;
+  Bucketer vb = BuildVariableWidthBucketer(*t, 1, *cb, kMaxC);
+  // Recount: every bucket must map to <= kMaxC clustered buckets.
+  std::map<int64_t, std::set<int64_t>> per_bucket;
+  for (RowId r = 0; r < t->NumRows(); ++r) {
+    per_bucket[vb.BucketOf(t->GetKey(r, 1))].insert(cb->BucketOfRow(r));
+  }
+  for (const auto& [bucket, cbs] : per_bucket) {
+    EXPECT_LE(cbs.size(), kMaxC) << "bucket " << bucket;
+  }
+}
+
+TEST(VariableBucketingTest, MonotoneOverColumnValues) {
+  auto t = SkewedTable();
+  auto cb = ClusteredBucketing::Build(*t, 0, 256);
+  ASSERT_TRUE(cb.ok());
+  Bucketer vb = BuildVariableWidthBucketer(*t, 1, *cb, 4);
+  std::vector<double> vals;
+  for (RowId r = 0; r < t->NumRows(); ++r) {
+    vals.push_back(t->GetKey(r, 1).Numeric());
+  }
+  std::sort(vals.begin(), vals.end());
+  for (size_t i = 1; i < vals.size(); ++i) {
+    EXPECT_LE(vb.BucketOf(Key(vals[i - 1])), vb.BucketOf(Key(vals[i])));
+  }
+}
+
+TEST(VariableBucketingTest, DenseRegionCollapsesSparseStaysNarrow) {
+  auto t = SkewedTable();
+  auto cb = ClusteredBucketing::Build(*t, 0, 256);
+  ASSERT_TRUE(cb.ok());
+  Bucketer vb = BuildVariableWidthBucketer(*t, 1, *cb, 3);
+  // The dense region [0,1000) holds ~70% of distinct values but only ~2
+  // slabs of clustered values: it must land in far fewer buckets than the
+  // sparse region of equal value count.
+  std::set<int64_t> dense_buckets, sparse_buckets;
+  for (RowId r = 0; r < t->NumRows(); ++r) {
+    const double u = t->GetKey(r, 1).Numeric();
+    if (u < 1000) {
+      dense_buckets.insert(vb.BucketOf(t->GetKey(r, 1)));
+    } else {
+      sparse_buckets.insert(vb.BucketOf(t->GetKey(r, 1)));
+    }
+  }
+  EXPECT_LT(dense_buckets.size() * 10, sparse_buckets.size());
+}
+
+TEST(VariableBucketingTest, CmNoFalseNegatives) {
+  auto t = SkewedTable();
+  auto cb = ClusteredBucketing::Build(*t, 0, 256);
+  ASSERT_TRUE(cb.ok());
+  CmOptions opts;
+  opts.u_cols = {1};
+  opts.u_bucketers = {BuildVariableWidthBucketer(*t, 1, *cb, 4)};
+  opts.c_col = 0;
+  opts.c_buckets = &*cb;
+  auto cm = CorrelationMap::Create(t.get(), opts);
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE(cm->BuildFromTable().ok());
+  auto cidx = ClusteredIndex::Build(*t, 0);
+  ASSERT_TRUE(cidx.ok());
+
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    const double lo = rng.UniformDouble(0, 18000);
+    Query q({Predicate::Between(*t, "u", Value(lo), Value(lo + 800))});
+    auto scan = FullTableScan(*t, q);
+    auto cms = CmScan(*t, *cm, *cidx, q);
+    EXPECT_EQ(cms.rows, scan.rows) << "trial " << trial;
+  }
+}
+
+TEST(VariableBucketingTest, SmallerCmThanFixedWidthAtEqualFalsePositives) {
+  // The §8 claim: at a matched c-per-bucket budget, variable width needs
+  // fewer CM entries than the finest fixed width that meets the budget.
+  auto t = SkewedTable();
+  auto cb = ClusteredBucketing::Build(*t, 0, 256);
+  ASSERT_TRUE(cb.ok());
+  const size_t kMaxC = 3;
+
+  auto cm_entries = [&](Bucketer b) {
+    CmOptions opts;
+    opts.u_cols = {1};
+    opts.u_bucketers = {std::move(b)};
+    opts.c_col = 0;
+    opts.c_buckets = &*cb;
+    auto cm = CorrelationMap::Create(t.get(), opts);
+    EXPECT_TRUE(cm.ok());
+    EXPECT_TRUE(cm->BuildFromTable().ok());
+    return cm->NumEntries();
+  };
+
+  const size_t variable =
+      cm_entries(BuildVariableWidthBucketer(*t, 1, *cb, kMaxC));
+  // Find the coarsest fixed level still within the budget everywhere.
+  size_t fixed = 0;
+  for (int level = 12; level >= 0; --level) {
+    Bucketer fb = Bucketer::ValueOrdinalFromColumn(*t, 1, level);
+    std::map<int64_t, std::set<int64_t>> per_bucket;
+    for (RowId r = 0; r < t->NumRows(); ++r) {
+      per_bucket[fb.BucketOf(t->GetKey(r, 1))].insert(cb->BucketOfRow(r));
+    }
+    bool ok = true;
+    for (const auto& [bucket, cbs] : per_bucket) {
+      if (cbs.size() > kMaxC) ok = false;
+    }
+    if (ok) {
+      fixed = cm_entries(std::move(fb));
+      break;
+    }
+  }
+  ASSERT_GT(fixed, 0u) << "no fixed level met the budget";
+  EXPECT_LT(variable, fixed);
+}
+
+}  // namespace
+}  // namespace corrmap
