@@ -69,9 +69,10 @@ int main() {
     // Three distinct lookup values of the unclustered attribute (as in the
     // paper's figure).
     std::vector<Value> values;
+    values.reserve(3);
     for (int i = 0; i < 3; ++i) {
       const RowId r = RowId(rng.UniformInt(0, int64_t(t->NumRows()) - 1));
-      values.push_back(Value(t->GetKey(r, c.lookup_col).AsInt64()));
+      values.emplace_back(t->GetKey(r, c.lookup_col).AsInt64());
     }
     ExecResult res = RunLookups(*t, c.lookup_col, values);
     table.AddRow({c.label, std::to_string(res.trace.NumDistinctPages()),

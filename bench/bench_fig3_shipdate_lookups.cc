@@ -55,8 +55,9 @@ int main() {
   Rng rng(11);
   for (int n : {1, 2, 4, 8, 15, 25, 40, 60, 80, 100}) {
     std::vector<Value> dates;
+    dates.reserve(size_t(n));
     for (int i = 0; i < n; ++i) {
-      dates.push_back(Value(rng.UniformInt(0, cfg.num_ship_days - 1)));
+      dates.emplace_back(rng.UniformInt(0, cfg.num_ship_days - 1));
     }
     Query qc({Predicate::In(*correlated, "shipdate", dates)});
     Query qu({Predicate::In(*uncorrelated, "shipdate", dates)});

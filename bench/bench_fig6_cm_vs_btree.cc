@@ -54,7 +54,9 @@ int main() {
     auto cms = CmScan(*t, *cm, *cidx, q);
     auto bt = VirtualSortedIndexScan(*t, q, kEbay.price);
     auto scan = FullTableScan(*t, q);
-    out.AddRow({"1000..=" + std::to_string(1000 + range),
+    std::string range_label = "1000..=";
+    range_label += std::to_string(1000 + range);
+    out.AddRow({range_label,
                 bench::Sec(cms.ms), bench::Sec(bt.ms), bench::Sec(scan.ms),
                 std::to_string(cms.rows_examined),
                 std::to_string(cms.rows.size())});

@@ -67,7 +67,9 @@ int main() {
     in.n_lookups = double(bhi - blo + 1);
     const double predicted = model.SortedCost(in);
 
-    out.AddRow({"2^" + std::to_string(level), bench::Sec(res.ms),
+    std::string level_label = "2^";
+    level_label += std::to_string(level);
+    out.AddRow({level_label, bench::Sec(res.ms),
                 bench::Sec(predicted), bench::Sec(bt.ms),
                 TablePrinter::Fmt(double(cm->SizeBytes()) / (1 << 20), 3)});
     (void)stats;

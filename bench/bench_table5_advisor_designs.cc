@@ -72,7 +72,10 @@ int main() {
     if (bytes >= smallest - smallest / 5) continue;  // needs >20% shrink
     smallest = bytes;
     const double delta = best > 0 ? (d.est_cost_ms - best) / best : 0;
-    out.AddRow({"+" + TablePrinter::Fmt(delta * 100, 0) + "%", d.Label(*t),
+    std::string delta_label = "+";
+    delta_label += TablePrinter::Fmt(delta * 100, 0);
+    delta_label += '%';
+    out.AddRow({delta_label, d.Label(*t),
                 TablePrinter::FmtBytes(bytes),
                 TablePrinter::Fmt(double(bytes) / btree_bytes * 100, 1) + "%"});
     if (++printed >= 12) break;

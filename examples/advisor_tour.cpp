@@ -2,6 +2,11 @@
 // candidate bucketings (Table 4 style), the design space with estimates
 // (Table 5 style), and the recommendation; then materialize the CM and run
 // the query through the cost-based executor.
+//
+// Demonstrates: paper §6 (CM Advisor: bucketing enumeration §6.1.2,
+// design enumeration §6.1.3, recommendation), Tables 4 and 5.
+// Build & run: cmake -B build -S . && cmake --build build -j &&
+//   ./build/example_advisor_tour      (index: docs/EXAMPLES.md)
 #include <iostream>
 
 #include "common/table_printer.h"

@@ -2,6 +2,11 @@
 // workload and a space budget; it scores every candidate clustering,
 // chooses the one whose correlations help the most queries, and selects a
 // set of CMs by benefit-per-byte within the budget.
+//
+// Demonstrates: paper §8 (conclusion/future work: correlation-aware
+// physical design), building on the §6 Advisor's estimates.
+// Build & run: cmake -B build -S . && cmake --build build -j &&
+//   ./build/example_physical_design   (index: docs/EXAMPLES.md)
 #include <iostream>
 
 #include "common/table_printer.h"

@@ -3,6 +3,11 @@
 // Correlation Map on city, and answer
 //   SELECT AVG(salary) FROM people WHERE city='Boston' OR city='Springfield'
 // through the CM: cm_lookup -> clustered-index ranges -> re-filter.
+//
+// Demonstrates: paper §5 (CM definition and lookup), §5.2 (predicate
+// introduction on the clustered attribute).
+// Build & run: cmake -B build -S . && cmake --build build -j &&
+//   ./build/example_quickstart        (index: docs/EXAMPLES.md)
 #include <array>
 #include <iostream>
 

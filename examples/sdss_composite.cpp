@@ -3,6 +3,11 @@
 // but the (ra, dec) pair does. A composite CM exploits the pair correlation
 // that a composite B+Tree cannot (it can only use its key prefix for a
 // two-range predicate).
+//
+// Demonstrates: paper §7.2 Experiment 5 / Table 6 (composite CMs),
+// §5 (composite unclustered attribute sets).
+// Build & run: cmake -B build -S . && cmake --build build -j &&
+//   ./build/example_sdss_composite    (index: docs/EXAMPLES.md)
 #include <iostream>
 
 #include "common/table_printer.h"

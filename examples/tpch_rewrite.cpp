@@ -3,6 +3,11 @@
 // query on shipdate borrow the receiptdate clustered index. This example
 // prints the rewritten SQL the paper's front-end would send to PostgreSQL
 // (§7.1) and compares the access paths.
+//
+// Demonstrates: paper §3.3/Fig. 3 (TPC-H shipdate/receiptdate
+// correlation), §7.1 (SQL predicate introduction front-end).
+// Build & run: cmake -B build -S . && cmake --build build -j &&
+//   ./build/example_tpch_rewrite      (index: docs/EXAMPLES.md)
 #include <iostream>
 
 #include "common/table_printer.h"

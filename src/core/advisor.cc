@@ -17,7 +17,9 @@ std::string CmDesign::Label(const Table& table) const {
     if (i) out += ", ";
     out += table.schema().column(u_cols[i]).name;
     if (!u_bucketers[i].is_identity()) {
-      out += "(" + u_bucketers[i].ToString() + ")";
+      out += '(';
+      out += u_bucketers[i].ToString();
+      out += ')';
     }
   }
   return out;

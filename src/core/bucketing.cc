@@ -131,9 +131,16 @@ std::string Bucketer::ToString() const {
     }
     case Kind::kValueOrdinal:
       if (level_ < 0) {
-        return "variable(" + std::to_string(boundaries_->size()) + ")";
+        std::string out = "variable(";
+        out += std::to_string(boundaries_->size());
+        out += ')';
+        return out;
       }
-      return "2^" + std::to_string(level_);
+      {
+        std::string out = "2^";
+        out += std::to_string(level_);
+        return out;
+      }
   }
   return "?";
 }
@@ -200,9 +207,14 @@ std::pair<Key, Key> ClusteredBucketing::KeyRangeOfBucket(const Table& table,
 
 std::string BucketingCandidates::WidthsLabel() const {
   if (include_identity && max_level < min_level) return "none";
-  std::string hi = "2^" + std::to_string(max_level);
+  std::string hi = "2^";
+  hi += std::to_string(max_level);
   if (include_identity) return "none ~ " + hi;
-  return "2^" + std::to_string(min_level) + " ~ " + hi;
+  std::string out = "2^";
+  out += std::to_string(min_level);
+  out += " ~ ";
+  out += hi;
+  return out;
 }
 
 size_t BucketingCandidates::NumOptions() const {

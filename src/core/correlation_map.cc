@@ -228,7 +228,9 @@ std::string CorrelationMap::Name() const {
   for (size_t i = 0; i < options_.u_cols.size(); ++i) {
     name += "_" + table_->schema().column(options_.u_cols[i]).name;
     if (!options_.u_bucketers[i].is_identity()) {
-      name += "(" + options_.u_bucketers[i].ToString() + ")";
+      name += '(';
+      name += options_.u_bucketers[i].ToString();
+      name += ')';
     }
   }
   return name;

@@ -5,9 +5,15 @@
 namespace corrmap {
 
 std::string BufferPoolStats::ToString() const {
-  return "hits=" + std::to_string(hits) + " misses=" + std::to_string(misses) +
-         " evictions=" + std::to_string(evictions) +
-         " dirty_evictions=" + std::to_string(dirty_evictions);
+  std::string out = "hits=";
+  out += std::to_string(hits);
+  out += " misses=";
+  out += std::to_string(misses);
+  out += " evictions=";
+  out += std::to_string(evictions);
+  out += " dirty_evictions=";
+  out += std::to_string(dirty_evictions);
+  return out;
 }
 
 BufferPool::BufferPool(size_t capacity_pages)

@@ -5,9 +5,13 @@
 namespace corrmap {
 
 std::string DiskStats::ToString() const {
-  return "seeks=" + std::to_string(seeks) +
-         " seq_pages=" + std::to_string(seq_pages) +
-         " pages_written=" + std::to_string(pages_written);
+  std::string out = "seeks=";
+  out += std::to_string(seeks);
+  out += " seq_pages=";
+  out += std::to_string(seq_pages);
+  out += " pages_written=";
+  out += std::to_string(pages_written);
+  return out;
 }
 
 std::vector<PageRun> ExtractRuns(std::vector<PageNo> pages,

@@ -23,8 +23,12 @@ std::array<std::string, 6> PathLabels(size_t catid, int fanout) {
   }
   std::string prefix;
   for (int lv = 0; lv < 6; ++lv) {
-    prefix += (lv ? "/" : "") + std::to_string(digits[size_t(lv)]);
-    labels[size_t(lv)] = "cat" + std::to_string(lv + 1) + ":" + prefix;
+    if (lv) prefix += '/';
+    prefix += std::to_string(digits[size_t(lv)]);
+    labels[size_t(lv)] = "cat";
+    labels[size_t(lv)] += std::to_string(lv + 1);
+    labels[size_t(lv)] += ':';
+    labels[size_t(lv)] += prefix;
   }
   return labels;
 }

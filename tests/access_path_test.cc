@@ -227,8 +227,9 @@ TEST_P(TpchPathAgreementTest, ResultsAgree) {
 
   Rng rng{uint64_t(n_dates)};
   std::vector<Value> dates;
+  dates.reserve(size_t(n_dates));
   for (int i = 0; i < n_dates; ++i) {
-    dates.push_back(Value(rng.UniformInt(0, 2525)));
+    dates.emplace_back(rng.UniformInt(0, 2525));
   }
   Query q({Predicate::In(*table, "shipdate", dates)});
   auto scan = FullTableScan(*table, q);

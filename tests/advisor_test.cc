@@ -121,7 +121,9 @@ TEST(AdvisorTest, WiderBucketsShrinkEstimatedSize) {
   }
   std::sort(by_level.begin(), by_level.end());
   for (const auto& [level, size] : by_level) {
-    if (prev_level != -100) EXPECT_LE(size, prev_size * 1.05);
+    if (prev_level != -100) {
+      EXPECT_LE(size, prev_size * 1.05);
+    }
     prev_level = level;
     prev_size = size;
   }

@@ -136,7 +136,9 @@ TEST(BTreeTest, ScanAllIsSorted) {
   bool first = true;
   size_t n = 0;
   tree.ScanAll([&](const CompositeKey& k, RowId) {
-    if (!first) EXPECT_LE(prev, k);
+    if (!first) {
+      EXPECT_LE(prev, k);
+    }
     prev = k;
     first = false;
     ++n;

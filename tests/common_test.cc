@@ -170,7 +170,9 @@ TEST(StringPoolTest, FindMissingReturnsMinusOne) {
 TEST(StringPoolTest, CodesAreDense) {
   StringPool pool;
   for (int i = 0; i < 100; ++i) {
-    EXPECT_EQ(pool.Intern("s" + std::to_string(i)), i);
+    std::string s = "s";
+    s += std::to_string(i);
+    EXPECT_EQ(pool.Intern(s), i);
   }
 }
 

@@ -35,7 +35,7 @@ std::unique_ptr<Table> Fig4Table() {
   return t;
 }
 
-CmOptions CityCmOptions(const Table& t) {
+CmOptions CityCmOptions(const Table& /*t*/) {
   CmOptions opts;
   opts.u_cols = {1};
   opts.u_bucketers = {Bucketer::Identity()};
