@@ -62,7 +62,8 @@ void BM_CmLookupPoint(benchmark::State& state) {
 }
 BENCHMARK(BM_CmLookupPoint);
 
-void BM_CmLookupRangeScansMap(benchmark::State& state) {
+void BM_CmLookupRangeScan(benchmark::State& state) {
+  // Legacy range path: every lookup scans all u-keys of the map.
   auto t = MakeTable(100000);
   CorrelationMap cm = MakeCm(t.get());
   Rng rng(3);
@@ -70,11 +71,27 @@ void BM_CmLookupRangeScansMap(benchmark::State& state) {
     const double lo = rng.UniformDouble(0, 9000);
     std::array<CmColumnPredicate, 1> preds = {
         CmColumnPredicate::Range(lo, lo + 500)};
-    benchmark::DoNotOptimize(cm.CmLookup(preds));
+    benchmark::DoNotOptimize(cm.LookupViaScan(preds));
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_CmLookupRangeScansMap);
+BENCHMARK(BM_CmLookupRangeScan);
+
+void BM_CmLookupRangeProbe(benchmark::State& state) {
+  // Directory path: binary search to the contiguous run of matching
+  // ordinals (the default for range predicates).
+  auto t = MakeTable(100000);
+  CorrelationMap cm = MakeCm(t.get());
+  Rng rng(3);
+  for (auto _ : state) {
+    const double lo = rng.UniformDouble(0, 9000);
+    std::array<CmColumnPredicate, 1> preds = {
+        CmColumnPredicate::Range(lo, lo + 500)};
+    benchmark::DoNotOptimize(cm.Lookup(preds));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CmLookupRangeProbe);
 
 void BM_CmInsertDelete(benchmark::State& state) {
   auto t = MakeTable(100000);

@@ -4,6 +4,7 @@
 #define CORRMAP_COMMON_VALUE_H_
 
 #include <array>
+#include <bit>
 #include <compare>
 #include <cstdint>
 #include <functional>
@@ -118,6 +119,30 @@ class CompositeKey {
   std::array<Key, kMaxCompositeKeyParts> parts_;
   uint8_t n_;
 };
+
+/// Order-preserving 64-bit encoding of a double: the resulting int64
+/// compares exactly like the source double (negatives below positives,
+/// magnitude order preserved within each sign), so encoded ordinals can be
+/// binary-searched and coalesced into ranges. -0.0 is canonicalized to +0.0
+/// first so the two zeros encode identically (they are equal as values).
+/// A raw bit_cast does NOT have this property: negative doubles sort
+/// descending by bit pattern.
+inline int64_t OrderedDoubleOrdinal(double v) {
+  if (v == 0.0) v = 0.0;  // collapse -0.0 onto +0.0
+  const uint64_t bits = std::bit_cast<uint64_t>(v);
+  // Negative doubles: flip the magnitude bits so larger magnitude sorts
+  // lower; the sign bit stays set, keeping them below all positives.
+  const uint64_t ordered =
+      (bits >> 63) ? (bits ^ 0x7fffffffffffffffULL) : bits;
+  return std::bit_cast<int64_t>(ordered);
+}
+
+/// Inverse of OrderedDoubleOrdinal.
+inline double OrderedOrdinalToDouble(int64_t ordinal) {
+  uint64_t bits = std::bit_cast<uint64_t>(ordinal);
+  if (bits >> 63) bits ^= 0x7fffffffffffffffULL;
+  return std::bit_cast<double>(bits);
+}
 
 /// splitmix64 finalizer; the basis of all hashing in the library.
 inline uint64_t Mix64(uint64_t x) {

@@ -67,7 +67,7 @@ Bucketer Bucketer::FromBoundaries(std::vector<double> boundaries) {
 int64_t Bucketer::BucketOf(const Key& k) const {
   switch (kind_) {
     case Kind::kIdentity:
-      return k.is_double() ? std::bit_cast<int64_t>(k.AsDouble()) : k.AsInt64();
+      return k.is_double() ? OrderedDoubleOrdinal(k.AsDouble()) : k.AsInt64();
     case Kind::kNumericWidth:
       return static_cast<int64_t>(std::floor((k.Numeric() - origin_) / width_));
     case Kind::kValueOrdinal: {
@@ -119,6 +119,15 @@ std::pair<int64_t, int64_t> Bucketer::BucketsCovering(double lo,
       return {BucketOf(Key(lo)), BucketOf(Key(hi))};
   }
   return {0, -1};
+}
+
+std::pair<int64_t, int64_t> Bucketer::OrdinalRangeCovering(
+    double lo, double hi, bool double_domain) const {
+  if (kind_ == Kind::kIdentity && double_domain) {
+    return {OrderedDoubleOrdinal(lo), OrderedDoubleOrdinal(hi)};
+  }
+  if (lo > hi) return {0, -1};  // empty predicate interval
+  return BucketsCovering(lo, hi);
 }
 
 std::string Bucketer::ToString() const {
@@ -194,6 +203,18 @@ RowRange ClusteredBucketing::RangeOfBucket(int64_t b) const {
   const RowId begin = starts_[size_t(b)];
   const RowId end = size_t(b) + 1 < starts_.size() ? starts_[size_t(b) + 1]
                                                    : end_;
+  return RowRange{begin, end};
+}
+
+RowRange ClusteredBucketing::RangeOfBucketRun(int64_t first,
+                                              int64_t last) const {
+  if (first < 0 || size_t(first) >= starts_.size() || last < first) {
+    return RowRange{};
+  }
+  last = std::min<int64_t>(last, int64_t(starts_.size()) - 1);
+  const RowId begin = starts_[size_t(first)];
+  const RowId end = size_t(last) + 1 < starts_.size() ? starts_[size_t(last) + 1]
+                                                      : end_;
   return RowRange{begin, end};
 }
 

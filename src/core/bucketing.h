@@ -66,8 +66,9 @@ class Bucketer {
   Kind kind() const { return kind_; }
   bool is_identity() const { return kind_ == Kind::kIdentity; }
 
-  /// Bucket ordinal of a physical key. Identity on doubles uses the bit
-  /// pattern (equality-preserving).
+  /// Bucket ordinal of a physical key. Identity on doubles uses the
+  /// order-preserving encoding (OrderedDoubleOrdinal), so ordinals of one
+  /// column always sort like the values they encode.
   int64_t BucketOf(const Key& k) const;
 
   /// Value interval covered by bucket `b` (closed; best-effort for
@@ -77,6 +78,14 @@ class Bucketer {
   /// Ordinals of all buckets intersecting the closed interval [lo, hi].
   /// Result is a contiguous inclusive ordinal range.
   std::pair<int64_t, int64_t> BucketsCovering(double lo, double hi) const;
+
+  /// BucketsCovering, made exact for identity bucketing: on an integer
+  /// domain the covered ordinals are [ceil(lo), floor(hi)]; on a double
+  /// domain they are the order-preserving encodings of lo and hi. This is
+  /// the ordinal interval the sorted bucket-ordinal directory probes for a
+  /// range predicate.
+  std::pair<int64_t, int64_t> OrdinalRangeCovering(double lo, double hi,
+                                                   bool double_domain) const;
 
   /// Human-readable label: "none", "width=0.25", "2^13".
   std::string ToString() const;
@@ -112,6 +121,12 @@ class ClusteredBucketing {
 
   /// Row range [begin, end) of bucket `b`.
   RowRange RangeOfBucket(int64_t b) const;
+
+  /// Row range [begin, end) covered by the contiguous bucket run
+  /// [first, last] (both inclusive). Bucket ids are positional, so a run of
+  /// consecutive ids always covers one contiguous row span; CM lookups
+  /// return exactly such runs.
+  RowRange RangeOfBucketRun(int64_t first, int64_t last) const;
 
   /// First and last clustered key of bucket `b` (for SQL rewriting).
   std::pair<Key, Key> KeyRangeOfBucket(const Table& table, size_t col,

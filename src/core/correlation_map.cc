@@ -1,10 +1,40 @@
 #include "core/correlation_map.h"
 
 #include <algorithm>
-#include <bit>
 #include <cassert>
+#include <limits>
 
 namespace corrmap {
+
+namespace {
+
+/// Run-length encodes sorted distinct ordinals into maximal consecutive
+/// runs. Consecutive means ordinal + 1: adjacent clustered bucket ids,
+/// adjacent integer keys, or bit-adjacent double encodings (between which
+/// no representable value exists), so expanding a run never adds ordinals
+/// the lookup did not return.
+CmLookupResult MakeResult(std::vector<int64_t> ordinals,
+                          uint64_t entries_probed, bool used_directory) {
+  std::sort(ordinals.begin(), ordinals.end());
+  ordinals.erase(std::unique(ordinals.begin(), ordinals.end()),
+                 ordinals.end());
+  CmLookupResult out;
+  out.num_ordinals = ordinals.size();
+  out.entries_probed = entries_probed;
+  out.used_directory = used_directory;
+  for (int64_t o : ordinals) {
+    if (!out.ranges.empty() &&
+        out.ranges.back().hi != std::numeric_limits<int64_t>::max() &&
+        o == out.ranges.back().hi + 1) {
+      out.ranges.back().hi = o;
+    } else {
+      out.ranges.push_back({o, o});
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 std::string CmKey::ToString() const {
   std::string out = "[";
@@ -13,6 +43,18 @@ std::string CmKey::ToString() const {
     out += std::to_string(v[i]);
   }
   return out + "]";
+}
+
+std::vector<int64_t> CmLookupResult::ToOrdinals() const {
+  std::vector<int64_t> out;
+  out.reserve(num_ordinals);
+  for (const OrdinalRange& r : ranges) {
+    for (int64_t o = r.lo;; ++o) {
+      out.push_back(o);
+      if (o == r.hi) break;
+    }
+  }
+  return out;
 }
 
 Result<CorrelationMap> CorrelationMap::Create(const Table* table,
@@ -62,14 +104,14 @@ int64_t CorrelationMap::ClusteredOrdinalOfRow(RowId row) const {
     return options_.c_buckets->BucketOfRow(row);
   }
   const Key k = table_->GetKey(row, options_.c_col);
-  return k.is_double() ? std::bit_cast<int64_t>(k.AsDouble()) : k.AsInt64();
+  return k.is_double() ? OrderedDoubleOrdinal(k.AsDouble()) : k.AsInt64();
 }
 
 Key CorrelationMap::DecodeClusteredOrdinal(int64_t ordinal) const {
   assert(!has_clustered_buckets());
   const bool is_double =
       table_->schema().column(options_.c_col).type == ValueType::kDouble;
-  return is_double ? Key(std::bit_cast<double>(ordinal)) : Key(ordinal);
+  return is_double ? Key(OrderedOrdinalToDouble(ordinal)) : Key(ordinal);
 }
 
 Status CorrelationMap::BuildFromTable() {
@@ -83,8 +125,9 @@ Status CorrelationMap::BuildFromTable() {
 }
 
 void CorrelationMap::InsertRow(RowId row) {
-  auto& counts = map_[UKeyOfRow(row)];
-  auto [it, inserted] = counts.emplace(ClusteredOrdinalOfRow(row), 1);
+  auto [mit, new_key] = map_.try_emplace(UKeyOfRow(row));
+  if (new_key) directory_dirty_ = true;
+  auto [it, inserted] = mit->second.emplace(ClusteredOrdinalOfRow(row), 1);
   if (inserted) {
     ++num_entries_;
   } else {
@@ -104,15 +147,61 @@ Status CorrelationMap::DeleteRow(RowId row) {
   if (--cit->second == 0) {
     mit->second.erase(cit);
     --num_entries_;
-    if (mit->second.empty()) map_.erase(mit);
+    if (mit->second.empty()) {
+      map_.erase(mit);
+      directory_dirty_ = true;
+    }
   }
   return Status::OK();
 }
 
+size_t CorrelationMap::InsertRowsBatched(std::span<const RowId> rows) {
+  // Bucket every row once, then sort so equal u-keys (and within them,
+  // equal clustered ordinals) are adjacent: one hash traversal per
+  // distinct u-key and one count upsert per distinct pair, instead of one
+  // hash traversal per row.
+  std::vector<std::pair<CmKey, int64_t>> pairs;
+  pairs.reserve(rows.size());
+  for (RowId r : rows) {
+    pairs.emplace_back(UKeyOfRow(r), ClusteredOrdinalOfRow(r));
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first < b.first) return true;
+              if (b.first < a.first) return false;
+              return a.second < b.second;
+            });
+  size_t groups = 0;
+  size_t i = 0;
+  while (i < pairs.size()) {
+    const CmKey key = pairs[i].first;
+    auto [mit, new_key] = map_.try_emplace(key);
+    if (new_key) directory_dirty_ = true;
+    while (i < pairs.size() && pairs[i].first == key) {
+      const int64_t c = pairs[i].second;
+      uint32_t cnt = 0;
+      while (i < pairs.size() && pairs[i].first == key &&
+             pairs[i].second == c) {
+        ++cnt;
+        ++i;
+      }
+      auto [cit, inserted] = mit->second.emplace(c, cnt);
+      if (inserted) {
+        ++num_entries_;
+      } else {
+        cit->second += cnt;
+      }
+      ++groups;
+    }
+  }
+  return groups;
+}
+
 void CorrelationMap::InsertValues(std::span<const Key> u_keys,
                                   int64_t c_ordinal) {
-  auto& counts = map_[UKeyOfValues(u_keys)];
-  auto [it, inserted] = counts.emplace(c_ordinal, 1);
+  auto [mit, new_key] = map_.try_emplace(UKeyOfValues(u_keys));
+  if (new_key) directory_dirty_ = true;
+  auto [it, inserted] = mit->second.emplace(c_ordinal, 1);
   if (inserted) {
     ++num_entries_;
   } else {
@@ -131,96 +220,177 @@ Status CorrelationMap::DeleteValues(std::span<const Key> u_keys,
   if (--cit->second == 0) {
     mit->second.erase(cit);
     --num_entries_;
-    if (mit->second.empty()) map_.erase(mit);
+    if (mit->second.empty()) {
+      map_.erase(mit);
+      directory_dirty_ = true;
+    }
   }
   return Status::OK();
 }
 
-bool CorrelationMap::UKeyMatches(
-    const CmKey& key, std::span<const CmColumnPredicate> preds) const {
+bool CorrelationMap::BuildConstraints(
+    std::span<const CmColumnPredicate> preds,
+    std::vector<ColumnConstraint>* out) const {
+  out->clear();
+  out->resize(preds.size());
   for (size_t i = 0; i < preds.size(); ++i) {
     const Bucketer& b = options_.u_bucketers[i];
-    const int64_t ordinal = key.v[i];
     const CmColumnPredicate& p = preds[i];
+    ColumnConstraint& c = (*out)[i];
     if (p.kind == CmColumnPredicate::Kind::kPoints) {
-      bool any = false;
-      for (const Key& pt : p.points) {
-        if (b.BucketOf(pt) == ordinal) {
-          any = true;
-          break;
-        }
-      }
-      if (!any) return false;
+      c.points.reserve(p.points.size());
+      for (const Key& pt : p.points) c.points.push_back(b.BucketOf(pt));
+      std::sort(c.points.begin(), c.points.end());
+      c.points.erase(std::unique(c.points.begin(), c.points.end()),
+                     c.points.end());
+      if (c.points.empty()) return false;
     } else {
-      if (b.is_identity() &&
+      c.is_range = true;
+      const bool double_domain =
           table_->schema().column(options_.u_cols[i]).type ==
-              ValueType::kDouble) {
-        // Identity-double ordinals are bit patterns; decode for the test.
-        const double v = std::bit_cast<double>(ordinal);
-        if (v < p.lo || v > p.hi) return false;
-      } else {
-        const auto [blo, bhi] = b.BucketsCovering(p.lo, p.hi);
-        if (ordinal < blo || ordinal > bhi) return false;
-      }
+          ValueType::kDouble;
+      std::tie(c.lo, c.hi) = b.OrdinalRangeCovering(p.lo, p.hi, double_domain);
+      if (c.lo > c.hi) return false;
     }
   }
   return true;
 }
 
-std::vector<int64_t> CorrelationMap::CmLookup(
+bool CorrelationMap::MatchesConstraints(
+    const CmKey& key, std::span<const ColumnConstraint> cons, size_t skip) {
+  for (size_t i = 0; i < cons.size(); ++i) {
+    if (i == skip) continue;
+    const int64_t ordinal = key.v[i];
+    const ColumnConstraint& c = cons[i];
+    if (c.is_range) {
+      if (ordinal < c.lo || ordinal > c.hi) return false;
+    } else if (!std::binary_search(c.points.begin(), c.points.end(),
+                                   ordinal)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void CorrelationMap::EnsureDirectory() const {
+  if (!directory_dirty_) return;
+  const size_t arity = options_.u_cols.size();
+  directory_.assign(arity, {});
+  for (auto& d : directory_) d.reserve(map_.size());
+  for (const auto& entry : map_) {
+    for (size_t i = 0; i < arity; ++i) {
+      directory_[i].push_back({entry.first.v[i], &entry});
+    }
+  }
+  for (auto& d : directory_) {
+    std::sort(d.begin(), d.end(), [](const DirEntry& a, const DirEntry& b) {
+      return a.ordinal < b.ordinal;
+    });
+  }
+  directory_dirty_ = false;
+}
+
+CmLookupResult CorrelationMap::Lookup(
     std::span<const CmColumnPredicate> preds) const {
   assert(preds.size() == options_.u_cols.size());
-  std::vector<int64_t> out;
+  ++lookups_computed_;
+  std::vector<ColumnConstraint> cons;
+  if (!BuildConstraints(preds, &cons)) return CmLookupResult{};
 
+  std::vector<int64_t> ordinals;
   bool all_points = true;
-  for (const auto& p : preds) {
-    if (p.kind != CmColumnPredicate::Kind::kPoints) all_points = false;
+  for (const ColumnConstraint& c : cons) {
+    if (c.is_range) all_points = false;
   }
 
   if (all_points) {
     // Cross product of per-column bucket ordinals, probed directly.
-    std::vector<std::vector<int64_t>> per_col(preds.size());
-    for (size_t i = 0; i < preds.size(); ++i) {
-      for (const Key& pt : preds[i].points) {
-        per_col[i].push_back(options_.u_bucketers[i].BucketOf(pt));
-      }
-      std::sort(per_col[i].begin(), per_col[i].end());
-      per_col[i].erase(std::unique(per_col[i].begin(), per_col[i].end()),
-                       per_col[i].end());
-      if (per_col[i].empty()) return out;
-    }
-    std::vector<size_t> idx(preds.size(), 0);
+    uint64_t pairs_probed = 0;
+    std::vector<size_t> idx(cons.size(), 0);
     while (true) {
       CmKey key;
-      for (size_t i = 0; i < preds.size(); ++i) key.Append(per_col[i][idx[i]]);
+      for (size_t i = 0; i < cons.size(); ++i) {
+        key.Append(cons[i].points[idx[i]]);
+      }
       auto it = map_.find(key);
       if (it != map_.end()) {
-        for (const auto& [c, cnt] : it->second) out.push_back(c);
+        pairs_probed += it->second.size();
+        for (const auto& [c, cnt] : it->second) ordinals.push_back(c);
       }
       // Advance the mixed-radix counter.
       size_t i = 0;
       for (; i < idx.size(); ++i) {
-        if (++idx[i] < per_col[i].size()) break;
+        if (++idx[i] < cons[i].points.size()) break;
         idx[i] = 0;
       }
       if (i == idx.size()) break;
     }
-  } else {
-    // Range predicate present: scan the whole (in-memory) CM.
-    for (const auto& [key, counts] : map_) {
-      if (!UKeyMatches(key, preds)) continue;
-      for (const auto& [c, cnt] : counts) out.push_back(c);
-    }
+    return MakeResult(std::move(ordinals), pairs_probed,
+                      /*used_directory=*/false);
   }
 
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+  // Range predicate present: binary-search the sorted directory of the
+  // range column with the narrowest run, then filter that run on the
+  // remaining constraints.
+  EnsureDirectory();
+  size_t probe_col = cons.size();
+  std::pair<std::vector<DirEntry>::const_iterator,
+            std::vector<DirEntry>::const_iterator>
+      run;
+  size_t best_width = std::numeric_limits<size_t>::max();
+  for (size_t i = 0; i < cons.size(); ++i) {
+    if (!cons[i].is_range) continue;
+    const auto& d = directory_[i];
+    auto first = std::lower_bound(
+        d.begin(), d.end(), cons[i].lo,
+        [](const DirEntry& e, int64_t v) { return e.ordinal < v; });
+    auto last = std::upper_bound(
+        first, d.end(), cons[i].hi,
+        [](int64_t v, const DirEntry& e) { return v < e.ordinal; });
+    const size_t width = size_t(last - first);
+    if (width < best_width) {
+      best_width = width;
+      probe_col = i;
+      run = {first, last};
+    }
+  }
+  uint64_t pairs_probed = 0;
+  for (auto it = run.first; it != run.second; ++it) {
+    pairs_probed += it->entry->second.size();
+    if (!MatchesConstraints(it->entry->first, cons, probe_col)) continue;
+    for (const auto& [c, cnt] : it->entry->second) ordinals.push_back(c);
+  }
+  return MakeResult(std::move(ordinals), pairs_probed,
+                    /*used_directory=*/true);
+}
+
+CmLookupResult CorrelationMap::LookupViaScan(
+    std::span<const CmColumnPredicate> preds) const {
+  assert(preds.size() == options_.u_cols.size());
+  ++lookups_computed_;
+  std::vector<ColumnConstraint> cons;
+  if (!BuildConstraints(preds, &cons)) return CmLookupResult{};
+  std::vector<int64_t> ordinals;
+  for (const auto& [key, counts] : map_) {
+    if (!MatchesConstraints(key, cons, cons.size())) continue;
+    for (const auto& [c, cnt] : counts) ordinals.push_back(c);
+  }
+  return MakeResult(std::move(ordinals), num_entries_,
+                    /*used_directory=*/false);
+}
+
+std::vector<int64_t> CorrelationMap::CmLookup(
+    std::span<const CmColumnPredicate> preds) const {
+  return Lookup(preds).ToOrdinals();
 }
 
 uint64_t CorrelationMap::SizeBytes() const {
-  const uint64_t entry_bytes = 8 * options_.u_cols.size() + 8 + 4;
-  return uint64_t(num_entries_) * entry_bytes;
+  return uint64_t(num_entries_) * EntryBytes();
+}
+
+uint64_t CorrelationMap::PagesForEntries(uint64_t entries,
+                                         size_t page_size) const {
+  return (entries * EntryBytes() + page_size - 1) / page_size;
 }
 
 std::string CorrelationMap::Name() const {
@@ -266,6 +436,7 @@ std::vector<CorrelationMap::Record> CorrelationMap::ToRecords() const {
 Status CorrelationMap::LoadRecords(std::span<const Record> records) {
   map_.clear();
   num_entries_ = 0;
+  directory_dirty_ = true;
   for (const auto& rec : records) {
     if (rec.u.n != options_.u_cols.size()) {
       return Status::Corruption("record arity mismatch");

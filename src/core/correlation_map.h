@@ -8,10 +8,17 @@
 // must be swept; the executor re-filters swept rows on the original
 // predicate, so bucketing introduces false positives but never false
 // negatives.
+//
+// Two lookup paths exist. Point predicates probe the hash map directly.
+// Range predicates binary-search a sorted bucket-ordinal directory (one
+// sorted (ordinal, entry) vector per CM attribute, rebuilt lazily on a
+// dirty flag after maintenance) to a contiguous run of u-keys, instead of
+// scanning the whole map as the original representation required.
 #ifndef CORRMAP_CORE_CORRELATION_MAP_H_
 #define CORRMAP_CORE_CORRELATION_MAP_H_
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <map>
 #include <span>
@@ -32,13 +39,29 @@ struct CmKey {
   std::array<int64_t, kMaxCmAttributes> v{};
   uint8_t n = 0;
 
-  void Append(int64_t ordinal) { v[n++] = ordinal; }
+  /// Appends one ordinal. Appending beyond kMaxCmAttributes is a bug
+  /// (asserts in debug builds) and is clamped -- never written past the
+  /// array -- in release builds.
+  void Append(int64_t ordinal) {
+    assert(n < kMaxCmAttributes && "CmKey arity exceeded");
+    if (n >= kMaxCmAttributes) return;
+    v[n++] = ordinal;
+  }
   bool operator==(const CmKey& o) const {
     if (n != o.n) return false;
     for (size_t i = 0; i < n; ++i) {
       if (v[i] != o.v[i]) return false;
     }
     return true;
+  }
+  /// Lexicographic order over (arity, ordinals); used by the batched
+  /// maintenance path to sort-and-group a batch by u-key.
+  bool operator<(const CmKey& o) const {
+    if (n != o.n) return n < o.n;
+    for (size_t i = 0; i < n; ++i) {
+      if (v[i] != o.v[i]) return v[i] < o.v[i];
+    }
+    return false;
   }
   std::string ToString() const;
 };
@@ -73,6 +96,32 @@ struct CmColumnPredicate {
   }
 };
 
+/// Closed, contiguous run [lo, hi] of clustered ordinals.
+struct OrdinalRange {
+  int64_t lo = 0;
+  int64_t hi = 0;
+  bool operator==(const OrdinalRange&) const = default;
+};
+
+/// Result of one cm_lookup, shaped for reuse: the sorted distinct clustered
+/// ordinals are run-length encoded into maximal runs of consecutive
+/// ordinals (adjacent clustered bucket ids, adjacent raw keys). The
+/// executor computes this once per (CM, Query) and shares it between
+/// costing and execution (see CmLookupCache in exec/access_path.h).
+struct CmLookupResult {
+  std::vector<OrdinalRange> ranges;  ///< sorted, disjoint, coalesced
+  uint64_t num_ordinals = 0;         ///< distinct ordinals across all ranges
+  /// (u-key, ordinal) pairs inspected to answer -- the unit of NumEntries
+  /// and of the paper's one-row-per-pair physical representation, so this
+  /// is what an uncached lookup would read from disk.
+  uint64_t entries_probed = 0;
+  bool used_directory = false;       ///< answered via the sorted directory
+
+  bool empty() const { return ranges.empty(); }
+  /// Expands the runs back into the sorted distinct ordinal list.
+  std::vector<int64_t> ToOrdinals() const;
+};
+
 /// Configuration of one CM.
 struct CmOptions {
   std::vector<size_t> u_cols;        ///< CM attributes (<= 4)
@@ -89,6 +138,22 @@ class CorrelationMap {
   /// Creates an empty CM over `table` with the given options.
   static Result<CorrelationMap> Create(const Table* table, CmOptions options);
 
+  /// Moves keep the directory: its entry pointers target map nodes, which
+  /// unordered_map moves intact. Copies must NOT share it -- the copied
+  /// pointers would still target the source's nodes -- so a copy starts
+  /// with a dirty directory and rebuilds on first range lookup.
+  CorrelationMap(CorrelationMap&&) = default;
+  CorrelationMap& operator=(CorrelationMap&&) = default;
+  CorrelationMap(const CorrelationMap& o)
+      : table_(o.table_),
+        options_(o.options_),
+        map_(o.map_),
+        num_entries_(o.num_entries_) {}
+  CorrelationMap& operator=(const CorrelationMap& o) {
+    if (this != &o) *this = CorrelationMap(o);  // copy, then move-assign
+    return *this;
+  }
+
   /// Algorithm 1: full-scan build (also usable after Create on a non-empty
   /// table). Skips deleted rows.
   Status BuildFromTable();
@@ -97,20 +162,37 @@ class CorrelationMap {
   void InsertRow(RowId row);
   Status DeleteRow(RowId row);
 
+  /// Batched maintenance (ROADMAP sort-and-merge): buckets each row once,
+  /// sorts the batch by (u-key, clustered ordinal), and applies one map
+  /// upsert per distinct pair instead of one hash traversal per row.
+  /// Post-state is identical to calling InsertRow per row. Returns the
+  /// number of distinct (u-key, ordinal) groups applied.
+  size_t InsertRowsBatched(std::span<const RowId> rows);
+
   /// Maintenance from explicit attribute values (used by batched loaders
   /// before rows land in the table). `u_keys` parallel to u_cols.
   void InsertValues(std::span<const Key> u_keys, int64_t c_ordinal);
   Status DeleteValues(std::span<const Key> u_keys, int64_t c_ordinal);
 
-  /// Clustered ordinal for a row (bucket id, or raw-key encoding when the
-  /// clustered attribute is unbucketed).
+  /// Clustered ordinal for a row (bucket id, or the order-preserving
+  /// raw-key encoding when the clustered attribute is unbucketed).
   int64_t ClusteredOrdinalOfRow(RowId row) const;
 
   /// cm_lookup (§5.2): clustered ordinals co-occurring with any u-key
   /// matching all column predicates (one per CM attribute, in u_cols
-  /// order). Sorted ascending, deduplicated. Point predicates probe the
-  /// hash map; any range predicate falls back to a full in-memory CM scan
-  /// (the paper's CMs are small enough to scan from RAM, §7.2 Exp. 5).
+  /// order), as coalesced sorted runs. Point predicates probe the hash
+  /// map; range predicates binary-search the sorted bucket-ordinal
+  /// directory to a contiguous run of u-keys (rebuilt lazily after
+  /// maintenance) instead of scanning the map.
+  CmLookupResult Lookup(std::span<const CmColumnPredicate> preds) const;
+
+  /// Reference implementation of Lookup that always scans every u-key of
+  /// the map (the pre-directory behavior). Kept for equivalence tests and
+  /// the scan-vs-probe benches; returns identical ordinals to Lookup.
+  CmLookupResult LookupViaScan(std::span<const CmColumnPredicate> preds) const;
+
+  /// Legacy vector-of-ordinals facade over Lookup(). Sorted ascending,
+  /// deduplicated.
   std::vector<int64_t> CmLookup(std::span<const CmColumnPredicate> preds) const;
 
   /// Decodes a clustered ordinal back to a Key when unbucketed (raw-key
@@ -126,13 +208,25 @@ class CorrelationMap {
   /// Total (u-key, clustered ordinal) pairs ("every unique pair", §5.3).
   size_t NumEntries() const { return num_entries_; }
 
-  /// Size under the paper's physical representation: one row per pair with
-  /// 8 bytes per u attribute + 8-byte clustered ordinal + 4-byte count.
+  /// Lookups actually computed (Lookup/LookupViaScan calls). Executor
+  /// cache hits reuse a result without recomputing, so this is the test
+  /// hook for the one-lookup-per-(CM, Query) guarantee.
+  uint64_t LookupsComputed() const { return lookups_computed_; }
+
+  /// Bytes of one (u-key, ordinal) pair row under the paper's physical
+  /// representation: 8 bytes per u attribute + 8-byte clustered ordinal +
+  /// 4-byte count.
+  uint64_t EntryBytes() const { return 8 * options_.u_cols.size() + 8 + 4; }
+  /// Size under that representation: one row per pair.
   uint64_t SizeBytes() const;
   /// Pages the CM occupies (for lookup-cost accounting when uncached).
   uint64_t NumPages(size_t page_size = kDefaultPageSizeBytes) const {
     return (SizeBytes() + page_size - 1) / page_size;
   }
+  /// Pages covering `entries` CM entries under the same representation
+  /// (what an uncached directory probe reads, vs NumPages for a full scan).
+  uint64_t PagesForEntries(uint64_t entries,
+                           size_t page_size = kDefaultPageSizeBytes) const;
 
   std::string Name() const;
 
@@ -150,18 +244,54 @@ class CorrelationMap {
   Status LoadRecords(std::span<const Record> records);
 
  private:
+  using CountMap = std::map<int64_t, uint32_t>;
+  using HashMap = std::unordered_map<CmKey, CountMap, CmKeyHash>;
+
+  /// One sorted-directory slot: the bucket ordinal of one u-attribute and
+  /// the map entry carrying it. Entry pointers are stable across rehashes;
+  /// the dirty flag guards erases and insertions.
+  struct DirEntry {
+    int64_t ordinal;
+    const HashMap::value_type* entry;
+  };
+
+  /// Per-column ordinal constraint compiled from a CmColumnPredicate.
+  struct ColumnConstraint {
+    bool is_range = false;
+    int64_t lo = 0, hi = 0;           ///< is_range: closed ordinal interval
+    std::vector<int64_t> points;      ///< !is_range: sorted distinct ordinals
+  };
+
   CorrelationMap(const Table* table, CmOptions options)
       : table_(table), options_(std::move(options)) {}
 
   CmKey UKeyOfRow(RowId row) const;
   CmKey UKeyOfValues(std::span<const Key> u_keys) const;
-  bool UKeyMatches(const CmKey& key,
-                   std::span<const CmColumnPredicate> preds) const;
+
+  /// Compiles predicates to ordinal constraints; returns false when any
+  /// column's constraint is provably empty (no key can match).
+  bool BuildConstraints(std::span<const CmColumnPredicate> preds,
+                        std::vector<ColumnConstraint>* out) const;
+  /// True when `key` satisfies every constraint except index `skip`
+  /// (pass constraints.size() to check all).
+  static bool MatchesConstraints(const CmKey& key,
+                                 std::span<const ColumnConstraint> cons,
+                                 size_t skip);
+
+  /// Rebuilds the per-attribute sorted bucket-ordinal directory if dirty.
+  void EnsureDirectory() const;
 
   const Table* table_;
   CmOptions options_;
-  std::unordered_map<CmKey, std::map<int64_t, uint32_t>, CmKeyHash> map_;
+  HashMap map_;
   size_t num_entries_ = 0;
+
+  /// Sorted secondary directory: directory_[i] holds every mapped u-key
+  /// ordered by its i-th attribute's bucket ordinal. Rebuilt lazily when
+  /// maintenance adds or erases u-keys (count-only changes keep it valid).
+  mutable std::vector<std::vector<DirEntry>> directory_;
+  mutable bool directory_dirty_ = true;
+  mutable uint64_t lookups_computed_ = 0;
 };
 
 }  // namespace corrmap

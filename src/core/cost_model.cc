@@ -1,6 +1,7 @@
 #include "core/cost_model.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace corrmap {
@@ -31,12 +32,23 @@ double CostModel::SortedCost(const CostInputs& in) const {
 }
 
 double CostModel::CmCost(const CostInputs& in, uint64_t cm_pages,
-                         bool cm_cached) const {
+                         bool cm_cached, uint64_t probed_pages) const {
   double cost = SortedCost(in);
   if (!cm_cached) {
-    cost += disk_.seek_ms() + disk_.seq_page_ms() * double(cm_pages);
+    cost += disk_.seek_ms() +
+            disk_.seq_page_ms() * double(std::min(probed_pages, cm_pages));
   }
   return cost;
+}
+
+double CostModel::CmLookupProbeCost(double num_ukeys,
+                                    double entries_probed) const {
+  const double search = std::log2(std::max(2.0, num_ukeys));
+  return kCmCpuPerEntryMs * (search + entries_probed);
+}
+
+double CostModel::CmLookupScanCost(double num_ukeys) const {
+  return kCmCpuPerEntryMs * num_ukeys;
 }
 
 }  // namespace corrmap

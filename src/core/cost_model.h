@@ -52,11 +52,29 @@ class CostModel {
   /// cost_scan) (§4.1) -- the correlation-aware sorted index scan cost.
   double SortedCost(const CostInputs& in) const;
 
-  /// SortedCost for a CM access: identical heap access pattern, but adds the
-  /// (usually negligible) cost of reading the CM itself when it does not fit
-  /// in memory: cm_pages sequential reads (§6.2: large CMs stop paying off).
-  double CmCost(const CostInputs& in, uint64_t cm_pages,
-                bool cm_cached = true) const;
+  /// Sentinel for CmCost's probed_pages: the lookup touched the whole CM.
+  static constexpr uint64_t kAllCmPages = ~uint64_t{0};
+
+  /// SortedCost for a CM access: identical heap access pattern, but adds
+  /// the (usually negligible) cost of reading the CM itself when it does
+  /// not fit in memory (§6.2: large CMs stop paying off). `probed_pages`
+  /// is how much of the CM the lookup actually touched: a directory probe
+  /// reads only its run, so the uncached charge is
+  /// min(probed_pages, cm_pages) sequential reads instead of the full map.
+  double CmCost(const CostInputs& in, uint64_t cm_pages, bool cm_cached = true,
+                uint64_t probed_pages = kAllCmPages) const;
+
+  /// CPU milliseconds per CM entry visited by cm_lookup (in-RAM work).
+  static constexpr double kCmCpuPerEntryMs = 1e-5;
+
+  /// Range-probe term: the in-RAM cost of answering cm_lookup through the
+  /// sorted bucket-ordinal directory -- a binary search over the u-keys
+  /// plus the probed run. Replaces CmLookupScanCost for range predicates.
+  double CmLookupProbeCost(double num_ukeys, double entries_probed) const;
+
+  /// The replaced term: a range lookup that scans every u-key of the map
+  /// (the pre-directory behavior; kept for comparison and benches).
+  double CmLookupScanCost(double num_ukeys) const;
 
  private:
   DiskModel disk_;

@@ -55,15 +55,26 @@ void MaintenanceDriver::InsertBatch(const std::vector<std::vector<Key>>& rows) {
     }
   }
 
-  // 3. CM maintenance: in-RAM hash updates + logical WAL records.
+  // 3. CM maintenance: in-RAM hash updates + logical WAL records. The
+  // batched path sorts the batch by (u-key, clustered ordinal) and merges
+  // one upsert per distinct pair, so a 10k-tuple batch pays hash traffic
+  // proportional to its distinct pairs, not its rows; post-state is
+  // identical to the row-at-a-time path. WAL records stay per-row (each
+  // row must be redoable on its own).
   for (CorrelationMap* cm : cms_) {
+    size_t map_updates = new_rows.size();
+    if (config_.sort_batches) {
+      map_updates = cm->InsertRowsBatched(new_rows);
+    } else {
+      for (RowId r : new_rows) cm->InsertRow(r);
+    }
     for (RowId r : new_rows) {
-      cm->InsertRow(r);
+      (void)r;
       // Logical redo record: (cm id, u ordinals, c ordinal).
       wal_->Append({WalRecordType::kCmInsert, txn,
                     std::string(8 * cm->options().u_cols.size() + 12, 'c')});
-      cpu_ms += config_.cpu_per_index_update_ms;
     }
+    cpu_ms += config_.cpu_per_index_update_ms * double(map_updates);
   }
 
   // 4. Two-phase commit: prepare + commit each force a log flush (§7.1).
@@ -131,20 +142,18 @@ ExecResult MaintenanceDriver::SelectViaCm(const CorrelationMap& cm,
   out.path = "cm_scan(pooled)";
   auto preds = CmPredicatesFor(cm, query);
   assert(preds.ok());
-  const std::vector<int64_t> ordinals = cm.CmLookup(*preds);
+  const CmLookupResult res = cm.Lookup(*preds);
 
   std::vector<RowRange> ranges;
   if (cm.has_clustered_buckets()) {
-    for (int64_t b : ordinals) {
-      RowRange range = cm.options().c_buckets->RangeOfBucket(b);
+    for (const OrdinalRange& r : res.ranges) {
+      RowRange range = cm.options().c_buckets->RangeOfBucketRun(r.lo, r.hi);
       if (!range.empty()) ranges.push_back(range);
     }
   } else {
-    std::vector<Key> keys;
-    for (int64_t o : ordinals) keys.push_back(cm.DecodeClusteredOrdinal(o));
-    std::sort(keys.begin(), keys.end());
-    for (const Key& k : keys) {
-      RowRange range = cidx.LookupEqual(k);
+    for (const OrdinalRange& r : res.ranges) {
+      RowRange range = cidx.LookupRange(cm.DecodeClusteredOrdinal(r.lo),
+                                        cm.DecodeClusteredOrdinal(r.hi));
       if (!range.empty()) ranges.push_back(range);
     }
   }

@@ -271,45 +271,65 @@ Result<std::vector<CmColumnPredicate>> CmPredicatesFor(
   return preds;
 }
 
+const CmLookupResult* CmLookupCache::GetOrCompute(const CorrelationMap& cm,
+                                                  const Query& query) {
+  auto it = cache_.find(&cm);
+  if (it == cache_.end()) {
+    std::optional<CmLookupResult> res;
+    auto preds = CmPredicatesFor(cm, query);
+    if (preds.ok()) res = cm.Lookup(*preds);
+    it = cache_.emplace(&cm, std::move(res)).first;
+  }
+  return it->second.has_value() ? &*it->second : nullptr;
+}
+
 ExecResult CmScan(const Table& table, const CorrelationMap& cm,
                   const ClusteredIndex& cidx, const Query& query,
-                  const ExecOptions& opts) {
+                  const ExecOptions& opts, CmLookupCache* cache) {
   ExecResult out;
   out.path = "cm_scan";
-  auto preds = CmPredicatesFor(cm, query);
-  assert(preds.ok() && "query must predicate every CM attribute");
-
-  const std::vector<int64_t> ordinals = cm.CmLookup(*preds);
-
-  // CM lookup I/O: free when cached (the normal case -- CMs are tiny);
-  // otherwise one sequential read of the map.
-  if (!opts.cm_cached) {
-    ++out.io.seeks;
-    out.io.seq_pages += cm.NumPages();
+  CmLookupResult local;
+  const CmLookupResult* res = nullptr;
+  if (cache != nullptr) {
+    res = cache->GetOrCompute(cm, query);
+    assert(res != nullptr && "query must predicate every CM attribute");
+  } else {
+    auto preds = CmPredicatesFor(cm, query);
+    assert(preds.ok() && "query must predicate every CM attribute");
+    local = cm.Lookup(*preds);
+    res = &local;
   }
 
-  // Translate ordinals to row ranges.
+  // CM lookup I/O: free when cached (the normal case -- CMs are tiny);
+  // otherwise one seek plus the pages the lookup actually read (a
+  // directory probe touches only its run, not the whole map).
+  if (!opts.cm_cached) {
+    ++out.io.seeks;
+    out.io.seq_pages +=
+        std::min<uint64_t>(cm.NumPages(), cm.PagesForEntries(res->entries_probed));
+  }
+
+  // Translate the coalesced ordinal runs to row ranges.
   std::vector<RowRange> ranges;
-  ranges.reserve(ordinals.size());
+  ranges.reserve(res->ranges.size());
   size_t n_probes = 0;
   if (cm.has_clustered_buckets()) {
-    for (int64_t b : ordinals) {
-      RowRange range = cm.options().c_buckets->RangeOfBucket(b);
+    for (const OrdinalRange& r : res->ranges) {
+      RowRange range = cm.options().c_buckets->RangeOfBucketRun(r.lo, r.hi);
       if (!range.empty()) ranges.push_back(range);
     }
     // Bucket ids resolve positionally; probing the clustered index costs
     // one descent for the whole sorted set (ranges are swept in order).
-    n_probes = ordinals.empty() ? 0 : 1;
+    n_probes = res->empty() ? 0 : 1;
   } else {
-    std::vector<Key> keys;
-    keys.reserve(ordinals.size());
-    for (int64_t o : ordinals) keys.push_back(cm.DecodeClusteredOrdinal(o));
-    std::sort(keys.begin(), keys.end());
-    for (const Key& k : keys) {
-      RowRange range = cidx.LookupEqual(k);
+    // Each run of consecutive raw keys becomes one clustered-index range
+    // probe: the clustered heap is contiguous over the run's key interval.
+    for (const OrdinalRange& r : res->ranges) {
+      RowRange range = cidx.LookupRange(cm.DecodeClusteredOrdinal(r.lo),
+                                        cm.DecodeClusteredOrdinal(r.hi));
       if (!range.empty()) ranges.push_back(range);
     }
-    n_probes = keys.size();
+    n_probes = res->ranges.size();
   }
   std::sort(ranges.begin(), ranges.end(),
             [](const RowRange& a, const RowRange& b) { return a.begin < b.begin; });

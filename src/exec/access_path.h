@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/correlation_map.h"
@@ -100,13 +101,31 @@ ExecResult VirtualSortedIndexScan(const Table& table, const Query& query,
                                   size_t index_col,
                                   const ExecOptions& opts = {});
 
+/// Per-query cache of CM lookup results. The executor prices a candidate
+/// CM from the same CmLookupResult the chosen plan later executes with, so
+/// each (CM, Query) pair performs exactly one cm_lookup across costing and
+/// execution. Scoped to one query; do not reuse across maintenance.
+class CmLookupCache {
+ public:
+  /// The lookup result for `cm` against `query`, computed on first call
+  /// and served from the cache after. Returns nullptr when the CM is
+  /// inapplicable (some CM attribute is not predicated by the query).
+  const CmLookupResult* GetOrCompute(const CorrelationMap& cm,
+                                     const Query& query);
+
+ private:
+  std::unordered_map<const CorrelationMap*, std::optional<CmLookupResult>>
+      cache_;
+};
+
 /// CM-driven scan (§5.2): cm_lookup on the predicates over the CM's
-/// attributes, translate co-occurring clustered ordinals to row ranges
-/// (via the CM's clustered bucketing or `cidx`), sweep, and re-filter every
-/// examined row on the full query.
+/// attributes, translate the co-occurring clustered ordinal runs to row
+/// ranges (via the CM's clustered bucketing or `cidx`), sweep, and
+/// re-filter every examined row on the full query. When `cache` is given,
+/// the lookup result is shared with (or reused from) plan costing.
 ExecResult CmScan(const Table& table, const CorrelationMap& cm,
                   const ClusteredIndex& cidx, const Query& query,
-                  const ExecOptions& opts = {});
+                  const ExecOptions& opts = {}, CmLookupCache* cache = nullptr);
 
 /// Builds the CmColumnPredicate vector for `cm` from `query`; fails if a CM
 /// attribute has no predicate in the query (§6.2.1: a CM applies only when

@@ -61,32 +61,38 @@ double Executor::EstimateSortedIndexMs(const SecondaryIndex& index,
   return cost_model_.SortedCost(in);
 }
 
-double Executor::EstimateCmMs(const CorrelationMap& cm,
-                              const Query& query) const {
-  auto preds = CmPredicatesFor(cm, query);
-  if (!preds.ok()) return -1;  // inapplicable: CM attr not predicated
-  // CMs are in memory: estimate directly from the actual lookup.
-  const std::vector<int64_t> ordinals = cm.CmLookup(*preds);
-  if (ordinals.empty()) return 0.0;
+double Executor::EstimateCmMs(const CorrelationMap& cm, const Query& query,
+                              CmLookupCache* cache) const {
+  // CMs are in memory: estimate directly from the actual lookup, computed
+  // once here and reused verbatim by CmScan through the shared cache.
+  const CmLookupResult* res = cache->GetOrCompute(cm, query);
+  if (res == nullptr) return -1;  // inapplicable: CM attr not predicated
+  if (res->empty()) return 0.0;
   double pages = 0;
   uint64_t n_seeks = 0;
   if (cm.has_clustered_buckets()) {
-    for (int64_t b : ordinals) {
-      pages += double(cm.options().c_buckets->RangeOfBucket(b).size()) /
-               double(table_->TuplesPerPage());
+    for (const OrdinalRange& r : res->ranges) {
+      pages +=
+          double(cm.options().c_buckets->RangeOfBucketRun(r.lo, r.hi).size()) /
+          double(table_->TuplesPerPage());
     }
-    n_seeks = ordinals.size() + cidx_->BTreeHeight();
+    n_seeks = res->ranges.size() + cidx_->BTreeHeight();
   } else {
-    pages = double(ordinals.size()) * cidx_->CPages();
-    n_seeks = ordinals.size() * cidx_->BTreeHeight();
+    pages = double(res->num_ordinals) * cidx_->CPages();
+    n_seeks = res->ranges.size() * cidx_->BTreeHeight();
   }
   const double cost = double(n_seeks) * cost_model_.disk().seek_ms() +
-                      pages * cost_model_.disk().seq_page_ms();
+                      pages * cost_model_.disk().seq_page_ms() +
+                      cost_model_.CmLookupProbeCost(
+                          double(cm.NumUKeys()), double(res->entries_probed));
   return std::min(cost, EstimateScanMs());
 }
 
 ExecutorResult Executor::Execute(const Query& query) const {
   ExecutorResult out;
+  // One lookup per (CM, Query): costing fills this cache, execution reuses
+  // it.
+  CmLookupCache cm_cache;
 
   struct Candidate {
     enum Kind { kScan, kClustered, kSortedIndex, kCm } kind;
@@ -120,7 +126,7 @@ ExecutorResult Executor::Execute(const Query& query) const {
                               false});
   }
   for (const CorrelationMap* cm : cms_) {
-    const double est = EstimateCmMs(*cm, query);
+    const double est = EstimateCmMs(*cm, query, &cm_cache);
     if (est < 0) continue;
     cands.push_back({Candidate::kCm, nullptr, cm, est});
     out.candidates.push_back({"cm_scan(" + cm->Name() + ")", est, false});
@@ -144,8 +150,8 @@ ExecutorResult Executor::Execute(const Query& query) const {
           SortedIndexScan(*table_, *cands[best].index, query, exec_options_);
       break;
     case Candidate::kCm:
-      out.result =
-          CmScan(*table_, *cands[best].cm, *cidx_, query, exec_options_);
+      out.result = CmScan(*table_, *cands[best].cm, *cidx_, query,
+                          exec_options_, &cm_cache);
       break;
   }
   return out;

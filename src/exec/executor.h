@@ -53,7 +53,11 @@ class Executor {
  private:
   double EstimateSortedIndexMs(const SecondaryIndex& index,
                                const Query& query) const;
-  double EstimateCmMs(const CorrelationMap& cm, const Query& query) const;
+  /// Costs a CM candidate from the shared per-query lookup result in
+  /// `cache`; the same result later drives CmScan, so each (CM, Query)
+  /// performs exactly one cm_lookup across costing and execution.
+  double EstimateCmMs(const CorrelationMap& cm, const Query& query,
+                      CmLookupCache* cache) const;
 
   const Table* table_;
   const ClusteredIndex* cidx_;

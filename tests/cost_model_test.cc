@@ -99,6 +99,29 @@ TEST(CostModelTest, CmCostAddsUncachedMapRead) {
   EXPECT_DOUBLE_EQ(uncached, cached + 5.5 + 0.078 * 100);
 }
 
+TEST(CostModelTest, UncachedProbeChargesOnlyItsRun) {
+  // Range-probe term: an uncached directory probe reads min(probed, all)
+  // pages of the CM, not the whole map.
+  CostModel m;
+  CostInputs in = BaseInputs();
+  const double probed =
+      m.CmCost(in, /*cm_pages=*/100, /*cm_cached=*/false, /*probed_pages=*/3);
+  const double full = m.CmCost(in, /*cm_pages=*/100, /*cm_cached=*/false);
+  EXPECT_DOUBLE_EQ(probed, m.SortedCost(in) + 5.5 + 0.078 * 3);
+  EXPECT_DOUBLE_EQ(full, m.SortedCost(in) + 5.5 + 0.078 * 100);
+  EXPECT_LT(probed, full);
+}
+
+TEST(CostModelTest, LookupProbeCostBeatsScanCostForNarrowRuns) {
+  CostModel m;
+  // 1e6 u-keys, 100-entry run: the directory probe term must be orders of
+  // magnitude below the replaced full-scan term, and both grow monotonely.
+  EXPECT_LT(m.CmLookupProbeCost(1e6, 100) * 100, m.CmLookupScanCost(1e6));
+  EXPECT_LT(m.CmLookupProbeCost(1e6, 100), m.CmLookupProbeCost(1e6, 1e5));
+  // A probe that touches everything degenerates to ~the scan term.
+  EXPECT_GE(m.CmLookupProbeCost(1e6, 1e6), m.CmLookupScanCost(1e6));
+}
+
 TEST(CostModelTest, CustomDiskConstants) {
   CostModel m(DiskModel(/*seek_ms=*/10.0, /*seq_page_ms=*/0.1));
   CostInputs in = BaseInputs();

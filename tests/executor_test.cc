@@ -123,6 +123,25 @@ TEST(ExecutorTest, EstimatesTrackActualWithinFactor) {
   EXPECT_GT(r.result.ms * 3 + 1, est);
 }
 
+TEST(ExecutorTest, OneLookupPerCmPerQuery) {
+  // Costing and execution must share a single cm_lookup per (CM, Query)
+  // through the per-query cache (the ROADMAP's shared-lookup item).
+  World w(/*correlated=*/true, /*rows=*/200000);
+  Executor ex(w.table.get(), w.cidx.get());
+  ex.AttachCm(w.cm.get());
+
+  Query point({Predicate::Eq(*w.table, "u", Value(777))});
+  uint64_t before = w.cm->LookupsComputed();
+  auto r = ex.Execute(point);
+  EXPECT_EQ(r.result.path, "cm_scan");  // costed AND executed, one lookup
+  EXPECT_EQ(w.cm->LookupsComputed(), before + 1);
+
+  Query range({Predicate::Between(*w.table, "u", Value(100), Value(120))});
+  before = w.cm->LookupsComputed();
+  (void)ex.Execute(range);
+  EXPECT_EQ(w.cm->LookupsComputed(), before + 1);
+}
+
 TEST(ExecutorTest, InapplicableCmIsSkipped) {
   World w(/*correlated=*/true);
   Executor ex(w.table.get(), w.cidx.get());

@@ -135,6 +135,53 @@ TEST(MaintenanceTest, MoreBTreesMoreDirtyPressure) {
   EXPECT_LT(five_cms * 2, five_btrees);
 }
 
+TEST(MaintenanceTest, BatchedCmInsertMatchesRowAtATime) {
+  // The sort-and-merge batch path must leave the CM in exactly the state
+  // the row-at-a-time path produces, for batches with heavy duplication.
+  auto records_sorted = [](const CorrelationMap& cm) {
+    auto recs = cm.ToRecords();
+    std::sort(recs.begin(), recs.end(),
+              [](const CorrelationMap::Record& a,
+                 const CorrelationMap::Record& b) {
+                if (a.u < b.u) return true;
+                if (b.u < a.u) return false;
+                return a.c_ordinal < b.c_ordinal;
+              });
+    return recs;
+  };
+
+  auto run = [&](bool sort_batches) {
+    Target target;
+    BufferPool pool(4096);
+    WriteAheadLog wal;
+    MaintenanceConfig config;
+    config.sort_batches = sort_batches;
+    MaintenanceDriver driver(target.table.get(), &pool, &wal, config);
+    CmOptions copts;
+    copts.u_cols = {1};
+    copts.u_bucketers = {Bucketer::Identity()};
+    copts.c_col = 0;
+    auto cm = CorrelationMap::Create(target.table.get(), copts);
+    EXPECT_TRUE(cm.ok());
+    EXPECT_TRUE(cm->BuildFromTable().ok());
+    driver.AttachCm(&*cm);
+    for (int b = 0; b < 3; ++b) {
+      driver.InsertBatch(target.MakeBatch(2000, uint64_t(b) + 7));
+    }
+    EXPECT_TRUE(cm->CheckInvariants().ok());
+    return records_sorted(*cm);
+  };
+
+  const auto batched = run(/*sort_batches=*/true);
+  const auto row_at_a_time = run(/*sort_batches=*/false);
+  ASSERT_EQ(batched.size(), row_at_a_time.size());
+  for (size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_TRUE(batched[i].u == row_at_a_time[i].u);
+    EXPECT_EQ(batched[i].c_ordinal, row_at_a_time[i].c_ordinal);
+    EXPECT_EQ(batched[i].count, row_at_a_time[i].count);
+  }
+}
+
 TEST(MaintenanceTest, CrashRecoveryRebuildsCmFromWal) {
   Target target;
   BufferPool pool(4096);

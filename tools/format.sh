@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Formats the tree with the pinned clang-format version the CI format job
+# enforces (clang-format-18, Ubuntu package). Run from the repo root:
+#   tools/format.sh          # rewrite files in place
+#   tools/format.sh --check  # dry run, exit non-zero on violations
+set -euo pipefail
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format-18}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  if command -v clang-format >/dev/null 2>&1; then
+    CLANG_FORMAT=clang-format
+    echo "warning: clang-format-18 not found; using $($CLANG_FORMAT --version)" >&2
+  else
+    echo "error: no clang-format binary found (want clang-format-18)" >&2
+    exit 1
+  fi
+fi
+
+MODE=(-i)
+if [[ "${1:-}" == "--check" ]]; then
+  MODE=(--dry-run --Werror)
+fi
+
+find src tests bench examples \
+  \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) -print0 |
+  xargs -0 "$CLANG_FORMAT" "${MODE[@]}"
