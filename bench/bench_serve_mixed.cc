@@ -1,0 +1,225 @@
+// Concurrent serving bench: replays the Fig.-9-style mixed insert/select
+// stream through the src/serve stack (ServingEngine + sharded CMs +
+// SharedLookupCache + WorkloadDriver) at increasing reader-thread counts.
+//
+// Unlike the other benches, which report purely simulated milliseconds,
+// this one measures actual wall-clock throughput: each select sleeps a
+// configurable number of microseconds per simulated disk millisecond
+// (emulating the device wait the simulation charges), so adding reader
+// threads overlaps those waits exactly as it would against real disks --
+// including on a single-core host. The headline is lookup throughput
+// scaling (target: >= 3x at 4 readers vs 1) and tail latency under a
+// concurrent append stream, with the probe==scan invariant re-checked
+// against a full table scan after the mixed run.
+//
+// `--json <path>` additionally emits machine-readable results
+// (tools/run_bench.sh writes BENCH_serve.json from this).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "exec/access_path.h"
+#include "serve/driver.h"
+#include "serve/serving_engine.h"
+#include "workload/ebay_gen.h"
+
+using namespace corrmap;
+using namespace corrmap::serve;
+
+namespace {
+
+constexpr size_t kSeed = 0x915;
+constexpr size_t kQueryPool = 512;
+constexpr size_t kTotalLookupsPerRun = 2400;
+constexpr size_t kAppendBatchRows = 2000;
+constexpr size_t kPregenBatches = 48;
+constexpr size_t kMixedReaders = 4;
+constexpr size_t kMixedWriters = 2;
+constexpr size_t kBatchesPerWriter = 16;
+constexpr double kStallUsPerSimMs = 40.0;
+const size_t kCols[5] = {kEbay.cat2, kEbay.cat3, kEbay.cat4, kEbay.cat5,
+                         kEbay.cat6};
+
+std::vector<std::vector<Key>> MakeBatch(const Table& t, size_t n, Rng* rng) {
+  // New items in random existing categories (as in bench_fig9): copy the
+  // category path from a random base row so values keep their real
+  // distribution and appended rows match existing select predicates.
+  std::vector<std::vector<Key>> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const RowId proto = RowId(rng->UniformInt(0, int64_t(t.NumRows()) - 1));
+    std::vector<Key> row(t.schema().num_columns(), Key(int64_t(0)));
+    row[kEbay.catid] = t.GetKey(proto, kEbay.catid);
+    for (size_t k = kEbay.cat1; k <= kEbay.cat6; ++k) {
+      row[k] = t.GetKey(proto, k);
+    }
+    row[kEbay.item_id] = Key(rng->UniformInt(10'000'000, 99'999'999));
+    row[kEbay.price] = Key(rng->UniformDouble(0, 1e6));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<Query> MakeQueryPool(const Table& t, size_t n, Rng* rng) {
+  std::vector<Query> pool;
+  pool.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t col = kCols[size_t(rng->UniformInt(0, 4))];
+    const RowId r = RowId(rng->UniformInt(0, int64_t(t.NumRows()) - 1));
+    const std::string& name = t.schema().column(col).name;
+    pool.push_back(Query({Predicate::Eq(
+        t, name,
+        Value(t.column(col).dictionary()->Get(t.GetKey(r, col).AsInt64())))}));
+  }
+  return pool;
+}
+
+struct RunRow {
+  size_t readers;
+  size_t writers;
+  DriverReport report;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
+
+  bench::PrintHeader(
+      "Concurrent serving (Fig. 9 workload under a thread pool)",
+      "sharded CMs + a cross-query lookup cache scale lookup throughput "
+      "with reader threads (target: >=3x at 4 readers vs 1)",
+      "ebay items, 5 CMs, " + std::to_string(kTotalLookupsPerRun) +
+          " lookups/run, " + std::to_string(kStallUsPerSimMs) +
+          " us emulated device wait per simulated ms");
+
+  EbayGenConfig cfg;
+  cfg.num_categories = 1200;
+  cfg.min_items_per_category = 120;
+  cfg.max_items_per_category = 220;
+  auto t = GenerateEbayItems(cfg);
+  (void)t->ClusterBy(kEbay.catid);
+  auto cidx = ClusteredIndex::Build(*t, kEbay.catid);
+
+  const size_t append_capacity =
+      kMixedWriters * kBatchesPerWriter * kAppendBatchRows;
+  ServingOptions sopts;
+  sopts.num_workers = 1;
+  sopts.reserve_rows = t->NumRows() + append_capacity + kAppendBatchRows;
+  ServingEngine engine(t.get(), &*cidx, sopts);
+  for (size_t col : kCols) {
+    CmOptions copts;
+    copts.u_cols = {col};
+    copts.u_bucketers = {Bucketer::Identity()};
+    copts.c_col = kEbay.catid;
+    Status s = engine.AttachCm(copts);
+    if (!s.ok()) {
+      std::cerr << "AttachCm: " << s.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  Rng rng(kSeed);
+  const std::vector<Query> pool = MakeQueryPool(*t, kQueryPool, &rng);
+  std::vector<std::vector<std::vector<Key>>> batches;
+  batches.reserve(kPregenBatches);
+  for (size_t i = 0; i < kPregenBatches; ++i) {
+    batches.push_back(MakeBatch(*t, kAppendBatchRows, &rng));
+  }
+
+  std::vector<RunRow> runs;
+  for (size_t readers : {size_t(1), size_t(2), size_t(4)}) {
+    engine.cache().Clear();
+    engine.ResizeWorkerPool(readers);
+    DriverOptions dopts;
+    dopts.reader_threads = readers;
+    dopts.writer_threads = 0;
+    dopts.lookups_per_reader = kTotalLookupsPerRun / readers;
+    dopts.io_stall_us_per_simulated_ms = kStallUsPerSimMs;
+    dopts.seed = 0x5e21 + readers;
+    WorkloadDriver driver(&engine, dopts);
+    runs.push_back({readers, 0, driver.Run(pool, {})});
+  }
+
+  // Mixed run: appends stream in while 4 readers keep looking up.
+  engine.cache().Clear();
+  engine.ResizeWorkerPool(kMixedReaders + kMixedWriters);
+  DriverOptions mopts;
+  mopts.reader_threads = kMixedReaders;
+  mopts.writer_threads = kMixedWriters;
+  mopts.lookups_per_reader = kTotalLookupsPerRun / kMixedReaders;
+  mopts.batches_per_writer = kBatchesPerWriter;
+  mopts.io_stall_us_per_simulated_ms = kStallUsPerSimMs;
+  mopts.seed = 0x6e21;
+  WorkloadDriver mixed_driver(&engine, mopts);
+  runs.push_back(
+      {kMixedReaders, kMixedWriters, mixed_driver.Run(pool, batches)});
+
+  TablePrinter out({"readers", "writers", "lookups/s", "p50 [us]", "p99 [us]",
+                    "cache hit %", "rows appended"});
+  for (const RunRow& r : runs) {
+    const DriverReport& rep = r.report;
+    const double hit_pct =
+        rep.lookups > 0
+            ? 100.0 * double(rep.lookup_cache_hits) / double(rep.lookups)
+            : 0;
+    out.AddRow({std::to_string(r.readers), std::to_string(r.writers),
+                TablePrinter::Fmt(rep.lookups_per_second, 0),
+                TablePrinter::Fmt(rep.lookup_latency.p50_us, 0),
+                TablePrinter::Fmt(rep.lookup_latency.p99_us, 0),
+                TablePrinter::Fmt(hit_pct, 1),
+                std::to_string(rep.rows_appended)});
+  }
+  out.Print(std::cout);
+
+  const double speedup = runs[0].report.lookups_per_second > 0
+                             ? runs[2].report.lookups_per_second /
+                                   runs[0].report.lookups_per_second
+                             : 0;
+  std::cout << "\nlookup throughput at 4 readers is "
+            << TablePrinter::Fmt(speedup, 2) << "x the 1-reader run "
+            << "(target >= 3x)\n";
+
+  // probe==scan invariant after the concurrent mixed run: every query must
+  // count exactly what a full scan counts.
+  Status inv = engine.CheckInvariants();
+  size_t mismatches = 0;
+  for (size_t i = 0; i < 16; ++i) {
+    const Query& q = pool[i * (pool.size() / 16)];
+    const SelectResult probe = engine.ExecuteSelect(q);
+    const ExecResult scan = FullTableScan(*t, q);
+    if (probe.num_matches != scan.NumMatches()) ++mismatches;
+  }
+  std::cout << "post-run invariants: " << inv.ToString() << ", probe==scan on "
+            << (16 - mismatches) << "/16 sampled queries\n";
+
+  if (json_path != nullptr) {
+    std::ostringstream js;
+    js << "{\n  \"bench\": \"serve_mixed\",\n  \"runs\": [\n";
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const DriverReport& rep = runs[i].report;
+      js << "    {\"readers\": " << runs[i].readers
+         << ", \"writers\": " << runs[i].writers
+         << ", \"lookups\": " << rep.lookups
+         << ", \"lookups_per_s\": " << rep.lookups_per_second
+         << ", \"p50_us\": " << rep.lookup_latency.p50_us
+         << ", \"p99_us\": " << rep.lookup_latency.p99_us
+         << ", \"cache_hits\": " << rep.lookup_cache_hits
+         << ", \"rows_appended\": " << rep.rows_appended
+         << ", \"wall_s\": " << rep.wall_seconds << "}"
+         << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    js << "  ],\n  \"speedup_4v1\": " << speedup
+       << ",\n  \"invariants_ok\": " << (inv.ok() ? "true" : "false")
+       << ",\n  \"probe_scan_mismatches\": " << mismatches << "\n}\n";
+    std::ofstream(json_path) << js.str();
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return (speedup >= 3.0 && inv.ok() && mismatches == 0) ? 0 : 1;
+}

@@ -22,6 +22,7 @@ class Status {
     kCorruption,
     kNotSupported,
     kInternal,
+    kResourceExhausted,
   };
 
   /// Constructs an OK status.
@@ -48,6 +49,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }
@@ -76,6 +80,7 @@ class Status {
       case Code::kCorruption: return "Corruption";
       case Code::kNotSupported: return "NotSupported";
       case Code::kInternal: return "Internal";
+      case Code::kResourceExhausted: return "ResourceExhausted";
     }
     return "Unknown";
   }

@@ -1,6 +1,7 @@
 #include "core/correlation_map.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <limits>
 
@@ -43,6 +44,21 @@ std::string CmKey::ToString() const {
     out += std::to_string(v[i]);
   }
   return out + "]";
+}
+
+uint64_t FingerprintCmPredicates(std::span<const CmColumnPredicate> preds) {
+  uint64_t h = Mix64(0x636d666dULL ^ preds.size());
+  for (const CmColumnPredicate& p : preds) {
+    h = Mix64(h ^ uint64_t(p.kind));
+    if (p.kind == CmColumnPredicate::Kind::kPoints) {
+      h = Mix64(h ^ p.points.size());
+      for (const Key& k : p.points) h = Mix64(h ^ k.Hash());
+    } else {
+      h = Mix64(h ^ std::bit_cast<uint64_t>(p.lo));
+      h = Mix64(h ^ std::bit_cast<uint64_t>(p.hi));
+    }
+  }
+  return h;
 }
 
 std::vector<int64_t> CmLookupResult::ToOrdinals() const {
@@ -116,6 +132,8 @@ Key CorrelationMap::DecodeClusteredOrdinal(int64_t ordinal) const {
 
 Status CorrelationMap::BuildFromTable() {
   // Algorithm 1: scan, bucket both sides, upsert co-occurrence counts.
+  // The per-row epoch bumps inside InsertRow are harmless: the counter
+  // only needs monotonicity.
   const size_t n = table_->NumRows();
   for (RowId r = 0; r < n; ++r) {
     if (table_->IsDeleted(r)) continue;
@@ -125,8 +143,9 @@ Status CorrelationMap::BuildFromTable() {
 }
 
 void CorrelationMap::InsertRow(RowId row) {
+  ++epoch_;
   auto [mit, new_key] = map_.try_emplace(UKeyOfRow(row));
-  if (new_key) directory_dirty_ = true;
+  if (new_key) NoteKeyAdded(mit->first);
   auto [it, inserted] = mit->second.emplace(ClusteredOrdinalOfRow(row), 1);
   if (inserted) {
     ++num_entries_;
@@ -136,6 +155,7 @@ void CorrelationMap::InsertRow(RowId row) {
 }
 
 Status CorrelationMap::DeleteRow(RowId row) {
+  ++epoch_;
   const CmKey ukey = UKeyOfRow(row);
   auto mit = map_.find(ukey);
   if (mit == map_.end()) return Status::NotFound("u-key not mapped");
@@ -149,7 +169,7 @@ Status CorrelationMap::DeleteRow(RowId row) {
     --num_entries_;
     if (mit->second.empty()) {
       map_.erase(mit);
-      directory_dirty_ = true;
+      NoteKeyErased(ukey);
     }
   }
   return Status::OK();
@@ -159,7 +179,10 @@ size_t CorrelationMap::InsertRowsBatched(std::span<const RowId> rows) {
   // Bucket every row once, then sort so equal u-keys (and within them,
   // equal clustered ordinals) are adjacent: one hash traversal per
   // distinct u-key and one count upsert per distinct pair, instead of one
-  // hash traversal per row.
+  // hash traversal per row. An empty batch must not bump the epoch (it
+  // would invalidate cached lookups for a no-op).
+  if (rows.empty()) return 0;
+  ++epoch_;
   std::vector<std::pair<CmKey, int64_t>> pairs;
   pairs.reserve(rows.size());
   for (RowId r : rows) {
@@ -176,7 +199,7 @@ size_t CorrelationMap::InsertRowsBatched(std::span<const RowId> rows) {
   while (i < pairs.size()) {
     const CmKey key = pairs[i].first;
     auto [mit, new_key] = map_.try_emplace(key);
-    if (new_key) directory_dirty_ = true;
+    if (new_key) NoteKeyAdded(key);
     while (i < pairs.size() && pairs[i].first == key) {
       const int64_t c = pairs[i].second;
       uint32_t cnt = 0;
@@ -199,8 +222,9 @@ size_t CorrelationMap::InsertRowsBatched(std::span<const RowId> rows) {
 
 void CorrelationMap::InsertValues(std::span<const Key> u_keys,
                                   int64_t c_ordinal) {
+  ++epoch_;
   auto [mit, new_key] = map_.try_emplace(UKeyOfValues(u_keys));
-  if (new_key) directory_dirty_ = true;
+  if (new_key) NoteKeyAdded(mit->first);
   auto [it, inserted] = mit->second.emplace(c_ordinal, 1);
   if (inserted) {
     ++num_entries_;
@@ -211,7 +235,9 @@ void CorrelationMap::InsertValues(std::span<const Key> u_keys,
 
 Status CorrelationMap::DeleteValues(std::span<const Key> u_keys,
                                     int64_t c_ordinal) {
-  auto mit = map_.find(UKeyOfValues(u_keys));
+  ++epoch_;
+  const CmKey ukey = UKeyOfValues(u_keys);
+  auto mit = map_.find(ukey);
   if (mit == map_.end()) return Status::NotFound("u-key not mapped");
   auto cit = mit->second.find(c_ordinal);
   if (cit == mit->second.end()) {
@@ -222,7 +248,7 @@ Status CorrelationMap::DeleteValues(std::span<const Key> u_keys,
     --num_entries_;
     if (mit->second.empty()) {
       map_.erase(mit);
-      directory_dirty_ = true;
+      NoteKeyErased(ukey);
     }
   }
   return Status::OK();
@@ -272,14 +298,47 @@ bool CorrelationMap::MatchesConstraints(
   return true;
 }
 
+void CorrelationMap::NoteKeyDirty(std::vector<CmKey>* delta,
+                                  const CmKey& key) {
+  if (directory_full_rebuild_) return;
+  delta->push_back(key);
+  // Past the threshold an incremental merge no longer beats the wholesale
+  // rebuild; degrade once and drop the (now pointless) delta. Repeated
+  // notes of one hot key all count toward the threshold, so a key toggled
+  // many times between syncs can trigger a rebuild for a small true dirty
+  // set -- a deliberately conservative (cheap) size test.
+  if ((delta_added_.size() + delta_erased_.size()) *
+          kDirectoryDeltaMaxInverseFraction >
+      std::max<size_t>(kDirectoryDeltaMinKeys, map_.size())) {
+    directory_full_rebuild_ = true;
+    delta_added_.clear();
+    delta_erased_.clear();
+  }
+}
+
+void CorrelationMap::NoteKeyAdded(const CmKey& key) {
+  NoteKeyDirty(&delta_added_, key);
+}
+
+void CorrelationMap::NoteKeyErased(const CmKey& key) {
+  NoteKeyDirty(&delta_erased_, key);
+}
+
 void CorrelationMap::EnsureDirectory() const {
-  if (!directory_dirty_) return;
+  if (directory_full_rebuild_) {
+    RebuildDirectory();
+  } else if (!delta_added_.empty() || !delta_erased_.empty()) {
+    MergeDirectoryDelta();
+  }
+}
+
+void CorrelationMap::RebuildDirectory() const {
   const size_t arity = options_.u_cols.size();
   directory_.assign(arity, {});
   for (auto& d : directory_) d.reserve(map_.size());
   for (const auto& entry : map_) {
     for (size_t i = 0; i < arity; ++i) {
-      directory_[i].push_back({entry.first.v[i], &entry});
+      directory_[i].push_back({entry.first.v[i], &entry, entry.first});
     }
   }
   for (auto& d : directory_) {
@@ -287,13 +346,70 @@ void CorrelationMap::EnsureDirectory() const {
       return a.ordinal < b.ordinal;
     });
   }
-  directory_dirty_ = false;
+  directory_full_rebuild_ = false;
+  delta_added_.clear();
+  delta_erased_.clear();
+  ++directory_full_rebuilds_;
+}
+
+void CorrelationMap::MergeDirectoryDelta() const {
+  // Erases first: a key erased and later re-added appears in both deltas,
+  // and its directory slots (whose node pointers dangle) are matched by
+  // the stored key copy, never by dereferencing. Then the surviving added
+  // keys -- those still mapped -- are merged in as a sorted run per
+  // attribute, so an append-only workload pays O(delta log delta + n)
+  // instead of the O(n log n) wholesale rebuild.
+  const size_t arity = options_.u_cols.size();
+  if (!delta_erased_.empty()) {
+    std::sort(delta_erased_.begin(), delta_erased_.end());
+    delta_erased_.erase(
+        std::unique(delta_erased_.begin(), delta_erased_.end()),
+        delta_erased_.end());
+    for (auto& d : directory_) {
+      d.erase(std::remove_if(d.begin(), d.end(),
+                             [&](const DirEntry& e) {
+                               return std::binary_search(
+                                   delta_erased_.begin(),
+                                   delta_erased_.end(), e.key);
+                             }),
+              d.end());
+    }
+  }
+  if (!delta_added_.empty()) {
+    std::sort(delta_added_.begin(), delta_added_.end());
+    delta_added_.erase(std::unique(delta_added_.begin(), delta_added_.end()),
+                       delta_added_.end());
+    std::vector<DirEntry> adds;
+    adds.reserve(delta_added_.size());
+    for (size_t i = 0; i < arity; ++i) {
+      adds.clear();
+      for (const CmKey& key : delta_added_) {
+        auto it = map_.find(key);
+        if (it == map_.end()) continue;  // added then erased again
+        adds.push_back({key.v[i], &*it, key});
+      }
+      std::sort(adds.begin(), adds.end(),
+                [](const DirEntry& a, const DirEntry& b) {
+                  return a.ordinal < b.ordinal;
+                });
+      auto& d = directory_[i];
+      const size_t mid = d.size();
+      d.insert(d.end(), adds.begin(), adds.end());
+      std::inplace_merge(d.begin(), d.begin() + std::ptrdiff_t(mid), d.end(),
+                         [](const DirEntry& a, const DirEntry& b) {
+                           return a.ordinal < b.ordinal;
+                         });
+    }
+  }
+  delta_added_.clear();
+  delta_erased_.clear();
+  ++directory_incremental_merges_;
 }
 
 CmLookupResult CorrelationMap::Lookup(
     std::span<const CmColumnPredicate> preds) const {
   assert(preds.size() == options_.u_cols.size());
-  ++lookups_computed_;
+  lookups_computed_.fetch_add(1, std::memory_order_relaxed);
   std::vector<ColumnConstraint> cons;
   if (!BuildConstraints(preds, &cons)) return CmLookupResult{};
 
@@ -357,7 +473,7 @@ CmLookupResult CorrelationMap::Lookup(
   uint64_t pairs_probed = 0;
   for (auto it = run.first; it != run.second; ++it) {
     pairs_probed += it->entry->second.size();
-    if (!MatchesConstraints(it->entry->first, cons, probe_col)) continue;
+    if (!MatchesConstraints(it->key, cons, probe_col)) continue;
     for (const auto& [c, cnt] : it->entry->second) ordinals.push_back(c);
   }
   return MakeResult(std::move(ordinals), pairs_probed,
@@ -367,7 +483,7 @@ CmLookupResult CorrelationMap::Lookup(
 CmLookupResult CorrelationMap::LookupViaScan(
     std::span<const CmColumnPredicate> preds) const {
   assert(preds.size() == options_.u_cols.size());
-  ++lookups_computed_;
+  lookups_computed_.fetch_add(1, std::memory_order_relaxed);
   std::vector<ColumnConstraint> cons;
   if (!BuildConstraints(preds, &cons)) return CmLookupResult{};
   std::vector<int64_t> ordinals;
@@ -434,9 +550,12 @@ std::vector<CorrelationMap::Record> CorrelationMap::ToRecords() const {
 }
 
 Status CorrelationMap::LoadRecords(std::span<const Record> records) {
+  ++epoch_;
   map_.clear();
   num_entries_ = 0;
-  directory_dirty_ = true;
+  directory_full_rebuild_ = true;
+  delta_added_.clear();
+  delta_erased_.clear();
   for (const auto& rec : records) {
     if (rec.u.n != options_.u_cols.size()) {
       return Status::Corruption("record arity mismatch");

@@ -11,13 +11,16 @@
 //
 // Two lookup paths exist. Point predicates probe the hash map directly.
 // Range predicates binary-search a sorted bucket-ordinal directory (one
-// sorted (ordinal, entry) vector per CM attribute, rebuilt lazily on a
-// dirty flag after maintenance) to a contiguous run of u-keys, instead of
-// scanning the whole map as the original representation required.
+// sorted (ordinal, entry) vector per CM attribute) to a contiguous run of
+// u-keys, instead of scanning the whole map as the original representation
+// required. Maintenance queues added/erased u-keys as a delta; the next
+// sync merges a small sorted delta into the directory in place and only
+// rebuilds wholesale when the dirty set is large.
 #ifndef CORRMAP_CORE_CORRELATION_MAP_H_
 #define CORRMAP_CORE_CORRELATION_MAP_H_
 
 #include <array>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <map>
@@ -96,6 +99,11 @@ struct CmColumnPredicate {
   }
 };
 
+/// Order-sensitive 64-bit fingerprint of a compiled CM predicate vector
+/// (kind, point keys, range bounds per column). Cache layers use it --
+/// together with CM identity and epoch -- to key reusable lookup results.
+uint64_t FingerprintCmPredicates(std::span<const CmColumnPredicate> preds);
+
 /// Closed, contiguous run [lo, hi] of clustered ordinals.
 struct OrdinalRange {
   int64_t lo = 0;
@@ -142,13 +150,42 @@ class CorrelationMap {
   /// unordered_map moves intact. Copies must NOT share it -- the copied
   /// pointers would still target the source's nodes -- so a copy starts
   /// with a dirty directory and rebuilds on first range lookup.
-  CorrelationMap(CorrelationMap&&) = default;
-  CorrelationMap& operator=(CorrelationMap&&) = default;
+  CorrelationMap(CorrelationMap&& o) noexcept
+      : table_(o.table_),
+        options_(std::move(o.options_)),
+        map_(std::move(o.map_)),
+        num_entries_(o.num_entries_),
+        epoch_(o.epoch_),
+        directory_(std::move(o.directory_)),
+        directory_full_rebuild_(o.directory_full_rebuild_),
+        delta_added_(std::move(o.delta_added_)),
+        delta_erased_(std::move(o.delta_erased_)),
+        directory_full_rebuilds_(o.directory_full_rebuilds_),
+        directory_incremental_merges_(o.directory_incremental_merges_),
+        lookups_computed_(o.lookups_computed_.load()) {}
+  CorrelationMap& operator=(CorrelationMap&& o) noexcept {
+    if (this != &o) {
+      table_ = o.table_;
+      options_ = std::move(o.options_);
+      map_ = std::move(o.map_);
+      num_entries_ = o.num_entries_;
+      epoch_ = o.epoch_;
+      directory_ = std::move(o.directory_);
+      directory_full_rebuild_ = o.directory_full_rebuild_;
+      delta_added_ = std::move(o.delta_added_);
+      delta_erased_ = std::move(o.delta_erased_);
+      directory_full_rebuilds_ = o.directory_full_rebuilds_;
+      directory_incremental_merges_ = o.directory_incremental_merges_;
+      lookups_computed_.store(o.lookups_computed_.load());
+    }
+    return *this;
+  }
   CorrelationMap(const CorrelationMap& o)
       : table_(o.table_),
         options_(o.options_),
         map_(o.map_),
-        num_entries_(o.num_entries_) {}
+        num_entries_(o.num_entries_),
+        epoch_(o.epoch_) {}
   CorrelationMap& operator=(const CorrelationMap& o) {
     if (this != &o) *this = CorrelationMap(o);  // copy, then move-assign
     return *this;
@@ -177,6 +214,18 @@ class CorrelationMap {
   /// Clustered ordinal for a row (bucket id, or the order-preserving
   /// raw-key encoding when the clustered attribute is unbucketed).
   int64_t ClusteredOrdinalOfRow(RowId row) const;
+
+  /// Bucketed u-key of a row / of explicit attribute values. Public so the
+  /// sharded wrapper (src/serve/sharded_cm.h) can route maintenance to the
+  /// shard owning the key without re-implementing the bucketing.
+  CmKey UKeyOfRow(RowId row) const;
+  CmKey UKeyOfValues(std::span<const Key> u_keys) const;
+
+  /// Maintenance version counter: bumped by every maintenance entry point
+  /// (row/value inserts and deletes, batched inserts, rebuilds). Cache
+  /// layers key lookup results by (CM, predicate fingerprint, epoch) and
+  /// treat any epoch change as invalidation.
+  uint64_t Epoch() const { return epoch_; }
 
   /// cm_lookup (§5.2): clustered ordinals co-occurring with any u-key
   /// matching all column predicates (one per CM attribute, in u_cols
@@ -211,7 +260,29 @@ class CorrelationMap {
   /// Lookups actually computed (Lookup/LookupViaScan calls). Executor
   /// cache hits reuse a result without recomputing, so this is the test
   /// hook for the one-lookup-per-(CM, Query) guarantee.
-  uint64_t LookupsComputed() const { return lookups_computed_; }
+  uint64_t LookupsComputed() const {
+    return lookups_computed_.load(std::memory_order_relaxed);
+  }
+
+  /// True when the sorted bucket-ordinal directory reflects the map exactly
+  /// (no pending delta, no rebuild scheduled): a range Lookup will not
+  /// mutate directory state. Concurrent wrappers use this to decide
+  /// between a shared-lock fast path and an exclusive-lock rebuild.
+  bool DirectoryClean() const {
+    return !directory_full_rebuild_ && delta_added_.empty() &&
+           delta_erased_.empty();
+  }
+  /// Brings the directory up to date now (incremental merge when the dirty
+  /// set is small, wholesale rebuild otherwise) instead of lazily on the
+  /// next range lookup. Writers holding exclusive access call this so
+  /// readers stay on the shared-lock fast path.
+  void SyncDirectory() const { EnsureDirectory(); }
+  /// Observability for the two directory maintenance paths (tests assert
+  /// that small dirty sets merge instead of rebuilding).
+  uint64_t DirectoryFullRebuilds() const { return directory_full_rebuilds_; }
+  uint64_t DirectoryIncrementalMerges() const {
+    return directory_incremental_merges_;
+  }
 
   /// Bytes of one (u-key, ordinal) pair row under the paper's physical
   /// representation: 8 bytes per u attribute + 8-byte clustered ordinal +
@@ -248,11 +319,14 @@ class CorrelationMap {
   using HashMap = std::unordered_map<CmKey, CountMap, CmKeyHash>;
 
   /// One sorted-directory slot: the bucket ordinal of one u-attribute and
-  /// the map entry carrying it. Entry pointers are stable across rehashes;
-  /// the dirty flag guards erases and insertions.
+  /// the map entry carrying it. Entry pointers are stable across rehashes.
+  /// The u-key is duplicated by value so an incremental merge can drop
+  /// slots whose map node was erased (the pointer dangles and must not be
+  /// dereferenced) by comparing keys alone.
   struct DirEntry {
     int64_t ordinal;
     const HashMap::value_type* entry;
+    CmKey key;
   };
 
   /// Per-column ordinal constraint compiled from a CmColumnPredicate.
@@ -265,9 +339,6 @@ class CorrelationMap {
   CorrelationMap(const Table* table, CmOptions options)
       : table_(table), options_(std::move(options)) {}
 
-  CmKey UKeyOfRow(RowId row) const;
-  CmKey UKeyOfValues(std::span<const Key> u_keys) const;
-
   /// Compiles predicates to ordinal constraints; returns false when any
   /// column's constraint is provably empty (no key can match).
   bool BuildConstraints(std::span<const CmColumnPredicate> preds,
@@ -278,20 +349,44 @@ class CorrelationMap {
                                  std::span<const ColumnConstraint> cons,
                                  size_t skip);
 
-  /// Rebuilds the per-attribute sorted bucket-ordinal directory if dirty.
+  /// Brings the directory up to date if maintenance outdated it: merges
+  /// the sorted delta in place when the dirty set is small, rebuilds
+  /// wholesale otherwise.
   void EnsureDirectory() const;
+  void RebuildDirectory() const;
+  void MergeDirectoryDelta() const;
+
+  /// Records a u-key added to / erased from the map since the last
+  /// directory sync; degrades to a full rebuild when the delta outgrows
+  /// the incremental-merge threshold.
+  void NoteKeyDirty(std::vector<CmKey>* delta, const CmKey& key);
+  void NoteKeyAdded(const CmKey& key);
+  void NoteKeyErased(const CmKey& key);
 
   const Table* table_;
   CmOptions options_;
   HashMap map_;
   size_t num_entries_ = 0;
+  uint64_t epoch_ = 0;
+
+  /// Incremental-merge threshold: degrade to a wholesale rebuild once the
+  /// delta exceeds 1/kDirectoryDeltaMaxInverseFraction of the mapped keys
+  /// (but never below kDirectoryDeltaMinKeys, so tiny maps still merge).
+  static constexpr size_t kDirectoryDeltaMaxInverseFraction = 8;
+  static constexpr size_t kDirectoryDeltaMinKeys = 64;
 
   /// Sorted secondary directory: directory_[i] holds every mapped u-key
-  /// ordered by its i-th attribute's bucket ordinal. Rebuilt lazily when
-  /// maintenance adds or erases u-keys (count-only changes keep it valid).
+  /// ordered by its i-th attribute's bucket ordinal. Maintenance that adds
+  /// or erases u-keys queues a delta (count-only changes keep it valid);
+  /// the next sync merges a small delta in place and falls back to a
+  /// wholesale rebuild past the threshold above.
   mutable std::vector<std::vector<DirEntry>> directory_;
-  mutable bool directory_dirty_ = true;
-  mutable uint64_t lookups_computed_ = 0;
+  mutable bool directory_full_rebuild_ = true;
+  mutable std::vector<CmKey> delta_added_;
+  mutable std::vector<CmKey> delta_erased_;
+  mutable uint64_t directory_full_rebuilds_ = 0;
+  mutable uint64_t directory_incremental_merges_ = 0;
+  mutable std::atomic<uint64_t> lookups_computed_{0};
 };
 
 }  // namespace corrmap

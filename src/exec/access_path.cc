@@ -273,19 +273,24 @@ Result<std::vector<CmColumnPredicate>> CmPredicatesFor(
 
 const CmLookupResult* CmLookupCache::GetOrCompute(const CorrelationMap& cm,
                                                   const Query& query) {
-  auto it = cache_.find(&cm);
+  auto preds = CmPredicatesFor(cm, query);
+  // Inapplicable CMs key under fingerprint 0 (the predicates don't exist
+  // to hash); applicability only depends on the query's predicated
+  // columns, which the fingerprint distinguishes for applicable ones.
+  const EntryKey key{&cm,
+                     preds.ok() ? FingerprintCmPredicates(*preds) : 0};
+  auto it = cache_.find(key);
   if (it == cache_.end()) {
     std::optional<CmLookupResult> res;
-    auto preds = CmPredicatesFor(cm, query);
     if (preds.ok()) res = cm.Lookup(*preds);
-    it = cache_.emplace(&cm, std::move(res)).first;
+    it = cache_.emplace(key, std::move(res)).first;
   }
   return it->second.has_value() ? &*it->second : nullptr;
 }
 
 ExecResult CmScan(const Table& table, const CorrelationMap& cm,
                   const ClusteredIndex& cidx, const Query& query,
-                  const ExecOptions& opts, CmLookupCache* cache) {
+                  const ExecOptions& opts, CmLookupSource* cache) {
   ExecResult out;
   out.path = "cm_scan";
   CmLookupResult local;

@@ -101,20 +101,50 @@ ExecResult VirtualSortedIndexScan(const Table& table, const Query& query,
                                   size_t index_col,
                                   const ExecOptions& opts = {});
 
+/// Source of CM lookup results for costing and execution. The executor and
+/// CmScan consume this interface so the scope of reuse is the caller's
+/// choice: CmLookupCache below shares one result per (CM, Query) within a
+/// single Execute, while the serving layer's SharedCmLookupSource
+/// (src/serve/shared_lookup_cache.h) shares results across whole query
+/// streams keyed by (CM, predicate fingerprint, CM epoch).
+class CmLookupSource {
+ public:
+  virtual ~CmLookupSource() = default;
+
+  /// The lookup result for `cm` against `query`, computed or served from
+  /// whatever reuse scope the implementation provides. Returns nullptr
+  /// when the CM is inapplicable (some CM attribute is not predicated by
+  /// the query). The pointer stays valid until the source is destroyed or
+  /// reset.
+  virtual const CmLookupResult* GetOrCompute(const CorrelationMap& cm,
+                                             const Query& query) = 0;
+};
+
 /// Per-query cache of CM lookup results. The executor prices a candidate
 /// CM from the same CmLookupResult the chosen plan later executes with, so
 /// each (CM, Query) pair performs exactly one cm_lookup across costing and
-/// execution. Scoped to one query; do not reuse across maintenance.
-class CmLookupCache {
+/// execution. Entries are keyed by (CM, predicate fingerprint), so reuse
+/// across queries is safe -- but the cache never observes maintenance, so
+/// do not reuse it across CM updates (the serving layer's epoch-keyed
+/// SharedLookupCache covers that case).
+class CmLookupCache : public CmLookupSource {
  public:
-  /// The lookup result for `cm` against `query`, computed on first call
-  /// and served from the cache after. Returns nullptr when the CM is
-  /// inapplicable (some CM attribute is not predicated by the query).
   const CmLookupResult* GetOrCompute(const CorrelationMap& cm,
-                                     const Query& query);
+                                     const Query& query) override;
 
  private:
-  std::unordered_map<const CorrelationMap*, std::optional<CmLookupResult>>
+  struct EntryKey {
+    const CorrelationMap* cm;
+    uint64_t fingerprint;
+    bool operator==(const EntryKey&) const = default;
+  };
+  struct EntryKeyHash {
+    size_t operator()(const EntryKey& k) const {
+      return Mix64(uint64_t(reinterpret_cast<uintptr_t>(k.cm)) ^
+                   Mix64(k.fingerprint));
+    }
+  };
+  std::unordered_map<EntryKey, std::optional<CmLookupResult>, EntryKeyHash>
       cache_;
 };
 
@@ -125,7 +155,8 @@ class CmLookupCache {
 /// the lookup result is shared with (or reused from) plan costing.
 ExecResult CmScan(const Table& table, const CorrelationMap& cm,
                   const ClusteredIndex& cidx, const Query& query,
-                  const ExecOptions& opts = {}, CmLookupCache* cache = nullptr);
+                  const ExecOptions& opts = {},
+                  CmLookupSource* cache = nullptr);
 
 /// Builds the CmColumnPredicate vector for `cm` from `query`; fails if a CM
 /// attribute has no predicate in the query (§6.2.1: a CM applies only when

@@ -62,7 +62,7 @@ double Executor::EstimateSortedIndexMs(const SecondaryIndex& index,
 }
 
 double Executor::EstimateCmMs(const CorrelationMap& cm, const Query& query,
-                              CmLookupCache* cache) const {
+                              CmLookupSource* cache) const {
   // CMs are in memory: estimate directly from the actual lookup, computed
   // once here and reused verbatim by CmScan through the shared cache.
   const CmLookupResult* res = cache->GetOrCompute(cm, query);
@@ -89,10 +89,16 @@ double Executor::EstimateCmMs(const CorrelationMap& cm, const Query& query,
 }
 
 ExecutorResult Executor::Execute(const Query& query) const {
+  // The overload's fallback cache gives the one-lookup-per-(CM, Query)
+  // scope: costing fills it, execution reuses it.
+  return Execute(query, nullptr);
+}
+
+ExecutorResult Executor::Execute(const Query& query,
+                                 CmLookupSource* cm_lookups) const {
+  CmLookupCache local;
+  if (cm_lookups == nullptr) cm_lookups = &local;
   ExecutorResult out;
-  // One lookup per (CM, Query): costing fills this cache, execution reuses
-  // it.
-  CmLookupCache cm_cache;
 
   struct Candidate {
     enum Kind { kScan, kClustered, kSortedIndex, kCm } kind;
@@ -126,7 +132,7 @@ ExecutorResult Executor::Execute(const Query& query) const {
                               false});
   }
   for (const CorrelationMap* cm : cms_) {
-    const double est = EstimateCmMs(*cm, query, &cm_cache);
+    const double est = EstimateCmMs(*cm, query, cm_lookups);
     if (est < 0) continue;
     cands.push_back({Candidate::kCm, nullptr, cm, est});
     out.candidates.push_back({"cm_scan(" + cm->Name() + ")", est, false});
@@ -151,7 +157,7 @@ ExecutorResult Executor::Execute(const Query& query) const {
       break;
     case Candidate::kCm:
       out.result = CmScan(*table_, *cands[best].cm, *cidx_, query,
-                          exec_options_, &cm_cache);
+                          exec_options_, cm_lookups);
       break;
   }
   return out;

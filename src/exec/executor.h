@@ -44,8 +44,17 @@ class Executor {
   }
   void AttachCm(const CorrelationMap* cm) { cms_.push_back(cm); }
 
-  /// Estimates every applicable plan, runs the cheapest.
+  /// Estimates every applicable plan, runs the cheapest. CM candidates are
+  /// costed and executed from one per-query CmLookupCache, so each
+  /// (CM, Query) pair performs exactly one cm_lookup.
   ExecutorResult Execute(const Query& query) const;
+
+  /// Same, but CM lookup results flow through the caller-provided source
+  /// (nullptr falls back to a fresh per-query cache). Passing a
+  /// serving-layer shared cache (serve::SharedCmLookupSource) lets a
+  /// stream of similar queries reuse CmLookupResult runs across whole
+  /// Execute calls, invalidated by CM epoch changes.
+  ExecutorResult Execute(const Query& query, CmLookupSource* cm_lookups) const;
 
   /// Cost estimate for answering `query` by full scan.
   double EstimateScanMs() const;
@@ -53,11 +62,11 @@ class Executor {
  private:
   double EstimateSortedIndexMs(const SecondaryIndex& index,
                                const Query& query) const;
-  /// Costs a CM candidate from the shared per-query lookup result in
-  /// `cache`; the same result later drives CmScan, so each (CM, Query)
-  /// performs exactly one cm_lookup across costing and execution.
+  /// Costs a CM candidate from the shared lookup result in `cache`; the
+  /// same result later drives CmScan, so each (CM, Query) performs exactly
+  /// one cm_lookup across costing and execution.
   double EstimateCmMs(const CorrelationMap& cm, const Query& query,
-                      CmLookupCache* cache) const;
+                      CmLookupSource* cache) const;
 
   const Table* table_;
   const ClusteredIndex* cidx_;

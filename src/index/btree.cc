@@ -169,6 +169,73 @@ BTree::Node* BTree::InsertRec(Node* n, const CompositeKey& key, RowId rid,
   return right;
 }
 
+Status BTree::InsertMany(const CompositeKey& key, std::span<const RowId> rids,
+                         size_t* descents) {
+  // Reject in-batch duplicates up front (rids are sorted, so equal rids
+  // are adjacent); the bulk cursor below advances past what it inserts
+  // and would otherwise miss them.
+  for (size_t i = 1; i < rids.size(); ++i) {
+    if (rids[i] == rids[i - 1]) {
+      return Status::AlreadyExists("duplicate rid in batch");
+    }
+  }
+  size_t i = 0;
+  while (i < rids.size()) {
+    if (descents != nullptr) ++*descents;
+    // Descend once for (key, rids[i]), remembering the tightest separator
+    // to the right of the path: group entries at or past that separator
+    // belong to a later leaf and must not be bulk-placed here.
+    Node* n = root_;
+    bool has_bound = false;
+    CompositeKey bound_key;
+    RowId bound_rid = 0;
+    while (!n->leaf) {
+      Touch(n, /*dirty=*/false);
+      const size_t child_idx = n->UpperBound(key, rids[i]);
+      if (child_idx < n->keys.size()) {
+        has_bound = true;
+        bound_key = n->keys[child_idx];
+        bound_rid = n->rids[child_idx];
+      }
+      n = n->children[child_idx];
+    }
+    // Fill the leaf with the rest of the sorted group while it has spare
+    // capacity and the entries stay below the separator bound. `pos` only
+    // moves right because the rids ascend.
+    const size_t before = i;
+    size_t pos = n->LowerBound(key, rids[i]);
+    while (i < rids.size() && n->keys.size() < options_.leaf_capacity &&
+           (!has_bound || EntryLess(key, rids[i], bound_key, bound_rid))) {
+      while (pos < n->keys.size() &&
+             EntryLess(n->keys[pos], n->rids[pos], key, rids[i])) {
+        ++pos;
+      }
+      if (pos < n->keys.size() && n->keys[pos] == key &&
+          n->rids[pos] == rids[i]) {
+        // Keep the dirty mark for whatever this call already placed.
+        if (i > before) Touch(n, /*dirty=*/true);
+        return Status::AlreadyExists("duplicate (key, rid) entry");
+      }
+      n->keys.insert(n->keys.begin() + std::ptrdiff_t(pos), key);
+      n->rids.insert(n->rids.begin() + std::ptrdiff_t(pos), rids[i]);
+      ++pos;
+      ++num_entries_;
+      ++i;
+    }
+    if (i > before) {
+      Touch(n, /*dirty=*/true);
+    } else {
+      // Leaf full (or the entry routes past the bound): per-entry insert
+      // handles the split, then the loop re-descends for the remainder.
+      if (descents != nullptr) ++*descents;
+      Status s = Insert(key, rids[i]);
+      if (!s.ok()) return s;
+      ++i;
+    }
+  }
+  return Status::OK();
+}
+
 Status BTree::Delete(const CompositeKey& key, RowId rid) {
   Node* n = root_;
   while (!n->leaf) {

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,19 @@ class BTree {
 
   /// Inserts one entry. Duplicate (key, rid) pairs are rejected.
   Status Insert(const CompositeKey& key, RowId rid);
+
+  /// Inserts every (key, rid) entry for one key in a single descent: the
+  /// target leaf is located once and filled with as much of the sorted rid
+  /// group as it can hold, touching that leaf page once instead of once
+  /// per rid (the batched-maintenance grouping the CM path already has).
+  /// Spillover past the leaf's capacity or key space falls back to the
+  /// per-entry path, which handles splits and re-descends. `rids` must be
+  /// sorted ascending; duplicates (in the batch or of existing entries)
+  /// are rejected. `descents` (when non-null) accumulates the number of
+  /// root-to-leaf descents actually performed -- 1 in the common case,
+  /// more when the group spills -- for CPU-cost accounting.
+  Status InsertMany(const CompositeKey& key, std::span<const RowId> rids,
+                    size_t* descents = nullptr);
 
   /// Removes one entry; NotFound if absent.
   Status Delete(const CompositeKey& key, RowId rid);

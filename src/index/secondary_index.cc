@@ -1,6 +1,8 @@
 #include "index/secondary_index.h"
 
+#include <algorithm>
 #include <cassert>
+#include <compare>
 
 namespace corrmap {
 
@@ -38,6 +40,36 @@ Status SecondaryIndex::InsertRow(RowId row) {
 
 Status SecondaryIndex::DeleteRow(RowId row) {
   return tree_->Delete(KeyOfRow(row), row);
+}
+
+Status SecondaryIndex::InsertRowsBatched(std::span<const RowId> rows,
+                                         size_t* descents) {
+  std::vector<std::pair<CompositeKey, RowId>> entries;
+  entries.reserve(rows.size());
+  for (RowId r : rows) entries.emplace_back(KeyOfRow(r), r);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              auto c = a.first <=> b.first;
+              if (c != std::strong_ordering::equal) {
+                return c == std::strong_ordering::less;
+              }
+              return a.second < b.second;
+            });
+  size_t n_descents = 0;
+  std::vector<RowId> group_rids;
+  size_t i = 0;
+  while (i < entries.size()) {
+    const CompositeKey& key = entries[i].first;
+    group_rids.clear();
+    while (i < entries.size() && entries[i].first == key) {
+      group_rids.push_back(entries[i].second);
+      ++i;
+    }
+    Status s = tree_->InsertMany(key, group_rids, &n_descents);
+    if (!s.ok()) return s;
+  }
+  if (descents != nullptr) *descents = n_descents;
+  return Status::OK();
 }
 
 std::vector<RowId> SecondaryIndex::LookupEqual(const CompositeKey& key) const {

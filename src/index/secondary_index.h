@@ -5,6 +5,7 @@
 #define CORRMAP_INDEX_SECONDARY_INDEX_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,18 @@ class SecondaryIndex {
   /// are read from the table).
   Status InsertRow(RowId row);
   Status DeleteRow(RowId row);
+
+  /// Batched maintenance mirroring CorrelationMap::InsertRowsBatched:
+  /// sorts the batch by (key, rid), groups runs of equal keys, and applies
+  /// each group through BTree::InsertMany so a leaf page is touched once
+  /// per batch per distinct key instead of once per row (a group spilling
+  /// past its leaf's capacity re-descends per spilled row). Post-state is
+  /// identical to calling InsertRow per row. On success `*descents` (when
+  /// non-null) receives the number of tree descents performed -- the unit
+  /// of maintenance CPU, equal to the distinct-key count when no group
+  /// spills.
+  Status InsertRowsBatched(std::span<const RowId> rows,
+                           size_t* descents = nullptr);
 
   /// Maintenance from explicit key parts (used when the row's values are
   /// known without a table read, e.g. batched appends).

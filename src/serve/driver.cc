@@ -1,0 +1,155 @@
+#include "serve/driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <latch>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace corrmap::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+void StallFor(double us) {
+  if (us <= 0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::micro>(us));
+}
+
+LatencySummary Summarize(std::vector<double>* latencies_us) {
+  LatencySummary out;
+  if (latencies_us->empty()) return out;
+  std::sort(latencies_us->begin(), latencies_us->end());
+  auto at = [&](double q) {
+    const size_t idx = std::min(latencies_us->size() - 1,
+                                size_t(q * double(latencies_us->size())));
+    return (*latencies_us)[idx];
+  };
+  out.p50_us = at(0.50);
+  out.p99_us = at(0.99);
+  out.max_us = latencies_us->back();
+  double sum = 0;
+  for (double v : *latencies_us) sum += v;
+  out.mean_us = sum / double(latencies_us->size());
+  return out;
+}
+
+}  // namespace
+
+DriverReport WorkloadDriver::Run(
+    std::span<const Query> query_pool,
+    std::span<const std::vector<std::vector<Key>>> append_batches) {
+  DriverReport report;
+  if (query_pool.empty() || options_.reader_threads == 0) return report;
+
+  struct ReaderState {
+    std::vector<double> latencies_us;
+    uint64_t matches = 0;
+    uint64_t cache_hits = 0;
+    double simulated_ms = 0;
+    Clock::time_point finished;
+  };
+  std::vector<ReaderState> readers(options_.reader_threads);
+  std::atomic<uint64_t> rows_appended{0};
+  std::atomic<uint64_t> batches_appended{0};
+  std::atomic<uint64_t> append_rejections{0};
+
+  const size_t n_threads =
+      options_.reader_threads +
+      (append_batches.empty() ? 0 : options_.writer_threads);
+  std::latch start(std::ptrdiff_t(n_threads) + 1);
+  std::vector<std::thread> threads;
+  threads.reserve(n_threads);
+
+  for (size_t t = 0; t < options_.reader_threads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(options_.seed + 0x1000 * (t + 1));
+      ReaderState& me = readers[t];
+      me.latencies_us.reserve(options_.lookups_per_reader);
+      start.arrive_and_wait();
+      for (size_t i = 0; i < options_.lookups_per_reader; ++i) {
+        const int64_t pick =
+            rng.UniformInt(0, int64_t(query_pool.size()) - 1);
+        const Query& q = query_pool[size_t(pick)];
+        const Clock::time_point t0 = Clock::now();
+        SelectResult res;
+        if (options_.use_worker_pool) {
+          res = engine_->Submit(q).get();
+        } else {
+          res = engine_->ExecuteSelect(q);
+        }
+        StallFor(res.simulated_ms * options_.io_stall_us_per_simulated_ms);
+        me.latencies_us.push_back(MicrosBetween(t0, Clock::now()));
+        me.matches += res.num_matches;
+        me.cache_hits += res.cache_hit ? 1 : 0;
+        me.simulated_ms += res.simulated_ms;
+      }
+      me.finished = Clock::now();
+    });
+  }
+
+  if (!append_batches.empty()) {
+    for (size_t w = 0; w < options_.writer_threads; ++w) {
+      threads.emplace_back([&, w] {
+        start.arrive_and_wait();
+        for (size_t i = 0; i < options_.batches_per_writer; ++i) {
+          const auto& batch =
+              append_batches[(w * options_.batches_per_writer + i) %
+                             append_batches.size()];
+          Status s;
+          if (options_.use_worker_pool) {
+            s = engine_->Append(batch).get();
+          } else {
+            s = engine_->ApplyAppend(batch);
+          }
+          if (s.ok()) {
+            rows_appended.fetch_add(batch.size(), std::memory_order_relaxed);
+            batches_appended.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            append_rejections.fetch_add(1, std::memory_order_relaxed);
+          }
+          StallFor(options_.writer_pause_us);
+        }
+      });
+    }
+  }
+
+  // Stamp before releasing the latch: on a single core the readers can
+  // finish before this thread runs again, and the window must not be 0.
+  const Clock::time_point go = Clock::now();
+  start.arrive_and_wait();
+  for (std::thread& th : threads) th.join();
+
+  Clock::time_point last_reader = go;
+  std::vector<double> all_latencies;
+  for (ReaderState& r : readers) {
+    last_reader = std::max(last_reader, r.finished);
+    report.lookup_matches += r.matches;
+    report.lookup_cache_hits += r.cache_hits;
+    report.simulated_select_ms += r.simulated_ms;
+    all_latencies.insert(all_latencies.end(), r.latencies_us.begin(),
+                         r.latencies_us.end());
+  }
+  report.lookups = all_latencies.size();
+  report.wall_seconds = MicrosBetween(go, last_reader) / 1e6;
+  report.lookups_per_second =
+      report.wall_seconds > 0 ? double(report.lookups) / report.wall_seconds
+                              : 0;
+  report.lookup_latency = Summarize(&all_latencies);
+  report.rows_appended = rows_appended.load();
+  report.batches_appended = batches_appended.load();
+  report.append_rejections = append_rejections.load();
+  report.cache = engine_->cache().stats();
+  return report;
+}
+
+}  // namespace corrmap::serve

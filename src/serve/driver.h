@@ -1,0 +1,88 @@
+// Multi-threaded workload driver: replays Fig.-9-style mixed insert/select
+// traffic against a ServingEngine at configurable reader/writer thread
+// counts and reports wall-clock throughput plus latency percentiles.
+//
+// Readers sample queries uniformly from a caller-supplied pool; writers
+// replay pre-generated append batches (generated before the run so no
+// thread reads the table while another appends outside the engine's
+// contract). Each operation may be followed by an emulated device stall
+// proportional to its simulated disk cost: the repository's experiments
+// charge I/O in simulated milliseconds, and sleeping a configurable
+// fraction of that cost turns the simulation into actual blocking time --
+// which is what makes reader-thread scaling observable even on a single
+// core, exactly as it would be against a real device.
+#ifndef CORRMAP_SERVE_DRIVER_H_
+#define CORRMAP_SERVE_DRIVER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "exec/predicate.h"
+#include "serve/serving_engine.h"
+
+namespace corrmap::serve {
+
+struct DriverOptions {
+  size_t reader_threads = 4;
+  size_t writer_threads = 0;
+  /// Selects each reader thread issues.
+  size_t lookups_per_reader = 1000;
+  /// Append batches each writer thread applies (cycling through the
+  /// pre-generated batch list).
+  size_t batches_per_writer = 0;
+  /// Emulated device wait: sleep this many microseconds per simulated
+  /// disk millisecond after each select. 0 disables the stall.
+  double io_stall_us_per_simulated_ms = 0;
+  /// Fixed pacing sleep between a writer's batches, in microseconds.
+  double writer_pause_us = 0;
+  /// Route selects through Submit() and the engine's worker pool (true)
+  /// or call ExecuteSelect inline from the reader threads (false).
+  bool use_worker_pool = true;
+  uint64_t seed = 0x5e21;
+};
+
+struct LatencySummary {
+  double p50_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+  double mean_us = 0;
+};
+
+struct DriverReport {
+  uint64_t lookups = 0;
+  uint64_t lookup_matches = 0;
+  uint64_t lookup_cache_hits = 0;
+  uint64_t batches_appended = 0;
+  uint64_t rows_appended = 0;
+  uint64_t append_rejections = 0;  ///< capacity-exhausted batches
+  /// First reader start to last reader finish.
+  double wall_seconds = 0;
+  double lookups_per_second = 0;
+  /// Sum of per-select simulated disk cost (the simulation-domain view).
+  double simulated_select_ms = 0;
+  /// Select latency including queue wait and the emulated device stall.
+  LatencySummary lookup_latency;
+  SharedLookupCache::Stats cache;
+};
+
+class WorkloadDriver {
+ public:
+  WorkloadDriver(ServingEngine* engine, DriverOptions options)
+      : engine_(engine), options_(options) {}
+
+  /// Runs the configured reader/writer threads to completion.
+  /// `append_batches` must stay alive for the duration; writers cycle
+  /// through it round-robin and may replay a batch more than once.
+  DriverReport Run(std::span<const Query> query_pool,
+                   std::span<const std::vector<std::vector<Key>>>
+                       append_batches);
+
+ private:
+  ServingEngine* engine_;
+  DriverOptions options_;
+};
+
+}  // namespace corrmap::serve
+
+#endif  // CORRMAP_SERVE_DRIVER_H_

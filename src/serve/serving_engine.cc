@@ -1,0 +1,251 @@
+#include "serve/serving_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace corrmap::serve {
+
+ServingEngine::ServingEngine(Table* table, const ClusteredIndex* cidx,
+                             ServingOptions options)
+    : table_(table),
+      cidx_(cidx),
+      options_(options),
+      clustered_boundary_(RowId(table->NumRows())) {
+  assert(table_->clustered_column() == int(cidx_->column()) &&
+         "table must be clustered with cidx built over the clustered column");
+  const size_t reserve =
+      options_.reserve_rows > 0
+          ? options_.reserve_rows
+          : table_->NumRows() + ServingOptions::kDefaultAppendHeadroom;
+  table_->Reserve(reserve);
+  StartWorkers(options_.num_workers);
+}
+
+ServingEngine::~ServingEngine() { StopWorkers(); }
+
+Status ServingEngine::AttachCm(CmOptions cm_options) {
+  if (cm_options.c_buckets != nullptr) {
+    return Status::InvalidArgument(
+        "serving engine requires an unbucketed clustered attribute: "
+        "positional clustered buckets do not cover the append tail");
+  }
+  auto scm = ShardedCorrelationMap::Create(table_, std::move(cm_options),
+                                           options_.num_cm_shards);
+  if (!scm.ok()) return scm.status();
+  auto owned = std::make_unique<ShardedCorrelationMap>(std::move(*scm));
+  Status s = owned->BuildFromTable();
+  if (!s.ok()) return s;
+  cms_.push_back(std::move(owned));
+  return Status::OK();
+}
+
+bool ServingEngine::CompilePredicates(const ShardedCorrelationMap& scm,
+                                      const Query& query,
+                                      std::vector<CmColumnPredicate>* out) {
+  out->clear();
+  for (size_t ucol : scm.options().u_cols) {
+    const Predicate* found = nullptr;
+    for (const Predicate& p : query.predicates()) {
+      if (p.column() == ucol) found = &p;
+    }
+    if (found == nullptr) return false;
+    if (found->op() == Predicate::Op::kRange) {
+      out->push_back(CmColumnPredicate::Range(found->lo(), found->hi()));
+    } else {
+      out->push_back(CmColumnPredicate::Points(found->keys()));
+    }
+  }
+  return true;
+}
+
+SelectResult ServingEngine::ExecuteSelect(const Query& query) const {
+  SelectResult out;
+  DiskStats io;
+  // Snapshot the published row count once: everything below this row is
+  // fully written (release/acquire pairing with the append path).
+  const size_t n_rows = table_->NumRows();
+  const uint64_t gap =
+      uint64_t(options_.disk.seek_ms() / options_.disk.seq_page_ms());
+
+  const ShardedCorrelationMap* best = nullptr;
+  std::vector<CmColumnPredicate> preds;
+  for (const auto& scm : cms_) {
+    if (CompilePredicates(*scm, query, &preds)) {
+      best = scm.get();
+      break;
+    }
+  }
+
+  if (best == nullptr) {
+    // No applicable CM: sequential scan of the whole heap.
+    for (RowId r = 0; r < n_rows; ++r) {
+      ++out.rows_examined;
+      if (table_->IsDeleted(r)) continue;
+      if (query.Matches(*table_, r)) ++out.num_matches;
+    }
+    io.seq_pages += table_->layout().NumPages(n_rows);
+    out.simulated_ms = options_.disk.CostMs(io);
+    return out;
+  }
+
+  out.used_cm = true;
+  // Cross-query reuse: (CM identity, predicate fingerprint, epoch). A
+  // result computed while maintenance interleaved (epoch moved) is used
+  // once but never published.
+  const uint64_t fp = SharedLookupCache::Fingerprint(preds);
+  const uint64_t epoch = best->Epoch();
+  SharedLookupCache::ResultPtr res = cache_.Get(best, fp, epoch);
+  out.cache_hit = res != nullptr;
+  if (res == nullptr) {
+    auto computed =
+        std::make_shared<const CmLookupResult>(best->Lookup(preds));
+    if (best->Epoch() == epoch) cache_.Put(best, fp, epoch, computed);
+    res = std::move(computed);
+  }
+
+  // Translate ordinal runs to clustered row ranges (the tail is handled
+  // separately below; cidx only covers rows < clustered_boundary_).
+  std::vector<RowRange> ranges;
+  ranges.reserve(res->ranges.size());
+  for (const OrdinalRange& r : res->ranges) {
+    RowRange range = cidx_->LookupRange(best->DecodeClusteredOrdinal(r.lo),
+                                        best->DecodeClusteredOrdinal(r.hi));
+    // The clustered index closes its last key's range at the table's live
+    // row count, which now includes the unclustered tail; clamp so tail
+    // rows are examined exactly once (by the tail sweep below).
+    range.end = std::min(range.end, RowId(clustered_boundary_));
+    if (!range.empty()) ranges.push_back(range);
+  }
+  std::sort(ranges.begin(), ranges.end(),
+            [](const RowRange& a, const RowRange& b) {
+              return a.begin < b.begin;
+            });
+  io.seeks += uint64_t(res->ranges.size()) * cidx_->BTreeHeight();
+  std::vector<PageNo> pages;
+  for (const RowRange& range : ranges) {
+    const PageNo first = table_->layout().PageOfRow(range.begin);
+    const PageNo last = table_->layout().PageOfRow(range.end - 1);
+    for (PageNo p = first; p <= last; ++p) pages.push_back(p);
+    for (RowId r = range.begin; r < range.end; ++r) {
+      ++out.rows_examined;
+      if (table_->IsDeleted(r)) continue;
+      if (query.Matches(*table_, r)) ++out.num_matches;
+    }
+  }
+  io += CostOfRuns(ExtractRuns(std::move(pages), gap));
+
+  // Unclustered append tail: one sequential sweep, full re-filter. This is
+  // what makes a freshly appended row visible to selects immediately.
+  if (clustered_boundary_ < n_rows) {
+    for (RowId r = clustered_boundary_; r < n_rows; ++r) {
+      ++out.rows_examined;
+      if (table_->IsDeleted(r)) continue;
+      if (query.Matches(*table_, r)) ++out.num_matches;
+    }
+    ++io.seeks;
+    io.seq_pages += table_->layout().PageOfRow(n_rows - 1) -
+                    table_->layout().PageOfRow(clustered_boundary_) + 1;
+  }
+  out.simulated_ms = options_.disk.CostMs(io);
+  return out;
+}
+
+Status ServingEngine::ApplyAppend(std::span<const std::vector<Key>> rows) {
+  if (rows.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(append_mu_);
+  if (table_->NumRows() + rows.size() > table_->ReservedRows()) {
+    return Status::ResourceExhausted(
+        "append past the table's reserved capacity; concurrent readers "
+        "require append-without-reallocation");
+  }
+  std::vector<RowId> rids;
+  rids.reserve(rows.size());
+  for (const std::vector<Key>& row : rows) {
+    const RowId rid = RowId(table_->NumRows());
+    table_->AppendRowKeys(std::span<const Key>(row.data(), row.size()));
+    rids.push_back(rid);
+  }
+  // CM maintenance after heap publication: selects that race this batch
+  // find the new rows via the tail sweep whether or not their CM entries
+  // have landed, so the probe==scan invariant holds throughout.
+  for (const auto& scm : cms_) scm->InsertRowsBatched(rids);
+  return Status::OK();
+}
+
+std::future<SelectResult> ServingEngine::Submit(Query query) {
+  auto task = std::make_shared<std::packaged_task<SelectResult()>>(
+      [this, q = std::move(query)] { return ExecuteSelect(q); });
+  std::future<SelectResult> fut = task->get_future();
+  Enqueue([task] { (*task)(); });
+  return fut;
+}
+
+std::future<Status> ServingEngine::Append(std::vector<std::vector<Key>> rows) {
+  auto task = std::make_shared<std::packaged_task<Status()>>(
+      [this, r = std::move(rows)] {
+        return ApplyAppend(std::span<const std::vector<Key>>(r));
+      });
+  std::future<Status> fut = task->get_future();
+  Enqueue([task] { (*task)(); });
+  return fut;
+}
+
+void ServingEngine::ResizeWorkerPool(size_t n) {
+  StopWorkers();
+  StartWorkers(n);
+}
+
+void ServingEngine::StartWorkers(size_t n) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = false;
+  }
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ServingEngine::StopWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+}
+
+void ServingEngine::Enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(std::move(fn));
+  }
+  queue_cv_.notify_one();
+}
+
+void ServingEngine::WorkerLoop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue before honoring a stop so ResizeWorkerPool never
+      // strands submitted futures.
+      if (queue_.empty()) return;
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    fn();
+  }
+}
+
+Status ServingEngine::CheckInvariants() const {
+  for (const auto& scm : cms_) {
+    Status s = scm->CheckInvariants();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace corrmap::serve

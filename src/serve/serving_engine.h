@@ -1,0 +1,145 @@
+// The concurrent serving layer: one ServingEngine owns a clustered table
+// plus its sharded CorrelationMaps and exposes thread-safe Submit(Query) /
+// Append(rows) APIs backed by a fixed worker pool, the shape the paper's
+// Fig. 9 mixed insert/select stream takes when driven by many clients.
+//
+// Read path: the first attached CM whose attributes the query predicates
+// answers via cm_lookup -- served from the process-wide SharedLookupCache
+// when a similar query already computed the runs at the CM's current epoch
+// -- and the resulting clustered ordinal runs are swept and re-filtered on
+// the full predicate. Rows appended after the table was clustered live in
+// an unclustered tail [clustered_boundary, NumRows); the clustered index
+// does not cover them, so every CM-driven select finishes with a
+// sequential tail sweep. That keeps the probe==scan invariant exact under
+// concurrent appends: a row is visible to selects as soon as the table
+// publishes it, whether or not its CM entries have landed.
+//
+// Write path: ApplyAppend serializes whole append transactions (heap rows
+// + CM maintenance) behind one mutex; the table publishes each row with a
+// release store and the sharded CMs take their per-shard exclusive locks,
+// so concurrent selects never block for longer than one shard update.
+#ifndef CORRMAP_SERVE_SERVING_ENGINE_H_
+#define CORRMAP_SERVE_SERVING_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/predicate.h"
+#include "index/clustered_index.h"
+#include "serve/shared_lookup_cache.h"
+#include "serve/sharded_cm.h"
+#include "storage/disk_model.h"
+#include "storage/table.h"
+
+namespace corrmap::serve {
+
+struct ServingOptions {
+  /// Fixed worker pool size for the async Submit/Append APIs.
+  size_t num_workers = 4;
+  /// Shards per attached CM.
+  size_t num_cm_shards = ShardedCorrelationMap::kDefaultShards;
+  /// Row capacity to pre-reserve in the table. Concurrent readers require
+  /// append-without-reallocation (see storage/table.h), so Append refuses
+  /// rows beyond the reservation instead of growing it. 0 reserves the
+  /// current row count plus kDefaultAppendHeadroom so Append works out of
+  /// the box.
+  size_t reserve_rows = 0;
+  static constexpr size_t kDefaultAppendHeadroom = 1 << 16;
+  /// Simulated-cost reporting (paper Table 1 constants by default).
+  DiskModel disk;
+};
+
+/// Outcome of one select through the engine.
+struct SelectResult {
+  uint64_t num_matches = 0;
+  uint64_t rows_examined = 0;
+  double simulated_ms = 0;  ///< disk-model cost of the access pattern
+  bool used_cm = false;     ///< answered via a CM (else full scan)
+  bool cache_hit = false;   ///< cm_lookup served from the shared cache
+};
+
+class ServingEngine {
+ public:
+  /// `table` must already be clustered with `cidx` built over the
+  /// clustered column. Both must outlive the engine.
+  ServingEngine(Table* table, const ClusteredIndex* cidx,
+                ServingOptions options = {});
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Builds a sharded CM over the current table contents and attaches it.
+  /// Setup-phase only: attach every CM before traffic starts (the CM list
+  /// itself is unsynchronized; concurrent Submit/ExecuteSelect iterate
+  /// it). Clustered-attribute bucketing is rejected: positional bucket
+  /// ids do not extend to rows appended after clustering (the tail), and
+  /// the serving engine must keep serving while the tail grows.
+  Status AttachCm(CmOptions cm_options);
+
+  /// Synchronous thread-safe select; Submit routes here from the pool.
+  SelectResult ExecuteSelect(const Query& query) const;
+
+  /// Synchronous thread-safe append of whole rows (physical keys, schema
+  /// arity): appends to the heap, then updates every attached CM.
+  /// ResourceExhausted once the table's reservation is full.
+  Status ApplyAppend(std::span<const std::vector<Key>> rows);
+
+  /// Async APIs backed by the worker pool.
+  std::future<SelectResult> Submit(Query query);
+  std::future<Status> Append(std::vector<std::vector<Key>> rows);
+
+  /// Stops the pool, waits for queued work, and restarts with `n` workers
+  /// (benchmarks sweep pool sizes on one engine).
+  void ResizeWorkerPool(size_t n);
+
+  size_t num_cms() const { return cms_.size(); }
+  const ShardedCorrelationMap& cm(size_t i) const { return *cms_[i]; }
+  SharedLookupCache& cache() const { return cache_; }
+  /// First row of the unclustered append tail.
+  RowId clustered_boundary() const { return clustered_boundary_; }
+  const Table& table() const { return *table_; }
+
+  /// Invariants of every attached sharded CM (call at quiescence).
+  Status CheckInvariants() const;
+
+ private:
+  void StartWorkers(size_t n);
+  void StopWorkers();
+  void Enqueue(std::function<void()> fn);
+  void WorkerLoop();
+
+  /// Compiles the query's predicates for `scm`'s attributes; false when
+  /// some CM attribute is unpredicated (CM inapplicable, §6.2.1).
+  static bool CompilePredicates(const ShardedCorrelationMap& scm,
+                                const Query& query,
+                                std::vector<CmColumnPredicate>* out);
+
+  Table* table_;
+  const ClusteredIndex* cidx_;
+  ServingOptions options_;
+  RowId clustered_boundary_;
+  std::vector<std::unique_ptr<ShardedCorrelationMap>> cms_;
+  mutable SharedLookupCache cache_;
+
+  std::mutex append_mu_;  ///< serializes append transactions end-to-end
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace corrmap::serve
+
+#endif  // CORRMAP_SERVE_SERVING_ENGINE_H_

@@ -1,0 +1,222 @@
+#include "serve/sharded_cm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <mutex>
+
+namespace corrmap::serve {
+
+Result<ShardedCorrelationMap> ShardedCorrelationMap::Create(
+    const Table* table, CmOptions options, size_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("need at least one shard");
+  }
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto cm = CorrelationMap::Create(table, options);
+    if (!cm.ok()) return cm.status();
+    shards.push_back(std::make_unique<Shard>(std::move(*cm)));
+  }
+  return ShardedCorrelationMap(std::move(shards));
+}
+
+Status ShardedCorrelationMap::BuildFromTable() {
+  const Table& t = table();
+  std::vector<RowId> rows;
+  rows.reserve(t.NumRows());
+  for (RowId r = 0; r < t.NumRows(); ++r) {
+    if (!t.IsDeleted(r)) rows.push_back(r);
+  }
+  InsertRowsBatched(rows);
+  return Status::OK();
+}
+
+void ShardedCorrelationMap::InsertRow(RowId row) {
+  const CmKey key = shards_.front()->cm.UKeyOfRow(row);
+  Shard& s = *shards_[ShardOf(key)];
+  BeginMaintenance();
+  {
+    std::unique_lock lock(s.mu);
+    s.cm.InsertRow(row);
+    s.cm.SyncDirectory();
+  }
+  EndMaintenance();
+}
+
+Status ShardedCorrelationMap::DeleteRow(RowId row) {
+  const CmKey key = shards_.front()->cm.UKeyOfRow(row);
+  Shard& s = *shards_[ShardOf(key)];
+  BeginMaintenance();
+  Status st;
+  {
+    std::unique_lock lock(s.mu);
+    st = s.cm.DeleteRow(row);
+    s.cm.SyncDirectory();
+  }
+  EndMaintenance();
+  return st;
+}
+
+size_t ShardedCorrelationMap::InsertRowsBatched(std::span<const RowId> rows) {
+  // An empty batch must not bump the epoch (it would invalidate every
+  // cached lookup for a no-op).
+  if (rows.empty()) return 0;
+  // Route each row to its shard first, then lock and apply each touched
+  // shard once; the per-shard CorrelationMap re-sorts its sub-batch.
+  std::vector<std::vector<RowId>> by_shard(shards_.size());
+  for (RowId r : rows) {
+    by_shard[ShardOf(shards_.front()->cm.UKeyOfRow(r))].push_back(r);
+  }
+  BeginMaintenance();
+  size_t groups = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (by_shard[i].empty()) continue;
+    Shard& s = *shards_[i];
+    std::unique_lock lock(s.mu);
+    groups += s.cm.InsertRowsBatched(by_shard[i]);
+    s.cm.SyncDirectory();
+  }
+  EndMaintenance();
+  return groups;
+}
+
+void ShardedCorrelationMap::InsertValues(std::span<const Key> u_keys,
+                                         int64_t c_ordinal) {
+  const CmKey key = shards_.front()->cm.UKeyOfValues(u_keys);
+  Shard& s = *shards_[ShardOf(key)];
+  BeginMaintenance();
+  {
+    std::unique_lock lock(s.mu);
+    s.cm.InsertValues(u_keys, c_ordinal);
+    s.cm.SyncDirectory();
+  }
+  EndMaintenance();
+}
+
+Status ShardedCorrelationMap::DeleteValues(std::span<const Key> u_keys,
+                                           int64_t c_ordinal) {
+  const CmKey key = shards_.front()->cm.UKeyOfValues(u_keys);
+  Shard& s = *shards_[ShardOf(key)];
+  BeginMaintenance();
+  Status st;
+  {
+    std::unique_lock lock(s.mu);
+    st = s.cm.DeleteValues(u_keys, c_ordinal);
+    s.cm.SyncDirectory();
+  }
+  EndMaintenance();
+  return st;
+}
+
+CmLookupResult MergeShardResults(std::vector<CmLookupResult> parts) {
+  CmLookupResult out;
+  std::vector<OrdinalRange> ranges;
+  for (CmLookupResult& p : parts) {
+    out.entries_probed += p.entries_probed;
+    out.used_directory = out.used_directory || p.used_directory;
+    ranges.insert(ranges.end(), p.ranges.begin(), p.ranges.end());
+  }
+  std::sort(ranges.begin(), ranges.end(),
+            [](const OrdinalRange& a, const OrdinalRange& b) {
+              return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+            });
+  for (const OrdinalRange& r : ranges) {
+    // Merge overlapping or adjacent runs; ordinal sets from different
+    // shards may duplicate (distinct u-keys co-occurring with the same
+    // clustered ordinal live in different shards).
+    if (!out.ranges.empty() &&
+        (r.lo <= out.ranges.back().hi ||
+         (out.ranges.back().hi != std::numeric_limits<int64_t>::max() &&
+          r.lo == out.ranges.back().hi + 1))) {
+      out.ranges.back().hi = std::max(out.ranges.back().hi, r.hi);
+    } else {
+      out.ranges.push_back(r);
+    }
+  }
+  for (const OrdinalRange& r : out.ranges) {
+    out.num_ordinals += uint64_t(r.hi - r.lo) + 1;
+  }
+  return out;
+}
+
+CmLookupResult ShardedCorrelationMap::Lookup(
+    std::span<const CmColumnPredicate> preds) const {
+  bool needs_directory = false;
+  for (const CmColumnPredicate& p : preds) {
+    if (p.kind == CmColumnPredicate::Kind::kRange) needs_directory = true;
+  }
+  std::vector<CmLookupResult> parts;
+  parts.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    if (needs_directory) {
+      // Fast path: shared lock while the shard's directory is in sync (a
+      // range lookup then mutates nothing). Writers sync the directory
+      // before unlocking, so the slow path only runs after maintenance
+      // performed without exclusive access (e.g. a bulk load).
+      {
+        std::shared_lock lock(shard->mu);
+        if (shard->cm.DirectoryClean()) {
+          parts.push_back(shard->cm.Lookup(preds));
+          continue;
+        }
+      }
+      std::unique_lock lock(shard->mu);
+      parts.push_back(shard->cm.Lookup(preds));
+    } else {
+      std::shared_lock lock(shard->mu);
+      parts.push_back(shard->cm.Lookup(preds));
+    }
+  }
+  return MergeShardResults(std::move(parts));
+}
+
+std::string ShardedCorrelationMap::Name() const {
+  return shards_.front()->cm.Name() + "[x" + std::to_string(shards_.size()) +
+         "]";
+}
+
+size_t ShardedCorrelationMap::NumUKeys() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    n += shard->cm.NumUKeys();
+  }
+  return n;
+}
+
+size_t ShardedCorrelationMap::NumEntries() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    n += shard->cm.NumEntries();
+  }
+  return n;
+}
+
+uint64_t ShardedCorrelationMap::SizeBytes() const {
+  uint64_t n = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    n += shard->cm.SizeBytes();
+  }
+  return n;
+}
+
+Status ShardedCorrelationMap::CheckInvariants() const {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::shared_lock lock(shards_[i]->mu);
+    Status s = shards_[i]->cm.CheckInvariants();
+    if (!s.ok()) return s;
+    for (const CorrelationMap::Record& rec : shards_[i]->cm.ToRecords()) {
+      if (ShardOf(rec.u) != i) {
+        return Status::Corruption("u-key " + rec.u.ToString() +
+                                  " routed to wrong shard");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace corrmap::serve

@@ -1,0 +1,129 @@
+// Concurrent Correlation Map: the per-CM building block of the serving
+// layer (src/serve/serving_engine.h). The u-key space is partitioned by
+// CmKey hash into independent shards, each a complete CorrelationMap over
+// its subset of u-keys (hash map + sorted bucket-ordinal directory) behind
+// its own std::shared_mutex. Lookups take shared locks shard by shard and
+// merge the per-shard ordinal runs; maintenance takes exclusive locks only
+// on the shards its keys hash to, so writers on disjoint shards never
+// contend and readers only wait for the shard currently being updated.
+//
+// Epoch protocol (consumed by SharedLookupCache): a single atomic epoch is
+// bumped once before a maintenance operation touches any shard and once
+// after it finishes. A lookup result is safe to cache under the epoch read
+// before the lookup iff the epoch is unchanged after it -- any concurrent
+// writer would have bumped at least the begin mark. Writers sync each
+// shard's directory before releasing the exclusive lock (an incremental
+// merge for small deltas), keeping readers on the shared-lock fast path.
+#ifndef CORRMAP_SERVE_SHARDED_CM_H_
+#define CORRMAP_SERVE_SHARDED_CM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/correlation_map.h"
+
+namespace corrmap::serve {
+
+/// A CorrelationMap sharded by CmKey hash for concurrent serving.
+class ShardedCorrelationMap {
+ public:
+  static constexpr size_t kDefaultShards = 8;
+
+  /// Creates an empty sharded CM; same validation as CorrelationMap::Create.
+  static Result<ShardedCorrelationMap> Create(const Table* table,
+                                              CmOptions options,
+                                              size_t num_shards =
+                                                  kDefaultShards);
+
+  /// Moves transfer the shards wholesale; the epoch value carries over.
+  /// Not thread-safe (move only while no one else holds a reference).
+  ShardedCorrelationMap(ShardedCorrelationMap&& o) noexcept
+      : shards_(std::move(o.shards_)), epoch_(o.epoch_.load()) {}
+  ShardedCorrelationMap& operator=(ShardedCorrelationMap&& o) noexcept {
+    if (this != &o) {
+      shards_ = std::move(o.shards_);
+      epoch_.store(o.epoch_.load());
+    }
+    return *this;
+  }
+
+  /// Algorithm 1 bulk build (not thread-safe; run before serving starts).
+  Status BuildFromTable();
+
+  /// Thread-safe maintenance: routes each u-key to its shard, exclusive-
+  /// locks only the touched shards, and brackets the whole operation with
+  /// epoch bumps.
+  void InsertRow(RowId row);
+  Status DeleteRow(RowId row);
+  size_t InsertRowsBatched(std::span<const RowId> rows);
+  void InsertValues(std::span<const Key> u_keys, int64_t c_ordinal);
+  Status DeleteValues(std::span<const Key> u_keys, int64_t c_ordinal);
+
+  /// Thread-safe cm_lookup: probes every shard under a shared lock (taking
+  /// a shard's exclusive lock only if its directory needs a rebuild) and
+  /// merges the per-shard runs into one sorted, disjoint, coalesced set.
+  CmLookupResult Lookup(std::span<const CmColumnPredicate> preds) const;
+
+  /// Maintenance version counter; see the epoch protocol above.
+  uint64_t Epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  size_t num_shards() const { return shards_.size(); }
+  const CmOptions& options() const { return shards_.front()->cm.options(); }
+  const Table& table() const { return shards_.front()->cm.table(); }
+  bool has_clustered_buckets() const {
+    return shards_.front()->cm.has_clustered_buckets();
+  }
+  Key DecodeClusteredOrdinal(int64_t ordinal) const {
+    return shards_.front()->cm.DecodeClusteredOrdinal(ordinal);
+  }
+  std::string Name() const;
+
+  /// Sums over shards (each taken under a shared lock; the totals are only
+  /// consistent in the absence of concurrent maintenance).
+  size_t NumUKeys() const;
+  size_t NumEntries() const;
+  uint64_t SizeBytes() const;
+
+  /// Per-shard CorrelationMap invariants plus shard routing: every u-key
+  /// must live in the shard its hash selects.
+  Status CheckInvariants() const;
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mu;
+    CorrelationMap cm;
+
+    explicit Shard(CorrelationMap m) : cm(std::move(m)) {}
+  };
+
+  explicit ShardedCorrelationMap(std::vector<std::unique_ptr<Shard>> shards)
+      : shards_(std::move(shards)) {}
+
+  size_t ShardOf(const CmKey& key) const {
+    return CmKeyHash{}(key) % shards_.size();
+  }
+
+  /// Epoch brackets around one maintenance operation.
+  void BeginMaintenance() {
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  void EndMaintenance() { epoch_.fetch_add(1, std::memory_order_release); }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> epoch_{0};
+};
+
+/// Merges per-shard lookup results (each sorted, disjoint, coalesced) into
+/// one: ordinal runs from different shards may duplicate or interleave, so
+/// the union is re-coalesced. Exposed for tests.
+CmLookupResult MergeShardResults(std::vector<CmLookupResult> parts);
+
+}  // namespace corrmap::serve
+
+#endif  // CORRMAP_SERVE_SHARDED_CM_H_

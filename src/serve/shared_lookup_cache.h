@@ -1,0 +1,133 @@
+// Process-wide, cross-query cache of CmLookupResult runs. The per-query
+// CmLookupCache (exec/access_path.h) shares one lookup between costing and
+// execution of a single query; this cache extends the reuse across a whole
+// stream of queries: entries are keyed by (CM identity, predicate
+// fingerprint, CM epoch), so a burst of similar point/range queries pays
+// one cm_lookup and every maintenance operation -- which bumps the CM's
+// epoch -- implicitly invalidates all of that CM's entries. Stale epochs
+// are evicted lazily: a probe that finds an entry under a different epoch
+// erases it on the spot rather than paying a sweep.
+//
+// Thread safety: the cache is striped by key hash; each stripe is a small
+// mutex-guarded map, so concurrent readers on different fingerprints
+// rarely contend. Results are handed out as shared_ptr so an entry evicted
+// mid-use stays alive for the reader holding it.
+#ifndef CORRMAP_SERVE_SHARED_LOOKUP_CACHE_H_
+#define CORRMAP_SERVE_SHARED_LOOKUP_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/correlation_map.h"
+#include "exec/access_path.h"
+
+namespace corrmap::serve {
+
+class SharedLookupCache {
+ public:
+  using ResultPtr = std::shared_ptr<const CmLookupResult>;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t stale_evictions = 0;
+  };
+
+  explicit SharedLookupCache(size_t num_stripes = 16);
+
+  /// FingerprintCmPredicates (core/correlation_map.h) under the cache's
+  /// name. Collisions are possible in principle (64-bit mix) but never
+  /// unsafe for correctness here beyond serving the colliding query's
+  /// runs; the executor re-filters swept rows on the full predicate
+  /// either way.
+  static uint64_t Fingerprint(std::span<const CmColumnPredicate> preds);
+
+  /// The cached result for (cm_id, fingerprint) at exactly `epoch`, or
+  /// null. Finding the pair under an older epoch lazily evicts it; a
+  /// fresher entry (published by a reader that saw newer maintenance) is
+  /// left in place and reported as a miss.
+  ResultPtr Get(const void* cm_id, uint64_t fingerprint, uint64_t epoch);
+
+  /// Publishes a result computed at `epoch`. Never downgrades: an entry
+  /// already present under a newer epoch wins over this insert.
+  void Put(const void* cm_id, uint64_t fingerprint, uint64_t epoch,
+           ResultPtr result);
+
+  /// Drops every entry (tests / reconfiguration).
+  void Clear();
+
+  size_t Size() const;
+  Stats stats() const;
+
+ private:
+  struct EntryKey {
+    const void* cm_id;
+    uint64_t fingerprint;
+    bool operator==(const EntryKey&) const = default;
+  };
+  struct EntryKeyHash {
+    size_t operator()(const EntryKey& k) const {
+      return Mix64(uint64_t(reinterpret_cast<uintptr_t>(k.cm_id)) ^
+                   Mix64(k.fingerprint));
+    }
+  };
+  struct Entry {
+    uint64_t epoch = 0;
+    ResultPtr result;
+  };
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<EntryKey, Entry, EntryKeyHash> map;
+  };
+
+  Stripe& StripeFor(const EntryKey& key) {
+    return *stripes_[EntryKeyHash{}(key) % stripes_.size()];
+  }
+
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> stale_evictions_{0};
+};
+
+/// Adapter plugging the shared cache into the exec layer's CmLookupSource
+/// seam: Executor::Execute(query, &source) and CmScan then reuse
+/// CmLookupResult runs across executions, with CM epoch changes as the
+/// invalidation signal. A result is published only when the CM's epoch is
+/// unchanged across the computation, so a lookup racing maintenance is
+/// used once but never cached.
+///
+/// One instance per query stream / worker: the adapter pins returned
+/// results (shared_ptr) so the raw pointers the exec layer holds stay
+/// valid; it is NOT itself thread-safe. Pins older than the retained
+/// window are dropped automatically (a single query pins at most a
+/// handful of CMs, far below the window); ReleasePins() drops them all,
+/// e.g. when retiring the stream.
+class SharedCmLookupSource : public CmLookupSource {
+ public:
+  explicit SharedCmLookupSource(SharedLookupCache* cache) : cache_(cache) {}
+
+  const CmLookupResult* GetOrCompute(const CorrelationMap& cm,
+                                     const Query& query) override;
+
+  void ReleasePins() { pinned_.clear(); }
+
+ private:
+  /// Auto-trim bounds for the pin list (see GetOrCompute).
+  static constexpr size_t kMaxPinned = 64;
+  static constexpr size_t kRetainedPinned = 16;
+
+  SharedLookupCache* cache_;
+  std::vector<SharedLookupCache::ResultPtr> pinned_;
+};
+
+}  // namespace corrmap::serve
+
+#endif  // CORRMAP_SERVE_SHARED_LOOKUP_CACHE_H_

@@ -29,22 +29,36 @@ void Column::AppendString(std::string_view v) {
   ints_.push_back(dict_->Intern(v));
 }
 
-Status Column::AppendValue(const Value& v) {
+Status Column::ValidateValue(const Value& v) const {
   switch (type_) {
     case ValueType::kInt64:
       if (!v.is_int64()) return Status::InvalidArgument("expected int64");
-      AppendInt64(v.AsInt64());
       return Status::OK();
     case ValueType::kDouble:
       if (v.is_string()) return Status::InvalidArgument("expected numeric");
-      AppendDouble(v.NumericValue());
       return Status::OK();
     case ValueType::kString:
       if (!v.is_string()) return Status::InvalidArgument("expected string");
-      AppendString(v.AsString());
       return Status::OK();
   }
   return Status::Internal("bad column type");
+}
+
+Status Column::AppendValue(const Value& v) {
+  Status s = ValidateValue(v);
+  if (!s.ok()) return s;
+  switch (type_) {
+    case ValueType::kInt64:
+      AppendInt64(v.AsInt64());
+      break;
+    case ValueType::kDouble:
+      AppendDouble(v.NumericValue());
+      break;
+    case ValueType::kString:
+      AppendString(v.AsString());
+      break;
+  }
+  return Status::OK();
 }
 
 Value Column::GetValue(RowId row) const {
@@ -108,16 +122,27 @@ Status Table::AppendRow(std::span<const Value> values) {
   if (values.size() != cols_.size()) {
     return Status::InvalidArgument("row arity mismatch");
   }
+  // Validate the whole row before touching any column, so a mid-row type
+  // mismatch cannot leave the columns at different lengths.
   for (size_t i = 0; i < cols_.size(); ++i) {
-    Status s = cols_[i].AppendValue(values[i]);
+    Status s = cols_[i].ValidateValue(values[i]);
     if (!s.ok()) return s;
   }
-  ++num_rows_;
+  std::lock_guard<std::mutex> lock(append_mu_);
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    Status s = cols_[i].AppendValue(values[i]);
+    assert(s.ok());
+    (void)s;
+  }
+  // Release-publish: readers that acquire NumRows() see the slots above.
+  num_rows_.store(num_rows_.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_release);
   return Status::OK();
 }
 
 void Table::AppendRowKeys(std::span<const Key> keys) {
   assert(keys.size() == cols_.size());
+  std::lock_guard<std::mutex> lock(append_mu_);
   for (size_t i = 0; i < cols_.size(); ++i) {
     if (cols_[i].type() == ValueType::kDouble) {
       cols_[i].AppendDouble(keys[i].Numeric());
@@ -125,12 +150,14 @@ void Table::AppendRowKeys(std::span<const Key> keys) {
       cols_[i].AppendInt64(keys[i].AsInt64());
     }
   }
-  ++num_rows_;
+  num_rows_.store(num_rows_.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_release);
 }
 
 Status Table::DeleteRow(RowId row) {
-  if (row >= num_rows_) return Status::OutOfRange("row id past end");
-  if (deleted_.size() < num_rows_) deleted_.resize(num_rows_, false);
+  const size_t n = NumRows();
+  if (row >= n) return Status::OutOfRange("row id past end");
+  if (deleted_.size() < n) deleted_.resize(n, false);
   if (deleted_[row]) return Status::NotFound("row already deleted");
   deleted_[row] = true;
   ++num_deleted_;
@@ -139,7 +166,7 @@ Status Table::DeleteRow(RowId row) {
 
 Status Table::ClusterBy(size_t col) {
   if (col >= cols_.size()) return Status::OutOfRange("no such column");
-  std::vector<RowId> perm(num_rows_);
+  std::vector<RowId> perm(NumRows());
   std::iota(perm.begin(), perm.end(), RowId{0});
   const Column& c = cols_[col];
   std::stable_sort(perm.begin(), perm.end(), [&](RowId a, RowId b) {
@@ -160,7 +187,8 @@ std::unique_ptr<Table> Table::Clone() const {
   out->cols_.clear();
   for (const auto& c : cols_) out->cols_.push_back(c.Clone());
   out->deleted_ = deleted_;
-  out->num_rows_ = num_rows_;
+  out->num_rows_.store(NumRows(), std::memory_order_relaxed);
+  out->reserved_rows_ = reserved_rows_;
   out->num_deleted_ = num_deleted_;
   out->clustered_col_ = clustered_col_;
   return out;
@@ -168,6 +196,7 @@ std::unique_ptr<Table> Table::Clone() const {
 
 void Table::Reserve(size_t n) {
   for (auto& c : cols_) c.Reserve(n);
+  reserved_rows_ = std::max(reserved_rows_, n);
 }
 
 }  // namespace corrmap

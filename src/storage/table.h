@@ -2,10 +2,21 @@
 // Supports append, tombstone delete, clustering (stable sort by one column),
 // and typed row access. This is the storage substrate every index, CM, and
 // access path operates over.
+//
+// Concurrency contract (the serving engine's append path relies on it):
+// appends are serialized by an internal mutex and publish the new row count
+// with a release store, so readers that bound their row accesses by
+// NumRows() (an acquire load) never observe a half-written row. The
+// contract holds only while the columns do not reallocate -- call
+// Reserve() for the expected maximum before concurrent readers attach, and
+// keep appends within ReservedRows(). Deletes and ClusterBy still require
+// external exclusion.
 #ifndef CORRMAP_STORAGE_TABLE_H_
 #define CORRMAP_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -30,6 +41,9 @@ class Column {
   void AppendInt64(int64_t v);
   void AppendDouble(double v);
   void AppendString(std::string_view v);
+
+  /// Type check for AppendValue without mutating the column.
+  Status ValidateValue(const Value& v) const;
 
   /// Appends a logical value; must match the column type.
   Status AppendValue(const Value& v);
@@ -76,19 +90,25 @@ class Table {
   const Schema& schema() const { return schema_; }
   const PageLayout& layout() const { return layout_; }
 
-  size_t NumRows() const { return num_rows_; }
+  /// Rows visible to readers. Acquire-paired with the release store in the
+  /// append paths: every column slot below the returned count is fully
+  /// written.
+  size_t NumRows() const { return num_rows_.load(std::memory_order_acquire); }
   /// Live (non-tombstoned) rows.
-  size_t NumLiveRows() const { return num_rows_ - num_deleted_; }
-  uint64_t NumPages() const { return layout_.NumPages(num_rows_); }
+  size_t NumLiveRows() const { return NumRows() - num_deleted_; }
+  uint64_t NumPages() const { return layout_.NumPages(NumRows()); }
 
   /// "total_tups" and "tups_per_page" as used by the paper's cost model.
   uint64_t TotalTuples() const { return NumLiveRows(); }
   size_t TuplesPerPage() const { return layout_.TuplesPerPage(); }
 
   /// Appends one row; the span must match the schema arity and types.
+  /// Thread-safe against other appends and against concurrent readers that
+  /// respect the NumRows() bound (see the file-level contract).
   Status AppendRow(std::span<const Value> values);
 
-  /// Fast path for generators: append physical keys directly.
+  /// Fast path for generators and the serving engine: append physical keys
+  /// directly. Same thread-safety contract as AppendRow.
   void AppendRowKeys(std::span<const Key> keys);
 
   /// Tombstones a row. Scans and access paths skip deleted rows.
@@ -121,7 +141,14 @@ class Table {
   /// score alternative clusterings on scratch copies.
   std::unique_ptr<Table> Clone() const;
 
+  /// Pre-allocates column capacity for `n` rows and records it as the
+  /// concurrent-append bound (see ReservedRows).
   void Reserve(size_t n);
+
+  /// Rows the columns can hold without reallocating. Concurrent readers
+  /// are only safe while NumRows() stays within this bound; the serving
+  /// engine refuses appends past it.
+  size_t ReservedRows() const { return reserved_rows_; }
 
  private:
   std::string name_;
@@ -129,7 +156,9 @@ class Table {
   PageLayout layout_;
   std::vector<Column> cols_;
   std::vector<bool> deleted_;
-  size_t num_rows_ = 0;
+  std::mutex append_mu_;
+  std::atomic<size_t> num_rows_{0};
+  size_t reserved_rows_ = 0;
   size_t num_deleted_ = 0;
   int clustered_col_ = -1;
 };

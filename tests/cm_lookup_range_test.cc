@@ -255,6 +255,84 @@ TEST(CmRangeLookupTest, DirectoryTracksMaintenance) {
             f.cm->Lookup(wide).ToOrdinals());
 }
 
+TEST(CmRangeLookupTest, SmallDeltaMergesIncrementally) {
+  PointMappedFixture f;
+  std::array<CmColumnPredicate, 1> wide = {CmColumnPredicate::Range(0, 9999)};
+  ExpectProbeMatchesScan(*f.cm, wide);  // builds the directory
+  const uint64_t rebuilds = f.cm->DirectoryFullRebuilds();
+  EXPECT_EQ(f.cm->DirectoryIncrementalMerges(), 0u);
+  EXPECT_TRUE(f.cm->DirectoryClean());
+
+  // A handful of new u-keys is far below the rebuild threshold: the next
+  // probe merges the sorted delta instead of rebuilding, and returns
+  // exactly what the full-map scan returns.
+  for (int64_t u = 2000; u < 2010; ++u) {
+    const std::array<Key, 1> key = {Key(u)};
+    f.cm->InsertValues(key, 700 + u);
+  }
+  EXPECT_FALSE(f.cm->DirectoryClean());
+  ExpectProbeMatchesScan(*f.cm, wide);
+  EXPECT_EQ(f.cm->DirectoryFullRebuilds(), rebuilds);
+  EXPECT_EQ(f.cm->DirectoryIncrementalMerges(), 1u);
+  EXPECT_TRUE(f.cm->DirectoryClean());
+
+  // Erases merge incrementally too: the erased keys' slots are dropped by
+  // key comparison (their map nodes are gone).
+  for (int64_t u = 2000; u < 2005; ++u) {
+    const std::array<Key, 1> key = {Key(u)};
+    ASSERT_TRUE(f.cm->DeleteValues(key, 700 + u).ok());
+  }
+  auto r = ExpectProbeMatchesScan(*f.cm, wide);
+  EXPECT_EQ(f.cm->DirectoryFullRebuilds(), rebuilds);
+  EXPECT_EQ(f.cm->DirectoryIncrementalMerges(), 2u);
+  // Erase-then-readd within one delta window resolves to the fresh node.
+  const std::array<Key, 1> back = {Key(int64_t{2007})};
+  ASSERT_TRUE(f.cm->DeleteValues(back, 2707).ok());
+  f.cm->InsertValues(back, 2777);
+  r = ExpectProbeMatchesScan(*f.cm, wide);
+  std::vector<int64_t> ordinals = r.ToOrdinals();
+  EXPECT_TRUE(std::binary_search(ordinals.begin(), ordinals.end(), 2777));
+  EXPECT_FALSE(std::binary_search(ordinals.begin(), ordinals.end(), 2707));
+}
+
+TEST(CmRangeLookupTest, LargeDeltaFallsBackToFullRebuild) {
+  PointMappedFixture f;
+  std::array<CmColumnPredicate, 1> wide = {CmColumnPredicate::Range(0, 99999)};
+  ExpectProbeMatchesScan(*f.cm, wide);
+  const uint64_t rebuilds = f.cm->DirectoryFullRebuilds();
+  const uint64_t merges = f.cm->DirectoryIncrementalMerges();
+  // Adding more than map_size/8 fresh u-keys degrades the delta to a
+  // wholesale rebuild (1000 existing keys; add 600).
+  for (int64_t u = 10000; u < 10600; ++u) {
+    const std::array<Key, 1> key = {Key(u)};
+    f.cm->InsertValues(key, u);
+  }
+  ExpectProbeMatchesScan(*f.cm, wide);
+  EXPECT_EQ(f.cm->DirectoryFullRebuilds(), rebuilds + 1);
+  EXPECT_EQ(f.cm->DirectoryIncrementalMerges(), merges);
+}
+
+TEST(CmRangeLookupTest, EpochBumpsOnEveryMaintenanceEntryPoint) {
+  PointMappedFixture f;
+  uint64_t e = f.cm->Epoch();
+  f.cm->InsertRow(0);
+  EXPECT_GT(f.cm->Epoch(), e);
+  e = f.cm->Epoch();
+  ASSERT_TRUE(f.cm->DeleteRow(0).ok());
+  EXPECT_GT(f.cm->Epoch(), e);
+  e = f.cm->Epoch();
+  const std::array<RowId, 2> rows = {1, 2};
+  f.cm->InsertRowsBatched(rows);
+  EXPECT_GT(f.cm->Epoch(), e);
+  e = f.cm->Epoch();
+  const std::array<Key, 1> u = {Key(int64_t{42})};
+  f.cm->InsertValues(u, 4);
+  EXPECT_GT(f.cm->Epoch(), e);
+  e = f.cm->Epoch();
+  ASSERT_TRUE(f.cm->DeleteValues(u, 4).ok());
+  EXPECT_GT(f.cm->Epoch(), e);
+}
+
 TEST(CmRangeLookupTest, SharedCacheComputesOnce) {
   PointMappedFixture f;
   auto cidx = ClusteredIndex::Build(*f.table, 0);

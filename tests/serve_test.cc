@@ -1,0 +1,367 @@
+// Tier-1 coverage for the serving layer: ShardedCorrelationMap must agree
+// lookup-for-lookup with a single CorrelationMap over the same rows (point,
+// range, composite, and after value-level maintenance), SharedLookupCache
+// must hit only at the exact (CM, fingerprint, epoch) and evict stale
+// epochs lazily, SharedCmLookupSource must collapse a stream of identical
+// Executor::Execute calls into one cm_lookup until maintenance bumps the
+// epoch, and the ServingEngine's CM probe must count exactly what a full
+// scan counts before and after appends into the unclustered tail.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/access_path.h"
+#include "exec/executor.h"
+#include "index/clustered_index.h"
+#include "serve/driver.h"
+#include "serve/serving_engine.h"
+#include "serve/shared_lookup_cache.h"
+#include "serve/sharded_cm.h"
+#include "storage/table.h"
+
+namespace corrmap {
+namespace {
+
+using serve::ServingEngine;
+using serve::ServingOptions;
+using serve::SharedCmLookupSource;
+using serve::SharedLookupCache;
+using serve::ShardedCorrelationMap;
+
+/// Correlated two-column table (c ~ u / 10) clustered on c, with one plain
+/// CM and one sharded CM built over the same rows.
+struct ShardedFixture {
+  std::unique_ptr<Table> table;
+  std::unique_ptr<CorrelationMap> plain;
+  std::unique_ptr<ShardedCorrelationMap> sharded;
+
+  explicit ShardedFixture(size_t num_shards = 4, int rows = 20000) {
+    Schema schema({ColumnDef::Int64("c"), ColumnDef::Int64("u")});
+    table = std::make_unique<Table>("t", std::move(schema));
+    Rng rng(53);
+    for (int i = 0; i < rows; ++i) {
+      const int64_t u = rng.UniformInt(0, 999);
+      std::array<Value, 2> row = {Value(u / 10 + rng.UniformInt(0, 1)),
+                                  Value(u)};
+      EXPECT_TRUE(table->AppendRow(row).ok());
+    }
+    EXPECT_TRUE(table->ClusterBy(0).ok());
+    CmOptions opts;
+    opts.u_cols = {1};
+    opts.u_bucketers = {Bucketer::Identity()};
+    opts.c_col = 0;
+    auto p = CorrelationMap::Create(table.get(), opts);
+    EXPECT_TRUE(p.ok());
+    EXPECT_TRUE(p->BuildFromTable().ok());
+    plain = std::make_unique<CorrelationMap>(std::move(*p));
+    auto s = ShardedCorrelationMap::Create(table.get(), opts, num_shards);
+    EXPECT_TRUE(s.ok());
+    EXPECT_TRUE(s->BuildFromTable().ok());
+    sharded = std::make_unique<ShardedCorrelationMap>(std::move(*s));
+  }
+};
+
+void ExpectShardedMatchesPlain(const ShardedFixture& f,
+                               std::span<const CmColumnPredicate> preds) {
+  const CmLookupResult merged = f.sharded->Lookup(preds);
+  const CmLookupResult single = f.plain->Lookup(preds);
+  EXPECT_EQ(merged.ToOrdinals(), single.ToOrdinals());
+  EXPECT_EQ(merged.num_ordinals, single.num_ordinals);
+}
+
+TEST(ShardedCmTest, LookupMatchesSingleMapAcrossPredicateShapes) {
+  ShardedFixture f;
+  EXPECT_EQ(f.sharded->NumUKeys(), f.plain->NumUKeys());
+  EXPECT_EQ(f.sharded->NumEntries(), f.plain->NumEntries());
+  EXPECT_TRUE(f.sharded->CheckInvariants().ok());
+
+  std::array<CmColumnPredicate, 1> point = {
+      CmColumnPredicate::Points({Key(int64_t{123}), Key(int64_t{456})})};
+  ExpectShardedMatchesPlain(f, point);
+  std::array<CmColumnPredicate, 1> range = {CmColumnPredicate::Range(200, 340)};
+  ExpectShardedMatchesPlain(f, range);
+  std::array<CmColumnPredicate, 1> all = {CmColumnPredicate::Range(-1, 10000)};
+  ExpectShardedMatchesPlain(f, all);
+  std::array<CmColumnPredicate, 1> none = {
+      CmColumnPredicate::Range(5000, 6000)};
+  ExpectShardedMatchesPlain(f, none);
+}
+
+TEST(ShardedCmTest, MaintenanceRoutesToShardsAndStaysEquivalent) {
+  ShardedFixture f;
+  Rng rng(59);
+  for (int i = 0; i < 500; ++i) {
+    const std::array<Key, 1> u = {Key(rng.UniformInt(0, 1999))};
+    const int64_t c = rng.UniformInt(0, 150);
+    f.plain->InsertValues(u, c);
+    f.sharded->InsertValues(u, c);
+  }
+  for (int i = 0; i < 200; ++i) {
+    const std::array<Key, 1> u = {Key(rng.UniformInt(0, 1999))};
+    const int64_t c = rng.UniformInt(0, 150);
+    const Status a = f.plain->DeleteValues(u, c);
+    const Status b = f.sharded->DeleteValues(u, c);
+    EXPECT_EQ(a.code(), b.code());
+  }
+  EXPECT_TRUE(f.sharded->CheckInvariants().ok());
+  EXPECT_EQ(f.sharded->NumEntries(), f.plain->NumEntries());
+  std::array<CmColumnPredicate, 1> wide = {CmColumnPredicate::Range(0, 2500)};
+  ExpectShardedMatchesPlain(f, wide);
+}
+
+TEST(ShardedCmTest, InsertRowsBatchedMatchesRowAtATime) {
+  ShardedFixture f;
+  // Append fresh rows to the table (tail; ordinals are raw keys so no
+  // clustering requirement for CM maintenance).
+  Rng rng(61);
+  std::vector<RowId> fresh;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t u = rng.UniformInt(1000, 1499);
+    const std::array<Key, 2> row = {Key(u / 10), Key(u)};
+    fresh.push_back(RowId(f.table->NumRows()));
+    f.table->AppendRowKeys(row);
+  }
+  for (RowId r : fresh) f.plain->InsertRow(r);
+  f.sharded->InsertRowsBatched(fresh);
+  EXPECT_EQ(f.sharded->NumEntries(), f.plain->NumEntries());
+  std::array<CmColumnPredicate, 1> wide = {CmColumnPredicate::Range(0, 2000)};
+  ExpectShardedMatchesPlain(f, wide);
+  EXPECT_TRUE(f.sharded->CheckInvariants().ok());
+}
+
+TEST(ShardedCmTest, EpochBracketsMaintenance) {
+  ShardedFixture f;
+  const uint64_t e0 = f.sharded->Epoch();
+  const std::array<Key, 1> u = {Key(int64_t{5000})};
+  f.sharded->InsertValues(u, 77);
+  // Begin + end bump: quiescent epochs advance by two per operation.
+  EXPECT_EQ(f.sharded->Epoch(), e0 + 2);
+  ASSERT_TRUE(f.sharded->DeleteValues(u, 77).ok());
+  EXPECT_EQ(f.sharded->Epoch(), e0 + 4);
+}
+
+TEST(SharedLookupCacheTest, HitsOnlyAtExactEpochAndEvictsStaleLazily) {
+  SharedLookupCache cache(4);
+  const int cm_a = 0, cm_b = 0;  // two distinct addresses
+  auto result = std::make_shared<const CmLookupResult>();
+  cache.Put(&cm_a, 0xfeed, 7, result);
+  EXPECT_EQ(cache.Size(), 1u);
+
+  EXPECT_EQ(cache.Get(&cm_a, 0xfeed, 7), result);      // exact hit
+  EXPECT_EQ(cache.Get(&cm_a, 0xbeef, 7), nullptr);     // other fingerprint
+  EXPECT_EQ(cache.Get(&cm_b, 0xfeed, 7), nullptr);     // other CM
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // Probing under a newer epoch evicts the stale entry on the spot.
+  EXPECT_EQ(cache.Get(&cm_a, 0xfeed, 9), nullptr);
+  EXPECT_EQ(cache.stats().stale_evictions, 1u);
+  EXPECT_EQ(cache.Size(), 0u);
+  // ...and the old epoch no longer hits either (entry is gone).
+  EXPECT_EQ(cache.Get(&cm_a, 0xfeed, 7), nullptr);
+
+  // Put never downgrades an entry to an older epoch.
+  auto newer = std::make_shared<const CmLookupResult>();
+  cache.Put(&cm_a, 0xfeed, 9, newer);
+  cache.Put(&cm_a, 0xfeed, 7, result);
+  EXPECT_EQ(cache.Get(&cm_a, 0xfeed, 9), newer);
+}
+
+TEST(SharedLookupCacheTest, FingerprintSeparatesPredicateShapes) {
+  std::array<CmColumnPredicate, 1> p1 = {
+      CmColumnPredicate::Points({Key(int64_t{1})})};
+  std::array<CmColumnPredicate, 1> p2 = {
+      CmColumnPredicate::Points({Key(int64_t{2})})};
+  std::array<CmColumnPredicate, 1> r1 = {CmColumnPredicate::Range(1, 2)};
+  std::array<CmColumnPredicate, 1> r2 = {CmColumnPredicate::Range(1, 3)};
+  const uint64_t h_p1 = SharedLookupCache::Fingerprint(p1);
+  EXPECT_NE(h_p1, SharedLookupCache::Fingerprint(p2));
+  EXPECT_NE(SharedLookupCache::Fingerprint(r1),
+            SharedLookupCache::Fingerprint(r2));
+  EXPECT_NE(h_p1, SharedLookupCache::Fingerprint(r1));
+  EXPECT_EQ(h_p1, SharedLookupCache::Fingerprint(p1));  // deterministic
+}
+
+TEST(SharedCmLookupSourceTest, ReusesLookupsAcrossExecutionsUntilEpochMoves) {
+  ShardedFixture f;
+  auto cidx = ClusteredIndex::Build(*f.table, 0);
+  ASSERT_TRUE(cidx.ok());
+  Executor exec(f.table.get(), &*cidx);
+  exec.AttachCm(f.plain.get());
+
+  SharedLookupCache cache;
+  SharedCmLookupSource source(&cache);
+  Query q({Predicate::Between(*f.table, "u", Value(100), Value(140))});
+
+  const uint64_t before = f.plain->LookupsComputed();
+  auto first = exec.Execute(q, &source);
+  auto second = exec.Execute(q, &source);
+  auto third = exec.Execute(q, &source);
+  // One cm_lookup across three whole Execute calls (costing + execution).
+  EXPECT_EQ(f.plain->LookupsComputed(), before + 1);
+  EXPECT_EQ(second.result.rows, first.result.rows);
+  EXPECT_EQ(third.result.rows, first.result.rows);
+  EXPECT_GE(cache.stats().hits, 2u);
+
+  // Maintenance bumps the CM epoch: the cached runs are stale and the next
+  // Execute recomputes.
+  const std::array<Key, 1> u = {Key(int64_t{120})};
+  f.plain->InsertValues(u, 55);
+  auto fourth = exec.Execute(q, &source);
+  EXPECT_EQ(f.plain->LookupsComputed(), before + 2);
+  EXPECT_EQ(fourth.result.rows, first.result.rows);  // row 55 has no rows
+}
+
+/// Engine over the correlated table with one CM on u.
+struct EngineFixture {
+  std::unique_ptr<Table> table;
+  std::unique_ptr<ClusteredIndex> cidx;
+  std::unique_ptr<ServingEngine> engine;
+
+  EngineFixture() {
+    Schema schema({ColumnDef::Int64("c"), ColumnDef::Int64("u")});
+    table = std::make_unique<Table>("t", std::move(schema));
+    Rng rng(67);
+    for (int i = 0; i < 20000; ++i) {
+      const int64_t u = rng.UniformInt(0, 999);
+      std::array<Value, 2> row = {Value(u / 10 + rng.UniformInt(0, 1)),
+                                  Value(u)};
+      EXPECT_TRUE(table->AppendRow(row).ok());
+    }
+    EXPECT_TRUE(table->ClusterBy(0).ok());
+    auto ci = ClusteredIndex::Build(*table, 0);
+    EXPECT_TRUE(ci.ok());
+    cidx = std::make_unique<ClusteredIndex>(std::move(*ci));
+    ServingOptions opts;
+    opts.num_workers = 2;
+    opts.reserve_rows = table->NumRows() + 50000;
+    engine = std::make_unique<ServingEngine>(table.get(), cidx.get(), opts);
+    CmOptions copts;
+    copts.u_cols = {1};
+    copts.u_bucketers = {Bucketer::Identity()};
+    copts.c_col = 0;
+    EXPECT_TRUE(engine->AttachCm(copts).ok());
+  }
+
+  void ExpectProbeEqualsScan(const Query& q) {
+    const serve::SelectResult probe = engine->ExecuteSelect(q);
+    const ExecResult scan = FullTableScan(*table, q);
+    EXPECT_EQ(probe.num_matches, scan.NumMatches());
+  }
+};
+
+TEST(ServingEngineTest, ProbeEqualsScanBeforeAndAfterTailAppends) {
+  EngineFixture f;
+  const Query eq({Predicate::Eq(*f.table, "u", Value(321))});
+  const Query range(
+      {Predicate::Between(*f.table, "u", Value(150), Value(260))});
+  const Query no_cm({Predicate::Eq(*f.table, "c", Value(12))});
+  f.ExpectProbeEqualsScan(eq);
+  f.ExpectProbeEqualsScan(range);
+  f.ExpectProbeEqualsScan(no_cm);  // full-scan fallback
+
+  // Appends land in the unclustered tail; selects must see them at once.
+  Rng rng(71);
+  std::vector<std::vector<Key>> rows;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t u = rng.UniformInt(0, 999);
+    rows.push_back({Key(u / 10), Key(u)});
+  }
+  ASSERT_TRUE(f.engine->ApplyAppend(rows).ok());
+  EXPECT_EQ(f.table->NumRows(), 25000u);
+  f.ExpectProbeEqualsScan(eq);
+  f.ExpectProbeEqualsScan(range);
+  f.ExpectProbeEqualsScan(no_cm);
+  EXPECT_TRUE(f.engine->CheckInvariants().ok());
+
+  // Second round: the cache entries from the first round are stale (the
+  // appends bumped every CM's epoch) and must not leak wrong counts.
+  ASSERT_TRUE(f.engine->ApplyAppend(rows).ok());
+  f.ExpectProbeEqualsScan(eq);
+  f.ExpectProbeEqualsScan(range);
+}
+
+TEST(ServingEngineTest, AppendPastReservationIsRefused) {
+  EngineFixture f;
+  std::vector<std::vector<Key>> huge(
+      f.table->ReservedRows() - f.table->NumRows() + 1,
+      {Key(int64_t{1}), Key(int64_t{1})});
+  const Status s = f.engine->ApplyAppend(huge);
+  EXPECT_EQ(s.code(), Status::Code::kResourceExhausted);
+}
+
+TEST(ServingEngineTest, RejectsClusteredBucketingCm) {
+  EngineFixture f;
+  auto cb = ClusteredBucketing::Build(*f.table, 0, 64);
+  ASSERT_TRUE(cb.ok());
+  CmOptions copts;
+  copts.u_cols = {1};
+  copts.u_bucketers = {Bucketer::Identity()};
+  copts.c_col = 0;
+  copts.c_buckets = &*cb;
+  EXPECT_EQ(f.engine->AttachCm(copts).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(ServingEngineTest, SubmitAndAppendRunThroughWorkerPool) {
+  EngineFixture f;
+  const Query eq({Predicate::Eq(*f.table, "u", Value(500))});
+  const ExecResult scan = FullTableScan(*f.table, eq);
+  auto fut1 = f.engine->Submit(eq);
+  auto fut2 = f.engine->Submit(eq);
+  EXPECT_EQ(fut1.get().num_matches, scan.NumMatches());
+  EXPECT_EQ(fut2.get().num_matches, scan.NumMatches());
+  // The second submit hit the shared cache (same fingerprint and epoch).
+  EXPECT_GE(f.engine->cache().stats().hits, 1u);
+
+  std::vector<std::vector<Key>> rows(
+      100, {Key(int64_t{50}), Key(int64_t{500})});
+  EXPECT_TRUE(f.engine->Append(std::move(rows)).get().ok());
+  EXPECT_EQ(f.engine->Submit(eq).get().num_matches, scan.NumMatches() + 100);
+}
+
+TEST(ServingEngineTest, CacheServesRepeatsWithoutRecomputingLookups) {
+  EngineFixture f;
+  const Query eq({Predicate::Eq(*f.table, "u", Value(700))});
+  (void)f.engine->ExecuteSelect(eq);
+  const auto before = f.engine->cache().stats();
+  for (int i = 0; i < 10; ++i) {
+    const serve::SelectResult r = f.engine->ExecuteSelect(eq);
+    EXPECT_TRUE(r.cache_hit);
+  }
+  const auto after = f.engine->cache().stats();
+  EXPECT_EQ(after.hits, before.hits + 10);
+  EXPECT_EQ(after.insertions, before.insertions);
+}
+
+TEST(WorkloadDriverTest, SingleThreadedRunReportsThroughputAndLatency) {
+  EngineFixture f;
+  std::vector<Query> pool;
+  for (int64_t u = 0; u < 20; ++u) {
+    pool.push_back(Query({Predicate::Eq(*f.table, "u", Value(u * 40))}));
+  }
+  serve::DriverOptions dopts;
+  dopts.reader_threads = 1;
+  dopts.writer_threads = 1;
+  dopts.lookups_per_reader = 50;
+  dopts.batches_per_writer = 3;
+  dopts.use_worker_pool = false;
+  std::vector<std::vector<std::vector<Key>>> batches(
+      3, std::vector<std::vector<Key>>(200, {Key(int64_t{5}),
+                                             Key(int64_t{55})}));
+  serve::WorkloadDriver driver(f.engine.get(), dopts);
+  const serve::DriverReport rep = driver.Run(pool, batches);
+  EXPECT_EQ(rep.lookups, 50u);
+  EXPECT_EQ(rep.batches_appended, 3u);
+  EXPECT_EQ(rep.rows_appended, 600u);
+  EXPECT_GT(rep.lookups_per_second, 0.0);
+  EXPECT_GT(rep.lookup_latency.p99_us, 0.0);
+  EXPECT_GE(rep.lookup_latency.p99_us, rep.lookup_latency.p50_us);
+  // Post-run: probe still equals scan.
+  for (const Query& q : pool) f.ExpectProbeEqualsScan(q);
+}
+
+}  // namespace
+}  // namespace corrmap

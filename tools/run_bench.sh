@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Builds and runs the serving benchmark, emitting machine-readable results
+# to BENCH_serve.json (repo root by default) so the performance trajectory
+# of the serving layer is recorded run-over-run.
+#
+# Usage: tools/run_bench.sh [output.json]
+#   BUILD_DIR=build   override the CMake build directory
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_serve.json}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" -j --target bench_serve_mixed >/dev/null
+
+"$BUILD_DIR/bench_serve_mixed" --json "$OUT"
+echo "results: $OUT"
