@@ -12,8 +12,17 @@
 // concurrent append stream, with the probe==scan invariant re-checked
 // against a full table scan after the mixed run.
 //
+// The mixed run executes twice: once with the tail left to grow (the
+// "degrades forever" baseline -- per-select cost rises monotonically with
+// every appended batch) and once with `--recluster-every <rows>` arming
+// the engine's background recluster, which folds the tail back into the
+// clustered region and keeps per-select cost bounded. The second-half /
+// first-half per-select cost ratio quantifies the difference, and a final
+// synchronous recluster must return the tail to exactly zero.
+//
 // `--json <path>` additionally emits machine-readable results
 // (tools/run_bench.sh writes BENCH_serve.json from this).
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -87,8 +96,12 @@ struct RunRow {
 
 int main(int argc, char** argv) {
   const char* json_path = nullptr;
+  size_t recluster_every = 16000;  // tail rows that arm a background pass
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--recluster-every") == 0) {
+      recluster_every = size_t(std::atoll(argv[i + 1]));
+    }
   }
 
   bench::PrintHeader(
@@ -111,7 +124,9 @@ int main(int argc, char** argv) {
       kMixedWriters * kBatchesPerWriter * kAppendBatchRows;
   ServingOptions sopts;
   sopts.num_workers = 1;
-  sopts.reserve_rows = t->NumRows() + append_capacity + kAppendBatchRows;
+  // Two mixed runs append through this reservation; each recluster renews
+  // it, but the no-recluster baseline must fit entirely.
+  sopts.reserve_rows = t->NumRows() + 2 * append_capacity + kAppendBatchRows;
   ServingEngine engine(t.get(), &*cidx, sopts);
   for (size_t col : kCols) {
     CmOptions copts;
@@ -147,22 +162,52 @@ int main(int argc, char** argv) {
     runs.push_back({readers, 0, driver.Run(pool, {})});
   }
 
-  // Mixed run: appends stream in while 4 readers keep looking up.
-  engine.cache().Clear();
-  engine.ResizeWorkerPool(kMixedReaders + kMixedWriters);
+  // Mixed runs: appends stream in while 4 readers keep looking up. First
+  // with the tail left to grow (the "degrades forever" baseline), then
+  // with the background recluster armed at --recluster-every tail rows.
   DriverOptions mopts;
   mopts.reader_threads = kMixedReaders;
   mopts.writer_threads = kMixedWriters;
   mopts.lookups_per_reader = kTotalLookupsPerRun / kMixedReaders;
   mopts.batches_per_writer = kBatchesPerWriter;
   mopts.io_stall_us_per_simulated_ms = kStallUsPerSimMs;
+  // Pace the writers so the append stream spans the whole run (without a
+  // pause the 64k rows land in the first second and the tail is static
+  // for most of the selects, hiding the growth the run measures).
+  mopts.writer_pause_us = 250'000;
+
+  engine.cache().Clear();
+  engine.ResizeWorkerPool(kMixedReaders + kMixedWriters);
   mopts.seed = 0x6e21;
   WorkloadDriver mixed_driver(&engine, mopts);
   runs.push_back(
       {kMixedReaders, kMixedWriters, mixed_driver.Run(pool, batches)});
+  const DriverReport norecluster = runs.back().report;  // copy: runs grows
+  const size_t tail_after_baseline = engine.TailRows();
+
+  // Drain the baseline run's tail so the two mixed runs start from the
+  // same clean state and their cost ratios compare apples to apples.
+  if (!engine.Recluster().ok()) {
+    std::cerr << "inter-run recluster failed\n";
+    return 1;
+  }
+  engine.cache().Clear();
+  engine.set_recluster_tail_rows(recluster_every);
+  mopts.seed = 0x7e21;
+  WorkloadDriver recluster_driver(&engine, mopts);
+  runs.push_back(
+      {kMixedReaders, kMixedWriters, recluster_driver.Run(pool, batches)});
+  const DriverReport with_recluster = runs.back().report;
+  const size_t tail_after_recluster = engine.TailRows();
+  engine.set_recluster_tail_rows(0);
+
+  // Quiesce: one final synchronous pass must drain the tail completely.
+  auto final_pass = engine.Recluster();
+  const size_t tail_after_final = engine.TailRows();
 
   TablePrinter out({"readers", "writers", "lookups/s", "p50 [us]", "p99 [us]",
-                    "cache hit %", "rows appended"});
+                    "cache hit %", "rows appended", "reclusters",
+                    "cost 2nd/1st"});
   for (const RunRow& r : runs) {
     const DriverReport& rep = r.report;
     const double hit_pct =
@@ -174,9 +219,23 @@ int main(int argc, char** argv) {
                 TablePrinter::Fmt(rep.lookup_latency.p50_us, 0),
                 TablePrinter::Fmt(rep.lookup_latency.p99_us, 0),
                 TablePrinter::Fmt(hit_pct, 1),
-                std::to_string(rep.rows_appended)});
+                std::to_string(rep.rows_appended),
+                std::to_string(rep.reclusters),
+                TablePrinter::Fmt(rep.SecondHalfCostRatio(), 2)});
   }
   out.Print(std::cout);
+
+  std::cout << "\nmixed run without recluster: per-select cost ratio "
+            << TablePrinter::Fmt(norecluster.SecondHalfCostRatio(), 2)
+            << " (tail grew to " << tail_after_baseline << " rows)\n"
+            << "mixed run with recluster-every=" << recluster_every
+            << ": per-select cost ratio "
+            << TablePrinter::Fmt(with_recluster.SecondHalfCostRatio(), 2)
+            << " across " << with_recluster.reclusters
+            << " background passes (tail ended at " << tail_after_recluster
+            << " rows)\n"
+            << "final synchronous recluster: tail " << tail_after_final
+            << " rows, engine epoch " << engine.ReclusterEpoch() << "\n";
 
   const double speedup = runs[0].report.lookups_per_second > 0
                              ? runs[2].report.lookups_per_second /
@@ -186,22 +245,27 @@ int main(int argc, char** argv) {
             << TablePrinter::Fmt(speedup, 2) << "x the 1-reader run "
             << "(target >= 3x)\n";
 
-  // probe==scan invariant after the concurrent mixed run: every query must
-  // count exactly what a full scan counts.
+  // probe==scan invariant after the concurrent mixed runs and reclusters:
+  // every query must count exactly what a full scan counts. Scan the
+  // engine's *current* table -- the reclusters retired the original.
   Status inv = engine.CheckInvariants();
   size_t mismatches = 0;
   for (size_t i = 0; i < 16; ++i) {
     const Query& q = pool[i * (pool.size() / 16)];
     const SelectResult probe = engine.ExecuteSelect(q);
-    const ExecResult scan = FullTableScan(*t, q);
+    const ExecResult scan = FullTableScan(engine.table(), q);
     if (probe.num_matches != scan.NumMatches()) ++mismatches;
   }
   std::cout << "post-run invariants: " << inv.ToString() << ", probe==scan on "
             << (16 - mismatches) << "/16 sampled queries\n";
 
+  const bool recluster_ok = final_pass.ok() && tail_after_final == 0 &&
+                            with_recluster.reclusters >= 1;
+
   if (json_path != nullptr) {
     std::ostringstream js;
-    js << "{\n  \"bench\": \"serve_mixed\",\n  \"runs\": [\n";
+    js << "{\n  \"bench\": \"serve_mixed\",\n  \"recluster_every\": "
+       << recluster_every << ",\n  \"runs\": [\n";
     for (size_t i = 0; i < runs.size(); ++i) {
       const DriverReport& rep = runs[i].report;
       js << "    {\"readers\": " << runs[i].readers
@@ -212,14 +276,25 @@ int main(int argc, char** argv) {
          << ", \"p99_us\": " << rep.lookup_latency.p99_us
          << ", \"cache_hits\": " << rep.lookup_cache_hits
          << ", \"rows_appended\": " << rep.rows_appended
+         << ", \"reclusters\": " << rep.reclusters
+         << ", \"cost_ratio_2nd_1st\": " << rep.SecondHalfCostRatio()
          << ", \"wall_s\": " << rep.wall_seconds << "}"
          << (i + 1 < runs.size() ? "," : "") << "\n";
     }
     js << "  ],\n  \"speedup_4v1\": " << speedup
+       << ",\n  \"cost_ratio_norecluster\": "
+       << norecluster.SecondHalfCostRatio()
+       << ",\n  \"cost_ratio_recluster\": "
+       << with_recluster.SecondHalfCostRatio()
+       << ",\n  \"tail_after_baseline\": " << tail_after_baseline
+       << ",\n  \"tail_after_recluster\": " << tail_after_recluster
+       << ",\n  \"tail_after_final_recluster\": " << tail_after_final
        << ",\n  \"invariants_ok\": " << (inv.ok() ? "true" : "false")
        << ",\n  \"probe_scan_mismatches\": " << mismatches << "\n}\n";
     std::ofstream(json_path) << js.str();
     std::cout << "wrote " << json_path << "\n";
   }
-  return (speedup >= 3.0 && inv.ok() && mismatches == 0) ? 0 : 1;
+  return (speedup >= 3.0 && inv.ok() && mismatches == 0 && recluster_ok)
+             ? 0
+             : 1;
 }

@@ -115,6 +115,9 @@ class ClusteredBucketing {
 
   size_t NumBuckets() const { return starts_.size(); }
   uint64_t target_tuples_per_bucket() const { return target_; }
+  /// Rows covered at build time ([0, covered_rows)); rows appended later
+  /// (a serving tail) have no bucket id.
+  RowId covered_rows() const { return end_; }
 
   /// Bucket id containing row `row`.
   int64_t BucketOfRow(RowId row) const;

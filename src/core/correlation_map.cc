@@ -143,24 +143,31 @@ Status CorrelationMap::BuildFromTable() {
 }
 
 void CorrelationMap::InsertRow(RowId row) {
-  ++epoch_;
-  auto [mit, new_key] = map_.try_emplace(UKeyOfRow(row));
-  if (new_key) NoteKeyAdded(mit->first);
-  auto [it, inserted] = mit->second.emplace(ClusteredOrdinalOfRow(row), 1);
-  if (inserted) {
-    ++num_entries_;
-  } else {
-    ++it->second;
-  }
+  UpsertPair(UKeyOfRow(row), ClusteredOrdinalOfRow(row));
 }
 
 Status CorrelationMap::DeleteRow(RowId row) {
+  return RetractPair(UKeyOfRow(row), ClusteredOrdinalOfRow(row));
+}
+
+void CorrelationMap::UpsertPair(const CmKey& u_key, int64_t c_ordinal,
+                                uint32_t count) {
   ++epoch_;
-  const CmKey ukey = UKeyOfRow(row);
-  auto mit = map_.find(ukey);
+  auto [mit, new_key] = map_.try_emplace(u_key);
+  if (new_key) NoteKeyAdded(mit->first);
+  auto [it, inserted] = mit->second.emplace(c_ordinal, count);
+  if (inserted) {
+    ++num_entries_;
+  } else {
+    it->second += count;
+  }
+}
+
+Status CorrelationMap::RetractPair(const CmKey& u_key, int64_t c_ordinal) {
+  ++epoch_;
+  auto mit = map_.find(u_key);
   if (mit == map_.end()) return Status::NotFound("u-key not mapped");
-  const int64_t c = ClusteredOrdinalOfRow(row);
-  auto cit = mit->second.find(c);
+  auto cit = mit->second.find(c_ordinal);
   if (cit == mit->second.end()) {
     return Status::NotFound("clustered ordinal not mapped for u-key");
   }
@@ -169,7 +176,7 @@ Status CorrelationMap::DeleteRow(RowId row) {
     --num_entries_;
     if (mit->second.empty()) {
       map_.erase(mit);
-      NoteKeyErased(ukey);
+      NoteKeyErased(u_key);
     }
   }
   return Status::OK();
@@ -182,12 +189,18 @@ size_t CorrelationMap::InsertRowsBatched(std::span<const RowId> rows) {
   // hash traversal per row. An empty batch must not bump the epoch (it
   // would invalidate cached lookups for a no-op).
   if (rows.empty()) return 0;
-  ++epoch_;
   std::vector<std::pair<CmKey, int64_t>> pairs;
   pairs.reserve(rows.size());
   for (RowId r : rows) {
     pairs.emplace_back(UKeyOfRow(r), ClusteredOrdinalOfRow(r));
   }
+  return UpsertPairsBatched(std::move(pairs));
+}
+
+size_t CorrelationMap::UpsertPairsBatched(
+    std::vector<std::pair<CmKey, int64_t>> pairs) {
+  if (pairs.empty()) return 0;
+  ++epoch_;
   std::sort(pairs.begin(), pairs.end(),
             [](const auto& a, const auto& b) {
               if (a.first < b.first) return true;
@@ -222,36 +235,12 @@ size_t CorrelationMap::InsertRowsBatched(std::span<const RowId> rows) {
 
 void CorrelationMap::InsertValues(std::span<const Key> u_keys,
                                   int64_t c_ordinal) {
-  ++epoch_;
-  auto [mit, new_key] = map_.try_emplace(UKeyOfValues(u_keys));
-  if (new_key) NoteKeyAdded(mit->first);
-  auto [it, inserted] = mit->second.emplace(c_ordinal, 1);
-  if (inserted) {
-    ++num_entries_;
-  } else {
-    ++it->second;
-  }
+  UpsertPair(UKeyOfValues(u_keys), c_ordinal);
 }
 
 Status CorrelationMap::DeleteValues(std::span<const Key> u_keys,
                                     int64_t c_ordinal) {
-  ++epoch_;
-  const CmKey ukey = UKeyOfValues(u_keys);
-  auto mit = map_.find(ukey);
-  if (mit == map_.end()) return Status::NotFound("u-key not mapped");
-  auto cit = mit->second.find(c_ordinal);
-  if (cit == mit->second.end()) {
-    return Status::NotFound("clustered ordinal not mapped for u-key");
-  }
-  if (--cit->second == 0) {
-    mit->second.erase(cit);
-    --num_entries_;
-    if (mit->second.empty()) {
-      map_.erase(mit);
-      NoteKeyErased(ukey);
-    }
-  }
-  return Status::OK();
+  return RetractPair(UKeyOfValues(u_keys), c_ordinal);
 }
 
 bool CorrelationMap::BuildConstraints(
@@ -406,44 +395,75 @@ void CorrelationMap::MergeDirectoryDelta() const {
   ++directory_incremental_merges_;
 }
 
+bool CorrelationMap::HasRangePredicate(
+    std::span<const CmColumnPredicate> preds) {
+  for (const CmColumnPredicate& p : preds) {
+    if (p.kind == CmColumnPredicate::Kind::kRange) return true;
+  }
+  return false;
+}
+
+bool CorrelationMap::CompilePointProbeKeys(
+    std::span<const CmColumnPredicate> preds, std::vector<CmKey>* out) const {
+  assert(preds.size() == options_.u_cols.size());
+  out->clear();
+  std::vector<ColumnConstraint> cons;
+  if (!BuildConstraints(preds, &cons)) return false;
+  size_t cross = 1;
+  for (const ColumnConstraint& c : cons) {
+    if (c.is_range) return false;
+    cross *= c.points.size();
+  }
+  // Cross product of per-column bucket ordinals (mixed-radix counter).
+  out->reserve(cross);
+  std::vector<size_t> idx(cons.size(), 0);
+  while (true) {
+    CmKey key;
+    for (size_t i = 0; i < cons.size(); ++i) {
+      key.Append(cons[i].points[idx[i]]);
+    }
+    out->push_back(key);
+    size_t i = 0;
+    for (; i < idx.size(); ++i) {
+      if (++idx[i] < cons[i].points.size()) break;
+      idx[i] = 0;
+    }
+    if (i == idx.size()) break;
+  }
+  return true;
+}
+
+CmLookupResult CorrelationMap::LookupKeys(std::span<const CmKey> keys) const {
+  lookups_computed_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<int64_t> ordinals;
+  uint64_t pairs_probed = 0;
+  for (const CmKey& key : keys) {
+    auto it = map_.find(key);
+    if (it == map_.end()) continue;
+    pairs_probed += it->second.size();
+    for (const auto& [c, cnt] : it->second) ordinals.push_back(c);
+  }
+  return MakeResult(std::move(ordinals), pairs_probed,
+                    /*used_directory=*/false);
+}
+
 CmLookupResult CorrelationMap::Lookup(
     std::span<const CmColumnPredicate> preds) const {
   assert(preds.size() == options_.u_cols.size());
+  if (!HasRangePredicate(preds)) {
+    // All-points predicates probe the hash map key by key.
+    std::vector<CmKey> keys;
+    if (!CompilePointProbeKeys(preds, &keys)) {
+      lookups_computed_.fetch_add(1, std::memory_order_relaxed);
+      return CmLookupResult{};  // a constraint is provably empty
+    }
+    return LookupKeys(keys);
+  }
   lookups_computed_.fetch_add(1, std::memory_order_relaxed);
   std::vector<ColumnConstraint> cons;
   if (!BuildConstraints(preds, &cons)) return CmLookupResult{};
 
   std::vector<int64_t> ordinals;
-  bool all_points = true;
-  for (const ColumnConstraint& c : cons) {
-    if (c.is_range) all_points = false;
-  }
-
-  if (all_points) {
-    // Cross product of per-column bucket ordinals, probed directly.
-    uint64_t pairs_probed = 0;
-    std::vector<size_t> idx(cons.size(), 0);
-    while (true) {
-      CmKey key;
-      for (size_t i = 0; i < cons.size(); ++i) {
-        key.Append(cons[i].points[idx[i]]);
-      }
-      auto it = map_.find(key);
-      if (it != map_.end()) {
-        pairs_probed += it->second.size();
-        for (const auto& [c, cnt] : it->second) ordinals.push_back(c);
-      }
-      // Advance the mixed-radix counter.
-      size_t i = 0;
-      for (; i < idx.size(); ++i) {
-        if (++idx[i] < cons[i].points.size()) break;
-        idx[i] = 0;
-      }
-      if (i == idx.size()) break;
-    }
-    return MakeResult(std::move(ordinals), pairs_probed,
-                      /*used_directory=*/false);
-  }
 
   // Range predicate present: binary-search the sorted directory of the
   // range column with the narrowest run, then filter that run on the

@@ -27,6 +27,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -211,6 +212,21 @@ class CorrelationMap {
   void InsertValues(std::span<const Key> u_keys, int64_t c_ordinal);
   Status DeleteValues(std::span<const Key> u_keys, int64_t c_ordinal);
 
+  /// Precomputed-pair maintenance: the caller already bucketed the row to
+  /// its (u-key, clustered ordinal) pair. The sharded serving wrapper
+  /// buckets each row exactly once -- for shard routing -- and passes the
+  /// pair down instead of having the shard's map re-derive it from the
+  /// table. Post-state is identical to InsertRow/DeleteRow on the source
+  /// row.
+  void UpsertPair(const CmKey& u_key, int64_t c_ordinal, uint32_t count = 1);
+  Status RetractPair(const CmKey& u_key, int64_t c_ordinal);
+  /// Batched UpsertPair: sorts the batch and applies one map upsert per
+  /// distinct pair (the InsertRowsBatched engine underneath). Takes the
+  /// batch by value -- callers hand over their freshly built vector --
+  /// because sorting mutates it; no copy on the serving hot path. Returns
+  /// the number of distinct (u-key, ordinal) groups applied.
+  size_t UpsertPairsBatched(std::vector<std::pair<CmKey, int64_t>> pairs);
+
   /// Clustered ordinal for a row (bucket id, or the order-preserving
   /// raw-key encoding when the clustered attribute is unbucketed).
   int64_t ClusteredOrdinalOfRow(RowId row) const;
@@ -239,6 +255,26 @@ class CorrelationMap {
   /// the map (the pre-directory behavior). Kept for equivalence tests and
   /// the scan-vs-probe benches; returns identical ordinals to Lookup.
   CmLookupResult LookupViaScan(std::span<const CmColumnPredicate> preds) const;
+
+  /// True when any column carries a range predicate (those take the
+  /// sorted-directory path; only all-points vectors compile to probe
+  /// keys). Callers must check this before treating a false return from
+  /// CompilePointProbeKeys as "provably empty".
+  static bool HasRangePredicate(std::span<const CmColumnPredicate> preds);
+
+  /// Compiles an all-points predicate vector to the exact cross product of
+  /// bucketed CmKeys a point lookup probes. Returns false when any column
+  /// carries a range predicate (the directory path answers those) or a
+  /// constraint is provably empty -- disambiguate with HasRangePredicate.
+  /// The sharded wrapper uses this to route each probe key to its owning
+  /// shard instead of probing every shard.
+  bool CompilePointProbeKeys(std::span<const CmColumnPredicate> preds,
+                             std::vector<CmKey>* out) const;
+
+  /// Probes exactly `keys` in the hash map and coalesces the co-occurring
+  /// clustered ordinals (the all-points half of Lookup, split out so probe
+  /// keys can be routed shard-by-shard). Keys must be pre-bucketed.
+  CmLookupResult LookupKeys(std::span<const CmKey> keys) const;
 
   /// Legacy vector-of-ordinals facade over Lookup(). Sorted ascending,
   /// deduplicated.

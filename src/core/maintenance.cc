@@ -90,6 +90,33 @@ void MaintenanceDriver::InsertBatch(const std::vector<std::vector<Key>>& rows) {
   report_.insert_ms += cpu_ms + DrainIoMs();
 }
 
+Status MaintenanceDriver::ReclusterHeap(ClusteredIndex* cidx) {
+  if (!btrees_.empty()) {
+    return Status::InvalidArgument(
+        "secondary B+Trees hold RowIds the re-sort invalidates; detach and "
+        "rebuild them instead");
+  }
+  for (const CorrelationMap* cm : cms_) {
+    if (cm->has_clustered_buckets()) {
+      return Status::InvalidArgument(
+          "c-bucketed CM ordinals are positional; rebuild the CM instead");
+    }
+  }
+  const size_t col = cidx->column();
+  const uint64_t heap_pages = table_->NumPages();
+  Status s = table_->ClusterBy(col);
+  if (!s.ok()) return s;
+  auto rebuilt = ClusteredIndex::Build(*table_, col);
+  if (!rebuilt.ok()) return rebuilt.status();
+  *cidx = std::move(*rebuilt);
+  // The rewrite reads every heap page and writes it back in sorted order.
+  DiskStats io;
+  io.seq_pages += 2 * heap_pages;
+  report_.io += io;
+  report_.insert_ms += config_.disk.CostMs(io);
+  return Status::OK();
+}
+
 ExecResult MaintenanceDriver::SelectViaBTree(const SecondaryIndex& index,
                                              const Query& query) {
   // The index probe touches its own pages via the tree's pool hooks; heap

@@ -78,6 +78,16 @@ class MaintenanceDriver {
   ExecResult SelectViaCm(const CorrelationMap& cm, const ClusteredIndex& cidx,
                          const Query& query);
 
+  /// Offline analogue of the serving layer's online recluster
+  /// (src/serve/recluster.h): re-sorts the heap by `cidx`'s column --
+  /// merging any appended tail back into clustered order -- rebuilds
+  /// `*cidx` in place, and charges one sequential read plus one sequential
+  /// write of the heap to the report. Unbucketed CMs need no rebase (their
+  /// clustered ordinals encode values, not positions), but attached
+  /// secondary B+Trees and c-bucketed CMs hold row-position state the sort
+  /// invalidates, so the call is refused while any are attached.
+  Status ReclusterHeap(ClusteredIndex* cidx);
+
   const MaintenanceReport& report() const { return report_; }
   uint32_t heap_file_id() const { return heap_file_; }
 

@@ -26,6 +26,55 @@ Result<ClusteredIndex> ClusteredIndex::Build(const Table& table, size_t col) {
   return idx;
 }
 
+Result<ClusteredIndex> ClusteredIndex::BuildMerged(
+    const Table& table, size_t col, const ClusteredIndex& old,
+    RowId old_region_end, std::span<const Key> sorted_tail_keys) {
+  if (table.clustered_column() != static_cast<int>(col)) {
+    return Status::InvalidArgument("table is not clustered on column");
+  }
+  if (old.column() != col) {
+    return Status::InvalidArgument("old index covers a different column");
+  }
+  ClusteredIndex idx(&table, col);
+  const size_t m = old.keys_.size();
+  idx.keys_.reserve(m + sorted_tail_keys.size());
+  idx.first_row_.reserve(m + sorted_tail_keys.size());
+  RowId next_row = 0;  // running first-row offset in the merged order
+  size_t i = 0, j = 0;
+  auto emit = [&](const Key& k, uint64_t count) {
+    if (idx.keys_.empty() || !(idx.keys_.back() == k)) {
+      idx.keys_.push_back(k);
+      idx.first_row_.push_back(next_row);
+    }
+    next_row += count;
+  };
+  while (i < m || j < sorted_tail_keys.size()) {
+    // Old keys win ties: the merge permutation keeps clustered-region rows
+    // before equal tail rows, and emit() folds the tail run into the same
+    // distinct key either way.
+    if (j >= sorted_tail_keys.size() ||
+        (i < m && !(sorted_tail_keys[j] < old.keys_[i]))) {
+      const RowId begin = old.first_row_[i];
+      const RowId end =
+          (i + 1 < m) ? old.first_row_[i + 1] : old_region_end;
+      emit(old.keys_[i], end - begin);
+      ++i;
+    } else {
+      size_t run = j + 1;
+      while (run < sorted_tail_keys.size() &&
+             sorted_tail_keys[run] == sorted_tail_keys[j]) {
+        ++run;
+      }
+      emit(sorted_tail_keys[j], run - j);
+      j = run;
+    }
+  }
+  if (next_row != RowId(old_region_end + sorted_tail_keys.size())) {
+    return Status::Corruption("merged row count mismatch");
+  }
+  return idx;
+}
+
 size_t ClusteredIndex::LowerBoundKey(const Key& key) const {
   return std::lower_bound(keys_.begin(), keys_.end(), key) - keys_.begin();
 }

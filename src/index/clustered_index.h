@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -31,6 +32,20 @@ class ClusteredIndex {
   /// Builds over `table`, which must already be clustered on `col`
   /// (Table::ClusterBy). Scans once to record each distinct key's first row.
   static Result<ClusteredIndex> Build(const Table& table, size_t col);
+
+  /// Recluster hook: builds the index for `table` -- a reordered copy whose
+  /// clustered region is the merge of `old`'s region with a sorted tail --
+  /// by patching `old`'s bucket boundaries instead of rescanning every row.
+  /// `old_region_end` is the row count `old` covered (its last key's range
+  /// ends there, not at its table's live row count, which may include an
+  /// unclustered tail). `sorted_tail_keys` are the clustered keys of the
+  /// merged tail rows, ascending, with multiplicity. Produces exactly what
+  /// Build(table, col) would.
+  static Result<ClusteredIndex> BuildMerged(const Table& table, size_t col,
+                                            const ClusteredIndex& old,
+                                            RowId old_region_end,
+                                            std::span<const Key>
+                                                sorted_tail_keys);
 
   size_t column() const { return col_; }
   size_t NumDistinctKeys() const { return keys_.size(); }

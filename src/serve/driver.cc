@@ -56,6 +56,10 @@ DriverReport WorkloadDriver::Run(
     uint64_t matches = 0;
     uint64_t cache_hits = 0;
     double simulated_ms = 0;
+    double simulated_first_half_ms = 0;
+    double simulated_second_half_ms = 0;
+    uint64_t first_half = 0;
+    uint64_t second_half = 0;
     Clock::time_point finished;
   };
   std::vector<ReaderState> readers(options_.reader_threads);
@@ -92,6 +96,13 @@ DriverReport WorkloadDriver::Run(
         me.matches += res.num_matches;
         me.cache_hits += res.cache_hit ? 1 : 0;
         me.simulated_ms += res.simulated_ms;
+        if (i < options_.lookups_per_reader / 2) {
+          me.simulated_first_half_ms += res.simulated_ms;
+          ++me.first_half;
+        } else {
+          me.simulated_second_half_ms += res.simulated_ms;
+          ++me.second_half;
+        }
       }
       me.finished = Clock::now();
     });
@@ -125,6 +136,7 @@ DriverReport WorkloadDriver::Run(
 
   // Stamp before releasing the latch: on a single core the readers can
   // finish before this thread runs again, and the window must not be 0.
+  const uint64_t reclusters_before = engine_->ReclustersCompleted();
   const Clock::time_point go = Clock::now();
   start.arrive_and_wait();
   for (std::thread& th : threads) th.join();
@@ -136,6 +148,10 @@ DriverReport WorkloadDriver::Run(
     report.lookup_matches += r.matches;
     report.lookup_cache_hits += r.cache_hits;
     report.simulated_select_ms += r.simulated_ms;
+    report.simulated_first_half_ms += r.simulated_first_half_ms;
+    report.simulated_second_half_ms += r.simulated_second_half_ms;
+    report.lookups_first_half += r.first_half;
+    report.lookups_second_half += r.second_half;
     all_latencies.insert(all_latencies.end(), r.latencies_us.begin(),
                          r.latencies_us.end());
   }
@@ -149,6 +165,7 @@ DriverReport WorkloadDriver::Run(
   report.batches_appended = batches_appended.load();
   report.append_rejections = append_rejections.load();
   report.cache = engine_->cache().stats();
+  report.reclusters = engine_->ReclustersCompleted() - reclusters_before;
   return report;
 }
 

@@ -50,6 +50,17 @@ struct LatencySummary {
 };
 
 struct DriverReport {
+  /// Mean simulated per-select cost of the second half of each reader's
+  /// stream over the first (1.0 = flat; see simulated_first_half_ms).
+  double SecondHalfCostRatio() const {
+    if (lookups_first_half == 0 || lookups_second_half == 0) return 0;
+    const double first =
+        simulated_first_half_ms / double(lookups_first_half);
+    const double second =
+        simulated_second_half_ms / double(lookups_second_half);
+    return first > 0 ? second / first : 0;
+  }
+
   uint64_t lookups = 0;
   uint64_t lookup_matches = 0;
   uint64_t lookup_cache_hits = 0;
@@ -61,6 +72,16 @@ struct DriverReport {
   double lookups_per_second = 0;
   /// Sum of per-select simulated disk cost (the simulation-domain view).
   double simulated_select_ms = 0;
+  /// The same cost split between each reader's first and second half of
+  /// selects: with appends streaming in and no recluster, the second-half
+  /// mean strictly exceeds the first (the tail sweep grows per batch);
+  /// with reclusters the ratio stays bounded. The Fig. 9 health metric.
+  double simulated_first_half_ms = 0;
+  double simulated_second_half_ms = 0;
+  uint64_t lookups_first_half = 0;
+  uint64_t lookups_second_half = 0;
+  /// Recluster passes the engine completed during the run.
+  uint64_t reclusters = 0;
   /// Select latency including queue wait and the emulated device stall.
   LatencySummary lookup_latency;
   SharedLookupCache::Stats cache;

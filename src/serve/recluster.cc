@@ -1,0 +1,139 @@
+#include "serve/recluster.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <utility>
+
+#include "index/clustered_index.h"
+#include "serve/serving_engine.h"
+
+namespace corrmap::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+std::vector<RowId> MergeTailPermutation(const Table& t, size_t c_col,
+                                        RowId boundary, size_t n_rows,
+                                        std::vector<Key>* sorted_tail_keys) {
+  std::vector<RowId> perm(n_rows);
+  std::iota(perm.begin(), perm.end(), RowId{0});
+  const auto key_less = [&](RowId a, RowId b) {
+    return t.GetKey(a, c_col) < t.GetKey(b, c_col);
+  };
+  const auto mid = perm.begin() + std::ptrdiff_t(boundary);
+  std::stable_sort(mid, perm.end(), key_less);
+  if (sorted_tail_keys != nullptr) {
+    sorted_tail_keys->clear();
+    sorted_tail_keys->reserve(n_rows - boundary);
+    for (auto it = mid; it != perm.end(); ++it) {
+      sorted_tail_keys->push_back(t.GetKey(*it, c_col));
+    }
+  }
+  // inplace_merge keeps first-range elements before equal second-range
+  // elements: clustered-region rows precede equal tail rows, matching the
+  // stable sort ClusterBy would have produced.
+  std::inplace_merge(perm.begin(), mid, perm.end(), key_less);
+  return perm;
+}
+
+Result<ReclusterStats> Reclusterer::Run() {
+  ServingEngine& e = *engine_;
+  std::lock_guard<std::mutex> recluster_lock(e.recluster_mu_);
+  const std::shared_ptr<ServingEngine::EpochState> old = e.CurrentState();
+  const Table& ot = *old->table;
+  const size_t c_col = size_t(ot.clustered_column());
+  const RowId boundary = old->clustered_boundary;
+  const size_t n0 = ot.NumRows();  // phase-1 snapshot (acquire)
+
+  ReclusterStats stats;
+  stats.epoch = old->version;
+  stats.rows_clustered = boundary;
+  if (RowId(n0) == boundary) return stats;  // empty tail: nothing to move
+  stats.tail_rows_merged = n0 - boundary;
+
+  // ---- Phase 1: build the successor off to the side. Readers keep
+  // serving `old`; appends keep landing in ot's tail beyond n0.
+  const Clock::time_point t_build = Clock::now();
+  std::vector<Key> tail_keys;
+  const std::vector<RowId> perm =
+      MergeTailPermutation(ot, c_col, boundary, n0, &tail_keys);
+  auto next = std::make_shared<ServingEngine::EpochState>();
+  next->version = old->version + 1;
+  next->owned_table = ot.CloneReordered(perm);
+  next->table = next->owned_table.get();
+  next->clustered_boundary = RowId(n0);
+
+  auto ncidx = ClusteredIndex::BuildMerged(*next->table, c_col, *old->cidx,
+                                           boundary, tail_keys);
+  if (!ncidx.ok()) return ncidx.status();
+  next->owned_cidx = std::make_unique<ClusteredIndex>(std::move(*ncidx));
+  next->cidx = next->owned_cidx.get();
+
+  for (size_t i = 0; i < old->cms.size(); ++i) {
+    CmOptions opts = e.attached_[i];
+    std::unique_ptr<ClusteredBucketing> cb;
+    if (e.c_bucket_targets_[i] > 0) {
+      // Re-base the positional bucketing over the merged region; the CM
+      // rebuilt below maps u-keys to the new bucket ids.
+      auto built = ClusteredBucketing::Build(*next->table, opts.c_col,
+                                            e.c_bucket_targets_[i]);
+      if (!built.ok()) return built.status();
+      cb = std::make_unique<ClusteredBucketing>(std::move(*built));
+      opts.c_buckets = cb.get();
+    }
+    auto scm = ShardedCorrelationMap::Create(next->table, opts,
+                                            e.options_.num_cm_shards);
+    if (!scm.ok()) return scm.status();
+    auto owned = std::make_unique<ShardedCorrelationMap>(std::move(*scm));
+    Status s = owned->BuildFromTable(n0);
+    if (!s.ok()) return s;
+    next->cms.push_back(std::move(owned));
+    next->c_bucketings.push_back(std::move(cb));
+  }
+  stats.build_seconds = SecondsSince(t_build);
+
+  // ---- Phase 2: block writers, catch up the rows they appended during
+  // phase 1, raise the successor CM epochs past their predecessors', and
+  // publish. Readers are never blocked; a reader holding `old` finishes
+  // against a fully consistent retired epoch.
+  const Clock::time_point t_swap = Clock::now();
+  {
+    std::lock_guard<std::mutex> append_lock(e.append_mu_);
+    const size_t n1 = ot.NumRows();
+    stats.catch_up_rows = n1 - n0;
+    // The successor is still private: growing its reservation (which may
+    // reallocate columns) is safe until the publish below.
+    next->table->Reserve(std::max(e.options_.reserve_rows,
+                                  n1 + ServingOptions::kDefaultAppendHeadroom));
+    if (n1 > n0) {
+      next->table->AppendRowsFrom(ot, RowId(n0), RowId(n1));
+      std::vector<RowId> rids(n1 - n0);
+      std::iota(rids.begin(), rids.end(), RowId(n0));
+      for (const auto& scm : next->cms) {
+        // Catch-up rows seed the successor's tail; c-bucketed CMs skip
+        // them exactly as the live append path does.
+        if (scm->has_clustered_buckets()) continue;
+        scm->InsertRowsBatched(rids);
+      }
+    }
+    for (size_t i = 0; i < next->cms.size(); ++i) {
+      next->cms[i]->EnsureEpochAtLeast(old->cms[i]->Epoch() + 1);
+    }
+    e.PublishState(next);
+  }
+  stats.swap_seconds = SecondsSince(t_swap);
+  stats.rows_clustered = n0;
+  stats.epoch = next->version;
+  e.reclusters_completed_.fetch_add(1, std::memory_order_acq_rel);
+  return stats;
+}
+
+}  // namespace corrmap::serve

@@ -1,0 +1,95 @@
+// Online re-clustering of the serving tail (the top ROADMAP open item).
+//
+// The ServingEngine parks every append in an unclustered tail
+// [clustered_boundary, NumRows) that each select must sweep, so select
+// cost grows monotonically with the append stream. The Recluster pass
+// folds the tail back into the clustered region without ever blocking
+// readers and without stalling writers for longer than a small catch-up:
+//
+//   Phase 1 (concurrent with selects AND appends): snapshot the published
+//   row count n0, compute the merge permutation (the clustered region is
+//   already sorted; the tail is sorted and the two runs merged in place),
+//   deep-copy the table in merged order (dictionaries preserved, so
+//   physical keys keep their codes), patch the ClusteredIndex boundaries
+//   from the old index + the sorted tail keys, and rebuild the sharded
+//   CMs against the successor table. Appends racing this phase keep
+//   landing in the predecessor's tail beyond n0.
+//
+//   Phase 2 (append lock held, readers still free): copy the catch-up
+//   rows [n0, n1) into the successor as its initial tail, feed them to
+//   the successor CMs, raise every successor CM's epoch above its
+//   predecessor's -- so SharedLookupCache entries keyed to pre-recluster
+//   epochs compare stale and are lazily evicted, never served -- and
+//   publish the successor EpochState with one pointer swap (release;
+//   readers acquire). A reader that pinned the predecessor keeps serving
+//   a fully consistent old epoch until it finishes; probe==scan holds on
+//   both sides of the swap because the row multiset is identical.
+//
+// Unbucketed CMs encode clustered *values*, so their content survives a
+// physical reorder unchanged -- they are rebuilt only to retarget the
+// successor table. c-bucketed CMs encode positional bucket ids; the pass
+// rebuilds their ClusteredBucketing over the successor's clustered region,
+// which is what makes c-bucketed CMs admissible in the serving engine
+// again (between reclusters their tail rows are simply left to the sweep).
+#ifndef CORRMAP_SERVE_RECLUSTER_H_
+#define CORRMAP_SERVE_RECLUSTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace corrmap::serve {
+
+class ServingEngine;
+
+/// Outcome of one recluster pass.
+struct ReclusterStats {
+  /// EpochState version published by this pass (unchanged if no-op).
+  uint64_t epoch = 0;
+  /// Rows in the successor's clustered region (old region + merged tail).
+  uint64_t rows_clustered = 0;
+  /// Old-tail rows merged into the clustered region.
+  uint64_t tail_rows_merged = 0;
+  /// Rows appended while phase 1 ran; they seed the successor's tail.
+  uint64_t catch_up_rows = 0;
+  /// Wall seconds in phase 1 (fully concurrent).
+  double build_seconds = 0;
+  /// Wall seconds in phase 2 (writers blocked; readers still free).
+  double swap_seconds = 0;
+
+  bool performed() const { return tail_rows_merged > 0; }
+};
+
+/// Merge permutation over the first `n_rows` rows of `t`: [0, boundary) is
+/// assumed sorted by column `c_col` (the clustered region), [boundary,
+/// n_rows) is stable-sorted and the two sorted runs merged, preserving the
+/// relative order of equal keys (clustered-region rows first, then tail
+/// rows in append order) exactly like Table::ClusterBy's stable sort
+/// would. When `sorted_tail_keys` is non-null it receives the tail's
+/// clustered keys ascending with multiplicity (captured from the sorted
+/// run before the merge -- ClusteredIndex::BuildMerged consumes exactly
+/// this, so the pass never sorts the tail twice). Exposed for tests.
+std::vector<RowId> MergeTailPermutation(const Table& t, size_t c_col,
+                                        RowId boundary, size_t n_rows,
+                                        std::vector<Key>* sorted_tail_keys =
+                                            nullptr);
+
+/// One recluster pass over a ServingEngine (see the file comment for the
+/// two-phase protocol). Serialized against other passes by the engine's
+/// recluster mutex; safe to run from any thread, including the engine's
+/// own worker pool (the background trigger does exactly that).
+class Reclusterer {
+ public:
+  explicit Reclusterer(ServingEngine* engine) : engine_(engine) {}
+
+  Result<ReclusterStats> Run();
+
+ private:
+  ServingEngine* engine_;
+};
+
+}  // namespace corrmap::serve
+
+#endif  // CORRMAP_SERVE_RECLUSTER_H_

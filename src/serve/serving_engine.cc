@@ -7,35 +7,60 @@ namespace corrmap::serve {
 
 ServingEngine::ServingEngine(Table* table, const ClusteredIndex* cidx,
                              ServingOptions options)
-    : table_(table),
-      cidx_(cidx),
-      options_(options),
-      clustered_boundary_(RowId(table->NumRows())) {
-  assert(table_->clustered_column() == int(cidx_->column()) &&
+    : options_(options),
+      recluster_tail_rows_(options.recluster_tail_rows) {
+  assert(table->clustered_column() == int(cidx->column()) &&
          "table must be clustered with cidx built over the clustered column");
   const size_t reserve =
       options_.reserve_rows > 0
           ? options_.reserve_rows
-          : table_->NumRows() + ServingOptions::kDefaultAppendHeadroom;
-  table_->Reserve(reserve);
+          : table->NumRows() + ServingOptions::kDefaultAppendHeadroom;
+  table->Reserve(reserve);
+  auto state = std::make_shared<EpochState>();
+  state->table = table;
+  state->cidx = cidx;
+  state->clustered_boundary = RowId(table->NumRows());
+  state_ = std::move(state);
   StartWorkers(options_.num_workers);
 }
 
 ServingEngine::~ServingEngine() { StopWorkers(); }
 
 Status ServingEngine::AttachCm(CmOptions cm_options) {
+  auto st = CurrentState();
+  std::unique_ptr<ClusteredBucketing> owned_cb;
+  uint64_t cb_target = 0;
   if (cm_options.c_buckets != nullptr) {
-    return Status::InvalidArgument(
-        "serving engine requires an unbucketed clustered attribute: "
-        "positional clustered buckets do not cover the append tail");
+    if (cm_options.c_buckets->covered_rows() != st->clustered_boundary) {
+      return Status::InvalidArgument(
+          "clustered bucketing does not cover exactly the clustered "
+          "region; rebuild it over the current table before attaching");
+    }
+    // Copy the caller's positional bucketing so the engine can rebuild it
+    // over every recluster successor; remember only the target bucket
+    // size (the one build parameter) across epochs.
+    cb_target = cm_options.c_buckets->target_tuples_per_bucket();
+    owned_cb = std::make_unique<ClusteredBucketing>(*cm_options.c_buckets);
+    cm_options.c_buckets = owned_cb.get();
   }
-  auto scm = ShardedCorrelationMap::Create(table_, std::move(cm_options),
+  auto scm = ShardedCorrelationMap::Create(st->table, cm_options,
                                            options_.num_cm_shards);
   if (!scm.ok()) return scm.status();
   auto owned = std::make_unique<ShardedCorrelationMap>(std::move(*scm));
-  Status s = owned->BuildFromTable();
+  // A c-bucketed CM covers exactly the clustered region: positional
+  // bucket ids do not extend into the tail, whose rows the sweep serves.
+  const size_t build_limit = cm_options.c_buckets != nullptr
+                                 ? size_t(st->clustered_boundary)
+                                 : ~size_t{0};
+  Status s = owned->BuildFromTable(build_limit);
   if (!s.ok()) return s;
-  cms_.push_back(std::move(owned));
+  CmOptions remembered = cm_options;
+  remembered.c_buckets = nullptr;  // per-epoch copies are rebuilt each swap
+  attached_.push_back(std::move(remembered));
+  c_bucket_targets_.push_back(cb_target);
+  cm_slot_tags_.push_back(std::make_unique<uint64_t>(cm_slot_tags_.size()));
+  st->cms.push_back(std::move(owned));
+  st->c_bucketings.push_back(std::move(owned_cb));
   return Status::OK();
 }
 
@@ -61,17 +86,26 @@ bool ServingEngine::CompilePredicates(const ShardedCorrelationMap& scm,
 SelectResult ServingEngine::ExecuteSelect(const Query& query) const {
   SelectResult out;
   DiskStats io;
+  // Pin one epoch for the whole select: table, clustered index, boundary,
+  // and CM set stay mutually consistent even if a recluster swaps the
+  // engine to a successor mid-flight.
+  const std::shared_ptr<EpochState> st = CurrentState();
+  out.recluster_epoch = st->version;
+  const Table& table = *st->table;
   // Snapshot the published row count once: everything below this row is
   // fully written (release/acquire pairing with the append path).
-  const size_t n_rows = table_->NumRows();
+  const size_t n_rows = table.NumRows();
+  const RowId boundary = st->clustered_boundary;
   const uint64_t gap =
       uint64_t(options_.disk.seek_ms() / options_.disk.seq_page_ms());
 
   const ShardedCorrelationMap* best = nullptr;
+  size_t best_slot = 0;
   std::vector<CmColumnPredicate> preds;
-  for (const auto& scm : cms_) {
-    if (CompilePredicates(*scm, query, &preds)) {
-      best = scm.get();
+  for (size_t i = 0; i < st->cms.size(); ++i) {
+    if (CompilePredicates(*st->cms[i], query, &preds)) {
+      best = st->cms[i].get();
+      best_slot = i;
       break;
     }
   }
@@ -80,71 +114,81 @@ SelectResult ServingEngine::ExecuteSelect(const Query& query) const {
     // No applicable CM: sequential scan of the whole heap.
     for (RowId r = 0; r < n_rows; ++r) {
       ++out.rows_examined;
-      if (table_->IsDeleted(r)) continue;
-      if (query.Matches(*table_, r)) ++out.num_matches;
+      if (table.IsDeleted(r)) continue;
+      if (query.Matches(table, r)) ++out.num_matches;
     }
-    io.seq_pages += table_->layout().NumPages(n_rows);
+    io.seq_pages += table.layout().NumPages(n_rows);
     out.simulated_ms = options_.disk.CostMs(io);
     return out;
   }
 
   out.used_cm = true;
-  // Cross-query reuse: (CM identity, predicate fingerprint, epoch). A
-  // result computed while maintenance interleaved (epoch moved) is used
-  // once but never published.
+  // Cross-query reuse keyed (stable CM slot, predicate fingerprint,
+  // epoch). The slot tag outlives recluster swaps while the successor
+  // CM's epoch is raised above its predecessor's, so entries computed
+  // before a swap compare stale and are lazily evicted. A result computed
+  // while maintenance interleaved (epoch moved) is used once but never
+  // published.
+  const void* slot = cm_slot_tags_[best_slot].get();
   const uint64_t fp = SharedLookupCache::Fingerprint(preds);
   const uint64_t epoch = best->Epoch();
-  SharedLookupCache::ResultPtr res = cache_.Get(best, fp, epoch);
+  SharedLookupCache::ResultPtr res = cache_.Get(slot, fp, epoch);
   out.cache_hit = res != nullptr;
   if (res == nullptr) {
     auto computed =
         std::make_shared<const CmLookupResult>(best->Lookup(preds));
-    if (best->Epoch() == epoch) cache_.Put(best, fp, epoch, computed);
+    if (best->Epoch() == epoch) cache_.Put(slot, fp, epoch, computed);
     res = std::move(computed);
   }
 
   // Translate ordinal runs to clustered row ranges (the tail is handled
-  // separately below; cidx only covers rows < clustered_boundary_).
+  // separately below; neither cidx nor the positional bucketing covers
+  // rows >= boundary).
+  const ClusteredBucketing* cb = best->options().c_buckets;
   std::vector<RowRange> ranges;
   ranges.reserve(res->ranges.size());
   for (const OrdinalRange& r : res->ranges) {
-    RowRange range = cidx_->LookupRange(best->DecodeClusteredOrdinal(r.lo),
-                                        best->DecodeClusteredOrdinal(r.hi));
+    RowRange range =
+        cb != nullptr
+            ? cb->RangeOfBucketRun(r.lo, r.hi)
+            : st->cidx->LookupRange(best->DecodeClusteredOrdinal(r.lo),
+                                    best->DecodeClusteredOrdinal(r.hi));
     // The clustered index closes its last key's range at the table's live
     // row count, which now includes the unclustered tail; clamp so tail
     // rows are examined exactly once (by the tail sweep below).
-    range.end = std::min(range.end, RowId(clustered_boundary_));
+    range.end = std::min(range.end, boundary);
     if (!range.empty()) ranges.push_back(range);
   }
   std::sort(ranges.begin(), ranges.end(),
             [](const RowRange& a, const RowRange& b) {
               return a.begin < b.begin;
             });
-  io.seeks += uint64_t(res->ranges.size()) * cidx_->BTreeHeight();
+  io.seeks += uint64_t(res->ranges.size()) * st->cidx->BTreeHeight();
   std::vector<PageNo> pages;
   for (const RowRange& range : ranges) {
-    const PageNo first = table_->layout().PageOfRow(range.begin);
-    const PageNo last = table_->layout().PageOfRow(range.end - 1);
+    const PageNo first = table.layout().PageOfRow(range.begin);
+    const PageNo last = table.layout().PageOfRow(range.end - 1);
     for (PageNo p = first; p <= last; ++p) pages.push_back(p);
     for (RowId r = range.begin; r < range.end; ++r) {
       ++out.rows_examined;
-      if (table_->IsDeleted(r)) continue;
-      if (query.Matches(*table_, r)) ++out.num_matches;
+      if (table.IsDeleted(r)) continue;
+      if (query.Matches(table, r)) ++out.num_matches;
     }
   }
   io += CostOfRuns(ExtractRuns(std::move(pages), gap));
 
   // Unclustered append tail: one sequential sweep, full re-filter. This is
-  // what makes a freshly appended row visible to selects immediately.
-  if (clustered_boundary_ < n_rows) {
-    for (RowId r = clustered_boundary_; r < n_rows; ++r) {
+  // what makes a freshly appended row visible to selects immediately; a
+  // recluster returns the tail to zero and retires this cost.
+  if (boundary < n_rows) {
+    for (RowId r = boundary; r < n_rows; ++r) {
       ++out.rows_examined;
-      if (table_->IsDeleted(r)) continue;
-      if (query.Matches(*table_, r)) ++out.num_matches;
+      if (table.IsDeleted(r)) continue;
+      if (query.Matches(table, r)) ++out.num_matches;
     }
     ++io.seeks;
-    io.seq_pages += table_->layout().PageOfRow(n_rows - 1) -
-                    table_->layout().PageOfRow(clustered_boundary_) + 1;
+    io.seq_pages += table.layout().PageOfRow(n_rows - 1) -
+                    table.layout().PageOfRow(boundary) + 1;
   }
   out.simulated_ms = options_.disk.CostMs(io);
   return out;
@@ -153,7 +197,12 @@ SelectResult ServingEngine::ExecuteSelect(const Query& query) const {
 Status ServingEngine::ApplyAppend(std::span<const std::vector<Key>> rows) {
   if (rows.empty()) return Status::OK();
   std::lock_guard<std::mutex> lock(append_mu_);
-  if (table_->NumRows() + rows.size() > table_->ReservedRows()) {
+  // Re-read the state under the append lock: a recluster swap happens
+  // with this lock held, so the epoch seen here cannot be retired while
+  // the batch is applied.
+  const std::shared_ptr<EpochState> st = CurrentState();
+  Table* table = st->table;
+  if (table->NumRows() + rows.size() > table->ReservedRows()) {
     return Status::ResourceExhausted(
         "append past the table's reserved capacity; concurrent readers "
         "require append-without-reallocation");
@@ -161,15 +210,48 @@ Status ServingEngine::ApplyAppend(std::span<const std::vector<Key>> rows) {
   std::vector<RowId> rids;
   rids.reserve(rows.size());
   for (const std::vector<Key>& row : rows) {
-    const RowId rid = RowId(table_->NumRows());
-    table_->AppendRowKeys(std::span<const Key>(row.data(), row.size()));
+    const RowId rid = RowId(table->NumRows());
+    table->AppendRowKeys(std::span<const Key>(row.data(), row.size()));
     rids.push_back(rid);
   }
   // CM maintenance after heap publication: selects that race this batch
   // find the new rows via the tail sweep whether or not their CM entries
-  // have landed, so the probe==scan invariant holds throughout.
-  for (const auto& scm : cms_) scm->InsertRowsBatched(rids);
+  // have landed, so the probe==scan invariant holds throughout. c-bucketed
+  // CMs are skipped entirely -- positional bucket ids do not cover the
+  // tail; the next recluster folds these rows in when it rebuilds them.
+  for (const auto& scm : st->cms) {
+    if (scm->has_clustered_buckets()) continue;
+    scm->InsertRowsBatched(rids);
+  }
+  MaybeScheduleRecluster(*st);
   return Status::OK();
+}
+
+void ServingEngine::MaybeScheduleRecluster(const EpochState& st) {
+  const size_t threshold =
+      recluster_tail_rows_.load(std::memory_order_relaxed);
+  if (threshold == 0) return;
+  const size_t n_rows = st.table->NumRows();
+  if (n_rows - st.clustered_boundary < threshold) return;
+  if (recluster_pending_.exchange(true, std::memory_order_acq_rel)) return;
+  Enqueue([this] {
+    const auto result = Recluster();
+    recluster_pending_.store(false, std::memory_order_release);
+    if (!result.ok()) {
+      // Surface the failure (ReclusterFailures) and do NOT re-arm: each
+      // attempt pays a full phase-1 build, so a persistent error must not
+      // retry in a tight loop. The next over-threshold append tries again.
+      recluster_failures_.fetch_add(1, std::memory_order_acq_rel);
+      return;
+    }
+    // Re-arm: appends that landed while this pass ran (an over-threshold
+    // burst) would otherwise sit in the tail until the *next* append.
+    MaybeScheduleRecluster(*CurrentState());
+  });
+}
+
+Result<ReclusterStats> ServingEngine::Recluster() {
+  return Reclusterer(this).Run();
 }
 
 std::future<SelectResult> ServingEngine::Submit(Query query) {
@@ -240,10 +322,43 @@ void ServingEngine::WorkerLoop() {
   }
 }
 
+size_t ServingEngine::num_cms() const { return CurrentState()->cms.size(); }
+
+RowId ServingEngine::clustered_boundary() const {
+  return CurrentState()->clustered_boundary;
+}
+
+size_t ServingEngine::TailRows() const {
+  const std::shared_ptr<EpochState> st = CurrentState();
+  return st->table->NumRows() - st->clustered_boundary;
+}
+
+uint64_t ServingEngine::ReclusterEpoch() const {
+  return CurrentState()->version;
+}
+
+const Table& ServingEngine::table() const { return *CurrentState()->table; }
+
+const ShardedCorrelationMap& ServingEngine::cm(size_t i) const {
+  return *CurrentState()->cms[i];
+}
+
 Status ServingEngine::CheckInvariants() const {
-  for (const auto& scm : cms_) {
+  const std::shared_ptr<EpochState> st = CurrentState();
+  for (const auto& scm : st->cms) {
     Status s = scm->CheckInvariants();
     if (!s.ok()) return s;
+  }
+  const Table& table = *st->table;
+  if (size_t(st->clustered_boundary) > table.NumRows()) {
+    return Status::Corruption("clustered boundary past the row count");
+  }
+  const size_t c_col = size_t(table.clustered_column());
+  for (RowId r = 1; r < st->clustered_boundary; ++r) {
+    if (table.GetKey(r, c_col) < table.GetKey(r - 1, c_col)) {
+      return Status::Corruption("clustered region out of order at row " +
+                                std::to_string(r));
+    }
   }
   return Status::OK();
 }

@@ -3,6 +3,13 @@
 // Append(rows) APIs backed by a fixed worker pool, the shape the paper's
 // Fig. 9 mixed insert/select stream takes when driven by many clients.
 //
+// Epoch-swapped state: everything a select consults -- table, clustered
+// index, tail boundary, CM set -- lives in one immutable-shape EpochState
+// published through an acquire/release shared_ptr swap. Readers pin the
+// current epoch for the duration of a select, so a background Recluster
+// (src/serve/recluster.h) can build a successor epoch off to the side and
+// swap it in without a reader ever observing a half-moved row.
+//
 // Read path: the first attached CM whose attributes the query predicates
 // answers via cm_lookup -- served from the process-wide SharedLookupCache
 // when a similar query already computed the runs at the CM's current epoch
@@ -12,15 +19,19 @@
 // does not cover them, so every CM-driven select finishes with a
 // sequential tail sweep. That keeps the probe==scan invariant exact under
 // concurrent appends: a row is visible to selects as soon as the table
-// publishes it, whether or not its CM entries have landed.
+// publishes it, whether or not its CM entries have landed. A recluster
+// returns the tail to zero, bounding the sweep.
 //
 // Write path: ApplyAppend serializes whole append transactions (heap rows
 // + CM maintenance) behind one mutex; the table publishes each row with a
 // release store and the sharded CMs take their per-shard exclusive locks,
 // so concurrent selects never block for longer than one shard update.
+// When the tail reaches `recluster_tail_rows`, the append schedules a
+// background recluster on the worker pool.
 #ifndef CORRMAP_SERVE_SERVING_ENGINE_H_
 #define CORRMAP_SERVE_SERVING_ENGINE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -28,13 +39,16 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/bucketing.h"
 #include "exec/predicate.h"
 #include "index/clustered_index.h"
+#include "serve/recluster.h"
 #include "serve/shared_lookup_cache.h"
 #include "serve/sharded_cm.h"
 #include "storage/disk_model.h"
@@ -51,9 +65,15 @@ struct ServingOptions {
   /// append-without-reallocation (see storage/table.h), so Append refuses
   /// rows beyond the reservation instead of growing it. 0 reserves the
   /// current row count plus kDefaultAppendHeadroom so Append works out of
-  /// the box.
+  /// the box. Each recluster re-reserves the successor table with fresh
+  /// headroom, so capacity renews as long as reclusters run.
   size_t reserve_rows = 0;
   static constexpr size_t kDefaultAppendHeadroom = 1 << 16;
+  /// Background re-clustering: when > 0, an append that grows the
+  /// unclustered tail to this many rows schedules one Recluster pass on
+  /// the worker pool (at most one in flight). 0 disables the trigger;
+  /// Recluster() can still be called explicitly.
+  size_t recluster_tail_rows = 0;
   /// Simulated-cost reporting (paper Table 1 constants by default).
   DiskModel disk;
 };
@@ -65,12 +85,15 @@ struct SelectResult {
   double simulated_ms = 0;  ///< disk-model cost of the access pattern
   bool used_cm = false;     ///< answered via a CM (else full scan)
   bool cache_hit = false;   ///< cm_lookup served from the shared cache
+  uint64_t recluster_epoch = 0;  ///< EpochState version that served this
 };
 
 class ServingEngine {
  public:
   /// `table` must already be clustered with `cidx` built over the
-  /// clustered column. Both must outlive the engine.
+  /// clustered column. Both must outlive the engine (they back epoch 0;
+  /// after the first recluster the engine serves its own successor
+  /// copies, see table()).
   ServingEngine(Table* table, const ClusteredIndex* cidx,
                 ServingOptions options = {});
   ~ServingEngine();
@@ -81,9 +104,12 @@ class ServingEngine {
   /// Builds a sharded CM over the current table contents and attaches it.
   /// Setup-phase only: attach every CM before traffic starts (the CM list
   /// itself is unsynchronized; concurrent Submit/ExecuteSelect iterate
-  /// it). Clustered-attribute bucketing is rejected: positional bucket
-  /// ids do not extend to rows appended after clustering (the tail), and
-  /// the serving engine must keep serving while the tail grows.
+  /// it). Clustered-attribute bucketing is admitted: the engine copies the
+  /// bucketing, skips CM maintenance for tail rows (positional bucket ids
+  /// do not extend past the clustered region; the tail sweep covers them),
+  /// and every recluster rebuilds the bucketing over the merged region.
+  /// A c-bucketed CM therefore goes stale only as far as the tail the
+  /// sweep already pays for, and reclusters re-base it.
   Status AttachCm(CmOptions cm_options);
 
   /// Synchronous thread-safe select; Submit routes here from the pool.
@@ -91,32 +117,94 @@ class ServingEngine {
 
   /// Synchronous thread-safe append of whole rows (physical keys, schema
   /// arity): appends to the heap, then updates every attached CM.
-  /// ResourceExhausted once the table's reservation is full.
+  /// ResourceExhausted once the table's reservation is full (a recluster
+  /// renews the reservation).
   Status ApplyAppend(std::span<const std::vector<Key>> rows);
 
   /// Async APIs backed by the worker pool.
   std::future<SelectResult> Submit(Query query);
   std::future<Status> Append(std::vector<std::vector<Key>> rows);
 
+  /// Runs one synchronous recluster pass (serialized against concurrent
+  /// passes): merges the tail into the clustered region, patches the
+  /// clustered index, rebuilds/re-bases the CMs, and swaps the epoch.
+  /// Selects and appends keep running throughout. No-op when the tail is
+  /// empty.
+  Result<ReclusterStats> Recluster();
+
+  /// Re-arms the background trigger (ServingOptions::recluster_tail_rows)
+  /// at runtime; benches toggle this between phases.
+  void set_recluster_tail_rows(size_t rows) {
+    recluster_tail_rows_.store(rows, std::memory_order_relaxed);
+  }
+
   /// Stops the pool, waits for queued work, and restarts with `n` workers
   /// (benchmarks sweep pool sizes on one engine).
   void ResizeWorkerPool(size_t n);
 
-  size_t num_cms() const { return cms_.size(); }
-  const ShardedCorrelationMap& cm(size_t i) const { return *cms_[i]; }
+  size_t num_cms() const;
   SharedLookupCache& cache() const { return cache_; }
-  /// First row of the unclustered append tail.
-  RowId clustered_boundary() const { return clustered_boundary_; }
-  const Table& table() const { return *table_; }
+  /// First row of the unclustered append tail (current epoch).
+  RowId clustered_boundary() const;
+  /// Rows currently in the unclustered tail (current epoch).
+  size_t TailRows() const;
+  /// Version of the current EpochState (bumped by every recluster swap).
+  uint64_t ReclusterEpoch() const;
+  /// Recluster passes that actually swapped an epoch.
+  uint64_t ReclustersCompleted() const {
+    return reclusters_completed_.load(std::memory_order_acquire);
+  }
+  /// Background passes that returned an error (each failed attempt still
+  /// paid its phase-1 build; a nonzero count with a growing tail means
+  /// the engine is burning copies without ever swapping -- investigate).
+  uint64_t ReclusterFailures() const {
+    return recluster_failures_.load(std::memory_order_acquire);
+  }
+  /// The table / i-th CM of the *current* epoch. References are only
+  /// stable while no recluster can run (setup, quiescent checks): a swap
+  /// retires the epoch that backs them once the last reader drops it.
+  const Table& table() const;
+  const ShardedCorrelationMap& cm(size_t i) const;
 
-  /// Invariants of every attached sharded CM (call at quiescence).
+  /// Invariants of every attached sharded CM plus the epoch's physical
+  /// layout: the clustered region must be sorted on the clustered column
+  /// and the boundary within the row count (call at quiescence).
   Status CheckInvariants() const;
 
  private:
+  friend class Reclusterer;
+
+  /// One immutable serving epoch. Readers pin it (shared_ptr) for the
+  /// duration of a select; the recluster pass publishes a successor and
+  /// the predecessor dies with its last reader. Epoch 0 borrows the
+  /// caller's table/cidx; successors own theirs.
+  struct EpochState {
+    uint64_t version = 0;
+    Table* table = nullptr;
+    const ClusteredIndex* cidx = nullptr;
+    RowId clustered_boundary = 0;
+    /// Parallel to the attach order. c_bucketings[i] owns the clustered
+    /// bucketing cms[i] points at (null for unbucketed CMs).
+    std::vector<std::unique_ptr<ShardedCorrelationMap>> cms;
+    std::vector<std::unique_ptr<ClusteredBucketing>> c_bucketings;
+    std::unique_ptr<Table> owned_table;
+    std::unique_ptr<ClusteredIndex> owned_cidx;
+  };
+
+  std::shared_ptr<EpochState> CurrentState() const {
+    std::shared_lock lock(state_mu_);
+    return state_;
+  }
+  void PublishState(std::shared_ptr<EpochState> next) {
+    std::unique_lock lock(state_mu_);
+    state_ = std::move(next);
+  }
+
   void StartWorkers(size_t n);
   void StopWorkers();
   void Enqueue(std::function<void()> fn);
   void WorkerLoop();
+  void MaybeScheduleRecluster(const EpochState& st);
 
   /// Compiles the query's predicates for `scm`'s attributes; false when
   /// some CM attribute is unpredicated (CM inapplicable, §6.2.1).
@@ -124,14 +212,27 @@ class ServingEngine {
                                 const Query& query,
                                 std::vector<CmColumnPredicate>* out);
 
-  Table* table_;
-  const ClusteredIndex* cidx_;
   ServingOptions options_;
-  RowId clustered_boundary_;
-  std::vector<std::unique_ptr<ShardedCorrelationMap>> cms_;
+  std::atomic<size_t> recluster_tail_rows_;
+  /// Attach-order CM configs (c_buckets cleared; targets kept aside) so a
+  /// recluster can re-instantiate every CM against the successor table.
+  std::vector<CmOptions> attached_;
+  std::vector<uint64_t> c_bucket_targets_;  ///< 0 = unbucketed slot
+  /// Stable cache identities, one per attached CM: the SharedLookupCache
+  /// keys on (slot address, fingerprint, epoch), and the slot address
+  /// outlives the per-epoch CM objects, so successor epochs lazily evict
+  /// predecessors' entries through the ordinary stale-epoch path.
+  std::vector<std::unique_ptr<uint64_t>> cm_slot_tags_;
+
+  std::shared_ptr<EpochState> state_;
+  mutable std::shared_mutex state_mu_;
   mutable SharedLookupCache cache_;
 
-  std::mutex append_mu_;  ///< serializes append transactions end-to-end
+  std::mutex append_mu_;     ///< serializes append transactions end-to-end
+  std::mutex recluster_mu_;  ///< serializes recluster passes
+  std::atomic<bool> recluster_pending_{false};
+  std::atomic<uint64_t> reclusters_completed_{0};
+  std::atomic<uint64_t> recluster_failures_{0};
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 #include <mutex>
+#include <utility>
 
 namespace corrmap::serve {
 
@@ -22,11 +23,12 @@ Result<ShardedCorrelationMap> ShardedCorrelationMap::Create(
   return ShardedCorrelationMap(std::move(shards));
 }
 
-Status ShardedCorrelationMap::BuildFromTable() {
+Status ShardedCorrelationMap::BuildFromTable(size_t row_limit) {
   const Table& t = table();
+  const size_t n = std::min(row_limit, t.NumRows());
   std::vector<RowId> rows;
-  rows.reserve(t.NumRows());
-  for (RowId r = 0; r < t.NumRows(); ++r) {
+  rows.reserve(n);
+  for (RowId r = 0; r < n; ++r) {
     if (!t.IsDeleted(r)) rows.push_back(r);
   }
   InsertRowsBatched(rows);
@@ -34,25 +36,31 @@ Status ShardedCorrelationMap::BuildFromTable() {
 }
 
 void ShardedCorrelationMap::InsertRow(RowId row) {
-  const CmKey key = shards_.front()->cm.UKeyOfRow(row);
+  // Bucket once: the same (u-key, ordinal) pair routes the shard and is
+  // handed down so the shard's map does not re-derive it from the table.
+  const CorrelationMap& front = shards_.front()->cm;
+  const CmKey key = front.UKeyOfRow(row);
+  const int64_t c = front.ClusteredOrdinalOfRow(row);
   Shard& s = *shards_[ShardOf(key)];
   BeginMaintenance();
   {
     std::unique_lock lock(s.mu);
-    s.cm.InsertRow(row);
+    s.cm.UpsertPair(key, c);
     s.cm.SyncDirectory();
   }
   EndMaintenance();
 }
 
 Status ShardedCorrelationMap::DeleteRow(RowId row) {
-  const CmKey key = shards_.front()->cm.UKeyOfRow(row);
+  const CorrelationMap& front = shards_.front()->cm;
+  const CmKey key = front.UKeyOfRow(row);
+  const int64_t c = front.ClusteredOrdinalOfRow(row);
   Shard& s = *shards_[ShardOf(key)];
   BeginMaintenance();
   Status st;
   {
     std::unique_lock lock(s.mu);
-    st = s.cm.DeleteRow(row);
+    st = s.cm.RetractPair(key, c);
     s.cm.SyncDirectory();
   }
   EndMaintenance();
@@ -63,11 +71,15 @@ size_t ShardedCorrelationMap::InsertRowsBatched(std::span<const RowId> rows) {
   // An empty batch must not bump the epoch (it would invalidate every
   // cached lookup for a no-op).
   if (rows.empty()) return 0;
-  // Route each row to its shard first, then lock and apply each touched
-  // shard once; the per-shard CorrelationMap re-sorts its sub-batch.
-  std::vector<std::vector<RowId>> by_shard(shards_.size());
+  // Bucket each row exactly once, route the precomputed pair to its shard,
+  // then lock and apply each touched shard once; the per-shard map sorts
+  // its sub-batch of pairs without ever touching the table again.
+  const CorrelationMap& front = shards_.front()->cm;
+  std::vector<std::vector<std::pair<CmKey, int64_t>>> by_shard(
+      shards_.size());
   for (RowId r : rows) {
-    by_shard[ShardOf(shards_.front()->cm.UKeyOfRow(r))].push_back(r);
+    const CmKey key = front.UKeyOfRow(r);
+    by_shard[ShardOf(key)].emplace_back(key, front.ClusteredOrdinalOfRow(r));
   }
   BeginMaintenance();
   size_t groups = 0;
@@ -75,7 +87,7 @@ size_t ShardedCorrelationMap::InsertRowsBatched(std::span<const RowId> rows) {
     if (by_shard[i].empty()) continue;
     Shard& s = *shards_[i];
     std::unique_lock lock(s.mu);
-    groups += s.cm.InsertRowsBatched(by_shard[i]);
+    groups += s.cm.UpsertPairsBatched(std::move(by_shard[i]));
     s.cm.SyncDirectory();
   }
   EndMaintenance();
@@ -89,7 +101,7 @@ void ShardedCorrelationMap::InsertValues(std::span<const Key> u_keys,
   BeginMaintenance();
   {
     std::unique_lock lock(s.mu);
-    s.cm.InsertValues(u_keys, c_ordinal);
+    s.cm.UpsertPair(key, c_ordinal);
     s.cm.SyncDirectory();
   }
   EndMaintenance();
@@ -103,7 +115,7 @@ Status ShardedCorrelationMap::DeleteValues(std::span<const Key> u_keys,
   Status st;
   {
     std::unique_lock lock(s.mu);
-    st = s.cm.DeleteValues(u_keys, c_ordinal);
+    st = s.cm.RetractPair(key, c_ordinal);
     s.cm.SyncDirectory();
   }
   EndMaintenance();
@@ -142,6 +154,31 @@ CmLookupResult MergeShardResults(std::vector<CmLookupResult> parts) {
 }
 
 CmLookupResult ShardedCorrelationMap::Lookup(
+    std::span<const CmColumnPredicate> preds) const {
+  // Point predicates: compile the probe-key cross product once (against
+  // the front shard's immutable bucketers) and touch only the shards that
+  // own a probe key -- every other shard stays unlocked and unprobed.
+  if (!CorrelationMap::HasRangePredicate(preds)) {
+    std::vector<CmKey> probe_keys;
+    if (!shards_.front()->cm.CompilePointProbeKeys(preds, &probe_keys)) {
+      return CmLookupResult{};  // a constraint is provably empty
+    }
+    std::vector<std::vector<CmKey>> by_shard(shards_.size());
+    for (const CmKey& key : probe_keys) {
+      by_shard[ShardOf(key)].push_back(key);
+    }
+    std::vector<CmLookupResult> parts;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (by_shard[i].empty()) continue;
+      std::shared_lock lock(shards_[i]->mu);
+      parts.push_back(shards_[i]->cm.LookupKeys(by_shard[i]));
+    }
+    return MergeShardResults(std::move(parts));
+  }
+  return LookupProbingAllShards(preds);
+}
+
+CmLookupResult ShardedCorrelationMap::LookupProbingAllShards(
     std::span<const CmColumnPredicate> preds) const {
   bool needs_directory = false;
   for (const CmColumnPredicate& p : preds) {

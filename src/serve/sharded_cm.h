@@ -53,25 +53,51 @@ class ShardedCorrelationMap {
     return *this;
   }
 
-  /// Algorithm 1 bulk build (not thread-safe; run before serving starts).
-  Status BuildFromTable();
+  /// Algorithm 1 bulk build (not thread-safe; run before serving starts,
+  /// or on a not-yet-published recluster successor). `row_limit` bounds
+  /// the scan to the first `row_limit` rows -- the recluster pass uses it
+  /// to build a c-bucketed CM over exactly the clustered region.
+  Status BuildFromTable(size_t row_limit = ~size_t{0});
 
-  /// Thread-safe maintenance: routes each u-key to its shard, exclusive-
-  /// locks only the touched shards, and brackets the whole operation with
-  /// epoch bumps.
+  /// Thread-safe maintenance: buckets each row exactly once to its
+  /// (u-key, clustered ordinal) pair, routes the pair to its shard,
+  /// exclusive-locks only the touched shards (passing the precomputed pair
+  /// down, so the shard's map never re-buckets), and brackets the whole
+  /// operation with epoch bumps.
   void InsertRow(RowId row);
   Status DeleteRow(RowId row);
   size_t InsertRowsBatched(std::span<const RowId> rows);
   void InsertValues(std::span<const Key> u_keys, int64_t c_ordinal);
   Status DeleteValues(std::span<const Key> u_keys, int64_t c_ordinal);
 
-  /// Thread-safe cm_lookup: probes every shard under a shared lock (taking
-  /// a shard's exclusive lock only if its directory needs a rebuild) and
-  /// merges the per-shard runs into one sorted, disjoint, coalesced set.
+  /// Thread-safe cm_lookup. Point predicates are compiled once to their
+  /// probe-key cross product and each key is routed to its owning shard,
+  /// so only those shards are locked and probed; range predicates probe
+  /// every shard's sorted directory under a shared lock (taking a shard's
+  /// exclusive lock only if its directory needs a rebuild). Per-shard runs
+  /// are merged into one sorted, disjoint, coalesced set.
   CmLookupResult Lookup(std::span<const CmColumnPredicate> preds) const;
+
+  /// The pre-routing reference path: probes every shard with the full
+  /// predicate vector. Kept for the routed-vs-all-shard parity tests and
+  /// as the fallback shape; returns identical ordinals to Lookup.
+  CmLookupResult LookupProbingAllShards(
+      std::span<const CmColumnPredicate> preds) const;
 
   /// Maintenance version counter; see the epoch protocol above.
   uint64_t Epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Raises the epoch to at least `floor`. The recluster pass calls this
+  /// on the successor CM before publishing it under the predecessor's
+  /// stable cache slot, so every cache entry keyed to a pre-recluster
+  /// epoch compares stale and is lazily evicted, never served.
+  void EnsureEpochAtLeast(uint64_t floor) {
+    uint64_t cur = epoch_.load(std::memory_order_relaxed);
+    while (cur < floor && !epoch_.compare_exchange_weak(
+                              cur, floor, std::memory_order_release,
+                              std::memory_order_relaxed)) {
+    }
+  }
 
   size_t num_shards() const { return shards_.size(); }
   const CmOptions& options() const { return shards_.front()->cm.options(); }

@@ -92,6 +92,12 @@ void Column::ApplyPermutation(const std::vector<RowId>& perm) {
   }
 }
 
+Column Column::CloneEmpty() const {
+  Column out(type_);
+  if (dict_ != nullptr) *out.dict_ = *dict_;
+  return out;
+}
+
 Column Column::Clone() const {
   Column out(type_);
   out.ints_ = ints_;
@@ -192,6 +198,55 @@ std::unique_ptr<Table> Table::Clone() const {
   out->num_deleted_ = num_deleted_;
   out->clustered_col_ = clustered_col_;
   return out;
+}
+
+std::unique_ptr<Table> Table::CloneReordered(
+    std::span<const RowId> order) const {
+  auto out = std::make_unique<Table>(name_, schema_, layout_.page_size_bytes);
+  out->cols_.clear();
+  for (const auto& c : cols_) out->cols_.push_back(c.CloneEmpty());
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    out->cols_[i].Reserve(order.size());
+    for (RowId r : order) out->cols_[i].AppendFrom(cols_[i], r);
+  }
+  if (!deleted_.empty()) {
+    out->deleted_.resize(order.size(), false);
+    size_t n_deleted = 0;
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (IsDeleted(order[i])) {
+        out->deleted_[i] = true;
+        ++n_deleted;
+      }
+    }
+    out->num_deleted_ = n_deleted;
+  }
+  out->num_rows_.store(order.size(), std::memory_order_relaxed);
+  out->reserved_rows_ = order.size();
+  out->clustered_col_ = clustered_col_;
+  return out;
+}
+
+void Table::AppendRowsFrom(const Table& src, RowId begin, RowId end) {
+  assert(src.cols_.size() == cols_.size());
+  if (begin >= end) return;
+  std::lock_guard<std::mutex> lock(append_mu_);
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    for (RowId r = begin; r < end; ++r) cols_[i].AppendFrom(src.cols_[i], r);
+  }
+  size_t copied_deleted = 0;
+  for (RowId r = begin; r < end; ++r) {
+    if (src.IsDeleted(r)) ++copied_deleted;
+  }
+  if (copied_deleted > 0) {
+    const size_t base = num_rows_.load(std::memory_order_relaxed);
+    deleted_.resize(base + (end - begin), false);
+    for (RowId r = begin; r < end; ++r) {
+      if (src.IsDeleted(r)) deleted_[base + (r - begin)] = true;
+    }
+    num_deleted_ += copied_deleted;
+  }
+  num_rows_.store(num_rows_.load(std::memory_order_relaxed) + (end - begin),
+                  std::memory_order_release);
 }
 
 void Table::Reserve(size_t n) {

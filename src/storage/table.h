@@ -56,6 +56,21 @@ class Column {
     return type_ == ValueType::kDouble ? Key(doubles_[row]) : Key(ints_[row]);
   }
 
+  /// Appends a copy of `src`'s row `row`. Both columns must have the same
+  /// type; for strings the dictionary code is copied verbatim, so `src`
+  /// must share this column's dictionary coding (a clone of it).
+  void AppendFrom(const Column& src, RowId row) {
+    if (type_ == ValueType::kDouble) {
+      doubles_.push_back(src.doubles_[row]);
+    } else {
+      ints_.push_back(src.ints_[row]);
+    }
+  }
+
+  /// Empty column of the same type sharing this column's dictionary coding
+  /// (deep copy, codes preserved).
+  Column CloneEmpty() const;
+
   /// Logical value (decoded string for string columns).
   Value GetValue(RowId row) const;
 
@@ -140,6 +155,22 @@ class Table {
   /// Deep copy, used by offline tools (e.g. the physical designer) that
   /// score alternative clusterings on scratch copies.
   std::unique_ptr<Table> Clone() const;
+
+  /// Deep-copies rows `order[0], order[1], ...` (in that sequence) into a
+  /// fresh table, preserving dictionaries (codes intact), tombstones, and
+  /// the clustered-column mark. This is the serving layer's recluster hook:
+  /// `order` is a merge permutation over the published prefix, so the copy
+  /// is safe against concurrent appends beyond it (row slots below the
+  /// published count never move; see the file-level contract). The caller
+  /// guarantees the order it supplies keeps the clustered column sorted.
+  std::unique_ptr<Table> CloneReordered(std::span<const RowId> order) const;
+
+  /// Appends copies of `src`'s rows [begin, end) column-wise. `src` must
+  /// have the same schema and dictionary coding (this table must be a
+  /// Clone/CloneReordered of it). Used by the recluster catch-up phase to
+  /// carry rows appended while the reordered copy was being built. Same
+  /// thread-safety contract as AppendRow.
+  void AppendRowsFrom(const Table& src, RowId begin, RowId end);
 
   /// Pre-allocates column capacity for `n` rows and records it as the
   /// concurrent-append bound (see ReservedRows).

@@ -1,0 +1,303 @@
+// Differential fuzz for the online recluster pass: seeded-RNG
+// interleavings of appends, selects, and recluster triggers over a
+// ServingEngine (one unbucketed CM, one u-bucketed CM, one c-bucketed CM),
+// asserting after every step that
+//   * probe==scan -- each sampled query's CM-driven count equals a full
+//     scan of the engine's *current* table (differential oracle),
+//   * run-coalescing -- every cm_lookup's ordinal ranges come back
+//     sorted, disjoint, and maximally coalesced, and the shard-routed
+//     point path agrees with the all-shard reference path,
+//   * structural invariants -- per-shard CM checks plus the engine's
+//     clustered-prefix order, at every epoch.
+// A dedicated case drives a concurrent reader thread through live swaps:
+// reads racing the recluster must keep returning the exact pre-computed
+// counts on both sides of (and during) each epoch handoff.
+//
+// The Long variant multiplies seeds and operations; it is skipped unless
+// CORRMAP_LONG_TESTS is set (CI runs it nightly under the ctest label of
+// the same name).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/access_path.h"
+#include "index/clustered_index.h"
+#include "serve/recluster.h"
+#include "serve/serving_engine.h"
+#include "storage/table.h"
+
+namespace corrmap {
+namespace {
+
+using serve::ReclusterStats;
+using serve::SelectResult;
+using serve::ServingEngine;
+using serve::ServingOptions;
+using serve::ShardedCorrelationMap;
+
+/// Coalescing invariant: sorted, disjoint, maximal runs whose total
+/// matches num_ordinals.
+void ExpectCoalesced(const CmLookupResult& res) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < res.ranges.size(); ++i) {
+    const OrdinalRange& r = res.ranges[i];
+    ASSERT_LE(r.lo, r.hi);
+    total += uint64_t(r.hi - r.lo) + 1;
+    if (i > 0) {
+      // Strictly after the previous run AND not adjacent to it (adjacent
+      // runs must have been merged).
+      ASSERT_GT(r.lo, res.ranges[i - 1].hi);
+      ASSERT_GT(r.lo - res.ranges[i - 1].hi, 1);
+    }
+  }
+  EXPECT_EQ(total, res.num_ordinals);
+}
+
+struct FuzzHarness {
+  std::unique_ptr<Table> table;
+  std::unique_ptr<ClusteredIndex> cidx;
+  std::unique_ptr<ClusteredBucketing> cb;
+  std::unique_ptr<ServingEngine> engine;
+  Rng rng;
+
+  FuzzHarness(uint64_t seed, int base_rows, size_t reserve_extra)
+      : rng(seed) {
+    Schema schema({ColumnDef::Int64("c"), ColumnDef::Int64("u"),
+                   ColumnDef::Int64("v")});
+    table = std::make_unique<Table>("t", std::move(schema));
+    for (int i = 0; i < base_rows; ++i) {
+      const int64_t u = rng.UniformInt(0, 499);
+      std::array<Value, 3> row = {Value(u / 10 + rng.UniformInt(0, 1)),
+                                  Value(u), Value(rng.UniformInt(0, 49))};
+      EXPECT_TRUE(table->AppendRow(row).ok());
+    }
+    EXPECT_TRUE(table->ClusterBy(0).ok());
+    auto ci = ClusteredIndex::Build(*table, 0);
+    EXPECT_TRUE(ci.ok());
+    cidx = std::make_unique<ClusteredIndex>(std::move(*ci));
+    auto built = ClusteredBucketing::Build(*table, 0, 32);
+    EXPECT_TRUE(built.ok());
+    cb = std::make_unique<ClusteredBucketing>(std::move(*built));
+
+    ServingOptions opts;
+    opts.num_workers = 1;
+    opts.reserve_rows = table->NumRows() + reserve_extra;
+    engine = std::make_unique<ServingEngine>(table.get(), cidx.get(), opts);
+    // CM 0: unbucketed identity over u (value-encoded ordinals survive a
+    // physical reorder). CM 1: width-4 u-bucketing over v AND positional
+    // c-bucketing -- the CM whose entire ordinal space must be re-based
+    // by every recluster, and the only CM over v, so v-queries exercise
+    // the bucket-run translation path end to end.
+    CmOptions c0;
+    c0.u_cols = {1};
+    c0.u_bucketers = {Bucketer::Identity()};
+    c0.c_col = 0;
+    EXPECT_TRUE(engine->AttachCm(c0).ok());
+    CmOptions c1;
+    c1.u_cols = {2};
+    c1.u_bucketers = {Bucketer::NumericWidth(4)};
+    c1.c_col = 0;
+    c1.c_buckets = cb.get();
+    EXPECT_TRUE(engine->AttachCm(c1).ok());
+  }
+
+  std::vector<std::vector<Key>> RandomBatch(int max_rows, int u_lo = 0,
+                                            int u_hi = 499) {
+    const int n = int(rng.UniformInt(1, max_rows));
+    std::vector<std::vector<Key>> rows;
+    rows.reserve(size_t(n));
+    for (int i = 0; i < n; ++i) {
+      const int64_t u = rng.UniformInt(u_lo, u_hi);
+      rows.push_back({Key(u / 10), Key(u), Key(rng.UniformInt(0, 49))});
+    }
+    return rows;
+  }
+
+  Query RandomQuery() {
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        return Query({Predicate::Eq(*table, "u",
+                                    Value(rng.UniformInt(0, 520)))});
+      case 1: {
+        const int64_t lo = rng.UniformInt(0, 480);
+        return Query({Predicate::Between(*table, "u", Value(lo),
+                                         Value(lo + rng.UniformInt(0, 60)))});
+      }
+      case 2:
+        return Query({Predicate::Eq(*table, "v",
+                                    Value(rng.UniformInt(0, 55)))});
+      default: {
+        const int64_t lo = rng.UniformInt(0, 45);
+        return Query({Predicate::Between(*table, "v", Value(lo),
+                                         Value(lo + rng.UniformInt(0, 10)))});
+      }
+    }
+  }
+
+  /// The differential oracle: probe through the engine, scan the engine's
+  /// current table, require exact equality.
+  void ExpectProbeEqualsScan(const Query& q) {
+    const SelectResult probe = engine->ExecuteSelect(q);
+    const ExecResult scan = FullTableScan(engine->table(), q);
+    ASSERT_EQ(probe.num_matches, scan.NumMatches())
+        << "epoch " << probe.recluster_epoch << " used_cm " << probe.used_cm;
+  }
+
+  /// Run-coalescing + routed-vs-all-shard differential on raw lookups.
+  void CheckLookupInvariants() {
+    for (size_t i = 0; i < engine->num_cms(); ++i) {
+      const ShardedCorrelationMap& scm = engine->cm(i);
+      std::array<CmColumnPredicate, 1> point = {CmColumnPredicate::Points(
+          {Key(rng.UniformInt(0, 520)), Key(rng.UniformInt(0, 520))})};
+      const CmLookupResult routed = scm.Lookup(point);
+      const CmLookupResult reference = scm.LookupProbingAllShards(point);
+      ExpectCoalesced(routed);
+      ExpectCoalesced(reference);
+      EXPECT_EQ(routed.ToOrdinals(), reference.ToOrdinals());
+      const int64_t lo = rng.UniformInt(0, 480);
+      std::array<CmColumnPredicate, 1> range = {
+          CmColumnPredicate::Range(double(lo), double(lo + 40))};
+      ExpectCoalesced(scm.Lookup(range));
+    }
+  }
+};
+
+void RunSequentialFuzz(uint64_t seed, int ops, int base_rows) {
+  FuzzHarness h(seed, base_rows, /*reserve_extra=*/size_t(ops) * 400 + 4096);
+  uint64_t epochs_seen = h.engine->ReclusterEpoch();
+  for (int op = 0; op < ops; ++op) {
+    switch (h.rng.UniformInt(0, 9)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // append a batch
+        ASSERT_TRUE(h.engine->ApplyAppend(h.RandomBatch(400)).ok());
+        break;
+      }
+      case 4: {  // synchronous recluster
+        auto stats = h.engine->Recluster();
+        ASSERT_TRUE(stats.ok());
+        if (stats->performed()) {
+          ASSERT_EQ(h.engine->TailRows(), 0u);
+          ASSERT_GT(stats->epoch, epochs_seen);
+          epochs_seen = stats->epoch;
+        }
+        break;
+      }
+      case 5: {  // structural + lookup invariants
+        ASSERT_TRUE(h.engine->CheckInvariants().ok());
+        h.CheckLookupInvariants();
+        break;
+      }
+      default: {  // select
+        h.ExpectProbeEqualsScan(h.RandomQuery());
+        break;
+      }
+    }
+    if (op % 16 == 15) {
+      for (int i = 0; i < 3; ++i) h.ExpectProbeEqualsScan(h.RandomQuery());
+    }
+  }
+  // Final quiescent differential sweep at the last epoch.
+  auto final_stats = h.engine->Recluster();
+  ASSERT_TRUE(final_stats.ok());
+  ASSERT_EQ(h.engine->TailRows(), 0u);
+  ASSERT_TRUE(h.engine->CheckInvariants().ok());
+  for (int i = 0; i < 12; ++i) h.ExpectProbeEqualsScan(h.RandomQuery());
+  h.CheckLookupInvariants();
+}
+
+TEST(ReclusterFuzzTest, RandomInterleavingsKeepProbeEqualsScan) {
+  for (uint64_t seed : {0xA1ull, 0xB2ull, 0xC3ull}) {
+    RunSequentialFuzz(seed, /*ops=*/120, /*base_rows=*/4000);
+  }
+}
+
+TEST(ReclusterFuzzTest, ConcurrentReaderSeesExactCountsAcrossSwaps) {
+  // Queries target u in [0, 499]; the writer appends rows with u in
+  // [1000, 1499] only, so every query's count is invariant across the
+  // whole run -- any deviation observed by the racing reader would be a
+  // torn epoch (half-moved rows, stale cache, or a mis-based CM).
+  FuzzHarness h(0xD4, /*base_rows=*/8000, /*reserve_extra=*/1 << 20);
+  std::vector<Query> queries;
+  std::vector<uint64_t> expected;
+  for (int i = 0; i < 8; ++i) {
+    queries.push_back(h.RandomQuery());
+    expected.push_back(
+        FullTableScan(h.engine->table(), queries.back()).NumMatches());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> epochs_observed{0};
+  std::thread reader([&] {
+    Rng r(0xE5);
+    uint64_t max_epoch = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const size_t pick = size_t(r.UniformInt(0, int64_t(queries.size()) - 1));
+      const SelectResult res = h.engine->ExecuteSelect(queries[pick]);
+      EXPECT_EQ(res.num_matches, expected[pick])
+          << "mid-recluster read diverged at epoch " << res.recluster_epoch;
+      max_epoch = std::max(max_epoch, res.recluster_epoch);
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+    epochs_observed.store(max_epoch, std::memory_order_release);
+  });
+  std::thread writer([&] {
+    Rng r(0xF6);
+    FuzzHarness* hp = &h;
+    for (int i = 0; i < 40 && !stop.load(std::memory_order_acquire); ++i) {
+      std::vector<std::vector<Key>> rows;
+      const int n = int(r.UniformInt(50, 400));
+      for (int j = 0; j < n; ++j) {
+        const int64_t u = r.UniformInt(1000, 1499);
+        rows.push_back({Key(u / 10), Key(u), Key(r.UniformInt(100, 149))});
+      }
+      ASSERT_TRUE(hp->engine->ApplyAppend(rows).ok());
+    }
+  });
+
+  // Reclusters race both threads; every pass hands off a live epoch.
+  uint64_t performed = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto stats = h.engine->Recluster();
+    ASSERT_TRUE(stats.ok());
+    if (stats->performed()) ++performed;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  writer.join();
+  auto last = h.engine->Recluster();
+  ASSERT_TRUE(last.ok());
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_GE(performed, 1u);
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_EQ(h.engine->TailRows(), 0u);
+  ASSERT_TRUE(h.engine->CheckInvariants().ok());
+  // Post-join quiescent differential: counts still exact vs the final
+  // table, including the appended-but-never-queried tail rows' CM state.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(h.engine->ExecuteSelect(queries[i]).num_matches, expected[i]);
+  }
+  for (int i = 0; i < 8; ++i) h.ExpectProbeEqualsScan(h.RandomQuery());
+}
+
+TEST(ReclusterFuzzTest, LongRandomInterleavings) {
+  if (std::getenv("CORRMAP_LONG_TESTS") == nullptr) {
+    GTEST_SKIP() << "set CORRMAP_LONG_TESTS=1 (nightly ctest label "
+                    "CORRMAP_LONG_TESTS) to run the long fuzz";
+  }
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    RunSequentialFuzz(seed * 0x9e37, /*ops=*/600, /*base_rows=*/6000);
+  }
+}
+
+}  // namespace
+}  // namespace corrmap

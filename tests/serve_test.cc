@@ -10,6 +10,7 @@
 
 #include <array>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -126,6 +127,75 @@ TEST(ShardedCmTest, InsertRowsBatchedMatchesRowAtATime) {
   }
   for (RowId r : fresh) f.plain->InsertRow(r);
   f.sharded->InsertRowsBatched(fresh);
+  EXPECT_EQ(f.sharded->NumEntries(), f.plain->NumEntries());
+  std::array<CmColumnPredicate, 1> wide = {CmColumnPredicate::Range(0, 2000)};
+  ExpectShardedMatchesPlain(f, wide);
+  EXPECT_TRUE(f.sharded->CheckInvariants().ok());
+}
+
+TEST(ShardedCmTest, RoutedPointLookupMatchesAllShardProbe) {
+  // Point lookups route each probe key to its owning shard; the result
+  // must be identical to probing every shard with the full predicates
+  // (the pre-routing reference path) and to the single unsharded map.
+  ShardedFixture f;
+  Rng rng(79);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Key> pts;
+    const int n = int(rng.UniformInt(1, 5));
+    for (int i = 0; i < n; ++i) pts.push_back(Key(rng.UniformInt(0, 1100)));
+    std::array<CmColumnPredicate, 1> preds = {
+        CmColumnPredicate::Points(pts)};
+    const CmLookupResult routed = f.sharded->Lookup(preds);
+    const CmLookupResult all_shards = f.sharded->LookupProbingAllShards(preds);
+    const CmLookupResult single = f.plain->Lookup(preds);
+    EXPECT_EQ(routed.ToOrdinals(), all_shards.ToOrdinals());
+    EXPECT_EQ(routed.ToOrdinals(), single.ToOrdinals());
+    EXPECT_EQ(routed.num_ordinals, all_shards.num_ordinals);
+    // Routing must not probe more entries than the all-shard path did.
+    EXPECT_LE(routed.entries_probed, all_shards.entries_probed);
+  }
+}
+
+TEST(ShardedCmTest, PointLookupProbesOnlyOwningShards) {
+  // One probe key is owned by exactly one shard: the routed path must
+  // probe the same entries as the single unsharded map (the all-shard
+  // path pays a find() in all 8 shards for the same answer).
+  ShardedFixture f(/*num_shards=*/8);
+  std::array<CmColumnPredicate, 1> one = {
+      CmColumnPredicate::Points({Key(int64_t{123})})};
+  const CmLookupResult routed = f.sharded->Lookup(one);
+  const CmLookupResult single = f.plain->Lookup(one);
+  EXPECT_EQ(routed.ToOrdinals(), single.ToOrdinals());
+  EXPECT_EQ(routed.entries_probed, single.entries_probed);
+}
+
+TEST(ShardedCmTest, PrecomputedPairWritePathMatchesRowMaintenance) {
+  // The sharded write path buckets each row once and hands (u-key,
+  // ordinal) pairs down; the post-state must equal per-row maintenance on
+  // the plain map, including deletes.
+  ShardedFixture f;
+  Rng rng(83);
+  std::vector<RowId> fresh;
+  for (int i = 0; i < 600; ++i) {
+    const int64_t u = rng.UniformInt(0, 1499);
+    const std::array<Key, 2> row = {Key(u / 10), Key(u)};
+    fresh.push_back(RowId(f.table->NumRows()));
+    f.table->AppendRowKeys(row);
+  }
+  // Half through the batched pair path, half through single-row upserts.
+  const std::span<const RowId> head(fresh.data(), fresh.size() / 2);
+  f.sharded->InsertRowsBatched(head);
+  for (size_t i = fresh.size() / 2; i < fresh.size(); ++i) {
+    f.sharded->InsertRow(fresh[i]);
+  }
+  for (RowId r : fresh) f.plain->InsertRow(r);
+  EXPECT_EQ(f.sharded->NumEntries(), f.plain->NumEntries());
+  EXPECT_EQ(f.sharded->NumUKeys(), f.plain->NumUKeys());
+  // Delete through the pair path too.
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(f.sharded->DeleteRow(fresh[i]).code(),
+              f.plain->DeleteRow(fresh[i]).code());
+  }
   EXPECT_EQ(f.sharded->NumEntries(), f.plain->NumEntries());
   std::array<CmColumnPredicate, 1> wide = {CmColumnPredicate::Range(0, 2000)};
   ExpectShardedMatchesPlain(f, wide);
@@ -292,8 +362,75 @@ TEST(ServingEngineTest, AppendPastReservationIsRefused) {
   EXPECT_EQ(s.code(), Status::Code::kResourceExhausted);
 }
 
-TEST(ServingEngineTest, RejectsClusteredBucketingCm) {
+TEST(ServingEngineTest, ClusteredBucketingCmServesExactlyAcrossTailAndSwap) {
+  // c-bucketed CMs are admissible: tail rows are skipped by CM
+  // maintenance (positional ids do not cover them) and served by the
+  // sweep, and a recluster re-bases the bucketing over the merged region.
+  // Build the engine without any other CM over u so every select below
+  // actually runs through the positional bucket-run translation.
+  Schema schema({ColumnDef::Int64("c"), ColumnDef::Int64("u")});
+  Table table("t", std::move(schema));
+  Rng rng(73);
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t u = rng.UniformInt(0, 999);
+    std::array<Value, 2> row = {Value(u / 10 + rng.UniformInt(0, 1)),
+                                Value(u)};
+    ASSERT_TRUE(table.AppendRow(row).ok());
+  }
+  ASSERT_TRUE(table.ClusterBy(0).ok());
+  auto cidx = ClusteredIndex::Build(table, 0);
+  ASSERT_TRUE(cidx.ok());
+  ServingOptions opts;
+  opts.num_workers = 2;
+  opts.reserve_rows = table.NumRows() + 50000;
+  ServingEngine engine(&table, &*cidx, opts);
+  auto cb = ClusteredBucketing::Build(table, 0, 64);
+  ASSERT_TRUE(cb.ok());
+  CmOptions copts;
+  copts.u_cols = {1};
+  copts.u_bucketers = {Bucketer::Identity()};
+  copts.c_col = 0;
+  copts.c_buckets = &*cb;
+  ASSERT_TRUE(engine.AttachCm(copts).ok());
+  ASSERT_TRUE(engine.cm(0).has_clustered_buckets());
+
+  auto expect_exact = [&](const Query& q) {
+    const serve::SelectResult probe = engine.ExecuteSelect(q);
+    EXPECT_TRUE(probe.used_cm);
+    const ExecResult scan = FullTableScan(engine.table(), q);
+    EXPECT_EQ(probe.num_matches, scan.NumMatches());
+  };
+  const Query eq({Predicate::Eq(table, "u", Value(444))});
+  const Query range({Predicate::Between(table, "u", Value(100), Value(180))});
+  expect_exact(eq);
+  expect_exact(range);
+
+  std::vector<std::vector<Key>> rows;
+  for (int i = 0; i < 3000; ++i) {
+    const int64_t u = rng.UniformInt(0, 999);
+    rows.push_back({Key(u / 10), Key(u)});
+  }
+  ASSERT_TRUE(engine.ApplyAppend(rows).ok());
+  expect_exact(eq);  // tail rows come from the sweep
+  expect_exact(range);
+
+  auto stats = engine.Recluster();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->performed());
+  EXPECT_EQ(engine.TailRows(), 0u);
+  // Post-swap the re-based bucketing covers the merged region.
+  expect_exact(eq);
+  expect_exact(range);
+  EXPECT_TRUE(engine.CheckInvariants().ok());
+}
+
+TEST(ServingEngineTest, AttachRejectsStaleClusteredBucketing) {
+  // A bucketing that does not cover exactly the clustered region (here:
+  // built over a table that already grew an unclustered tail, so its
+  // positional ids extend past the boundary) must be refused.
   EngineFixture f;
+  std::vector<std::vector<Key>> rows(10, {Key(int64_t{1}), Key(int64_t{1})});
+  ASSERT_TRUE(f.engine->ApplyAppend(rows).ok());
   auto cb = ClusteredBucketing::Build(*f.table, 0, 64);
   ASSERT_TRUE(cb.ok());
   CmOptions copts;
@@ -334,6 +471,62 @@ TEST(ServingEngineTest, CacheServesRepeatsWithoutRecomputingLookups) {
   const auto after = f.engine->cache().stats();
   EXPECT_EQ(after.hits, before.hits + 10);
   EXPECT_EQ(after.insertions, before.insertions);
+}
+
+TEST(ServingEngineTest, CacheEntriesFromPreReclusterEpochAreEvictedNotServed) {
+  // Entries keyed to the pre-recluster epoch must never be served after
+  // the swap: the successor CM is published under the same stable cache
+  // slot with a strictly higher epoch, so the old entry compares stale on
+  // its next probe and is lazily evicted.
+  EngineFixture f;
+  const Query eq({Predicate::Eq(*f.table, "u", Value(321))});
+
+  // Grow a tail, then warm the cache so the entry is *fresh* at the
+  // pre-recluster epoch (appends themselves also bump epochs; warming
+  // after them isolates the recluster swap as the only invalidation).
+  std::vector<std::vector<Key>> rows(
+      250, {Key(int64_t{32}), Key(int64_t{321})});
+  ASSERT_TRUE(f.engine->ApplyAppend(rows).ok());
+  (void)f.engine->ExecuteSelect(eq);
+  const serve::SelectResult warmed = f.engine->ExecuteSelect(eq);
+  EXPECT_TRUE(warmed.cache_hit);
+  const uint64_t matches = warmed.num_matches;
+
+  const auto evictions_before = f.engine->cache().stats().stale_evictions;
+  auto stats = f.engine->Recluster();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->performed());
+  EXPECT_EQ(f.engine->TailRows(), 0u);
+
+  // First select after the swap must not serve the pre-recluster entry:
+  // the successor CM was published under the same stable slot with a
+  // strictly higher epoch, so the probe misses, recomputes against the
+  // successor, and lazily evicts the stale entry.
+  const serve::SelectResult after = f.engine->ExecuteSelect(eq);
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_EQ(after.num_matches, matches);  // rows merged, count unchanged
+  EXPECT_EQ(after.recluster_epoch, stats->epoch);
+  EXPECT_GT(f.engine->cache().stats().stale_evictions, evictions_before);
+
+  // The recomputed entry is publishable and serves at the new epoch.
+  const serve::SelectResult repeat = f.engine->ExecuteSelect(eq);
+  EXPECT_TRUE(repeat.cache_hit);
+  EXPECT_EQ(repeat.num_matches, matches);
+}
+
+TEST(ServingEngineTest, SuccessorCmEpochIsRaisedAboveRetiredPredecessor) {
+  // The lazy-eviction guarantee rests on epochs increasing across the
+  // swap; pin the property directly.
+  EngineFixture f;
+  std::vector<std::vector<Key>> rows(
+      100, {Key(int64_t{5}), Key(int64_t{55})});
+  ASSERT_TRUE(f.engine->ApplyAppend(rows).ok());
+  const uint64_t epoch_before = f.engine->cm(0).Epoch();
+  auto stats = f.engine->Recluster();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(f.engine->cm(0).Epoch(), epoch_before);
+  EXPECT_EQ(f.engine->ReclusterEpoch(), stats->epoch);
+  EXPECT_EQ(f.engine->ReclustersCompleted(), 1u);
 }
 
 TEST(WorkloadDriverTest, SingleThreadedRunReportsThroughputAndLatency) {
