@@ -20,8 +20,21 @@
 // first-half per-select cost ratio quantifies the difference, and a final
 // synchronous recluster must return the tail to exactly zero.
 //
+// Plan-choice A/B (`--plan-choice` runs ONLY this section, the CI smoke):
+// three query classes -- CM-friendly point lookups, hot clustered-range
+// probes on CATID (no CM covers CATID, so first-match full-scans them
+// forever), and a 50/50 mix under a concurrent append stream -- each run
+// twice on identical seeds: once under the legacy first-match policy and
+// once under cost-based plan choice with buffer-pool calibration. The
+// pool is sized so the hot clustered ranges stay resident while the heap
+// does not fit, which is exactly the Fig. 9 regime the cost model used to
+// over-price. Gates: cost-based is no worse than first-match on every
+// class and >= 1.15x cheaper (mean simulated per-select cost) on the
+// mixed class.
+//
 // `--json <path>` additionally emits machine-readable results
 // (tools/run_bench.sh writes BENCH_serve.json from this).
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -92,12 +105,74 @@ struct RunRow {
   DriverReport report;
 };
 
+/// Hot clustered-range pool: `n` range predicates over a small set of
+/// CATID intervals, revisited round-robin so their pages stay resident.
+std::vector<Query> MakeHotClusteredPool(const Table& t, size_t n,
+                                        size_t num_hot_ranges,
+                                        int64_t range_width, int64_t cat_max,
+                                        Rng* rng) {
+  std::vector<int64_t> hot_starts;
+  hot_starts.reserve(num_hot_ranges);
+  for (size_t i = 0; i < num_hot_ranges; ++i) {
+    hot_starts.push_back(rng->UniformInt(0, cat_max - range_width));
+  }
+  std::vector<Query> pool;
+  pool.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t lo = hot_starts[i % hot_starts.size()];
+    pool.push_back(Query({Predicate::Between(t, "CATID", Value(lo),
+                                             Value(lo + range_width))}));
+  }
+  return pool;
+}
+
+struct PlanChoiceClass {
+  const char* name;
+  double first_match_mean_ms = 0;
+  double cost_based_mean_ms = 0;
+  double Ratio() const {
+    return cost_based_mean_ms > 0 ? first_match_mean_ms / cost_based_mean_ms
+                                  : 0;
+  }
+};
+
+/// One A/B leg: identical seed and query pool under `mode`, from a cold
+/// pool, cache, and calibration. Returns mean simulated per-select cost.
+double RunPlanChoiceLeg(ServingEngine* engine,
+                        ServingOptions::PlanChoice mode,
+                        std::span<const Query> pool,
+                        std::span<const std::vector<std::vector<Key>>>
+                            batches,
+                        size_t lookups, uint64_t seed) {
+  engine->cache().Clear();
+  engine->ResetBufferPool();
+  engine->set_plan_choice(mode);
+  DriverOptions d;
+  d.reader_threads = 2;
+  d.writer_threads = batches.empty() ? 0 : 1;
+  d.lookups_per_reader = lookups / d.reader_threads;
+  d.batches_per_writer = batches.empty() ? 0 : 4;
+  d.writer_pause_us = 10'000;
+  d.use_worker_pool = false;  // selects/appends inline: no queue noise
+  d.seed = seed;
+  WorkloadDriver driver(engine, d);
+  const DriverReport rep = driver.Run(pool, batches);
+  // Drain whatever tail the leg grew so the next leg starts identically.
+  if (!batches.empty()) {
+    if (!engine->Recluster().ok()) std::abort();
+  }
+  return rep.lookups > 0 ? rep.simulated_select_ms / double(rep.lookups) : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* json_path = nullptr;
   size_t recluster_every = 16000;  // tail rows that arm a background pass
-  for (int i = 1; i + 1 < argc; ++i) {
+  bool plan_only = false;          // --plan-choice: the quick CI smoke
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--plan-choice") == 0) plan_only = true;
+    if (i + 1 >= argc) continue;
     if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
     if (std::strcmp(argv[i], "--recluster-every") == 0) {
       recluster_every = size_t(std::atoll(argv[i + 1]));
@@ -106,16 +181,21 @@ int main(int argc, char** argv) {
 
   bench::PrintHeader(
       "Concurrent serving (Fig. 9 workload under a thread pool)",
-      "sharded CMs + a cross-query lookup cache scale lookup throughput "
-      "with reader threads (target: >=3x at 4 readers vs 1)",
+      plan_only
+          ? "plan-choice smoke: cost-based choice vs first-match per "
+            "query class (gates: no worse anywhere, >=1.15x on mixed)"
+          : "sharded CMs + a cross-query lookup cache scale lookup "
+            "throughput with reader threads (target: >=3x at 4 readers "
+            "vs 1); plan-choice A/B rides along",
       "ebay items, 5 CMs, " + std::to_string(kTotalLookupsPerRun) +
           " lookups/run, " + std::to_string(kStallUsPerSimMs) +
           " us emulated device wait per simulated ms");
 
   EbayGenConfig cfg;
-  cfg.num_categories = 1200;
-  cfg.min_items_per_category = 120;
-  cfg.max_items_per_category = 220;
+  // The smoke run shrinks the table so the whole A/B finishes in ~1 s.
+  cfg.num_categories = plan_only ? 600 : 1200;
+  cfg.min_items_per_category = plan_only ? 90 : 120;
+  cfg.max_items_per_category = plan_only ? 150 : 220;
   auto t = GenerateEbayItems(cfg);
   (void)t->ClusterBy(kEbay.catid);
   auto cidx = ClusteredIndex::Build(*t, kEbay.catid);
@@ -127,6 +207,10 @@ int main(int argc, char** argv) {
   // Two mixed runs append through this reservation; each recluster renews
   // it, but the no-recluster baseline must fit entirely.
   sopts.reserve_rows = t->NumRows() + 2 * append_capacity + kAppendBatchRows;
+  // Pool sized so the hot clustered ranges stay resident while the heap
+  // (~1800 pages full / ~550 smoke) does not fit -- the Fig. 9 regime.
+  sopts.buffer_pool_pages = 512;
+  sopts.calibration_period = 32;
   ServingEngine engine(t.get(), &*cidx, sopts);
   for (size_t col : kCols) {
     CmOptions copts;
@@ -146,6 +230,81 @@ int main(int argc, char** argv) {
   batches.reserve(kPregenBatches);
   for (size_t i = 0; i < kPregenBatches; ++i) {
     batches.push_back(MakeBatch(*t, kAppendBatchRows, &rng));
+  }
+
+  // ---- Plan-choice A/B: first-match vs cost-based per query class ----
+  const size_t plan_lookups = plan_only ? 300 : 600;
+  const std::vector<Query> hot_pool = MakeHotClusteredPool(
+      *t, kQueryPool, /*num_hot_ranges=*/8, /*range_width=*/20,
+      int64_t(cfg.num_categories) - 1, &rng);
+  std::vector<Query> mixed_pool;
+  mixed_pool.reserve(kQueryPool);
+  for (size_t i = 0; i < kQueryPool; ++i) {
+    mixed_pool.push_back(i % 2 == 0 ? pool[i] : hot_pool[i]);
+  }
+  PlanChoiceClass plan_classes[3] = {
+      {"cm_point", 0, 0}, {"hot_clustered", 0, 0}, {"mixed_hot", 0, 0}};
+  const std::span<const Query> class_pools[3] = {pool, hot_pool, mixed_pool};
+  for (size_t c = 0; c < 3; ++c) {
+    // The mixed class streams appends alongside the readers (Fig. 9);
+    // each leg ends with a recluster so both start from a drained tail.
+    // The cost-based leg runs second, over the rows the first-match leg
+    // appended -- a slightly LARGER table, so the measured speedup is
+    // biased conservatively against the policy the gate protects.
+    const std::span<const std::vector<std::vector<Key>>> leg_batches =
+        c == 2 ? std::span<const std::vector<std::vector<Key>>>(batches)
+               : std::span<const std::vector<std::vector<Key>>>();
+    plan_classes[c].first_match_mean_ms = RunPlanChoiceLeg(
+        &engine, ServingOptions::PlanChoice::kFirstMatch, class_pools[c],
+        leg_batches, plan_lookups, 0x8e21 + c);
+    plan_classes[c].cost_based_mean_ms = RunPlanChoiceLeg(
+        &engine, ServingOptions::PlanChoice::kCostBased, class_pools[c],
+        leg_batches, plan_lookups, 0x8e21 + c);
+  }
+  engine.set_plan_choice(ServingOptions::PlanChoice::kCostBased);
+  engine.cache().Clear();
+  engine.ResetBufferPool();
+
+  TablePrinter plan_out({"class", "first-match [ms/sel]",
+                         "cost-based [ms/sel]", "speedup"});
+  bool plan_no_worse = true;
+  for (const PlanChoiceClass& c : plan_classes) {
+    plan_out.AddRow({c.name, TablePrinter::Fmt(c.first_match_mean_ms, 3),
+                     TablePrinter::Fmt(c.cost_based_mean_ms, 3),
+                     TablePrinter::Fmt(c.Ratio(), 2)});
+    // "No worse anywhere": a 5% + 0.05 ms allowance absorbs pool-warmth
+    // noise on classes where both policies pick the same plans.
+    if (c.cost_based_mean_ms > c.first_match_mean_ms * 1.05 + 0.05) {
+      plan_no_worse = false;
+    }
+  }
+  plan_out.Print(std::cout);
+  const double mixed_ratio = plan_classes[2].Ratio();
+  const bool plan_ok = plan_no_worse && mixed_ratio >= 1.15;
+  std::cout << "\nplan choice: cost-based "
+            << (plan_no_worse ? "no worse than" : "WORSE than")
+            << " first-match on every class; mixed-hot speedup "
+            << TablePrinter::Fmt(mixed_ratio, 2) << "x (gate >= 1.15x)\n\n";
+
+  if (plan_only) {
+    if (json_path != nullptr) {
+      std::ostringstream js;
+      js << "{\n  \"bench\": \"serve_mixed_plan_choice_smoke\",\n"
+         << "  \"plan_choice\": [\n";
+      for (size_t c = 0; c < 3; ++c) {
+        js << "    {\"class\": \"" << plan_classes[c].name
+           << "\", \"first_match_ms\": "
+           << plan_classes[c].first_match_mean_ms
+           << ", \"cost_based_ms\": " << plan_classes[c].cost_based_mean_ms
+           << ", \"speedup\": " << plan_classes[c].Ratio() << "}"
+           << (c + 1 < 3 ? "," : "") << "\n";
+      }
+      js << "  ],\n  \"plan_choice_ok\": " << (plan_ok ? "true" : "false")
+         << "\n}\n";
+      std::ofstream(json_path) << js.str();
+      std::cout << "wrote " << json_path << "\n";
+    }
+    return plan_ok ? 0 : 1;
   }
 
   std::vector<RunRow> runs;
@@ -281,7 +440,16 @@ int main(int argc, char** argv) {
          << ", \"wall_s\": " << rep.wall_seconds << "}"
          << (i + 1 < runs.size() ? "," : "") << "\n";
     }
-    js << "  ],\n  \"speedup_4v1\": " << speedup
+    js << "  ],\n  \"plan_choice\": [\n";
+    for (size_t c = 0; c < 3; ++c) {
+      js << "    {\"class\": \"" << plan_classes[c].name
+         << "\", \"first_match_ms\": " << plan_classes[c].first_match_mean_ms
+         << ", \"cost_based_ms\": " << plan_classes[c].cost_based_mean_ms
+         << ", \"speedup\": " << plan_classes[c].Ratio() << "}"
+         << (c + 1 < 3 ? "," : "") << "\n";
+    }
+    js << "  ],\n  \"plan_choice_ok\": " << (plan_ok ? "true" : "false")
+       << ",\n  \"speedup_4v1\": " << speedup
        << ",\n  \"cost_ratio_norecluster\": "
        << norecluster.SecondHalfCostRatio()
        << ",\n  \"cost_ratio_recluster\": "
@@ -294,7 +462,8 @@ int main(int argc, char** argv) {
     std::ofstream(json_path) << js.str();
     std::cout << "wrote " << json_path << "\n";
   }
-  return (speedup >= 3.0 && inv.ok() && mismatches == 0 && recluster_ok)
+  return (speedup >= 3.0 && inv.ok() && mismatches == 0 && recluster_ok &&
+          plan_ok)
              ? 0
              : 1;
 }

@@ -16,19 +16,46 @@ std::string CostInputs::ToString() const {
   return buf;
 }
 
+namespace {
+
+double ClampResidency(double r) { return std::clamp(r, 0.0, 1.0); }
+
+}  // namespace
+
+double CostModel::EffectiveSeqPageMs(double residency) const {
+  const double r = ClampResidency(residency);
+  return disk_.seq_page_ms() * (1.0 - r) + kResidentPageMs * r;
+}
+
+double CostModel::EffectiveSeekMs(double residency) const {
+  const double r = ClampResidency(residency);
+  return disk_.seek_ms() * (1.0 - r) + kResidentSeekMs * r;
+}
+
 double CostModel::ScanCost(const CostInputs& in) const {
-  return disk_.seq_page_ms() * in.TotalPages();
+  return EffectiveSeqPageMs(in.heap_residency) * in.TotalPages();
 }
 
 double CostModel::PipelinedCost(const CostInputs& in) const {
-  return in.n_lookups * in.u_tups * disk_.seek_ms() * in.btree_height;
+  // The per-tuple random heap fetches dominate this path, so the heap's
+  // residency is the one that discounts it.
+  return in.n_lookups * in.u_tups * EffectiveSeekMs(in.heap_residency) *
+         in.btree_height;
 }
 
 double CostModel::SortedCost(const CostInputs& in) const {
+  // Descents walk the secondary index (index residency); the c_pages sweep
+  // reads heap pages (heap residency). The §4.1 degrade-to-scan cap is
+  // priced COLD regardless of residency: the fallback the bound models is
+  // an executed full sweep, which reads around the buffer pool
+  // (MaybeDegradeToScan charges exactly that), so a warm pool must never
+  // let a capped candidate undercut the seq-scan plan it would execute as.
   const double per_lookup =
-      in.c_per_u * (disk_.seek_ms() * in.btree_height +
-                    disk_.seq_page_ms() * in.CPages());
-  return std::min(in.n_lookups * per_lookup, ScanCost(in));
+      in.c_per_u * (EffectiveSeekMs(in.index_residency) * in.btree_height +
+                    EffectiveSeqPageMs(in.heap_residency) * in.CPages());
+  CostInputs cold = in;
+  cold.heap_residency = 0;
+  return std::min(in.n_lookups * per_lookup, ScanCost(cold));
 }
 
 double CostModel::CmCost(const CostInputs& in, uint64_t cm_pages,

@@ -21,6 +21,15 @@ struct CostInputs {
   double u_tups = 0;         ///< avg tuples per Au value
   double c_tups = 0;         ///< avg tuples per Ac value (Table 2)
   double c_per_u = 1;        ///< avg distinct Ac values per Au value (Table 2)
+  /// Buffer-pool calibration: the decayed fraction of heap (resp. index)
+  /// page touches that currently hit the buffer pool, published by the
+  /// storage layer (BufferPool::ResidencyOf). 0 -- the paper's cold-cache
+  /// assumption and the historical behavior of every formula below --
+  /// charges full device cost per page; 1 prices the access near pure CPU
+  /// cost (the Fig. 9 hot-clustered-range case the model used to
+  /// over-charge). Values are clamped to [0, 1].
+  double heap_residency = 0;
+  double index_residency = 0;
 
   /// Heap pages ("p" in §3).
   double TotalPages() const {
@@ -41,7 +50,22 @@ class CostModel {
 
   const DiskModel& disk() const { return disk_; }
 
-  /// cost_scan = seq_page_cost * p (§3).
+  /// CPU milliseconds to touch one page that is resident in the buffer
+  /// pool (no device involved; locate the frame, read the tuples).
+  static constexpr double kResidentPageMs = 1e-4;
+  /// CPU milliseconds for a "seek" that never reaches the device: a B+Tree
+  /// descent through cached nodes or repositioning within cached frames.
+  static constexpr double kResidentSeekMs = 1e-3;
+
+  /// Expected cost of one sequentially read page when a `residency`
+  /// fraction of touches hit the buffer pool: the blend
+  /// seq_page_ms*(1-r) + kResidentPageMs*r. residency==0 is exactly the
+  /// historical seq_page_ms charge.
+  double EffectiveSeqPageMs(double residency) const;
+  /// Same blend for a random repositioning: seek_ms*(1-r)+kResidentSeekMs*r.
+  double EffectiveSeekMs(double residency) const;
+
+  /// cost_scan = seq_page_cost * p (§3), at CostInputs::heap_residency.
   double ScanCost(const CostInputs& in) const;
 
   /// cost_uncorrelated = n_lookups * u_tups * seek_cost * btree_height

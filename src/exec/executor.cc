@@ -7,17 +7,6 @@
 
 namespace corrmap {
 
-namespace {
-
-const Predicate* FindPredicateOn(const Query& query, size_t col) {
-  for (const auto& p : query.predicates()) {
-    if (p.column() == col) return &p;
-  }
-  return nullptr;
-}
-
-}  // namespace
-
 Executor::Executor(const Table* table, const ClusteredIndex* cidx,
                    ExecOptions exec_options, size_t sample_size)
     : table_(table),
@@ -27,9 +16,13 @@ Executor::Executor(const Table* table, const ClusteredIndex* cidx,
       cost_model_(exec_options.disk) {}
 
 double Executor::EstimateScanMs() const {
+  // Always cold: executed scans read around the buffer pool, so the
+  // residency calibration never discounts them (see SeqScanCostMs). All
+  // rows, not live rows: tombstones do not shrink the page count a sweep
+  // reads.
   CostInputs in;
   in.tups_per_page = double(table_->TuplesPerPage());
-  in.total_tups = double(table_->TotalTuples());
+  in.total_tups = double(table_->NumRows());
   return cost_model_.ScanCost(in);
 }
 
@@ -44,11 +37,16 @@ double Executor::EstimateSortedIndexMs(const SecondaryIndex& index,
       EstimateCorrelationStats(*table_, sample_, u_cols, cidx_->column());
   CostInputs in;
   in.tups_per_page = double(table_->TuplesPerPage());
-  in.total_tups = double(table_->TotalTuples());
+  // NumRows, not live rows, so the §4.1 degrade-to-scan cap inside
+  // SortedCost prices the same sweep as the seq-scan candidate -- a
+  // capped candidate must tie the scan, never undercut it.
+  in.total_tups = double(table_->NumRows());
   in.btree_height = double(index.Height());
   in.u_tups = stats.u_tups;
   in.c_tups = cidx_->CTups();
   in.c_per_u = stats.c_per_u;
+  in.heap_residency = exec_options_.heap_residency;
+  in.index_residency = exec_options_.index_residency;
   // Distinct predicated values: count in the sample, scale by D(u).
   std::unordered_set<uint64_t> matching, all;
   for (RowId r : sample_.rows()) {
@@ -61,37 +59,51 @@ double Executor::EstimateSortedIndexMs(const SecondaryIndex& index,
   return cost_model_.SortedCost(in);
 }
 
-double Executor::EstimateCmMs(const CorrelationMap& cm, const Query& query,
-                              CmLookupSource* cache) const {
-  // CMs are in memory: estimate directly from the actual lookup, computed
-  // once here and reused verbatim by CmScan through the shared cache.
-  const CmLookupResult* res = cache->GetOrCompute(cm, query);
-  if (res == nullptr) return -1;  // inapplicable: CM attr not predicated
-  if (res->empty()) return 0.0;
-  double pages = 0;
-  uint64_t n_seeks = 0;
-  if (cm.has_clustered_buckets()) {
-    for (const OrdinalRange& r : res->ranges) {
-      pages +=
-          double(cm.options().c_buckets->RangeOfBucketRun(r.lo, r.hi).size()) /
-          double(table_->TuplesPerPage());
-    }
-    n_seeks = res->ranges.size() + cidx_->BTreeHeight();
-  } else {
-    pages = double(res->num_ordinals) * cidx_->CPages();
-    n_seeks = res->ranges.size() * cidx_->BTreeHeight();
-  }
-  const double cost = double(n_seeks) * cost_model_.disk().seek_ms() +
-                      pages * cost_model_.disk().seq_page_ms() +
-                      cost_model_.CmLookupProbeCost(
-                          double(cm.NumUKeys()), double(res->entries_probed));
-  return std::min(cost, EstimateScanMs());
-}
-
 ExecutorResult Executor::Execute(const Query& query) const {
   // The overload's fallback cache gives the one-lookup-per-(CM, Query)
   // scope: costing fills it, execution reuses it.
   return Execute(query, nullptr);
+}
+
+PlanSet Executor::Plan(const Query& query, CmLookupSource* cm_lookups) const {
+  CmLookupCache local;
+  if (cm_lookups == nullptr) cm_lookups = &local;
+
+  PlanContext ctx;
+  ctx.table = table_;
+  ctx.cidx = cidx_;
+  ctx.n_rows = table_->NumRows();
+  ctx.clustered_boundary =
+      RowId(std::min<uint64_t>(exec_options_.clustered_boundary,
+                               uint64_t(ctx.n_rows)));
+  ctx.heap_residency = exec_options_.heap_residency;
+  ctx.cidx_residency = exec_options_.index_residency;
+  ctx.cost_model = &cost_model_;
+
+  // Sorted secondary-index candidates keep their sample-driven §4.1
+  // estimate (the planner has no exact-range shortcut for them), plus the
+  // tail-sweep term every non-scan candidate carries on a serving
+  // snapshot (ChooseAccessPlan requires extras to price it themselves).
+  const double tail_ms = TailSweepCostMs(ctx);
+  std::vector<PlanCandidate> extras;
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    const double est = EstimateSortedIndexMs(*indexes_[i], query);
+    if (est < 0) continue;
+    extras.push_back({PlanKind::kSortedIndex,
+                      "sorted_index_scan(" + indexes_[i]->Name() + ")",
+                      est + tail_ms, i, false});
+  }
+
+  // Every CM candidate is costed from the lookup CmScan would execute
+  // with, via the shared source: one cm_lookup per (CM, Query).
+  std::vector<CmPlanView> views(cms_.size());
+  for (size_t i = 0; i < cms_.size(); ++i) {
+    views[i].lookup = cm_lookups->GetOrCompute(*cms_[i], query);
+    views[i].c_buckets = cms_[i]->options().c_buckets;
+    views[i].num_ukeys = cms_[i]->NumUKeys();
+    views[i].name = cms_[i]->Name();
+  }
+  return ChooseAccessPlan(ctx, query, views, extras);
 }
 
 ExecutorResult Executor::Execute(const Query& query,
@@ -100,63 +112,26 @@ ExecutorResult Executor::Execute(const Query& query,
   if (cm_lookups == nullptr) cm_lookups = &local;
   ExecutorResult out;
 
-  struct Candidate {
-    enum Kind { kScan, kClustered, kSortedIndex, kCm } kind;
-    const SecondaryIndex* index = nullptr;
-    const CorrelationMap* cm = nullptr;
-    double est = 0;
-  };
-  std::vector<Candidate> cands;
-
-  cands.push_back({Candidate::kScan, nullptr, nullptr, EstimateScanMs()});
-  out.candidates.push_back({"seq_scan", cands.back().est, false});
-
-  if (FindPredicateOn(query, cidx_->column()) != nullptr) {
-    // Clustered access: height seeks + range pages.
-    const Predicate* p = FindPredicateOn(query, cidx_->column());
-    Query single({*p});
-    const double sel = single.EstimateSelectivity(*table_, sample_);
-    const double pages = sel * double(table_->NumPages());
-    const double est = double(cidx_->BTreeHeight()) *
-                           cost_model_.disk().seek_ms() +
-                       pages * cost_model_.disk().seq_page_ms();
-    cands.push_back({Candidate::kClustered, nullptr, nullptr, est});
-    out.candidates.push_back({"clustered_index_scan", est, false});
+  const PlanSet plans = Plan(query, cm_lookups);
+  out.candidates.reserve(plans.candidates.size());
+  for (const PlanCandidate& c : plans.candidates) {
+    out.candidates.push_back({c.description, c.est_ms, c.chosen});
   }
 
-  for (const SecondaryIndex* idx : indexes_) {
-    const double est = EstimateSortedIndexMs(*idx, query);
-    if (est < 0) continue;
-    cands.push_back({Candidate::kSortedIndex, idx, nullptr, est});
-    out.candidates.push_back({"sorted_index_scan(" + idx->Name() + ")", est,
-                              false});
-  }
-  for (const CorrelationMap* cm : cms_) {
-    const double est = EstimateCmMs(*cm, query, cm_lookups);
-    if (est < 0) continue;
-    cands.push_back({Candidate::kCm, nullptr, cm, est});
-    out.candidates.push_back({"cm_scan(" + cm->Name() + ")", est, false});
-  }
-
-  size_t best = 0;
-  for (size_t i = 1; i < cands.size(); ++i) {
-    if (cands[i].est < cands[best].est) best = i;
-  }
-  out.candidates[best].chosen = true;
-
-  switch (cands[best].kind) {
-    case Candidate::kScan:
+  const PlanCandidate& win = plans.chosen_plan();
+  switch (win.kind) {
+    case PlanKind::kSeqScan:
       out.result = FullTableScan(*table_, query, exec_options_);
       break;
-    case Candidate::kClustered:
+    case PlanKind::kClusteredRange:
       out.result = ClusteredIndexScan(*table_, *cidx_, query, exec_options_);
       break;
-    case Candidate::kSortedIndex:
+    case PlanKind::kSortedIndex:
       out.result =
-          SortedIndexScan(*table_, *cands[best].index, query, exec_options_);
+          SortedIndexScan(*table_, *indexes_[win.slot], query, exec_options_);
       break;
-    case Candidate::kCm:
-      out.result = CmScan(*table_, *cands[best].cm, *cidx_, query,
+    case PlanKind::kCmProbe:
+      out.result = CmScan(*table_, *cms_[win.slot], *cidx_, query,
                           exec_options_, cm_lookups);
       break;
   }

@@ -12,6 +12,7 @@
 #include "core/correlation_map.h"
 #include "core/cost_model.h"
 #include "exec/access_path.h"
+#include "exec/plan_choice.h"
 #include "exec/predicate.h"
 #include "index/clustered_index.h"
 #include "index/secondary_index.h"
@@ -56,17 +57,20 @@ class Executor {
   /// Execute calls, invalidated by CM epoch changes.
   ExecutorResult Execute(const Query& query, CmLookupSource* cm_lookups) const;
 
+  /// Costs only -- the deliberation Execute would run, without executing
+  /// the winner. Candidate enumeration, costing, and the choice itself are
+  /// delegated to exec/plan_choice.h, the same arbiter the serving engine
+  /// consults, so offline and serving decisions over identical snapshots
+  /// (ExecOptions::clustered_boundary + residency fields) agree by
+  /// construction -- the plan-parity tests hold both to this.
+  PlanSet Plan(const Query& query, CmLookupSource* cm_lookups) const;
+
   /// Cost estimate for answering `query` by full scan.
   double EstimateScanMs() const;
 
  private:
   double EstimateSortedIndexMs(const SecondaryIndex& index,
                                const Query& query) const;
-  /// Costs a CM candidate from the shared lookup result in `cache`; the
-  /// same result later drives CmScan, so each (CM, Query) performs exactly
-  /// one cm_lookup across costing and execution.
-  double EstimateCmMs(const CorrelationMap& cm, const Query& query,
-                      CmLookupSource* cache) const;
 
   const Table* table_;
   const ClusteredIndex* cidx_;

@@ -1,0 +1,163 @@
+#include "exec/plan_choice.h"
+
+#include <algorithm>
+
+namespace corrmap {
+
+namespace {
+
+uint64_t RangePages(const PageLayout& layout, const RowRange& r) {
+  if (r.empty()) return 0;
+  return layout.PageOfRow(r.end - 1) - layout.PageOfRow(r.begin) + 1;
+}
+
+}  // namespace
+
+const Predicate* FindPredicateOn(const Query& query, size_t col) {
+  for (const auto& p : query.predicates()) {
+    if (p.column() == col) return &p;
+  }
+  return nullptr;
+}
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kSeqScan: return "seq_scan";
+    case PlanKind::kClusteredRange: return "clustered_index_scan";
+    case PlanKind::kSortedIndex: return "sorted_index_scan";
+    case PlanKind::kCmProbe: return "cm_scan";
+  }
+  return "unknown";
+}
+
+std::vector<RowRange> ClusteredRangesFor(const Table& table,
+                                         const ClusteredIndex& cidx,
+                                         const Predicate& pred,
+                                         RowId clamp_end) {
+  std::vector<RowRange> ranges;
+  if (pred.op() == Predicate::Op::kRange) {
+    const Key lo = table.column(cidx.column()).EncodeKey(Value(pred.lo()));
+    const Key hi = table.column(cidx.column()).EncodeKey(Value(pred.hi()));
+    ranges.push_back(cidx.LookupRange(lo, hi));
+  } else {
+    for (const Key& k : pred.keys()) ranges.push_back(cidx.LookupEqual(k));
+  }
+  std::vector<RowRange> out;
+  out.reserve(ranges.size());
+  for (RowRange r : ranges) {
+    r.end = std::min<RowId>(r.end, clamp_end);
+    if (!r.empty()) out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RowRange& a, const RowRange& b) {
+              return a.begin < b.begin;
+            });
+  return out;
+}
+
+double TailSweepCostMs(const PlanContext& ctx) {
+  if (ctx.clustered_boundary >= RowId(ctx.n_rows)) return 0;
+  const PageLayout& layout = ctx.table->layout();
+  const uint64_t pages = layout.PageOfRow(ctx.n_rows - 1) -
+                         layout.PageOfRow(ctx.clustered_boundary) + 1;
+  return ctx.cost_model->EffectiveSeekMs(ctx.heap_residency) +
+         double(pages) *
+             ctx.cost_model->EffectiveSeqPageMs(ctx.heap_residency);
+}
+
+double SeqScanCostMs(const PlanContext& ctx) {
+  // Mirror CostModel::ScanCost exactly (un-ceiled pages): §4.1 caps the
+  // sorted and CM candidates at that value, and an estimate that differs
+  // in the last page would let a capped candidate undercut the scan.
+  // Priced cold on purpose: a full sweep reads around the buffer pool
+  // (PostgreSQL-style ring buffer) both in execution and here, so the
+  // residency calibration discounts the targeted plans, never the scan.
+  CostInputs in;
+  in.tups_per_page = double(ctx.table->TuplesPerPage());
+  in.total_tups = double(ctx.n_rows);
+  return ctx.cost_model->ScanCost(in);
+}
+
+double ClusteredRangeCostMs(const PlanContext& ctx,
+                            std::span<const RowRange> ranges,
+                            size_t n_probes) {
+  uint64_t pages = 0;
+  for (const RowRange& r : ranges) pages += RangePages(ctx.table->layout(), r);
+  const double descents =
+      double(std::max<size_t>(n_probes, 1)) * double(ctx.cidx->BTreeHeight());
+  return descents * ctx.cost_model->EffectiveSeekMs(ctx.cidx_residency) +
+         double(pages) *
+             ctx.cost_model->EffectiveSeqPageMs(ctx.heap_residency) +
+         TailSweepCostMs(ctx);
+}
+
+double CmProbeCostMs(const PlanContext& ctx, const CmPlanView& cm) {
+  const CmLookupResult& res = *cm.lookup;
+  const double tail = TailSweepCostMs(ctx);
+  const double probe = ctx.cost_model->CmLookupProbeCost(
+      double(std::max<size_t>(cm.num_ukeys, 1)), double(res.entries_probed));
+  if (res.empty()) return probe + tail;
+  double pages = 0;
+  uint64_t n_seeks = 0;
+  if (cm.c_buckets != nullptr) {
+    // Bucket runs translate positionally; clamp to the clustered boundary
+    // exactly as execution does (tail rows are the sweep's, not ours).
+    for (const OrdinalRange& r : res.ranges) {
+      RowRange range = cm.c_buckets->RangeOfBucketRun(r.lo, r.hi);
+      range.end = std::min<RowId>(range.end, ctx.clustered_boundary);
+      if (!range.empty()) {
+        pages += double(range.size()) / double(ctx.table->TuplesPerPage());
+      }
+    }
+    n_seeks = res.ranges.size() + ctx.cidx->BTreeHeight();
+  } else {
+    pages = double(res.num_ordinals) * ctx.cidx->CPages();
+    n_seeks = res.ranges.size() * ctx.cidx->BTreeHeight();
+  }
+  const double cost =
+      double(n_seeks) * ctx.cost_model->EffectiveSeekMs(ctx.cidx_residency) +
+      pages * ctx.cost_model->EffectiveSeqPageMs(ctx.heap_residency) + probe +
+      tail;
+  // §4.1's min bound: a probe never costs more than giving up and
+  // scanning. On a tie the earlier seq-scan candidate wins the choice.
+  return std::min(cost, SeqScanCostMs(ctx));
+}
+
+PlanSet ChooseAccessPlan(const PlanContext& ctx, const Query& query,
+                         std::span<const CmPlanView> cms,
+                         std::span<const PlanCandidate> extra) {
+  PlanSet out;
+  out.candidates.push_back(
+      {PlanKind::kSeqScan, "seq_scan", SeqScanCostMs(ctx), 0, false});
+
+  const Predicate* cpred = FindPredicateOn(query, ctx.cidx->column());
+  if (cpred != nullptr) {
+    const std::vector<RowRange> ranges = ClusteredRangesFor(
+        *ctx.table, *ctx.cidx, *cpred, ctx.clustered_boundary);
+    const size_t n_probes =
+        cpred->op() == Predicate::Op::kRange ? 1 : cpred->keys().size();
+    out.candidates.push_back({PlanKind::kClusteredRange,
+                              "clustered_index_scan",
+                              ClusteredRangeCostMs(ctx, ranges, n_probes), 0,
+                              false});
+  }
+
+  for (const PlanCandidate& e : extra) out.candidates.push_back(e);
+
+  for (size_t i = 0; i < cms.size(); ++i) {
+    if (cms[i].lookup == nullptr) continue;  // inapplicable for this query
+    out.candidates.push_back({PlanKind::kCmProbe,
+                              "cm_scan(" + cms[i].name + ")",
+                              CmProbeCostMs(ctx, cms[i]), i, false});
+  }
+
+  for (size_t i = 1; i < out.candidates.size(); ++i) {
+    if (out.candidates[i].est_ms < out.candidates[out.chosen].est_ms) {
+      out.chosen = i;
+    }
+  }
+  out.candidates[out.chosen].chosen = true;
+  return out;
+}
+
+}  // namespace corrmap

@@ -98,6 +98,11 @@ Result<ReclusterStats> Reclusterer::Run() {
     next->cms.push_back(std::move(owned));
     next->c_bucketings.push_back(std::move(cb));
   }
+  // Fresh buffer-pool file ids and a cold calibration cell: the
+  // predecessor's frames age out of the pool instead of aliasing the
+  // reordered heap, and plan costing re-calibrates against the successor
+  // epoch's own hit rates.
+  e.InitEpochCalibration(next.get());
   stats.build_seconds = SecondsSince(t_build);
 
   // ---- Phase 2: block writers, catch up the rows they appended during

@@ -8,7 +8,9 @@ namespace corrmap::serve {
 ServingEngine::ServingEngine(Table* table, const ClusteredIndex* cidx,
                              ServingOptions options)
     : options_(options),
-      recluster_tail_rows_(options.recluster_tail_rows) {
+      recluster_tail_rows_(options.recluster_tail_rows),
+      plan_choice_(options.plan_choice),
+      cost_model_(options.disk) {
   assert(table->clustered_column() == int(cidx->column()) &&
          "table must be clustered with cidx built over the clustered column");
   const size_t reserve =
@@ -16,10 +18,14 @@ ServingEngine::ServingEngine(Table* table, const ClusteredIndex* cidx,
           ? options_.reserve_rows
           : table->NumRows() + ServingOptions::kDefaultAppendHeadroom;
   table->Reserve(reserve);
+  if (options_.buffer_pool_pages > 0) {
+    pool_ = std::make_unique<BufferPool>(options_.buffer_pool_pages);
+  }
   auto state = std::make_shared<EpochState>();
   state->table = table;
   state->cidx = cidx;
   state->clustered_boundary = RowId(table->NumRows());
+  InitEpochCalibration(state.get());
   state_ = std::move(state);
   StartWorkers(options_.num_workers);
 }
@@ -83,12 +89,162 @@ bool ServingEngine::CompilePredicates(const ShardedCorrelationMap& scm,
   return true;
 }
 
+void ServingEngine::InitEpochCalibration(EpochState* st) const {
+  st->calibration = std::make_unique<CalibrationCell>();
+  if (pool_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  st->heap_file = pool_->RegisterFile();
+  st->cidx_file = pool_->RegisterFile();
+}
+
+PlanCalibration ServingEngine::CalibrationOf(const EpochState& st) const {
+  if (pool_ == nullptr || st.calibration == nullptr) return {};
+  std::shared_lock lock(st.calibration->mu);
+  return st.calibration->calib;
+}
+
+void ServingEngine::MaybeRefreshCalibration(const EpochState& st) const {
+  if (pool_ == nullptr || st.calibration == nullptr ||
+      options_.calibration_period == 0) {
+    return;
+  }
+  CalibrationCell& cell = *st.calibration;
+  const uint64_t n =
+      cell.selects_since.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (n < options_.calibration_period) return;
+  cell.selects_since.store(0, std::memory_order_release);
+  PlanCalibration fresh;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    fresh.heap_residency =
+        pool_->ResidencyOf(st.heap_file, st.table->NumPages()).hit_rate;
+    fresh.cidx_residency = pool_->ResidencyOf(st.cidx_file).hit_rate;
+  }
+  std::unique_lock lock(cell.mu);
+  cell.calib = fresh;
+}
+
+PlanCalibration ServingEngine::CurrentCalibration() const {
+  return CalibrationOf(*CurrentState());
+}
+
+void ServingEngine::ResetBufferPool() {
+  if (pool_ != nullptr) {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    pool_->Clear();
+  }
+  const std::shared_ptr<EpochState> st = CurrentState();
+  if (st->calibration != nullptr) {
+    std::unique_lock lock(st->calibration->mu);
+    st->calibration->calib = {};
+    st->calibration->selects_since.store(0, std::memory_order_release);
+  }
+}
+
+double ServingEngine::ChargeHeapRuns(const EpochState& st,
+                                     std::span<const PageRun> runs) const {
+  if (pool_ == nullptr) {
+    return options_.disk.CostMs(CostOfRuns(runs));
+  }
+  const double cold_page = options_.disk.seq_page_ms();
+  const double cold_seek = options_.disk.seek_ms();
+  double ms = 0;
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  for (const PageRun& run : runs) {
+    for (uint64_t i = 0; i < run.length; ++i) {
+      const bool hit = pool_->Touch({st.heap_file, run.first + i});
+      ms += hit ? CostModel::kResidentPageMs : cold_page;
+      if (i == 0) {
+        // The run's seek reaches the device only if its first page does.
+        ms += hit ? CostModel::kResidentSeekMs : cold_seek;
+      }
+    }
+  }
+  return ms;
+}
+
+double ServingEngine::ChargeDescents(const EpochState& st,
+                                     std::span<const PageNo> leaves) const {
+  const size_t height = st.cidx->BTreeHeight();
+  if (pool_ == nullptr) {
+    return double(leaves.size()) * double(height) * options_.disk.seek_ms();
+  }
+  const double cold_seek = options_.disk.seek_ms();
+  double ms = 0;
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  for (const PageNo leaf : leaves) {
+    // Upper levels are shared pages [0, height-1); the leaf level is
+    // proxied by the heap page the descent lands on, so leaf residency
+    // follows the ranges the workload actually probes.
+    for (size_t level = 0; level + 1 < height; ++level) {
+      const bool hit = pool_->Touch({st.cidx_file, PageNo(level)});
+      ms += hit ? CostModel::kResidentSeekMs : cold_seek;
+    }
+    const bool hit = pool_->Touch({st.cidx_file, PageNo(height) + leaf});
+    ms += hit ? CostModel::kResidentSeekMs : cold_seek;
+  }
+  return ms;
+}
+
+void ServingEngine::ResolveCmLookups(
+    const EpochState& st, const Query& query, bool first_match_only,
+    std::vector<CmPlanView>* views,
+    std::vector<SharedLookupCache::ResultPtr>* pinned,
+    std::vector<uint8_t>* cache_hits) const {
+  views->assign(st.cms.size(), CmPlanView{});
+  pinned->assign(st.cms.size(), nullptr);
+  cache_hits->assign(st.cms.size(), 0);
+  std::vector<CmColumnPredicate> preds;
+  for (size_t i = 0; i < st.cms.size(); ++i) {
+    const ShardedCorrelationMap& scm = *st.cms[i];
+    if (!CompilePredicates(scm, query, &preds)) continue;
+    // Cross-query reuse keyed (stable CM slot, predicate fingerprint,
+    // epoch). The slot tag outlives recluster swaps while the successor
+    // CM's epoch is raised above its predecessor's, so entries computed
+    // before a swap compare stale and are lazily evicted. A result
+    // computed while maintenance interleaved (epoch moved) is used once
+    // but never published.
+    const void* slot = cm_slot_tags_[i].get();
+    const uint64_t fp = SharedLookupCache::Fingerprint(preds);
+    const uint64_t epoch = scm.Epoch();
+    SharedLookupCache::ResultPtr res = cache_.Get(slot, fp, epoch);
+    (*cache_hits)[i] = res != nullptr ? 1 : 0;
+    if (res == nullptr) {
+      auto computed =
+          std::make_shared<const CmLookupResult>(scm.Lookup(preds));
+      if (scm.Epoch() == epoch) cache_.Put(slot, fp, epoch, computed);
+      res = std::move(computed);
+    }
+    (*pinned)[i] = std::move(res);
+    (*views)[i] = scm.PlanView((*pinned)[i].get());
+    if (first_match_only) return;
+  }
+}
+
+PlanSet ServingEngine::PlanSelect(const Query& query) const {
+  const std::shared_ptr<EpochState> st = CurrentState();
+  std::vector<CmPlanView> views;
+  std::vector<SharedLookupCache::ResultPtr> pinned;
+  std::vector<uint8_t> hits;
+  ResolveCmLookups(*st, query, /*first_match_only=*/false, &views, &pinned,
+                   &hits);
+  const PlanCalibration calib = CalibrationOf(*st);
+  PlanContext ctx;
+  ctx.table = st->table;
+  ctx.cidx = st->cidx;
+  ctx.clustered_boundary = st->clustered_boundary;
+  ctx.n_rows = st->table->NumRows();
+  ctx.heap_residency = calib.heap_residency;
+  ctx.cidx_residency = calib.cidx_residency;
+  ctx.cost_model = &cost_model_;
+  return ChooseAccessPlan(ctx, query, views);
+}
+
 SelectResult ServingEngine::ExecuteSelect(const Query& query) const {
   SelectResult out;
-  DiskStats io;
   // Pin one epoch for the whole select: table, clustered index, boundary,
-  // and CM set stay mutually consistent even if a recluster swaps the
-  // engine to a successor mid-flight.
+  // CM set, and calibration inputs stay mutually consistent even if a
+  // recluster swaps the engine to a successor mid-flight.
   const std::shared_ptr<EpochState> st = CurrentState();
   out.recluster_epoch = st->version;
   const Table& table = *st->table;
@@ -99,98 +255,165 @@ SelectResult ServingEngine::ExecuteSelect(const Query& query) const {
   const uint64_t gap =
       uint64_t(options_.disk.seek_ms() / options_.disk.seq_page_ms());
 
-  const ShardedCorrelationMap* best = nullptr;
-  size_t best_slot = 0;
-  std::vector<CmColumnPredicate> preds;
-  for (size_t i = 0; i < st->cms.size(); ++i) {
-    if (CompilePredicates(*st->cms[i], query, &preds)) {
-      best = st->cms[i].get();
-      best_slot = i;
+  const PlanCalibration calib = CalibrationOf(*st);
+  out.heap_residency = calib.heap_residency;
+  out.cidx_residency = calib.cidx_residency;
+
+  const ServingOptions::PlanChoice mode =
+      plan_choice_.load(std::memory_order_relaxed);
+  std::vector<CmPlanView> views;
+  std::vector<SharedLookupCache::ResultPtr> pinned;
+  std::vector<uint8_t> hits;
+  ResolveCmLookups(*st, query,
+                   mode == ServingOptions::PlanChoice::kFirstMatch, &views,
+                   &pinned, &hits);
+
+  // ---- Deliberate. Cost-based: every candidate priced by the shared
+  // plan enumeration at this epoch's calibration. First-match: the first
+  // applicable CM, else a scan (the legacy policy, kept for A/B).
+  PlanKind kind = PlanKind::kSeqScan;
+  size_t cm_slot = SelectResult::kNoCmSlot;
+  if (mode == ServingOptions::PlanChoice::kCostBased) {
+    PlanContext ctx;
+    ctx.table = &table;
+    ctx.cidx = st->cidx;
+    ctx.clustered_boundary = boundary;
+    ctx.n_rows = n_rows;
+    ctx.heap_residency = calib.heap_residency;
+    ctx.cidx_residency = calib.cidx_residency;
+    ctx.cost_model = &cost_model_;
+    const PlanSet plans = ChooseAccessPlan(ctx, query, views);
+    const PlanCandidate& win = plans.chosen_plan();
+    kind = win.kind;
+    if (kind == PlanKind::kCmProbe) cm_slot = win.slot;
+    out.plan = win.description;
+    out.plan_est_ms = win.est_ms;
+    out.plan_candidates = plans.candidates.size();
+  } else {
+    for (size_t i = 0; i < views.size(); ++i) {
+      if (views[i].lookup != nullptr) {
+        kind = PlanKind::kCmProbe;
+        cm_slot = i;
+        break;
+      }
+    }
+    out.plan = kind == PlanKind::kCmProbe
+                   ? "cm_scan(" + views[cm_slot].name + ")"
+                   : "seq_scan";
+    out.plan_candidates = 1;
+  }
+  out.plan_kind = kind;
+  out.plan_cm_slot = cm_slot;
+  out.used_cm = kind == PlanKind::kCmProbe;
+  out.cache_hit = out.used_cm && hits[cm_slot] != 0;
+
+  // ---- Execute the winner, pricing every targeted page through the
+  // buffer pool (full scans read around it and stay cold).
+  double ms = 0;
+  auto sweep_ranges = [&](const std::vector<RowRange>& ranges) {
+    std::vector<PageNo> pages;
+    for (const RowRange& range : ranges) {
+      const PageNo first = table.layout().PageOfRow(range.begin);
+      const PageNo last = table.layout().PageOfRow(range.end - 1);
+      for (PageNo p = first; p <= last; ++p) pages.push_back(p);
+      for (RowId r = range.begin; r < range.end; ++r) {
+        ++out.rows_examined;
+        if (table.IsDeleted(r)) continue;
+        if (query.Matches(table, r)) ++out.num_matches;
+      }
+    }
+    ms += ChargeHeapRuns(*st, ExtractRuns(std::move(pages), gap));
+  };
+
+  switch (kind) {
+    case PlanKind::kSeqScan: {
+      for (RowId r = 0; r < n_rows; ++r) {
+        ++out.rows_examined;
+        if (table.IsDeleted(r)) continue;
+        if (query.Matches(table, r)) ++out.num_matches;
+      }
+      DiskStats io;
+      io.seq_pages = table.layout().NumPages(n_rows);
+      ms += options_.disk.CostMs(io);
       break;
     }
-  }
-
-  if (best == nullptr) {
-    // No applicable CM: sequential scan of the whole heap.
-    for (RowId r = 0; r < n_rows; ++r) {
-      ++out.rows_examined;
-      if (table.IsDeleted(r)) continue;
-      if (query.Matches(table, r)) ++out.num_matches;
+    case PlanKind::kClusteredRange: {
+      // The shared predicate-selection rule: ChooseAccessPlan costed this
+      // plan from the same predicate, so plan_est_ms prices exactly the
+      // range set executed here.
+      const Predicate* cpred = FindPredicateOn(query, st->cidx->column());
+      assert(cpred != nullptr && "clustered plan without clustered pred");
+      const std::vector<RowRange> ranges =
+          ClusteredRangesFor(table, *st->cidx, *cpred, boundary);
+      std::vector<PageNo> leaves;
+      leaves.reserve(ranges.size());
+      for (const RowRange& r : ranges) {
+        leaves.push_back(table.layout().PageOfRow(r.begin));
+      }
+      if (leaves.empty()) leaves.push_back(0);  // the descent that missed
+      ms += ChargeDescents(*st, leaves);
+      sweep_ranges(ranges);
+      break;
     }
-    io.seq_pages += table.layout().NumPages(n_rows);
-    out.simulated_ms = options_.disk.CostMs(io);
-    return out;
-  }
-
-  out.used_cm = true;
-  // Cross-query reuse keyed (stable CM slot, predicate fingerprint,
-  // epoch). The slot tag outlives recluster swaps while the successor
-  // CM's epoch is raised above its predecessor's, so entries computed
-  // before a swap compare stale and are lazily evicted. A result computed
-  // while maintenance interleaved (epoch moved) is used once but never
-  // published.
-  const void* slot = cm_slot_tags_[best_slot].get();
-  const uint64_t fp = SharedLookupCache::Fingerprint(preds);
-  const uint64_t epoch = best->Epoch();
-  SharedLookupCache::ResultPtr res = cache_.Get(slot, fp, epoch);
-  out.cache_hit = res != nullptr;
-  if (res == nullptr) {
-    auto computed =
-        std::make_shared<const CmLookupResult>(best->Lookup(preds));
-    if (best->Epoch() == epoch) cache_.Put(slot, fp, epoch, computed);
-    res = std::move(computed);
-  }
-
-  // Translate ordinal runs to clustered row ranges (the tail is handled
-  // separately below; neither cidx nor the positional bucketing covers
-  // rows >= boundary).
-  const ClusteredBucketing* cb = best->options().c_buckets;
-  std::vector<RowRange> ranges;
-  ranges.reserve(res->ranges.size());
-  for (const OrdinalRange& r : res->ranges) {
-    RowRange range =
-        cb != nullptr
-            ? cb->RangeOfBucketRun(r.lo, r.hi)
-            : st->cidx->LookupRange(best->DecodeClusteredOrdinal(r.lo),
-                                    best->DecodeClusteredOrdinal(r.hi));
-    // The clustered index closes its last key's range at the table's live
-    // row count, which now includes the unclustered tail; clamp so tail
-    // rows are examined exactly once (by the tail sweep below).
-    range.end = std::min(range.end, boundary);
-    if (!range.empty()) ranges.push_back(range);
-  }
-  std::sort(ranges.begin(), ranges.end(),
-            [](const RowRange& a, const RowRange& b) {
-              return a.begin < b.begin;
-            });
-  io.seeks += uint64_t(res->ranges.size()) * st->cidx->BTreeHeight();
-  std::vector<PageNo> pages;
-  for (const RowRange& range : ranges) {
-    const PageNo first = table.layout().PageOfRow(range.begin);
-    const PageNo last = table.layout().PageOfRow(range.end - 1);
-    for (PageNo p = first; p <= last; ++p) pages.push_back(p);
-    for (RowId r = range.begin; r < range.end; ++r) {
-      ++out.rows_examined;
-      if (table.IsDeleted(r)) continue;
-      if (query.Matches(table, r)) ++out.num_matches;
+    case PlanKind::kCmProbe: {
+      const ShardedCorrelationMap& scm = *st->cms[cm_slot];
+      const CmLookupResult& res = *views[cm_slot].lookup;
+      // Translate ordinal runs to clustered row ranges (the tail is
+      // handled separately below; neither cidx nor the positional
+      // bucketing covers rows >= boundary).
+      const ClusteredBucketing* cb = scm.options().c_buckets;
+      std::vector<RowRange> ranges;
+      std::vector<PageNo> leaves;
+      ranges.reserve(res.ranges.size());
+      for (const OrdinalRange& r : res.ranges) {
+        RowRange range =
+            cb != nullptr
+                ? cb->RangeOfBucketRun(r.lo, r.hi)
+                : st->cidx->LookupRange(scm.DecodeClusteredOrdinal(r.lo),
+                                        scm.DecodeClusteredOrdinal(r.hi));
+        // The clustered index closes its last key's range at the table's
+        // live row count, which now includes the unclustered tail; clamp
+        // so tail rows are examined exactly once (by the sweep below).
+        range.end = std::min(range.end, boundary);
+        if (!range.empty()) {
+          leaves.push_back(table.layout().PageOfRow(range.begin));
+          ranges.push_back(range);
+        }
+      }
+      std::sort(ranges.begin(), ranges.end(),
+                [](const RowRange& a, const RowRange& b) {
+                  return a.begin < b.begin;
+                });
+      ms += ChargeDescents(*st, leaves);
+      sweep_ranges(ranges);
+      ms += cost_model_.CmLookupProbeCost(
+          double(std::max<size_t>(views[cm_slot].num_ukeys, 1)),
+          double(res.entries_probed));
+      break;
     }
+    case PlanKind::kSortedIndex:
+      assert(false && "engine enumerates no sorted-index candidates");
+      break;
   }
-  io += CostOfRuns(ExtractRuns(std::move(pages), gap));
 
-  // Unclustered append tail: one sequential sweep, full re-filter. This is
-  // what makes a freshly appended row visible to selects immediately; a
-  // recluster returns the tail to zero and retires this cost.
-  if (boundary < n_rows) {
+  // Unclustered append tail: one sequential sweep, full re-filter, for
+  // every non-scan plan. This is what makes a freshly appended row
+  // visible to selects immediately; a recluster returns the tail to zero
+  // and retires this cost.
+  if (kind != PlanKind::kSeqScan && boundary < n_rows) {
     for (RowId r = boundary; r < n_rows; ++r) {
       ++out.rows_examined;
       if (table.IsDeleted(r)) continue;
       if (query.Matches(table, r)) ++out.num_matches;
     }
-    ++io.seeks;
-    io.seq_pages += table.layout().PageOfRow(n_rows - 1) -
-                    table.layout().PageOfRow(boundary) + 1;
+    const PageNo first = table.layout().PageOfRow(boundary);
+    const PageNo last = table.layout().PageOfRow(n_rows - 1);
+    const PageRun tail_run{first, last - first + 1};
+    ms += ChargeHeapRuns(*st, std::span<const PageRun>(&tail_run, 1));
   }
-  out.simulated_ms = options_.disk.CostMs(io);
+
+  out.simulated_ms = ms;
+  MaybeRefreshCalibration(*st);
   return out;
 }
 

@@ -10,17 +10,30 @@
 // (src/serve/recluster.h) can build a successor epoch off to the side and
 // swap it in without a reader ever observing a half-moved row.
 //
-// Read path: the first attached CM whose attributes the query predicates
-// answers via cm_lookup -- served from the process-wide SharedLookupCache
-// when a similar query already computed the runs at the CM's current epoch
-// -- and the resulting clustered ordinal runs are swept and re-filtered on
-// the full predicate. Rows appended after the table was clustered live in
-// an unclustered tail [clustered_boundary, NumRows); the clustered index
-// does not cover them, so every CM-driven select finishes with a
-// sequential tail sweep. That keeps the probe==scan invariant exact under
-// concurrent appends: a row is visible to selects as soon as the table
-// publishes it, whether or not its CM entries have landed. A recluster
-// returns the tail to zero, bounding the sweep.
+// Read path: every select runs through the cost-based plan choice of
+// exec/plan_choice.h -- the same arbiter the offline Executor consults.
+// The candidates are a full scan, a clustered-range scan when the query
+// predicates the clustered column, and one CM probe per applicable
+// attached CM (several CMs over one column compete on cost); each CM
+// candidate is costed from the exact CmLookupResult its execution would
+// sweep, served from the process-wide SharedLookupCache so costing and
+// execution pay one cm_lookup per (CM, predicate, epoch). Costs are
+// calibrated by live buffer-pool residency: the engine routes targeted
+// sweeps (clustered ranges, CM runs, the tail) through a BufferPool and
+// periodically publishes each epoch's decayed per-file hit rates into a
+// per-epoch calibration snapshot, so a clustered range the workload keeps
+// hot is priced near CPU cost instead of cold I/O (the Fig. 9 gap). Full
+// scans read around the pool (ring-buffer style) and stay cold-priced.
+// ServingOptions::plan_choice can pin the legacy first-match policy (the
+// first applicable CM, else scan) for A/B runs.
+//
+// Rows appended after the table was clustered live in an unclustered tail
+// [clustered_boundary, NumRows); the clustered index does not cover them,
+// so every non-scan plan finishes with a sequential tail sweep (a cost
+// term every candidate carries). That keeps the probe==scan invariant
+// exact under concurrent appends: a row is visible to selects as soon as
+// the table publishes it, whether or not its CM entries have landed. A
+// recluster returns the tail to zero, bounding the sweep.
 //
 // Write path: ApplyAppend serializes whole append transactions (heap rows
 // + CM maintenance) behind one mutex; the table publishes each row with a
@@ -46,11 +59,14 @@
 #include <vector>
 
 #include "core/bucketing.h"
+#include "core/cost_model.h"
+#include "exec/plan_choice.h"
 #include "exec/predicate.h"
 #include "index/clustered_index.h"
 #include "serve/recluster.h"
 #include "serve/shared_lookup_cache.h"
 #include "serve/sharded_cm.h"
+#include "storage/buffer_pool.h"
 #include "storage/disk_model.h"
 #include "storage/table.h"
 
@@ -74,18 +90,59 @@ struct ServingOptions {
   /// the worker pool (at most one in flight). 0 disables the trigger;
   /// Recluster() can still be called explicitly.
   size_t recluster_tail_rows = 0;
+  /// How ExecuteSelect picks its access plan. kCostBased (default) costs
+  /// scan / clustered-range / every applicable CM probe with the shared
+  /// plan enumeration and runs the cheapest; kFirstMatch reproduces the
+  /// pre-cost-model policy (first applicable CM, else full scan) for A/B
+  /// comparisons. Runtime-togglable via set_plan_choice().
+  enum class PlanChoice : uint8_t { kFirstMatch, kCostBased };
+  PlanChoice plan_choice = PlanChoice::kCostBased;
+  /// Buffer pool (in pages) behind the serving read path: targeted sweeps
+  /// are routed through it, per-select cost prices hits near CPU cost,
+  /// and its decayed per-file hit rates calibrate plan costing. 0
+  /// disables the pool -- every page is charged cold and plan costing
+  /// runs uncalibrated, the pre-buffer-pool behavior.
+  size_t buffer_pool_pages = 4096;
+  /// Selects between calibration refreshes (pool-stats snapshots into the
+  /// current epoch's PlanCalibration). 0 never refreshes.
+  size_t calibration_period = 64;
   /// Simulated-cost reporting (paper Table 1 constants by default).
   DiskModel disk;
+};
+
+/// Buffer-pool residency inputs plan costing ran with, snapshotted per
+/// epoch (stable between refreshes; a recluster swap starts the successor
+/// epoch cold so it re-calibrates against its own files).
+struct PlanCalibration {
+  double heap_residency = 0;
+  double cidx_residency = 0;
 };
 
 /// Outcome of one select through the engine.
 struct SelectResult {
   uint64_t num_matches = 0;
   uint64_t rows_examined = 0;
-  double simulated_ms = 0;  ///< disk-model cost of the access pattern
-  bool used_cm = false;     ///< answered via a CM (else full scan)
-  bool cache_hit = false;   ///< cm_lookup served from the shared cache
+  /// Simulated cost of the access pattern; buffer-pool hits are priced at
+  /// CPU cost, misses at device cost (all-cold when the pool is off).
+  double simulated_ms = 0;
+  bool used_cm = false;     ///< answered via a CM probe (plan_kind alias)
+  bool cache_hit = false;   ///< chosen CM's lookup came from the cache
   uint64_t recluster_epoch = 0;  ///< EpochState version that served this
+
+  /// ChosenPlan test hook: what the engine decided and why. `plan` is the
+  /// candidate description ("seq_scan", "clustered_index_scan",
+  /// "cm_scan(<name>)"), `plan_est_ms` its estimate (0 under first-match,
+  /// which does not cost), and the residency fields are the calibration
+  /// snapshot the deliberation used -- enough for a test to replay the
+  /// identical choice through exec::ChooseAccessPlan offline.
+  static constexpr size_t kNoCmSlot = ~size_t{0};
+  PlanKind plan_kind = PlanKind::kSeqScan;
+  std::string plan;
+  double plan_est_ms = 0;
+  size_t plan_cm_slot = kNoCmSlot;  ///< attach-order slot of the chosen CM
+  uint64_t plan_candidates = 0;     ///< candidates deliberated
+  double heap_residency = 0;
+  double cidx_residency = 0;
 };
 
 class ServingEngine {
@@ -138,6 +195,29 @@ class ServingEngine {
     recluster_tail_rows_.store(rows, std::memory_order_relaxed);
   }
 
+  /// Switches the plan-choice policy at runtime (benches A/B the two on
+  /// one engine). Selects in flight finish under the policy they read.
+  void set_plan_choice(ServingOptions::PlanChoice mode) {
+    plan_choice_.store(mode, std::memory_order_relaxed);
+  }
+  ServingOptions::PlanChoice plan_choice() const {
+    return plan_choice_.load(std::memory_order_relaxed);
+  }
+
+  /// The calibration snapshot the current epoch's selects are pricing
+  /// with (zeros when the pool is disabled or not yet refreshed).
+  PlanCalibration CurrentCalibration() const;
+
+  /// Drops every buffer-pool frame and resets the current epoch's
+  /// calibration to cold -- the drop_caches step between A/B trials.
+  void ResetBufferPool();
+
+  /// Test hook: the deliberation ExecuteSelect would run right now under
+  /// the cost-based policy (candidates, estimates, winner), without
+  /// executing. Uses the same epoch snapshot, shared lookup cache, and
+  /// calibration inputs as a live select.
+  PlanSet PlanSelect(const Query& query) const;
+
   /// Stops the pool, waits for queued work, and restarts with `n` workers
   /// (benchmarks sweep pool sizes on one engine).
   void ResizeWorkerPool(size_t n);
@@ -174,6 +254,16 @@ class ServingEngine {
  private:
   friend class Reclusterer;
 
+  /// Mutable calibration slot of one epoch: the published residency
+  /// snapshot plan costing reads (stable between refreshes) plus the
+  /// refresh countdown. Lives behind a unique_ptr inside the
+  /// immutable-shape EpochState so refreshes never move the epoch.
+  struct CalibrationCell {
+    mutable std::shared_mutex mu;
+    PlanCalibration calib;
+    std::atomic<uint64_t> selects_since{0};
+  };
+
   /// One immutable serving epoch. Readers pin it (shared_ptr) for the
   /// duration of a select; the recluster pass publishes a successor and
   /// the predecessor dies with its last reader. Epoch 0 borrows the
@@ -189,6 +279,15 @@ class ServingEngine {
     std::vector<std::unique_ptr<ClusteredBucketing>> c_bucketings;
     std::unique_ptr<Table> owned_table;
     std::unique_ptr<ClusteredIndex> owned_cidx;
+    /// Buffer-pool identities of this epoch's heap and clustered-index
+    /// "files" (a recluster successor gets fresh ids, so the
+    /// predecessor's frames age out instead of aliasing), plus the
+    /// epoch's calibration snapshot (starts cold, re-calibrates from the
+    /// pool's decayed per-file hit rates every calibration_period
+    /// selects).
+    uint32_t heap_file = 0;
+    uint32_t cidx_file = 0;
+    std::unique_ptr<CalibrationCell> calibration;
   };
 
   std::shared_ptr<EpochState> CurrentState() const {
@@ -212,8 +311,44 @@ class ServingEngine {
                                 const Query& query,
                                 std::vector<CmColumnPredicate>* out);
 
+  /// Registers the epoch's heap/cidx files with the pool and installs a
+  /// cold calibration cell. Called for epoch 0 and for every recluster
+  /// successor before it is published.
+  void InitEpochCalibration(EpochState* st) const;
+  PlanCalibration CalibrationOf(const EpochState& st) const;
+  /// Counts this select toward the epoch's refresh period and, when it
+  /// elapses, republishes the calibration from the pool's decayed
+  /// per-file hit rates.
+  void MaybeRefreshCalibration(const EpochState& st) const;
+
+  /// Applicable-CM lookups for `query`, one per CM slot (unfilled views
+  /// stay inapplicable). Results come from / are published to the shared
+  /// cache; `pinned` keeps them alive for the caller. Under first-match
+  /// only the first applicable CM is resolved.
+  void ResolveCmLookups(const EpochState& st, const Query& query,
+                        bool first_match_only, std::vector<CmPlanView>* views,
+                        std::vector<SharedLookupCache::ResultPtr>* pinned,
+                        std::vector<uint8_t>* cache_hits) const;
+
+  /// Prices a set of heap page runs through the buffer pool (hits near
+  /// CPU cost, misses at device cost, one seek per run) and admits the
+  /// touched pages; cold DiskModel arithmetic when the pool is off.
+  double ChargeHeapRuns(const EpochState& st,
+                        std::span<const PageRun> runs) const;
+  /// Prices `leaves.size()` clustered-index descents: per descent, the
+  /// shared upper levels plus one leaf page (leaves are proxied by the
+  /// heap page of the range start, so leaf residency tracks hot ranges).
+  double ChargeDescents(const EpochState& st,
+                        std::span<const PageNo> leaves) const;
+
   ServingOptions options_;
   std::atomic<size_t> recluster_tail_rows_;
+  std::atomic<ServingOptions::PlanChoice> plan_choice_;
+  CostModel cost_model_;
+  /// Serving-path buffer pool (null when disabled). All access goes
+  /// through pool_mu_: the pool itself is single-threaded.
+  mutable std::mutex pool_mu_;
+  mutable std::unique_ptr<BufferPool> pool_;
   /// Attach-order CM configs (c_buckets cleared; targets kept aside) so a
   /// recluster can re-instantiate every CM against the successor table.
   std::vector<CmOptions> attached_;

@@ -214,6 +214,15 @@ std::string ShardedCorrelationMap::Name() const {
          "]";
 }
 
+CmPlanView ShardedCorrelationMap::PlanView(const CmLookupResult* lookup) const {
+  CmPlanView view;
+  view.lookup = lookup;
+  view.c_buckets = options().c_buckets;
+  view.num_ukeys = NumUKeys();
+  view.name = Name();
+  return view;
+}
+
 size_t ShardedCorrelationMap::NumUKeys() const {
   size_t n = 0;
   for (const auto& shard : shards_) {

@@ -27,6 +27,7 @@
 
 #include "common/status.h"
 #include "core/correlation_map.h"
+#include "exec/plan_choice.h"
 
 namespace corrmap::serve {
 
@@ -83,6 +84,14 @@ class ShardedCorrelationMap {
   /// as the fallback shape; returns identical ordinals to Lookup.
   CmLookupResult LookupProbingAllShards(
       std::span<const CmColumnPredicate> preds) const;
+
+  /// Costing adapter for the cost-based serving path: the CmPlanView plan
+  /// enumeration (exec/plan_choice.h) consumes for this CM as one
+  /// candidate, wrapping an already-computed lookup -- typically served
+  /// from the SharedLookupCache, so costing and execution share one
+  /// cm_lookup per (CM, predicate, epoch). Pass nullptr to mark the CM
+  /// inapplicable for the query.
+  CmPlanView PlanView(const CmLookupResult* lookup) const;
 
   /// Maintenance version counter; see the epoch protocol above.
   uint64_t Epoch() const { return epoch_.load(std::memory_order_acquire); }

@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace corrmap {
@@ -19,10 +20,19 @@ std::string BufferPoolStats::ToString() const {
 BufferPool::BufferPool(size_t capacity_pages)
     : capacity_pages_(capacity_pages == 0 ? 1 : capacity_pages) {}
 
+void BufferPool::NoteTouch(uint32_t file, bool hit) {
+  FileCounters& fc = file_counters_[file];
+  const double keep = 1.0 - 1.0 / kResidencyDecayWindow;
+  fc.decayed_hits *= keep;
+  fc.decayed_misses *= keep;
+  (hit ? fc.decayed_hits : fc.decayed_misses) += 1.0;
+}
+
 void BufferPool::Access(PageId page, bool mark_dirty) {
   auto it = frames_.find(page);
   if (it != frames_.end()) {
     ++stats_.hits;
+    NoteTouch(page.file, /*hit=*/true);
     lru_.erase(it->second.lru_it);
     lru_.push_front(page);
     it->second.lru_it = lru_.begin();
@@ -33,6 +43,7 @@ void BufferPool::Access(PageId page, bool mark_dirty) {
     return;
   }
   ++stats_.misses;
+  NoteTouch(page.file, /*hit=*/false);
   ++io_.seeks;  // random read to fault the page in
   if (frames_.size() >= capacity_pages_) EvictOne();
   lru_.push_front(page);
@@ -41,16 +52,22 @@ void BufferPool::Access(PageId page, bool mark_dirty) {
   f.dirty = mark_dirty;
   if (mark_dirty) ++num_dirty_;
   frames_.emplace(page, f);
+  ++file_counters_[page.file].resident_pages;
 }
 
 bool BufferPool::AccessIfCached(PageId page, bool mark_dirty) {
   auto it = frames_.find(page);
-  if (it == frames_.end()) return false;
+  if (it == frames_.end()) {
+    NoteTouch(page.file, /*hit=*/false);
+    return false;
+  }
   Access(page, mark_dirty);
   return true;
 }
 
 void BufferPool::Admit(PageId page, bool mark_dirty) {
+  // The miss was already recorded by AccessIfCached; admit without the
+  // random-read charge (the caller swept into the page sequentially).
   if (AccessIfCached(page, mark_dirty)) return;
   ++stats_.misses;
   if (frames_.size() >= capacity_pages_) EvictOne();
@@ -60,6 +77,47 @@ void BufferPool::Admit(PageId page, bool mark_dirty) {
   f.dirty = mark_dirty;
   if (mark_dirty) ++num_dirty_;
   frames_.emplace(page, f);
+  ++file_counters_[page.file].resident_pages;
+}
+
+bool BufferPool::Touch(PageId page) {
+  // The serving hot path runs this once per swept page under the engine's
+  // pool mutex: one hash lookup, not the IsCached+Admit double probe.
+  auto it = frames_.find(page);
+  if (it != frames_.end()) {
+    ++stats_.hits;
+    NoteTouch(page.file, /*hit=*/true);
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(page);
+    it->second.lru_it = lru_.begin();
+    return true;
+  }
+  ++stats_.misses;
+  NoteTouch(page.file, /*hit=*/false);
+  if (frames_.size() >= capacity_pages_) EvictOne();
+  lru_.push_front(page);
+  Frame f;
+  f.lru_it = lru_.begin();
+  frames_.emplace(page, f);
+  ++file_counters_[page.file].resident_pages;
+  return false;
+}
+
+FileResidency BufferPool::ResidencyOf(uint32_t file,
+                                      uint64_t file_pages) const {
+  FileResidency out;
+  auto it = file_counters_.find(file);
+  if (it == file_counters_.end()) return out;
+  const FileCounters& fc = it->second;
+  const double touches = fc.decayed_hits + fc.decayed_misses;
+  out.observed_touches = touches;
+  if (touches > 0) out.hit_rate = fc.decayed_hits / touches;
+  out.resident_pages = fc.resident_pages;
+  if (file_pages > 0) {
+    out.resident_fraction =
+        std::min(1.0, double(fc.resident_pages) / double(file_pages));
+  }
+  return out;
 }
 
 void BufferPool::EvictOne() {
@@ -75,6 +133,10 @@ void BufferPool::EvictOne() {
     --num_dirty_;
   }
   frames_.erase(it);
+  auto fc = file_counters_.find(victim.file);
+  if (fc != file_counters_.end() && fc->second.resident_pages > 0) {
+    --fc->second.resident_pages;
+  }
 }
 
 void BufferPool::FlushAll() {
@@ -91,6 +153,10 @@ void BufferPool::Clear() {
   frames_.clear();
   lru_.clear();
   num_dirty_ = 0;
+  // drop_caches semantics between experiment trials: the residency
+  // history resets with the frames so the next trial starts calibrating
+  // from a genuinely cold state.
+  file_counters_.clear();
 }
 
 DiskStats BufferPool::DrainIo() {

@@ -24,6 +24,24 @@ struct BufferPoolStats {
   std::string ToString() const;
 };
 
+/// Live residency snapshot for one file (table heap or index), the input
+/// the cost model's calibration consumes (CostInputs::heap_residency /
+/// index_residency). `hit_rate` is an exponentially decayed fraction of
+/// this file's page touches that hit the pool -- decayed so a workload
+/// shift (a range going cold, a recluster retiring a file) fades out of
+/// the estimate within ~kResidencyDecayWindow touches instead of being
+/// averaged against the whole history. `resident_fraction` is the exact
+/// fraction of the file's pages currently cached (needs the caller to say
+/// how many pages the file has).
+struct FileResidency {
+  double hit_rate = 0;
+  double resident_fraction = 0;
+  uint64_t resident_pages = 0;
+  /// Decayed touches backing hit_rate; calibration layers can treat a
+  /// tiny sample as "no signal yet" instead of trusting 1-touch rates.
+  double observed_touches = 0;
+};
+
 /// Fixed-capacity LRU page cache. Page reads on miss and dirty-page
 /// write-backs are charged to an internal DiskStats ledger that callers
 /// drain into their operation cost.
@@ -52,7 +70,22 @@ class BufferPool {
   /// dirty pages still charge their write-back.
   void Admit(PageId page, bool mark_dirty);
 
+  /// Serving-sweep primitive: touches `page` (hit moves to MRU, miss
+  /// admits without charging a seek -- the caller prices the I/O itself
+  /// from the returned hit/miss) and returns whether it was already
+  /// resident. Feeds the per-file decayed counters like every other
+  /// touch.
+  bool Touch(PageId page);
+
   bool IsCached(PageId page) const { return frames_.count(page) > 0; }
+
+  /// Decay window (in touches of one file) for the per-file hit-rate
+  /// estimate exported through ResidencyOf.
+  static constexpr double kResidencyDecayWindow = 512;
+
+  /// Residency snapshot for `file`. `file_pages` is the file's current
+  /// page count (resident_fraction needs it; pass 0 to skip it).
+  FileResidency ResidencyOf(uint32_t file, uint64_t file_pages = 0) const;
 
   /// Writes back all dirty pages (checkpoint), charging one write each.
   void FlushAll();
@@ -72,11 +105,21 @@ class BufferPool {
     bool dirty = false;
   };
 
+  /// Exponentially decayed per-file touch counters plus an exact resident
+  /// page count, maintained by every Access/Admit/Touch and by evictions.
+  struct FileCounters {
+    double decayed_hits = 0;
+    double decayed_misses = 0;
+    uint64_t resident_pages = 0;
+  };
+
   void EvictOne();
+  void NoteTouch(uint32_t file, bool hit);
 
   size_t capacity_pages_;
   std::list<PageId> lru_;  // front = MRU, back = LRU
   std::unordered_map<PageId, Frame, PageIdHash> frames_;
+  std::unordered_map<uint32_t, FileCounters> file_counters_;
   size_t num_dirty_ = 0;
   uint32_t next_file_id_ = 0;
   BufferPoolStats stats_;

@@ -163,10 +163,12 @@ void Table::AppendRowKeys(std::span<const Key> keys) {
 Status Table::DeleteRow(RowId row) {
   const size_t n = NumRows();
   if (row >= n) return Status::OutOfRange("row id past end");
-  if (deleted_.size() < n) deleted_.resize(n, false);
-  if (deleted_[row]) return Status::NotFound("row already deleted");
-  deleted_[row] = true;
-  ++num_deleted_;
+  // Serialize against appends and other deletes; concurrent IsDeleted
+  // readers stay lock-free on the atomic bitmap.
+  std::lock_guard<std::mutex> lock(append_mu_);
+  if (deleted_.capacity_rows() <= row) deleted_.EnsureCapacity(n);
+  if (deleted_.Set(row)) return Status::NotFound("row already deleted");
+  num_deleted_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
@@ -179,9 +181,12 @@ Status Table::ClusterBy(size_t col) {
     return c.GetKey(a) < c.GetKey(b);
   });
   for (auto& column : cols_) column.ApplyPermutation(perm);
-  if (!deleted_.empty()) {
-    std::vector<bool> out(perm.size());
-    for (size_t i = 0; i < perm.size(); ++i) out[i] = deleted_[perm[i]];
+  if (num_deleted_.load(std::memory_order_relaxed) > 0) {
+    TombstoneBitmap out;
+    out.EnsureCapacity(perm.size());
+    for (size_t i = 0; i < perm.size(); ++i) {
+      if (deleted_.Test(perm[i])) out.Set(RowId(i));
+    }
     deleted_ = std::move(out);
   }
   clustered_col_ = static_cast<int>(col);
@@ -195,7 +200,8 @@ std::unique_ptr<Table> Table::Clone() const {
   out->deleted_ = deleted_;
   out->num_rows_.store(NumRows(), std::memory_order_relaxed);
   out->reserved_rows_ = reserved_rows_;
-  out->num_deleted_ = num_deleted_;
+  out->num_deleted_.store(num_deleted_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
   out->clustered_col_ = clustered_col_;
   return out;
 }
@@ -209,16 +215,16 @@ std::unique_ptr<Table> Table::CloneReordered(
     out->cols_[i].Reserve(order.size());
     for (RowId r : order) out->cols_[i].AppendFrom(cols_[i], r);
   }
-  if (!deleted_.empty()) {
-    out->deleted_.resize(order.size(), false);
+  if (num_deleted_.load(std::memory_order_relaxed) > 0) {
+    out->deleted_.EnsureCapacity(order.size());
     size_t n_deleted = 0;
     for (size_t i = 0; i < order.size(); ++i) {
       if (IsDeleted(order[i])) {
-        out->deleted_[i] = true;
+        out->deleted_.Set(RowId(i));
         ++n_deleted;
       }
     }
-    out->num_deleted_ = n_deleted;
+    out->num_deleted_.store(n_deleted, std::memory_order_relaxed);
   }
   out->num_rows_.store(order.size(), std::memory_order_relaxed);
   out->reserved_rows_ = order.size();
@@ -239,11 +245,13 @@ void Table::AppendRowsFrom(const Table& src, RowId begin, RowId end) {
   }
   if (copied_deleted > 0) {
     const size_t base = num_rows_.load(std::memory_order_relaxed);
-    deleted_.resize(base + (end - begin), false);
+    // Only legal while this table is private (recluster catch-up runs
+    // before the successor is published); growth is not reader-safe.
+    deleted_.EnsureCapacity(base + (end - begin));
     for (RowId r = begin; r < end; ++r) {
-      if (src.IsDeleted(r)) deleted_[base + (r - begin)] = true;
+      if (src.IsDeleted(r)) deleted_.Set(RowId(base + (r - begin)));
     }
-    num_deleted_ += copied_deleted;
+    num_deleted_.fetch_add(copied_deleted, std::memory_order_release);
   }
   num_rows_.store(num_rows_.load(std::memory_order_relaxed) + (end - begin),
                   std::memory_order_release);
@@ -251,6 +259,9 @@ void Table::AppendRowsFrom(const Table& src, RowId begin, RowId end) {
 
 void Table::Reserve(size_t n) {
   for (auto& c : cols_) c.Reserve(n);
+  // Pre-size the tombstone bitmap with the columns so DeleteRow never has
+  // to grow it while concurrent readers are attached.
+  deleted_.EnsureCapacity(n);
   reserved_rows_ = std::max(reserved_rows_, n);
 }
 

@@ -26,6 +26,7 @@
 #include "common/value.h"
 #include "storage/page.h"
 #include "storage/schema.h"
+#include "storage/tombstones.h"
 
 namespace corrmap {
 
@@ -110,7 +111,9 @@ class Table {
   /// written.
   size_t NumRows() const { return num_rows_.load(std::memory_order_acquire); }
   /// Live (non-tombstoned) rows.
-  size_t NumLiveRows() const { return NumRows() - num_deleted_; }
+  size_t NumLiveRows() const {
+    return NumRows() - num_deleted_.load(std::memory_order_acquire);
+  }
   uint64_t NumPages() const { return layout_.NumPages(NumRows()); }
 
   /// "total_tups" and "tups_per_page" as used by the paper's cost model.
@@ -127,10 +130,14 @@ class Table {
   void AppendRowKeys(std::span<const Key> keys);
 
   /// Tombstones a row. Scans and access paths skip deleted rows.
+  /// Serialized against appends and other deletes by the append mutex, and
+  /// -- because the tombstone store is an atomic bitmap -- safe against
+  /// concurrent IsDeleted readers as long as the bitmap does not grow
+  /// (Reserve pre-sizes it with the columns; deleting past the reserved
+  /// capacity falls back to a growth that requires external exclusion,
+  /// exactly like a column reallocation would).
   Status DeleteRow(RowId row);
-  bool IsDeleted(RowId row) const {
-    return row < deleted_.size() && deleted_[row];
-  }
+  bool IsDeleted(RowId row) const { return deleted_.Test(row); }
 
   const Column& column(size_t i) const { return cols_[i]; }
   Column& column_mutable(size_t i) { return cols_[i]; }
@@ -186,11 +193,11 @@ class Table {
   Schema schema_;
   PageLayout layout_;
   std::vector<Column> cols_;
-  std::vector<bool> deleted_;
+  TombstoneBitmap deleted_;
   std::mutex append_mu_;
   std::atomic<size_t> num_rows_{0};
   size_t reserved_rows_ = 0;
-  size_t num_deleted_ = 0;
+  std::atomic<size_t> num_deleted_{0};
   int clustered_col_ = -1;
 };
 

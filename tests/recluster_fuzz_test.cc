@@ -66,7 +66,9 @@ struct FuzzHarness {
   std::unique_ptr<ServingEngine> engine;
   Rng rng;
 
-  FuzzHarness(uint64_t seed, int base_rows, size_t reserve_extra)
+  FuzzHarness(uint64_t seed, int base_rows, size_t reserve_extra,
+              ServingOptions::PlanChoice plan_choice =
+                  ServingOptions::PlanChoice::kCostBased)
       : rng(seed) {
     Schema schema({ColumnDef::Int64("c"), ColumnDef::Int64("u"),
                    ColumnDef::Int64("v")});
@@ -88,6 +90,10 @@ struct FuzzHarness {
     ServingOptions opts;
     opts.num_workers = 1;
     opts.reserve_rows = table->NumRows() + reserve_extra;
+    opts.plan_choice = plan_choice;
+    // Refresh calibration aggressively so the fuzz interleavings exercise
+    // residency republication racing appends, selects, and epoch swaps.
+    opts.calibration_period = 16;
     engine = std::make_unique<ServingEngine>(table.get(), cidx.get(), opts);
     // CM 0: unbucketed identity over u (value-encoded ordinals survive a
     // physical reorder). CM 1: width-4 u-bucketing over v AND positional
@@ -141,12 +147,23 @@ struct FuzzHarness {
   }
 
   /// The differential oracle: probe through the engine, scan the engine's
-  /// current table, require exact equality.
+  /// current table, require exact equality -- plus ChosenPlan coherence
+  /// (whatever plan won, its report must be self-consistent; the plan
+  /// never dereferences a retired epoch's structures, which the TSAN job
+  /// would flag as a use-after-free or race).
   void ExpectProbeEqualsScan(const Query& q) {
     const SelectResult probe = engine->ExecuteSelect(q);
     const ExecResult scan = FullTableScan(engine->table(), q);
     ASSERT_EQ(probe.num_matches, scan.NumMatches())
-        << "epoch " << probe.recluster_epoch << " used_cm " << probe.used_cm;
+        << "epoch " << probe.recluster_epoch << " plan " << probe.plan;
+    ASSERT_EQ(probe.used_cm, probe.plan_kind == PlanKind::kCmProbe);
+    if (probe.plan_kind == PlanKind::kCmProbe) {
+      ASSERT_LT(probe.plan_cm_slot, engine->num_cms());
+    } else {
+      ASSERT_EQ(probe.plan_cm_slot, SelectResult::kNoCmSlot);
+    }
+    ASSERT_GE(probe.heap_residency, 0.0);
+    ASSERT_LE(probe.heap_residency, 1.0);
   }
 
   /// Run-coalescing + routed-vs-all-shard differential on raw lookups.
@@ -168,8 +185,11 @@ struct FuzzHarness {
   }
 };
 
-void RunSequentialFuzz(uint64_t seed, int ops, int base_rows) {
-  FuzzHarness h(seed, base_rows, /*reserve_extra=*/size_t(ops) * 400 + 4096);
+void RunSequentialFuzz(uint64_t seed, int ops, int base_rows,
+                       ServingOptions::PlanChoice plan_choice =
+                           ServingOptions::PlanChoice::kCostBased) {
+  FuzzHarness h(seed, base_rows, /*reserve_extra=*/size_t(ops) * 400 + 4096,
+                plan_choice);
   uint64_t epochs_seen = h.engine->ReclusterEpoch();
   for (int op = 0; op < ops; ++op) {
     switch (h.rng.UniformInt(0, 9)) {
@@ -214,8 +234,20 @@ void RunSequentialFuzz(uint64_t seed, int ops, int base_rows) {
 }
 
 TEST(ReclusterFuzzTest, RandomInterleavingsKeepProbeEqualsScan) {
+  // Cost-based plan choice (the serving default): scans, clustered
+  // ranges, and CM probes all rotate through the winner's seat across
+  // appends, reclusters, and calibration refreshes.
   for (uint64_t seed : {0xA1ull, 0xB2ull, 0xC3ull}) {
     RunSequentialFuzz(seed, /*ops=*/120, /*base_rows=*/4000);
+  }
+}
+
+TEST(ReclusterFuzzTest, RandomInterleavingsFirstMatchPolicyStaysExact) {
+  // The legacy policy must stay probe==scan-exact too (it is the bench's
+  // A/B baseline).
+  for (uint64_t seed : {0xA4ull, 0xB5ull}) {
+    RunSequentialFuzz(seed, /*ops=*/120, /*base_rows=*/4000,
+                      ServingOptions::PlanChoice::kFirstMatch);
   }
 }
 

@@ -284,13 +284,18 @@ TEST(SharedCmLookupSourceTest, ReusesLookupsAcrossExecutionsUntilEpochMoves) {
   EXPECT_EQ(fourth.result.rows, first.result.rows);  // row 55 has no rows
 }
 
-/// Engine over the correlated table with one CM on u.
+/// Engine over the correlated table with one CM on u. Tests that pin the
+/// CM probe path (cache semantics, used_cm expectations) construct it
+/// with the first-match policy: on a table this small the cost model
+/// rightly prefers a scan, and these tests are about the CM machinery,
+/// not the deliberation (tests/serve_plan_choice_test.cc covers that).
 struct EngineFixture {
   std::unique_ptr<Table> table;
   std::unique_ptr<ClusteredIndex> cidx;
   std::unique_ptr<ServingEngine> engine;
 
-  EngineFixture() {
+  explicit EngineFixture(ServingOptions::PlanChoice plan_choice =
+                             ServingOptions::PlanChoice::kCostBased) {
     Schema schema({ColumnDef::Int64("c"), ColumnDef::Int64("u")});
     table = std::make_unique<Table>("t", std::move(schema));
     Rng rng(67);
@@ -307,6 +312,7 @@ struct EngineFixture {
     ServingOptions opts;
     opts.num_workers = 2;
     opts.reserve_rows = table->NumRows() + 50000;
+    opts.plan_choice = plan_choice;
     engine = std::make_unique<ServingEngine>(table.get(), cidx.get(), opts);
     CmOptions copts;
     copts.u_cols = {1};
@@ -383,6 +389,10 @@ TEST(ServingEngineTest, ClusteredBucketingCmServesExactlyAcrossTailAndSwap) {
   ServingOptions opts;
   opts.num_workers = 2;
   opts.reserve_rows = table.NumRows() + 50000;
+  // Pin first-match: this test asserts the bucket-run translation path
+  // runs (used_cm), which the cost model would rightly skip for a scan on
+  // a table this small.
+  opts.plan_choice = ServingOptions::PlanChoice::kFirstMatch;
   ServingEngine engine(&table, &*cidx, opts);
   auto cb = ClusteredBucketing::Build(table, 0, 64);
   ASSERT_TRUE(cb.ok());
@@ -460,7 +470,7 @@ TEST(ServingEngineTest, SubmitAndAppendRunThroughWorkerPool) {
 }
 
 TEST(ServingEngineTest, CacheServesRepeatsWithoutRecomputingLookups) {
-  EngineFixture f;
+  EngineFixture f(ServingOptions::PlanChoice::kFirstMatch);
   const Query eq({Predicate::Eq(*f.table, "u", Value(700))});
   (void)f.engine->ExecuteSelect(eq);
   const auto before = f.engine->cache().stats();
@@ -477,8 +487,9 @@ TEST(ServingEngineTest, CacheEntriesFromPreReclusterEpochAreEvictedNotServed) {
   // Entries keyed to the pre-recluster epoch must never be served after
   // the swap: the successor CM is published under the same stable cache
   // slot with a strictly higher epoch, so the old entry compares stale on
-  // its next probe and is lazily evicted.
-  EngineFixture f;
+  // its next probe and is lazily evicted. First-match pins the CM probe
+  // path so cache_hit reflects exactly this CM's entry.
+  EngineFixture f(ServingOptions::PlanChoice::kFirstMatch);
   const Query eq({Predicate::Eq(*f.table, "u", Value(321))});
 
   // Grow a tail, then warm the cache so the entry is *fresh* at the

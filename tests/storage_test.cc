@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <atomic>
+#include <thread>
 
 #include "storage/buffer_pool.h"
 #include "storage/disk_model.h"
@@ -222,6 +224,98 @@ TEST(BufferPoolTest, FileIdsDistinguishPages) {
   EXPECT_NE(f1, f2);
   pool.Access({f1, 7}, false);
   EXPECT_FALSE(pool.IsCached({f2, 7}));
+}
+
+TEST(BufferPoolTest, TouchAdmitsWithoutSeekAndReportsHit) {
+  BufferPool pool(4);
+  const uint32_t f = pool.RegisterFile();
+  EXPECT_FALSE(pool.Touch({f, 3}));  // cold miss, admitted
+  EXPECT_TRUE(pool.Touch({f, 3}));   // now resident
+  // A Touch miss never charges the random-read seek (the caller already
+  // accounted the page as part of a sequential sweep).
+  EXPECT_EQ(pool.DrainIo().seeks, 0u);
+}
+
+TEST(BufferPoolTest, ResidencyTracksDecayedHitRateAndResidentPages) {
+  BufferPool pool(8);
+  const uint32_t heap = pool.RegisterFile();
+  const uint32_t idx = pool.RegisterFile();
+
+  // Never-touched file: no signal.
+  const FileResidency none = pool.ResidencyOf(heap, 100);
+  EXPECT_DOUBLE_EQ(none.hit_rate, 0.0);
+  EXPECT_EQ(none.resident_pages, 0u);
+
+  // Four distinct pages: all misses.
+  for (PageNo p = 0; p < 4; ++p) pool.Touch({heap, p});
+  FileResidency r = pool.ResidencyOf(heap, 16);
+  EXPECT_DOUBLE_EQ(r.hit_rate, 0.0);
+  EXPECT_EQ(r.resident_pages, 4u);
+  EXPECT_DOUBLE_EQ(r.resident_fraction, 4.0 / 16.0);
+
+  // Re-touch the same pages repeatedly: the decayed hit rate climbs
+  // toward 1 while the other file's counters stay untouched.
+  for (int round = 0; round < 16; ++round) {
+    for (PageNo p = 0; p < 4; ++p) pool.Touch({heap, p});
+  }
+  r = pool.ResidencyOf(heap, 16);
+  EXPECT_GT(r.hit_rate, 0.8);
+  EXPECT_LE(r.hit_rate, 1.0);
+  EXPECT_DOUBLE_EQ(pool.ResidencyOf(idx, 16).hit_rate, 0.0);
+
+  // Evictions decrement the victim file's resident count.
+  for (PageNo p = 100; p < 108; ++p) pool.Touch({idx, p});
+  EXPECT_EQ(pool.ResidencyOf(heap, 16).resident_pages, 0u);
+  EXPECT_EQ(pool.ResidencyOf(idx, 16).resident_pages, 8u);
+
+  // Clear resets residency history entirely (cold trial semantics).
+  pool.Clear();
+  const FileResidency cleared = pool.ResidencyOf(idx, 16);
+  EXPECT_EQ(cleared.resident_pages, 0u);
+  EXPECT_DOUBLE_EQ(cleared.hit_rate, 0.0);
+  EXPECT_DOUBLE_EQ(cleared.observed_touches, 0.0);
+}
+
+TEST(TableTest, ConcurrentTombstoneReadsDuringDeletes) {
+  // The serving-visible tombstone view is an atomic bitmap: readers may
+  // call IsDeleted while another thread tombstones rows (the vector<bool>
+  // representation raced here). TSAN vets the memory model; this test
+  // also checks the counts are exact.
+  Schema schema({ColumnDef::Int64("x")});
+  Table t("t", std::move(schema));
+  constexpr int kRows = 20000;
+  for (int i = 0; i < kRows; ++i) {
+    std::array<Value, 1> row = {Value(int64_t(i))};
+    ASSERT_TRUE(t.AppendRow(row).ok());
+  }
+  t.Reserve(kRows);  // pre-sizes the bitmap: no growth during the race
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> live_seen{0};
+  std::thread reader([&] {
+    uint64_t last = kRows;
+    while (!stop.load(std::memory_order_acquire)) {
+      uint64_t live = 0;
+      for (RowId r = 0; r < kRows; ++r) {
+        if (!t.IsDeleted(r)) ++live;
+      }
+      // Deletes only ever decrease the live count.
+      EXPECT_LE(live, last);
+      last = live;
+      live_seen.store(live, std::memory_order_release);
+    }
+  });
+  for (RowId r = 0; r < kRows; r += 2) {
+    ASSERT_TRUE(t.DeleteRow(r).ok());
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(t.NumLiveRows(), size_t(kRows) / 2);
+  for (RowId r = 0; r < kRows; ++r) {
+    EXPECT_EQ(t.IsDeleted(r), r % 2 == 0);
+  }
+  EXPECT_FALSE(t.DeleteRow(0).ok());  // double delete still detected
 }
 
 TEST(WalTest, AppendBuffersUntilFlush) {
