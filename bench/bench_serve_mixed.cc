@@ -32,6 +32,14 @@
 // class and >= 1.15x cheaper (mean simulated per-select cost) on the
 // mixed class.
 //
+// Delete-heavy churn (runs in both modes): rounds of equal-sized delete
+// and append batches hold the live-row count level while tombstones and
+// tail rows pile up, compacted every `--compact-every` deletes. Gates: the
+// final synchronous compaction drains tombstones AND tail to exactly 0,
+// and per-select simulated cost while churning stays within 1.3x + 0.05 ms
+// of the compacted append-only-equivalent baseline at the same live-row
+// count.
+//
 // `--json <path>` additionally emits machine-readable results
 // (tools/run_bench.sh writes BENCH_serve.json from this).
 #include <algorithm>
@@ -164,11 +172,103 @@ double RunPlanChoiceLeg(ServingEngine* engine,
   return rep.lookups > 0 ? rep.simulated_select_ms / double(rep.lookups) : 0;
 }
 
+struct DeleteHeavyResult {
+  double delete_heavy_mean_ms = 0;  // per-select cost while churning
+  double baseline_mean_ms = 0;      // per-select cost, compacted engine
+  size_t deletes = 0;
+  size_t in_run_compactions = 0;
+  size_t tombstones_after_final = 0;
+  size_t tail_after_final = 0;
+  bool drained = false;
+  double Ratio() const {
+    return baseline_mean_ms > 0 ? delete_heavy_mean_ms / baseline_mean_ms
+                                : 0;
+  }
+};
+
+/// Delete-heavy churn: rounds of (delete a batch of random live rows,
+/// append an equal batch) keep the live-row count level while tombstones
+/// and tail rows accumulate; every `compact_every` deletes a synchronous
+/// compacting recluster drains both. Selects are priced via the engine's
+/// simulated cost throughout, then again on the compacted engine at the
+/// same live-row count -- the append-only-equivalent baseline the churny
+/// phase must stay close to.
+DeleteHeavyResult RunDeleteHeavy(ServingEngine* engine,
+                                 std::span<const Query> pool,
+                                 size_t compact_every, size_t rounds,
+                                 size_t batch, size_t selects_per_round,
+                                 uint64_t seed) {
+  DeleteHeavyResult res;
+  Rng rng(seed);
+  engine->cache().Clear();
+  engine->ResetBufferPool();
+  double churn_ms = 0;
+  size_t churn_selects = 0;
+  size_t deletes_since_compact = 0;
+  for (size_t round = 0; round < rounds; ++round) {
+    const Table& t = engine->table();
+    std::vector<RowId> victims;
+    victims.reserve(batch);
+    while (victims.size() < batch) {
+      const RowId r = RowId(rng.UniformInt(0, int64_t(t.NumRows()) - 1));
+      if (!t.IsDeleted(r)) victims.push_back(r);
+    }
+    // Duplicates in `victims` are tombstoned once (ApplyDeletes is
+    // idempotent); re-count so appends replace exactly what died.
+    const size_t dead_before = t.NumDeleted();
+    if (!engine->ApplyDeletes(victims).ok()) return res;
+    const size_t newly_dead = t.NumDeleted() - dead_before;
+    res.deletes += newly_dead;
+    deletes_since_compact += newly_dead;
+    if (!engine->ApplyAppend(MakeBatch(t, newly_dead, &rng)).ok()) {
+      return res;
+    }
+    for (size_t s = 0; s < selects_per_round; ++s) {
+      const Query& q = pool[size_t(rng.UniformInt(
+          0, int64_t(pool.size()) - 1))];
+      churn_ms += engine->ExecuteSelect(q).simulated_ms;
+      ++churn_selects;
+    }
+    if (deletes_since_compact >= compact_every) {
+      auto stats = engine->Compact();
+      if (!stats.ok()) return res;
+      ++res.in_run_compactions;
+      deletes_since_compact = 0;
+    }
+  }
+  res.delete_heavy_mean_ms =
+      churn_selects > 0 ? churn_ms / double(churn_selects) : 0;
+
+  // Final synchronous compaction must drain every tombstone and the tail.
+  auto final_pass = engine->Compact();
+  res.tombstones_after_final = engine->table().NumDeleted();
+  res.tail_after_final = engine->TailRows();
+  res.drained = final_pass.ok() && res.tombstones_after_final == 0 &&
+                res.tail_after_final == 0;
+
+  // Baseline: identical select pricing against the compacted engine --
+  // same live-row count, zero tombstones, empty tail.
+  engine->cache().Clear();
+  engine->ResetBufferPool();
+  double base_ms = 0;
+  size_t base_selects = 0;
+  for (size_t s = 0; s < churn_selects; ++s) {
+    const Query& q = pool[size_t(rng.UniformInt(
+        0, int64_t(pool.size()) - 1))];
+    base_ms += engine->ExecuteSelect(q).simulated_ms;
+    ++base_selects;
+  }
+  res.baseline_mean_ms =
+      base_selects > 0 ? base_ms / double(base_selects) : 0;
+  return res;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* json_path = nullptr;
   size_t recluster_every = 16000;  // tail rows that arm a background pass
+  size_t compact_every = 4000;     // deletes per in-run compacting pass
   bool plan_only = false;          // --plan-choice: the quick CI smoke
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--plan-choice") == 0) plan_only = true;
@@ -176,6 +276,9 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
     if (std::strcmp(argv[i], "--recluster-every") == 0) {
       recluster_every = size_t(std::atoll(argv[i + 1]));
+    }
+    if (std::strcmp(argv[i], "--compact-every") == 0) {
+      compact_every = size_t(std::atoll(argv[i + 1]));
     }
   }
 
@@ -286,6 +389,37 @@ int main(int argc, char** argv) {
             << " first-match on every class; mixed-hot speedup "
             << TablePrinter::Fmt(mixed_ratio, 2) << "x (gate >= 1.15x)\n\n";
 
+  // ---- Delete-heavy churn: per-select cost under tombstone pressure ----
+  // Gates: the final compaction drains tombstones AND tail to exactly 0,
+  // and per-select cost while churning stays within 1.3x + 0.05 ms of the
+  // compacted append-only-equivalent baseline at the same live-row count.
+  const DeleteHeavyResult dh = RunDeleteHeavy(
+      &engine, pool, compact_every,
+      /*rounds=*/plan_only ? 6 : 8,
+      /*batch=*/plan_only ? 800 : 1000,
+      /*selects_per_round=*/plan_only ? 25 : 40, 0x9e21);
+  const bool delete_cost_ok =
+      dh.delete_heavy_mean_ms <= dh.baseline_mean_ms * 1.3 + 0.05;
+  const bool delete_ok = dh.drained && delete_cost_ok;
+  TablePrinter dh_out({"deletes", "compactions", "churn [ms/sel]",
+                       "compacted [ms/sel]", "ratio", "tombstones left",
+                       "tail left"});
+  dh_out.AddRow({std::to_string(dh.deletes),
+                 std::to_string(dh.in_run_compactions),
+                 TablePrinter::Fmt(dh.delete_heavy_mean_ms, 3),
+                 TablePrinter::Fmt(dh.baseline_mean_ms, 3),
+                 TablePrinter::Fmt(dh.Ratio(), 2),
+                 std::to_string(dh.tombstones_after_final),
+                 std::to_string(dh.tail_after_final)});
+  dh_out.Print(std::cout);
+  std::cout << "\ndelete-heavy (compact-every=" << compact_every
+            << " deletes): tombstones "
+            << (dh.drained ? "drained to 0" : "NOT drained")
+            << " by the final compaction; churn per-select cost "
+            << TablePrinter::Fmt(dh.Ratio(), 2)
+            << "x the compacted baseline (gate <= 1.3x + 0.05 ms: "
+            << (delete_cost_ok ? "ok" : "FAIL") << ")\n\n";
+
   if (plan_only) {
     if (json_path != nullptr) {
       std::ostringstream js;
@@ -300,11 +434,19 @@ int main(int argc, char** argv) {
            << (c + 1 < 3 ? "," : "") << "\n";
       }
       js << "  ],\n  \"plan_choice_ok\": " << (plan_ok ? "true" : "false")
-         << "\n}\n";
+         << ",\n  \"delete_heavy\": {\"deletes\": " << dh.deletes
+         << ", \"compact_every\": " << compact_every
+         << ", \"in_run_compactions\": " << dh.in_run_compactions
+         << ", \"churn_ms\": " << dh.delete_heavy_mean_ms
+         << ", \"compacted_ms\": " << dh.baseline_mean_ms
+         << ", \"ratio\": " << dh.Ratio()
+         << ", \"tombstones_after_final\": " << dh.tombstones_after_final
+         << ", \"tail_after_final\": " << dh.tail_after_final
+         << ", \"ok\": " << (delete_ok ? "true" : "false") << "}\n}\n";
       std::ofstream(json_path) << js.str();
       std::cout << "wrote " << json_path << "\n";
     }
-    return plan_ok ? 0 : 1;
+    return (plan_ok && delete_ok) ? 0 : 1;
   }
 
   std::vector<RunRow> runs;
@@ -449,6 +591,15 @@ int main(int argc, char** argv) {
          << (c + 1 < 3 ? "," : "") << "\n";
     }
     js << "  ],\n  \"plan_choice_ok\": " << (plan_ok ? "true" : "false")
+       << ",\n  \"delete_heavy\": {\"deletes\": " << dh.deletes
+       << ", \"compact_every\": " << compact_every
+       << ", \"in_run_compactions\": " << dh.in_run_compactions
+       << ", \"churn_ms\": " << dh.delete_heavy_mean_ms
+       << ", \"compacted_ms\": " << dh.baseline_mean_ms
+       << ", \"ratio\": " << dh.Ratio()
+       << ", \"tombstones_after_final\": " << dh.tombstones_after_final
+       << ", \"tail_after_final\": " << dh.tail_after_final
+       << ", \"ok\": " << (delete_ok ? "true" : "false") << "}"
        << ",\n  \"speedup_4v1\": " << speedup
        << ",\n  \"cost_ratio_norecluster\": "
        << norecluster.SecondHalfCostRatio()
@@ -463,7 +614,7 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << json_path << "\n";
   }
   return (speedup >= 3.0 && inv.ok() && mismatches == 0 && recluster_ok &&
-          plan_ok)
+          plan_ok && delete_ok)
              ? 0
              : 1;
 }

@@ -23,6 +23,7 @@ class Status {
     kNotSupported,
     kInternal,
     kResourceExhausted,
+    kAborted,
   };
 
   /// Constructs an OK status.
@@ -53,6 +54,12 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(Code::kResourceExhausted, std::move(msg));
   }
+  /// Optimistic-concurrency conflict: the state the caller resolved
+  /// against has moved (e.g. an epoch swap permuted row ids); re-resolve
+  /// and retry.
+  static Status Aborted(std::string msg) {
+    return Status(Code::kAborted, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -81,6 +88,7 @@ class Status {
       case Code::kNotSupported: return "NotSupported";
       case Code::kInternal: return "Internal";
       case Code::kResourceExhausted: return "ResourceExhausted";
+      case Code::kAborted: return "Aborted";
     }
     return "Unknown";
   }

@@ -233,6 +233,51 @@ size_t CorrelationMap::UpsertPairsBatched(
   return groups;
 }
 
+Status CorrelationMap::RetractPairsBatched(
+    std::vector<std::pair<CmKey, int64_t>> pairs) {
+  // Mirror of UpsertPairsBatched: sort so equal pairs are adjacent, then
+  // subtract one aggregated count per distinct (u-key, ordinal) pair. A
+  // NotFound mid-batch means the caller retracted a pair that was never
+  // inserted; the map is corrupt either way, so no rollback is attempted.
+  if (pairs.empty()) return Status::OK();
+  ++epoch_;
+  std::sort(pairs.begin(), pairs.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first < b.first) return true;
+              if (b.first < a.first) return false;
+              return a.second < b.second;
+            });
+  size_t i = 0;
+  while (i < pairs.size()) {
+    const CmKey key = pairs[i].first;
+    auto mit = map_.find(key);
+    if (mit == map_.end()) return Status::NotFound("u-key not mapped");
+    while (i < pairs.size() && pairs[i].first == key) {
+      const int64_t c = pairs[i].second;
+      uint32_t cnt = 0;
+      while (i < pairs.size() && pairs[i].first == key &&
+             pairs[i].second == c) {
+        ++cnt;
+        ++i;
+      }
+      auto cit = mit->second.find(c);
+      if (cit == mit->second.end() || cit->second < cnt) {
+        return Status::NotFound("clustered ordinal not mapped for u-key");
+      }
+      cit->second -= cnt;
+      if (cit->second == 0) {
+        mit->second.erase(cit);
+        --num_entries_;
+      }
+    }
+    if (mit->second.empty()) {
+      map_.erase(mit);
+      NoteKeyErased(key);
+    }
+  }
+  return Status::OK();
+}
+
 void CorrelationMap::InsertValues(std::span<const Key> u_keys,
                                   int64_t c_ordinal) {
   UpsertPair(UKeyOfValues(u_keys), c_ordinal);

@@ -226,6 +226,11 @@ class CorrelationMap {
   /// because sorting mutates it; no copy on the serving hot path. Returns
   /// the number of distinct (u-key, ordinal) groups applied.
   size_t UpsertPairsBatched(std::vector<std::pair<CmKey, int64_t>> pairs);
+  /// Batched RetractPair: sorts the batch and subtracts one aggregated
+  /// count per distinct pair. NotFound if any pair is not mapped (the
+  /// retraction then stops; the map is corrupt regardless, since counts
+  /// must mirror live rows).
+  Status RetractPairsBatched(std::vector<std::pair<CmKey, int64_t>> pairs);
 
   /// Clustered ordinal for a row (bucket id, or the order-preserving
   /// raw-key encoding when the clustered attribute is unbucketed).

@@ -91,6 +91,12 @@ class CostModel {
   /// CPU milliseconds per CM entry visited by cm_lookup (in-RAM work).
   static constexpr double kCmCpuPerEntryMs = 1e-5;
 
+  /// CPU milliseconds to examine and skip one tombstoned row (the select
+  /// paths' IsDeleted re-filter). Plan costing charges each candidate for
+  /// the dead rows its sweep would examine; execution charges the rows it
+  /// actually skipped, keeping estimates and measured costs coherent.
+  static constexpr double kTombstoneCpuMs = 1e-5;
+
   /// Range-probe term: the in-RAM cost of answering cm_lookup through the
   /// sorted bucket-ordinal directory -- a binary search over the u-keys
   /// plus the probed run. Replaces CmLookupScanCost for range predicates.

@@ -11,6 +11,15 @@ uint64_t RangePages(const PageLayout& layout, const RowRange& r) {
   return layout.PageOfRow(r.end - 1) - layout.PageOfRow(r.begin) + 1;
 }
 
+// Dead-row share of a sweep over `rows_swept` physical rows: tombstones
+// are assumed uniform over the heap, and each dead row examined costs the
+// IsDeleted re-filter CPU term. Exactly 0 with no deletes.
+double DeadRowCpuMs(const PlanContext& ctx, double rows_swept) {
+  if (ctx.num_deleted == 0 || ctx.n_rows == 0) return 0;
+  const double frac = double(ctx.num_deleted) / double(ctx.n_rows);
+  return rows_swept * frac * CostModel::kTombstoneCpuMs;
+}
+
 }  // namespace
 
 const Predicate* FindPredicateOn(const Query& query, size_t col) {
@@ -62,7 +71,8 @@ double TailSweepCostMs(const PlanContext& ctx) {
                          layout.PageOfRow(ctx.clustered_boundary) + 1;
   return ctx.cost_model->EffectiveSeekMs(ctx.heap_residency) +
          double(pages) *
-             ctx.cost_model->EffectiveSeqPageMs(ctx.heap_residency);
+             ctx.cost_model->EffectiveSeqPageMs(ctx.heap_residency) +
+         DeadRowCpuMs(ctx, double(ctx.n_rows - ctx.clustered_boundary));
 }
 
 double SeqScanCostMs(const PlanContext& ctx) {
@@ -75,20 +85,25 @@ double SeqScanCostMs(const PlanContext& ctx) {
   CostInputs in;
   in.tups_per_page = double(ctx.table->TuplesPerPage());
   in.total_tups = double(ctx.n_rows);
-  return ctx.cost_model->ScanCost(in);
+  return ctx.cost_model->ScanCost(in) +
+         double(ctx.num_deleted) * CostModel::kTombstoneCpuMs;
 }
 
 double ClusteredRangeCostMs(const PlanContext& ctx,
                             std::span<const RowRange> ranges,
                             size_t n_probes) {
   uint64_t pages = 0;
-  for (const RowRange& r : ranges) pages += RangePages(ctx.table->layout(), r);
+  uint64_t rows = 0;
+  for (const RowRange& r : ranges) {
+    pages += RangePages(ctx.table->layout(), r);
+    rows += r.size();
+  }
   const double descents =
       double(std::max<size_t>(n_probes, 1)) * double(ctx.cidx->BTreeHeight());
   return descents * ctx.cost_model->EffectiveSeekMs(ctx.cidx_residency) +
          double(pages) *
              ctx.cost_model->EffectiveSeqPageMs(ctx.heap_residency) +
-         TailSweepCostMs(ctx);
+         DeadRowCpuMs(ctx, double(rows)) + TailSweepCostMs(ctx);
 }
 
 double CmProbeCostMs(const PlanContext& ctx, const CmPlanView& cm) {
@@ -98,6 +113,7 @@ double CmProbeCostMs(const PlanContext& ctx, const CmPlanView& cm) {
       double(std::max<size_t>(cm.num_ukeys, 1)), double(res.entries_probed));
   if (res.empty()) return probe + tail;
   double pages = 0;
+  double rows = 0;
   uint64_t n_seeks = 0;
   if (cm.c_buckets != nullptr) {
     // Bucket runs translate positionally; clamp to the clustered boundary
@@ -107,17 +123,19 @@ double CmProbeCostMs(const PlanContext& ctx, const CmPlanView& cm) {
       range.end = std::min<RowId>(range.end, ctx.clustered_boundary);
       if (!range.empty()) {
         pages += double(range.size()) / double(ctx.table->TuplesPerPage());
+        rows += double(range.size());
       }
     }
     n_seeks = res.ranges.size() + ctx.cidx->BTreeHeight();
   } else {
     pages = double(res.num_ordinals) * ctx.cidx->CPages();
+    rows = double(res.num_ordinals) * ctx.cidx->CTups();
     n_seeks = res.ranges.size() * ctx.cidx->BTreeHeight();
   }
   const double cost =
       double(n_seeks) * ctx.cost_model->EffectiveSeekMs(ctx.cidx_residency) +
       pages * ctx.cost_model->EffectiveSeqPageMs(ctx.heap_residency) + probe +
-      tail;
+      DeadRowCpuMs(ctx, rows) + tail;
   // §4.1's min bound: a probe never costs more than giving up and
   // scanning. On a tie the earlier seq-scan candidate wins the choice.
   return std::min(cost, SeqScanCostMs(ctx));

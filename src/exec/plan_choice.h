@@ -79,6 +79,11 @@ struct PlanContext {
   /// clustered-index file (BufferPool::ResidencyOf), clamped to [0, 1].
   double heap_residency = 0;
   double cidx_residency = 0;
+  /// Tombstoned rows in the snapshot (Table::NumDeleted). Every candidate
+  /// pays a CPU term for the dead rows its sweep examines and re-filters,
+  /// assumed uniformly spread over the heap; 0 leaves all costs exactly as
+  /// before deletes existed.
+  size_t num_deleted = 0;
   const CostModel* cost_model = nullptr;
 };
 

@@ -28,15 +28,22 @@ Result<ClusteredIndex> ClusteredIndex::Build(const Table& table, size_t col) {
 
 Result<ClusteredIndex> ClusteredIndex::BuildMerged(
     const Table& table, size_t col, const ClusteredIndex& old,
-    RowId old_region_end, std::span<const Key> sorted_tail_keys) {
+    RowId old_region_end, std::span<const Key> sorted_tail_keys,
+    std::span<const uint32_t> old_deleted_counts) {
   if (table.clustered_column() != static_cast<int>(col)) {
     return Status::InvalidArgument("table is not clustered on column");
   }
   if (old.column() != col) {
     return Status::InvalidArgument("old index covers a different column");
   }
+  if (!old_deleted_counts.empty() &&
+      old_deleted_counts.size() != old.keys_.size()) {
+    return Status::InvalidArgument(
+        "deleted counts not parallel to old distinct keys");
+  }
   ClusteredIndex idx(&table, col);
   const size_t m = old.keys_.size();
+  uint64_t dropped = 0;
   idx.keys_.reserve(m + sorted_tail_keys.size());
   idx.first_row_.reserve(m + sorted_tail_keys.size());
   RowId next_row = 0;  // running first-row offset in the merged order
@@ -57,7 +64,17 @@ Result<ClusteredIndex> ClusteredIndex::BuildMerged(
       const RowId begin = old.first_row_[i];
       const RowId end =
           (i + 1 < m) ? old.first_row_[i + 1] : old_region_end;
-      emit(old.keys_[i], end - begin);
+      uint64_t count = end - begin;
+      if (!old_deleted_counts.empty()) {
+        if (old_deleted_counts[i] > count) {
+          return Status::Corruption("more deletions than rows for key");
+        }
+        dropped += old_deleted_counts[i];
+        count -= old_deleted_counts[i];
+      }
+      // A fully tombstoned key vanishes from the compacted copy: emitting
+      // it with count 0 would alias its boundary onto the next key's.
+      if (count > 0) emit(old.keys_[i], count);
       ++i;
     } else {
       size_t run = j + 1;
@@ -69,7 +86,7 @@ Result<ClusteredIndex> ClusteredIndex::BuildMerged(
       j = run;
     }
   }
-  if (next_row != RowId(old_region_end + sorted_tail_keys.size())) {
+  if (next_row != RowId(old_region_end - dropped + sorted_tail_keys.size())) {
     return Status::Corruption("merged row count mismatch");
   }
   return idx;

@@ -41,11 +41,16 @@ class ClusteredIndex {
   /// unclustered tail). `sorted_tail_keys` are the clustered keys of the
   /// merged tail rows, ascending, with multiplicity. Produces exactly what
   /// Build(table, col) would.
-  static Result<ClusteredIndex> BuildMerged(const Table& table, size_t col,
-                                            const ClusteredIndex& old,
-                                            RowId old_region_end,
-                                            std::span<const Key>
-                                                sorted_tail_keys);
+  ///
+  /// Compaction: `old_deleted_counts`, when non-empty, is parallel to
+  /// `old`'s distinct keys and gives how many of each key's rows the
+  /// reordered copy dropped as tombstoned; the key's successor range
+  /// shrinks by that amount (a key whose rows are all dead is not emitted
+  /// at all), so boundaries stay exact against the compacted copy.
+  static Result<ClusteredIndex> BuildMerged(
+      const Table& table, size_t col, const ClusteredIndex& old,
+      RowId old_region_end, std::span<const Key> sorted_tail_keys,
+      std::span<const uint32_t> old_deleted_counts = {});
 
   size_t column() const { return col_; }
   size_t NumDistinctKeys() const { return keys_.size(); }
@@ -58,6 +63,10 @@ class ClusteredIndex {
 
   /// The i-th distinct clustered value, in sorted order.
   const Key& DistinctKey(size_t i) const { return keys_[i]; }
+
+  /// First row holding DistinctKey(i) (the i-th directory boundary). The
+  /// compaction pass walks these to attribute tombstones to distinct keys.
+  RowId KeyFirstRow(size_t i) const { return first_row_[i]; }
 
   /// Index of the first distinct key >= `key` (== NumDistinctKeys() if none).
   size_t LowerBoundKey(const Key& key) const;

@@ -18,6 +18,9 @@ double SecondsSince(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+/// Old row id with no successor row (compacted away).
+constexpr RowId kDroppedRow = ~RowId{0};
+
 }  // namespace
 
 std::vector<RowId> MergeTailPermutation(const Table& t, size_t c_col,
@@ -44,6 +47,48 @@ std::vector<RowId> MergeTailPermutation(const Table& t, size_t c_col,
   return perm;
 }
 
+std::vector<RowId> CompactMergePermutation(
+    const Table& t, size_t c_col, RowId boundary, size_t n_rows,
+    const ClusteredIndex& old_cidx, std::vector<Key>* sorted_tail_keys,
+    std::vector<uint32_t>* deleted_counts) {
+  deleted_counts->assign(old_cidx.NumDistinctKeys(), 0);
+  std::vector<RowId> perm;
+  perm.reserve(n_rows);
+  // One pass over the clustered region reads each tombstone exactly once,
+  // attributing dead rows to their distinct key (the directory boundaries
+  // are a sorted walk) and keeping live rows in order.
+  size_t key = 0;
+  for (RowId r = 0; r < boundary; ++r) {
+    while (key + 1 < old_cidx.NumDistinctKeys() &&
+           r >= old_cidx.KeyFirstRow(key + 1)) {
+      ++key;
+    }
+    if (t.IsDeleted(r)) {
+      ++(*deleted_counts)[key];
+    } else {
+      perm.push_back(r);
+    }
+  }
+  const size_t live_clustered = perm.size();
+  for (RowId r = boundary; r < n_rows; ++r) {
+    if (!t.IsDeleted(r)) perm.push_back(r);
+  }
+  const auto key_less = [&](RowId a, RowId b) {
+    return t.GetKey(a, c_col) < t.GetKey(b, c_col);
+  };
+  const auto mid = perm.begin() + std::ptrdiff_t(live_clustered);
+  std::stable_sort(mid, perm.end(), key_less);
+  if (sorted_tail_keys != nullptr) {
+    sorted_tail_keys->clear();
+    sorted_tail_keys->reserve(perm.size() - live_clustered);
+    for (auto it = mid; it != perm.end(); ++it) {
+      sorted_tail_keys->push_back(t.GetKey(*it, c_col));
+    }
+  }
+  std::inplace_merge(perm.begin(), mid, perm.end(), key_less);
+  return perm;
+}
+
 Result<ReclusterStats> Reclusterer::Run() {
   ServingEngine& e = *engine_;
   std::lock_guard<std::mutex> recluster_lock(e.recluster_mu_);
@@ -51,28 +96,53 @@ Result<ReclusterStats> Reclusterer::Run() {
   const Table& ot = *old->table;
   const size_t c_col = size_t(ot.clustered_column());
   const RowId boundary = old->clustered_boundary;
-  const size_t n0 = ot.NumRows();  // phase-1 snapshot (acquire)
 
+  // Snapshot the delete-log watermark and the row count together: a delete
+  // logged below d0 completed its tombstone before this lock, so the
+  // permutation's tombstone reads observe it; everything from d0 on is
+  // replayed against the successor in phase 2. Between them every delete
+  // is resolved exactly once.
+  size_t d0 = 0;
+  size_t n0 = 0;
+  {
+    std::lock_guard<std::mutex> append_lock(e.append_mu_);
+    d0 = e.delete_log_.size();
+    n0 = ot.NumRows();
+  }
+
+  const bool compact = mode_ == ReclusterMode::kCompact;
   ReclusterStats stats;
   stats.epoch = old->version;
   stats.rows_clustered = boundary;
-  if (RowId(n0) == boundary) return stats;  // empty tail: nothing to move
+  if (RowId(n0) == boundary && !(compact && ot.NumDeleted() > 0)) {
+    return stats;  // empty tail and nothing to drop
+  }
   stats.tail_rows_merged = n0 - boundary;
 
   // ---- Phase 1: build the successor off to the side. Readers keep
   // serving `old`; appends keep landing in ot's tail beyond n0.
   const Clock::time_point t_build = Clock::now();
   std::vector<Key> tail_keys;
+  std::vector<uint32_t> deleted_counts;
   const std::vector<RowId> perm =
-      MergeTailPermutation(ot, c_col, boundary, n0, &tail_keys);
+      compact ? CompactMergePermutation(ot, c_col, boundary, n0, *old->cidx,
+                                        &tail_keys, &deleted_counts)
+              : MergeTailPermutation(ot, c_col, boundary, n0, &tail_keys);
+  if (after_permutation_hook_) after_permutation_hook_();
+  // Old -> successor row ids, for replaying deletes that race the copy.
+  std::vector<RowId> inverse(n0, kDroppedRow);
+  for (size_t i = 0; i < perm.size(); ++i) inverse[perm[i]] = RowId(i);
+  stats.rows_compacted = n0 - perm.size();
+
   auto next = std::make_shared<ServingEngine::EpochState>();
   next->version = old->version + 1;
   next->owned_table = ot.CloneReordered(perm);
   next->table = next->owned_table.get();
-  next->clustered_boundary = RowId(n0);
+  next->clustered_boundary = RowId(perm.size());
 
   auto ncidx = ClusteredIndex::BuildMerged(*next->table, c_col, *old->cidx,
-                                           boundary, tail_keys);
+                                           boundary, tail_keys,
+                                           deleted_counts);
   if (!ncidx.ok()) return ncidx.status();
   next->owned_cidx = std::make_unique<ClusteredIndex>(std::move(*ncidx));
   next->cidx = next->owned_cidx.get();
@@ -93,7 +163,7 @@ Result<ReclusterStats> Reclusterer::Run() {
                                             e.options_.num_cm_shards);
     if (!scm.ok()) return scm.status();
     auto owned = std::make_unique<ShardedCorrelationMap>(std::move(*scm));
-    Status s = owned->BuildFromTable(n0);
+    Status s = owned->BuildFromTable(size_t(next->clustered_boundary));
     if (!s.ok()) return s;
     next->cms.push_back(std::move(owned));
     next->c_bucketings.push_back(std::move(cb));
@@ -103,6 +173,7 @@ Result<ReclusterStats> Reclusterer::Run() {
   // reordered heap, and plan costing re-calibrates against the successor
   // epoch's own hit rates.
   e.InitEpochCalibration(next.get());
+  if (after_build_hook_) after_build_hook_();
   stats.build_seconds = SecondsSince(t_build);
 
   // ---- Phase 2: block writers, catch up the rows they appended during
@@ -115,27 +186,65 @@ Result<ReclusterStats> Reclusterer::Run() {
     const size_t n1 = ot.NumRows();
     stats.catch_up_rows = n1 - n0;
     // The successor is still private: growing its reservation (which may
-    // reallocate columns) is safe until the publish below.
-    next->table->Reserve(std::max(e.options_.reserve_rows,
-                                  n1 + ServingOptions::kDefaultAppendHeadroom));
+    // reallocate columns) is safe until the publish below. The successor's
+    // row count shrank by the compacted rows, but the reservation is kept
+    // at the engine's configured headroom regardless.
+    const size_t next_rows = size_t(next->clustered_boundary) + (n1 - n0);
+    next->table->Reserve(
+        std::max(e.options_.reserve_rows,
+                 next_rows + ServingOptions::kDefaultAppendHeadroom));
     if (n1 > n0) {
       next->table->AppendRowsFrom(ot, RowId(n0), RowId(n1));
-      std::vector<RowId> rids(n1 - n0);
-      std::iota(rids.begin(), rids.end(), RowId(n0));
+      // Catch-up rows seed the successor's tail under their successor row
+      // ids (compaction shifts them down); ones tombstoned during phase 1
+      // arrive as carried tombstones and stay out of the successor CMs.
+      std::vector<RowId> rids;
+      rids.reserve(n1 - n0);
+      for (size_t k = 0; k < n1 - n0; ++k) {
+        const RowId nr = next->clustered_boundary + RowId(k);
+        if (!next->table->IsDeleted(nr)) rids.push_back(nr);
+      }
       for (const auto& scm : next->cms) {
-        // Catch-up rows seed the successor's tail; c-bucketed CMs skip
-        // them exactly as the live append path does.
+        // c-bucketed CMs skip tail rows exactly as the live append path
+        // does.
         if (scm->has_clustered_buckets()) continue;
         scm->InsertRowsBatched(rids);
       }
     }
+    // Replay deletes that landed while phase 1 ran. Log entries >= n0 are
+    // catch-up rows: their tombstones were carried just above and their
+    // pairs never entered the successor CMs, so there is nothing to do.
+    // For rows below n0, the old->new mapping decides: dropped by the
+    // compaction -- done; carried as a tombstone by the clone -- done (the
+    // successor CM build skipped it; retracting again would double-count);
+    // otherwise the clone copied it live before the delete landed, and it
+    // is re-deleted here against the successor table and CMs.
+    for (size_t k = d0; k < e.delete_log_.size(); ++k) {
+      const RowId dr = e.delete_log_[k];
+      if (dr >= RowId(n0)) continue;
+      const RowId nr = inverse[dr];
+      if (nr == kDroppedRow) continue;
+      if (next->table->IsDeleted(nr)) continue;
+      Status ds = next->table->DeleteRow(nr);
+      if (!ds.ok()) return ds;
+      for (const auto& scm : next->cms) {
+        if (scm->has_clustered_buckets() && nr >= next->clustered_boundary) {
+          continue;
+        }
+        Status cs = scm->DeleteRow(nr);
+        if (!cs.ok()) return cs;
+      }
+    }
+    // Every logged delete is now resolved in the successor epoch.
+    e.delete_log_.clear();
     for (size_t i = 0; i < next->cms.size(); ++i) {
       next->cms[i]->EnsureEpochAtLeast(old->cms[i]->Epoch() + 1);
     }
+    stats.tombstones_carried = next->table->NumDeleted();
     e.PublishState(next);
   }
   stats.swap_seconds = SecondsSince(t_swap);
-  stats.rows_clustered = n0;
+  stats.rows_clustered = uint64_t(next->clustered_boundary);
   stats.epoch = next->version;
   e.reclusters_completed_.fetch_add(1, std::memory_order_acq_rel);
   return stats;

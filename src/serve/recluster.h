@@ -31,18 +31,43 @@
 // rebuilds their ClusteredBucketing over the successor's clustered region,
 // which is what makes c-bucketed CMs admissible in the serving engine
 // again (between reclusters their tail rows are simply left to the sweep).
+//
+// Compaction (ReclusterMode::kCompact) reuses the same two phases but
+// drops tombstoned rows from the successor copy: the permutation keeps
+// only live rows, ClusteredIndex::BuildMerged contracts each old key's
+// range by its deleted count, and the CM rebuilds see only live rows.
+// Deletes that land between the permutation's tombstone reads and the
+// publish are reconciled in phase 2 from the engine's delete log through
+// the old->new row mapping: a logged row the copy dropped is done; one the
+// clone carried as a tombstone is done (the successor CM build skipped
+// it); otherwise it is re-deleted against the successor, retracting from
+// the successor CMs. A deleted row is therefore compacted away or carried,
+// never resurrected.
 #ifndef CORRMAP_SERVE_RECLUSTER_H_
 #define CORRMAP_SERVE_RECLUSTER_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/status.h"
+#include "index/clustered_index.h"
 #include "storage/table.h"
 
 namespace corrmap::serve {
 
 class ServingEngine;
+
+/// What a pass does with tombstoned rows.
+enum class ReclusterMode : uint8_t {
+  /// Fold the tail into the clustered region; tombstones are carried into
+  /// the successor unchanged (cheap, keeps row counts stable).
+  kMergeTail,
+  /// Fold the tail AND drop tombstoned rows from the successor copy: the
+  /// heap shrinks, ClusteredIndex boundaries contract by per-key deleted
+  /// counts, and CM/bucketing rebuilds see only live rows.
+  kCompact,
+};
 
 /// Outcome of one recluster pass.
 struct ReclusterStats {
@@ -54,12 +79,20 @@ struct ReclusterStats {
   uint64_t tail_rows_merged = 0;
   /// Rows appended while phase 1 ran; they seed the successor's tail.
   uint64_t catch_up_rows = 0;
+  /// Tombstoned rows the compacting copy dropped (kCompact only).
+  uint64_t rows_compacted = 0;
+  /// Tombstoned rows still present in the successor at publish: deletes
+  /// that raced phase 1 and were carried rather than dropped (plus, under
+  /// kMergeTail, every pre-existing tombstone).
+  uint64_t tombstones_carried = 0;
   /// Wall seconds in phase 1 (fully concurrent).
   double build_seconds = 0;
   /// Wall seconds in phase 2 (writers blocked; readers still free).
   double swap_seconds = 0;
 
-  bool performed() const { return tail_rows_merged > 0; }
+  bool performed() const {
+    return tail_rows_merged > 0 || rows_compacted > 0;
+  }
 };
 
 /// Merge permutation over the first `n_rows` rows of `t`: [0, boundary) is
@@ -76,18 +109,51 @@ std::vector<RowId> MergeTailPermutation(const Table& t, size_t c_col,
                                         std::vector<Key>* sorted_tail_keys =
                                             nullptr);
 
+/// Compacting variant: live clustered rows in order merged with the sorted
+/// live tail, tombstoned rows left out. `deleted_counts` receives, per old
+/// distinct key of `old_cidx`, how many of that key's rows were dropped --
+/// exactly the parallel span ClusteredIndex::BuildMerged contracts its
+/// boundaries by. Each row's tombstone is read exactly once, so the kept
+/// order and the counts are mutually consistent even when deletes race the
+/// pass (a later delete is simply carried by the clone and reconciled from
+/// the engine's delete log in phase 2).
+std::vector<RowId> CompactMergePermutation(const Table& t, size_t c_col,
+                                           RowId boundary, size_t n_rows,
+                                           const ClusteredIndex& old_cidx,
+                                           std::vector<Key>* sorted_tail_keys,
+                                           std::vector<uint32_t>*
+                                               deleted_counts);
+
 /// One recluster pass over a ServingEngine (see the file comment for the
 /// two-phase protocol). Serialized against other passes by the engine's
 /// recluster mutex; safe to run from any thread, including the engine's
 /// own worker pool (the background trigger does exactly that).
 class Reclusterer {
  public:
-  explicit Reclusterer(ServingEngine* engine) : engine_(engine) {}
+  explicit Reclusterer(ServingEngine* engine,
+                       ReclusterMode mode = ReclusterMode::kMergeTail)
+      : engine_(engine), mode_(mode) {}
+
+  /// Test seams, run on the reclustering thread at two points of phase 1:
+  /// right after the permutation (and its tombstone reads) is fixed, and
+  /// after the successor is fully built but not yet published. Tests
+  /// inject deletes here to pin down the delete-racing-the-copy
+  /// reconciliation; both hooks may call engine APIs that take append_mu_
+  /// (phase 1 holds only the recluster mutex).
+  void set_after_permutation_hook(std::function<void()> hook) {
+    after_permutation_hook_ = std::move(hook);
+  }
+  void set_after_build_hook(std::function<void()> hook) {
+    after_build_hook_ = std::move(hook);
+  }
 
   Result<ReclusterStats> Run();
 
  private:
   ServingEngine* engine_;
+  ReclusterMode mode_;
+  std::function<void()> after_permutation_hook_;
+  std::function<void()> after_build_hook_;
 };
 
 }  // namespace corrmap::serve

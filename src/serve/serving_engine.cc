@@ -9,6 +9,7 @@ ServingEngine::ServingEngine(Table* table, const ClusteredIndex* cidx,
                              ServingOptions options)
     : options_(options),
       recluster_tail_rows_(options.recluster_tail_rows),
+      compact_deleted_fraction_(options.compact_deleted_fraction),
       plan_choice_(options.plan_choice),
       cost_model_(options.disk) {
   assert(table->clustered_column() == int(cidx->column()) &&
@@ -236,6 +237,7 @@ PlanSet ServingEngine::PlanSelect(const Query& query) const {
   ctx.n_rows = st->table->NumRows();
   ctx.heap_residency = calib.heap_residency;
   ctx.cidx_residency = calib.cidx_residency;
+  ctx.num_deleted = st->table->NumDeleted();
   ctx.cost_model = &cost_model_;
   return ChooseAccessPlan(ctx, query, views);
 }
@@ -281,6 +283,7 @@ SelectResult ServingEngine::ExecuteSelect(const Query& query) const {
     ctx.n_rows = n_rows;
     ctx.heap_residency = calib.heap_residency;
     ctx.cidx_residency = calib.cidx_residency;
+    ctx.num_deleted = table.NumDeleted();
     ctx.cost_model = &cost_model_;
     const PlanSet plans = ChooseAccessPlan(ctx, query, views);
     const PlanCandidate& win = plans.chosen_plan();
@@ -310,6 +313,9 @@ SelectResult ServingEngine::ExecuteSelect(const Query& query) const {
   // ---- Execute the winner, pricing every targeted page through the
   // buffer pool (full scans read around it and stay cold).
   double ms = 0;
+  // Dead rows examined and skipped; priced at the tombstone CPU term so
+  // execution cost tracks the same penalty plan costing estimated.
+  uint64_t dead_examined = 0;
   auto sweep_ranges = [&](const std::vector<RowRange>& ranges) {
     std::vector<PageNo> pages;
     for (const RowRange& range : ranges) {
@@ -318,7 +324,10 @@ SelectResult ServingEngine::ExecuteSelect(const Query& query) const {
       for (PageNo p = first; p <= last; ++p) pages.push_back(p);
       for (RowId r = range.begin; r < range.end; ++r) {
         ++out.rows_examined;
-        if (table.IsDeleted(r)) continue;
+        if (table.IsDeleted(r)) {
+          ++dead_examined;
+          continue;
+        }
         if (query.Matches(table, r)) ++out.num_matches;
       }
     }
@@ -329,7 +338,10 @@ SelectResult ServingEngine::ExecuteSelect(const Query& query) const {
     case PlanKind::kSeqScan: {
       for (RowId r = 0; r < n_rows; ++r) {
         ++out.rows_examined;
-        if (table.IsDeleted(r)) continue;
+        if (table.IsDeleted(r)) {
+          ++dead_examined;
+          continue;
+        }
         if (query.Matches(table, r)) ++out.num_matches;
       }
       DiskStats io;
@@ -403,7 +415,10 @@ SelectResult ServingEngine::ExecuteSelect(const Query& query) const {
   if (kind != PlanKind::kSeqScan && boundary < n_rows) {
     for (RowId r = boundary; r < n_rows; ++r) {
       ++out.rows_examined;
-      if (table.IsDeleted(r)) continue;
+      if (table.IsDeleted(r)) {
+        ++dead_examined;
+        continue;
+      }
       if (query.Matches(table, r)) ++out.num_matches;
     }
     const PageNo first = table.layout().PageOfRow(boundary);
@@ -412,6 +427,7 @@ SelectResult ServingEngine::ExecuteSelect(const Query& query) const {
     ms += ChargeHeapRuns(*st, std::span<const PageRun>(&tail_run, 1));
   }
 
+  ms += double(dead_examined) * CostModel::kTombstoneCpuMs;
   out.simulated_ms = ms;
   MaybeRefreshCalibration(*st);
   return out;
@@ -450,15 +466,148 @@ Status ServingEngine::ApplyAppend(std::span<const std::vector<Key>> rows) {
   return Status::OK();
 }
 
+Status ServingEngine::DeleteRowLocked(const EpochState& st, RowId row) {
+  // Tombstone FIRST, then retract: between the two steps a concurrent
+  // probe may still cover the row, but every access path re-filters
+  // through the tombstone bitmap, so the CM transiently over-covers and
+  // never under-covers -- probe==scan holds at every instant. (The
+  // reverse order would let a probe under-count a still-live row.)
+  Status s = st.table->DeleteRow(row);
+  if (!s.ok()) return s;
+  delete_log_.push_back(row);
+  for (const auto& scm : st.cms) {
+    // c-bucketed CMs never covered tail rows (the append path skips
+    // them), so there is nothing to retract there.
+    if (scm->has_clustered_buckets() && row >= st.clustered_boundary) {
+      continue;
+    }
+    Status cs = scm->DeleteRow(row);
+    if (!cs.ok()) return cs;
+  }
+  return Status::OK();
+}
+
+Status ServingEngine::ApplyDelete(RowId row, uint64_t expected_epoch) {
+  std::lock_guard<std::mutex> lock(append_mu_);
+  const std::shared_ptr<EpochState> st = CurrentState();
+  if (expected_epoch != kAnyEpoch && st->version != expected_epoch) {
+    return Status::Aborted("epoch moved past " +
+                           std::to_string(expected_epoch) +
+                           "; row ids were permuted -- re-resolve the row "
+                           "and retry");
+  }
+  if (row >= st->table->NumRows()) {
+    return Status::OutOfRange("row id past the published row count");
+  }
+  Status s = DeleteRowLocked(*st, row);
+  if (!s.ok()) return s;
+  MaybeScheduleRecluster(*st);
+  return Status::OK();
+}
+
+Status ServingEngine::ApplyDeletes(std::span<const RowId> rows,
+                                   uint64_t expected_epoch) {
+  if (rows.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(append_mu_);
+  const std::shared_ptr<EpochState> st = CurrentState();
+  if (expected_epoch != kAnyEpoch && st->version != expected_epoch) {
+    return Status::Aborted("epoch moved past " +
+                           std::to_string(expected_epoch) +
+                           "; row ids were permuted -- re-resolve the rows "
+                           "and retry");
+  }
+  Table* table = st->table;
+  // Tombstone the whole batch first (rows already dead are skipped, so a
+  // double delete never half-fails the batch), then retract each CM once
+  // under one epoch bracket.
+  std::vector<RowId> newly;
+  newly.reserve(rows.size());
+  for (const RowId row : rows) {
+    if (row >= table->NumRows()) {
+      return Status::OutOfRange("row id past the published row count");
+    }
+    const Status s = table->DeleteRow(row);
+    if (s.code() == Status::Code::kNotFound) continue;
+    if (!s.ok()) return s;
+    delete_log_.push_back(row);
+    newly.push_back(row);
+  }
+  if (newly.empty()) return Status::OK();
+  std::vector<RowId> clustered_only;
+  for (const auto& scm : st->cms) {
+    Status cs;
+    if (scm->has_clustered_buckets()) {
+      if (clustered_only.empty()) {
+        for (const RowId row : newly) {
+          if (row < st->clustered_boundary) clustered_only.push_back(row);
+        }
+      }
+      cs = scm->DeleteRowsBatched(clustered_only);
+    } else {
+      cs = scm->DeleteRowsBatched(newly);
+    }
+    if (!cs.ok()) return cs;
+  }
+  MaybeScheduleRecluster(*st);
+  return Status::OK();
+}
+
+Status ServingEngine::ApplyUpdate(RowId row, std::span<const Key> new_values,
+                                  uint64_t expected_epoch) {
+  std::lock_guard<std::mutex> lock(append_mu_);
+  const std::shared_ptr<EpochState> st = CurrentState();
+  if (expected_epoch != kAnyEpoch && st->version != expected_epoch) {
+    return Status::Aborted("epoch moved past " +
+                           std::to_string(expected_epoch) +
+                           "; row ids were permuted -- re-resolve the row "
+                           "and retry");
+  }
+  Table* table = st->table;
+  if (new_values.size() != table->schema().num_columns()) {
+    return Status::InvalidArgument("row arity does not match the schema");
+  }
+  if (row >= table->NumRows()) {
+    return Status::OutOfRange("row id past the published row count");
+  }
+  if (table->NumRows() + 1 > table->ReservedRows()) {
+    return Status::ResourceExhausted(
+        "append past the table's reserved capacity; concurrent readers "
+        "require append-without-reallocation");
+  }
+  // Checks done; tombstone the old version, then re-append the new one as
+  // a tail row (same transaction under append_mu_).
+  Status s = DeleteRowLocked(*st, row);
+  if (!s.ok()) return s;
+  const RowId rid = RowId(table->NumRows());
+  table->AppendRowKeys(new_values);
+  const RowId rids[1] = {rid};
+  for (const auto& scm : st->cms) {
+    if (scm->has_clustered_buckets()) continue;
+    scm->InsertRowsBatched(rids);
+  }
+  MaybeScheduleRecluster(*st);
+  return Status::OK();
+}
+
 void ServingEngine::MaybeScheduleRecluster(const EpochState& st) {
-  const size_t threshold =
+  const size_t tail_threshold =
       recluster_tail_rows_.load(std::memory_order_relaxed);
-  if (threshold == 0) return;
+  const double dead_threshold =
+      compact_deleted_fraction_.load(std::memory_order_relaxed);
   const size_t n_rows = st.table->NumRows();
-  if (n_rows - st.clustered_boundary < threshold) return;
+  const bool tail_due = tail_threshold > 0 &&
+                        n_rows - st.clustered_boundary >= tail_threshold;
+  const bool compact_due =
+      dead_threshold > 0 && n_rows > 0 &&
+      double(st.table->NumDeleted()) >= dead_threshold * double(n_rows);
+  if (!tail_due && !compact_due) return;
   if (recluster_pending_.exchange(true, std::memory_order_acq_rel)) return;
-  Enqueue([this] {
-    const auto result = Recluster();
+  // A compacting pass also drains the tail, so compaction wins when both
+  // triggers fire.
+  const ReclusterMode mode = compact_due ? ReclusterMode::kCompact
+                                         : ReclusterMode::kMergeTail;
+  Enqueue([this, mode] {
+    const auto result = Reclusterer(this, mode).Run();
     recluster_pending_.store(false, std::memory_order_release);
     if (!result.ok()) {
       // Surface the failure (ReclusterFailures) and do NOT re-arm: each
@@ -477,6 +626,10 @@ Result<ReclusterStats> ServingEngine::Recluster() {
   return Reclusterer(this).Run();
 }
 
+Result<ReclusterStats> ServingEngine::Compact() {
+  return Reclusterer(this, ReclusterMode::kCompact).Run();
+}
+
 std::future<SelectResult> ServingEngine::Submit(Query query) {
   auto task = std::make_shared<std::packaged_task<SelectResult()>>(
       [this, q = std::move(query)] { return ExecuteSelect(q); });
@@ -489,6 +642,25 @@ std::future<Status> ServingEngine::Append(std::vector<std::vector<Key>> rows) {
   auto task = std::make_shared<std::packaged_task<Status()>>(
       [this, r = std::move(rows)] {
         return ApplyAppend(std::span<const std::vector<Key>>(r));
+      });
+  std::future<Status> fut = task->get_future();
+  Enqueue([task] { (*task)(); });
+  return fut;
+}
+
+std::future<Status> ServingEngine::Delete(RowId row) {
+  auto task = std::make_shared<std::packaged_task<Status()>>(
+      [this, row] { return ApplyDelete(row); });
+  std::future<Status> fut = task->get_future();
+  Enqueue([task] { (*task)(); });
+  return fut;
+}
+
+std::future<Status> ServingEngine::Update(RowId row,
+                                          std::vector<Key> new_values) {
+  auto task = std::make_shared<std::packaged_task<Status()>>(
+      [this, row, v = std::move(new_values)] {
+        return ApplyUpdate(row, std::span<const Key>(v.data(), v.size()));
       });
   std::future<Status> fut = task->get_future();
   Enqueue([task] { (*task)(); });
@@ -561,6 +733,10 @@ uint64_t ServingEngine::ReclusterEpoch() const {
 }
 
 const Table& ServingEngine::table() const { return *CurrentState()->table; }
+
+const ClusteredIndex& ServingEngine::cidx() const {
+  return *CurrentState()->cidx;
+}
 
 const ShardedCorrelationMap& ServingEngine::cm(size_t i) const {
   return *CurrentState()->cms[i];

@@ -90,6 +90,12 @@ struct ServingOptions {
   /// the worker pool (at most one in flight). 0 disables the trigger;
   /// Recluster() can still be called explicitly.
   size_t recluster_tail_rows = 0;
+  /// Background compaction: when > 0, a delete/update that raises the
+  /// tombstone fraction (NumDeleted / NumRows) to this value schedules one
+  /// Compact pass instead -- same single-flight slot as the tail trigger,
+  /// and a Compact also drains the tail. 0 disables; Compact() can still
+  /// be called explicitly.
+  double compact_deleted_fraction = 0;
   /// How ExecuteSelect picks its access plan. kCostBased (default) costs
   /// scan / clustered-range / every applicable CM probe with the shared
   /// plan enumeration and runs the cheapest; kFirstMatch reproduces the
@@ -178,9 +184,42 @@ class ServingEngine {
   /// renews the reservation).
   Status ApplyAppend(std::span<const std::vector<Key>> rows);
 
+  /// Epoch sentinel for ApplyDelete/ApplyUpdate: apply against whatever
+  /// epoch is current.
+  static constexpr uint64_t kAnyEpoch = ~uint64_t{0};
+
+  /// Synchronous thread-safe delete: tombstones `row`, then retracts its
+  /// (u-key, ordinal) pairs from every attached CM -- the retraction's
+  /// epoch bump makes SharedLookupCache entries covering the key go
+  /// stale. Tombstone-first ordering keeps probe==scan exact under
+  /// concurrency: between the two steps a probe may still cover the row,
+  /// but every access path re-filters through the tombstone bitmap, so
+  /// the CM transiently over-covers and never under-covers. Row ids are
+  /// permuted by recluster/compaction swaps, so a caller holding a row id
+  /// resolved against epoch E passes expected_epoch=E and gets Aborted if
+  /// the engine has moved on (re-resolve by row identity and retry).
+  /// NotFound if the row is already tombstoned; OutOfRange past the end.
+  Status ApplyDelete(RowId row, uint64_t expected_epoch = kAnyEpoch);
+
+  /// Batched ApplyDelete under one append-lock acquisition and one epoch
+  /// bracket per CM; rows already tombstoned are skipped (idempotent), so
+  /// a batch never half-fails on a double delete.
+  Status ApplyDeletes(std::span<const RowId> rows,
+                      uint64_t expected_epoch = kAnyEpoch);
+
+  /// Synchronous thread-safe update = tombstone + tail re-append: deletes
+  /// `row` and appends `new_values` as a fresh tail row in one append
+  /// transaction. The new row gets a new row id (returned epochs permute
+  /// ids anyway); a concurrent select between the two steps sees neither
+  /// version, which keeps probe==scan exact (both sides miss it).
+  Status ApplyUpdate(RowId row, std::span<const Key> new_values,
+                     uint64_t expected_epoch = kAnyEpoch);
+
   /// Async APIs backed by the worker pool.
   std::future<SelectResult> Submit(Query query);
   std::future<Status> Append(std::vector<std::vector<Key>> rows);
+  std::future<Status> Delete(RowId row);
+  std::future<Status> Update(RowId row, std::vector<Key> new_values);
 
   /// Runs one synchronous recluster pass (serialized against concurrent
   /// passes): merges the tail into the clustered region, patches the
@@ -189,10 +228,24 @@ class ServingEngine {
   /// empty.
   Result<ReclusterStats> Recluster();
 
+  /// Runs one synchronous compacting recluster: same two-phase pass as
+  /// Recluster(), but tombstoned rows are dropped from the successor copy
+  /// (heap shrinks, index boundaries contract, CMs rebuild over live rows
+  /// only). Deletes racing the pass are carried as successor tombstones,
+  /// never resurrected. No-op when the tail is empty and nothing is
+  /// tombstoned.
+  Result<ReclusterStats> Compact();
+
   /// Re-arms the background trigger (ServingOptions::recluster_tail_rows)
   /// at runtime; benches toggle this between phases.
   void set_recluster_tail_rows(size_t rows) {
     recluster_tail_rows_.store(rows, std::memory_order_relaxed);
+  }
+
+  /// Re-arms the background compaction trigger
+  /// (ServingOptions::compact_deleted_fraction) at runtime.
+  void set_compact_deleted_fraction(double fraction) {
+    compact_deleted_fraction_.store(fraction, std::memory_order_relaxed);
   }
 
   /// Switches the plan-choice policy at runtime (benches A/B the two on
@@ -245,6 +298,8 @@ class ServingEngine {
   /// retires the epoch that backs them once the last reader drops it.
   const Table& table() const;
   const ShardedCorrelationMap& cm(size_t i) const;
+  /// Clustered index of the current epoch (same stability caveat).
+  const ClusteredIndex& cidx() const;
 
   /// Invariants of every attached sharded CM plus the epoch's physical
   /// layout: the clustered region must be sorted on the clustered column
@@ -305,6 +360,11 @@ class ServingEngine {
   void WorkerLoop();
   void MaybeScheduleRecluster(const EpochState& st);
 
+  /// Tombstones `row` on `st`'s table, logs it for recluster replay, and
+  /// retracts its pairs from every CM covering it. Caller holds
+  /// append_mu_ and has bounds-checked the row.
+  Status DeleteRowLocked(const EpochState& st, RowId row);
+
   /// Compiles the query's predicates for `scm`'s attributes; false when
   /// some CM attribute is unpredicated (CM inapplicable, §6.2.1).
   static bool CompilePredicates(const ShardedCorrelationMap& scm,
@@ -343,6 +403,7 @@ class ServingEngine {
 
   ServingOptions options_;
   std::atomic<size_t> recluster_tail_rows_;
+  std::atomic<double> compact_deleted_fraction_;
   std::atomic<ServingOptions::PlanChoice> plan_choice_;
   CostModel cost_model_;
   /// Serving-path buffer pool (null when disabled). All access goes
@@ -363,7 +424,13 @@ class ServingEngine {
   mutable std::shared_mutex state_mu_;
   mutable SharedLookupCache cache_;
 
-  std::mutex append_mu_;     ///< serializes append transactions end-to-end
+  std::mutex append_mu_;     ///< serializes write transactions end-to-end
+  /// Rows deleted in the current epoch's id space, in order (guarded by
+  /// append_mu_). A recluster snapshots its watermark before the phase-1
+  /// tombstone reads and replays everything logged after it against the
+  /// successor, so a delete racing the deep copy is carried, never
+  /// resurrected; the publishing pass clears the log.
+  std::vector<RowId> delete_log_;
   std::mutex recluster_mu_;  ///< serializes recluster passes
   std::atomic<bool> recluster_pending_{false};
   std::atomic<uint64_t> reclusters_completed_{0};

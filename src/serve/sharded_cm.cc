@@ -67,6 +67,33 @@ Status ShardedCorrelationMap::DeleteRow(RowId row) {
   return st;
 }
 
+Status ShardedCorrelationMap::DeleteRowsBatched(std::span<const RowId> rows) {
+  // Batched DeleteRow under one maintenance bracket: bucket each row once,
+  // route the pair to its shard, retract each touched shard's sub-batch in
+  // one locked pass. An empty batch must not bump the epoch. The rows must
+  // still carry their pre-delete column values (tombstoning does not erase
+  // them), since the pair is re-derived from the table here.
+  if (rows.empty()) return Status::OK();
+  const CorrelationMap& front = shards_.front()->cm;
+  std::vector<std::vector<std::pair<CmKey, int64_t>>> by_shard(
+      shards_.size());
+  for (RowId r : rows) {
+    const CmKey key = front.UKeyOfRow(r);
+    by_shard[ShardOf(key)].emplace_back(key, front.ClusteredOrdinalOfRow(r));
+  }
+  BeginMaintenance();
+  Status st;
+  for (size_t i = 0; i < shards_.size() && st.ok(); ++i) {
+    if (by_shard[i].empty()) continue;
+    Shard& s = *shards_[i];
+    std::unique_lock lock(s.mu);
+    st = s.cm.RetractPairsBatched(std::move(by_shard[i]));
+    s.cm.SyncDirectory();
+  }
+  EndMaintenance();
+  return st;
+}
+
 size_t ShardedCorrelationMap::InsertRowsBatched(std::span<const RowId> rows) {
   // An empty batch must not bump the epoch (it would invalidate every
   // cached lookup for a no-op).

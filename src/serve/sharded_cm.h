@@ -68,6 +68,9 @@ class ShardedCorrelationMap {
   void InsertRow(RowId row);
   Status DeleteRow(RowId row);
   size_t InsertRowsBatched(std::span<const RowId> rows);
+  /// Batched DeleteRow under one epoch bracket; the rows' column values
+  /// must still be readable (tombstoning keeps them).
+  Status DeleteRowsBatched(std::span<const RowId> rows);
   void InsertValues(std::span<const Key> u_keys, int64_t c_ordinal);
   Status DeleteValues(std::span<const Key> u_keys, int64_t c_ordinal);
 

@@ -114,6 +114,10 @@ class Table {
   size_t NumLiveRows() const {
     return NumRows() - num_deleted_.load(std::memory_order_acquire);
   }
+  /// Tombstoned rows (NumRows() - NumLiveRows()).
+  size_t NumDeleted() const {
+    return num_deleted_.load(std::memory_order_acquire);
+  }
   uint64_t NumPages() const { return layout_.NumPages(NumRows()); }
 
   /// "total_tups" and "tups_per_page" as used by the paper's cost model.

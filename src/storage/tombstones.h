@@ -15,7 +15,9 @@
 #ifndef CORRMAP_STORAGE_TOMBSTONES_H_
 #define CORRMAP_STORAGE_TOMBSTONES_H_
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <memory>
 
@@ -81,6 +83,24 @@ class TombstoneBitmap {
     // make_unique value-initializes, so the new words are already zero.
     words_ = std::move(grown);
     num_words_ = want;
+  }
+
+  /// Number of tombstoned rows in [begin, end), word-wise popcount. Rows
+  /// past the capacity read as live. Safe against concurrent Set; the
+  /// result is a snapshot (exact once writers have quiesced).
+  size_t CountSetInRange(RowId begin, RowId end) const {
+    const size_t hi = std::min(size_t(end), capacity_rows());
+    size_t count = 0;
+    for (size_t r = size_t(begin); r < hi;) {
+      const size_t w = r >> 6;
+      uint64_t word = words_[w].load(std::memory_order_acquire);
+      const size_t word_end = std::min(hi, (w + 1) * 64);
+      if (r & 63) word &= ~uint64_t{0} << (r & 63);
+      if (word_end & 63) word &= (uint64_t{1} << (word_end & 63)) - 1;
+      count += size_t(std::popcount(word));
+      r = word_end;
+    }
+    return count;
   }
 
   size_t capacity_rows() const { return num_words_ * 64; }

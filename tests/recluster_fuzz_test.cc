@@ -13,16 +13,27 @@
 // reads racing the recluster must keep returning the exact pre-computed
 // counts on both sides of (and during) each epoch handoff.
 //
-// The Long variant multiplies seeds and operations; it is skipped unless
-// CORRMAP_LONG_TESTS is set (CI runs it nightly under the ctest label of
+// The CRUD variant (CrudFuzzTest) extends the interleavings with deletes,
+// updates, and compacting reclusters, checked against a shadow oracle
+// keyed by a stable per-row identity column: after every step the engine's
+// probe, a full scan of the engine's current table, AND the oracle's count
+// must agree exactly, under both plan-choice policies; a final synchronous
+// compaction must drain every tombstone and leave a clustered index equal
+// to a from-scratch Build. A concurrent case drives a reader through live
+// compaction swaps while deletes and updates land.
+//
+// The Long variants multiply seeds and operations; they are skipped unless
+// CORRMAP_LONG_TESTS is set (CI runs them nightly under the ctest label of
 // the same name).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdlib>
 #include <memory>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -328,6 +339,421 @@ TEST(ReclusterFuzzTest, LongRandomInterleavings) {
   }
   for (uint64_t seed = 1; seed <= 24; ++seed) {
     RunSequentialFuzz(seed * 0x9e37, /*ops=*/600, /*base_rows=*/6000);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full-CRUD differential fuzz.
+//
+// Row identity: rids are positional and every recluster permutes them, so
+// the shadow oracle cannot key on rids. A fourth "id" column carries a
+// unique logical identity per row; deletes and updates resolve the current
+// rid by scanning for the id, exactly as a client holding a logical key
+// would re-resolve after an epoch swap.
+
+/// A sampled query plus the predicate in oracle-evaluable form.
+struct QuerySpec {
+  Query query;
+  size_t col = 1;  // 1 = u, 2 = v
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
+struct CrudFuzzHarness {
+  std::unique_ptr<Table> table;
+  std::unique_ptr<ClusteredIndex> cidx;
+  std::unique_ptr<ClusteredBucketing> cb;
+  std::unique_ptr<ServingEngine> engine;
+  Rng rng;
+  /// id -> (c, u, v) for every live logical row; the differential oracle.
+  std::unordered_map<int64_t, std::array<int64_t, 3>> oracle;
+  std::vector<int64_t> live_ids;  // for O(1) random victim picks
+  int64_t next_id = 0;
+
+  CrudFuzzHarness(uint64_t seed, int base_rows, size_t reserve_extra,
+                  ServingOptions::PlanChoice plan_choice =
+                      ServingOptions::PlanChoice::kCostBased)
+      : rng(seed) {
+    Schema schema({ColumnDef::Int64("c"), ColumnDef::Int64("u"),
+                   ColumnDef::Int64("v"), ColumnDef::Int64("id")});
+    table = std::make_unique<Table>("t", std::move(schema));
+    for (int i = 0; i < base_rows; ++i) {
+      const int64_t u = rng.UniformInt(0, 499);
+      const int64_t v = rng.UniformInt(0, 49);
+      const int64_t c = u / 10 + rng.UniformInt(0, 1);
+      std::array<Value, 4> row = {Value(c), Value(u), Value(v),
+                                  Value(next_id)};
+      EXPECT_TRUE(table->AppendRow(row).ok());
+      oracle[next_id] = {c, u, v};
+      live_ids.push_back(next_id);
+      ++next_id;
+    }
+    EXPECT_TRUE(table->ClusterBy(0).ok());
+    auto ci = ClusteredIndex::Build(*table, 0);
+    EXPECT_TRUE(ci.ok());
+    cidx = std::make_unique<ClusteredIndex>(std::move(*ci));
+    auto built = ClusteredBucketing::Build(*table, 0, 32);
+    EXPECT_TRUE(built.ok());
+    cb = std::make_unique<ClusteredBucketing>(std::move(*built));
+
+    ServingOptions opts;
+    opts.num_workers = 1;
+    opts.reserve_rows = table->NumRows() + reserve_extra;
+    opts.plan_choice = plan_choice;
+    opts.calibration_period = 16;
+    engine = std::make_unique<ServingEngine>(table.get(), cidx.get(), opts);
+    // Same CM spread as FuzzHarness: unbucketed identity over u, and a
+    // width-4 u-bucketed + positionally c-bucketed CM over v (the one
+    // whose ordinal space every compaction re-bases).
+    CmOptions c0;
+    c0.u_cols = {1};
+    c0.u_bucketers = {Bucketer::Identity()};
+    c0.c_col = 0;
+    EXPECT_TRUE(engine->AttachCm(c0).ok());
+    CmOptions c1;
+    c1.u_cols = {2};
+    c1.u_bucketers = {Bucketer::NumericWidth(4)};
+    c1.c_col = 0;
+    c1.c_buckets = cb.get();
+    EXPECT_TRUE(engine->AttachCm(c1).ok());
+  }
+
+  /// Current rid of logical row `id` (positional ids move at every swap).
+  RowId ResolveId(int64_t id) const {
+    const Table& t = engine->table();
+    for (RowId r = 0; r < t.NumRows(); ++r) {
+      if (!t.IsDeleted(r) && t.GetKey(r, 3) == Key(id)) return r;
+    }
+    ADD_FAILURE() << "live id " << id << " not found in the heap";
+    return 0;
+  }
+
+  int64_t PickLiveId() {
+    const size_t i = size_t(rng.UniformInt(0, int64_t(live_ids.size()) - 1));
+    return live_ids[i];
+  }
+
+  void ForgetId(int64_t id) {
+    const auto it = std::find(live_ids.begin(), live_ids.end(), id);
+    ASSERT_NE(it, live_ids.end());
+    *it = live_ids.back();
+    live_ids.pop_back();
+    oracle.erase(id);
+  }
+
+  void AppendBatch(int max_rows) {
+    const int n = int(rng.UniformInt(1, max_rows));
+    std::vector<std::vector<Key>> rows;
+    rows.reserve(size_t(n));
+    for (int i = 0; i < n; ++i) {
+      const int64_t u = rng.UniformInt(0, 499);
+      const int64_t v = rng.UniformInt(0, 49);
+      rows.push_back({Key(u / 10), Key(u), Key(v), Key(next_id)});
+      oracle[next_id] = {u / 10, u, v};
+      live_ids.push_back(next_id);
+      ++next_id;
+    }
+    ASSERT_TRUE(engine->ApplyAppend(rows).ok());
+  }
+
+  void DeleteOne() {
+    const int64_t id = PickLiveId();
+    // Pin the delete to the epoch the rid was resolved against -- the
+    // single-threaded interleaving never swaps in between, so the CAS
+    // must always succeed here (the Aborted path has its own test).
+    const RowId rid = ResolveId(id);
+    ASSERT_TRUE(engine->ApplyDelete(rid, engine->ReclusterEpoch()).ok());
+    ForgetId(id);
+  }
+
+  void UpdateOne() {
+    const int64_t id = PickLiveId();
+    const RowId rid = ResolveId(id);
+    const int64_t u = rng.UniformInt(0, 499);
+    const int64_t v = rng.UniformInt(0, 49);
+    const std::array<Key, 4> fresh = {Key(u / 10), Key(u), Key(v), Key(id)};
+    ASSERT_TRUE(
+        engine->ApplyUpdate(rid, fresh, engine->ReclusterEpoch()).ok());
+    oracle[id] = {u / 10, u, v};
+  }
+
+  QuerySpec RandomSpec() {
+    switch (rng.UniformInt(0, 3)) {
+      case 0: {
+        const int64_t u = rng.UniformInt(0, 520);
+        return {Query({Predicate::Eq(*table, "u", Value(u))}), 1, u, u};
+      }
+      case 1: {
+        const int64_t lo = rng.UniformInt(0, 480);
+        const int64_t hi = lo + rng.UniformInt(0, 60);
+        return {Query({Predicate::Between(*table, "u", Value(lo),
+                                          Value(hi))}),
+                1, lo, hi};
+      }
+      case 2: {
+        const int64_t v = rng.UniformInt(0, 55);
+        return {Query({Predicate::Eq(*table, "v", Value(v))}), 2, v, v};
+      }
+      default: {
+        const int64_t lo = rng.UniformInt(0, 45);
+        const int64_t hi = lo + rng.UniformInt(0, 10);
+        return {Query({Predicate::Between(*table, "v", Value(lo),
+                                          Value(hi))}),
+                2, lo, hi};
+      }
+    }
+  }
+
+  uint64_t OracleCount(const QuerySpec& s) const {
+    uint64_t n = 0;
+    for (const auto& [id, vals] : oracle) {
+      const int64_t x = vals[s.col];
+      if (x >= s.lo && x <= s.hi) ++n;
+    }
+    return n;
+  }
+
+  /// The three-way differential: engine probe == full scan of the
+  /// engine's current table == shadow oracle, exactly.
+  void ExpectThreeWayExact(const QuerySpec& s) {
+    const SelectResult probe = engine->ExecuteSelect(s.query);
+    const ExecResult scan = FullTableScan(engine->table(), s.query);
+    const uint64_t expected = OracleCount(s);
+    ASSERT_EQ(probe.num_matches, scan.NumMatches())
+        << "probe!=scan at epoch " << probe.recluster_epoch << " plan "
+        << probe.plan;
+    ASSERT_EQ(probe.num_matches, expected)
+        << "engine diverged from the shadow oracle at epoch "
+        << probe.recluster_epoch << " plan " << probe.plan;
+  }
+
+  void CheckLookupInvariants() {
+    for (size_t i = 0; i < engine->num_cms(); ++i) {
+      const ShardedCorrelationMap& scm = engine->cm(i);
+      std::array<CmColumnPredicate, 1> point = {CmColumnPredicate::Points(
+          {Key(rng.UniformInt(0, 520)), Key(rng.UniformInt(0, 520))})};
+      const CmLookupResult routed = scm.Lookup(point);
+      const CmLookupResult reference = scm.LookupProbingAllShards(point);
+      ExpectCoalesced(routed);
+      ExpectCoalesced(reference);
+      EXPECT_EQ(routed.ToOrdinals(), reference.ToOrdinals());
+    }
+  }
+};
+
+void ExpectCidxEqualsScratchBuild(const ServingEngine& engine) {
+  auto scratch = ClusteredIndex::Build(engine.table(), 0);
+  ASSERT_TRUE(scratch.ok());
+  const ClusteredIndex& live = engine.cidx();
+  ASSERT_EQ(live.NumDistinctKeys(), scratch->NumDistinctKeys());
+  for (size_t i = 0; i < scratch->NumDistinctKeys(); ++i) {
+    ASSERT_EQ(live.DistinctKey(i), scratch->DistinctKey(i));
+    ASSERT_EQ(live.LookupEqual(scratch->DistinctKey(i)),
+              scratch->LookupEqual(scratch->DistinctKey(i)));
+  }
+}
+
+void RunCrudFuzz(uint64_t seed, int ops, int base_rows,
+                 ServingOptions::PlanChoice plan_choice =
+                     ServingOptions::PlanChoice::kCostBased) {
+  CrudFuzzHarness h(seed, base_rows,
+                    /*reserve_extra=*/size_t(ops) * 300 + 4096, plan_choice);
+  for (int op = 0; op < ops; ++op) {
+    switch (h.rng.UniformInt(0, 11)) {
+      case 0:
+      case 1: {
+        h.AppendBatch(200);
+        break;
+      }
+      case 2:
+      case 3: {
+        h.DeleteOne();
+        break;
+      }
+      case 4:
+      case 5: {
+        h.UpdateOne();
+        break;
+      }
+      case 6: {  // merge-mode recluster carries tombstones
+        auto stats = h.engine->Recluster();
+        ASSERT_TRUE(stats.ok());
+        if (stats->performed()) {
+          ASSERT_EQ(h.engine->TailRows(), 0u);
+        }
+        break;
+      }
+      case 7: {  // compacting recluster drops them
+        auto stats = h.engine->Compact();
+        ASSERT_TRUE(stats.ok());
+        if (stats->performed()) {
+          ASSERT_EQ(h.engine->table().NumDeleted(),
+                    stats->tombstones_carried);
+        }
+        break;
+      }
+      case 8: {
+        ASSERT_TRUE(h.engine->CheckInvariants().ok());
+        h.CheckLookupInvariants();
+        break;
+      }
+      default: {
+        h.ExpectThreeWayExact(h.RandomSpec());
+        break;
+      }
+    }
+    ASSERT_EQ(h.engine->table().NumLiveRows(), h.oracle.size());
+    if (op % 16 == 15) {
+      for (int i = 0; i < 3; ++i) h.ExpectThreeWayExact(h.RandomSpec());
+    }
+  }
+  // Quiescent close: a synchronous compaction must drain every tombstone,
+  // fold the tail, and leave a clustered index identical to building one
+  // from scratch over the surviving rows.
+  auto final_stats = h.engine->Compact();
+  ASSERT_TRUE(final_stats.ok());
+  ASSERT_EQ(h.engine->TailRows(), 0u);
+  ASSERT_EQ(h.engine->table().NumDeleted(), 0u);
+  ASSERT_EQ(h.engine->table().NumRows(), h.oracle.size());
+  ExpectCidxEqualsScratchBuild(*h.engine);
+  ASSERT_TRUE(h.engine->CheckInvariants().ok());
+  for (int i = 0; i < 12; ++i) h.ExpectThreeWayExact(h.RandomSpec());
+  h.CheckLookupInvariants();
+}
+
+TEST(CrudFuzzTest, SeededInterleavingsMatchShadowOracleCostBased) {
+  for (uint64_t seed : {0x11ull, 0x22ull, 0x33ull, 0x44ull, 0x55ull,
+                        0x66ull, 0x77ull, 0x88ull, 0x99ull}) {
+    RunCrudFuzz(seed, /*ops=*/90, /*base_rows=*/2500);
+  }
+}
+
+TEST(CrudFuzzTest, SeededInterleavingsMatchShadowOracleFirstMatch) {
+  for (uint64_t seed : {0x1Aull, 0x2Bull, 0x3Cull, 0x4Dull, 0x5Eull,
+                        0x6Full, 0x7Aull}) {
+    RunCrudFuzz(seed, /*ops=*/90, /*base_rows=*/2500,
+                ServingOptions::PlanChoice::kFirstMatch);
+  }
+}
+
+TEST(CrudFuzzTest, ConcurrentReaderStaysExactAcrossLiveCompactions) {
+  // Queries cover u in [0, 499] / v in [0, 49]; the writer thread appends
+  // rows with u in [1000, 1499] and v in [100, 149] only, and the main
+  // thread deletes/updates only those writer rows -- so every query's
+  // count is invariant for the whole run. The main thread is the sole
+  // swapper: rids it resolves between compactions stay valid because
+  // concurrent appends only grow the heap. Any reader deviation is a torn
+  // epoch, a stale cache entry, or a resurrected/lost tombstone.
+  CrudFuzzHarness h(0xD7, /*base_rows=*/8000, /*reserve_extra=*/1 << 20);
+  std::vector<QuerySpec> specs;
+  std::vector<uint64_t> expected;
+  for (int i = 0; i < 8; ++i) {
+    specs.push_back(h.RandomSpec());
+    expected.push_back(
+        FullTableScan(h.engine->table(), specs.back().query).NumMatches());
+    ASSERT_EQ(expected.back(), h.OracleCount(specs.back()));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::thread reader([&] {
+    Rng r(0xE8);
+    while (!stop.load(std::memory_order_acquire)) {
+      const size_t pick = size_t(r.UniformInt(0, int64_t(specs.size()) - 1));
+      const SelectResult res = h.engine->ExecuteSelect(specs[pick].query);
+      EXPECT_EQ(res.num_matches, expected[pick])
+          << "read diverged at epoch " << res.recluster_epoch;
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::atomic<int> batches_appended{0};
+  std::thread writer([&] {
+    Rng r(0xF9);
+    for (int i = 0; i < 40 && !stop.load(std::memory_order_acquire); ++i) {
+      std::vector<std::vector<Key>> rows;
+      const int n = int(r.UniformInt(50, 300));
+      for (int j = 0; j < n; ++j) {
+        const int64_t u = r.UniformInt(1000, 1499);
+        rows.push_back({Key(u / 10), Key(u), Key(r.UniformInt(100, 149)),
+                        Key(int64_t{1} << 40)});
+      }
+      ASSERT_TRUE(h.engine->ApplyAppend(rows).ok());
+      batches_appended.fetch_add(1, std::memory_order_release);
+    }
+  });
+
+  // Main thread: rounds of delete-some/update-some over the writer's
+  // rows, each followed by a live compaction racing both threads. Each
+  // round first waits for the writer to make progress so the compactions
+  // genuinely interleave with appends instead of outrunning them.
+  Rng mr(0xAB);
+  uint64_t performed = 0;
+  uint64_t deleted = 0;
+  for (int round = 0; round < 6; ++round) {
+    while (batches_appended.load(std::memory_order_acquire) <
+           (round + 1) * 6) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const Table& t = h.engine->table();
+    const RowId n = RowId(t.NumRows());  // snapshot; appends only grow it
+    std::vector<RowId> high;
+    for (RowId r = 0; r < n; ++r) {
+      if (!t.IsDeleted(r) && t.GetKey(r, 1) >= Key(int64_t{1000})) {
+        high.push_back(r);
+      }
+    }
+    std::vector<RowId> victims;
+    for (size_t i = 0; i < high.size() && victims.size() < 25; i += 7) {
+      victims.push_back(high[i]);
+    }
+    if (!victims.empty()) {
+      ASSERT_TRUE(h.engine->ApplyDeletes(victims).ok());
+      deleted += victims.size();
+    }
+    for (size_t i = 3; i < high.size() && i < 40; i += 11) {
+      if (t.IsDeleted(high[i])) continue;  // just deleted above
+      const int64_t u = mr.UniformInt(1000, 1499);
+      const std::array<Key, 4> fresh = {Key(u / 10), Key(u),
+                                        Key(mr.UniformInt(100, 149)),
+                                        t.GetKey(high[i], 3)};
+      ASSERT_TRUE(h.engine->ApplyUpdate(high[i], fresh).ok());
+    }
+    auto stats = h.engine->Compact();
+    ASSERT_TRUE(stats.ok());
+    if (stats->performed()) ++performed;
+  }
+  writer.join();
+  auto last = h.engine->Compact();
+  ASSERT_TRUE(last.ok());
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_GE(performed, 1u);
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_GT(deleted, 0u);
+  EXPECT_EQ(h.engine->TailRows(), 0u);
+  EXPECT_EQ(h.engine->table().NumDeleted(), 0u);
+  ASSERT_TRUE(h.engine->CheckInvariants().ok());
+  // Post-join quiescent differential: counts still exact vs the final
+  // table, with every delete and update folded into the compacted heap.
+  for (size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_EQ(h.engine->ExecuteSelect(specs[i].query).num_matches,
+              expected[i]);
+    ASSERT_EQ(FullTableScan(h.engine->table(), specs[i].query).NumMatches(),
+              expected[i]);
+  }
+  ExpectCidxEqualsScratchBuild(*h.engine);
+}
+
+TEST(CrudFuzzTest, LongCrudInterleavings) {
+  if (std::getenv("CORRMAP_LONG_TESTS") == nullptr) {
+    GTEST_SKIP() << "set CORRMAP_LONG_TESTS=1 (nightly ctest label "
+                    "CORRMAP_LONG_TESTS) to run the long CRUD fuzz";
+  }
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    RunCrudFuzz(seed * 0x7f4a, /*ops=*/400, /*base_rows=*/5000);
+    RunCrudFuzz(seed * 0x7f4a + 1, /*ops=*/400, /*base_rows=*/5000,
+                ServingOptions::PlanChoice::kFirstMatch);
   }
 }
 

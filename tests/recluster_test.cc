@@ -247,6 +247,229 @@ TEST(ReclusterTest, BackgroundTriggerFiresOnTailThreshold) {
   EXPECT_TRUE(f.engine->CheckInvariants().ok());
 }
 
+// Boundary parity: the engine's live clustered index must equal a
+// from-scratch Build over the engine's table (the compaction acceptance
+// bar -- per-key deleted counts contracted every range exactly).
+void ExpectCidxMatchesScratchBuild(const ServingEngine& engine) {
+  auto scratch = ClusteredIndex::Build(engine.table(), 0);
+  ASSERT_TRUE(scratch.ok());
+  const ClusteredIndex& live = engine.cidx();
+  ASSERT_EQ(live.NumDistinctKeys(), scratch->NumDistinctKeys());
+  for (size_t i = 0; i < scratch->NumDistinctKeys(); ++i) {
+    EXPECT_EQ(live.DistinctKey(i), scratch->DistinctKey(i));
+    EXPECT_EQ(live.LookupEqual(scratch->DistinctKey(i)),
+              scratch->LookupEqual(scratch->DistinctKey(i)));
+  }
+}
+
+// First live row whose "u" column equals `u` (current epoch's id space).
+RowId ResolveByU(const Table& t, int64_t u) {
+  for (RowId r = 0; r < t.NumRows(); ++r) {
+    if (!t.IsDeleted(r) && t.GetKey(r, 1) == Key(u)) return r;
+  }
+  ADD_FAILURE() << "no live row with u=" << u;
+  return 0;
+}
+
+TEST(CompactTest, DropsTombstonesAndMatchesScratchBuild) {
+  ReclusterEngineFixture f;
+  const Query eq({Predicate::Eq(*f.table, "u", Value(321))});
+  const Query range(
+      {Predicate::Between(*f.table, "u", Value(150), Value(260))});
+  ASSERT_TRUE(f.engine->ApplyAppend(f.MakeRows(3000, 163)).ok());
+
+  // Tombstone every row of one distinct clustered key (BuildMerged must
+  // drop the key from the directory, not alias its boundary onto the
+  // next key), plus a scatter of clustered-region and tail rows.
+  std::vector<RowId> victims;
+  const RowRange whole_key =
+      f.engine->cidx().LookupEqual(f.engine->cidx().DistinctKey(5));
+  ASSERT_FALSE(whole_key.empty());
+  for (RowId r = whole_key.begin; r < whole_key.end; ++r) {
+    victims.push_back(r);
+  }
+  for (RowId r = 40; r < 20000; r += 997) {
+    if (r < whole_key.begin || r >= whole_key.end) victims.push_back(r);
+  }
+  for (RowId r = 20005; r < 23000; r += 501) victims.push_back(r);
+  ASSERT_TRUE(f.engine->ApplyDeletes(victims).ok());
+  const size_t live = f.engine->table().NumLiveRows();
+  EXPECT_EQ(f.engine->table().NumDeleted(), victims.size());
+  f.ExpectProbeEqualsScan(eq);
+
+  auto stats = f.engine->Compact();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->performed());
+  EXPECT_EQ(stats->rows_compacted, victims.size());
+  EXPECT_EQ(stats->tombstones_carried, 0u);
+  EXPECT_EQ(f.engine->TailRows(), 0u);
+  EXPECT_EQ(f.engine->table().NumDeleted(), 0u);
+  EXPECT_EQ(f.engine->table().NumRows(), live);
+  EXPECT_EQ(f.engine->clustered_boundary(), RowId(live));
+  EXPECT_TRUE(f.engine->CheckInvariants().ok());
+  ExpectCidxMatchesScratchBuild(*f.engine);
+  f.ExpectProbeEqualsScan(eq);
+  f.ExpectProbeEqualsScan(range);
+}
+
+TEST(CompactTest, EmptyTailStillDropsTombstones) {
+  ReclusterEngineFixture f;
+  std::vector<RowId> victims;
+  for (RowId r = 7; r < 20000; r += 199) victims.push_back(r);
+  ASSERT_TRUE(f.engine->ApplyDeletes(victims).ok());
+
+  // Merge mode has no tail to fold: a plain Recluster stays a no-op and
+  // the tombstones survive it.
+  auto merge = f.engine->Recluster();
+  ASSERT_TRUE(merge.ok());
+  EXPECT_FALSE(merge->performed());
+  EXPECT_EQ(f.engine->table().NumDeleted(), victims.size());
+
+  auto compact = f.engine->Compact();
+  ASSERT_TRUE(compact.ok());
+  EXPECT_TRUE(compact->performed());
+  EXPECT_EQ(compact->rows_compacted, victims.size());
+  EXPECT_EQ(f.engine->table().NumDeleted(), 0u);
+  EXPECT_EQ(f.engine->table().NumRows(), 20000u - victims.size());
+  EXPECT_GT(f.engine->ReclusterEpoch(), 0u);
+  ExpectCidxMatchesScratchBuild(*f.engine);
+  EXPECT_TRUE(f.engine->CheckInvariants().ok());
+}
+
+TEST(CompactTest, DeleteDuringPhase1CopyIsCarriedNeverResurrected) {
+  // Satellite: a delete that lands between the permutation's tombstone
+  // reads and the publish must be compacted away or carried as a
+  // successor tombstone -- never resurrected. The hook injects it right
+  // after the permutation is fixed, so the clone may or may not carry it;
+  // either way the counts must drop immediately and stay dropped.
+  ReclusterEngineFixture f;
+  ASSERT_TRUE(f.engine->ApplyAppend(f.MakeRows(2000, 167)).ok());
+  const Query eq({Predicate::Eq(*f.table, "u", Value(321))});
+  const uint64_t before = f.engine->ExecuteSelect(eq).num_matches;
+  ASSERT_GT(before, 0u);
+  const RowId victim = ResolveByU(f.engine->table(), 321);
+
+  serve::Reclusterer pass(f.engine.get(), serve::ReclusterMode::kCompact);
+  pass.set_after_permutation_hook([&] {
+    EXPECT_TRUE(f.engine->ApplyDelete(victim).ok());
+  });
+  auto stats = pass.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->performed());
+
+  // The deleted row stayed deleted across the swap (carried tombstone or
+  // replayed delete -- both end as a successor tombstone here, because
+  // the permutation had already kept the row).
+  EXPECT_EQ(f.engine->ExecuteSelect(eq).num_matches, before - 1);
+  const ExecResult scan = FullTableScan(f.engine->table(), eq);
+  EXPECT_EQ(scan.NumMatches(), before - 1);
+  EXPECT_EQ(f.engine->table().NumDeleted(), 1u);
+  EXPECT_TRUE(f.engine->CheckInvariants().ok());
+
+  // A follow-up compaction drains the carried tombstone; counts hold.
+  auto drained = f.engine->Compact();
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(f.engine->table().NumDeleted(), 0u);
+  EXPECT_EQ(f.engine->ExecuteSelect(eq).num_matches, before - 1);
+  ExpectCidxMatchesScratchBuild(*f.engine);
+}
+
+TEST(CompactTest, DeleteAfterSuccessorBuildIsReplayedIntoSuccessorCms) {
+  // Same race, later seam: the delete lands after the successor table,
+  // index, and CMs are fully built, so phase 2 must replay it -- delete
+  // the successor row AND retract it from the successor CMs (the epoch
+  // bump of that retraction is also what staleness of cached lookups
+  // rides on).
+  ReclusterEngineFixture f;
+  ASSERT_TRUE(f.engine->ApplyAppend(f.MakeRows(2000, 173)).ok());
+  const Query eq({Predicate::Eq(*f.table, "u", Value(500))});
+  const uint64_t before = f.engine->ExecuteSelect(eq).num_matches;
+  ASSERT_GT(before, 0u);
+  const RowId victim = ResolveByU(f.engine->table(), 500);
+
+  serve::Reclusterer pass(f.engine.get(), serve::ReclusterMode::kCompact);
+  pass.set_after_build_hook([&] {
+    EXPECT_TRUE(f.engine->ApplyDelete(victim).ok());
+  });
+  auto stats = pass.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->tombstones_carried, 1u);
+
+  EXPECT_EQ(f.engine->ExecuteSelect(eq).num_matches, before - 1);
+  const ExecResult scan = FullTableScan(f.engine->table(), eq);
+  EXPECT_EQ(scan.NumMatches(), before - 1);
+  // The replay retracted the pair, so the sharded CM's books balance.
+  EXPECT_TRUE(f.engine->CheckInvariants().ok());
+
+  auto drained = f.engine->Compact();
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(f.engine->table().NumDeleted(), 0u);
+  EXPECT_EQ(f.engine->ExecuteSelect(eq).num_matches, before - 1);
+  ExpectCidxMatchesScratchBuild(*f.engine);
+}
+
+TEST(CompactTest, UpdateMovesRowToTailAndStaysExact) {
+  ReclusterEngineFixture f;
+  const Query old_u({Predicate::Eq(*f.table, "u", Value(321))});
+  const Query new_u({Predicate::Eq(*f.table, "u", Value(777))});
+  const uint64_t old_before = f.engine->ExecuteSelect(old_u).num_matches;
+  const uint64_t new_before = f.engine->ExecuteSelect(new_u).num_matches;
+  ASSERT_GT(old_before, 0u);
+
+  const RowId victim = ResolveByU(f.engine->table(), 321);
+  const std::vector<Key> fresh = {Key(int64_t{77}), Key(int64_t{777})};
+  ASSERT_TRUE(f.engine->ApplyUpdate(victim, fresh).ok());
+
+  EXPECT_EQ(f.engine->TailRows(), 1u);
+  EXPECT_EQ(f.engine->ExecuteSelect(old_u).num_matches, old_before - 1);
+  EXPECT_EQ(f.engine->ExecuteSelect(new_u).num_matches, new_before + 1);
+  f.ExpectProbeEqualsScan(old_u);
+  f.ExpectProbeEqualsScan(new_u);
+
+  auto stats = f.engine->Compact();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(f.engine->table().NumDeleted(), 0u);
+  EXPECT_EQ(f.engine->TailRows(), 0u);
+  EXPECT_EQ(f.engine->ExecuteSelect(old_u).num_matches, old_before - 1);
+  EXPECT_EQ(f.engine->ExecuteSelect(new_u).num_matches, new_before + 1);
+  ExpectCidxMatchesScratchBuild(*f.engine);
+}
+
+TEST(CompactTest, StaleEpochDeleteIsAborted) {
+  ReclusterEngineFixture f;
+  const uint64_t epoch0 = f.engine->ReclusterEpoch();
+  const RowId victim = ResolveByU(f.engine->table(), 321);
+  ASSERT_TRUE(f.engine->ApplyAppend(f.MakeRows(100, 179)).ok());
+  ASSERT_TRUE(f.engine->Recluster().ok());
+  ASSERT_GT(f.engine->ReclusterEpoch(), epoch0);
+  // The swap permuted row ids: a delete pinned to the stale epoch must be
+  // refused, and the same call against the current epoch must land.
+  EXPECT_EQ(f.engine->ApplyDelete(victim, epoch0).code(),
+            Status::Code::kAborted);
+  EXPECT_TRUE(
+      f.engine->ApplyDelete(victim, f.engine->ReclusterEpoch()).ok());
+  EXPECT_EQ(f.engine->table().NumDeleted(), 1u);
+}
+
+TEST(CompactTest, BackgroundTriggerFiresOnTombstoneFraction) {
+  ReclusterEngineFixture f;
+  f.engine->set_compact_deleted_fraction(0.05);
+  const Query eq({Predicate::Eq(*f.table, "u", Value(500))});
+  std::vector<RowId> victims;
+  for (RowId r = 3; r < 20000 && victims.size() < 1200; r += 16) {
+    victims.push_back(r);
+  }
+  ASSERT_TRUE(f.engine->ApplyDeletes(victims).ok());
+  // The trigger enqueued a compacting pass; quiesce and check it drained
+  // the tombstones.
+  f.engine->ResizeWorkerPool(2);
+  EXPECT_GE(f.engine->ReclustersCompleted(), 1u);
+  EXPECT_EQ(f.engine->table().NumDeleted(), 0u);
+  EXPECT_EQ(f.engine->table().NumRows(), 20000u - victims.size());
+  f.ExpectProbeEqualsScan(eq);
+  EXPECT_TRUE(f.engine->CheckInvariants().ok());
+}
+
 TEST(MaintenanceDriverTest, ReclusterHeapMergesTailAndChargesRewrite) {
   auto t = CorrelatedTable(10000, 149);
   auto cidx = ClusteredIndex::Build(*t, 0);

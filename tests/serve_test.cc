@@ -525,6 +525,114 @@ TEST(ServingEngineTest, CacheEntriesFromPreReclusterEpochAreEvictedNotServed) {
   EXPECT_EQ(repeat.num_matches, matches);
 }
 
+/// First live row whose column `col` equals `v` in the engine's current
+/// epoch (row ids are only stable between recluster swaps).
+RowId ResolveRow(const Table& t, size_t col, int64_t v) {
+  for (RowId r = 0; r < t.NumRows(); ++r) {
+    if (!t.IsDeleted(r) && t.GetKey(r, col) == Key(v)) return r;
+  }
+  ADD_FAILURE() << "no live row with col" << col << "=" << v;
+  return 0;
+}
+
+TEST(ServingEngineTest, DeleteRetractsFromCmsAndFiltersEveryAccessPath) {
+  // Regression lock-in: every access path -- CM probe, clustered-index
+  // range, and the tail sweep -- must skip tombstoned rows, and the
+  // delete must retract the row's pairs from the sharded CM so its books
+  // still balance. First-match pins the CM probe for the u queries.
+  EngineFixture f(ServingOptions::PlanChoice::kFirstMatch);
+  const Query eq_u({Predicate::Eq(*f.table, "u", Value(321))});
+  const Query eq_c({Predicate::Eq(*f.table, "c", Value(12))});
+  // Put a known row in the unclustered tail so the sweep has a victim.
+  std::vector<std::vector<Key>> rows(
+      10, {Key(int64_t{32}), Key(int64_t{321})});
+  ASSERT_TRUE(f.engine->ApplyAppend(rows).ok());
+
+  const uint64_t u_before = f.engine->ExecuteSelect(eq_u).num_matches;
+  const uint64_t c_before = f.engine->ExecuteSelect(eq_c).num_matches;
+  ASSERT_GT(u_before, 0u);
+  ASSERT_GT(c_before, 0u);
+
+  // One victim per path: clustered-region row reached through the CM
+  // probe, a row under the c predicate (clustered-index range), and a
+  // tail row (sweep).
+  const RowId in_clustered = ResolveRow(f.engine->table(), 1, 321);
+  ASSERT_LT(in_clustered, f.engine->clustered_boundary());
+  const RowId under_c = ResolveRow(f.engine->table(), 0, 12);
+  const RowId in_tail = RowId(f.engine->table().NumRows() - 1);
+  ASSERT_GE(in_tail, f.engine->clustered_boundary());
+  ASSERT_TRUE(f.engine->ApplyDelete(in_clustered).ok());
+  ASSERT_TRUE(f.engine->ApplyDelete(under_c).ok());
+  ASSERT_TRUE(f.engine->ApplyDelete(in_tail).ok());
+
+  const serve::SelectResult u_after = f.engine->ExecuteSelect(eq_u);
+  EXPECT_TRUE(u_after.used_cm);
+  EXPECT_EQ(u_after.num_matches, u_before - 2);  // clustered + tail victim
+  EXPECT_EQ(f.engine->ExecuteSelect(eq_c).num_matches, c_before - 1);
+  f.ExpectProbeEqualsScan(eq_u);
+  f.ExpectProbeEqualsScan(eq_c);
+  EXPECT_EQ(f.engine->table().NumDeleted(), 3u);
+  EXPECT_TRUE(f.engine->CheckInvariants().ok());
+}
+
+TEST(ServingEngineTest, CachedLookupCoveringDeletedKeyGoesStaleOnDelete) {
+  // A cached lookup whose covered u-key loses a row must not be served
+  // after the delete: the CM retraction bumps the epoch, so the next
+  // probe compares stale, recomputes, and re-caches at the new epoch.
+  EngineFixture f(ServingOptions::PlanChoice::kFirstMatch);
+  const Query eq({Predicate::Eq(*f.table, "u", Value(700))});
+  (void)f.engine->ExecuteSelect(eq);
+  const serve::SelectResult warmed = f.engine->ExecuteSelect(eq);
+  ASSERT_TRUE(warmed.cache_hit);
+  ASSERT_GT(warmed.num_matches, 0u);
+
+  const auto evictions_before = f.engine->cache().stats().stale_evictions;
+  const RowId victim = ResolveRow(f.engine->table(), 1, 700);
+  ASSERT_TRUE(f.engine->ApplyDelete(victim).ok());
+
+  const serve::SelectResult after = f.engine->ExecuteSelect(eq);
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_EQ(after.num_matches, warmed.num_matches - 1);
+  EXPECT_GT(f.engine->cache().stats().stale_evictions, evictions_before);
+  const ExecResult scan = FullTableScan(f.engine->table(), eq);
+  EXPECT_EQ(after.num_matches, scan.NumMatches());
+
+  // The recomputed entry serves repeats at the post-delete epoch.
+  const serve::SelectResult repeat = f.engine->ExecuteSelect(eq);
+  EXPECT_TRUE(repeat.cache_hit);
+  EXPECT_EQ(repeat.num_matches, warmed.num_matches - 1);
+}
+
+TEST(ServingEngineTest, DeleteEdgeCasesAndBatchIdempotence) {
+  EngineFixture f;
+  const size_t n = f.engine->table().NumRows();
+  // Past the end of the heap.
+  EXPECT_EQ(f.engine->ApplyDelete(RowId(n)).code(),
+            Status::Code::kOutOfRange);
+  // Double delete of the same row.
+  ASSERT_TRUE(f.engine->ApplyDelete(5).ok());
+  EXPECT_EQ(f.engine->ApplyDelete(5).code(), Status::Code::kNotFound);
+  // Batch deletes tolerate duplicates and already-dead rows: each row is
+  // tombstoned and retracted at most once.
+  const std::vector<RowId> batch = {5, 9, 9, 12};
+  ASSERT_TRUE(f.engine->ApplyDeletes(batch).ok());
+  EXPECT_EQ(f.engine->table().NumDeleted(), 3u);
+  EXPECT_EQ(f.engine->table().NumLiveRows(), n - 3);
+  EXPECT_TRUE(f.engine->CheckInvariants().ok());
+
+  // Async wrappers run the same paths through the worker pool.
+  const RowId victim = ResolveRow(f.engine->table(), 1, 123);
+  EXPECT_TRUE(f.engine->Delete(victim).get().ok());
+  const RowId moved = ResolveRow(f.engine->table(), 1, 456);
+  EXPECT_TRUE(
+      f.engine->Update(moved, {Key(int64_t{45}), Key(int64_t{457})})
+          .get()
+          .ok());
+  EXPECT_EQ(f.engine->table().NumDeleted(), 5u);
+  const Query q({Predicate::Eq(*f.table, "u", Value(457))});
+  f.ExpectProbeEqualsScan(q);
+}
+
 TEST(ServingEngineTest, SuccessorCmEpochIsRaisedAboveRetiredPredecessor) {
   // The lazy-eviction guarantee rests on epochs increasing across the
   // swap; pin the property directly.

@@ -11,6 +11,7 @@
 #include "storage/page.h"
 #include "storage/schema.h"
 #include "storage/table.h"
+#include "storage/tombstones.h"
 #include "storage/wal.h"
 
 namespace corrmap {
@@ -112,6 +113,27 @@ TEST(TableTest, DeleteTombstones) {
   EXPECT_EQ(t.NumLiveRows(), 1u);
   EXPECT_FALSE(t.DeleteRow(0).ok());   // already deleted
   EXPECT_FALSE(t.DeleteRow(99).ok());  // out of range
+}
+
+TEST(TombstoneBitmapTest, CountSetInRangeHandlesWordBoundaries) {
+  TombstoneBitmap bm;
+  bm.EnsureCapacity(200);
+  // Bits straddling word 0/1 and word 2, plus the very first and last.
+  for (RowId r : {RowId(0), RowId(63), RowId(64), RowId(65), RowId(130),
+                  RowId(199)}) {
+    EXPECT_FALSE(bm.Set(r));
+  }
+  EXPECT_EQ(bm.CountSetInRange(0, 200), 6u);
+  EXPECT_EQ(bm.CountSetInRange(0, 64), 2u);    // full first word
+  EXPECT_EQ(bm.CountSetInRange(63, 65), 2u);   // straddles the boundary
+  EXPECT_EQ(bm.CountSetInRange(64, 66), 2u);
+  EXPECT_EQ(bm.CountSetInRange(65, 130), 1u);  // partial both ends
+  EXPECT_EQ(bm.CountSetInRange(66, 130), 0u);
+  EXPECT_EQ(bm.CountSetInRange(199, 200), 1u);
+  EXPECT_EQ(bm.CountSetInRange(50, 50), 0u);   // empty range
+  // Rows past the capacity were never deleted: the range clamps.
+  EXPECT_EQ(bm.CountSetInRange(128, 10000), 2u);
+  EXPECT_EQ(bm.CountSetInRange(5000, 10000), 0u);
 }
 
 TEST(DiskModelTest, CostConstants) {
