@@ -43,17 +43,22 @@
 // `--json <path>` additionally emits machine-readable results
 // (tools/run_bench.sh writes BENCH_serve.json from this).
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <numeric>
 #include <sstream>
+#include <thread>
 
 #include "bench_common.h"
 #include "common/rng.h"
 #include "exec/access_path.h"
 #include "serve/driver.h"
 #include "serve/serving_engine.h"
+#include "serve/shard_router.h"
 #include "workload/ebay_gen.h"
 
 using namespace corrmap;
@@ -263,6 +268,237 @@ DeleteHeavyResult RunDeleteHeavy(ServingEngine* engine,
   return res;
 }
 
+// ---- Partitioned serving: ShardRouter vs one engine at 16 readers ------
+
+struct ShardLeg {
+  double lookups_per_s = 0;
+  double mean_sim_ms = 0;
+};
+
+struct ShardBenchResult {
+  size_t shards = 0;
+  double zipf = 0;
+  size_t readers = 0;
+  ShardLeg single_leg;
+  ShardLeg routed;
+  size_t pruning_selects = 0;
+  uint64_t pruning_visits = 0;       // shard executions on CM-pruned traffic
+  uint64_t full_scatter_visits = 0;  // what an unpruned scatter would do
+  bool speedup_ok = false;
+  bool pruning_ok = false;
+  bool invariants_ok = false;
+  double Speedup() const {
+    return single_leg.lookups_per_s > 0
+               ? routed.lookups_per_s / single_leg.lookups_per_s
+               : 0;
+  }
+  double MeanShardsVisited() const {
+    return pruning_selects > 0
+               ? double(pruning_visits) / double(pruning_selects)
+               : 0;
+  }
+};
+
+/// Router-vs-single-engine A/B under identical custom reader loops: 16
+/// reader threads replay Zipf-skewed clustered point lookups (each select
+/// sleeps `stall_us` per simulated disk ms, like the mixed runs) while two
+/// writer threads stream identical append batches; both legs start with
+/// the same pre-seeded unclustered tail. A clustered point routes to
+/// exactly one shard, so the routed leg sweeps ~1/N of the tail per select
+/// and its appends spread over N append locks -- that is where the
+/// wall-clock win comes from. Afterwards, tails drained, correlated
+/// cat5-point traffic measures CM-guided scatter pruning: the router must
+/// execute strictly fewer shard selects than an unpruned full scatter.
+ShardBenchResult RunShardedServing(const EbayGenConfig& cfg,
+                                   size_t num_shards, double zipf_s,
+                                   size_t readers, size_t per_reader,
+                                   size_t seed_tail_rows, double stall_us) {
+  ShardBenchResult res;
+  res.shards = num_shards;
+  res.zipf = zipf_s;
+  res.readers = readers;
+
+  auto base = GenerateEbayItems(cfg);
+  (void)base->ClusterBy(kEbay.catid);
+
+  Rng rng(0xA11CE);
+  // Zipf-skewed clustered points: rank r maps to CATID r-1, so the hot
+  // mass sits in the low key range -- one shard's territory.
+  std::vector<Query> pool;
+  pool.reserve(kQueryPool);
+  for (size_t i = 0; i < kQueryPool; ++i) {
+    const int64_t cat = rng.Zipf(int64_t(cfg.num_categories), zipf_s) - 1;
+    pool.push_back(Query({Predicate::Eq(*base, "CATID", Value(cat))}));
+  }
+  const std::vector<std::vector<Key>> seed_tail =
+      MakeBatch(*base, seed_tail_rows, &rng);
+  constexpr size_t kShardWriters = 2;
+  constexpr size_t kShardWriterBatches = 4;
+  std::vector<std::vector<std::vector<Key>>> wbatches;
+  wbatches.reserve(kShardWriters * kShardWriterBatches);
+  for (size_t i = 0; i < kShardWriters * kShardWriterBatches; ++i) {
+    wbatches.push_back(MakeBatch(*base, 1000, &rng));
+  }
+
+  ServingOptions so;
+  so.num_workers = 1;
+  so.reserve_rows = base->NumRows() + seed_tail_rows +
+                    kShardWriters * kShardWriterBatches * 1000 + 1024;
+  so.buffer_pool_pages = 512;
+  so.calibration_period = 32;
+
+  CmOptions cm;  // identity CM over cat5: what prunes the scatter later
+  cm.u_cols = {kEbay.cat5};
+  cm.u_bucketers = {Bucketer::Identity()};
+  cm.c_col = kEbay.catid;
+
+  const auto run_leg =
+      [&](const std::function<double(const Query&)>& select_ms,
+          const std::function<Status(std::span<const std::vector<Key>>)>&
+              append) {
+        ShardLeg leg;
+        std::vector<std::thread> threads;
+        std::vector<double> sim(readers, 0);
+        const auto t0 = std::chrono::steady_clock::now();
+        for (size_t r = 0; r < readers; ++r) {
+          threads.emplace_back([&, r] {
+            Rng trng(0xBEEF + 977 * r);
+            for (size_t i = 0; i < per_reader; ++i) {
+              const Query& q = pool[size_t(
+                  trng.UniformInt(0, int64_t(pool.size()) - 1))];
+              const double ms = select_ms(q);
+              sim[r] += ms;
+              std::this_thread::sleep_for(
+                  std::chrono::duration<double, std::micro>(ms * stall_us));
+            }
+          });
+        }
+        for (size_t w = 0; w < kShardWriters; ++w) {
+          threads.emplace_back([&, w] {
+            for (size_t b = 0; b < kShardWriterBatches; ++b) {
+              if (!append(wbatches[w * kShardWriterBatches + b]).ok()) {
+                std::abort();
+              }
+              std::this_thread::sleep_for(std::chrono::milliseconds(10));
+            }
+          });
+        }
+        for (auto& th : threads) th.join();
+        const double wall =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        const double total = double(readers * per_reader);
+        leg.lookups_per_s = wall > 0 ? total / wall : 0;
+        leg.mean_sim_ms =
+            total > 0 ? std::accumulate(sim.begin(), sim.end(), 0.0) / total
+                      : 0;
+        return leg;
+      };
+
+  // Leg A: one engine -- one append lock, every select sweeps the whole
+  // tail. Runs on its own deep copy so leg B starts from identical data.
+  {
+    std::vector<RowId> ident(base->NumRows());
+    std::iota(ident.begin(), ident.end(), RowId(0));
+    auto t1 = base->CloneReordered(ident);
+    auto c1 = ClusteredIndex::Build(*t1, kEbay.catid);
+    if (!c1.ok()) std::abort();
+    ServingEngine eng(t1.get(), &*c1, so);
+    if (!eng.AttachCm(cm).ok()) std::abort();
+    if (!eng.ApplyAppend(seed_tail).ok()) std::abort();
+    res.single_leg = run_leg(
+        [&](const Query& q) { return eng.ExecuteSelect(q).simulated_ms; },
+        [&](std::span<const std::vector<Key>> rows) {
+          return eng.ApplyAppend(rows);
+        });
+  }
+
+  // Leg B: the same data and workload behind the router.
+  RouterOptions ro;
+  ro.num_shards = num_shards;
+  ro.engine = so;
+  auto created = ShardRouter::Create(*base, kEbay.catid, ro);
+  if (!created.ok()) std::abort();
+  const std::unique_ptr<ShardRouter> router = std::move(*created);
+  if (!router->AttachCm(cm).ok()) std::abort();
+  if (!router->ApplyAppend(seed_tail).ok()) std::abort();
+  res.routed = run_leg(
+      [&](const Query& q) {
+        return router->ExecuteSelect(q).merged.simulated_ms;
+      },
+      [&](std::span<const std::vector<Key>> rows) {
+        return router->ApplyAppend(rows);
+      });
+
+  // CM-guided scatter pruning on correlated traffic. Tails are drained
+  // first: a shard with tail rows is (correctly) never skipped.
+  if (!router->CompactAll().ok()) std::abort();
+  Rng prng(0xCA7);
+  const std::string& cat5 = base->schema().column(kEbay.cat5).name;
+  res.pruning_selects = 240;
+  const uint64_t v0 = router->ShardsVisitedTotal();
+  for (size_t i = 0; i < res.pruning_selects; ++i) {
+    const RowId r =
+        RowId(prng.UniformInt(0, int64_t(base->NumRows()) - 1));
+    const Query q({Predicate::Eq(
+        *base, cat5,
+        Value(base->column(kEbay.cat5).dictionary()->Get(
+            base->GetKey(r, kEbay.cat5).AsInt64())))});
+    (void)router->ExecuteSelect(q);
+  }
+  res.pruning_visits = router->ShardsVisitedTotal() - v0;
+  res.full_scatter_visits = uint64_t(res.pruning_selects) * num_shards;
+  res.pruning_ok = res.pruning_visits < res.full_scatter_visits;
+  res.invariants_ok = router->CheckInvariants().ok();
+  res.speedup_ok = res.Speedup() >= 2.5;
+  return res;
+}
+
+void PrintShardSection(const ShardBenchResult& sh) {
+  TablePrinter out({"leg", "readers", "lookups/s", "sim [ms/sel]"});
+  out.AddRow({"single engine", std::to_string(sh.readers),
+              TablePrinter::Fmt(sh.single_leg.lookups_per_s, 0),
+              TablePrinter::Fmt(sh.single_leg.mean_sim_ms, 3)});
+  out.AddRow({std::to_string(sh.shards) + " shards routed",
+              std::to_string(sh.readers),
+              TablePrinter::Fmt(sh.routed.lookups_per_s, 0),
+              TablePrinter::Fmt(sh.routed.mean_sim_ms, 3)});
+  out.Print(std::cout);
+  std::cout << "\nsharding (zipf " << TablePrinter::Fmt(sh.zipf, 2)
+            << "): routed throughput " << TablePrinter::Fmt(sh.Speedup(), 2)
+            << "x the single engine at " << sh.readers
+            << " readers (gate >= 2.5x: " << (sh.speedup_ok ? "ok" : "FAIL")
+            << ")\nCM-pruned scatter on correlated cat5 points: "
+            << sh.pruning_visits << " shard visits over "
+            << sh.pruning_selects << " selects ("
+            << TablePrinter::Fmt(sh.MeanShardsVisited(), 2)
+            << "/select vs full scatter " << sh.shards
+            << "; strictly fewer: " << (sh.pruning_ok ? "ok" : "FAIL")
+            << ")\nrouter invariants: "
+            << (sh.invariants_ok ? "ok" : "FAIL") << "\n\n";
+}
+
+std::string ShardJson(const ShardBenchResult& sh) {
+  std::ostringstream js;
+  js << "{\"shards\": " << sh.shards << ", \"zipf\": " << sh.zipf
+     << ", \"readers\": " << sh.readers
+     << ", \"single_lookups_per_s\": " << sh.single_leg.lookups_per_s
+     << ", \"routed_lookups_per_s\": " << sh.routed.lookups_per_s
+     << ", \"single_sim_ms\": " << sh.single_leg.mean_sim_ms
+     << ", \"routed_sim_ms\": " << sh.routed.mean_sim_ms
+     << ", \"speedup\": " << sh.Speedup()
+     << ", \"speedup_gate\": 2.5"
+     << ", \"pruning_selects\": " << sh.pruning_selects
+     << ", \"pruning_shard_visits\": " << sh.pruning_visits
+     << ", \"full_scatter_visits\": " << sh.full_scatter_visits
+     << ", \"ok\": "
+     << ((sh.speedup_ok && sh.pruning_ok && sh.invariants_ok) ? "true"
+                                                              : "false")
+     << "}";
+  return js.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -270,6 +506,8 @@ int main(int argc, char** argv) {
   size_t recluster_every = 16000;  // tail rows that arm a background pass
   size_t compact_every = 4000;     // deletes per in-run compacting pass
   bool plan_only = false;          // --plan-choice: the quick CI smoke
+  size_t shards_only = 0;          // --shards N: sharding section only
+  double zipf_s = 0.8;             // --zipf s: skew of the sharded pool
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--plan-choice") == 0) plan_only = true;
     if (i + 1 >= argc) continue;
@@ -280,6 +518,41 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--compact-every") == 0) {
       compact_every = size_t(std::atoll(argv[i + 1]));
     }
+    if (std::strcmp(argv[i], "--shards") == 0) {
+      shards_only = size_t(std::atoll(argv[i + 1]));
+    }
+    if (std::strcmp(argv[i], "--zipf") == 0) {
+      zipf_s = std::atof(argv[i + 1]);
+    }
+  }
+
+  if (shards_only > 0) {
+    // --shards N: the partitioned-serving smoke alone (the CI gate).
+    bench::PrintHeader(
+        "Partitioned serving (ShardRouter vs one engine)",
+        "16 Zipf readers + 2 writers: clustered points route to one "
+        "shard, so each select sweeps ~1/N of the tail and appends "
+        "spread over N append locks (gate >= 2.5x lookups/s); CM-guided "
+        "scatter pruning must visit strictly fewer shards than a full "
+        "scatter on correlated traffic",
+        "ebay items, identity CM over cat5, " +
+            std::to_string(shards_only) + " shards, zipf " +
+            TablePrinter::Fmt(zipf_s, 2));
+    EbayGenConfig scfg;
+    scfg.num_categories = 600;
+    scfg.min_items_per_category = 90;
+    scfg.max_items_per_category = 150;
+    const ShardBenchResult sh = RunShardedServing(
+        scfg, shards_only, zipf_s, /*readers=*/16, /*per_reader=*/40,
+        /*seed_tail_rows=*/24000, kStallUsPerSimMs);
+    PrintShardSection(sh);
+    if (json_path != nullptr) {
+      std::ofstream(json_path)
+          << "{\n  \"bench\": \"serve_mixed_sharding_smoke\",\n"
+          << "  \"sharding\": " << ShardJson(sh) << "\n}\n";
+      std::cout << "wrote " << json_path << "\n";
+    }
+    return (sh.speedup_ok && sh.pruning_ok && sh.invariants_ok) ? 0 : 1;
   }
 
   bench::PrintHeader(
@@ -563,6 +836,18 @@ int main(int argc, char** argv) {
   const bool recluster_ok = final_pass.ok() && tail_after_final == 0 &&
                             with_recluster.reclusters >= 1;
 
+  // ---- Partitioned serving: 4-shard router vs one engine, 16 readers ----
+  std::cout << "\n";
+  EbayGenConfig scfg;
+  scfg.num_categories = 600;
+  scfg.min_items_per_category = 90;
+  scfg.max_items_per_category = 150;
+  const ShardBenchResult sh = RunShardedServing(
+      scfg, /*num_shards=*/4, zipf_s, /*readers=*/16, /*per_reader=*/40,
+      /*seed_tail_rows=*/24000, kStallUsPerSimMs);
+  PrintShardSection(sh);
+  const bool shard_ok = sh.speedup_ok && sh.pruning_ok && sh.invariants_ok;
+
   if (json_path != nullptr) {
     std::ostringstream js;
     js << "{\n  \"bench\": \"serve_mixed\",\n  \"recluster_every\": "
@@ -600,6 +885,7 @@ int main(int argc, char** argv) {
        << ", \"tombstones_after_final\": " << dh.tombstones_after_final
        << ", \"tail_after_final\": " << dh.tail_after_final
        << ", \"ok\": " << (delete_ok ? "true" : "false") << "}"
+       << ",\n  \"sharding\": " << ShardJson(sh)
        << ",\n  \"speedup_4v1\": " << speedup
        << ",\n  \"cost_ratio_norecluster\": "
        << norecluster.SecondHalfCostRatio()
@@ -614,7 +900,7 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << json_path << "\n";
   }
   return (speedup >= 3.0 && inv.ok() && mismatches == 0 && recluster_ok &&
-          plan_ok && delete_ok)
+          plan_ok && delete_ok && shard_ok)
              ? 0
              : 1;
 }

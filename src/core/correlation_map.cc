@@ -587,6 +587,14 @@ std::string CorrelationMap::Name() const {
   return name;
 }
 
+CorrelationMap CorrelationMap::CloneRetargeted(const Table* table) const {
+  assert(options_.c_buckets == nullptr &&
+         "positional (c-bucketed) CMs cannot survive a physical reorder");
+  CorrelationMap out(*this);  // copy ctor: map/entries/epoch, dirty directory
+  out.table_ = table;
+  return out;
+}
+
 Status CorrelationMap::CheckInvariants() const {
   size_t pairs = 0;
   for (const auto& [key, counts] : map_) {

@@ -342,6 +342,15 @@ class CorrelationMap {
 
   std::string Name() const;
 
+  /// Snapshot copy re-pointed at `table` (a reordered clone of this CM's
+  /// table). Only valid for CMs WITHOUT clustered bucketing: their
+  /// ordinals encode clustered VALUES, not positions, so the mapping
+  /// survives any physical reorder of the same logical rows. The copy's
+  /// directory starts dirty (rebuilt lazily, as for any copy); epoch
+  /// carries over. This is the recluster swap's O(pairs) alternative to an
+  /// O(rows) BuildFromTable re-hash.
+  CorrelationMap CloneRetargeted(const Table* table) const;
+
   /// Structural check: counts are positive, num_entries consistent.
   Status CheckInvariants() const;
 

@@ -32,6 +32,29 @@ double CostModel::EffectiveSeekMs(double residency) const {
   return disk_.seek_ms() * (1.0 - r) + kResidentSeekMs * r;
 }
 
+double CostModel::RunResidency(std::span<const double> extent_hit_rates,
+                               uint64_t extent_pages, uint64_t first_page,
+                               uint64_t pages, double fallback) {
+  if (extent_hit_rates.empty() || extent_pages == 0 || pages == 0) {
+    return fallback;
+  }
+  double sum = 0;
+  uint64_t page = first_page;
+  uint64_t remaining = pages;
+  while (remaining > 0) {
+    const uint64_t extent = page / extent_pages;
+    const uint64_t extent_end = (extent + 1) * extent_pages;
+    const uint64_t span = std::min<uint64_t>(remaining, extent_end - page);
+    const double r = extent < extent_hit_rates.size()
+                         ? extent_hit_rates[extent]
+                         : fallback;
+    sum += ClampResidency(r) * double(span);
+    page += span;
+    remaining -= span;
+  }
+  return sum / double(pages);
+}
+
 double CostModel::ScanCost(const CostInputs& in) const {
   return EffectiveSeqPageMs(in.heap_residency) * in.TotalPages();
 }

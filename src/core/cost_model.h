@@ -6,6 +6,7 @@
 #define CORRMAP_CORE_COST_MODEL_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "storage/disk_model.h"
@@ -27,7 +28,10 @@ struct CostInputs {
   /// assumption and the historical behavior of every formula below --
   /// charges full device cost per page; 1 prices the access near pure CPU
   /// cost (the Fig. 9 hot-clustered-range case the model used to
-  /// over-charge). Values are clamped to [0, 1].
+  /// over-charge). Values are clamped to [0, 1]. When the storage layer
+  /// publishes extent-granular residency (BufferPool::ResidencyOfExtent),
+  /// the plan enumeration refines these per-file scalars per candidate via
+  /// CostModel::RunResidency over the candidate's actual page runs.
   double heap_residency = 0;
   double index_residency = 0;
 
@@ -62,6 +66,17 @@ class CostModel {
   /// seq_page_ms*(1-r) + kResidentPageMs*r. residency==0 is exactly the
   /// historical seq_page_ms charge.
   double EffectiveSeqPageMs(double residency) const;
+
+  /// Extent-granular residency for one page run: the page-weighted mean of
+  /// `extent_hit_rates` over [first_page, first_page + pages), where entry
+  /// i covers pages [i*extent_pages, (i+1)*extent_pages). Pages past the
+  /// span's coverage -- and every page when the span is empty -- fall back
+  /// to `fallback`, the per-file scalar, so callers without extent data
+  /// price exactly as before. This is how a hot range of a file is priced
+  /// near-CPU while a cold range of the same file stays at device cost.
+  static double RunResidency(std::span<const double> extent_hit_rates,
+                             uint64_t extent_pages, uint64_t first_page,
+                             uint64_t pages, double fallback);
   /// Same blend for a random repositioning: seek_ms*(1-r)+kResidentSeekMs*r.
   double EffectiveSeekMs(double residency) const;
 

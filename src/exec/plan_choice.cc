@@ -20,6 +20,26 @@ double DeadRowCpuMs(const PlanContext& ctx, double rows_swept) {
   return rows_swept * frac * CostModel::kTombstoneCpuMs;
 }
 
+// Residency of one heap page run: the extent-refined page-weighted mean
+// when the context carries extent data, the per-file scalar otherwise.
+// Refinement touches only the residency INPUT of a candidate's heap term
+// -- never its page arithmetic -- so contexts without extent data cost
+// bit-identically to the scalar-only planner.
+double HeapRunResidency(const PlanContext& ctx, uint64_t first_page,
+                        uint64_t pages) {
+  return CostModel::RunResidency(ctx.heap_extent_residency,
+                                 ctx.heap_extent_pages, first_page, pages,
+                                 ctx.heap_residency);
+}
+
+// Extent-refined residency for a clustered row range.
+double RangeResidency(const PlanContext& ctx, const RowRange& r) {
+  if (r.empty()) return ctx.heap_residency;
+  const PageLayout& layout = ctx.table->layout();
+  return HeapRunResidency(ctx, layout.PageOfRow(r.begin),
+                          RangePages(layout, r));
+}
+
 }  // namespace
 
 const Predicate* FindPredicateOn(const Query& query, size_t col) {
@@ -67,11 +87,11 @@ std::vector<RowRange> ClusteredRangesFor(const Table& table,
 double TailSweepCostMs(const PlanContext& ctx) {
   if (ctx.clustered_boundary >= RowId(ctx.n_rows)) return 0;
   const PageLayout& layout = ctx.table->layout();
-  const uint64_t pages = layout.PageOfRow(ctx.n_rows - 1) -
-                         layout.PageOfRow(ctx.clustered_boundary) + 1;
-  return ctx.cost_model->EffectiveSeekMs(ctx.heap_residency) +
-         double(pages) *
-             ctx.cost_model->EffectiveSeqPageMs(ctx.heap_residency) +
+  const uint64_t first = layout.PageOfRow(ctx.clustered_boundary);
+  const uint64_t pages = layout.PageOfRow(ctx.n_rows - 1) - first + 1;
+  const double r = HeapRunResidency(ctx, first, pages);
+  return ctx.cost_model->EffectiveSeekMs(r) +
+         double(pages) * ctx.cost_model->EffectiveSeqPageMs(r) +
          DeadRowCpuMs(ctx, double(ctx.n_rows - ctx.clustered_boundary));
 }
 
@@ -92,18 +112,18 @@ double SeqScanCostMs(const PlanContext& ctx) {
 double ClusteredRangeCostMs(const PlanContext& ctx,
                             std::span<const RowRange> ranges,
                             size_t n_probes) {
-  uint64_t pages = 0;
+  double sweep_ms = 0;
   uint64_t rows = 0;
   for (const RowRange& r : ranges) {
-    pages += RangePages(ctx.table->layout(), r);
+    const uint64_t pages = RangePages(ctx.table->layout(), r);
+    sweep_ms += double(pages) *
+                ctx.cost_model->EffectiveSeqPageMs(RangeResidency(ctx, r));
     rows += r.size();
   }
   const double descents =
       double(std::max<size_t>(n_probes, 1)) * double(ctx.cidx->BTreeHeight());
   return descents * ctx.cost_model->EffectiveSeekMs(ctx.cidx_residency) +
-         double(pages) *
-             ctx.cost_model->EffectiveSeqPageMs(ctx.heap_residency) +
-         DeadRowCpuMs(ctx, double(rows)) + TailSweepCostMs(ctx);
+         sweep_ms + DeadRowCpuMs(ctx, double(rows)) + TailSweepCostMs(ctx);
 }
 
 double CmProbeCostMs(const PlanContext& ctx, const CmPlanView& cm) {
@@ -112,7 +132,7 @@ double CmProbeCostMs(const PlanContext& ctx, const CmPlanView& cm) {
   const double probe = ctx.cost_model->CmLookupProbeCost(
       double(std::max<size_t>(cm.num_ukeys, 1)), double(res.entries_probed));
   if (res.empty()) return probe + tail;
-  double pages = 0;
+  double sweep_ms = 0;
   double rows = 0;
   uint64_t n_seeks = 0;
   if (cm.c_buckets != nullptr) {
@@ -122,22 +142,56 @@ double CmProbeCostMs(const PlanContext& ctx, const CmPlanView& cm) {
       RowRange range = cm.c_buckets->RangeOfBucketRun(r.lo, r.hi);
       range.end = std::min<RowId>(range.end, ctx.clustered_boundary);
       if (!range.empty()) {
-        pages += double(range.size()) / double(ctx.table->TuplesPerPage());
+        const double pages =
+            double(range.size()) / double(ctx.table->TuplesPerPage());
+        sweep_ms += pages * ctx.cost_model->EffectiveSeqPageMs(
+                                RangeResidency(ctx, range));
         rows += double(range.size());
       }
     }
     n_seeks = res.ranges.size() + ctx.cidx->BTreeHeight();
   } else {
-    pages = double(res.num_ordinals) * ctx.cidx->CPages();
+    // Statistical page count (num_ordinals * c_pages); when the caller
+    // pre-translated the ordinal runs to row ranges, refine the residency
+    // those pages are priced at (the ranges say WHERE the sweep lands).
+    const double pages = double(res.num_ordinals) * ctx.cidx->CPages();
+    double residency = ctx.heap_residency;
+    if (!cm.row_ranges.empty() && !ctx.heap_extent_residency.empty()) {
+      double weighted = 0, weight = 0;
+      for (const RowRange& r : cm.row_ranges) {
+        if (r.empty()) continue;
+        const double w = double(RangePages(ctx.table->layout(), r));
+        weighted += RangeResidency(ctx, r) * w;
+        weight += w;
+      }
+      if (weight > 0) residency = weighted / weight;
+    }
+    sweep_ms = pages * ctx.cost_model->EffectiveSeqPageMs(residency);
     rows = double(res.num_ordinals) * ctx.cidx->CTups();
     n_seeks = res.ranges.size() * ctx.cidx->BTreeHeight();
   }
   const double cost =
       double(n_seeks) * ctx.cost_model->EffectiveSeekMs(ctx.cidx_residency) +
-      pages * ctx.cost_model->EffectiveSeqPageMs(ctx.heap_residency) + probe +
-      DeadRowCpuMs(ctx, rows) + tail;
+      sweep_ms + probe + DeadRowCpuMs(ctx, rows) + tail;
   // §4.1's min bound: a probe never costs more than giving up and
   // scanning. On a tie the earlier seq-scan candidate wins the choice.
+  return std::min(cost, SeqScanCostMs(ctx));
+}
+
+double SortedIndexCostMs(const PlanContext& ctx, std::span<const PageRun> runs,
+                         uint64_t rows, size_t n_probes, size_t height,
+                         double index_residency) {
+  const double descents =
+      double(std::max<size_t>(n_probes, 1)) * double(height);
+  double cost = descents * ctx.cost_model->EffectiveSeekMs(index_residency);
+  for (const PageRun& run : runs) {
+    const double r = HeapRunResidency(ctx, run.first, run.length);
+    cost += ctx.cost_model->EffectiveSeekMs(r) +
+            double(run.length) * ctx.cost_model->EffectiveSeqPageMs(r);
+  }
+  cost += DeadRowCpuMs(ctx, double(rows)) + TailSweepCostMs(ctx);
+  // §4.1's min bound, as for the CM probe: never price past giving up and
+  // scanning (ties break toward the earlier seq-scan candidate).
   return std::min(cost, SeqScanCostMs(ctx));
 }
 

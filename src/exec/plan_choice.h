@@ -61,6 +61,13 @@ struct CmPlanView {
   const ClusteredBucketing* c_buckets = nullptr;
   size_t num_ukeys = 0;
   std::string name;
+  /// Optional: the clustered row ranges this CM's ordinal runs translate
+  /// to (already clamped to the boundary), when the caller pre-translated
+  /// them (the serving engine does, and reuses them at execution). Used
+  /// ONLY to refine the residency input of the heap term per extent; the
+  /// page arithmetic stays formulaic so estimates without them are
+  /// unchanged.
+  std::span<const RowRange> row_ranges{};
 };
 
 /// The snapshot plans are costed against. For an offline, fully clustered
@@ -79,6 +86,15 @@ struct PlanContext {
   /// clustered-index file (BufferPool::ResidencyOf), clamped to [0, 1].
   double heap_residency = 0;
   double cidx_residency = 0;
+  /// Extent-granular heap residency (BufferPool::ResidencyOfExtent hit
+  /// rates; entry i covers heap pages [i*heap_extent_pages, ...)). When
+  /// non-empty, candidates refine the scalar heap_residency per page run
+  /// via CostModel::RunResidency -- a hot clustered range prices near-CPU
+  /// while a cold range of the same file stays at device cost. An empty
+  /// span (the offline Executor, cold epochs) keeps the scalar everywhere,
+  /// so costs replay bit-identically without extent data.
+  std::span<const double> heap_extent_residency{};
+  uint64_t heap_extent_pages = 0;
   /// Tombstoned rows in the snapshot (Table::NumDeleted). Every candidate
   /// pays a CPU term for the dead rows its sweep examines and re-filters,
   /// assumed uniformly spread over the heap; 0 leaves all costs exactly as
@@ -129,6 +145,16 @@ double ClusteredRangeCostMs(const PlanContext& ctx,
 /// runs, the co-occurring ranges' heap sweep, plus the tail. Capped at the
 /// scan cost (§4.1's min bound).
 double CmProbeCostMs(const PlanContext& ctx, const CmPlanView& cm);
+
+/// Caller-priced sorted secondary-index candidate (the §4.1 sorted-scan
+/// shape over an exact rid set): `n_probes` B+Tree descents of `height`
+/// levels at `index_residency`, then one seek plus a sequential sweep per
+/// coalesced heap page run of the sorted rids, the dead-row CPU term for
+/// the `rows` rows examined, plus the tail sweep. Capped at the scan cost
+/// (§4.1's min bound). The result feeds ChooseAccessPlan's `extra` slot.
+double SortedIndexCostMs(const PlanContext& ctx, std::span<const PageRun> runs,
+                         uint64_t rows, size_t n_probes, size_t height,
+                         double index_residency);
 
 /// Enumerates and costs every applicable candidate and marks the cheapest
 /// chosen. `extra` carries caller-priced candidates (the Executor's sorted

@@ -24,8 +24,8 @@ CompositeKey SecondaryIndex::KeyOfRow(RowId row) const {
   return key;
 }
 
-Status SecondaryIndex::BuildFromTable() {
-  const size_t n = table_->NumRows();
+Status SecondaryIndex::BuildFromTable(size_t row_limit) {
+  const size_t n = std::min(table_->NumRows(), row_limit);
   for (RowId r = 0; r < n; ++r) {
     if (table_->IsDeleted(r)) continue;
     Status s = tree_->Insert(KeyOfRow(r), r);

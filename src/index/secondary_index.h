@@ -23,8 +23,10 @@ class SecondaryIndex {
   SecondaryIndex(const Table* table, std::vector<size_t> columns,
                  BTreeOptions options = {});
 
-  /// Bulk-loads every live row of the table.
-  Status BuildFromTable();
+  /// Bulk-loads every live row of the table, or only rows < `row_limit`
+  /// (the serving layer scopes a per-epoch index to the clustered region
+  /// [0, boundary); tail rows are the tail sweep's).
+  Status BuildFromTable(size_t row_limit = ~size_t{0});
 
   /// Index maintenance for one row (caller supplies the row id; key parts
   /// are read from the table).

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "index/clustered_index.h"
+#include "index/secondary_index.h"
 #include "serve/serving_engine.h"
 
 namespace corrmap::serve {
@@ -149,16 +150,24 @@ Result<ReclusterStats> Reclusterer::Run() {
 
   for (size_t i = 0; i < old->cms.size(); ++i) {
     CmOptions opts = e.attached_[i];
-    std::unique_ptr<ClusteredBucketing> cb;
-    if (e.c_bucket_targets_[i] > 0) {
-      // Re-base the positional bucketing over the merged region; the CM
-      // rebuilt below maps u-keys to the new bucket ids.
-      auto built = ClusteredBucketing::Build(*next->table, opts.c_col,
-                                            e.c_bucket_targets_[i]);
-      if (!built.ok()) return built.status();
-      cb = std::make_unique<ClusteredBucketing>(std::move(*built));
-      opts.c_buckets = cb.get();
+    if (e.c_bucket_targets_[i] == 0) {
+      // Unbucketed CMs encode clustered *values*, which CloneReordered
+      // preserves (dictionaries and their codes are kept), so the content
+      // survives the reorder unchanged. Defer the slot: phase 2 snapshot-
+      // copies the predecessor map under the append lock -- where its pair
+      // multiset is exactly the successor's -- instead of an O(rows)
+      // re-hash here.
+      next->cms.push_back(nullptr);
+      next->c_bucketings.push_back(nullptr);
+      continue;
     }
+    // Re-base the positional bucketing over the merged region; the CM
+    // rebuilt below maps u-keys to the new bucket ids.
+    auto built = ClusteredBucketing::Build(*next->table, opts.c_col,
+                                           e.c_bucket_targets_[i]);
+    if (!built.ok()) return built.status();
+    auto cb = std::make_unique<ClusteredBucketing>(std::move(*built));
+    opts.c_buckets = cb.get();
     auto scm = ShardedCorrelationMap::Create(next->table, opts,
                                             e.options_.num_cm_shards);
     if (!scm.ok()) return scm.status();
@@ -167,6 +176,16 @@ Result<ReclusterStats> Reclusterer::Run() {
     if (!s.ok()) return s;
     next->cms.push_back(std::move(owned));
     next->c_bucketings.push_back(std::move(cb));
+  }
+  // Per-epoch secondary indexes cover the successor's clustered region
+  // [0, boundary) and are immutable once published (appends belong to the
+  // tail sweep, deletes are re-filtered at execution), so they rebuild per
+  // pass like the c-bucketed CMs.
+  for (const std::vector<size_t>& cols : e.sidx_columns_) {
+    auto idx = std::make_unique<SecondaryIndex>(next->table, cols);
+    Status s = idx->BuildFromTable(size_t(next->clustered_boundary));
+    if (!s.ok()) return s;
+    next->sidx.push_back(std::move(idx));
   }
   // Fresh buffer-pool file ids and a cold calibration cell: the
   // predecessor's frames age out of the pool instead of aliasing the
@@ -185,6 +204,19 @@ Result<ReclusterStats> Reclusterer::Run() {
     std::lock_guard<std::mutex> append_lock(e.append_mu_);
     const size_t n1 = ot.NumRows();
     stats.catch_up_rows = n1 - n0;
+    // Fill the deferred slots by snapshot copy. Under the append lock the
+    // predecessor's unbucketed maps hold exactly the live-row pair multiset
+    // (live appends and deletes maintained them through phase 1), which is
+    // also what the successor's maps must hold after the catch-up rows and
+    // the delete replay below -- so both loops skip the copied slots.
+    for (size_t i = 0; i < old->cms.size(); ++i) {
+      if (next->cms[i] != nullptr) continue;
+      next->cms[i] = std::make_unique<ShardedCorrelationMap>(
+          old->cms[i]->CloneRetargeted(next->table));
+      ++stats.cms_snapshot_copied;
+    }
+    e.cm_snapshot_copies_.fetch_add(stats.cms_snapshot_copied,
+                                    std::memory_order_acq_rel);
     // The successor is still private: growing its reservation (which may
     // reallocate columns) is safe until the publish below. The successor's
     // row count shrank by the compacted rows, but the reservation is kept
@@ -196,20 +228,10 @@ Result<ReclusterStats> Reclusterer::Run() {
     if (n1 > n0) {
       next->table->AppendRowsFrom(ot, RowId(n0), RowId(n1));
       // Catch-up rows seed the successor's tail under their successor row
-      // ids (compaction shifts them down); ones tombstoned during phase 1
-      // arrive as carried tombstones and stay out of the successor CMs.
-      std::vector<RowId> rids;
-      rids.reserve(n1 - n0);
-      for (size_t k = 0; k < n1 - n0; ++k) {
-        const RowId nr = next->clustered_boundary + RowId(k);
-        if (!next->table->IsDeleted(nr)) rids.push_back(nr);
-      }
-      for (const auto& scm : next->cms) {
-        // c-bucketed CMs skip tail rows exactly as the live append path
-        // does.
-        if (scm->has_clustered_buckets()) continue;
-        scm->InsertRowsBatched(rids);
-      }
+      // ids (compaction shifts them down). No CM maintenance is needed:
+      // the snapshot-copied (unbucketed) maps arrive with these rows'
+      // pairs already in them, and c-bucketed maps skip tail rows exactly
+      // as the live append path does.
     }
     // Replay deletes that landed while phase 1 ran. Log entries >= n0 are
     // catch-up rows: their tombstones were carried just above and their
@@ -228,9 +250,11 @@ Result<ReclusterStats> Reclusterer::Run() {
       Status ds = next->table->DeleteRow(nr);
       if (!ds.ok()) return ds;
       for (const auto& scm : next->cms) {
-        if (scm->has_clustered_buckets() && nr >= next->clustered_boundary) {
-          continue;
-        }
+        // Snapshot-copied (unbucketed) maps already retracted this delete
+        // in the predecessor before this lock was taken; only the rebuilt
+        // c-bucketed maps -- which cover [0, boundary) -- need the replay.
+        if (!scm->has_clustered_buckets()) continue;
+        if (nr >= next->clustered_boundary) continue;
         Status cs = scm->DeleteRow(nr);
         if (!cs.ok()) return cs;
       }

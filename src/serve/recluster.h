@@ -16,8 +16,11 @@
 //   landing in the predecessor's tail beyond n0.
 //
 //   Phase 2 (append lock held, readers still free): copy the catch-up
-//   rows [n0, n1) into the successor as its initial tail, feed them to
-//   the successor CMs, raise every successor CM's epoch above its
+//   rows [n0, n1) into the successor as its initial tail, snapshot-copy
+//   the unbucketed CMs from the predecessor (under the lock their
+//   value-coded content is exactly the live-row pair multiset, catch-up
+//   rows and raced deletes included), raise every successor CM's epoch
+//   above its
 //   predecessor's -- so SharedLookupCache entries keyed to pre-recluster
 //   epochs compare stale and are lazily evicted, never served -- and
 //   publish the successor EpochState with one pointer swap (release;
@@ -26,8 +29,9 @@
 //   both sides of the swap because the row multiset is identical.
 //
 // Unbucketed CMs encode clustered *values*, so their content survives a
-// physical reorder unchanged -- they are rebuilt only to retarget the
-// successor table. c-bucketed CMs encode positional bucket ids; the pass
+// physical reorder unchanged -- they are snapshot-copied, never re-hashed
+// (see ReclusterStats::cms_snapshot_copied). c-bucketed CMs encode
+// positional bucket ids; the pass
 // rebuilds their ClusteredBucketing over the successor's clustered region,
 // which is what makes c-bucketed CMs admissible in the serving engine
 // again (between reclusters their tail rows are simply left to the sweep).
@@ -85,6 +89,13 @@ struct ReclusterStats {
   /// that raced phase 1 and were carried rather than dropped (plus, under
   /// kMergeTail, every pre-existing tombstone).
   uint64_t tombstones_carried = 0;
+  /// Unbucketed CMs carried into the successor by snapshot copy instead of
+  /// an O(rows) re-hash: their content encodes clustered *values*, which a
+  /// physical reorder does not change, so phase 2 copies the predecessor
+  /// map under the append lock (where its content is exactly the live-row
+  /// pair multiset) and only retargets the table pointer. c-bucketed CMs
+  /// are positional and are still rebuilt in phase 1.
+  uint64_t cms_snapshot_copied = 0;
   /// Wall seconds in phase 1 (fully concurrent).
   double build_seconds = 0;
   /// Wall seconds in phase 2 (writers blocked; readers still free).

@@ -19,8 +19,18 @@ ServingEngine::ServingEngine(Table* table, const ClusteredIndex* cidx,
           ? options_.reserve_rows
           : table->NumRows() + ServingOptions::kDefaultAppendHeadroom;
   table->Reserve(reserve);
-  if (options_.buffer_pool_pages > 0) {
-    pool_ = std::make_unique<BufferPool>(options_.buffer_pool_pages);
+  if (options_.shared_pool != nullptr) {
+    pool_ = options_.shared_pool;
+  } else if (options_.buffer_pool_pages > 0) {
+    owned_pool_ = std::make_unique<BufferPool>(options_.buffer_pool_pages,
+                                               options_.buffer_pool_stripes);
+    pool_ = owned_pool_.get();
+  }
+  if (options_.shared_cache != nullptr) {
+    cache_ = options_.shared_cache;
+  } else {
+    owned_cache_ = std::make_unique<SharedLookupCache>();
+    cache_ = owned_cache_.get();
   }
   auto state = std::make_shared<EpochState>();
   state->table = table;
@@ -71,6 +81,28 @@ Status ServingEngine::AttachCm(CmOptions cm_options) {
   return Status::OK();
 }
 
+Status ServingEngine::AttachSecondaryIndex(std::vector<size_t> columns) {
+  auto st = CurrentState();
+  if (columns.empty() || columns.size() > kMaxCmAttributes) {
+    return Status::InvalidArgument("secondary index over 1..4 columns");
+  }
+  for (size_t c : columns) {
+    if (c >= st->table->schema().num_columns()) {
+      return Status::InvalidArgument("secondary-index column out of range");
+    }
+  }
+  auto idx = std::make_unique<SecondaryIndex>(st->table, columns);
+  // Clustered region only: tail rows are the tail sweep's, exactly as for
+  // c-bucketed CMs, so appends never have to maintain the (immutable)
+  // per-epoch tree.
+  Status s = idx->BuildFromTable(size_t(st->clustered_boundary));
+  if (!s.ok()) return s;
+  sidx_columns_.push_back(std::move(columns));
+  st->sidx.push_back(std::move(idx));
+  st->sidx_files.push_back(pool_ != nullptr ? pool_->RegisterFile() : 0);
+  return Status::OK();
+}
+
 bool ServingEngine::CompilePredicates(const ShardedCorrelationMap& scm,
                                       const Query& query,
                                       std::vector<CmColumnPredicate>* out) {
@@ -93,9 +125,10 @@ bool ServingEngine::CompilePredicates(const ShardedCorrelationMap& scm,
 void ServingEngine::InitEpochCalibration(EpochState* st) const {
   st->calibration = std::make_unique<CalibrationCell>();
   if (pool_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(pool_mu_);
   st->heap_file = pool_->RegisterFile();
   st->cidx_file = pool_->RegisterFile();
+  st->sidx_files.resize(st->sidx.size());
+  for (uint32_t& f : st->sidx_files) f = pool_->RegisterFile();
 }
 
 PlanCalibration ServingEngine::CalibrationOf(const EpochState& st) const {
@@ -115,14 +148,26 @@ void ServingEngine::MaybeRefreshCalibration(const EpochState& st) const {
   if (n < options_.calibration_period) return;
   cell.selects_since.store(0, std::memory_order_release);
   PlanCalibration fresh;
-  {
-    std::lock_guard<std::mutex> lock(pool_mu_);
-    fresh.heap_residency =
-        pool_->ResidencyOf(st.heap_file, st.table->NumPages()).hit_rate;
-    fresh.cidx_residency = pool_->ResidencyOf(st.cidx_file).hit_rate;
+  fresh.heap_residency =
+      pool_->ResidencyOf(st.heap_file, st.table->NumPages()).hit_rate;
+  fresh.cidx_residency = pool_->ResidencyOf(st.cidx_file).hit_rate;
+  // Extent-granular heap residency for the plan refinement: extents the
+  // workload has not touched carry the whole-file scalar, so only ranges
+  // with actual signal diverge from the legacy calibration.
+  const uint64_t n_extents = BufferPool::NumExtents(st.table->NumPages());
+  fresh.heap_extents.reserve(n_extents);
+  for (uint64_t e = 0; e < n_extents; ++e) {
+    const FileResidency fr = pool_->ResidencyOfExtent(st.heap_file, e);
+    fresh.heap_extents.push_back(fr.observed_touches > 0
+                                     ? fr.hit_rate
+                                     : fresh.heap_residency);
+  }
+  fresh.sidx_residency.reserve(st.sidx_files.size());
+  for (const uint32_t f : st.sidx_files) {
+    fresh.sidx_residency.push_back(pool_->ResidencyOf(f).hit_rate);
   }
   std::unique_lock lock(cell.mu);
-  cell.calib = fresh;
+  cell.calib = std::move(fresh);
 }
 
 PlanCalibration ServingEngine::CurrentCalibration() const {
@@ -130,10 +175,7 @@ PlanCalibration ServingEngine::CurrentCalibration() const {
 }
 
 void ServingEngine::ResetBufferPool() {
-  if (pool_ != nullptr) {
-    std::lock_guard<std::mutex> lock(pool_mu_);
-    pool_->Clear();
-  }
+  if (pool_ != nullptr) pool_->Clear();
   const std::shared_ptr<EpochState> st = CurrentState();
   if (st->calibration != nullptr) {
     std::unique_lock lock(st->calibration->mu);
@@ -147,10 +189,11 @@ double ServingEngine::ChargeHeapRuns(const EpochState& st,
   if (pool_ == nullptr) {
     return options_.disk.CostMs(CostOfRuns(runs));
   }
+  // The pool is internally striped: each Touch locks only its page's
+  // stripe, so concurrent readers charging disjoint ranges do not contend.
   const double cold_page = options_.disk.seq_page_ms();
   const double cold_seek = options_.disk.seek_ms();
   double ms = 0;
-  std::lock_guard<std::mutex> lock(pool_mu_);
   for (const PageRun& run : runs) {
     for (uint64_t i = 0; i < run.length; ++i) {
       const bool hit = pool_->Touch({st.heap_file, run.first + i});
@@ -166,22 +209,25 @@ double ServingEngine::ChargeHeapRuns(const EpochState& st,
 
 double ServingEngine::ChargeDescents(const EpochState& st,
                                      std::span<const PageNo> leaves) const {
-  const size_t height = st.cidx->BTreeHeight();
+  return ChargeDescentsOf(st.cidx_file, st.cidx->BTreeHeight(), leaves);
+}
+
+double ServingEngine::ChargeDescentsOf(uint32_t file, size_t height,
+                                       std::span<const PageNo> leaves) const {
   if (pool_ == nullptr) {
     return double(leaves.size()) * double(height) * options_.disk.seek_ms();
   }
   const double cold_seek = options_.disk.seek_ms();
   double ms = 0;
-  std::lock_guard<std::mutex> lock(pool_mu_);
   for (const PageNo leaf : leaves) {
     // Upper levels are shared pages [0, height-1); the leaf level is
     // proxied by the heap page the descent lands on, so leaf residency
     // follows the ranges the workload actually probes.
     for (size_t level = 0; level + 1 < height; ++level) {
-      const bool hit = pool_->Touch({st.cidx_file, PageNo(level)});
+      const bool hit = pool_->Touch({file, PageNo(level)});
       ms += hit ? CostModel::kResidentSeekMs : cold_seek;
     }
-    const bool hit = pool_->Touch({st.cidx_file, PageNo(height) + leaf});
+    const bool hit = pool_->Touch({file, PageNo(height) + leaf});
     ms += hit ? CostModel::kResidentSeekMs : cold_seek;
   }
   return ms;
@@ -208,18 +254,141 @@ void ServingEngine::ResolveCmLookups(
     const void* slot = cm_slot_tags_[i].get();
     const uint64_t fp = SharedLookupCache::Fingerprint(preds);
     const uint64_t epoch = scm.Epoch();
-    SharedLookupCache::ResultPtr res = cache_.Get(slot, fp, epoch);
+    SharedLookupCache::ResultPtr res = cache_->Get(slot, fp, epoch);
     (*cache_hits)[i] = res != nullptr ? 1 : 0;
     if (res == nullptr) {
       auto computed =
           std::make_shared<const CmLookupResult>(scm.Lookup(preds));
-      if (scm.Epoch() == epoch) cache_.Put(slot, fp, epoch, computed);
+      if (scm.Epoch() == epoch) cache_->Put(slot, fp, epoch, computed);
       res = std::move(computed);
     }
     (*pinned)[i] = std::move(res);
     (*views)[i] = scm.PlanView((*pinned)[i].get());
     if (first_match_only) return;
   }
+}
+
+void ServingEngine::TranslateCmRuns(const EpochState& st, size_t slot,
+                                    const CmLookupResult& res, RowId boundary,
+                                    std::vector<RowRange>* ranges,
+                                    std::vector<PageNo>* leaves) {
+  const ShardedCorrelationMap& scm = *st.cms[slot];
+  const Table& table = *st.table;
+  const ClusteredBucketing* cb = scm.options().c_buckets;
+  ranges->clear();
+  leaves->clear();
+  ranges->reserve(res.ranges.size());
+  for (const OrdinalRange& r : res.ranges) {
+    RowRange range =
+        cb != nullptr
+            ? cb->RangeOfBucketRun(r.lo, r.hi)
+            : st.cidx->LookupRange(scm.DecodeClusteredOrdinal(r.lo),
+                                   scm.DecodeClusteredOrdinal(r.hi));
+    // The clustered index closes its last key's range at the table's live
+    // row count, which may include the unclustered tail; clamp so tail
+    // rows are examined exactly once (by the tail sweep).
+    range.end = std::min(range.end, boundary);
+    if (!range.empty()) {
+      leaves->push_back(table.layout().PageOfRow(range.begin));
+      ranges->push_back(range);
+    }
+  }
+  std::sort(ranges->begin(), ranges->end(),
+            [](const RowRange& a, const RowRange& b) {
+              return a.begin < b.begin;
+            });
+}
+
+void ServingEngine::ResolveSidxPlans(const EpochState& st, const Query& query,
+                                     uint64_t run_gap,
+                                     std::vector<SidxPlan>* plans) const {
+  plans->clear();
+  const Table& table = *st.table;
+  for (size_t i = 0; i < st.sidx.size(); ++i) {
+    const SecondaryIndex& idx = *st.sidx[i];
+    const size_t lead = idx.columns().front();
+    const Predicate* pred = FindPredicateOn(query, lead);
+    if (pred == nullptr) continue;  // composite prefix unpredicated
+    SidxPlan plan;
+    plan.slot = i;
+    const auto& col = table.column(lead);
+    if (pred->op() == Predicate::Op::kRange) {
+      CompositeKey lo, hi;
+      lo.Append(col.EncodeKey(Value(pred->lo())));
+      hi.Append(col.EncodeKey(Value(pred->hi())));
+      plan.rids = idx.LookupRange(lo, hi);
+      plan.n_probes = 1;
+    } else {
+      for (const Key& k : pred->keys()) {
+        CompositeKey ck;
+        ck.Append(k);
+        const std::vector<RowId> part = idx.LookupRange(ck, ck);
+        plan.rids.insert(plan.rids.end(), part.begin(), part.end());
+      }
+      plan.n_probes = std::max<size_t>(pred->keys().size(), 1);
+    }
+    // The per-epoch index covers [0, boundary) as built; drop rows
+    // tombstoned since so costing prices the live rid set the execution
+    // will sweep (execution still re-filters -- a delete can land between
+    // here and there).
+    std::erase_if(plan.rids, [&](RowId r) {
+      return r >= st.clustered_boundary || table.IsDeleted(r);
+    });
+    std::sort(plan.rids.begin(), plan.rids.end());
+    std::vector<PageNo> pages;
+    pages.reserve(plan.rids.size());
+    for (const RowId r : plan.rids) pages.push_back(table.layout().PageOfRow(r));
+    plan.runs = ExtractRuns(std::move(pages), run_gap);
+    plans->push_back(std::move(plan));
+  }
+}
+
+PlanSet ServingEngine::Deliberate(const EpochState& st, const Query& query,
+                                  const PlanCalibration& calib, uint64_t gap,
+                                  std::vector<CmPlanView>* views,
+                                  std::vector<std::vector<RowRange>>* cm_ranges,
+                                  std::vector<std::vector<PageNo>>* cm_leaves,
+                                  std::vector<SidxPlan>* sidx_plans) const {
+  PlanContext ctx;
+  ctx.table = st.table;
+  ctx.cidx = st.cidx;
+  ctx.clustered_boundary = st.clustered_boundary;
+  ctx.n_rows = st.table->NumRows();
+  ctx.heap_residency = calib.heap_residency;
+  ctx.cidx_residency = calib.cidx_residency;
+  ctx.heap_extent_residency = calib.heap_extents;
+  ctx.heap_extent_pages = BufferPool::kExtentPages;
+  ctx.num_deleted = st.table->NumDeleted();
+  ctx.cost_model = &cost_model_;
+  // Pre-translate every applicable CM's ordinal runs: the row ranges feed
+  // the extent-granular residency refinement now and the winner's
+  // execution sweep later (one translation per select).
+  cm_ranges->assign(views->size(), {});
+  cm_leaves->assign(views->size(), {});
+  for (size_t i = 0; i < views->size(); ++i) {
+    CmPlanView& view = (*views)[i];
+    if (view.lookup == nullptr || view.lookup->empty()) continue;
+    TranslateCmRuns(st, i, *view.lookup, st.clustered_boundary,
+                    &(*cm_ranges)[i], &(*cm_leaves)[i]);
+    view.row_ranges = (*cm_ranges)[i];
+  }
+  // Sorted-index candidates: exact rid sets priced with the same shared
+  // enumeration the Executor uses for its caller-priced extras.
+  ResolveSidxPlans(st, query, gap, sidx_plans);
+  std::vector<PlanCandidate> extras;
+  extras.reserve(sidx_plans->size());
+  for (const SidxPlan& plan : *sidx_plans) {
+    const SecondaryIndex& idx = *st.sidx[plan.slot];
+    const double sidx_res = plan.slot < calib.sidx_residency.size()
+                                ? calib.sidx_residency[plan.slot]
+                                : 0.0;
+    extras.push_back({PlanKind::kSortedIndex,
+                      "sorted_index_scan(" + idx.Name() + ")",
+                      SortedIndexCostMs(ctx, plan.runs, plan.rids.size(),
+                                        plan.n_probes, idx.Height(), sidx_res),
+                      plan.slot, false});
+  }
+  return ChooseAccessPlan(ctx, query, *views, extras);
 }
 
 PlanSet ServingEngine::PlanSelect(const Query& query) const {
@@ -230,16 +399,36 @@ PlanSet ServingEngine::PlanSelect(const Query& query) const {
   ResolveCmLookups(*st, query, /*first_match_only=*/false, &views, &pinned,
                    &hits);
   const PlanCalibration calib = CalibrationOf(*st);
-  PlanContext ctx;
-  ctx.table = st->table;
-  ctx.cidx = st->cidx;
-  ctx.clustered_boundary = st->clustered_boundary;
-  ctx.n_rows = st->table->NumRows();
-  ctx.heap_residency = calib.heap_residency;
-  ctx.cidx_residency = calib.cidx_residency;
-  ctx.num_deleted = st->table->NumDeleted();
-  ctx.cost_model = &cost_model_;
-  return ChooseAccessPlan(ctx, query, views);
+  const uint64_t gap =
+      uint64_t(options_.disk.seek_ms() / options_.disk.seq_page_ms());
+  std::vector<std::vector<RowRange>> cm_ranges;
+  std::vector<std::vector<PageNo>> cm_leaves;
+  std::vector<SidxPlan> sidx_plans;
+  return Deliberate(*st, query, calib, gap, &views, &cm_ranges, &cm_leaves,
+                    &sidx_plans);
+}
+
+bool ServingEngine::CanSkipForQuery(const Query& query,
+                                    bool* applicable) const {
+  *applicable = false;
+  const std::shared_ptr<EpochState> st = CurrentState();
+  std::vector<CmPlanView> views;
+  std::vector<SharedLookupCache::ResultPtr> pinned;
+  std::vector<uint8_t> hits;
+  ResolveCmLookups(*st, query, /*first_match_only=*/true, &views, &pinned,
+                   &hits);
+  for (const CmPlanView& view : views) {
+    if (view.lookup == nullptr) continue;
+    *applicable = true;
+    // Conservative on two counts: the tail must be empty (a tail row may
+    // match before its CM entries land -- or ever, for c-bucketed CMs),
+    // and the CM may only over-cover (tombstone-first deletes), so an
+    // empty lookup proves an empty answer.
+    const bool tail_empty =
+        st->clustered_boundary >= RowId(st->table->NumRows());
+    return tail_empty && view.lookup->empty();
+  }
+  return false;
 }
 
 SelectResult ServingEngine::ExecuteSelect(const Query& query) const {
@@ -275,20 +464,17 @@ SelectResult ServingEngine::ExecuteSelect(const Query& query) const {
   // applicable CM, else a scan (the legacy policy, kept for A/B).
   PlanKind kind = PlanKind::kSeqScan;
   size_t cm_slot = SelectResult::kNoCmSlot;
+  size_t sidx_slot = SelectResult::kNoCmSlot;
+  std::vector<std::vector<RowRange>> cm_ranges;
+  std::vector<std::vector<PageNo>> cm_leaves;
+  std::vector<SidxPlan> sidx_plans;
   if (mode == ServingOptions::PlanChoice::kCostBased) {
-    PlanContext ctx;
-    ctx.table = &table;
-    ctx.cidx = st->cidx;
-    ctx.clustered_boundary = boundary;
-    ctx.n_rows = n_rows;
-    ctx.heap_residency = calib.heap_residency;
-    ctx.cidx_residency = calib.cidx_residency;
-    ctx.num_deleted = table.NumDeleted();
-    ctx.cost_model = &cost_model_;
-    const PlanSet plans = ChooseAccessPlan(ctx, query, views);
+    const PlanSet plans = Deliberate(*st, query, calib, gap, &views,
+                                     &cm_ranges, &cm_leaves, &sidx_plans);
     const PlanCandidate& win = plans.chosen_plan();
     kind = win.kind;
     if (kind == PlanKind::kCmProbe) cm_slot = win.slot;
+    if (kind == PlanKind::kSortedIndex) sidx_slot = win.slot;
     out.plan = win.description;
     out.plan_est_ms = win.est_ms;
     out.plan_candidates = plans.candidates.size();
@@ -368,34 +554,19 @@ SelectResult ServingEngine::ExecuteSelect(const Query& query) const {
       break;
     }
     case PlanKind::kCmProbe: {
-      const ShardedCorrelationMap& scm = *st->cms[cm_slot];
       const CmLookupResult& res = *views[cm_slot].lookup;
       // Translate ordinal runs to clustered row ranges (the tail is
       // handled separately below; neither cidx nor the positional
-      // bucketing covers rows >= boundary).
-      const ClusteredBucketing* cb = scm.options().c_buckets;
+      // bucketing covers rows >= boundary). The cost-based deliberation
+      // already translated them; first-match translates here.
       std::vector<RowRange> ranges;
       std::vector<PageNo> leaves;
-      ranges.reserve(res.ranges.size());
-      for (const OrdinalRange& r : res.ranges) {
-        RowRange range =
-            cb != nullptr
-                ? cb->RangeOfBucketRun(r.lo, r.hi)
-                : st->cidx->LookupRange(scm.DecodeClusteredOrdinal(r.lo),
-                                        scm.DecodeClusteredOrdinal(r.hi));
-        // The clustered index closes its last key's range at the table's
-        // live row count, which now includes the unclustered tail; clamp
-        // so tail rows are examined exactly once (by the sweep below).
-        range.end = std::min(range.end, boundary);
-        if (!range.empty()) {
-          leaves.push_back(table.layout().PageOfRow(range.begin));
-          ranges.push_back(range);
-        }
+      if (cm_slot < cm_ranges.size()) {
+        ranges = std::move(cm_ranges[cm_slot]);
+        leaves = std::move(cm_leaves[cm_slot]);
+      } else {
+        TranslateCmRuns(*st, cm_slot, res, boundary, &ranges, &leaves);
       }
-      std::sort(ranges.begin(), ranges.end(),
-                [](const RowRange& a, const RowRange& b) {
-                  return a.begin < b.begin;
-                });
       ms += ChargeDescents(*st, leaves);
       sweep_ranges(ranges);
       ms += cost_model_.CmLookupProbeCost(
@@ -403,9 +574,35 @@ SelectResult ServingEngine::ExecuteSelect(const Query& query) const {
           double(res.entries_probed));
       break;
     }
-    case PlanKind::kSortedIndex:
-      assert(false && "engine enumerates no sorted-index candidates");
+    case PlanKind::kSortedIndex: {
+      const SidxPlan* plan = nullptr;
+      for (const SidxPlan& p : sidx_plans) {
+        if (p.slot == sidx_slot) plan = &p;
+      }
+      assert(plan != nullptr && "chosen sorted-index slot not resolved");
+      const SecondaryIndex& idx = *st->sidx[plan->slot];
+      // One descent per probe; leaves proxied by the runs' first heap
+      // pages so leaf residency tracks the ranges actually landed on.
+      std::vector<PageNo> leaves;
+      leaves.reserve(plan->n_probes);
+      for (size_t i = 0; i < plan->n_probes; ++i) {
+        leaves.push_back(
+            plan->runs.empty()
+                ? PageNo(0)
+                : plan->runs[std::min(i, plan->runs.size() - 1)].first);
+      }
+      ms += ChargeDescentsOf(st->sidx_files[plan->slot], idx.Height(), leaves);
+      for (const RowId r : plan->rids) {
+        ++out.rows_examined;
+        if (table.IsDeleted(r)) {
+          ++dead_examined;
+          continue;
+        }
+        if (query.Matches(table, r)) ++out.num_matches;
+      }
+      ms += ChargeHeapRuns(*st, plan->runs);
       break;
+    }
   }
 
   // Unclustered append tail: one sequential sweep, full re-filter, for

@@ -63,6 +63,7 @@
 #include "exec/plan_choice.h"
 #include "exec/predicate.h"
 #include "index/clustered_index.h"
+#include "index/secondary_index.h"
 #include "serve/recluster.h"
 #include "serve/shared_lookup_cache.h"
 #include "serve/sharded_cm.h"
@@ -109,6 +110,17 @@ struct ServingOptions {
   /// disables the pool -- every page is charged cold and plan costing
   /// runs uncalibrated, the pre-buffer-pool behavior.
   size_t buffer_pool_pages = 4096;
+  /// Lock stripes of an engine-owned pool (BufferPool's num_stripes):
+  /// concurrent readers charging sweeps lock only their pages' stripes.
+  /// 1 reproduces the classic single global LRU exactly.
+  size_t buffer_pool_stripes = 8;
+  /// Shared infrastructure for engines living behind a ShardRouter: when
+  /// non-null the engine uses the router-owned striped pool / lookup cache
+  /// instead of creating its own (both must outlive the engine; the pool
+  /// is internally thread-safe). buffer_pool_pages/buffer_pool_stripes are
+  /// ignored when shared_pool is set.
+  BufferPool* shared_pool = nullptr;
+  SharedLookupCache* shared_cache = nullptr;
   /// Selects between calibration refreshes (pool-stats snapshots into the
   /// current epoch's PlanCalibration). 0 never refreshes.
   size_t calibration_period = 64;
@@ -122,6 +134,14 @@ struct ServingOptions {
 struct PlanCalibration {
   double heap_residency = 0;
   double cidx_residency = 0;
+  /// Per-extent decayed hit rates of the epoch's heap file
+  /// (BufferPool::ResidencyOfExtent; entry i covers heap pages
+  /// [i*BufferPool::kExtentPages, ...)). Empty until the first refresh;
+  /// plan costing falls back to the scalar, so a cold epoch prices
+  /// exactly as before extents existed.
+  std::vector<double> heap_extents;
+  /// Decayed hit rate per attached secondary index's file (attach order).
+  std::vector<double> sidx_residency;
 };
 
 /// Outcome of one select through the engine.
@@ -174,6 +194,16 @@ class ServingEngine {
   /// A c-bucketed CM therefore goes stale only as far as the tail the
   /// sweep already pays for, and reclusters re-base it.
   Status AttachCm(CmOptions cm_options);
+
+  /// Builds a secondary B+Tree index over `columns` and attaches it, so
+  /// the sorted-index plan family competes in ChooseAccessPlan. Setup
+  /// phase only, like AttachCm. Per-epoch contract mirrors c-bucketed
+  /// CMs: the index covers exactly the clustered region [0, boundary) --
+  /// appends do NOT maintain it (the tail sweep serves tail rows), rows
+  /// tombstoned mid-epoch stay indexed (execution re-filters them), and
+  /// every recluster rebuilds it over the successor's merged region. The
+  /// per-epoch index is therefore immutable once built: lock-free reads.
+  Status AttachSecondaryIndex(std::vector<size_t> columns);
 
   /// Synchronous thread-safe select; Submit routes here from the pool.
   SelectResult ExecuteSelect(const Query& query) const;
@@ -275,8 +305,27 @@ class ServingEngine {
   /// (benchmarks sweep pool sizes on one engine).
   void ResizeWorkerPool(size_t n);
 
+  /// Router pruning hook: true when this engine provably has no rows
+  /// matching `query` -- the first applicable CM's lookup is empty AND the
+  /// unclustered tail is empty (a non-empty tail may hold matches the CM
+  /// has not indexed yet, so it always forces a visit). `*applicable` says
+  /// whether any attached CM applied; when false the router must fall back
+  /// to a full scatter. The CM lookup is resolved through the shared
+  /// cache, so a subsequent ExecuteSelect on this engine reuses it.
+  bool CanSkipForQuery(const Query& query, bool* applicable) const;
+
+  /// Unbucketed CMs carried across recluster swaps by snapshot copy
+  /// instead of an O(rows) re-hash (test hook for the satellite).
+  uint64_t CmSnapshotCopies() const {
+    return cm_snapshot_copies_.load(std::memory_order_relaxed);
+  }
+
   size_t num_cms() const;
-  SharedLookupCache& cache() const { return cache_; }
+  size_t num_secondary_indexes() const { return sidx_columns_.size(); }
+  SharedLookupCache& cache() const { return *cache_; }
+  /// The pool behind the serving read path (null when disabled). Shared
+  /// with the router and sibling shards when options.shared_pool was set.
+  BufferPool* pool() const { return pool_; }
   /// First row of the unclustered append tail (current epoch).
   RowId clustered_boundary() const;
   /// Rows currently in the unclustered tail (current epoch).
@@ -343,6 +392,12 @@ class ServingEngine {
     uint32_t heap_file = 0;
     uint32_t cidx_file = 0;
     std::unique_ptr<CalibrationCell> calibration;
+    /// Attached secondary indexes (attach order), each covering exactly
+    /// the clustered region [0, clustered_boundary) of THIS epoch and
+    /// immutable once the epoch is published (appends/deletes do not
+    /// maintain them; see AttachSecondaryIndex), so reads are lock-free.
+    std::vector<std::unique_ptr<SecondaryIndex>> sidx;
+    std::vector<uint32_t> sidx_files;  ///< pool identities, attach order
   };
 
   std::shared_ptr<EpochState> CurrentState() const {
@@ -400,20 +455,67 @@ class ServingEngine {
   /// heap page of the range start, so leaf residency tracks hot ranges).
   double ChargeDescents(const EpochState& st,
                         std::span<const PageNo> leaves) const;
+  /// ChargeDescents generalized to any index file/height (secondary
+  /// indexes price through it with their own pool identity).
+  double ChargeDescentsOf(uint32_t file, size_t height,
+                          std::span<const PageNo> leaves) const;
+
+  /// One resolved sorted-index candidate: the exact sorted rid set the
+  /// execution would sweep (clustered-region rows, live at resolve time)
+  /// plus its coalesced heap page runs. Resolved once per select and
+  /// shared between costing (SortedIndexCostMs) and execution.
+  struct SidxPlan {
+    size_t slot = 0;
+    std::vector<RowId> rids;
+    std::vector<PageRun> runs;
+    size_t n_probes = 1;
+  };
+  /// Resolves every applicable attached secondary index for `query` (a
+  /// predicate on the index's first column makes it applicable -- the
+  /// composite-prefix rule of SecondaryIndex::LookupRange).
+  void ResolveSidxPlans(const EpochState& st, const Query& query,
+                        uint64_t run_gap, std::vector<SidxPlan>* plans) const;
+
+  /// Translates one CM lookup's ordinal runs into sorted clustered row
+  /// ranges (clamped to `boundary`) and the descent leaf pages. Shared by
+  /// deliberation -- the pre-translated ranges feed the extent-granular
+  /// residency refinement via CmPlanView::row_ranges -- and execution,
+  /// which sweeps the identical ranges, so the two never diverge.
+  static void TranslateCmRuns(const EpochState& st, size_t slot,
+                              const CmLookupResult& res, RowId boundary,
+                              std::vector<RowRange>* ranges,
+                              std::vector<PageNo>* leaves);
+
+  /// The cost-based deliberation both ExecuteSelect and PlanSelect run:
+  /// pre-translates every applicable CM's runs (filling `views[i]`'s
+  /// row_ranges for the extent refinement), resolves sorted-index
+  /// candidates, and prices everything through ChooseAccessPlan under the
+  /// epoch's calibration. Outputs are keyed by slot so the execution arms
+  /// reuse the winner's translation instead of redoing it.
+  PlanSet Deliberate(const EpochState& st, const Query& query,
+                     const PlanCalibration& calib, uint64_t gap,
+                     std::vector<CmPlanView>* views,
+                     std::vector<std::vector<RowRange>>* cm_ranges,
+                     std::vector<std::vector<PageNo>>* cm_leaves,
+                     std::vector<SidxPlan>* sidx_plans) const;
 
   ServingOptions options_;
   std::atomic<size_t> recluster_tail_rows_;
   std::atomic<double> compact_deleted_fraction_;
   std::atomic<ServingOptions::PlanChoice> plan_choice_;
   CostModel cost_model_;
-  /// Serving-path buffer pool (null when disabled). All access goes
-  /// through pool_mu_: the pool itself is single-threaded.
-  mutable std::mutex pool_mu_;
-  mutable std::unique_ptr<BufferPool> pool_;
+  /// Serving-path buffer pool (null when disabled); internally
+  /// thread-safe via lock striping. Either owned by this engine or shared
+  /// across sibling shards through ServingOptions::shared_pool.
+  BufferPool* pool_ = nullptr;
+  std::unique_ptr<BufferPool> owned_pool_;
   /// Attach-order CM configs (c_buckets cleared; targets kept aside) so a
   /// recluster can re-instantiate every CM against the successor table.
   std::vector<CmOptions> attached_;
   std::vector<uint64_t> c_bucket_targets_;  ///< 0 = unbucketed slot
+  /// Attach-order secondary-index column sets (recluster rebuilds each
+  /// per successor epoch).
+  std::vector<std::vector<size_t>> sidx_columns_;
   /// Stable cache identities, one per attached CM: the SharedLookupCache
   /// keys on (slot address, fingerprint, epoch), and the slot address
   /// outlives the per-epoch CM objects, so successor epochs lazily evict
@@ -422,7 +524,9 @@ class ServingEngine {
 
   std::shared_ptr<EpochState> state_;
   mutable std::shared_mutex state_mu_;
-  mutable SharedLookupCache cache_;
+  SharedLookupCache* cache_ = nullptr;  ///< owned or router-shared
+  std::unique_ptr<SharedLookupCache> owned_cache_;
+  mutable std::atomic<uint64_t> cm_snapshot_copies_{0};
 
   std::mutex append_mu_;     ///< serializes write transactions end-to-end
   /// Rows deleted in the current epoch's id space, in order (guarded by

@@ -1,0 +1,283 @@
+#include "serve/shard_router.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "core/bucketing.h"
+#include "exec/plan_choice.h"
+
+namespace corrmap::serve {
+
+Result<std::unique_ptr<ShardRouter>> ShardRouter::Create(
+    const Table& table, size_t c_col, RouterOptions options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("need at least one shard");
+  }
+  if (table.clustered_column() != int(c_col)) {
+    return Status::InvalidArgument(
+        "table must be clustered on c_col before partitioning");
+  }
+  auto cidx = ClusteredIndex::Build(table, c_col);
+  if (!cidx.ok()) return cidx.status();
+
+  std::unique_ptr<ShardRouter> r(new ShardRouter());
+  r->c_col_ = c_col;
+
+  // Cut the sorted key space at distinct-key boundaries nearest the ideal
+  // row quantiles: shards balance by row count but a distinct key never
+  // spans two shards (so equality routing is exact and per-shard clustered
+  // indexes stay self-contained). Fewer distinct keys than requested
+  // shards simply yields fewer shards.
+  const size_t n_rows = table.NumRows();
+  const size_t n_keys = cidx->NumDistinctKeys();
+  const size_t want = std::min(options.num_shards, std::max<size_t>(n_keys, 1));
+  std::vector<RowId> bounds{0};
+  size_t k = 0;
+  for (size_t s = 1; s < want; ++s) {
+    const RowId ideal = RowId(n_rows * s / want);
+    while (k < n_keys && cidx->KeyFirstRow(k) < ideal) ++k;
+    if (k >= n_keys) break;
+    const RowId b = cidx->KeyFirstRow(k);
+    if (b <= bounds.back()) continue;
+    bounds.push_back(b);
+    r->splits_.push_back(cidx->DistinctKey(k));
+  }
+  bounds.push_back(RowId(n_rows));
+
+  ServingOptions eo = options.engine;
+  if (eo.buffer_pool_pages > 0) {
+    r->pool_ = std::make_unique<BufferPool>(eo.buffer_pool_pages,
+                                            options.pool_stripes);
+  }
+  r->cache_ = std::make_unique<SharedLookupCache>();
+  eo.shared_pool = r->pool_.get();
+  eo.shared_cache = r->cache_.get();
+
+  r->shards_.reserve(bounds.size() - 1);
+  for (size_t s = 0; s + 1 < bounds.size(); ++s) {
+    std::vector<RowId> order(size_t(bounds[s + 1] - bounds[s]));
+    std::iota(order.begin(), order.end(), bounds[s]);
+    Shard sh;
+    // Deep copy with dictionaries preserved: physical keys keep their
+    // codes across the partition, so a Key routes and compares the same
+    // in every shard and in the source table.
+    sh.table = table.CloneReordered(order);
+    auto scidx = ClusteredIndex::Build(*sh.table, c_col);
+    if (!scidx.ok()) return scidx.status();
+    sh.cidx = std::make_unique<ClusteredIndex>(std::move(*scidx));
+    sh.engine =
+        std::make_unique<ServingEngine>(sh.table.get(), sh.cidx.get(), eo);
+    r->shards_.push_back(std::move(sh));
+  }
+  return r;
+}
+
+size_t ShardRouter::RouteKey(const Key& k) const {
+  // splits_[s] is the first key owned by shard s+1, so the owner of k is
+  // the number of splits <= k.
+  return size_t(std::upper_bound(splits_.begin(), splits_.end(), k) -
+                splits_.begin());
+}
+
+Status ShardRouter::AttachCm(const CmOptions& cm_options) {
+  for (Shard& sh : shards_) {
+    CmOptions opts = cm_options;
+    std::unique_ptr<ClusteredBucketing> cb;
+    if (cm_options.c_buckets != nullptr) {
+      // A positional bucketing is only meaningful over one shard's own
+      // clustered region; re-base the caller's target per shard.
+      auto built = ClusteredBucketing::Build(
+          sh.engine->table(), opts.c_col,
+          cm_options.c_buckets->target_tuples_per_bucket());
+      if (!built.ok()) return built.status();
+      cb = std::make_unique<ClusteredBucketing>(std::move(*built));
+      opts.c_buckets = cb.get();
+    }
+    Status s = sh.engine->AttachCm(opts);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status ShardRouter::AttachSecondaryIndex(const std::vector<size_t>& columns) {
+  for (Shard& sh : shards_) {
+    Status s = sh.engine->AttachSecondaryIndex(columns);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+RoutedSelectResult ShardRouter::ExecuteSelect(const Query& query) const {
+  RoutedSelectResult out;
+  const size_t n = shards_.size();
+  std::vector<uint8_t> visit(n, 1);
+
+  const Predicate* cpred = FindPredicateOn(query, c_col_);
+  if (cpred != nullptr && n > 1) {
+    // Tier 1: the clustered predicate maps through the split keys to the
+    // owning shard span / set; every other shard provably holds no
+    // clustered-region matches AND no tail matches (appends route by the
+    // same key), so it is skipped outright.
+    std::fill(visit.begin(), visit.end(), uint8_t{0});
+    out.clustered_routed = true;
+    if (cpred->op() == Predicate::Op::kRange) {
+      const Column& col = shards_[0].table->column(c_col_);
+      const size_t lo = RouteKey(col.EncodeKey(Value(cpred->lo())));
+      const size_t hi = RouteKey(col.EncodeKey(Value(cpred->hi())));
+      for (size_t s = lo; s <= hi && s < n; ++s) visit[s] = 1;
+    } else {
+      for (const Key& key : cpred->keys()) visit[RouteKey(key)] = 1;
+    }
+  } else if (n > 1) {
+    // Tier 2: one routed CM lookup per shard (through the shared cache,
+    // so a visited shard's ExecuteSelect reuses it). A shard is skipped
+    // only when a CM applies, its lookup is empty, and the shard's tail
+    // is empty; anything else -- including no applicable CM -- keeps the
+    // shard in the scatter.
+    for (size_t s = 0; s < n; ++s) {
+      bool applicable = false;
+      if (shards_[s].engine->CanSkipForQuery(query, &applicable)) {
+        visit[s] = 0;
+        out.cm_pruned = true;
+      }
+    }
+  }
+
+  bool first = true;
+  for (size_t s = 0; s < n; ++s) {
+    if (!visit[s]) {
+      ++out.shards_pruned;
+      continue;
+    }
+    const SelectResult part = shards_[s].engine->ExecuteSelect(query);
+    ++out.shards_visited;
+    if (first) {
+      out.merged = part;
+      first = false;
+      continue;
+    }
+    out.merged.num_matches += part.num_matches;
+    out.merged.rows_examined += part.rows_examined;
+    out.merged.simulated_ms += part.simulated_ms;
+    out.merged.used_cm = out.merged.used_cm || part.used_cm;
+    out.merged.cache_hit = out.merged.cache_hit || part.cache_hit;
+    out.merged.plan_est_ms += part.plan_est_ms;
+    out.merged.plan_candidates += part.plan_candidates;
+  }
+
+  selects_.fetch_add(1, std::memory_order_relaxed);
+  shards_visited_.fetch_add(out.shards_visited, std::memory_order_relaxed);
+  shards_pruned_.fetch_add(out.shards_pruned, std::memory_order_relaxed);
+  if (out.clustered_routed) {
+    clustered_routed_selects_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (out.cm_pruned) {
+    cm_pruned_selects_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Status ShardRouter::ApplyAppend(std::span<const std::vector<Key>> rows) {
+  if (shards_.size() == 1) return shards_[0].engine->ApplyAppend(rows);
+  std::vector<std::vector<std::vector<Key>>> by_shard(shards_.size());
+  for (const std::vector<Key>& row : rows) {
+    if (row.size() <= c_col_) {
+      return Status::InvalidArgument("appended row lacks the clustered key");
+    }
+    by_shard[RouteKey(row[c_col_])].push_back(row);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Status st = shards_[s].engine->ApplyAppend(by_shard[s]);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status ShardRouter::ApplyDelete(size_t shard, RowId row,
+                                uint64_t expected_epoch) {
+  if (shard >= shards_.size()) return Status::OutOfRange("no such shard");
+  return shards_[shard].engine->ApplyDelete(row, expected_epoch);
+}
+
+Status ShardRouter::ApplyUpdate(size_t shard, RowId row,
+                                std::span<const Key> new_values,
+                                uint64_t expected_epoch) {
+  if (shard >= shards_.size()) return Status::OutOfRange("no such shard");
+  if (new_values.size() <= c_col_) {
+    return Status::InvalidArgument("updated row lacks the clustered key");
+  }
+  const size_t target = RouteKey(new_values[c_col_]);
+  if (target == shard) {
+    return shards_[shard].engine->ApplyUpdate(row, new_values,
+                                              expected_epoch);
+  }
+  // The new clustered key moves the row across the partition: tombstone it
+  // in its old shard first, then append the new version to its owner. A
+  // select between the two steps sees neither version -- the same
+  // invariant the engine's own tombstone+re-append update keeps.
+  Status st = shards_[shard].engine->ApplyDelete(row, expected_epoch);
+  if (!st.ok()) return st;
+  const std::vector<std::vector<Key>> one{
+      std::vector<Key>(new_values.begin(), new_values.end())};
+  return shards_[target].engine->ApplyAppend(one);
+}
+
+Result<ReclusterStats> ShardRouter::Recluster(size_t shard) {
+  if (shard >= shards_.size()) return Status::OutOfRange("no such shard");
+  return shards_[shard].engine->Recluster();
+}
+
+Result<ReclusterStats> ShardRouter::Compact(size_t shard) {
+  if (shard >= shards_.size()) return Status::OutOfRange("no such shard");
+  return shards_[shard].engine->Compact();
+}
+
+Status ShardRouter::ReclusterAll() {
+  for (Shard& sh : shards_) {
+    auto r = sh.engine->Recluster();
+    if (!r.ok()) return r.status();
+  }
+  return Status::OK();
+}
+
+Status ShardRouter::CompactAll() {
+  for (Shard& sh : shards_) {
+    auto r = sh.engine->Compact();
+    if (!r.ok()) return r.status();
+  }
+  return Status::OK();
+}
+
+void ShardRouter::ResetBufferPool() {
+  // Each shard clears the (shared) pool -- idempotent -- and resets its
+  // own epoch's calibration to cold.
+  for (Shard& sh : shards_) sh.engine->ResetBufferPool();
+}
+
+Status ShardRouter::CheckInvariants() const {
+  for (size_t i = 1; i < splits_.size(); ++i) {
+    if (!(splits_[i - 1] < splits_[i])) {
+      return Status::Corruption("split keys not strictly ascending");
+    }
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Status st = shards_[s].engine->CheckInvariants();
+    if (!st.ok()) return st;
+    const Table& t = shards_[s].engine->table();
+    for (RowId r = 0; r < t.NumRows(); ++r) {
+      if (t.IsDeleted(r)) continue;
+      if (RouteKey(t.GetKey(r, c_col_)) != s) {
+        return Status::Corruption("live row held by a shard that does not "
+                                  "own its clustered key");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace corrmap::serve

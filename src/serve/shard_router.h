@@ -1,0 +1,186 @@
+// Partitioned serving: N range-partitioned ServingEngine shards behind a
+// CM-guided scatter-gather router.
+//
+// The router splits a clustered table into contiguous clustered-key ranges
+// (distinct keys never span shards) and gives each range to its own
+// ServingEngine. All shards share one lock-striped BufferPool and one
+// SharedLookupCache owned by the router, so residency calibration and CM
+// lookup reuse keep working across the partition while appends, CM
+// maintenance, tail sweeps, and recluster/compact passes run under
+// per-shard locks -- a write stream that serialized behind one append
+// mutex now spreads over N of them, and every select sweeps only its
+// shards' tails.
+//
+// Select routing, in order of preference:
+//   1. A predicate on the clustered column routes by key range: the
+//      predicate's point keys / range bounds map through the split keys to
+//      exactly the owning shard(s). (clustered_routed)
+//   2. Otherwise each shard is asked CanSkipForQuery: when an attached CM
+//      applies to the query, a shard whose CM lookup is empty AND whose
+//      tail is empty provably holds no matches and is skipped; the lookup
+//      goes through the shared cache, so a visited shard's ExecuteSelect
+//      reuses it. (cm_pruned when at least one shard was skipped)
+//   3. No clustered predicate and no applicable CM: full scatter-gather.
+// Visited shards run their ordinary cost-based deliberation; the router
+// merges SelectResults by summing counts/costs and OR-ing flags, visiting
+// shards in ascending key order so merged diagnostics are deterministic.
+//
+// Writes route by clustered key: ApplyAppend groups rows by owning shard,
+// deletes/updates address (shard, row) and carry the shard's own recluster
+// epoch (row ids are per-shard; a recluster in shard i permutes only shard
+// i's ids and aborts only writers holding shard i's stale epoch). An
+// update whose new clustered key moves it across the partition becomes
+// delete-then-append -- between the two steps neither version is visible,
+// the same invariant the engine's own update keeps.
+#ifndef CORRMAP_SERVE_SHARD_ROUTER_H_
+#define CORRMAP_SERVE_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "core/correlation_map.h"
+#include "exec/predicate.h"
+#include "index/clustered_index.h"
+#include "serve/serving_engine.h"
+#include "serve/shared_lookup_cache.h"
+#include "storage/buffer_pool.h"
+#include "storage/table.h"
+
+namespace corrmap::serve {
+
+struct RouterOptions {
+  /// Requested shard count; the effective count is capped by the number
+  /// of distinct clustered keys (a distinct key never spans shards).
+  size_t num_shards = 4;
+  /// Per-shard engine configuration. buffer_pool_pages sizes the single
+  /// router-owned pool shared by every shard (0 disables pooling);
+  /// shared_pool/shared_cache are overwritten by the router.
+  ServingOptions engine;
+  /// Lock stripes of the router-owned shared pool.
+  size_t pool_stripes = 16;
+};
+
+/// Merged outcome of one routed select.
+struct RoutedSelectResult {
+  /// Per-shard SelectResults merged: counts, simulated/estimated costs and
+  /// deliberated candidates summed; used_cm/cache_hit OR-ed; plan fields
+  /// taken from the first visited shard (diagnostics only).
+  SelectResult merged;
+  size_t shards_visited = 0;
+  size_t shards_pruned = 0;      ///< skipped without executing
+  bool clustered_routed = false; ///< pruned by clustered-key range
+  bool cm_pruned = false;        ///< pruned by per-shard CM lookups
+};
+
+class ShardRouter {
+ public:
+  /// Partitions `table` -- already clustered on `c_col` -- into contiguous
+  /// key ranges balanced by row count and builds one engine per range.
+  /// The source table is deep-copied per shard (dictionaries preserved,
+  /// so physical keys keep their codes across the partition); it only
+  /// needs to outlive this call.
+  static Result<std::unique_ptr<ShardRouter>> Create(const Table& table,
+                                                     size_t c_col,
+                                                     RouterOptions options =
+                                                         {});
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Attaches a CM / secondary index to every shard (setup phase only,
+  /// like the engine's own attach APIs). A clustered-bucketing target is
+  /// re-based per shard over the shard's own key range.
+  Status AttachCm(const CmOptions& cm_options);
+  Status AttachSecondaryIndex(const std::vector<size_t>& columns);
+
+  /// Scatter-gather select (see the file comment for the routing tiers).
+  RoutedSelectResult ExecuteSelect(const Query& query) const;
+
+  /// Routes each row to its owning shard by clustered key and applies the
+  /// per-shard groups as one engine append each. Fails fast: an error
+  /// leaves earlier groups applied (the engine's own partial-batch
+  /// semantics).
+  Status ApplyAppend(std::span<const std::vector<Key>> rows);
+
+  /// Tombstones row `row` *of shard `shard`*. expected_epoch is checked
+  /// against that shard's recluster epoch (ServingEngine::ApplyDelete).
+  Status ApplyDelete(size_t shard, RowId row,
+                     uint64_t expected_epoch = ServingEngine::kAnyEpoch);
+
+  /// Updates row `row` of shard `shard` to `new_values` (schema arity).
+  /// When the new clustered key stays in `shard`, this is the engine's
+  /// atomic tombstone+re-append; when it moves, the row is deleted from
+  /// `shard` and appended to its new owner (neither version visible in
+  /// between).
+  Status ApplyUpdate(size_t shard, RowId row, std::span<const Key> new_values,
+                     uint64_t expected_epoch = ServingEngine::kAnyEpoch);
+
+  /// Per-shard recluster/compact passes (each fires independently; the
+  /// *All forms run every shard sequentially and fail fast).
+  Result<ReclusterStats> Recluster(size_t shard);
+  Result<ReclusterStats> Compact(size_t shard);
+  Status ReclusterAll();
+  Status CompactAll();
+
+  /// Owning shard of clustered key `k`.
+  size_t RouteKey(const Key& k) const;
+
+  size_t num_shards() const { return shards_.size(); }
+  ServingEngine& shard(size_t i) { return *shards_[i].engine; }
+  const ServingEngine& shard(size_t i) const { return *shards_[i].engine; }
+  /// Recluster epoch of shard `i` (pass back as expected_epoch).
+  uint64_t ShardEpoch(size_t i) const {
+    return shards_[i].engine->ReclusterEpoch();
+  }
+  /// First clustered key of shard i+1, ascending (num_shards()-1 entries).
+  const std::vector<Key>& split_keys() const { return splits_; }
+  BufferPool* pool() const { return pool_.get(); }
+  SharedLookupCache& cache() const { return *cache_; }
+
+  /// Drops every shared-pool frame and resets each shard's calibration.
+  void ResetBufferPool();
+
+  /// Cumulative routing statistics.
+  uint64_t SelectsExecuted() const { return selects_.load(); }
+  uint64_t ShardsVisitedTotal() const { return shards_visited_.load(); }
+  uint64_t ShardsPrunedTotal() const { return shards_pruned_.load(); }
+  uint64_t CmPrunedSelects() const { return cm_pruned_selects_.load(); }
+  uint64_t ClusteredRoutedSelects() const {
+    return clustered_routed_selects_.load();
+  }
+
+  /// Every shard's own invariants plus the partition's: split keys
+  /// strictly ascending and every live row's clustered key owned by the
+  /// shard holding it (call at quiescence).
+  Status CheckInvariants() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<Table> table;          ///< backs the engine's epoch 0
+    std::unique_ptr<ClusteredIndex> cidx;  ///< ditto
+    std::unique_ptr<ServingEngine> engine;
+  };
+
+  ShardRouter() = default;
+
+  size_t c_col_ = 0;
+  std::vector<Key> splits_;
+  std::vector<Shard> shards_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<SharedLookupCache> cache_;
+
+  mutable std::atomic<uint64_t> selects_{0};
+  mutable std::atomic<uint64_t> shards_visited_{0};
+  mutable std::atomic<uint64_t> shards_pruned_{0};
+  mutable std::atomic<uint64_t> cm_pruned_selects_{0};
+  mutable std::atomic<uint64_t> clustered_routed_selects_{0};
+};
+
+}  // namespace corrmap::serve
+
+#endif  // CORRMAP_SERVE_SHARD_ROUTER_H_

@@ -277,6 +277,19 @@ uint64_t ShardedCorrelationMap::SizeBytes() const {
   return n;
 }
 
+ShardedCorrelationMap ShardedCorrelationMap::CloneRetargeted(
+    const Table* table) const {
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    shards.push_back(std::make_unique<Shard>(shard->cm.CloneRetargeted(table)));
+  }
+  ShardedCorrelationMap out(std::move(shards));
+  out.epoch_.store(Epoch(), std::memory_order_release);
+  return out;
+}
+
 Status ShardedCorrelationMap::CheckInvariants() const {
   for (size_t i = 0; i < shards_.size(); ++i) {
     std::shared_lock lock(shards_[i]->mu);

@@ -128,6 +128,14 @@ class ShardedCorrelationMap {
   size_t NumEntries() const;
   uint64_t SizeBytes() const;
 
+  /// Snapshot copy re-pointed at `table` (a reordered clone of this CM's
+  /// table), shard by shard under shared locks; epoch carries over. Only
+  /// valid without clustered bucketing (ordinals encode values, not
+  /// positions -- see CorrelationMap::CloneRetargeted). The recluster swap
+  /// uses this under the append lock, where the predecessor's content is
+  /// exactly the live rows' pairs, instead of an O(rows) re-hash.
+  ShardedCorrelationMap CloneRetargeted(const Table* table) const;
+
   /// Per-shard CorrelationMap invariants plus shard routing: every u-key
   /// must live in the shard its hash selects.
   Status CheckInvariants() const;

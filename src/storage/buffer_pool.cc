@@ -17,151 +17,264 @@ std::string BufferPoolStats::ToString() const {
   return out;
 }
 
-BufferPool::BufferPool(size_t capacity_pages)
-    : capacity_pages_(capacity_pages == 0 ? 1 : capacity_pages) {}
+BufferPool::BufferPool(size_t capacity_pages, size_t num_stripes)
+    : capacity_pages_(capacity_pages == 0 ? 1 : capacity_pages) {
+  // Every stripe must hold at least one page; a tiny pool degenerates to
+  // fewer stripes rather than zero-capacity partitions.
+  num_stripes = std::max<size_t>(1, std::min(num_stripes, capacity_pages_));
+  stripes_ = std::vector<Stripe>(num_stripes);
+  const size_t base = capacity_pages_ / num_stripes;
+  size_t extra = capacity_pages_ % num_stripes;
+  for (Stripe& s : stripes_) {
+    s.capacity = base + (extra > 0 ? 1 : 0);
+    if (extra > 0) --extra;
+  }
+}
 
-void BufferPool::NoteTouch(uint32_t file, bool hit) {
-  FileCounters& fc = file_counters_[file];
+size_t BufferPool::num_cached() const {
+  size_t n = 0;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.frames.size();
+  }
+  return n;
+}
+
+size_t BufferPool::num_dirty() const {
+  size_t n = 0;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.num_dirty;
+  }
+  return n;
+}
+
+void BufferPool::NoteTouch(Stripe& s, PageId page, bool hit) {
+  ExtentCounters& fc =
+      s.extent_counters[ExtentKey(page.file, ExtentOfPage(page.page))];
   const double keep = 1.0 - 1.0 / kResidencyDecayWindow;
   fc.decayed_hits *= keep;
   fc.decayed_misses *= keep;
   (hit ? fc.decayed_hits : fc.decayed_misses) += 1.0;
 }
 
+void BufferPool::AdmitLocked(Stripe& s, PageId page, bool mark_dirty) {
+  if (s.frames.size() >= s.capacity) EvictOne(s);
+  s.lru.push_front(page);
+  Frame f;
+  f.lru_it = s.lru.begin();
+  f.dirty = mark_dirty;
+  if (mark_dirty) ++s.num_dirty;
+  s.frames.emplace(page, f);
+  ++s.extent_counters[ExtentKey(page.file, ExtentOfPage(page.page))]
+        .resident_pages;
+}
+
 void BufferPool::Access(PageId page, bool mark_dirty) {
-  auto it = frames_.find(page);
-  if (it != frames_.end()) {
-    ++stats_.hits;
-    NoteTouch(page.file, /*hit=*/true);
-    lru_.erase(it->second.lru_it);
-    lru_.push_front(page);
-    it->second.lru_it = lru_.begin();
+  Stripe& s = StripeOf(page);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.frames.find(page);
+  if (it != s.frames.end()) {
+    ++s.stats.hits;
+    NoteTouch(s, page, /*hit=*/true);
+    s.lru.erase(it->second.lru_it);
+    s.lru.push_front(page);
+    it->second.lru_it = s.lru.begin();
     if (mark_dirty && !it->second.dirty) {
       it->second.dirty = true;
-      ++num_dirty_;
+      ++s.num_dirty;
     }
     return;
   }
-  ++stats_.misses;
-  NoteTouch(page.file, /*hit=*/false);
-  ++io_.seeks;  // random read to fault the page in
-  if (frames_.size() >= capacity_pages_) EvictOne();
-  lru_.push_front(page);
-  Frame f;
-  f.lru_it = lru_.begin();
-  f.dirty = mark_dirty;
-  if (mark_dirty) ++num_dirty_;
-  frames_.emplace(page, f);
-  ++file_counters_[page.file].resident_pages;
+  ++s.stats.misses;
+  NoteTouch(s, page, /*hit=*/false);
+  ++s.io.seeks;  // random read to fault the page in
+  AdmitLocked(s, page, mark_dirty);
 }
 
 bool BufferPool::AccessIfCached(PageId page, bool mark_dirty) {
-  auto it = frames_.find(page);
-  if (it == frames_.end()) {
-    NoteTouch(page.file, /*hit=*/false);
+  Stripe& s = StripeOf(page);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.frames.find(page);
+  if (it == s.frames.end()) {
+    NoteTouch(s, page, /*hit=*/false);
     return false;
   }
-  Access(page, mark_dirty);
+  ++s.stats.hits;
+  NoteTouch(s, page, /*hit=*/true);
+  s.lru.erase(it->second.lru_it);
+  s.lru.push_front(page);
+  it->second.lru_it = s.lru.begin();
+  if (mark_dirty && !it->second.dirty) {
+    it->second.dirty = true;
+    ++s.num_dirty;
+  }
   return true;
 }
 
 void BufferPool::Admit(PageId page, bool mark_dirty) {
-  // The miss was already recorded by AccessIfCached; admit without the
+  // A resident page behaves like a hit; a miss admits without the
   // random-read charge (the caller swept into the page sequentially).
-  if (AccessIfCached(page, mark_dirty)) return;
-  ++stats_.misses;
-  if (frames_.size() >= capacity_pages_) EvictOne();
-  lru_.push_front(page);
-  Frame f;
-  f.lru_it = lru_.begin();
-  f.dirty = mark_dirty;
-  if (mark_dirty) ++num_dirty_;
-  frames_.emplace(page, f);
-  ++file_counters_[page.file].resident_pages;
+  Stripe& s = StripeOf(page);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.frames.find(page);
+  if (it != s.frames.end()) {
+    ++s.stats.hits;
+    NoteTouch(s, page, /*hit=*/true);
+    s.lru.erase(it->second.lru_it);
+    s.lru.push_front(page);
+    it->second.lru_it = s.lru.begin();
+    if (mark_dirty && !it->second.dirty) {
+      it->second.dirty = true;
+      ++s.num_dirty;
+    }
+    return;
+  }
+  NoteTouch(s, page, /*hit=*/false);
+  ++s.stats.misses;
+  AdmitLocked(s, page, mark_dirty);
 }
 
 bool BufferPool::Touch(PageId page) {
-  // The serving hot path runs this once per swept page under the engine's
-  // pool mutex: one hash lookup, not the IsCached+Admit double probe.
-  auto it = frames_.find(page);
-  if (it != frames_.end()) {
-    ++stats_.hits;
-    NoteTouch(page.file, /*hit=*/true);
-    lru_.erase(it->second.lru_it);
-    lru_.push_front(page);
-    it->second.lru_it = lru_.begin();
+  // The serving hot path runs this once per swept page: one hash lookup
+  // under this page's stripe lock, not the IsCached+Admit double probe.
+  Stripe& s = StripeOf(page);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.frames.find(page);
+  if (it != s.frames.end()) {
+    ++s.stats.hits;
+    NoteTouch(s, page, /*hit=*/true);
+    s.lru.erase(it->second.lru_it);
+    s.lru.push_front(page);
+    it->second.lru_it = s.lru.begin();
     return true;
   }
-  ++stats_.misses;
-  NoteTouch(page.file, /*hit=*/false);
-  if (frames_.size() >= capacity_pages_) EvictOne();
-  lru_.push_front(page);
-  Frame f;
-  f.lru_it = lru_.begin();
-  frames_.emplace(page, f);
-  ++file_counters_[page.file].resident_pages;
+  ++s.stats.misses;
+  NoteTouch(s, page, /*hit=*/false);
+  AdmitLocked(s, page, /*mark_dirty=*/false);
   return false;
+}
+
+bool BufferPool::IsCached(PageId page) const {
+  const Stripe& s = StripeOf(page);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.frames.count(page) > 0;
 }
 
 FileResidency BufferPool::ResidencyOf(uint32_t file,
                                       uint64_t file_pages) const {
+  // Aggregate the file's extents across every stripe. The decayed sums
+  // weight each extent by how recently it was touched, so the whole-file
+  // hit rate tracks the live access mix the way the old per-file counter
+  // did.
   FileResidency out;
-  auto it = file_counters_.find(file);
-  if (it == file_counters_.end()) return out;
-  const FileCounters& fc = it->second;
-  const double touches = fc.decayed_hits + fc.decayed_misses;
+  double hits = 0, misses = 0;
+  const uint64_t file_tag = uint64_t(file) << 40;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& [key, fc] : s.extent_counters) {
+      if ((key & ~uint64_t(0xff'ffff'ffff)) != file_tag) continue;
+      hits += fc.decayed_hits;
+      misses += fc.decayed_misses;
+      out.resident_pages += fc.resident_pages;
+    }
+  }
+  const double touches = hits + misses;
   out.observed_touches = touches;
-  if (touches > 0) out.hit_rate = fc.decayed_hits / touches;
-  out.resident_pages = fc.resident_pages;
+  if (touches > 0) out.hit_rate = hits / touches;
   if (file_pages > 0) {
     out.resident_fraction =
-        std::min(1.0, double(fc.resident_pages) / double(file_pages));
+        std::min(1.0, double(out.resident_pages) / double(file_pages));
   }
   return out;
 }
 
-void BufferPool::EvictOne() {
-  assert(!lru_.empty());
-  const PageId victim = lru_.back();
-  lru_.pop_back();
-  auto it = frames_.find(victim);
-  assert(it != frames_.end());
-  ++stats_.evictions;
-  if (it->second.dirty) {
-    ++stats_.dirty_evictions;
-    ++io_.pages_written;
-    --num_dirty_;
+FileResidency BufferPool::ResidencyOfExtent(uint32_t file,
+                                            uint64_t extent) const {
+  FileResidency out;
+  const uint64_t key = ExtentKey(file, extent);
+  double hits = 0, misses = 0;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.extent_counters.find(key);
+    if (it == s.extent_counters.end()) continue;
+    hits += it->second.decayed_hits;
+    misses += it->second.decayed_misses;
+    out.resident_pages += it->second.resident_pages;
   }
-  frames_.erase(it);
-  auto fc = file_counters_.find(victim.file);
-  if (fc != file_counters_.end() && fc->second.resident_pages > 0) {
+  const double touches = hits + misses;
+  out.observed_touches = touches;
+  if (touches > 0) out.hit_rate = hits / touches;
+  out.resident_fraction =
+      std::min(1.0, double(out.resident_pages) / double(kExtentPages));
+  return out;
+}
+
+void BufferPool::EvictOne(Stripe& s) {
+  assert(!s.lru.empty());
+  const PageId victim = s.lru.back();
+  s.lru.pop_back();
+  auto it = s.frames.find(victim);
+  assert(it != s.frames.end());
+  ++s.stats.evictions;
+  if (it->second.dirty) {
+    ++s.stats.dirty_evictions;
+    ++s.io.pages_written;
+    --s.num_dirty;
+  }
+  s.frames.erase(it);
+  auto fc = s.extent_counters.find(
+      ExtentKey(victim.file, ExtentOfPage(victim.page)));
+  if (fc != s.extent_counters.end() && fc->second.resident_pages > 0) {
     --fc->second.resident_pages;
   }
 }
 
 void BufferPool::FlushAll() {
-  for (auto& [page, frame] : frames_) {
-    if (frame.dirty) {
-      frame.dirty = false;
-      ++io_.pages_written;
+  for (Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (auto& [page, frame] : s.frames) {
+      if (frame.dirty) {
+        frame.dirty = false;
+        ++s.io.pages_written;
+      }
     }
+    s.num_dirty = 0;
   }
-  num_dirty_ = 0;
 }
 
 void BufferPool::Clear() {
-  frames_.clear();
-  lru_.clear();
-  num_dirty_ = 0;
-  // drop_caches semantics between experiment trials: the residency
-  // history resets with the frames so the next trial starts calibrating
-  // from a genuinely cold state.
-  file_counters_.clear();
+  for (Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.frames.clear();
+    s.lru.clear();
+    s.num_dirty = 0;
+    // drop_caches semantics between experiment trials: the decayed
+    // NoteTouch history resets with the frames so the next trial (a cold
+    // A/B leg) starts calibrating from a genuinely cold state.
+    s.extent_counters.clear();
+  }
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats out;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    out.hits += s.stats.hits;
+    out.misses += s.stats.misses;
+    out.evictions += s.stats.evictions;
+    out.dirty_evictions += s.stats.dirty_evictions;
+  }
+  return out;
 }
 
 DiskStats BufferPool::DrainIo() {
-  DiskStats out = io_;
-  io_ = DiskStats{};
+  DiskStats out;
+  for (Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    out += s.io;
+    s.io = DiskStats{};
+  }
   return out;
 }
 

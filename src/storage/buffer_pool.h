@@ -1,13 +1,23 @@
 // LRU buffer pool with dirty-page tracking. This is the mechanism behind the
 // paper's Experiment 3: many secondary B+Trees dirty more pages than fit in
 // RAM, so batched inserts force eviction write-backs; CMs stay resident.
+//
+// The pool is internally thread-safe via lock striping: pages hash to one of
+// `num_stripes` independent LRU partitions, each with its own mutex and its
+// own share of the capacity. A single-striped pool (the default) behaves
+// exactly like the classic global-LRU pool; the serving layer constructs a
+// multi-striped pool so concurrent readers charging their sweeps no longer
+// funnel through one lock.
 #ifndef CORRMAP_STORAGE_BUFFER_POOL_H_
 #define CORRMAP_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "storage/disk_model.h"
 #include "storage/page.h"
@@ -24,15 +34,15 @@ struct BufferPoolStats {
   std::string ToString() const;
 };
 
-/// Live residency snapshot for one file (table heap or index), the input
-/// the cost model's calibration consumes (CostInputs::heap_residency /
-/// index_residency). `hit_rate` is an exponentially decayed fraction of
-/// this file's page touches that hit the pool -- decayed so a workload
-/// shift (a range going cold, a recluster retiring a file) fades out of
-/// the estimate within ~kResidencyDecayWindow touches instead of being
-/// averaged against the whole history. `resident_fraction` is the exact
-/// fraction of the file's pages currently cached (needs the caller to say
-/// how many pages the file has).
+/// Live residency snapshot for one file (table heap or index) or one extent
+/// of it, the input the cost model's calibration consumes
+/// (CostInputs::heap_residency / index_residency). `hit_rate` is an
+/// exponentially decayed fraction of the touches that hit the pool --
+/// decayed so a workload shift (a range going cold, a recluster retiring a
+/// file) fades out of the estimate within ~kResidencyDecayWindow touches
+/// instead of being averaged against the whole history. `resident_fraction`
+/// is the exact fraction of the file's pages currently cached (needs the
+/// caller to say how many pages the file has).
 struct FileResidency {
   double hit_rate = 0;
   double resident_fraction = 0;
@@ -47,14 +57,20 @@ struct FileResidency {
 /// drain into their operation cost.
 class BufferPool {
  public:
-  explicit BufferPool(size_t capacity_pages);
+  /// `num_stripes` > 1 partitions the capacity into independent LRU
+  /// stripes keyed by page hash (set-associative flavor); 1 keeps the
+  /// classic single global LRU. Clamped so every stripe holds >= 1 page.
+  explicit BufferPool(size_t capacity_pages, size_t num_stripes = 1);
 
   size_t capacity_pages() const { return capacity_pages_; }
-  size_t num_cached() const { return frames_.size(); }
-  size_t num_dirty() const { return num_dirty_; }
+  size_t num_stripes() const { return stripes_.size(); }
+  size_t num_cached() const;
+  size_t num_dirty() const;
 
   /// Issues a fresh file id for a table or index backed by this pool.
-  uint32_t RegisterFile() { return next_file_id_++; }
+  uint32_t RegisterFile() {
+    return next_file_id_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Touches a page: hit moves it to MRU; miss charges one random read and
   /// may evict the LRU page (charging a write if dirty). `mark_dirty`
@@ -73,28 +89,48 @@ class BufferPool {
   /// Serving-sweep primitive: touches `page` (hit moves to MRU, miss
   /// admits without charging a seek -- the caller prices the I/O itself
   /// from the returned hit/miss) and returns whether it was already
-  /// resident. Feeds the per-file decayed counters like every other
-  /// touch.
+  /// resident. Feeds the per-extent decayed counters like every other
+  /// touch. Thread-safe: only this page's stripe is locked.
   bool Touch(PageId page);
 
-  bool IsCached(PageId page) const { return frames_.count(page) > 0; }
+  bool IsCached(PageId page) const;
 
-  /// Decay window (in touches of one file) for the per-file hit-rate
-  /// estimate exported through ResidencyOf.
+  /// Decay window (in touches of one extent) for the hit-rate estimate
+  /// exported through ResidencyOf / ResidencyOfExtent.
   static constexpr double kResidencyDecayWindow = 512;
 
-  /// Residency snapshot for `file`. `file_pages` is the file's current
-  /// page count (resident_fraction needs it; pass 0 to skip it).
+  /// Residency is tracked per fixed-size extent of kExtentPages pages
+  /// (512 KiB at the default 8 KiB page) so a hot range of a file can
+  /// price near-CPU while a cold range of the same file prices at device
+  /// cost.
+  static constexpr uint64_t kExtentPages = 64;
+
+  static uint64_t ExtentOfPage(PageNo page) { return page / kExtentPages; }
+  static uint64_t NumExtents(uint64_t file_pages) {
+    return (file_pages + kExtentPages - 1) / kExtentPages;
+  }
+
+  /// Whole-file residency snapshot for `file`, aggregated over its
+  /// extents. `file_pages` is the file's current page count
+  /// (resident_fraction needs it; pass 0 to skip it).
   FileResidency ResidencyOf(uint32_t file, uint64_t file_pages = 0) const;
+
+  /// Extent-granular residency: decayed hit rate and resident pages of
+  /// extent `extent` (pages [extent*kExtentPages, ...)) of `file` alone.
+  FileResidency ResidencyOfExtent(uint32_t file, uint64_t extent) const;
 
   /// Writes back all dirty pages (checkpoint), charging one write each.
   void FlushAll();
 
   /// Drops every frame without writing (used to model a cold cache between
-  /// experiment trials, like the paper's drop_caches).
+  /// experiment trials, like the paper's drop_caches). Also resets the
+  /// decayed per-extent touch history so the next trial's residency
+  /// calibration starts genuinely cold.
   void Clear();
 
-  const BufferPoolStats& stats() const { return stats_; }
+  /// Aggregated counters across stripes (by value: the per-stripe ledgers
+  /// are summed under their locks).
+  BufferPoolStats stats() const;
 
   /// Returns and resets the accumulated I/O charges.
   DiskStats DrainIo();
@@ -105,25 +141,47 @@ class BufferPool {
     bool dirty = false;
   };
 
-  /// Exponentially decayed per-file touch counters plus an exact resident
-  /// page count, maintained by every Access/Admit/Touch and by evictions.
-  struct FileCounters {
+  /// Exponentially decayed per-extent touch counters plus an exact
+  /// resident page count, maintained by every Access/Admit/Touch and by
+  /// evictions. Keyed by (file, extent); an extent's pages may hash to
+  /// several stripes, so readers aggregate across stripes.
+  struct ExtentCounters {
     double decayed_hits = 0;
     double decayed_misses = 0;
     uint64_t resident_pages = 0;
   };
 
-  void EvictOne();
-  void NoteTouch(uint32_t file, bool hit);
+  /// One LRU partition: its own lock, frames, capacity share, counters
+  /// and ledgers. All mutation happens under `mu`.
+  struct Stripe {
+    mutable std::mutex mu;
+    std::list<PageId> lru;  // front = MRU, back = LRU
+    std::unordered_map<PageId, Frame, PageIdHash> frames;
+    std::unordered_map<uint64_t, ExtentCounters> extent_counters;
+    size_t capacity = 0;
+    size_t num_dirty = 0;
+    BufferPoolStats stats;
+    DiskStats io;
+  };
+
+  static uint64_t ExtentKey(uint32_t file, uint64_t extent) {
+    return (uint64_t(file) << 40) ^ extent;
+  }
+
+  Stripe& StripeOf(PageId page) {
+    return stripes_[PageIdHash{}(page) % stripes_.size()];
+  }
+  const Stripe& StripeOf(PageId page) const {
+    return stripes_[PageIdHash{}(page) % stripes_.size()];
+  }
+
+  static void EvictOne(Stripe& s);
+  static void NoteTouch(Stripe& s, PageId page, bool hit);
+  static void AdmitLocked(Stripe& s, PageId page, bool mark_dirty);
 
   size_t capacity_pages_;
-  std::list<PageId> lru_;  // front = MRU, back = LRU
-  std::unordered_map<PageId, Frame, PageIdHash> frames_;
-  std::unordered_map<uint32_t, FileCounters> file_counters_;
-  size_t num_dirty_ = 0;
-  uint32_t next_file_id_ = 0;
-  BufferPoolStats stats_;
-  DiskStats io_;
+  std::vector<Stripe> stripes_;
+  std::atomic<uint32_t> next_file_id_{0};
 };
 
 }  // namespace corrmap

@@ -41,6 +41,7 @@
 #include "index/clustered_index.h"
 #include "serve/recluster.h"
 #include "serve/serving_engine.h"
+#include "serve/shard_router.h"
 #include "storage/table.h"
 
 namespace corrmap {
@@ -743,6 +744,269 @@ TEST(CrudFuzzTest, ConcurrentReaderStaysExactAcrossLiveCompactions) {
               expected[i]);
   }
   ExpectCidxEqualsScratchBuild(*h.engine);
+}
+
+// ---------------------------------------------------------------------------
+// Routed mode: the same CRUD interleavings driven through a 4-shard
+// ShardRouter. Every step keeps the three-way differential exact -- the
+// router's merged probe == the sum of full scans over every shard's
+// current table == the shadow oracle -- across per-shard reclusters and
+// compactions, cross-shard update moves, and CM-pruned scatters.
+// ---------------------------------------------------------------------------
+
+struct RoutedCrudFuzzHarness {
+  std::unique_ptr<Table> table;
+  std::unique_ptr<serve::ShardRouter> router;
+  Rng rng;
+  std::unordered_map<int64_t, std::array<int64_t, 3>> oracle;
+  std::vector<int64_t> live_ids;
+  int64_t next_id = 0;
+
+  RoutedCrudFuzzHarness(uint64_t seed, int base_rows, size_t reserve_extra)
+      : rng(seed) {
+    Schema schema({ColumnDef::Int64("c"), ColumnDef::Int64("u"),
+                   ColumnDef::Int64("v"), ColumnDef::Int64("id")});
+    table = std::make_unique<Table>("t", std::move(schema));
+    for (int i = 0; i < base_rows; ++i) {
+      const int64_t u = rng.UniformInt(0, 499);
+      const int64_t v = rng.UniformInt(0, 49);
+      const int64_t c = u / 10 + rng.UniformInt(0, 1);
+      std::array<Value, 4> row = {Value(c), Value(u), Value(v),
+                                  Value(next_id)};
+      EXPECT_TRUE(table->AppendRow(row).ok());
+      oracle[next_id] = {c, u, v};
+      live_ids.push_back(next_id);
+      ++next_id;
+    }
+    EXPECT_TRUE(table->ClusterBy(0).ok());
+    serve::RouterOptions opts;
+    opts.num_shards = 4;
+    opts.engine.num_workers = 1;
+    opts.engine.reserve_rows = size_t(base_rows) + reserve_extra;
+    opts.engine.calibration_period = 16;
+    auto r = serve::ShardRouter::Create(*table, 0, opts);
+    EXPECT_TRUE(r.ok());
+    router = std::move(*r);
+    // Same CM spread as the single-engine harness: the unbucketed identity
+    // CM over u snapshot-copies across each shard's swaps; the c-bucketed
+    // CM over v is re-based per shard per swap.
+    CmOptions c0;
+    c0.u_cols = {1};
+    c0.u_bucketers = {Bucketer::Identity()};
+    c0.c_col = 0;
+    EXPECT_TRUE(router->AttachCm(c0).ok());
+    auto cb = ClusteredBucketing::Build(*table, 0, 32);
+    EXPECT_TRUE(cb.ok());
+    CmOptions c1;
+    c1.u_cols = {2};
+    c1.u_bucketers = {Bucketer::NumericWidth(4)};
+    c1.c_col = 0;
+    c1.c_buckets = &*cb;
+    EXPECT_TRUE(router->AttachCm(c1).ok());
+  }
+
+  /// Current (shard, rid) of logical row `id`.
+  std::pair<size_t, RowId> ResolveId(int64_t id) const {
+    for (size_t s = 0; s < router->num_shards(); ++s) {
+      const Table& t = router->shard(s).table();
+      for (RowId r = 0; r < t.NumRows(); ++r) {
+        if (!t.IsDeleted(r) && t.GetKey(r, 3) == Key(id)) return {s, r};
+      }
+    }
+    ADD_FAILURE() << "live id " << id << " not found in any shard";
+    return {0, 0};
+  }
+
+  int64_t PickLiveId() {
+    const size_t i = size_t(rng.UniformInt(0, int64_t(live_ids.size()) - 1));
+    return live_ids[i];
+  }
+
+  void ForgetId(int64_t id) {
+    const auto it = std::find(live_ids.begin(), live_ids.end(), id);
+    ASSERT_NE(it, live_ids.end());
+    *it = live_ids.back();
+    live_ids.pop_back();
+    oracle.erase(id);
+  }
+
+  void AppendBatch(int max_rows) {
+    const int n = int(rng.UniformInt(1, max_rows));
+    std::vector<std::vector<Key>> rows;
+    rows.reserve(size_t(n));
+    for (int i = 0; i < n; ++i) {
+      const int64_t u = rng.UniformInt(0, 499);
+      const int64_t v = rng.UniformInt(0, 49);
+      rows.push_back({Key(u / 10), Key(u), Key(v), Key(next_id)});
+      oracle[next_id] = {u / 10, u, v};
+      live_ids.push_back(next_id);
+      ++next_id;
+    }
+    ASSERT_TRUE(router->ApplyAppend(rows).ok());
+  }
+
+  void DeleteOne() {
+    const int64_t id = PickLiveId();
+    const auto [shard, rid] = ResolveId(id);
+    ASSERT_TRUE(
+        router->ApplyDelete(shard, rid, router->ShardEpoch(shard)).ok());
+    ForgetId(id);
+  }
+
+  void UpdateOne() {
+    const int64_t id = PickLiveId();
+    const auto [shard, rid] = ResolveId(id);
+    const int64_t u = rng.UniformInt(0, 499);
+    const int64_t v = rng.UniformInt(0, 49);
+    const std::array<Key, 4> fresh = {Key(u / 10), Key(u), Key(v), Key(id)};
+    ASSERT_TRUE(
+        router->ApplyUpdate(shard, rid, fresh, router->ShardEpoch(shard))
+            .ok());
+    oracle[id] = {u / 10, u, v};
+  }
+
+  QuerySpec RandomSpec() {
+    switch (rng.UniformInt(0, 4)) {
+      case 0: {
+        const int64_t u = rng.UniformInt(0, 520);
+        return {Query({Predicate::Eq(*table, "u", Value(u))}), 1, u, u};
+      }
+      case 1: {
+        const int64_t lo = rng.UniformInt(0, 480);
+        const int64_t hi = lo + rng.UniformInt(0, 60);
+        return {Query({Predicate::Between(*table, "u", Value(lo),
+                                          Value(hi))}),
+                1, lo, hi};
+      }
+      case 2: {
+        const int64_t v = rng.UniformInt(0, 55);
+        return {Query({Predicate::Eq(*table, "v", Value(v))}), 2, v, v};
+      }
+      case 3: {
+        // Clustered predicates exercise the key-range routing tier.
+        const int64_t lo = rng.UniformInt(0, 45);
+        const int64_t hi = lo + rng.UniformInt(0, 12);
+        return {Query({Predicate::Between(*table, "c", Value(lo),
+                                          Value(hi))}),
+                0, lo, hi};
+      }
+      default: {
+        const int64_t lo = rng.UniformInt(0, 45);
+        const int64_t hi = lo + rng.UniformInt(0, 10);
+        return {Query({Predicate::Between(*table, "v", Value(lo),
+                                          Value(hi))}),
+                2, lo, hi};
+      }
+    }
+  }
+
+  uint64_t OracleCount(const QuerySpec& s) const {
+    uint64_t n = 0;
+    for (const auto& [id, vals] : oracle) {
+      const int64_t x = vals[s.col];
+      if (x >= s.lo && x <= s.hi) ++n;
+    }
+    return n;
+  }
+
+  uint64_t ScanAllShards(const Query& q) const {
+    uint64_t n = 0;
+    for (size_t s = 0; s < router->num_shards(); ++s) {
+      n += FullTableScan(router->shard(s).table(), q).NumMatches();
+    }
+    return n;
+  }
+
+  /// Three-way differential through the router: merged probe == per-shard
+  /// scans summed == shadow oracle, plus routing sanity (every shard is
+  /// either visited or pruned, never both or neither).
+  void ExpectThreeWayExact(const QuerySpec& s) {
+    const serve::RoutedSelectResult res = router->ExecuteSelect(s.query);
+    ASSERT_EQ(res.shards_visited + res.shards_pruned, router->num_shards());
+    const uint64_t scan = ScanAllShards(s.query);
+    const uint64_t expected = OracleCount(s);
+    ASSERT_EQ(res.merged.num_matches, scan)
+        << "router probe != summed shard scans, plan " << res.merged.plan;
+    ASSERT_EQ(res.merged.num_matches, expected)
+        << "router diverged from the shadow oracle (visited "
+        << res.shards_visited << ", pruned " << res.shards_pruned << ")";
+  }
+
+  size_t TotalLiveRows() const {
+    size_t n = 0;
+    for (size_t s = 0; s < router->num_shards(); ++s) {
+      n += router->shard(s).table().NumLiveRows();
+    }
+    return n;
+  }
+};
+
+void RunRoutedCrudFuzz(uint64_t seed, int ops, int base_rows) {
+  RoutedCrudFuzzHarness h(seed, base_rows,
+                          /*reserve_extra=*/size_t(ops) * 300 + 4096);
+  for (int op = 0; op < ops; ++op) {
+    switch (h.rng.UniformInt(0, 11)) {
+      case 0:
+      case 1: {
+        h.AppendBatch(200);
+        break;
+      }
+      case 2:
+      case 3: {
+        h.DeleteOne();
+        break;
+      }
+      case 4:
+      case 5: {
+        h.UpdateOne();
+        break;
+      }
+      case 6: {  // recluster one random shard
+        const size_t s =
+            size_t(h.rng.UniformInt(0, int64_t(h.router->num_shards()) - 1));
+        auto stats = h.router->Recluster(s);
+        ASSERT_TRUE(stats.ok());
+        if (stats->performed()) {
+          ASSERT_EQ(h.router->shard(s).TailRows(), 0u);
+        }
+        break;
+      }
+      case 7: {  // compact one random shard
+        const size_t s =
+            size_t(h.rng.UniformInt(0, int64_t(h.router->num_shards()) - 1));
+        auto stats = h.router->Compact(s);
+        ASSERT_TRUE(stats.ok());
+        break;
+      }
+      case 8: {
+        ASSERT_TRUE(h.router->CheckInvariants().ok());
+        break;
+      }
+      default: {
+        h.ExpectThreeWayExact(h.RandomSpec());
+        break;
+      }
+    }
+    ASSERT_EQ(h.TotalLiveRows(), h.oracle.size());
+    if (op % 16 == 15) {
+      for (int i = 0; i < 3; ++i) h.ExpectThreeWayExact(h.RandomSpec());
+    }
+  }
+  // Quiescent close: compact every shard, then a final differential sweep
+  // with no tails and no tombstones anywhere in the partition.
+  ASSERT_TRUE(h.router->CompactAll().ok());
+  for (size_t s = 0; s < h.router->num_shards(); ++s) {
+    ASSERT_EQ(h.router->shard(s).TailRows(), 0u);
+    ASSERT_EQ(h.router->shard(s).table().NumDeleted(), 0u);
+  }
+  ASSERT_TRUE(h.router->CheckInvariants().ok());
+  for (int i = 0; i < 12; ++i) h.ExpectThreeWayExact(h.RandomSpec());
+}
+
+TEST(RoutedCrudFuzzTest, CrudThroughRouterStaysThreeWayExact) {
+  for (uint64_t seed : {0xD1ull, 0xD2ull}) {
+    RunRoutedCrudFuzz(seed, /*ops=*/90, /*base_rows=*/3000);
+  }
 }
 
 TEST(CrudFuzzTest, LongCrudInterleavings) {

@@ -209,6 +209,50 @@ TEST(ReclusterTest, DrainsTailAndKeepsProbeEqualsScan) {
   f.ExpectProbeEqualsScan(eq);
 }
 
+TEST(ReclusterTest, UnbucketedCmsAreSnapshotCopiedNotRehashed) {
+  // Unbucketed CM content encodes clustered *values*, which the physical
+  // reorder does not change: the pass must carry the fixture's identity
+  // CM into the successor by snapshot copy, while a c-bucketed CM (its
+  // ordinals are positional bucket ids) is still rebuilt in phase 1.
+  ReclusterEngineFixture f;
+  auto cb = ClusteredBucketing::Build(*f.table, 0, 64);
+  ASSERT_TRUE(cb.ok());
+  CmOptions bucketed;
+  bucketed.u_cols = {1};
+  bucketed.u_bucketers = {Bucketer::NumericWidth(8)};
+  bucketed.c_col = 0;
+  bucketed.c_buckets = &*cb;
+  ASSERT_TRUE(f.engine->AttachCm(bucketed).ok());
+  EXPECT_EQ(f.engine->CmSnapshotCopies(), 0u);
+
+  const Query eq({Predicate::Eq(*f.table, "u", Value(321))});
+  ASSERT_TRUE(f.engine->ApplyAppend(f.MakeRows(5000, 211)).ok());
+  auto stats = f.engine->Recluster();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->performed());
+  // Exactly the unbucketed slot was copied; the bucketed one was not.
+  EXPECT_EQ(stats->cms_snapshot_copied, 1u);
+  EXPECT_EQ(f.engine->CmSnapshotCopies(), 1u);
+  EXPECT_EQ(f.engine->num_cms(), 2u);
+  EXPECT_TRUE(f.engine->CheckInvariants().ok());
+  f.ExpectProbeEqualsScan(eq);
+
+  // The copied map serves the successor epoch exactly, including across
+  // a second pass with deletes in flight.
+  for (RowId r = 0; r < 400; ++r) {
+    ASSERT_TRUE(f.engine->ApplyDelete(r * 3).ok());
+  }
+  ASSERT_TRUE(f.engine->ApplyAppend(f.MakeRows(700, 223)).ok());
+  auto again = f.engine->Compact();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->cms_snapshot_copied, 1u);
+  EXPECT_EQ(f.engine->CmSnapshotCopies(), 2u);
+  EXPECT_TRUE(f.engine->CheckInvariants().ok());
+  f.ExpectProbeEqualsScan(eq);
+  f.ExpectProbeEqualsScan(
+      Query({Predicate::Between(*f.table, "u", Value(150), Value(260))}));
+}
+
 TEST(ReclusterTest, EmptyTailIsANoOp) {
   ReclusterEngineFixture f;
   auto stats = f.engine->Recluster();

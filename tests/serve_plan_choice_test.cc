@@ -395,5 +395,73 @@ TEST(ServePlanChoiceTest, PlanChoiceNeverWorseThanFirstMatchOnTheMatrix) {
   }
 }
 
+TEST(ServePlanChoiceTest, SecondaryIndexEntersTheSameDeliberationAsCms) {
+  // A secondary index over u competes in the exact same ChooseAccessPlan
+  // call as the CM candidates: both kinds must appear, the chosen plan
+  // must be the estimated minimum over ALL of them, and execution stays
+  // row-exact whichever wins.
+  PlanWorld w;
+  ASSERT_TRUE(w.AttachIdentityCm(1).ok());
+  ASSERT_TRUE(w.engine->AttachSecondaryIndex({1}).ok());
+  EXPECT_EQ(w.engine->num_secondary_indexes(), 1u);
+
+  const Query q({Predicate::Eq(*w.table, "u", Value(777))});
+  const PlanSet offline = w.engine->PlanSelect(q);
+  bool saw_sidx = false;
+  bool saw_cm = false;
+  for (const PlanCandidate& c : offline.candidates) {
+    saw_sidx = saw_sidx || c.kind == PlanKind::kSortedIndex;
+    saw_cm = saw_cm || c.kind == PlanKind::kCmProbe;
+    EXPECT_GE(c.est_ms, offline.chosen_plan().est_ms)
+        << c.description << " beat the chosen " <<
+        offline.chosen_plan().description;
+  }
+  EXPECT_TRUE(saw_sidx) << "sorted-index candidate missing from PlanSelect";
+  EXPECT_TRUE(saw_cm);
+  ExpectExactAndParity(w, q);
+}
+
+TEST(ServePlanChoiceTest, SecondaryIndexWinsNarrowSelectionWithoutACm) {
+  // No CM attached: the only exact alternatives for Eq(u) are a full scan
+  // and the secondary index. u=777 matches ~60 of 120k rows and the soft
+  // FD keeps them physically near-contiguous, so the index's few short
+  // runs must price below the scan and win.
+  PlanWorld w;
+  ASSERT_TRUE(w.engine->AttachSecondaryIndex({1}).ok());
+  const Query q({Predicate::Eq(*w.table, "u", Value(777))});
+  const PlanSet offline = w.engine->PlanSelect(q);
+  EXPECT_EQ(offline.chosen_plan().kind, PlanKind::kSortedIndex);
+  ExpectExactAndParity(w, q);
+}
+
+TEST(ServePlanChoiceTest, SecondaryIndexStaysExactThroughCrudAndRecluster) {
+  // The per-epoch index covers only the build-time clustered region:
+  // appends are swept from the tail, deleted rids are re-filtered at
+  // execution, and a recluster rebuilds the index over the successor.
+  // probe==scan must hold at every step.
+  PlanWorld w;
+  ASSERT_TRUE(w.engine->AttachSecondaryIndex({2}).ok());
+  const Query q({Predicate::Eq(*w.table, "v", Value(55))});
+  const Query qr(
+      {Predicate::Between(*w.table, "v", Value(10), Value(20))});
+  ExpectExactAndParity(w, q);
+  ExpectExactAndParity(w, qr);
+
+  ASSERT_TRUE(w.engine->ApplyAppend(w.MakeRows(4000, 7)).ok());
+  for (RowId r = 0; r < 500; ++r) {
+    ASSERT_TRUE(w.engine->ApplyDelete(r * 7).ok());
+  }
+  ExpectExactAndParity(w, q);
+  ExpectExactAndParity(w, qr);
+
+  auto stats = w.engine->Recluster();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->performed());
+  EXPECT_EQ(w.engine->num_secondary_indexes(), 1u);
+  EXPECT_EQ(w.engine->TailRows(), 0u);
+  ExpectExactAndParity(w, q);
+  ExpectExactAndParity(w, qr);
+}
+
 }  // namespace
 }  // namespace corrmap

@@ -1,0 +1,310 @@
+// ShardRouter coverage: routing correctness (clustered predicates visit
+// exactly the owning shards, appends land where their key routes),
+// CM-pruned scatter parity with a full scatter-gather, cross-shard merge
+// determinism, per-shard recluster epochs (a swap in one shard aborts only
+// that shard's stale writers), and cross-shard update moves.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/access_path.h"
+#include "serve/shard_router.h"
+#include "storage/table.h"
+
+namespace corrmap {
+namespace {
+
+using serve::RoutedSelectResult;
+using serve::RouterOptions;
+using serve::ServingEngine;
+using serve::ServingOptions;
+using serve::ShardRouter;
+
+/// Correlated (c ~ u/10) three-column table clustered on c, partitioned
+/// four ways, with an unbucketed CM over u -- so u-queries can prune
+/// shards through the CM and c-queries route by key range.
+struct RouterFixture {
+  std::unique_ptr<Table> table;
+  std::unique_ptr<ShardRouter> router;
+  Rng rng;
+
+  explicit RouterFixture(size_t num_shards = 4, int rows = 12000,
+                         bool attach_cm = true)
+      : rng(0x5AD) {
+    Schema schema({ColumnDef::Int64("c"), ColumnDef::Int64("u"),
+                   ColumnDef::Int64("v")});
+    table = std::make_unique<Table>("t", std::move(schema));
+    for (int i = 0; i < rows; ++i) {
+      const int64_t u = rng.UniformInt(0, 999);
+      std::array<Value, 3> row = {Value(u / 10 + rng.UniformInt(0, 1)),
+                                  Value(u), Value(rng.UniformInt(0, 49))};
+      EXPECT_TRUE(table->AppendRow(row).ok());
+    }
+    EXPECT_TRUE(table->ClusterBy(0).ok());
+    RouterOptions opts;
+    opts.num_shards = num_shards;
+    opts.engine.num_workers = 1;
+    opts.engine.reserve_rows = size_t(rows) + 65536;
+    auto r = ShardRouter::Create(*table, 0, opts);
+    EXPECT_TRUE(r.ok());
+    router = std::move(*r);
+    if (attach_cm) {
+      CmOptions cm;
+      cm.u_cols = {1};
+      cm.u_bucketers = {Bucketer::Identity()};
+      cm.c_col = 0;
+      EXPECT_TRUE(router->AttachCm(cm).ok());
+    }
+  }
+
+  /// Oracle: sum of full scans over every shard's current table.
+  uint64_t ScanAllShards(const Query& q) const {
+    uint64_t n = 0;
+    for (size_t s = 0; s < router->num_shards(); ++s) {
+      n += FullTableScan(router->shard(s).table(), q).NumMatches();
+    }
+    return n;
+  }
+};
+
+TEST(ShardRouterTest, PartitionCoversEveryRowExactlyOnce) {
+  RouterFixture f;
+  ASSERT_EQ(f.router->num_shards(), 4u);
+  ASSERT_EQ(f.router->split_keys().size(), 3u);
+  uint64_t rows = 0;
+  for (size_t s = 0; s < f.router->num_shards(); ++s) {
+    rows += f.router->shard(s).table().NumRows();
+    EXPECT_GT(f.router->shard(s).table().NumRows(), 0u);
+  }
+  EXPECT_EQ(rows, f.table->NumRows());
+  EXPECT_TRUE(f.router->CheckInvariants().ok());
+  // Shards share one pool and one cache.
+  ASSERT_NE(f.router->pool(), nullptr);
+  for (size_t s = 0; s < f.router->num_shards(); ++s) {
+    EXPECT_EQ(f.router->shard(s).pool(), f.router->pool());
+    EXPECT_EQ(&f.router->shard(s).cache(), &f.router->cache());
+  }
+}
+
+TEST(ShardRouterTest, ClusteredPredicatesRouteToOwningShardsOnly) {
+  RouterFixture f;
+  // A clustered point key lives in exactly one shard.
+  const Query eq({Predicate::Eq(*f.table, "c", Value(42))});
+  const RoutedSelectResult point = f.router->ExecuteSelect(eq);
+  EXPECT_TRUE(point.clustered_routed);
+  EXPECT_EQ(point.shards_visited, 1u);
+  EXPECT_EQ(point.shards_pruned, 3u);
+  EXPECT_EQ(point.merged.num_matches, f.ScanAllShards(eq));
+  EXPECT_EQ(point.merged.num_matches,
+            FullTableScan(*f.table, eq).NumMatches());
+
+  // A clustered range spans a contiguous shard span.
+  const Query wide({Predicate::Between(*f.table, "c", Value(0),
+                                       Value(1000))});
+  const RoutedSelectResult all = f.router->ExecuteSelect(wide);
+  EXPECT_TRUE(all.clustered_routed);
+  EXPECT_EQ(all.shards_visited, 4u);
+  EXPECT_EQ(all.merged.num_matches, f.table->NumRows());
+
+  const Query narrow({Predicate::Between(*f.table, "c", Value(10),
+                                         Value(30))});
+  const RoutedSelectResult span = f.router->ExecuteSelect(narrow);
+  EXPECT_TRUE(span.clustered_routed);
+  EXPECT_LT(span.shards_visited, 4u);
+  EXPECT_EQ(span.merged.num_matches, f.ScanAllShards(narrow));
+  EXPECT_EQ(f.router->ClusteredRoutedSelects(), 3u);
+}
+
+TEST(ShardRouterTest, CmPrunedScatterMatchesFullScatter) {
+  RouterFixture f;
+  // u is correlated with the clustered key (c ~ u/10), so a u-point query
+  // touches one or two c values and the per-shard CM lookups empty out
+  // every other shard. Parity: the pruned scatter must count exactly what
+  // visiting every shard counts.
+  uint64_t pruned_selects = 0;
+  for (int64_t u = 5; u < 1000; u += 97) {
+    const Query q({Predicate::Eq(*f.table, "u", Value(u))});
+    const RoutedSelectResult res = f.router->ExecuteSelect(q);
+    EXPECT_FALSE(res.clustered_routed);
+    EXPECT_EQ(res.shards_visited + res.shards_pruned,
+              f.router->num_shards());
+    EXPECT_EQ(res.merged.num_matches, f.ScanAllShards(q));
+    if (res.cm_pruned) {
+      ++pruned_selects;
+      EXPECT_LT(res.shards_visited, f.router->num_shards());
+    }
+  }
+  // The correlation must actually prune: a u-point maps to <= 2 adjacent
+  // c values, which intersect at most 2 of the 4 ranges.
+  EXPECT_GT(pruned_selects, 0u);
+  EXPECT_EQ(f.router->CmPrunedSelects(), pruned_selects);
+  EXPECT_GT(f.router->ShardsPrunedTotal(), 0u);
+}
+
+TEST(ShardRouterTest, UnprunableQueriesFallBackToFullScatter) {
+  RouterFixture f(/*num_shards=*/4, /*rows=*/12000, /*attach_cm=*/false);
+  // No CM attached: an unclustered predicate cannot prune anything.
+  const Query q({Predicate::Eq(*f.table, "u", Value(123))});
+  const RoutedSelectResult res = f.router->ExecuteSelect(q);
+  EXPECT_FALSE(res.clustered_routed);
+  EXPECT_FALSE(res.cm_pruned);
+  EXPECT_EQ(res.shards_visited, 4u);
+  EXPECT_EQ(res.merged.num_matches, f.ScanAllShards(q));
+}
+
+TEST(ShardRouterTest, CrossShardMergeIsDeterministicAndSummed) {
+  RouterFixture f;
+  const Query q({Predicate::Between(*f.table, "u", Value(100),
+                                    Value(900))});
+  const RoutedSelectResult a = f.router->ExecuteSelect(q);
+  const RoutedSelectResult b = f.router->ExecuteSelect(q);
+  EXPECT_EQ(a.merged.num_matches, b.merged.num_matches);
+  EXPECT_EQ(a.shards_visited, b.shards_visited);
+  EXPECT_EQ(a.merged.num_matches, f.ScanAllShards(q));
+  // Candidates were deliberated per visited shard and summed.
+  EXPECT_GE(a.merged.plan_candidates, a.shards_visited);
+}
+
+TEST(ShardRouterTest, AppendsRouteByClusteredKey) {
+  RouterFixture f;
+  std::vector<std::vector<Key>> rows;
+  for (int64_t c : {1, 30, 60, 95, 95, 1}) {
+    rows.push_back({Key(c), Key(c * 10), Key(int64_t{7})});
+  }
+  ASSERT_TRUE(f.router->ApplyAppend(rows).ok());
+  for (const auto& row : rows) {
+    const size_t owner = f.router->RouteKey(row[0]);
+    // The appended row must be a tail row of exactly its owning shard.
+    EXPECT_GT(f.router->shard(owner).TailRows(), 0u);
+  }
+  const Query v7({Predicate::Eq(*f.table, "v", Value(7))});
+  EXPECT_EQ(f.router->ExecuteSelect(v7).merged.num_matches,
+            f.ScanAllShards(v7));
+  EXPECT_TRUE(f.router->CheckInvariants().ok());
+
+  // A tail row makes its shard unprunable even when the CM lookup is
+  // empty: u=10*c values exist, but u=999999 does not -- shards with
+  // tails must still be visited.
+  const Query missing({Predicate::Eq(*f.table, "u", Value(999999))});
+  const RoutedSelectResult res = f.router->ExecuteSelect(missing);
+  EXPECT_EQ(res.merged.num_matches, 0u);
+  for (size_t s = 0; s < f.router->num_shards(); ++s) {
+    if (f.router->shard(s).TailRows() > 0) {
+      // ... which bounds the pruning below a full skip.
+      EXPECT_LT(res.shards_pruned, f.router->num_shards());
+    }
+  }
+}
+
+TEST(ShardRouterTest, PerShardEpochsAbortOnlyTheRecusteredShard) {
+  RouterFixture f;
+  // Give every shard a tail so any shard's recluster performs.
+  std::vector<std::vector<Key>> rows;
+  Rng rng(0xEE);
+  for (int i = 0; i < 400; ++i) {
+    const int64_t u = rng.UniformInt(0, 999);
+    rows.push_back({Key(u / 10), Key(u), Key(rng.UniformInt(0, 49))});
+  }
+  ASSERT_TRUE(f.router->ApplyAppend(rows).ok());
+
+  const uint64_t e0 = f.router->ShardEpoch(0);
+  const uint64_t e1 = f.router->ShardEpoch(1);
+  auto stats = f.router->Recluster(0);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->performed());
+  EXPECT_GT(f.router->ShardEpoch(0), e0);
+  EXPECT_EQ(f.router->ShardEpoch(1), e1);  // untouched shard keeps its epoch
+
+  // A writer pinned to shard 0's stale epoch is refused; the same epoch is
+  // still valid for shard 1 (epochs are per shard).
+  EXPECT_EQ(f.router->ApplyDelete(0, 0, e0).code(), Status::Code::kAborted);
+  EXPECT_TRUE(f.router->ApplyDelete(1, 0, e1).ok());
+  EXPECT_TRUE(f.router->ApplyDelete(0, 0, f.router->ShardEpoch(0)).ok());
+  EXPECT_TRUE(f.router->CheckInvariants().ok());
+}
+
+TEST(ShardRouterTest, CrossShardUpdateMovesTheRow) {
+  RouterFixture f;
+  // Row 0 of shard 0 holds the partition's smallest clustered keys; move
+  // it to the top shard by rewriting its clustered key.
+  const ServingEngine& s0 = f.router->shard(0);
+  const Query old_q({Predicate::Eq(*f.table, "u",
+                                   s0.table().column(1).GetValue(0))});
+  const uint64_t before = f.router->ExecuteSelect(old_q).merged.num_matches;
+  ASSERT_GT(before, 0u);
+
+  const std::vector<Key> fresh = {Key(int64_t{99}), Key(int64_t{990}),
+                                  Key(int64_t{3})};
+  const size_t target = f.router->RouteKey(fresh[0]);
+  ASSERT_NE(target, 0u);
+  ASSERT_TRUE(f.router->ApplyUpdate(0, 0, fresh,
+                                    f.router->ShardEpoch(0)).ok());
+
+  EXPECT_EQ(f.router->ExecuteSelect(old_q).merged.num_matches, before - 1);
+  EXPECT_GT(f.router->shard(target).TailRows(), 0u);
+  EXPECT_EQ(f.router->shard(0).table().NumDeleted(), 1u);
+  const Query new_q({Predicate::Eq(*f.table, "u", Value(990))});
+  EXPECT_EQ(f.router->ExecuteSelect(new_q).merged.num_matches,
+            f.ScanAllShards(new_q));
+  EXPECT_TRUE(f.router->CheckInvariants().ok());
+}
+
+TEST(ShardRouterTest, ReclusterAllSnapshotCopiesUnbucketedCms) {
+  RouterFixture f;
+  std::vector<std::vector<Key>> rows;
+  Rng rng(0xAB);
+  for (int i = 0; i < 600; ++i) {
+    const int64_t u = rng.UniformInt(0, 999);
+    rows.push_back({Key(u / 10), Key(u), Key(rng.UniformInt(0, 49))});
+  }
+  ASSERT_TRUE(f.router->ApplyAppend(rows).ok());
+  ASSERT_TRUE(f.router->ReclusterAll().ok());
+  for (size_t s = 0; s < f.router->num_shards(); ++s) {
+    EXPECT_EQ(f.router->shard(s).TailRows(), 0u);
+    // The unbucketed CM crossed the swap by snapshot copy, not re-hash.
+    if (f.router->shard(s).ReclustersCompleted() > 0) {
+      EXPECT_GT(f.router->shard(s).CmSnapshotCopies(), 0u);
+    }
+  }
+  const Query q({Predicate::Eq(*f.table, "u", Value(250))});
+  EXPECT_EQ(f.router->ExecuteSelect(q).merged.num_matches,
+            f.ScanAllShards(q));
+  EXPECT_TRUE(f.router->CheckInvariants().ok());
+}
+
+TEST(ShardRouterTest, SingleShardDegeneratesToOneEngine) {
+  RouterFixture f(/*num_shards=*/1);
+  ASSERT_EQ(f.router->num_shards(), 1u);
+  EXPECT_TRUE(f.router->split_keys().empty());
+  const Query q({Predicate::Eq(*f.table, "u", Value(321))});
+  const RoutedSelectResult res = f.router->ExecuteSelect(q);
+  EXPECT_EQ(res.shards_visited, 1u);
+  EXPECT_EQ(res.shards_pruned, 0u);
+  EXPECT_EQ(res.merged.num_matches, FullTableScan(*f.table, q).NumMatches());
+}
+
+TEST(ShardRouterTest, FewDistinctKeysCapTheShardCount) {
+  Schema schema({ColumnDef::Int64("c"), ColumnDef::Int64("u")});
+  Table t("tiny", std::move(schema));
+  for (int i = 0; i < 100; ++i) {
+    std::array<Value, 2> row = {Value(i % 2), Value(int64_t{i})};
+    ASSERT_TRUE(t.AppendRow(row).ok());
+  }
+  ASSERT_TRUE(t.ClusterBy(0).ok());
+  RouterOptions opts;
+  opts.num_shards = 8;
+  opts.engine.num_workers = 1;
+  auto r = ShardRouter::Create(t, 0, opts);
+  ASSERT_TRUE(r.ok());
+  // Two distinct keys can fill at most two shards.
+  EXPECT_EQ((*r)->num_shards(), 2u);
+  EXPECT_TRUE((*r)->CheckInvariants().ok());
+  const Query q({Predicate::Eq(t, "c", Value(1))});
+  EXPECT_EQ((*r)->ExecuteSelect(q).merged.num_matches, 50u);
+}
+
+}  // namespace
+}  // namespace corrmap

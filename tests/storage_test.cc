@@ -298,6 +298,107 @@ TEST(BufferPoolTest, ResidencyTracksDecayedHitRateAndResidentPages) {
   EXPECT_DOUBLE_EQ(cleared.observed_touches, 0.0);
 }
 
+TEST(BufferPoolTest, ClearResetsDecayedTouchHistoryNotJustFrames) {
+  // Regression: Clear() used to drop the frames but keep the decayed
+  // NoteTouch counters, so the first post-Clear residency read reported
+  // the previous trial's hot hit rate. A cleared pool must look cold AND
+  // its next touches must start a fresh history, not blend into the old.
+  BufferPool pool(8);
+  const uint32_t f = pool.RegisterFile();
+  for (int round = 0; round < 32; ++round) {
+    for (PageNo p = 0; p < 4; ++p) pool.Touch({f, p});
+  }
+  ASSERT_GT(pool.ResidencyOf(f, 4).hit_rate, 0.9);
+
+  pool.Clear();
+  EXPECT_EQ(pool.num_cached(), 0u);
+  EXPECT_DOUBLE_EQ(pool.ResidencyOf(f, 4).hit_rate, 0.0);
+  EXPECT_DOUBLE_EQ(pool.ResidencyOf(f, 4).observed_touches, 0.0);
+
+  // One cold sweep after Clear: every touch is a miss. With the stale
+  // history blended in this would still read > 0.9.
+  for (PageNo p = 0; p < 4; ++p) pool.Touch({f, p});
+  const FileResidency fresh = pool.ResidencyOf(f, 4);
+  EXPECT_DOUBLE_EQ(fresh.hit_rate, 0.0);
+  EXPECT_EQ(fresh.resident_pages, 4u);
+  EXPECT_NEAR(fresh.observed_touches, 4.0, 0.1);
+}
+
+TEST(BufferPoolTest, StripedPoolKeepsHitMissAndEvictionAccounting) {
+  // A multi-striped pool partitions capacity by page hash; correctness of
+  // hit/miss/residency accounting must not depend on the stripe count.
+  BufferPool pool(64, /*num_stripes=*/4);
+  EXPECT_EQ(pool.num_stripes(), 4u);
+  const uint32_t f = pool.RegisterFile();
+
+  for (PageNo p = 0; p < 16; ++p) pool.Access({f, p}, false);
+  for (PageNo p = 0; p < 16; ++p) pool.Access({f, p}, false);
+  EXPECT_EQ(pool.stats().misses, 16u);
+  EXPECT_EQ(pool.stats().hits, 16u);
+  EXPECT_EQ(pool.num_cached(), 16u);
+  for (PageNo p = 0; p < 16; ++p) EXPECT_TRUE(pool.IsCached({f, p}));
+
+  // Overflow well past capacity: evictions happen per stripe, but the
+  // total never exceeds the pool-wide capacity.
+  for (PageNo p = 16; p < 512; ++p) pool.Access({f, p}, false);
+  EXPECT_LE(pool.num_cached(), pool.capacity_pages());
+  EXPECT_GT(pool.stats().evictions, 0u);
+  EXPECT_EQ(pool.stats().hits + pool.stats().misses, 528u);
+}
+
+TEST(BufferPoolTest, StripeCountClampedSoEveryStripeHoldsAPage) {
+  // More stripes than pages would starve some stripes entirely; the pool
+  // clamps instead.
+  BufferPool pool(2, /*num_stripes=*/16);
+  EXPECT_LE(pool.num_stripes(), 2u);
+  pool.Access({0, 1}, false);
+  pool.Access({0, 2}, false);
+  EXPECT_EQ(pool.num_cached(), 2u);
+}
+
+TEST(BufferPoolTest, ExtentResidencyIsTrackedIndependently) {
+  // Pages land in fixed 64-page extents; a hot extent must not lift the
+  // reported residency of a cold extent of the same file (this is what
+  // lets the cost model price a hot clustered range near-CPU while the
+  // cold remainder of the heap prices at device cost).
+  BufferPool pool(256);
+  const uint32_t f = pool.RegisterFile();
+  ASSERT_EQ(BufferPool::kExtentPages, 64u);
+  EXPECT_EQ(BufferPool::ExtentOfPage(0), 0u);
+  EXPECT_EQ(BufferPool::ExtentOfPage(63), 0u);
+  EXPECT_EQ(BufferPool::ExtentOfPage(64), 1u);
+  EXPECT_EQ(BufferPool::NumExtents(0), 0u);
+  EXPECT_EQ(BufferPool::NumExtents(1), 1u);
+  EXPECT_EQ(BufferPool::NumExtents(64), 1u);
+  EXPECT_EQ(BufferPool::NumExtents(65), 2u);
+
+  // Hammer extent 0, touch extent 1 once (all misses).
+  for (int round = 0; round < 16; ++round) {
+    for (PageNo p = 0; p < 8; ++p) pool.Touch({f, p});
+  }
+  for (PageNo p = 64; p < 72; ++p) pool.Touch({f, p});
+
+  const FileResidency hot = pool.ResidencyOfExtent(f, 0);
+  const FileResidency cold = pool.ResidencyOfExtent(f, 1);
+  EXPECT_GT(hot.hit_rate, 0.8);
+  EXPECT_EQ(hot.resident_pages, 8u);
+  EXPECT_DOUBLE_EQ(cold.hit_rate, 0.0);
+  EXPECT_EQ(cold.resident_pages, 8u);
+  // Untouched extent: no signal at all.
+  EXPECT_DOUBLE_EQ(pool.ResidencyOfExtent(f, 2).observed_touches, 0.0);
+
+  // The whole-file view aggregates both extents.
+  const FileResidency whole = pool.ResidencyOf(f, 128);
+  EXPECT_EQ(whole.resident_pages, 16u);
+  EXPECT_GT(whole.hit_rate, cold.hit_rate);
+  EXPECT_LT(whole.hit_rate, hot.hit_rate);
+
+  // Clear resets the extent counters too.
+  pool.Clear();
+  EXPECT_EQ(pool.ResidencyOfExtent(f, 0).resident_pages, 0u);
+  EXPECT_DOUBLE_EQ(pool.ResidencyOfExtent(f, 0).observed_touches, 0.0);
+}
+
 TEST(TableTest, ConcurrentTombstoneReadsDuringDeletes) {
   // The serving-visible tombstone view is an atomic bitmap: readers may
   // call IsDeleted while another thread tombstones rows (the vector<bool>
