@@ -1,0 +1,49 @@
+#include "obs/drift.h"
+
+namespace corrmap::obs {
+
+void DriftTracker::Record(PlanKind kind, double est_ms, double actual_ms) {
+  const size_t k = size_t(kind) < kNumKinds ? size_t(kind) : 0;
+  for (Cell* cell : {&current_[k], &lifetime_[k]}) {
+    cell->selects.fetch_add(1, std::memory_order_relaxed);
+    internal::AtomicDoubleAdd(cell->est_ms, est_ms);
+    internal::AtomicDoubleAdd(cell->actual_ms, actual_ms);
+  }
+}
+
+void DriftTracker::AdvanceEpoch() {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  for (size_t k = 0; k < kNumKinds; ++k) {
+    KindDrift closed;
+    closed.selects = current_[k].selects.exchange(0,
+                                                  std::memory_order_relaxed);
+    closed.est_ms = current_[k].est_ms.exchange(0, std::memory_order_relaxed);
+    closed.actual_ms =
+        current_[k].actual_ms.exchange(0, std::memory_order_relaxed);
+    previous_[k] = closed;
+  }
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+DriftTracker::Snapshot DriftTracker::snapshot() const {
+  Snapshot out;
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  out.epoch = epoch_.load(std::memory_order_relaxed);
+  out.previous = previous_;
+  for (size_t k = 0; k < kNumKinds; ++k) {
+    out.current[k].selects = current_[k].selects.load(
+        std::memory_order_relaxed);
+    out.current[k].est_ms = current_[k].est_ms.load(std::memory_order_relaxed);
+    out.current[k].actual_ms =
+        current_[k].actual_ms.load(std::memory_order_relaxed);
+    out.lifetime[k].selects =
+        lifetime_[k].selects.load(std::memory_order_relaxed);
+    out.lifetime[k].est_ms =
+        lifetime_[k].est_ms.load(std::memory_order_relaxed);
+    out.lifetime[k].actual_ms =
+        lifetime_[k].actual_ms.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+}  // namespace corrmap::obs

@@ -1,0 +1,198 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+namespace corrmap::obs {
+
+double Histogram::Quantile(double q) const {
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample, 1-based: the smallest bucket whose cumulative
+  // count reaches it holds the answer.
+  const uint64_t rank = std::max<uint64_t>(1, uint64_t(std::ceil(q * double(total))));
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cum += counts[i];
+    if (cum >= rank) return std::min(BucketMid(i), Max());
+  }
+  return Max();
+}
+
+double Histogram::BucketMid(size_t idx) {
+  if (idx == 0) return 0;
+  if (idx >= kNumBuckets) idx = kNumBuckets - 1;
+  const size_t oct = (idx - 1) / kSubBuckets;
+  const size_t sub = (idx - 1) % kSubBuckets;
+  // Bucket [lo, hi) with lo = 2^(exp-1) * (1 + sub/kSub); the midpoint
+  // halves the bucket-width error relative to reporting an edge.
+  const int exp = kExpLo + int(oct);
+  const double base = std::ldexp(1.0, exp - 1);
+  return base * (1.0 + (double(sub) + 0.5) / double(kSubBuckets));
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = counters_.find(name);
+    if (it != counters_.end()) return it->second.get();
+  }
+  std::unique_lock lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = gauges_.find(name);
+    if (it != gauges_.end()) return it->second.get();
+  }
+  std::unique_lock lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end()) return it->second.get();
+  }
+  std::unique_lock lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::RegisterCallbackGauge(const std::string& name,
+                                            std::function<double()> fn) {
+  std::unique_lock lock(mu_);
+  callbacks_[name] = std::move(fn);
+}
+
+void MetricsRegistry::RemoveCallbackGauge(const std::string& name) {
+  std::unique_lock lock(mu_);
+  callbacks_.erase(name);
+}
+
+std::string FormatDouble(double v) {
+  if (!std::isfinite(v)) return "0";
+  // Integers (the common case for counters exported as gauges) print
+  // without a fractional part; everything else round-trips via %.17g.
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+namespace {
+
+/// Callback gauges evaluated outside the registry lock (a callback may
+/// take other locks, e.g. buffer-pool stripes).
+std::vector<std::pair<std::string, double>> EvalCallbacks(
+    const std::map<std::string, std::function<double()>>& callbacks,
+    std::shared_mutex& mu) {
+  std::vector<std::pair<std::string, std::function<double()>>> fns;
+  {
+    std::shared_lock lock(mu);
+    fns.reserve(callbacks.size());
+    for (const auto& [name, fn] : callbacks) fns.emplace_back(name, fn);
+  }
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(fns.size());
+  for (const auto& [name, fn] : fns) out.emplace_back(name, fn());
+  return out;
+}
+
+void AppendHistogramJson(std::string* out, const Histogram& h) {
+  *out += "{\"count\": " + std::to_string(h.Count());
+  *out += ", \"sum\": " + FormatDouble(h.Sum());
+  *out += ", \"mean\": " + FormatDouble(h.Mean());
+  *out += ", \"p50\": " + FormatDouble(h.Quantile(0.50));
+  *out += ", \"p90\": " + FormatDouble(h.Quantile(0.90));
+  *out += ", \"p99\": " + FormatDouble(h.Quantile(0.99));
+  *out += ", \"max\": " + FormatDouble(h.Max());
+  *out += "}";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  const auto cb = EvalCallbacks(callbacks_, mu_);
+  std::shared_lock lock(mu_);
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": " + std::to_string(c->Value());
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": " + FormatDouble(g->Value());
+  }
+  for (const auto& [name, v] : cb) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": " + FormatDouble(v);
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": ";
+    AppendHistogramJson(&out, *h);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::ToPrometheus() const {
+  const auto cb = EvalCallbacks(callbacks_, mu_);
+  std::shared_lock lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c->Value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + FormatDouble(g->Value()) + "\n";
+  }
+  for (const auto& [name, v] : cb) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + FormatDouble(v) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += "# TYPE " + name + " summary\n";
+    for (const double q : {0.5, 0.9, 0.99}) {
+      out += name + "{quantile=\"" + FormatDouble(q) + "\"} " +
+             FormatDouble(h->Quantile(q)) + "\n";
+    }
+    out += name + "_sum " + FormatDouble(h->Sum()) + "\n";
+    out += name + "_count " + std::to_string(h->Count()) + "\n";
+    out += name + "_max " + FormatDouble(h->Max()) + "\n";
+  }
+  return out;
+}
+
+}  // namespace corrmap::obs

@@ -1,0 +1,100 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/value.h"
+
+namespace corrmap::obs {
+
+uint64_t FingerprintQuery(const Query& query) {
+  // Combine per-predicate hashes order-insensitively (XOR of avalanched
+  // per-predicate mixes): FindPredicateOn semantics make predicate order
+  // irrelevant to planning, so it should not split trace groups either.
+  uint64_t fp = 0x9e3779b97f4a7c15ULL;
+  for (const Predicate& p : query.predicates()) {
+    uint64_t h = Mix64(uint64_t(p.column()) * 0x100000001b3ULL ^
+                       uint64_t(p.op()));
+    if (p.op() == Predicate::Op::kRange) {
+      h = Mix64(h ^ std::bit_cast<uint64_t>(p.lo()));
+      h = Mix64(h ^ std::bit_cast<uint64_t>(p.hi()));
+    } else {
+      for (const Key& k : p.keys()) h = Mix64(h ^ k.Hash());
+    }
+    fp ^= h;
+  }
+  return Mix64(fp);
+}
+
+TraceRing::TraceRing(size_t capacity)
+    : slots_(std::max<size_t>(1, capacity)) {}
+
+uint64_t TraceRing::Push(const SelectTrace& t) {
+  const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq % slots_.size()];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  // Two pushes a full lap apart can race to the same slot; the younger
+  // sequence wins so the ring is always the most recent window.
+  if (!slot.filled || slot.trace.seq < seq) {
+    slot.trace = t;
+    slot.trace.seq = seq;
+    slot.filled = true;
+  }
+  return seq;
+}
+
+std::vector<SelectTrace> TraceRing::Snapshot() const {
+  std::vector<SelectTrace> out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    if (slot.filled) out.push_back(slot.trace);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SelectTrace& a, const SelectTrace& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+SlowSelectLog::SlowSelectLog(size_t capacity)
+    : cap_(std::max<size_t>(1, capacity)) {}
+
+void SlowSelectLog::Offer(const SelectTrace& t) {
+  const double floor = floor_ms_.load(std::memory_order_relaxed);
+  if (floor >= 0 && t.actual_ms <= floor) return;  // full and too cheap
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.size() < cap_) {
+    entries_.push_back(t);
+  } else {
+    auto min_it = std::min_element(entries_.begin(), entries_.end(),
+                                   [](const SelectTrace& a,
+                                      const SelectTrace& b) {
+                                     return a.actual_ms < b.actual_ms;
+                                   });
+    if (t.actual_ms <= min_it->actual_ms) return;  // lost the race
+    *min_it = t;
+  }
+  if (entries_.size() == cap_) {
+    double new_floor = entries_.front().actual_ms;
+    for (const SelectTrace& e : entries_) {
+      new_floor = std::min(new_floor, e.actual_ms);
+    }
+    floor_ms_.store(new_floor, std::memory_order_relaxed);
+  }
+}
+
+std::vector<SelectTrace> SlowSelectLog::Worst() const {
+  std::vector<SelectTrace> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = entries_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SelectTrace& a, const SelectTrace& b) {
+              return a.actual_ms > b.actual_ms;
+            });
+  return out;
+}
+
+}  // namespace corrmap::obs

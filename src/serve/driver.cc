@@ -25,25 +25,17 @@ void StallFor(double us) {
       std::chrono::duration<double, std::micro>(us));
 }
 
-LatencySummary Summarize(std::vector<double>* latencies_us) {
+}  // namespace
+
+LatencySummary LatencySummary::FromHistogram(const obs::Histogram& h) {
   LatencySummary out;
-  if (latencies_us->empty()) return out;
-  std::sort(latencies_us->begin(), latencies_us->end());
-  auto at = [&](double q) {
-    const size_t idx = std::min(latencies_us->size() - 1,
-                                size_t(q * double(latencies_us->size())));
-    return (*latencies_us)[idx];
-  };
-  out.p50_us = at(0.50);
-  out.p99_us = at(0.99);
-  out.max_us = latencies_us->back();
-  double sum = 0;
-  for (double v : *latencies_us) sum += v;
-  out.mean_us = sum / double(latencies_us->size());
+  if (h.Count() == 0) return out;
+  out.p50_us = h.Quantile(0.50);
+  out.p99_us = h.Quantile(0.99);
+  out.max_us = h.Max();
+  out.mean_us = h.Mean();
   return out;
 }
-
-}  // namespace
 
 DriverReport WorkloadDriver::Run(
     std::span<const Query> query_pool,
@@ -52,7 +44,7 @@ DriverReport WorkloadDriver::Run(
   if (query_pool.empty() || options_.reader_threads == 0) return report;
 
   struct ReaderState {
-    std::vector<double> latencies_us;
+    uint64_t lookups = 0;
     uint64_t matches = 0;
     uint64_t cache_hits = 0;
     double simulated_ms = 0;
@@ -63,6 +55,13 @@ DriverReport WorkloadDriver::Run(
     Clock::time_point finished;
   };
   std::vector<ReaderState> readers(options_.reader_threads);
+  // All readers record wall latencies into one lock-free histogram -- the
+  // same type the MetricsRegistry exports. When the engine carries a
+  // metrics bundle each sample is mirrored into its serve_select_latency_us
+  // series, so the report below and a registry snapshot answer latency
+  // questions identically.
+  obs::Histogram latency_us;
+  obs::ServingMetrics* const metrics = engine_->metrics();
   std::atomic<uint64_t> rows_appended{0};
   std::atomic<uint64_t> batches_appended{0};
   std::atomic<uint64_t> append_rejections{0};
@@ -78,7 +77,6 @@ DriverReport WorkloadDriver::Run(
     threads.emplace_back([&, t] {
       Rng rng(options_.seed + 0x1000 * (t + 1));
       ReaderState& me = readers[t];
-      me.latencies_us.reserve(options_.lookups_per_reader);
       start.arrive_and_wait();
       for (size_t i = 0; i < options_.lookups_per_reader; ++i) {
         const int64_t pick =
@@ -92,7 +90,10 @@ DriverReport WorkloadDriver::Run(
           res = engine_->ExecuteSelect(q);
         }
         StallFor(res.simulated_ms * options_.io_stall_us_per_simulated_ms);
-        me.latencies_us.push_back(MicrosBetween(t0, Clock::now()));
+        const double us = MicrosBetween(t0, Clock::now());
+        latency_us.Record(us);
+        if (metrics != nullptr) metrics->select_latency_us->Record(us);
+        ++me.lookups;
         me.matches += res.num_matches;
         me.cache_hits += res.cache_hit ? 1 : 0;
         me.simulated_ms += res.simulated_ms;
@@ -142,9 +143,9 @@ DriverReport WorkloadDriver::Run(
   for (std::thread& th : threads) th.join();
 
   Clock::time_point last_reader = go;
-  std::vector<double> all_latencies;
   for (ReaderState& r : readers) {
     last_reader = std::max(last_reader, r.finished);
+    report.lookups += r.lookups;
     report.lookup_matches += r.matches;
     report.lookup_cache_hits += r.cache_hits;
     report.simulated_select_ms += r.simulated_ms;
@@ -152,15 +153,12 @@ DriverReport WorkloadDriver::Run(
     report.simulated_second_half_ms += r.simulated_second_half_ms;
     report.lookups_first_half += r.first_half;
     report.lookups_second_half += r.second_half;
-    all_latencies.insert(all_latencies.end(), r.latencies_us.begin(),
-                         r.latencies_us.end());
   }
-  report.lookups = all_latencies.size();
   report.wall_seconds = MicrosBetween(go, last_reader) / 1e6;
   report.lookups_per_second =
       report.wall_seconds > 0 ? double(report.lookups) / report.wall_seconds
                               : 0;
-  report.lookup_latency = Summarize(&all_latencies);
+  report.lookup_latency = LatencySummary::FromHistogram(latency_us);
   report.rows_appended = rows_appended.load();
   report.batches_appended = batches_appended.load();
   report.append_rejections = append_rejections.load();

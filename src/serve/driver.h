@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "exec/predicate.h"
+#include "obs/metrics.h"
 #include "serve/serving_engine.h"
 
 namespace corrmap::serve {
@@ -42,11 +43,21 @@ struct DriverOptions {
   uint64_t seed = 0x5e21;
 };
 
+/// Latency quantiles, computed from an obs::Histogram over the run's wall
+/// latencies -- the same log-bucketed type the MetricsRegistry exports, so
+/// a driver report and a registry snapshot fed the same samples agree
+/// exactly (count/mean/max exact; quantiles share the <= 6.25% bucket
+/// bound). The old sort-based exact percentiles are gone on purpose:
+/// two quantile definitions over one stream is how dashboards and bench
+/// reports end up contradicting each other.
 struct LatencySummary {
   double p50_us = 0;
   double p99_us = 0;
   double max_us = 0;
   double mean_us = 0;
+
+  /// Summarizes `h` (p50/p99 from the log buckets, max/mean exact).
+  static LatencySummary FromHistogram(const obs::Histogram& h);
 };
 
 struct DriverReport {

@@ -271,6 +271,20 @@ Result<ReclusterStats> Reclusterer::Run() {
   stats.rows_clustered = uint64_t(next->clustered_boundary);
   stats.epoch = next->version;
   e.reclusters_completed_.fetch_add(1, std::memory_order_acq_rel);
+  if (e.metrics_ != nullptr) {
+    obs::ServingMetrics& m = *e.metrics_;
+    (compact ? m.compactions : m.reclusters)->Increment();
+    m.recluster_tail_rows_merged->Add(stats.tail_rows_merged);
+    m.recluster_catch_up_rows->Add(stats.catch_up_rows);
+    m.recluster_rows_compacted->Add(stats.rows_compacted);
+    m.recluster_tombstones_carried->Add(stats.tombstones_carried);
+    m.recluster_build_ms->Record(stats.build_seconds * 1e3);
+    m.recluster_swap_ms->Record(stats.swap_seconds * 1e3);
+    // An epoch swap is the natural drift-window boundary: the successor
+    // epoch re-calibrates costing, so est/actual ratios are aggregated per
+    // published epoch.
+    m.drift().AdvanceEpoch();
+  }
   return stats;
 }
 

@@ -32,16 +32,70 @@ ServingEngine::ServingEngine(Table* table, const ClusteredIndex* cidx,
     owned_cache_ = std::make_unique<SharedLookupCache>();
     cache_ = owned_cache_.get();
   }
+  metrics_ = options_.metrics;
   auto state = std::make_shared<EpochState>();
   state->table = table;
   state->cidx = cidx;
   state->clustered_boundary = RowId(table->NumRows());
   InitEpochCalibration(state.get());
   state_ = std::move(state);
+  if (metrics_ != nullptr && options_.metrics_register_gauges) {
+    RegisterMetricsGauges();
+  }
   StartWorkers(options_.num_workers);
 }
 
-ServingEngine::~ServingEngine() { StopWorkers(); }
+ServingEngine::~ServingEngine() {
+  StopWorkers();
+  if (metrics_ != nullptr) {
+    for (const std::string& name : gauge_names_) {
+      metrics_->registry().RemoveCallbackGauge(name);
+    }
+  }
+}
+
+void ServingEngine::RegisterMetricsGauges() {
+  obs::MetricsRegistry& reg = metrics_->registry();
+  auto add = [&](const std::string& name, std::function<double()> fn) {
+    reg.RegisterCallbackGauge(name, std::move(fn));
+    gauge_names_.push_back(name);
+  };
+  add("serve_tail_rows", [this] { return double(TailRows()); });
+  add("serve_tombstones",
+      [this] { return double(CurrentState()->table->NumDeleted()); });
+  add("serve_live_rows", [this] {
+    const std::shared_ptr<EpochState> st = CurrentState();
+    return double(st->table->NumRows() - st->table->NumDeleted());
+  });
+  add("serve_recluster_epoch", [this] { return double(ReclusterEpoch()); });
+  add("serve_queue_depth", [this] { return double(QueueDepth()); });
+  add("cache_hits", [this] { return double(cache_->stats().hits); });
+  add("cache_misses", [this] { return double(cache_->stats().misses); });
+  add("cache_insertions",
+      [this] { return double(cache_->stats().insertions); });
+  add("cache_stale_evictions",
+      [this] { return double(cache_->stats().stale_evictions); });
+  add("cache_size", [this] { return double(cache_->Size()); });
+  if (pool_ != nullptr) {
+    // One coherent per-stripe snapshot per gauge read; see the
+    // BufferPoolSnapshot relaxed-consistency contract for what the
+    // exported values can and cannot mix.
+    add("pool_hits", [this] { return double(pool_->StatsSnapshot().stats.hits); });
+    add("pool_misses",
+        [this] { return double(pool_->StatsSnapshot().stats.misses); });
+    add("pool_evictions",
+        [this] { return double(pool_->StatsSnapshot().stats.evictions); });
+    add("pool_dirty_evictions", [this] {
+      return double(pool_->StatsSnapshot().stats.dirty_evictions);
+    });
+    add("pool_cached_pages",
+        [this] { return double(pool_->StatsSnapshot().num_cached); });
+    add("pool_dirty_pages",
+        [this] { return double(pool_->StatsSnapshot().num_dirty); });
+    add("pool_capacity_pages",
+        [this] { return double(pool_->capacity_pages()); });
+  }
+}
 
 Status ServingEngine::AttachCm(CmOptions cm_options) {
   auto st = CurrentState();
@@ -468,6 +522,7 @@ SelectResult ServingEngine::ExecuteSelect(const Query& query) const {
   std::vector<std::vector<RowRange>> cm_ranges;
   std::vector<std::vector<PageNo>> cm_leaves;
   std::vector<SidxPlan> sidx_plans;
+  obs::SelectTrace trace;  // filled only when metrics_ is attached
   if (mode == ServingOptions::PlanChoice::kCostBased) {
     const PlanSet plans = Deliberate(*st, query, calib, gap, &views,
                                      &cm_ranges, &cm_leaves, &sidx_plans);
@@ -478,6 +533,14 @@ SelectResult ServingEngine::ExecuteSelect(const Query& query) const {
     out.plan = win.description;
     out.plan_est_ms = win.est_ms;
     out.plan_candidates = plans.candidates.size();
+    if (metrics_ != nullptr) {
+      trace.num_candidates = uint32_t(plans.candidates.size());
+      for (const PlanCandidate& c : plans.candidates) {
+        if (trace.num_recorded == obs::kTraceCandidateCap) break;
+        trace.candidates[trace.num_recorded++] = {c.kind, uint32_t(c.slot),
+                                                  c.est_ms};
+      }
+    }
   } else {
     for (size_t i = 0; i < views.size(); ++i) {
       if (views[i].lookup != nullptr) {
@@ -610,6 +673,7 @@ SelectResult ServingEngine::ExecuteSelect(const Query& query) const {
   // visible to selects immediately; a recluster returns the tail to zero
   // and retires this cost.
   if (kind != PlanKind::kSeqScan && boundary < n_rows) {
+    out.tail_rows_swept = uint64_t(n_rows) - uint64_t(boundary);
     for (RowId r = boundary; r < n_rows; ++r) {
       ++out.rows_examined;
       if (table.IsDeleted(r)) {
@@ -627,6 +691,22 @@ SelectResult ServingEngine::ExecuteSelect(const Query& query) const {
   ms += double(dead_examined) * CostModel::kTombstoneCpuMs;
   out.simulated_ms = ms;
   MaybeRefreshCalibration(*st);
+  if (metrics_ != nullptr) {
+    trace.fingerprint = obs::FingerprintQuery(query);
+    trace.epoch = st->version;
+    trace.plan_kind = kind;
+    trace.cost_based = mode == ServingOptions::PlanChoice::kCostBased;
+    trace.cache_hit = out.cache_hit;
+    trace.est_ms = out.plan_est_ms;
+    trace.actual_ms = out.simulated_ms;
+    trace.num_matches = out.num_matches;
+    trace.rows_examined = out.rows_examined;
+    trace.tail_rows_swept = out.tail_rows_swept;
+    if (trace.num_candidates == 0) {
+      trace.num_candidates = uint32_t(out.plan_candidates);
+    }
+    metrics_->RecordSelect(trace);
+  }
   return out;
 }
 
@@ -659,6 +739,10 @@ Status ServingEngine::ApplyAppend(std::span<const std::vector<Key>> rows) {
     if (scm->has_clustered_buckets()) continue;
     scm->InsertRowsBatched(rids);
   }
+  if (metrics_ != nullptr) {
+    metrics_->appends->Increment();
+    metrics_->rows_appended->Add(rows.size());
+  }
   MaybeScheduleRecluster(*st);
   return Status::OK();
 }
@@ -688,6 +772,7 @@ Status ServingEngine::ApplyDelete(RowId row, uint64_t expected_epoch) {
   std::lock_guard<std::mutex> lock(append_mu_);
   const std::shared_ptr<EpochState> st = CurrentState();
   if (expected_epoch != kAnyEpoch && st->version != expected_epoch) {
+    if (metrics_ != nullptr) metrics_->write_conflicts->Increment();
     return Status::Aborted("epoch moved past " +
                            std::to_string(expected_epoch) +
                            "; row ids were permuted -- re-resolve the row "
@@ -698,6 +783,7 @@ Status ServingEngine::ApplyDelete(RowId row, uint64_t expected_epoch) {
   }
   Status s = DeleteRowLocked(*st, row);
   if (!s.ok()) return s;
+  if (metrics_ != nullptr) metrics_->deletes->Increment();
   MaybeScheduleRecluster(*st);
   return Status::OK();
 }
@@ -708,6 +794,7 @@ Status ServingEngine::ApplyDeletes(std::span<const RowId> rows,
   std::lock_guard<std::mutex> lock(append_mu_);
   const std::shared_ptr<EpochState> st = CurrentState();
   if (expected_epoch != kAnyEpoch && st->version != expected_epoch) {
+    if (metrics_ != nullptr) metrics_->write_conflicts->Increment();
     return Status::Aborted("epoch moved past " +
                            std::to_string(expected_epoch) +
                            "; row ids were permuted -- re-resolve the rows "
@@ -745,6 +832,7 @@ Status ServingEngine::ApplyDeletes(std::span<const RowId> rows,
     }
     if (!cs.ok()) return cs;
   }
+  if (metrics_ != nullptr) metrics_->deletes->Add(newly.size());
   MaybeScheduleRecluster(*st);
   return Status::OK();
 }
@@ -754,6 +842,7 @@ Status ServingEngine::ApplyUpdate(RowId row, std::span<const Key> new_values,
   std::lock_guard<std::mutex> lock(append_mu_);
   const std::shared_ptr<EpochState> st = CurrentState();
   if (expected_epoch != kAnyEpoch && st->version != expected_epoch) {
+    if (metrics_ != nullptr) metrics_->write_conflicts->Increment();
     return Status::Aborted("epoch moved past " +
                            std::to_string(expected_epoch) +
                            "; row ids were permuted -- re-resolve the row "
@@ -782,6 +871,7 @@ Status ServingEngine::ApplyUpdate(RowId row, std::span<const Key> new_values,
     if (scm->has_clustered_buckets()) continue;
     scm->InsertRowsBatched(rids);
   }
+  if (metrics_ != nullptr) metrics_->updates->Increment();
   MaybeScheduleRecluster(*st);
   return Status::OK();
 }
@@ -891,26 +981,34 @@ void ServingEngine::StopWorkers() {
 }
 
 void ServingEngine::Enqueue(std::function<void()> fn) {
+  QueuedJob job;
+  job.fn = std::move(fn);
+  if (metrics_ != nullptr) job.enqueued = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    queue_.push_back(std::move(fn));
+    queue_.push_back(std::move(job));
   }
   queue_cv_.notify_one();
 }
 
 void ServingEngine::WorkerLoop() {
   for (;;) {
-    std::function<void()> fn;
+    QueuedJob job;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       // Drain the queue before honoring a stop so ResizeWorkerPool never
       // strands submitted futures.
       if (queue_.empty()) return;
-      fn = std::move(queue_.front());
+      job = std::move(queue_.front());
       queue_.pop_front();
     }
-    fn();
+    if (metrics_ != nullptr) {
+      const auto waited = std::chrono::steady_clock::now() - job.enqueued;
+      metrics_->queue_wait_us->Record(
+          std::chrono::duration<double, std::micro>(waited).count());
+    }
+    job.fn();
   }
 }
 

@@ -45,6 +45,7 @@
 #define CORRMAP_SERVE_SERVING_ENGINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -64,6 +65,7 @@
 #include "exec/predicate.h"
 #include "index/clustered_index.h"
 #include "index/secondary_index.h"
+#include "obs/serving_metrics.h"
 #include "serve/recluster.h"
 #include "serve/shared_lookup_cache.h"
 #include "serve/sharded_cm.h"
@@ -124,6 +126,18 @@ struct ServingOptions {
   /// Selects between calibration refreshes (pool-stats snapshots into the
   /// current epoch's PlanCalibration). 0 never refreshes.
   size_t calibration_period = 64;
+  /// Observability sink (obs/serving_metrics.h): when non-null every
+  /// select/write/recluster records counters, cost histograms, a
+  /// SelectTrace, and est-vs-actual drift into it (must outlive the
+  /// engine). Null -- the default -- skips all instrumentation, so an
+  /// unobserved engine pays nothing.
+  obs::ServingMetrics* metrics = nullptr;
+  /// Register this engine's callback gauges (tail size, tombstones, queue
+  /// depth, pool and cache state) with metrics' registry. A ShardRouter
+  /// turns this off for its shards -- per-shard registrations would
+  /// collide on one name -- and registers partition-wide aggregates
+  /// itself.
+  bool metrics_register_gauges = true;
   /// Simulated-cost reporting (paper Table 1 constants by default).
   DiskModel disk;
 };
@@ -154,6 +168,9 @@ struct SelectResult {
   bool used_cm = false;     ///< answered via a CM probe (plan_kind alias)
   bool cache_hit = false;   ///< chosen CM's lookup came from the cache
   uint64_t recluster_epoch = 0;  ///< EpochState version that served this
+  /// Unclustered-tail rows the select swept (0 for seq scans, whose pass
+  /// over the tail is part of the scan itself).
+  uint64_t tail_rows_swept = 0;
 
   /// ChosenPlan test hook: what the engine decided and why. `plan` is the
   /// candidate description ("seq_scan", "clustered_index_scan",
@@ -323,6 +340,16 @@ class ServingEngine {
   size_t num_cms() const;
   size_t num_secondary_indexes() const { return sidx_columns_.size(); }
   SharedLookupCache& cache() const { return *cache_; }
+  /// The observability sink selects/writes record into (null when
+  /// unobserved). The WorkloadDriver mirrors its wall latencies here so
+  /// driver reports and registry quantiles agree.
+  obs::ServingMetrics* metrics() const { return metrics_; }
+  /// Jobs waiting in the worker-pool queue right now (exported as the
+  /// serve_queue_depth gauge).
+  size_t QueueDepth() const {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    return queue_.size();
+  }
   /// The pool behind the serving read path (null when disabled). Shared
   /// with the router and sibling shards when options.shared_pool was set.
   BufferPool* pool() const { return pool_; }
@@ -414,6 +441,12 @@ class ServingEngine {
   void Enqueue(std::function<void()> fn);
   void WorkerLoop();
   void MaybeScheduleRecluster(const EpochState& st);
+
+  /// Registers this engine's callback gauges with metrics_'s registry
+  /// (and records their names so the destructor can unregister before the
+  /// captured `this` dangles). Only called when
+  /// ServingOptions::metrics_register_gauges held.
+  void RegisterMetricsGauges();
 
   /// Tombstones `row` on `st`'s table, logs it for recluster replay, and
   /// retracts its pairs from every CM covering it. Caller holds
@@ -540,9 +573,20 @@ class ServingEngine {
   std::atomic<uint64_t> reclusters_completed_{0};
   std::atomic<uint64_t> recluster_failures_{0};
 
+  /// Observability sink plus the gauge names this engine registered (to
+  /// unregister in the destructor; the callbacks capture `this`).
+  obs::ServingMetrics* metrics_ = nullptr;
+  std::vector<std::string> gauge_names_;
+
+  /// One queued job; `enqueued` is stamped only when metrics_ is set (it
+  /// feeds the serve_queue_wait_us histogram).
+  struct QueuedJob {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex queue_mu_;
+  std::deque<QueuedJob> queue_;
+  mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   bool stopping_ = false;
 };

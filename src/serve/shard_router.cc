@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <numeric>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -56,6 +58,11 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Create(
   r->cache_ = std::make_unique<SharedLookupCache>();
   eo.shared_pool = r->pool_.get();
   eo.shared_cache = r->cache_.get();
+  // All shards share one bundle; per-shard engines skip the gauge
+  // registration (they would fight over the names) and the router
+  // registers partition-level aggregates below instead.
+  r->metrics_ = eo.metrics;
+  eo.metrics_register_gauges = false;
 
   r->shards_.reserve(bounds.size() - 1);
   for (size_t s = 0; s + 1 < bounds.size(); ++s) {
@@ -73,7 +80,84 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Create(
         std::make_unique<ServingEngine>(sh.table.get(), sh.cidx.get(), eo);
     r->shards_.push_back(std::move(sh));
   }
+  if (r->metrics_ != nullptr) r->RegisterMetricsGauges();
   return r;
+}
+
+ShardRouter::~ShardRouter() {
+  if (metrics_ != nullptr) {
+    for (const std::string& name : gauge_names_) {
+      metrics_->registry().RemoveCallbackGauge(name);
+    }
+  }
+}
+
+void ShardRouter::RegisterMetricsGauges() {
+  obs::MetricsRegistry& reg = metrics_->registry();
+  auto add = [&](const std::string& name, std::function<double()> fn) {
+    reg.RegisterCallbackGauge(name, std::move(fn));
+    gauge_names_.push_back(name);
+  };
+  // Partition-level aggregates under the same names the single-engine
+  // registration uses, so dashboards need not care whether the serving
+  // layer is sharded.
+  add("serve_tail_rows", [this] {
+    double n = 0;
+    for (const Shard& sh : shards_) n += double(sh.engine->TailRows());
+    return n;
+  });
+  add("serve_tombstones", [this] {
+    double n = 0;
+    for (const Shard& sh : shards_) {
+      n += double(sh.engine->table().NumDeleted());
+    }
+    return n;
+  });
+  add("serve_live_rows", [this] {
+    double n = 0;
+    for (const Shard& sh : shards_) {
+      const Table& t = sh.engine->table();
+      n += double(t.NumRows() - t.NumDeleted());
+    }
+    return n;
+  });
+  add("serve_recluster_epoch", [this] {
+    double hi = 0;
+    for (const Shard& sh : shards_) {
+      hi = std::max(hi, double(sh.engine->ReclusterEpoch()));
+    }
+    return hi;
+  });
+  add("serve_queue_depth", [this] {
+    double n = 0;
+    for (const Shard& sh : shards_) n += double(sh.engine->QueueDepth());
+    return n;
+  });
+  add("router_num_shards", [this] { return double(shards_.size()); });
+  add("cache_hits", [this] { return double(cache_->stats().hits); });
+  add("cache_misses", [this] { return double(cache_->stats().misses); });
+  add("cache_insertions",
+      [this] { return double(cache_->stats().insertions); });
+  add("cache_stale_evictions",
+      [this] { return double(cache_->stats().stale_evictions); });
+  add("cache_size", [this] { return double(cache_->Size()); });
+  if (pool_ != nullptr) {
+    add("pool_hits",
+        [this] { return double(pool_->StatsSnapshot().stats.hits); });
+    add("pool_misses",
+        [this] { return double(pool_->StatsSnapshot().stats.misses); });
+    add("pool_evictions",
+        [this] { return double(pool_->StatsSnapshot().stats.evictions); });
+    add("pool_dirty_evictions", [this] {
+      return double(pool_->StatsSnapshot().stats.dirty_evictions);
+    });
+    add("pool_cached_pages",
+        [this] { return double(pool_->StatsSnapshot().num_cached); });
+    add("pool_dirty_pages",
+        [this] { return double(pool_->StatsSnapshot().num_dirty); });
+    add("pool_capacity_pages",
+        [this] { return double(pool_->capacity_pages()); });
+  }
 }
 
 size_t ShardRouter::RouteKey(const Key& k) const {
@@ -177,6 +261,25 @@ RoutedSelectResult ShardRouter::ExecuteSelect(const Query& query) const {
   }
   if (out.cm_pruned) {
     cm_pruned_selects_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (metrics_ != nullptr) {
+    if (out.clustered_routed) metrics_->router_clustered_routed->Increment();
+    if (out.cm_pruned) metrics_->router_cm_pruned->Increment();
+    // Router-level trace: the scatter as one unit (per-shard executions
+    // already recorded their own engine-level traces above).
+    obs::SelectTrace t;
+    t.fingerprint = obs::FingerprintQuery(query);
+    t.from_router = true;
+    t.cost_based = false;  // merged costs, not one deliberation
+    t.cache_hit = out.merged.cache_hit;
+    t.est_ms = out.merged.plan_est_ms;
+    t.actual_ms = out.merged.simulated_ms;
+    t.num_matches = out.merged.num_matches;
+    t.rows_examined = out.merged.rows_examined;
+    t.shards_visited = uint32_t(out.shards_visited);
+    t.shards_pruned = uint32_t(out.shards_pruned);
+    t.num_candidates = uint32_t(out.merged.plan_candidates);
+    metrics_->RecordRoutedSelect(t);
   }
   return out;
 }

@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -91,6 +92,7 @@ class ShardRouter {
 
   ShardRouter(const ShardRouter&) = delete;
   ShardRouter& operator=(const ShardRouter&) = delete;
+  ~ShardRouter();
 
   /// Attaches a CM / secondary index to every shard (setup phase only,
   /// like the engine's own attach APIs). A clustered-bucketing target is
@@ -141,6 +143,11 @@ class ShardRouter {
   const std::vector<Key>& split_keys() const { return splits_; }
   BufferPool* pool() const { return pool_.get(); }
   SharedLookupCache& cache() const { return *cache_; }
+  /// The shared observability bundle, when one was attached through
+  /// RouterOptions::engine.metrics (null otherwise). Shards record their
+  /// own selects into it; the router owns the partition-level gauges and
+  /// the router-level trace per scatter.
+  obs::ServingMetrics* metrics() const { return metrics_; }
 
   /// Drops every shared-pool frame and resets each shard's calibration.
   void ResetBufferPool();
@@ -168,11 +175,15 @@ class ShardRouter {
 
   ShardRouter() = default;
 
+  void RegisterMetricsGauges();
+
   size_t c_col_ = 0;
   std::vector<Key> splits_;
   std::vector<Shard> shards_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<SharedLookupCache> cache_;
+  obs::ServingMetrics* metrics_ = nullptr;
+  std::vector<std::string> gauge_names_;
 
   mutable std::atomic<uint64_t> selects_{0};
   mutable std::atomic<uint64_t> shards_visited_{0};

@@ -268,6 +268,21 @@ BufferPoolStats BufferPool::stats() const {
   return out;
 }
 
+BufferPoolSnapshot BufferPool::StatsSnapshot() const {
+  BufferPoolSnapshot out;
+  out.capacity_pages = capacity_pages_;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    out.stats.hits += s.stats.hits;
+    out.stats.misses += s.stats.misses;
+    out.stats.evictions += s.stats.evictions;
+    out.stats.dirty_evictions += s.stats.dirty_evictions;
+    out.num_cached += s.frames.size();
+    out.num_dirty += s.num_dirty;
+  }
+  return out;
+}
+
 DiskStats BufferPool::DrainIo() {
   DiskStats out;
   for (Stripe& s : stripes_) {

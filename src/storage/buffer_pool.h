@@ -34,6 +34,16 @@ struct BufferPoolStats {
   std::string ToString() const;
 };
 
+/// Point-in-time view of the pool's counters and residency, produced by
+/// BufferPool::StatsSnapshot() for metric exporters. See that method for
+/// the relaxed-consistency contract.
+struct BufferPoolSnapshot {
+  BufferPoolStats stats;
+  size_t num_cached = 0;
+  size_t num_dirty = 0;
+  size_t capacity_pages = 0;
+};
+
 /// Live residency snapshot for one file (table heap or index) or one extent
 /// of it, the input the cost model's calibration consumes
 /// (CostInputs::heap_residency / index_residency). `hit_rate` is an
@@ -131,6 +141,21 @@ class BufferPool {
   /// Aggregated counters across stripes (by value: the per-stripe ledgers
   /// are summed under their locks).
   BufferPoolStats stats() const;
+
+  /// All exported pool series in one pass over the stripes, each stripe's
+  /// whole contribution (stats + cached + dirty) read under a single lock
+  /// hold. Relaxed-consistency contract: there is no global consistent
+  /// point -- stripes are sampled one after another while other threads
+  /// keep mutating -- but every snapshot still satisfies
+  ///   0 <= num_dirty <= num_cached <= capacity_pages,
+  /// and hits/misses/evictions/dirty_evictions are monotonically
+  /// non-decreasing across successive snapshots (each stripe's ledger only
+  /// grows, and each is read atomically under its lock). Calling stats(),
+  /// num_cached() and num_dirty() separately gives no such guarantee: an
+  /// eviction between the calls can make derived gauges (e.g.
+  /// cached - dirty) go negative, which is exactly what exporters must
+  /// avoid.
+  BufferPoolSnapshot StatsSnapshot() const;
 
   /// Returns and resets the accumulated I/O charges.
   DiskStats DrainIo();

@@ -22,6 +22,7 @@
 #include "exec/executor.h"
 #include "exec/plan_choice.h"
 #include "index/clustered_index.h"
+#include "obs/serving_metrics.h"
 #include "serve/serving_engine.h"
 #include "storage/table.h"
 
@@ -461,6 +462,49 @@ TEST(ServePlanChoiceTest, SecondaryIndexStaysExactThroughCrudAndRecluster) {
   EXPECT_EQ(w.engine->TailRows(), 0u);
   ExpectExactAndParity(w, q);
   ExpectExactAndParity(w, qr);
+}
+
+TEST(ServePlanChoiceTest, DriftRatiosStayWithinFactorTwoOnKnownEstimates) {
+  // Drift-tracker acceptance gate on a workload where the estimates are
+  // exactly knowable: with the buffer pool off, deliberation and
+  // execution price the identical page runs through the identical cold
+  // DiskModel arithmetic, so every plan kind's actual/estimated ratio
+  // must sit near 1 -- gated at a factor of 2 in either direction. A kind
+  // escaping that band means the cost model prices something execution
+  // does not pay (or vice versa), which is exactly the regression this
+  // series exists to catch. (With the pool on, the ratio instead measures
+  // calibration lag -- see ResidencyWarmsAndPricesHotClusteredRangeDown
+  // for that axis.)
+  obs::ServingMetrics metrics;
+  ServingOptions opts = PlanWorld::MakeOptions();
+  opts.buffer_pool_pages = 0;  // cold-priced: estimates are exact
+  opts.metrics = &metrics;
+  PlanWorld w(opts);
+  ASSERT_TRUE(w.AttachIdentityCm(1).ok());
+
+  const std::vector<Query> matrix = w.QueryMatrix();
+  for (int round = 0; round < 10; ++round) {
+    for (const Query& q : matrix) (void)w.engine->ExecuteSelect(q);
+    // Keep a tail in play so the tail-sweep term is exercised too.
+    ASSERT_TRUE(w.engine->ApplyAppend(w.MakeRows(200, 17 + round)).ok());
+  }
+
+  const obs::DriftTracker::Snapshot s = metrics.drift().snapshot();
+  uint64_t sampled = 0;
+  for (size_t k = 0; k < obs::DriftTracker::kNumKinds; ++k) {
+    const obs::DriftTracker::KindDrift& d = s.lifetime[k];
+    if (d.selects == 0 || d.est_ms <= 0) continue;
+    sampled += d.selects;
+    EXPECT_GE(d.Ratio(), 0.5) << "plan kind " << k << " underestimated "
+                              << d.Ratio() << "x over " << d.selects
+                              << " selects";
+    EXPECT_LE(d.Ratio(), 2.0) << "plan kind " << k << " overestimated "
+                              << d.Ratio() << "x over " << d.selects
+                              << " selects";
+  }
+  // The matrix spans scans, clustered ranges, and CM probes; most of the
+  // cost-based selects must have contributed estimate mass.
+  EXPECT_GT(sampled, 40u);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 
 #include "common/rng.h"
 #include "exec/access_path.h"
+#include "obs/serving_metrics.h"
 #include "serve/shard_router.h"
 #include "storage/table.h"
 
@@ -32,7 +33,8 @@ struct RouterFixture {
   Rng rng;
 
   explicit RouterFixture(size_t num_shards = 4, int rows = 12000,
-                         bool attach_cm = true)
+                         bool attach_cm = true,
+                         obs::ServingMetrics* metrics = nullptr)
       : rng(0x5AD) {
     Schema schema({ColumnDef::Int64("c"), ColumnDef::Int64("u"),
                    ColumnDef::Int64("v")});
@@ -48,6 +50,7 @@ struct RouterFixture {
     opts.num_shards = num_shards;
     opts.engine.num_workers = 1;
     opts.engine.reserve_rows = size_t(rows) + 65536;
+    opts.engine.metrics = metrics;
     auto r = ShardRouter::Create(*table, 0, opts);
     EXPECT_TRUE(r.ok());
     router = std::move(*r);
@@ -304,6 +307,48 @@ TEST(ShardRouterTest, FewDistinctKeysCapTheShardCount) {
   EXPECT_TRUE((*r)->CheckInvariants().ok());
   const Query q({Predicate::Eq(t, "c", Value(1))});
   EXPECT_EQ((*r)->ExecuteSelect(q).merged.num_matches, 50u);
+}
+
+TEST(ShardRouterTest, MetricsRecordRoutingAndPartitionGauges) {
+  obs::ServingMetrics metrics;
+  {
+    RouterFixture f(4, 12000, /*attach_cm=*/true, &metrics);
+    const Query cpoint({Predicate::Eq(*f.table, "c", Value(12))});
+    const Query upoint({Predicate::Eq(*f.table, "u", Value(444))});
+    uint64_t visited = 0;
+    for (int i = 0; i < 6; ++i) {
+      visited += f.router->ExecuteSelect(cpoint).shards_visited;
+    }
+    for (int i = 0; i < 4; ++i) {
+      visited += f.router->ExecuteSelect(upoint).shards_visited;
+    }
+    // Router-level counters: one select each, visited + pruned partitions
+    // the shard set per select.
+    EXPECT_EQ(metrics.router_selects->Value(), 10u);
+    EXPECT_EQ(metrics.router_shards_visited->Value(), visited);
+    EXPECT_EQ(metrics.router_shards_visited->Value() +
+                  metrics.router_shards_pruned->Value(),
+              10u * f.router->num_shards());
+    // The clustered point routed; something must have been pruned for it.
+    EXPECT_GE(metrics.router_clustered_routed->Value(), 6u);
+    EXPECT_GT(metrics.router_shards_pruned->Value(), 0u);
+    // Shards share the bundle: every visited shard recorded its own
+    // engine-level select, nothing more.
+    EXPECT_EQ(metrics.selects->Value(), visited);
+    // Traces carry both levels: 10 router scatters + per-shard records.
+    EXPECT_EQ(metrics.traces().TotalRecorded(), 10u + visited);
+    // The router registered partition-wide gauges under the single-engine
+    // names (shards were told not to register their own).
+    const std::string json = metrics.registry().ToJson();
+    EXPECT_NE(json.find("\"router_num_shards\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"serve_live_rows\": 12000"), std::string::npos);
+  }
+  // Destroying the router unregistered its callback gauges; the plain
+  // counters live on in the bundle for post-mortem export.
+  const std::string json = metrics.registry().ToJson();
+  EXPECT_EQ(json.find("\"router_num_shards\":"), std::string::npos);
+  EXPECT_EQ(json.find("\"serve_live_rows\":"), std::string::npos);
+  EXPECT_EQ(metrics.router_selects->Value(), 10u);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <array>
 #include <atomic>
 #include <thread>
+#include <vector>
 
 #include "storage/buffer_pool.h"
 #include "storage/disk_model.h"
@@ -397,6 +398,55 @@ TEST(BufferPoolTest, ExtentResidencyIsTrackedIndependently) {
   pool.Clear();
   EXPECT_EQ(pool.ResidencyOfExtent(f, 0).resident_pages, 0u);
   EXPECT_DOUBLE_EQ(pool.ResidencyOfExtent(f, 0).observed_touches, 0.0);
+}
+
+TEST(BufferPoolTest, StatsSnapshotStaysCoherentUnderConcurrentTraffic) {
+  // The StatsSnapshot relaxed-consistency contract: each stripe is read
+  // under a single lock hold, so within one snapshot
+  // 0 <= num_dirty <= num_cached <= capacity_pages always holds and every
+  // counter is monotone across successive snapshots -- unlike separate
+  // stats()/num_cached()/num_dirty() calls, which can interleave with an
+  // eviction and yield negative derived gauges.
+  BufferPool pool(64, /*num_stripes=*/4);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < 4; ++t) {
+    writers.emplace_back([&pool, &stop, t] {
+      // Keyspace (1024 pages over 2 files) far exceeds capacity, so the
+      // pool churns: evictions, dirty write-backs, hits and misses all
+      // race the snapshot reader below.
+      uint64_t x = 0x9E3779B97F4A7C15ull * (t + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        pool.Access({uint32_t(t % 2), PageNo(x % 512)}, (x & 3) == 0);
+      }
+    });
+  }
+  BufferPoolSnapshot prev;
+  for (int i = 0; i < 2000; ++i) {
+    const BufferPoolSnapshot snap = pool.StatsSnapshot();
+    ASSERT_LE(snap.num_dirty, snap.num_cached);
+    ASSERT_LE(snap.num_cached, snap.capacity_pages);
+    ASSERT_GE(snap.stats.hits, prev.stats.hits);
+    ASSERT_GE(snap.stats.misses, prev.stats.misses);
+    ASSERT_GE(snap.stats.evictions, prev.stats.evictions);
+    ASSERT_GE(snap.stats.dirty_evictions, prev.stats.dirty_evictions);
+    ASSERT_LE(snap.stats.dirty_evictions, snap.stats.evictions);
+    prev = snap;
+  }
+  stop.store(true);
+  for (auto& th : writers) th.join();
+  // At quiescence the snapshot agrees exactly with the itemized accessors.
+  const BufferPoolSnapshot snap = pool.StatsSnapshot();
+  EXPECT_EQ(snap.num_cached, pool.num_cached());
+  EXPECT_EQ(snap.num_dirty, pool.num_dirty());
+  EXPECT_EQ(snap.capacity_pages, pool.capacity_pages());
+  EXPECT_EQ(snap.stats.hits, pool.stats().hits);
+  EXPECT_EQ(snap.stats.misses, pool.stats().misses);
+  EXPECT_EQ(snap.stats.evictions, pool.stats().evictions);
+  EXPECT_GT(snap.stats.evictions, 0u);
 }
 
 TEST(TableTest, ConcurrentTombstoneReadsDuringDeletes) {

@@ -21,6 +21,6 @@ if [[ "${1:-}" == "--check" ]]; then
   MODE=(--dry-run --Werror)
 fi
 
-find src tests bench examples \
+find src tests bench examples tools \
   \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) -print0 |
   xargs -0 "$CLANG_FORMAT" "${MODE[@]}"
