@@ -65,6 +65,7 @@
 #include "exec/access_path.h"
 #include "obs/serving_metrics.h"
 #include "serve/driver.h"
+#include "serve/durability.h"
 #include "serve/serving_engine.h"
 #include "serve/shard_router.h"
 #include "workload/ebay_gen.h"
@@ -729,6 +730,182 @@ std::string ObsJson(const ObsBenchResult& ob) {
   return js.str();
 }
 
+// ---- Durability: group-commit WAL overhead + kill-and-recover timing ---
+
+struct DurabilityBenchResult {
+  double wal_off_lps = 0;  ///< best-of-trials lookups/s, no WAL
+  double wal_on_lps = 0;   ///< best-of-trials lookups/s, group-commit WAL
+  uint64_t ops_logged = 0;
+  uint64_t wal_flushes = 0;
+  uint64_t wal_bytes = 0;
+  double recovery_wall_ms = 0;
+  size_t recovered_rows = 0;
+  size_t replayed_records = 0;
+  bool throughput_ok = false;
+  bool recovery_ok = false;
+  double Ratio() const {
+    return wal_off_lps > 0 ? wal_on_lps / wal_off_lps : 0;
+  }
+};
+
+/// One mixed leg (2 readers + 1 writer, emulated device stalls) against a
+/// fresh engine over a deep copy of `base`; identical seeds across calls
+/// so the only difference between arms is the attached Durability.
+double RunDurabilityLeg(const Table& base, std::span<const Query> pool,
+                        std::span<const std::vector<std::vector<Key>>>
+                            batches,
+                        Durability* durability) {
+  std::vector<RowId> ident(base.NumRows());
+  std::iota(ident.begin(), ident.end(), RowId(0));
+  auto t = base.CloneReordered(ident);
+  auto cidx = ClusteredIndex::Build(*t, kEbay.catid);
+  if (!cidx.ok()) std::abort();
+
+  ServingOptions so;
+  so.num_workers = 2;
+  so.reserve_rows = t->NumRows() + 32 * kAppendBatchRows;
+  so.buffer_pool_pages = 512;
+  so.calibration_period = 32;
+  so.durability = durability;
+  ServingEngine engine(t.get(), &*cidx, so);
+  for (size_t col : {kEbay.cat4, kEbay.cat5}) {
+    CmOptions cm;
+    cm.u_cols = {col};
+    cm.u_bucketers = {Bucketer::Identity()};
+    cm.c_col = kEbay.catid;
+    if (!engine.AttachCm(cm).ok()) std::abort();
+  }
+
+  DriverOptions d;
+  d.reader_threads = 2;
+  d.writer_threads = 1;
+  d.lookups_per_reader = 800;
+  d.batches_per_writer = 8;
+  d.writer_pause_us = 5'000;
+  d.io_stall_us_per_simulated_ms = kStallUsPerSimMs;
+  d.use_worker_pool = true;
+  d.seed = 0xAB6;
+  WorkloadDriver driver(&engine, d);
+  return driver.Run(pool, batches).lookups_per_second;
+}
+
+/// WAL-on vs WAL-off mixed throughput A/B (gate: WAL-on >= 0.9x WAL-off),
+/// then a kill+recover cycle against the WAL-on arm's durable state:
+/// crash with a torn tail, rebuild through ServingEngine::Recover, verify
+/// probe==scan on the recovered engine, and report the recovery
+/// wall-clock. Interleaved best-of trials damp scheduler noise exactly as
+/// in the observability A/B -- the emulated device stalls dominate both
+/// arms, so real WAL cost (serialization + group-commit flushes under the
+/// append mutex) shows up identically in every trial.
+DurabilityBenchResult RunDurability(const EbayGenConfig& cfg) {
+  DurabilityBenchResult res;
+  auto base = GenerateEbayItems(cfg);
+  (void)base->ClusterBy(kEbay.catid);
+
+  Rng rng(0xD0B);
+  const std::vector<Query> pool = MakeQueryPool(*base, kQueryPool, &rng);
+  // Eight append ops fill exactly one group-commit batch (default group
+  // of 8), so the crash below tears into a flushed batch and the
+  // recovery replays a non-trivial committed tail.
+  std::vector<std::vector<std::vector<Key>>> batches;
+  for (size_t i = 0; i < 8; ++i) {
+    batches.push_back(MakeBatch(*base, kAppendBatchRows, &rng));
+  }
+
+  // Fresh Durability per WAL-on trial: an engine checkpoints at attach
+  // only when the manager is empty, so reusing one across trials would
+  // splice two runs' logs. The last trial's manager feeds the recovery.
+  constexpr size_t kTrials = 3;
+  std::unique_ptr<Durability> last;
+  for (size_t trial = 0; trial < kTrials; ++trial) {
+    res.wal_off_lps = std::max(
+        res.wal_off_lps, RunDurabilityLeg(*base, pool, batches, nullptr));
+    auto d = std::make_unique<Durability>();
+    res.wal_on_lps = std::max(
+        res.wal_on_lps, RunDurabilityLeg(*base, pool, batches, d.get()));
+    last = std::move(d);
+  }
+  res.ops_logged = last->ops_logged();
+  res.wal_flushes = last->wal_flushes();
+  res.wal_bytes = last->wal_bytes_durable();
+  res.throughput_ok = res.Ratio() >= 0.9;
+
+  // Kill + recover: tear into the last group-commit flush, then rebuild.
+  last->Crash(/*torn_tail_bytes=*/256);
+  ServingOptions ro;
+  ro.num_workers = 2;
+  ro.reserve_rows = base->NumRows() + 32 * kAppendBatchRows;
+  ro.buffer_pool_pages = 512;
+  ro.calibration_period = 32;
+  ro.durability = last.get();
+  ServingEngine::RecoverSpec spec;
+  for (size_t col : {kEbay.cat4, kEbay.cat5}) {
+    CmOptions cm;
+    cm.u_cols = {col};
+    cm.u_bucketers = {Bucketer::Identity()};
+    cm.c_col = kEbay.catid;
+    spec.cms.push_back({cm, 0});
+  }
+  RecoveryStats rs;
+  auto rec = ServingEngine::Recover(kEbay.catid, ro, spec, &rs);
+  if (!rec.ok()) return res;
+  const std::unique_ptr<ServingEngine> engine = std::move(*rec);
+  res.recovery_wall_ms = rs.wall_seconds * 1000.0;
+  res.recovered_rows = engine->table().NumRows();
+  res.replayed_records = rs.records_scanned;
+
+  size_t mismatches = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    const Query& q = pool[i * (pool.size() / 8)];
+    if (engine->ExecuteSelect(q).num_matches !=
+        FullTableScan(engine->table(), q).NumMatches()) {
+      ++mismatches;
+    }
+  }
+  // The capacity reservation must be back too: the recovered engine keeps
+  // accepting (and logging) appends.
+  const bool accepts =
+      engine->ApplyAppend(MakeBatch(engine->table(), 64, &rng)).ok();
+  res.recovery_ok = engine->CheckInvariants().ok() && mismatches == 0 &&
+                    accepts && res.recovered_rows >= base->NumRows();
+  return res;
+}
+
+void PrintDurabilitySection(const DurabilityBenchResult& du) {
+  TablePrinter out({"arm", "lookups/s"});
+  out.AddRow({"WAL off", TablePrinter::Fmt(du.wal_off_lps, 0)});
+  out.AddRow({"WAL on (group commit)", TablePrinter::Fmt(du.wal_on_lps, 0)});
+  out.Print(std::cout);
+  std::cout << "\ndurability: WAL-on throughput "
+            << TablePrinter::Fmt(100.0 * du.Ratio(), 1)
+            << "% of WAL-off (gate >= 90%: "
+            << (du.throughput_ok ? "ok" : "FAIL") << "); " << du.ops_logged
+            << " ops logged over " << du.wal_flushes << " flushes ("
+            << du.wal_bytes << " bytes)\nkill+recover: "
+            << du.recovered_rows << " rows rebuilt from checkpoint + "
+            << du.replayed_records << " replayed records in "
+            << TablePrinter::Fmt(du.recovery_wall_ms, 1)
+            << " ms; probe==scan and invariants on the recovered engine: "
+            << (du.recovery_ok ? "ok" : "FAIL") << "\n\n";
+}
+
+std::string DurabilityJson(const DurabilityBenchResult& du) {
+  std::ostringstream js;
+  js << "{\"wal_off_lookups_per_s\": " << du.wal_off_lps
+     << ", \"wal_on_lookups_per_s\": " << du.wal_on_lps
+     << ", \"throughput_ratio\": " << du.Ratio()
+     << ", \"ratio_gate\": 0.9"
+     << ", \"ops_logged\": " << du.ops_logged
+     << ", \"wal_flushes\": " << du.wal_flushes
+     << ", \"wal_bytes\": " << du.wal_bytes
+     << ", \"recovery_wall_ms\": " << du.recovery_wall_ms
+     << ", \"recovered_rows\": " << du.recovered_rows
+     << ", \"replayed_records\": " << du.replayed_records
+     << ", \"ok\": "
+     << ((du.throughput_ok && du.recovery_ok) ? "true" : "false") << "}";
+  return js.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -737,10 +914,12 @@ int main(int argc, char** argv) {
   size_t recluster_every = 16000;  // tail rows that arm a background pass
   size_t compact_every = 4000;     // deletes per in-run compacting pass
   bool plan_only = false;          // --plan-choice: the quick CI smoke
+  bool durability_only = false;    // --durability: WAL + recovery smoke
   size_t shards_only = 0;          // --shards N: sharding section only
   double zipf_s = 0.8;             // --zipf s: skew of the sharded pool
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--plan-choice") == 0) plan_only = true;
+    if (std::strcmp(argv[i], "--durability") == 0) durability_only = true;
     if (i + 1 >= argc) continue;
     if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
     if (std::strcmp(argv[i], "--metrics-json") == 0) {
@@ -790,6 +969,33 @@ int main(int argc, char** argv) {
       std::cout << "wrote " << json_path << "\n";
     }
     return (ob.overhead_ok && ob.series_ok) ? 0 : 1;
+  }
+
+  if (durability_only) {
+    // --durability: the WAL + recovery smoke alone (the CI gate).
+    bench::PrintHeader(
+        "Durable serving (group-commit WAL + checkpointed recovery)",
+        "mixed run with a Durability manager attached vs detached (gate: "
+        "WAL-on >= 90% of WAL-off lookups/s), then a torn-tail crash and "
+        "a checkpoint+replay recovery that must come back probe==scan "
+        "exact",
+        "ebay items, 2 CMs, 2 readers + 1 writer per arm, group commit "
+        "of 8, " +
+            std::to_string(size_t(kStallUsPerSimMs)) +
+            " us emulated device wait per simulated ms");
+    EbayGenConfig dcfg;
+    dcfg.num_categories = 600;
+    dcfg.min_items_per_category = 90;
+    dcfg.max_items_per_category = 150;
+    const DurabilityBenchResult du = RunDurability(dcfg);
+    PrintDurabilitySection(du);
+    if (json_path != nullptr) {
+      std::ofstream(json_path)
+          << "{\n  \"bench\": \"serve_mixed_durability_smoke\",\n"
+          << "  \"durability\": " << DurabilityJson(du) << "\n}\n";
+      std::cout << "wrote " << json_path << "\n";
+    }
+    return (du.throughput_ok && du.recovery_ok) ? 0 : 1;
   }
 
   if (shards_only > 0) {
@@ -1119,6 +1325,11 @@ int main(int argc, char** argv) {
   PrintObsSection(ob);
   const bool obs_ok = ob.overhead_ok && ob.series_ok;
 
+  // ---- Durability: WAL overhead A/B + kill-and-recover timing ----
+  const DurabilityBenchResult du = RunDurability(scfg);
+  PrintDurabilitySection(du);
+  const bool durability_ok = du.throughput_ok && du.recovery_ok;
+
   if (json_path != nullptr) {
     std::ostringstream js;
     js << "{\n  \"bench\": \"serve_mixed\",\n  \"recluster_every\": "
@@ -1158,6 +1369,7 @@ int main(int argc, char** argv) {
        << ", \"ok\": " << (delete_ok ? "true" : "false") << "}"
        << ",\n  \"sharding\": " << ShardJson(sh)
        << ",\n  \"observability\": " << ObsJson(ob)
+       << ",\n  \"durability\": " << DurabilityJson(du)
        << ",\n  \"speedup_4v1\": " << speedup
        << ",\n  \"cost_ratio_norecluster\": "
        << norecluster.SecondHalfCostRatio()
@@ -1172,7 +1384,7 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << json_path << "\n";
   }
   return (speedup >= 3.0 && inv.ok() && mismatches == 0 && recluster_ok &&
-          plan_ok && delete_ok && shard_ok && obs_ok)
+          plan_ok && delete_ok && shard_ok && obs_ok && durability_ok)
              ? 0
              : 1;
 }

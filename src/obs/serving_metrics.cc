@@ -74,6 +74,12 @@ ServingMetrics::ServingMetrics(ServingMetricsOptions opts)
       registry_.counter("serve_recluster_tombstones_carried_total");
   recluster_build_ms = registry_.histogram("serve_recluster_build_ms");
   recluster_swap_ms = registry_.histogram("serve_recluster_swap_ms");
+  wal_flushes = registry_.counter("serve_wal_flushes_total");
+  wal_records = registry_.counter("serve_wal_records_total");
+  wal_bytes = registry_.counter("serve_wal_bytes_total");
+  checkpoints = registry_.counter("serve_checkpoints_total");
+  wal_group_commit_ops = registry_.histogram("serve_wal_group_commit_ops");
+  recovery_ms = registry_.histogram("serve_recovery_ms");
   router_selects = registry_.counter("router_selects_total");
   router_shards_visited = registry_.counter("router_shards_visited_total");
   router_shards_pruned = registry_.counter("router_shards_pruned_total");

@@ -93,6 +93,13 @@ class ServingMetrics {
   Counter* recluster_tombstones_carried;
   Histogram* recluster_build_ms;  ///< phase 1 (fully concurrent)
   Histogram* recluster_swap_ms;   ///< phase 2 (writers blocked)
+  // Durability (serve/durability.h): group-commit WAL and checkpoints.
+  Counter* wal_flushes;   ///< serve_wal_flushes_total
+  Counter* wal_records;   ///< row-op records logged
+  Counter* wal_bytes;     ///< framed bytes made durable
+  Counter* checkpoints;   ///< epoch-consistent snapshots taken
+  Histogram* wal_group_commit_ops;  ///< committed ops per flush batch
+  Histogram* recovery_ms;           ///< ServingEngine::Recover wall time
   // Router.
   Counter* router_selects;
   Counter* router_shards_visited;

@@ -1,0 +1,183 @@
+// Durability manager for the serving engine: a group-commit WAL of
+// serialized row operations plus an epoch-consistent checkpoint snapshot.
+//
+// Protocol. Every committed write transaction (ApplyAppend / ApplyDelete /
+// ApplyUpdate, each executed under the engine's append mutex) logs one
+// framed row-op record followed by a kCommit marker; the log is flushed
+// every `group_commit_ops` commits (group commit), so a crash loses at
+// most one un-flushed batch and a torn tail can cut a flush mid-frame --
+// the WAL's CRC re-parse drops exactly the torn suffix. At every
+// recluster/compact publish the engine hands the successor table here as a
+// checkpoint: the epoch swap is a natural consistent snapshot (the
+// successor is a clean private copy until published), so the snapshot
+// clone plus a kCheckpoint record plus TruncateThrough bound the log to
+// one epoch of writes.
+//
+// Row identity. Records address rows by physical RowId. Ids are stable
+// within an epoch -- only a recluster publish permutes them -- and every
+// publish also checkpoints, so all records in the retained log tail speak
+// the id space of the checkpoint they follow. Replaying them in log order
+// against the checkpoint clone reproduces the exact pre-crash table
+// (appends re-land on the same ids because the row count evolves
+// identically). CMs, secondary indexes, and calibration are NOT logged:
+// they are replay-derived (rebuilt from the recovered base data), the
+// Hermit stance that correlation structures must be cheaply rebuildable.
+//
+// Threading: the engine calls Log*/Checkpoint under its append mutex, but
+// Durability also guards itself with an internal mutex so crash hooks and
+// metric reads from other threads stay race-free.
+#ifndef CORRMAP_SERVE_DURABILITY_H_
+#define CORRMAP_SERVE_DURABILITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "obs/serving_metrics.h"
+#include "storage/table.h"
+#include "storage/wal.h"
+
+namespace corrmap::serve {
+
+struct DurabilityOptions {
+  /// Commits between WAL flushes (group commit). 1 flushes every op
+  /// (synchronous commit); larger batches amortize the per-flush seek at
+  /// the cost of losing up to N-1 committed-in-memory ops on a crash.
+  size_t group_commit_ops = 8;
+  /// Page size the WAL charges sequential writes in.
+  size_t wal_page_bytes = 8192;
+  /// Optional sink for WAL flush/byte counters and the group-commit
+  /// batch-size histogram (must outlive this object).
+  obs::ServingMetrics* metrics = nullptr;
+};
+
+/// What one ServingEngine::Recover pass did, for tests and the bench.
+struct RecoveryStats {
+  uint64_t checkpoint_epoch = 0;   ///< epoch the snapshot was taken at
+  size_t checkpoint_rows = 0;      ///< rows in the snapshot
+  size_t records_scanned = 0;      ///< committed records replayed over
+  size_t rows_appended = 0;        ///< rows re-appended from kRowAppend
+  size_t deletes_replayed = 0;
+  size_t updates_replayed = 0;
+  size_t uncommitted_dropped = 0;  ///< durable data records w/o a commit
+  double wall_seconds = 0;
+};
+
+class Durability {
+ public:
+  explicit Durability(DurabilityOptions options = {});
+
+  Durability(const Durability&) = delete;
+  Durability& operator=(const Durability&) = delete;
+
+  // --- Logging (engine write path, under its append mutex) ---------------
+
+  /// Logs `rows` appended contiguously starting at `first_row` and
+  /// commits the op (flush every group_commit_ops commits).
+  void LogAppend(RowId first_row, std::span<const std::vector<Key>> rows);
+
+  /// Logs the tombstoning of `rows` (already-filtered to newly-deleted)
+  /// as one committed op.
+  void LogDeletes(std::span<const RowId> rows);
+
+  /// Logs an update of `row` to `new_values` (tombstone + tail re-append,
+  /// mirroring ApplyUpdate) as one committed op.
+  void LogUpdate(RowId row, std::span<const Key> new_values);
+
+  /// Flushes any buffered commits immediately.
+  void FlushNow();
+
+  // --- Checkpointing (recluster publish, under the append mutex) ---------
+
+  /// Takes a durable snapshot of `table` (clone, simulating the flushed
+  /// heap image), logs a kCheckpoint record, and truncates the WAL
+  /// through it. The caller must guarantee `table` is quiescent (the
+  /// engine holds its append mutex across the publish).
+  void Checkpoint(const Table& table, RowId clustered_boundary,
+                  uint64_t epoch);
+
+  bool has_checkpoint() const;
+  /// The snapshot's table / boundary / epoch (null / 0 before the first
+  /// Checkpoint).
+  const Table* checkpoint_table() const;
+  RowId checkpoint_boundary() const;
+  uint64_t checkpoint_epoch() const;
+
+  // --- Crash & recovery ---------------------------------------------------
+
+  /// Simulates a crash: un-flushed commits are lost and up to
+  /// `torn_tail_bytes` are torn off the last WAL flush (see
+  /// WriteAheadLog::Crash). The checkpoint snapshot survives -- it models
+  /// the durably flushed heap image.
+  void Crash(size_t torn_tail_bytes = 0);
+
+  /// The committed row-op records after the last durable checkpoint, in
+  /// log order -- exactly what ServingEngine::Recover replays. Records of
+  /// txns without a durable kCommit marker are excluded (satellite: a
+  /// prepared-but-uncommitted txn must not be replayed).
+  std::vector<WalRecord> CommittedTail() const;
+
+  /// Durable data records dropped by commit filtering (for RecoveryStats).
+  size_t UncommittedDurableRecords() const;
+
+  // --- Introspection ------------------------------------------------------
+
+  uint64_t ops_logged() const;
+  uint64_t checkpoints_taken() const;
+  uint64_t wal_flushes() const;
+  uint64_t wal_bytes_durable() const;
+  size_t wal_log_bytes() const;
+
+  // --- Payload codecs (shared by recovery and tests) ----------------------
+
+  struct AppendOp {
+    RowId first_row = 0;
+    std::vector<std::vector<Key>> rows;
+  };
+  struct UpdateOp {
+    RowId row = 0;
+    std::vector<Key> new_values;
+  };
+  static std::string EncodeAppend(RowId first_row,
+                                  std::span<const std::vector<Key>> rows);
+  static std::string EncodeDeletes(std::span<const RowId> rows);
+  static std::string EncodeUpdate(RowId row, std::span<const Key> new_values);
+  static bool DecodeAppend(const std::string& payload, AppendOp* out);
+  static bool DecodeDeletes(const std::string& payload,
+                            std::vector<RowId>* out);
+  static bool DecodeUpdate(const std::string& payload, UpdateOp* out);
+
+ private:
+  /// Appends one data record + its commit marker and applies the
+  /// group-commit policy. Caller holds mu_.
+  void CommitOpLocked(WalRecordType type, std::string payload);
+  /// Flushes and records the batch-size histogram. Caller holds mu_.
+  void FlushLocked();
+  /// Pushes WAL counter deltas into the metrics sink. Caller holds mu_.
+  void SyncMetricsLocked();
+
+  DurabilityOptions options_;
+  mutable std::mutex mu_;
+  WriteAheadLog wal_;
+  uint64_t next_txn_ = 1;
+  size_t ops_since_flush_ = 0;
+  uint64_t ops_logged_ = 0;
+  uint64_t checkpoints_ = 0;
+  /// Metric-sync cursors (the registry wants deltas, the WAL keeps
+  /// cumulative counters).
+  uint64_t synced_flushes_ = 0;
+  uint64_t synced_bytes_ = 0;
+  uint64_t synced_records_ = 0;
+  /// The durable snapshot: a full clone of the last published table.
+  std::unique_ptr<Table> snapshot_table_;
+  RowId snapshot_boundary_ = 0;
+  uint64_t snapshot_epoch_ = 0;
+};
+
+}  // namespace corrmap::serve
+
+#endif  // CORRMAP_SERVE_DURABILITY_H_

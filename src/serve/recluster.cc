@@ -266,6 +266,17 @@ Result<ReclusterStats> Reclusterer::Run() {
     }
     stats.tombstones_carried = next->table->NumDeleted();
     e.PublishState(next);
+    // Checkpoint at publish, still under the append lock: the successor
+    // is a clean consistent snapshot and no write can land between the
+    // swap and the snapshot, so the checkpoint captures exactly the
+    // published epoch. This also truncates the WAL -- the log restarts in
+    // the successor's (permuted) row-id space, which is why a crash
+    // BEFORE this point replays the predecessor's checkpoint + tail and a
+    // crash after replays this one.
+    if (e.durability_ != nullptr) {
+      e.durability_->Checkpoint(*next->table, next->clustered_boundary,
+                                next->version);
+    }
   }
   stats.swap_seconds = SecondsSince(t_swap);
   stats.rows_clustered = uint64_t(next->clustered_boundary);

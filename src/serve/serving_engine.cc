@@ -33,12 +33,20 @@ ServingEngine::ServingEngine(Table* table, const ClusteredIndex* cidx,
     cache_ = owned_cache_.get();
   }
   metrics_ = options_.metrics;
+  durability_ = options_.durability;
   auto state = std::make_shared<EpochState>();
   state->table = table;
   state->cidx = cidx;
   state->clustered_boundary = RowId(table->NumRows());
   InitEpochCalibration(state.get());
   state_ = std::move(state);
+  // A durable engine needs a base snapshot before its first logged write:
+  // without one, a crash before the first recluster would have a log tail
+  // and nothing to replay it against. An engine attached to an existing
+  // checkpoint (the Recover path) keeps it.
+  if (durability_ != nullptr && !durability_->has_checkpoint()) {
+    durability_->Checkpoint(*table, state_->clustered_boundary, 0);
+  }
   if (metrics_ != nullptr && options_.metrics_register_gauges) {
     RegisterMetricsGauges();
   }
@@ -739,6 +747,9 @@ Status ServingEngine::ApplyAppend(std::span<const std::vector<Key>> rows) {
     if (scm->has_clustered_buckets()) continue;
     scm->InsertRowsBatched(rids);
   }
+  // Log after the mutation succeeded: under append_mu_ the log order is
+  // exactly the apply order, so replay reproduces the same row ids.
+  if (durability_ != nullptr) durability_->LogAppend(rids.front(), rows);
   if (metrics_ != nullptr) {
     metrics_->appends->Increment();
     metrics_->rows_appended->Add(rows.size());
@@ -783,6 +794,10 @@ Status ServingEngine::ApplyDelete(RowId row, uint64_t expected_epoch) {
   }
   Status s = DeleteRowLocked(*st, row);
   if (!s.ok()) return s;
+  if (durability_ != nullptr) {
+    const RowId one[1] = {row};
+    durability_->LogDeletes(one);
+  }
   if (metrics_ != nullptr) metrics_->deletes->Increment();
   MaybeScheduleRecluster(*st);
   return Status::OK();
@@ -832,6 +847,9 @@ Status ServingEngine::ApplyDeletes(std::span<const RowId> rows,
     }
     if (!cs.ok()) return cs;
   }
+  // Only the rows this batch actually tombstoned are logged, so replaying
+  // the record deletes exactly them (already-dead rows never re-log).
+  if (durability_ != nullptr) durability_->LogDeletes(newly);
   if (metrics_ != nullptr) metrics_->deletes->Add(newly.size());
   MaybeScheduleRecluster(*st);
   return Status::OK();
@@ -871,6 +889,7 @@ Status ServingEngine::ApplyUpdate(RowId row, std::span<const Key> new_values,
     if (scm->has_clustered_buckets()) continue;
     scm->InsertRowsBatched(rids);
   }
+  if (durability_ != nullptr) durability_->LogUpdate(row, new_values);
   if (metrics_ != nullptr) metrics_->updates->Increment();
   MaybeScheduleRecluster(*st);
   return Status::OK();
@@ -1055,6 +1074,133 @@ Status ServingEngine::CheckInvariants() const {
     }
   }
   return Status::OK();
+}
+
+Result<std::unique_ptr<ServingEngine>> ServingEngine::Recover(
+    size_t c_col, const ServingOptions& options, const RecoverSpec& spec,
+    RecoveryStats* stats_out) {
+  const auto t_start = std::chrono::steady_clock::now();
+  Durability* d = options.durability;
+  if (d == nullptr || !d->has_checkpoint()) {
+    return Status::InvalidArgument(
+        "recovery requires a durability manager holding a checkpoint "
+        "(a durable engine writes one at construction)");
+  }
+  RecoveryStats stats;
+  stats.checkpoint_epoch = d->checkpoint_epoch();
+
+  // 1. The durable base: a private clone of the checkpoint snapshot,
+  // which was taken at an epoch publish and is therefore fully clustered
+  // with a fresh clustered index buildable over it.
+  std::unique_ptr<Table> table = d->checkpoint_table()->Clone();
+  stats.checkpoint_rows = table->NumRows();
+  auto built_cidx = ClusteredIndex::Build(*table, c_col);
+  if (!built_cidx.ok()) return built_cidx.status();
+  auto cidx = std::make_unique<ClusteredIndex>(std::move(*built_cidx));
+
+  // 2. An engine over the snapshot. Durability stays detached and the
+  // background triggers disarmed until the replay below finishes: replay
+  // must not re-log its own records, and a recluster would permute row
+  // ids mid-replay while the remaining records still address the
+  // pre-crash id space.
+  ServingOptions eo = options;
+  eo.durability = nullptr;
+  eo.recluster_tail_rows = 0;
+  eo.compact_deleted_fraction = 0;
+  auto engine =
+      std::unique_ptr<ServingEngine>(new ServingEngine(table.get(),
+                                                       cidx.get(), eo));
+  engine->state_->owned_table = std::move(table);
+  engine->state_->owned_cidx = std::move(cidx);
+
+  // 3. Replay-derived structures: CMs (with per-engine rebuilt positional
+  // bucketings) and secondary indexes are rebuilt from the base data, not
+  // replayed from the log; calibration starts cold like any fresh epoch.
+  for (const RecoverCmSpec& cm : spec.cms) {
+    CmOptions co = cm.options;
+    std::unique_ptr<ClusteredBucketing> cb;
+    if (cm.c_bucket_target > 0) {
+      auto built = ClusteredBucketing::Build(engine->table(), co.c_col,
+                                             cm.c_bucket_target);
+      if (!built.ok()) return built.status();
+      cb = std::make_unique<ClusteredBucketing>(std::move(*built));
+      co.c_buckets = cb.get();  // AttachCm copies it
+    }
+    Status s = engine->AttachCm(co);
+    if (!s.ok()) return s;
+  }
+  for (const std::vector<size_t>& cols : spec.secondary_indexes) {
+    Status s = engine->AttachSecondaryIndex(cols);
+    if (!s.ok()) return s;
+  }
+
+  // 4. Replay the committed log tail through the ordinary write paths, so
+  // CM maintenance, tombstones, and the delete log evolve exactly as they
+  // did pre-crash. Row ids re-land deterministically: appends take
+  // consecutive ids from the row count, which starts at the checkpoint's
+  // count and is advanced only by these replayed records.
+  for (const WalRecord& rec : d->CommittedTail()) {
+    ++stats.records_scanned;
+    switch (rec.type) {
+      case WalRecordType::kRowAppend: {
+        Durability::AppendOp op;
+        if (!Durability::DecodeAppend(rec.payload, &op)) {
+          return Status::Corruption("undecodable kRowAppend payload");
+        }
+        if (RowId(engine->table().NumRows()) != op.first_row) {
+          return Status::Corruption(
+              "replay row ids diverged from the logged append");
+        }
+        Status s = engine->ApplyAppend(op.rows);
+        if (!s.ok()) return s;
+        stats.rows_appended += op.rows.size();
+        break;
+      }
+      case WalRecordType::kRowDelete: {
+        std::vector<RowId> rows;
+        if (!Durability::DecodeDeletes(rec.payload, &rows)) {
+          return Status::Corruption("undecodable kRowDelete payload");
+        }
+        Status s = engine->ApplyDeletes(rows);
+        if (!s.ok()) return s;
+        stats.deletes_replayed += rows.size();
+        break;
+      }
+      case WalRecordType::kRowUpdate: {
+        Durability::UpdateOp op;
+        if (!Durability::DecodeUpdate(rec.payload, &op)) {
+          return Status::Corruption("undecodable kRowUpdate payload");
+        }
+        Status s = engine->ApplyUpdate(op.row, op.new_values);
+        if (!s.ok()) return s;
+        ++stats.updates_replayed;
+        break;
+      }
+      default:
+        // kCm* maintenance records: their structures are replay-derived
+        // and were rebuilt in step 3.
+        break;
+    }
+  }
+  stats.uncommitted_dropped = d->UncommittedDurableRecords();
+
+  // 5. Re-attach durability and re-arm the background triggers. No fresh
+  // checkpoint is needed: replay never permuted ids, so the existing
+  // snapshot plus the retained tail plus future records stays replayable.
+  engine->durability_ = d;
+  engine->recluster_tail_rows_.store(options.recluster_tail_rows,
+                                     std::memory_order_relaxed);
+  engine->compact_deleted_fraction_.store(options.compact_deleted_fraction,
+                                          std::memory_order_relaxed);
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_start)
+          .count();
+  if (options.metrics != nullptr) {
+    options.metrics->recovery_ms->Record(stats.wall_seconds * 1e3);
+  }
+  if (stats_out != nullptr) *stats_out = stats;
+  return engine;
 }
 
 }  // namespace corrmap::serve

@@ -66,6 +66,7 @@
 #include "index/clustered_index.h"
 #include "index/secondary_index.h"
 #include "obs/serving_metrics.h"
+#include "serve/durability.h"
 #include "serve/recluster.h"
 #include "serve/shared_lookup_cache.h"
 #include "serve/sharded_cm.h"
@@ -138,6 +139,13 @@ struct ServingOptions {
   /// collide on one name -- and registers partition-wide aggregates
   /// itself.
   bool metrics_register_gauges = true;
+  /// Durability manager (serve/durability.h): when non-null every
+  /// committed write logs a row-op record through its group-commit WAL
+  /// and every recluster/compact publish checkpoints the successor table
+  /// into it; ServingEngine::Recover rebuilds an engine from its state
+  /// after a crash. Must outlive the engine. Null -- the default -- logs
+  /// nothing and pays nothing.
+  Durability* durability = nullptr;
   /// Simulated-cost reporting (paper Table 1 constants by default).
   DiskModel disk;
 };
@@ -200,6 +208,38 @@ class ServingEngine {
 
   ServingEngine(const ServingEngine&) = delete;
   ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// One CM to rebuild during recovery. CMs are replay-derived, not
+  /// logged (Hermit's stance: correlation structures must be cheaply
+  /// rebuildable from base data), so recovery re-attaches them from this
+  /// spec. `options.c_buckets` must be null; a positive
+  /// `c_bucket_target` rebuilds the positional bucketing over the
+  /// recovered clustered region (the per-epoch build parameter AttachCm
+  /// remembers anyway).
+  struct RecoverCmSpec {
+    CmOptions options;
+    uint64_t c_bucket_target = 0;
+  };
+  /// Everything replay-derived that Recover must rebuild on top of the
+  /// recovered base table.
+  struct RecoverSpec {
+    std::vector<RecoverCmSpec> cms;
+    std::vector<std::vector<size_t>> secondary_indexes;
+  };
+
+  /// Rebuilds a serving engine from `options.durability`'s state after a
+  /// crash: clones the last checkpoint snapshot, rebuilds the clustered
+  /// index over it, re-attaches CMs and secondary indexes per `spec`
+  /// (calibration starts cold), then replays the committed WAL tail
+  /// through the ordinary write paths -- row ids re-land exactly because
+  /// ids are stable between checkpoints and the recovered row count
+  /// evolves identically to the pre-crash run. Records of uncommitted
+  /// txns and the torn log tail are never replayed. The engine comes
+  /// back with its capacity reservation re-established and durability
+  /// re-attached, ready to serve.
+  static Result<std::unique_ptr<ServingEngine>> Recover(
+      size_t c_col, const ServingOptions& options, const RecoverSpec& spec,
+      RecoveryStats* stats = nullptr);
 
   /// Builds a sharded CM over the current table contents and attaches it.
   /// Setup-phase only: attach every CM before traffic starts (the CM list
@@ -572,6 +612,11 @@ class ServingEngine {
   std::atomic<bool> recluster_pending_{false};
   std::atomic<uint64_t> reclusters_completed_{0};
   std::atomic<uint64_t> recluster_failures_{0};
+
+  /// Durability manager (null = no logging). Writes log through it under
+  /// append_mu_; the recluster publish checkpoints into it under the same
+  /// lock, so log order always equals apply order.
+  Durability* durability_ = nullptr;
 
   /// Observability sink plus the gauge names this engine registered (to
   /// unregister in the destructor; the callbacks capture `this`).

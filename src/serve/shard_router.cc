@@ -50,6 +50,11 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Create(
   }
   bounds.push_back(RowId(n_rows));
 
+  if (!options.shard_durability.empty() &&
+      options.shard_durability.size() < options.num_shards) {
+    return Status::InvalidArgument(
+        "shard_durability must carry one manager per requested shard");
+  }
   ServingOptions eo = options.engine;
   if (eo.buffer_pool_pages > 0) {
     r->pool_ = std::make_unique<BufferPool>(eo.buffer_pool_pages,
@@ -66,6 +71,11 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Create(
 
   r->shards_.reserve(bounds.size() - 1);
   for (size_t s = 0; s + 1 < bounds.size(); ++s) {
+    // Durability is strictly per shard: each engine logs its own row-id
+    // space into its own WAL and checkpoints its own epoch swaps.
+    eo.durability = options.shard_durability.empty()
+                        ? nullptr
+                        : options.shard_durability[s];
     std::vector<RowId> order(size_t(bounds[s + 1] - bounds[s]));
     std::iota(order.begin(), order.end(), bounds[s]);
     Shard sh;
@@ -79,6 +89,50 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Create(
     sh.engine =
         std::make_unique<ServingEngine>(sh.table.get(), sh.cidx.get(), eo);
     r->shards_.push_back(std::move(sh));
+  }
+  if (r->metrics_ != nullptr) r->RegisterMetricsGauges();
+  return r;
+}
+
+Result<std::unique_ptr<ShardRouter>> ShardRouter::Recover(
+    size_t c_col, std::vector<Key> splits, RouterOptions options,
+    const ServingEngine::RecoverSpec& spec,
+    std::vector<RecoveryStats>* stats) {
+  const size_t n_shards = splits.size() + 1;
+  if (options.shard_durability.size() < n_shards) {
+    return Status::InvalidArgument(
+        "recovery needs one durability manager per shard (splits + 1)");
+  }
+  for (size_t i = 1; i < splits.size(); ++i) {
+    if (!(splits[i - 1] < splits[i])) {
+      return Status::InvalidArgument("split keys not strictly ascending");
+    }
+  }
+  std::unique_ptr<ShardRouter> r(new ShardRouter());
+  r->c_col_ = c_col;
+  r->splits_ = std::move(splits);
+
+  ServingOptions eo = options.engine;
+  if (eo.buffer_pool_pages > 0) {
+    r->pool_ = std::make_unique<BufferPool>(eo.buffer_pool_pages,
+                                            options.pool_stripes);
+  }
+  r->cache_ = std::make_unique<SharedLookupCache>();
+  eo.shared_pool = r->pool_.get();
+  eo.shared_cache = r->cache_.get();
+  r->metrics_ = eo.metrics;
+  eo.metrics_register_gauges = false;
+
+  r->shards_.reserve(n_shards);
+  for (size_t s = 0; s < n_shards; ++s) {
+    eo.durability = options.shard_durability[s];
+    RecoveryStats shard_stats;
+    auto engine = ServingEngine::Recover(c_col, eo, spec, &shard_stats);
+    if (!engine.ok()) return engine.status();
+    Shard sh;  // table/cidx stay null: the recovered engine owns both
+    sh.engine = std::move(*engine);
+    r->shards_.push_back(std::move(sh));
+    if (stats != nullptr) stats->push_back(shard_stats);
   }
   if (r->metrics_ != nullptr) r->RegisterMetricsGauges();
   return r;
@@ -209,7 +263,9 @@ RoutedSelectResult ShardRouter::ExecuteSelect(const Query& query) const {
     std::fill(visit.begin(), visit.end(), uint8_t{0});
     out.clustered_routed = true;
     if (cpred->op() == Predicate::Op::kRange) {
-      const Column& col = shards_[0].table->column(c_col_);
+      // Through the engine: a recovered shard owns its table inside the
+      // engine's epoch state and Shard::table stays null.
+      const Column& col = shards_[0].engine->table().column(c_col_);
       const size_t lo = RouteKey(col.EncodeKey(Value(cpred->lo())));
       const size_t hi = RouteKey(col.EncodeKey(Value(cpred->hi())));
       for (size_t s = lo; s <= hi && s < n; ++s) visit[s] = 1;

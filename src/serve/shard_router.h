@@ -64,6 +64,13 @@ struct RouterOptions {
   ServingOptions engine;
   /// Lock stripes of the router-owned shared pool.
   size_t pool_stripes = 16;
+  /// Per-shard durability managers (serve/durability.h). Empty disables
+  /// durable serving; otherwise one entry per *requested* shard
+  /// (num_shards) -- each shard logs its own writes and checkpoints its
+  /// own epochs, so recovery is shard-local. engine.durability is always
+  /// ignored by the router (a single WAL cannot speak N independent
+  /// row-id spaces). All managers must outlive the router.
+  std::vector<Durability*> shard_durability;
 };
 
 /// Merged outcome of one routed select.
@@ -89,6 +96,21 @@ class ShardRouter {
                                                      size_t c_col,
                                                      RouterOptions options =
                                                          {});
+
+  /// Rebuilds a router from per-shard durability state after a crash:
+  /// each shard recovers through ServingEngine::Recover against
+  /// options.shard_durability[i] (which must hold that shard's checkpoint
+  /// + log), and the partition layout is restored from `splits` -- the
+  /// split_keys() of the pre-crash router, which the operator persists
+  /// alongside the shard logs (they change only on re-partitioning).
+  /// `spec` lists the replay-derived structures to rebuild per shard;
+  /// clustered-bucketing targets are re-based per shard exactly as
+  /// AttachCm does. Per-shard RecoveryStats are appended to `stats` when
+  /// non-null.
+  static Result<std::unique_ptr<ShardRouter>> Recover(
+      size_t c_col, std::vector<Key> splits, RouterOptions options,
+      const ServingEngine::RecoverSpec& spec,
+      std::vector<RecoveryStats>* stats = nullptr);
 
   ShardRouter(const ShardRouter&) = delete;
   ShardRouter& operator=(const ShardRouter&) = delete;

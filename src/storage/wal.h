@@ -1,8 +1,19 @@
 // Write-ahead log used for CM recoverability (paper §7.1: the prototype
 // keeps CMs in memory and makes them recoverable by flushing a WAL during
-// two-phase commit with PostgreSQL). Records are in-memory byte strings;
-// I/O is charged through DiskStats: appends are buffered, a flush charges
-// one seek plus the buffered bytes as sequential page writes.
+// two-phase commit with PostgreSQL) and, since the durability PR, for the
+// serving engine's row-op logging (serve/durability.h).
+//
+// Records are framed into an in-memory byte image exactly as they would be
+// laid out in a log file: a fixed header (type, txn id, payload length,
+// CRC32 over header+payload) followed by the payload. The image is what
+// survives a simulated crash -- Crash(torn_tail_bytes) cuts a torn tail
+// off the last (possibly incomplete) flush and re-parses the image from
+// the start, dropping everything at and past the first frame whose CRC or
+// length no longer checks out. I/O is charged through DiskStats: appends
+// are buffered, a flush charges one seek plus the written bytes as
+// sequential page writes, including the re-write of the partially filled
+// tail page left by the previous flush (a real log file pays that page
+// again).
 #ifndef CORRMAP_STORAGE_WAL_H_
 #define CORRMAP_STORAGE_WAL_H_
 
@@ -14,32 +25,43 @@
 
 namespace corrmap {
 
-/// Logical WAL record kinds for CM maintenance.
+/// Logical WAL record kinds: CM maintenance (kCm*), transaction markers,
+/// checkpoint markers, and serving-engine row operations (kRow*).
 enum class WalRecordType : uint8_t {
   kCmInsert = 1,
   kCmDelete = 2,
   kPrepare = 3,
   kCommit = 4,
   kCheckpoint = 5,
+  kRowAppend = 6,
+  kRowDelete = 7,
+  kRowUpdate = 8,
 };
 
 struct WalRecord {
   WalRecordType type;
   uint64_t txn_id;
-  std::string payload;  ///< serialized (cm_id, u_key, c_bucket) triple
+  std::string payload;  ///< serialized record body (see serve/durability.cc)
 };
 
-/// Append-only simulated log with group flush.
+/// Bytes of framing per record in the durable image: type (1) + reserved
+/// padding (7) + txn id (8) + payload length (4) + CRC32 (4).
+inline constexpr size_t kWalRecordHeaderBytes = 24;
+
+/// Append-only simulated log with group flush, CRC-framed durable image,
+/// torn-tail crash semantics, and checkpoint-based truncation.
 class WriteAheadLog {
  public:
   explicit WriteAheadLog(size_t page_size_bytes = 8192)
       : page_size_(page_size_bytes) {}
 
-  /// Buffers a record (no I/O yet).
+  /// Buffers a record (no I/O yet). The frame is serialized immediately so
+  /// a later Flush writes exactly these bytes.
   void Append(WalRecord rec);
 
-  /// Durably writes buffered records: one seek + ceil(bytes/page) sequential
-  /// page writes, matching a log-file fsync.
+  /// Durably writes buffered records: one seek + the sequential page
+  /// writes of the appended byte range, including the re-write of the
+  /// partially filled tail page the previous flush left behind.
   void Flush();
 
   /// Two-phase commit hooks (paper's PREPARE COMMIT / COMMIT PREPARED):
@@ -47,8 +69,27 @@ class WriteAheadLog {
   void Prepare(uint64_t txn_id);
   void Commit(uint64_t txn_id);
 
-  /// All records flushed so far, for replay/recovery.
+  /// Writes a kCheckpoint record carrying `payload` and flushes. Returns
+  /// the checkpoint id (monotonic, stored as the record's txn_id) for a
+  /// later TruncateThrough.
+  uint64_t LogCheckpoint(std::string payload);
+
+  /// Drops every record strictly before the kCheckpoint record with id
+  /// `checkpoint_id`; the checkpoint record itself becomes the new log
+  /// head, so recovery always finds its snapshot marker first. Bounds log
+  /// memory to one checkpoint interval of writes. False if no such
+  /// durable checkpoint exists (nothing is dropped).
+  bool TruncateThrough(uint64_t checkpoint_id);
+
+  /// All records flushed so far, in log order, for replay/recovery.
   const std::vector<WalRecord>& durable_records() const { return durable_; }
+
+  /// Recovery view: the durable records a replay is allowed to apply.
+  /// Data records (kCm*, kRow*) are included only when a kCommit marker
+  /// for their txn is itself durable -- a kPrepare'd but never-committed
+  /// txn's records are skipped, as are the marker records themselves.
+  /// kCheckpoint records pass through (they are not txn-scoped).
+  std::vector<WalRecord> CommittedRecords() const;
 
   /// Records appended but not yet flushed (lost on crash).
   size_t pending_records() const { return pending_.size(); }
@@ -56,19 +97,46 @@ class WriteAheadLog {
   uint64_t bytes_durable() const { return bytes_durable_; }
   uint64_t num_flushes() const { return num_flushes_; }
 
+  /// Current size of the durable log image (drops on TruncateThrough,
+  /// unlike the cumulative bytes_durable counter).
+  size_t log_bytes() const { return image_.size(); }
+
   /// Returns and resets the accumulated I/O charges.
   DiskStats DrainIo();
 
-  /// Simulates a crash: drops buffered, un-flushed records.
-  void Crash() { pending_.clear(); pending_bytes_ = 0; }
+  /// Simulates a crash: buffered (un-flushed) records are always lost, and
+  /// up to `torn_tail_bytes` are additionally cut off the end of the
+  /// durable image -- clamped to the size of the last flush, because every
+  /// earlier flush completed its fsync barrier and cannot be torn. The
+  /// image is then re-parsed from the start; the first frame with a bad
+  /// length or CRC ends the log there.
+  void Crash(size_t torn_tail_bytes = 0);
+
+  /// Fault-injection hook: flips one byte of the durable image so the next
+  /// Crash()'s re-parse rejects the containing frame by CRC.
+  void CorruptByte(size_t offset);
 
  private:
+  /// Re-parses image_ from the start, truncating it at the first invalid
+  /// frame, and rebuilds durable_ to match.
+  void Reparse();
+
   size_t page_size_;
   std::vector<WalRecord> pending_;
   std::vector<WalRecord> durable_;
+  std::string image_;          ///< framed durable bytes (the log file)
+  std::string pending_image_;  ///< framed buffered bytes
   size_t pending_bytes_ = 0;
   uint64_t bytes_durable_ = 0;
   uint64_t num_flushes_ = 0;
+  /// Bytes the most recent flush appended: the only range a crash can
+  /// tear (see Crash).
+  size_t last_flush_bytes_ = 0;
+  /// Fill of the log file's final page after the last flush. The next
+  /// flush re-writes that page, so its charge is
+  /// ceil((tail_fill + pending) / page) instead of ceil(pending / page).
+  size_t tail_fill_bytes_ = 0;
+  uint64_t next_checkpoint_id_ = 1;
   DiskStats io_;
 };
 
