@@ -86,6 +86,10 @@ ServingMetrics::ServingMetrics(ServingMetricsOptions opts)
   router_cm_pruned = registry_.counter("router_cm_pruned_selects_total");
   router_clustered_routed =
       registry_.counter("router_clustered_routed_selects_total");
+  router_budget_degraded =
+      registry_.counter("router_budget_degraded_visits_total");
+  router_shard_visit_us = registry_.histogram("router_shard_visit_us");
+  router_scatter_fanout = registry_.gauge("router_scatter_fanout");
   // Lifetime drift ratios join every registry export as callback gauges
   // (the bundle owns the tracker, so these callbacks cannot dangle).
   for (size_t k = 0; k < DriftTracker::kNumKinds; ++k) {
@@ -116,6 +120,8 @@ void ServingMetrics::RecordRoutedSelect(const SelectTrace& t) {
   router_selects->Increment();
   router_shards_visited->Add(t.shards_visited);
   router_shards_pruned->Add(t.shards_pruned);
+  if (t.shards_degraded > 0) router_budget_degraded->Add(t.shards_degraded);
+  router_scatter_fanout->Set(double(t.shards_visited));
   traces_.Push(t);
   slow_.Offer(t);
 }
@@ -154,6 +160,20 @@ std::string ServingMetrics::ToJson() const {
     out += ", \"shards_visited\": " + std::to_string(t.shards_visited);
     out += ", \"shards_pruned\": " + std::to_string(t.shards_pruned);
     out += ", \"candidates\": " + std::to_string(t.num_candidates);
+    if (t.from_router) {
+      // Router-merged entries: actual_ms above is the critical-path max;
+      // the sums and the per-shard breakdown keep the full story.
+      out += ", \"sum_est_ms\": " + FormatDouble(t.sum_est_ms);
+      out += ", \"sum_actual_ms\": " + FormatDouble(t.sum_actual_ms);
+      out += ", \"cache_hit_shards\": " + std::to_string(t.cache_hit_shards);
+      out += ", \"shards_degraded\": " + std::to_string(t.shards_degraded);
+      out += ", \"shard_actual_ms\": [";
+      for (uint32_t i = 0; i < t.num_shard_actuals; ++i) {
+        if (i > 0) out += ", ";
+        out += FormatDouble(t.shard_actual_ms[i]);
+      }
+      out += "]";
+    }
     out += "}";
   }
   out += "]}";

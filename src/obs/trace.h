@@ -35,6 +35,11 @@ struct TraceCandidate {
 /// num_candidates still reports the true count when it overflows.
 inline constexpr size_t kTraceCandidateCap = 6;
 
+/// Per-shard actuals retained on a router-merged trace; scatters mostly
+/// fan out to few shards, and shards_visited reports the true fan-out
+/// when it overflows.
+inline constexpr size_t kTraceShardCap = 8;
+
 /// Compact record of one select. `seq` is assigned by the ring (global
 /// recording order); router-level traces set from_router and the shard
 /// fields, per-shard traces carry the plan/cost detail.
@@ -56,6 +61,23 @@ struct SelectTrace {
   uint32_t num_candidates = 0;  ///< deliberated (may exceed num_recorded)
   uint32_t num_recorded = 0;    ///< filled entries of candidates[]
   TraceCandidate candidates[kTraceCandidateCap];
+
+  // Router-merged traces only (from_router). est_ms/actual_ms above carry
+  // the critical-path MAXIMUM over the visited shards -- the latency a
+  // parallel gather pays, directly comparable with engine-level traces in
+  // the slow log -- while the sums below keep the partition-wide totals.
+  // cache_hit is true only when EVERY visited shard's chosen lookup hit
+  // (a scatter is cached only if wholly served from cache);
+  // cache_hit_shards counts the hits instead of OR-ing them away.
+  double sum_est_ms = 0;
+  double sum_actual_ms = 0;
+  uint32_t cache_hit_shards = 0;
+  uint32_t shards_degraded = 0;  ///< shards the scatter budget degraded
+  /// Per-shard actual costs, in ascending order of the visited shard
+  /// indexes; shards_visited still reports the true count when it
+  /// overflows the cap.
+  uint32_t num_shard_actuals = 0;
+  double shard_actual_ms[kTraceShardCap] = {};
 };
 
 /// Order-insensitive fingerprint of a query's predicate set (column, op,

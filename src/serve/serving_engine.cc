@@ -410,8 +410,10 @@ PlanSet ServingEngine::Deliberate(const EpochState& st, const Query& query,
                                   std::vector<CmPlanView>* views,
                                   std::vector<std::vector<RowRange>>* cm_ranges,
                                   std::vector<std::vector<PageNo>>* cm_leaves,
-                                  std::vector<SidxPlan>* sidx_plans) const {
+                                  std::vector<SidxPlan>* sidx_plans,
+                                  CostBudget* budget) const {
   PlanContext ctx;
+  ctx.budget = budget;
   ctx.table = st.table;
   ctx.cidx = st.cidx;
   ctx.clustered_boundary = st.clustered_boundary;
@@ -493,7 +495,8 @@ bool ServingEngine::CanSkipForQuery(const Query& query,
   return false;
 }
 
-SelectResult ServingEngine::ExecuteSelect(const Query& query) const {
+SelectResult ServingEngine::ExecuteSelect(const Query& query,
+                                          CostBudget* budget) const {
   SelectResult out;
   // Pin one epoch for the whole select: table, clustered index, boundary,
   // CM set, and calibration inputs stay mutually consistent even if a
@@ -514,12 +517,6 @@ SelectResult ServingEngine::ExecuteSelect(const Query& query) const {
 
   const ServingOptions::PlanChoice mode =
       plan_choice_.load(std::memory_order_relaxed);
-  std::vector<CmPlanView> views;
-  std::vector<SharedLookupCache::ResultPtr> pinned;
-  std::vector<uint8_t> hits;
-  ResolveCmLookups(*st, query,
-                   mode == ServingOptions::PlanChoice::kFirstMatch, &views,
-                   &pinned, &hits);
 
   // ---- Deliberate. Cost-based: every candidate priced by the shared
   // plan enumeration at this epoch's calibration. First-match: the first
@@ -527,13 +524,68 @@ SelectResult ServingEngine::ExecuteSelect(const Query& query) const {
   PlanKind kind = PlanKind::kSeqScan;
   size_t cm_slot = SelectResult::kNoCmSlot;
   size_t sidx_slot = SelectResult::kNoCmSlot;
+  std::vector<CmPlanView> views;
+  std::vector<SharedLookupCache::ResultPtr> pinned;
+  std::vector<uint8_t> hits;
   std::vector<std::vector<RowRange>> cm_ranges;
   std::vector<std::vector<PageNo>> cm_leaves;
   std::vector<SidxPlan> sidx_plans;
   obs::SelectTrace trace;  // filled only when metrics_ is attached
-  if (mode == ServingOptions::PlanChoice::kCostBased) {
-    const PlanSet plans = Deliberate(*st, query, calib, gap, &views,
-                                     &cm_ranges, &cm_leaves, &sidx_plans);
+
+  // Cross-shard scatter budget gate, checked BEFORE any CM lookup or
+  // sorted-index resolution: when the cheapest CM-free candidate alone
+  // already exceeds the scatter's remaining allowance, deliberation is
+  // pure overhead -- run that cheap plan directly. Results stay exact
+  // (every plan re-filters the same rows); only plan quality degrades.
+  bool degraded = false;
+  if (budget != nullptr && mode == ServingOptions::PlanChoice::kCostBased) {
+    PlanContext ctx;
+    ctx.table = st->table;
+    ctx.cidx = st->cidx;
+    ctx.clustered_boundary = boundary;
+    ctx.n_rows = n_rows;
+    ctx.heap_residency = calib.heap_residency;
+    ctx.cidx_residency = calib.cidx_residency;
+    ctx.heap_extent_residency = calib.heap_extents;
+    ctx.heap_extent_pages = BufferPool::kExtentPages;
+    ctx.num_deleted = st->table->NumDeleted();
+    ctx.cost_model = &cost_model_;
+    double cheap_ms = SeqScanCostMs(ctx);
+    PlanKind cheap_kind = PlanKind::kSeqScan;
+    const Predicate* cpred = FindPredicateOn(query, st->cidx->column());
+    if (cpred != nullptr) {
+      const std::vector<RowRange> cranges =
+          ClusteredRangesFor(*st->table, *st->cidx, *cpred, boundary);
+      const size_t n_probes =
+          cpred->op() == Predicate::Op::kRange ? 1 : cpred->keys().size();
+      const double cr_ms = ClusteredRangeCostMs(ctx, cranges, n_probes);
+      if (cr_ms < cheap_ms) {
+        cheap_ms = cr_ms;
+        cheap_kind = PlanKind::kClusteredRange;
+      }
+    }
+    if (!budget->CanAfford(cheap_ms)) {
+      degraded = true;
+      budget->Charge(cheap_ms);
+      kind = cheap_kind;
+      out.plan = PlanKindName(cheap_kind);
+      out.plan_est_ms = cheap_ms;
+      out.plan_candidates = cpred != nullptr ? 2 : 1;
+      out.budget_degraded = true;
+    }
+  }
+
+  if (!degraded) {
+    ResolveCmLookups(*st, query,
+                     mode == ServingOptions::PlanChoice::kFirstMatch, &views,
+                     &pinned, &hits);
+  }
+  if (degraded) {
+    // Plan already fixed above; nothing to deliberate.
+  } else if (mode == ServingOptions::PlanChoice::kCostBased) {
+    const PlanSet plans =
+        Deliberate(*st, query, calib, gap, &views, &cm_ranges, &cm_leaves,
+                   &sidx_plans, budget);
     const PlanCandidate& win = plans.chosen_plan();
     kind = win.kind;
     if (kind == PlanKind::kCmProbe) cm_slot = win.slot;
@@ -718,19 +770,39 @@ SelectResult ServingEngine::ExecuteSelect(const Query& query) const {
   return out;
 }
 
-Status ServingEngine::ApplyAppend(std::span<const std::vector<Key>> rows) {
-  if (rows.empty()) return Status::OK();
-  std::lock_guard<std::mutex> lock(append_mu_);
+Status ServingEngine::PrepareAppend(std::span<const std::vector<Key>> rows,
+                                    PreparedAppend* out) {
+  std::unique_lock<std::mutex> lock(append_mu_);
   // Re-read the state under the append lock: a recluster swap happens
   // with this lock held, so the epoch seen here cannot be retired while
-  // the batch is applied.
+  // the guard is alive.
   const std::shared_ptr<EpochState> st = CurrentState();
   Table* table = st->table;
+  const size_t arity = table->schema().num_columns();
+  for (const std::vector<Key>& row : rows) {
+    if (row.size() != arity) {
+      return Status::InvalidArgument(
+          "appended row arity does not match the schema");
+    }
+  }
   if (table->NumRows() + rows.size() > table->ReservedRows()) {
     return Status::ResourceExhausted(
         "append past the table's reserved capacity; concurrent readers "
         "require append-without-reallocation");
   }
+  out->lock_ = std::move(lock);
+  out->state_ = st;
+  return Status::OK();
+}
+
+Status ServingEngine::CommitAppend(PreparedAppend* prep,
+                                   std::span<const std::vector<Key>> rows) {
+  assert(prep != nullptr && prep->valid() && "commit without a prepare");
+  // Adopt the guard: the lock stays held through the apply and releases
+  // on return, and the prepared epoch is the one mutated.
+  const std::unique_lock<std::mutex> lock = std::move(prep->lock_);
+  const std::shared_ptr<EpochState> st = std::move(prep->state_);
+  Table* table = st->table;
   std::vector<RowId> rids;
   rids.reserve(rows.size());
   for (const std::vector<Key>& row : rows) {
@@ -756,6 +828,14 @@ Status ServingEngine::ApplyAppend(std::span<const std::vector<Key>> rows) {
   }
   MaybeScheduleRecluster(*st);
   return Status::OK();
+}
+
+Status ServingEngine::ApplyAppend(std::span<const std::vector<Key>> rows) {
+  if (rows.empty()) return Status::OK();
+  PreparedAppend prep;
+  Status s = PrepareAppend(rows, &prep);
+  if (!s.ok()) return s;
+  return CommitAppend(&prep, rows);
 }
 
 Status ServingEngine::DeleteRowLocked(const EpochState& st, RowId row) {
@@ -972,6 +1052,8 @@ std::future<Status> ServingEngine::Update(RowId row,
   Enqueue([task] { (*task)(); });
   return fut;
 }
+
+void ServingEngine::Post(std::function<void()> fn) { Enqueue(std::move(fn)); }
 
 void ServingEngine::ResizeWorkerPool(size_t n) {
   StopWorkers();

@@ -194,9 +194,16 @@ struct SelectResult {
   uint64_t plan_candidates = 0;     ///< candidates deliberated
   double heap_residency = 0;
   double cidx_residency = 0;
+  /// The cross-shard scatter budget was exhausted, so this select skipped
+  /// CM/sorted-index deliberation and ran its cheapest CM-free plan.
+  bool budget_degraded = false;
 };
 
 class ServingEngine {
+  // Forward declaration so the public PreparedAppend guard can pin the
+  // epoch it validated against (definition in the private section below).
+  struct EpochState;
+
  public:
   /// `table` must already be clustered with `cidx` built over the
   /// clustered column. Both must outlive the engine (they back epoch 0;
@@ -263,13 +270,58 @@ class ServingEngine {
   Status AttachSecondaryIndex(std::vector<size_t> columns);
 
   /// Synchronous thread-safe select; Submit routes here from the pool.
-  SelectResult ExecuteSelect(const Query& query) const;
+  /// When `budget` is non-null and the cost-based policy is active, the
+  /// select participates in a cross-shard scatter budget: if the cheapest
+  /// CM-free candidate (seq scan / clustered range) already exceeds the
+  /// remaining allowance, CM and sorted-index deliberation is skipped and
+  /// that cheap plan runs (results stay exact -- every plan is -- only
+  /// deliberation effort and plan quality degrade, flagged in
+  /// SelectResult::budget_degraded). The executed plan's estimate is
+  /// charged against the budget either way.
+  SelectResult ExecuteSelect(const Query& query,
+                             CostBudget* budget = nullptr) const;
 
   /// Synchronous thread-safe append of whole rows (physical keys, schema
   /// arity): appends to the heap, then updates every attached CM.
+  /// InvalidArgument on a row whose arity does not match the schema;
   /// ResourceExhausted once the table's reservation is full (a recluster
-  /// renews the reservation).
+  /// renews the reservation). Either way nothing is applied on error.
   Status ApplyAppend(std::span<const std::vector<Key>> rows);
+
+  /// One engine's validated-but-unapplied slice of a multi-shard append.
+  /// Obtained from PrepareAppend (which returns it holding this engine's
+  /// append lock); pass it to CommitAppend to apply, or let it go out of
+  /// scope to abort with nothing applied and the lock released. Movable,
+  /// not copyable.
+  class PreparedAppend {
+   public:
+    PreparedAppend() = default;
+    PreparedAppend(PreparedAppend&&) = default;
+    PreparedAppend& operator=(PreparedAppend&&) = default;
+    bool valid() const { return lock_.owns_lock(); }
+
+   private:
+    friend class ServingEngine;
+    std::unique_lock<std::mutex> lock_;
+    std::shared_ptr<EpochState> state_;
+  };
+
+  /// Phase 1 of an all-or-nothing multi-shard append (ShardRouter): takes
+  /// the append lock, validates every row's arity and the capacity
+  /// reservation, and hands the held lock back as a guard so the
+  /// validated headroom cannot be consumed before commit. The router
+  /// prepares shards in ascending index order, which totally orders the
+  /// cross-shard lock acquisition (no deadlock against concurrent
+  /// multi-shard appends). On error the lock is released and `out` stays
+  /// invalid.
+  Status PrepareAppend(std::span<const std::vector<Key>> rows,
+                       PreparedAppend* out);
+
+  /// Phase 2: applies `rows` -- which must be the exact slice `prep`
+  /// validated -- under the still-held lock, then releases it. Never
+  /// fails on a batch PrepareAppend accepted.
+  Status CommitAppend(PreparedAppend* prep,
+                      std::span<const std::vector<Key>> rows);
 
   /// Epoch sentinel for ApplyDelete/ApplyUpdate: apply against whatever
   /// epoch is current.
@@ -307,6 +359,13 @@ class ServingEngine {
   std::future<Status> Append(std::vector<std::vector<Key>> rows);
   std::future<Status> Delete(RowId row);
   std::future<Status> Update(RowId row, std::vector<Key> new_values);
+
+  /// Runs `fn` on this engine's worker pool -- the router's parallel
+  /// scatter posts its per-shard select tasks here so the gather rides
+  /// the pools the shards already own. Requires num_workers > 0 (a
+  /// pool-less engine never drains its queue; the router falls back to
+  /// its own pool in that configuration).
+  void Post(std::function<void()> fn);
 
   /// Runs one synchronous recluster pass (serialized against concurrent
   /// passes): merges the tail into the clustered region, patches the
@@ -570,7 +629,8 @@ class ServingEngine {
                      std::vector<CmPlanView>* views,
                      std::vector<std::vector<RowRange>>* cm_ranges,
                      std::vector<std::vector<PageNo>>* cm_leaves,
-                     std::vector<SidxPlan>* sidx_plans) const;
+                     std::vector<SidxPlan>* sidx_plans,
+                     CostBudget* budget = nullptr) const;
 
   ServingOptions options_;
   std::atomic<size_t> recluster_tail_rows_;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <functional>
+#include <future>
 #include <memory>
 #include <numeric>
 #include <string>
@@ -68,6 +70,10 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Create(
   // registers partition-level aggregates below instead.
   r->metrics_ = eo.metrics;
   eo.metrics_register_gauges = false;
+  r->parallel_scatter_ = options.parallel_scatter;
+  r->scatter_budget_ms_ = options.scatter_budget_ms;
+  r->engines_pooled_ = eo.num_workers > 0;
+  r->on_shard_visit_ = options.on_shard_visit;
 
   r->shards_.reserve(bounds.size() - 1);
   for (size_t s = 0; s + 1 < bounds.size(); ++s) {
@@ -91,6 +97,9 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Create(
     r->shards_.push_back(std::move(sh));
   }
   if (r->metrics_ != nullptr) r->RegisterMetricsGauges();
+  if (r->parallel_scatter_ && !r->engines_pooled_ && r->shards_.size() > 1) {
+    r->StartFallbackPool(std::min<size_t>(r->shards_.size(), 8));
+  }
   return r;
 }
 
@@ -122,6 +131,10 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Recover(
   eo.shared_cache = r->cache_.get();
   r->metrics_ = eo.metrics;
   eo.metrics_register_gauges = false;
+  r->parallel_scatter_ = options.parallel_scatter;
+  r->scatter_budget_ms_ = options.scatter_budget_ms;
+  r->engines_pooled_ = eo.num_workers > 0;
+  r->on_shard_visit_ = options.on_shard_visit;
 
   r->shards_.reserve(n_shards);
   for (size_t s = 0; s < n_shards; ++s) {
@@ -135,15 +148,56 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Recover(
     if (stats != nullptr) stats->push_back(shard_stats);
   }
   if (r->metrics_ != nullptr) r->RegisterMetricsGauges();
+  if (r->parallel_scatter_ && !r->engines_pooled_ && r->shards_.size() > 1) {
+    r->StartFallbackPool(std::min<size_t>(r->shards_.size(), 8));
+  }
   return r;
 }
 
 ShardRouter::~ShardRouter() {
+  // Drain the fallback scatter pool before anything the queued tasks
+  // could touch (shards, metrics) goes away. Callers must not destroy
+  // the router with selects still in flight, same as the engines.
+  {
+    std::lock_guard<std::mutex> lock(fb_mu_);
+    fb_stopping_ = true;
+  }
+  fb_cv_.notify_all();
+  for (std::thread& w : fb_workers_) w.join();
+  fb_workers_.clear();
   if (metrics_ != nullptr) {
     for (const std::string& name : gauge_names_) {
       metrics_->registry().RemoveCallbackGauge(name);
     }
   }
+}
+
+void ShardRouter::StartFallbackPool(size_t n) {
+  fb_workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    fb_workers_.emplace_back([this] {
+      for (;;) {
+        std::function<void()> job;
+        {
+          std::unique_lock<std::mutex> lock(fb_mu_);
+          fb_cv_.wait(lock,
+                      [this] { return fb_stopping_ || !fb_queue_.empty(); });
+          if (fb_queue_.empty()) return;  // stopping and drained
+          job = std::move(fb_queue_.front());
+          fb_queue_.pop_front();
+        }
+        job();
+      }
+    });
+  }
+}
+
+void ShardRouter::SubmitFallback(std::function<void()> fn) const {
+  {
+    std::lock_guard<std::mutex> lock(fb_mu_);
+    fb_queue_.push_back(std::move(fn));
+  }
+  fb_cv_.notify_one();
 }
 
 void ShardRouter::RegisterMetricsGauges() {
@@ -263,12 +317,27 @@ RoutedSelectResult ShardRouter::ExecuteSelect(const Query& query) const {
     std::fill(visit.begin(), visit.end(), uint8_t{0});
     out.clustered_routed = true;
     if (cpred->op() == Predicate::Op::kRange) {
-      // Through the engine: a recovered shard owns its table inside the
-      // engine's epoch state and Shard::table stays null.
-      const Column& col = shards_[0].engine->table().column(c_col_);
-      const size_t lo = RouteKey(col.EncodeKey(Value(cpred->lo())));
-      const size_t hi = RouteKey(col.EncodeKey(Value(cpred->hi())));
-      for (size_t s = lo; s <= hi && s < n; ++s) visit[s] = 1;
+      // Route the endpoints numerically against the split keys -- the
+      // same Key::Numeric() axis Predicate::MatchesKey filters on --
+      // instead of encoding them: EncodeKey turned the +/-infinity
+      // endpoints of open ranges (Ge/Le) and out-of-dictionary endpoints
+      // into bogus keys that silently misrouted the span. An inverted
+      // range (lo > hi) or NaN endpoint matches no key at all, so it
+      // visits no shard. Fractional endpoints may conservatively include
+      // one boundary shard that holds no matches; execution re-filters.
+      const double lo = cpred->lo();
+      const double hi = cpred->hi();
+      if (lo <= hi) {
+        size_t s_lo = 0;
+        while (s_lo < splits_.size() && splits_[s_lo].Numeric() <= lo) {
+          ++s_lo;
+        }
+        size_t s_hi = s_lo;
+        while (s_hi < splits_.size() && splits_[s_hi].Numeric() <= hi) {
+          ++s_hi;
+        }
+        for (size_t s = s_lo; s <= s_hi && s < n; ++s) visit[s] = 1;
+      }
     } else {
       for (const Key& key : cpred->keys()) visit[RouteKey(key)] = 1;
     }
@@ -287,17 +356,74 @@ RoutedSelectResult ShardRouter::ExecuteSelect(const Query& query) const {
     }
   }
 
-  bool first = true;
+  std::vector<size_t> targets;
+  targets.reserve(n);
   for (size_t s = 0; s < n; ++s) {
-    if (!visit[s]) {
+    if (visit[s]) {
+      targets.push_back(s);
+    } else {
       ++out.shards_pruned;
-      continue;
     }
-    const SelectResult part = shards_[s].engine->ExecuteSelect(query);
+  }
+
+  // One scatter, one shared deliberation budget (0 disables; the gate
+  // lives inside ExecuteSelect's cost-based path).
+  CostBudget budget(scatter_budget_ms_);
+  CostBudget* budget_ptr = scatter_budget_ms_ > 0 ? &budget : nullptr;
+
+  // Scatter: each visited shard's select runs as an independent task that
+  // writes only its own `parts` slot and times its own visit, so per-shard
+  // completion needs no synchronization beyond the gather below. Under
+  // parallel scatter the tasks ride the shards' worker pools (or the
+  // router's fallback pool when the engines run pool-less) and this
+  // thread blocks on the futures; a single-target scatter and the
+  // sequential mode run inline.
+  std::vector<SelectResult> parts(targets.size());
+  auto visit_one = [&](size_t i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    parts[i] = shards_[targets[i]].engine->ExecuteSelect(query, budget_ptr);
+    if (metrics_ != nullptr) {
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      metrics_->router_shard_visit_us->Record(double(us));
+    }
+    if (on_shard_visit_) on_shard_visit_(parts[i]);
+  };
+  if (parallel_scatter_ && targets.size() > 1) {
+    std::vector<std::future<void>> gathers;
+    gathers.reserve(targets.size());
+    for (size_t i = 0; i < targets.size(); ++i) {
+      auto task = std::make_shared<std::packaged_task<void()>>(
+          [&visit_one, i] { visit_one(i); });
+      gathers.push_back(task->get_future());
+      if (engines_pooled_) {
+        shards_[targets[i]].engine->Post([task] { (*task)(); });
+      } else {
+        SubmitFallback([task] { (*task)(); });
+      }
+    }
+    for (std::future<void>& f : gathers) f.get();
+  } else {
+    for (size_t i = 0; i < targets.size(); ++i) visit_one(i);
+  }
+
+  // Gather: single-threaded, ascending shard order -- merged counts are
+  // identical to the sequential scatter by construction. Critical-path
+  // maxima feed the router trace; the merged result keeps the historical
+  // summed/OR-ed semantics.
+  double max_est_ms = 0;
+  double max_actual_ms = 0;
+  size_t cache_hit_shards = 0;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const SelectResult& part = parts[i];
     ++out.shards_visited;
-    if (first) {
+    if (part.budget_degraded) ++out.shards_degraded;
+    if (part.cache_hit) ++cache_hit_shards;
+    max_est_ms = std::max(max_est_ms, part.plan_est_ms);
+    max_actual_ms = std::max(max_actual_ms, part.simulated_ms);
+    if (i == 0) {
       out.merged = part;
-      first = false;
       continue;
     }
     out.merged.num_matches += part.num_matches;
@@ -305,6 +431,8 @@ RoutedSelectResult ShardRouter::ExecuteSelect(const Query& query) const {
     out.merged.simulated_ms += part.simulated_ms;
     out.merged.used_cm = out.merged.used_cm || part.used_cm;
     out.merged.cache_hit = out.merged.cache_hit || part.cache_hit;
+    out.merged.budget_degraded =
+        out.merged.budget_degraded || part.budget_degraded;
     out.merged.plan_est_ms += part.plan_est_ms;
     out.merged.plan_candidates += part.plan_candidates;
   }
@@ -322,25 +450,39 @@ RoutedSelectResult ShardRouter::ExecuteSelect(const Query& query) const {
     if (out.clustered_routed) metrics_->router_clustered_routed->Increment();
     if (out.cm_pruned) metrics_->router_cm_pruned->Increment();
     // Router-level trace: the scatter as one unit (per-shard executions
-    // already recorded their own engine-level traces above).
+    // already recorded their own engine-level traces above). est/actual
+    // carry the critical-path MAX over the visited shards so slow-log
+    // entries stay comparable with engine traces; the partition-wide sums
+    // and per-shard actuals ride the dedicated merged-trace fields, and
+    // cache_hit means every visited shard hit (a scatter is cached only
+    // if wholly served from cache).
     obs::SelectTrace t;
     t.fingerprint = obs::FingerprintQuery(query);
     t.from_router = true;
     t.cost_based = false;  // merged costs, not one deliberation
-    t.cache_hit = out.merged.cache_hit;
-    t.est_ms = out.merged.plan_est_ms;
-    t.actual_ms = out.merged.simulated_ms;
+    t.cache_hit =
+        out.shards_visited > 0 && cache_hit_shards == out.shards_visited;
+    t.cache_hit_shards = uint32_t(cache_hit_shards);
+    t.est_ms = max_est_ms;
+    t.actual_ms = max_actual_ms;
+    t.sum_est_ms = out.merged.plan_est_ms;
+    t.sum_actual_ms = out.merged.simulated_ms;
     t.num_matches = out.merged.num_matches;
     t.rows_examined = out.merged.rows_examined;
     t.shards_visited = uint32_t(out.shards_visited);
     t.shards_pruned = uint32_t(out.shards_pruned);
+    t.shards_degraded = uint32_t(out.shards_degraded);
     t.num_candidates = uint32_t(out.merged.plan_candidates);
+    for (size_t i = 0; i < parts.size() && i < obs::kTraceShardCap; ++i) {
+      t.shard_actual_ms[t.num_shard_actuals++] = parts[i].simulated_ms;
+    }
     metrics_->RecordRoutedSelect(t);
   }
   return out;
 }
 
 Status ShardRouter::ApplyAppend(std::span<const std::vector<Key>> rows) {
+  if (rows.empty()) return Status::OK();
   if (shards_.size() == 1) return shards_[0].engine->ApplyAppend(rows);
   std::vector<std::vector<std::vector<Key>>> by_shard(shards_.size());
   for (const std::vector<Key>& row : rows) {
@@ -349,9 +491,24 @@ Status ShardRouter::ApplyAppend(std::span<const std::vector<Key>> rows) {
     }
     by_shard[RouteKey(row[c_col_])].push_back(row);
   }
+  // All-or-nothing across shards. Phase 1: every target shard validates
+  // its slice (arity, capacity) and hands back a guard holding its append
+  // lock -- ascending shard order makes the cross-shard lock acquisition
+  // a total order, so concurrent multi-shard appends cannot deadlock. A
+  // refusal drops the guards already held and no shard has changed (the
+  // fail-fast path previously left earlier shards' rows applied and
+  // WAL-logged while the call reported an error). Phase 2 cannot fail on
+  // a prepared batch, so commit applies everywhere or the error return
+  // applied nowhere.
+  std::vector<ServingEngine::PreparedAppend> prepared(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (by_shard[s].empty()) continue;
-    Status st = shards_[s].engine->ApplyAppend(by_shard[s]);
+    Status st = shards_[s].engine->PrepareAppend(by_shard[s], &prepared[s]);
+    if (!st.ok()) return st;
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (!prepared[s].valid()) continue;
+    Status st = shards_[s].engine->CommitAppend(&prepared[s], by_shard[s]);
     if (!st.ok()) return st;
   }
   return Status::OK();

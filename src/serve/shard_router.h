@@ -21,25 +21,42 @@
 //      goes through the shared cache, so a visited shard's ExecuteSelect
 //      reuses it. (cm_pruned when at least one shard was skipped)
 //   3. No clustered predicate and no applicable CM: full scatter-gather.
-// Visited shards run their ordinary cost-based deliberation; the router
-// merges SelectResults by summing counts/costs and OR-ing flags, visiting
-// shards in ascending key order so merged diagnostics are deterministic.
+// Visited shards run their ordinary cost-based deliberation. The scatter
+// itself is parallel by default: each visited shard's select is posted to
+// that shard's own worker pool (or to a router-owned fallback pool when
+// the engines run pool-less) and the router blocks on the gathered
+// futures, so a multi-shard select costs one shard's latency instead of
+// the sum. The merge stays single-threaded and walks the results in
+// ascending shard order -- merged counts are identical whether the
+// scatter ran parallel or sequential (RouterOptions::parallel_scatter
+// pins the legacy sequential walk for A/B). A scatter can also share one
+// cross-shard deliberation budget (RouterOptions::scatter_budget_ms): a
+// shard whose cheapest CM-free candidate already exceeds the remaining
+// allowance skips CM/sorted-index deliberation and runs that cheap plan
+// -- results stay exact, only deliberation effort degrades.
 //
-// Writes route by clustered key: ApplyAppend groups rows by owning shard,
-// deletes/updates address (shard, row) and carry the shard's own recluster
-// epoch (row ids are per-shard; a recluster in shard i permutes only shard
-// i's ids and aborts only writers holding shard i's stale epoch). An
-// update whose new clustered key moves it across the partition becomes
-// delete-then-append -- between the two steps neither version is visible,
-// the same invariant the engine's own update keeps.
+// Writes route by clustered key: ApplyAppend groups rows by owning shard
+// and applies the groups all-or-nothing (every target shard validates and
+// locks before any shard applies), deletes/updates address (shard, row)
+// and carry the shard's own recluster epoch (row ids are per-shard; a
+// recluster in shard i permutes only shard i's ids and aborts only
+// writers holding shard i's stale epoch). An update whose new clustered
+// key moves it across the partition becomes delete-then-append -- between
+// the two steps neither version is visible, the same invariant the
+// engine's own update keeps.
 #ifndef CORRMAP_SERVE_SHARD_ROUTER_H_
 #define CORRMAP_SERVE_SHARD_ROUTER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -71,6 +88,27 @@ struct RouterOptions {
   /// ignored by the router (a single WAL cannot speak N independent
   /// row-id spaces). All managers must outlive the router.
   std::vector<Durability*> shard_durability;
+  /// Run the scatter in parallel: visited shards' selects execute
+  /// concurrently on the shards' worker pools (router-owned fallback pool
+  /// when engine.num_workers == 0) and merge in ascending shard order, so
+  /// merged counts match the sequential walk exactly. false pins the
+  /// legacy sequential scatter (the bench A/B leg).
+  bool parallel_scatter = true;
+  /// Cross-shard deliberation budget per scatter, in estimated ms: a
+  /// visited shard whose cheapest CM-free candidate (seq scan / clustered
+  /// range) already exceeds the remaining allowance skips CM and
+  /// sorted-index deliberation and runs that cheap plan. Results stay
+  /// exact -- every plan re-filters the same rows -- only deliberation
+  /// effort and plan quality degrade (SelectResult::budget_degraded,
+  /// router_budget_degraded_visits_total). 0 disables.
+  double scatter_budget_ms = 0;
+  /// Test/bench hook: called once per shard visit with that shard's own
+  /// SelectResult, from whichever thread ran the visit (must be
+  /// thread-safe under parallel scatter). The bench injects the simulated
+  /// device stall here so it overlaps across shards the way real device
+  /// waits would; fuzz tests inject seeded delays to stretch the window
+  /// in which a recluster publish races the gather.
+  std::function<void(const SelectResult&)> on_shard_visit;
 };
 
 /// Merged outcome of one routed select.
@@ -81,6 +119,9 @@ struct RoutedSelectResult {
   SelectResult merged;
   size_t shards_visited = 0;
   size_t shards_pruned = 0;      ///< skipped without executing
+  /// Visited shards that degraded to their cheap plan because the
+  /// scatter's shared deliberation budget ran out.
+  size_t shards_degraded = 0;
   bool clustered_routed = false; ///< pruned by clustered-key range
   bool cm_pruned = false;        ///< pruned by per-shard CM lookups
 };
@@ -126,9 +167,12 @@ class ShardRouter {
   RoutedSelectResult ExecuteSelect(const Query& query) const;
 
   /// Routes each row to its owning shard by clustered key and applies the
-  /// per-shard groups as one engine append each. Fails fast: an error
-  /// leaves earlier groups applied (the engine's own partial-batch
-  /// semantics).
+  /// per-shard groups all-or-nothing: every target shard validates its
+  /// slice (schema arity, capacity) and takes its append lock before any
+  /// shard applies, so an error -- bad routing key, arity mismatch, one
+  /// shard out of reserved capacity -- leaves every shard untouched and
+  /// nothing WAL-logged. Locks are taken in ascending shard order, which
+  /// totally orders concurrent multi-shard appends (no deadlock).
   Status ApplyAppend(std::span<const std::vector<Key>> rows);
 
   /// Tombstones row `row` *of shard `shard`*. expected_epoch is checked
@@ -199,6 +243,12 @@ class ShardRouter {
 
   void RegisterMetricsGauges();
 
+  /// Router-owned scatter pool, started only when parallel scatter is on
+  /// and the engines run pool-less (num_workers == 0): a pool-less engine
+  /// never drains its queue, so Post would hang.
+  void StartFallbackPool(size_t n);
+  void SubmitFallback(std::function<void()> fn) const;
+
   size_t c_col_ = 0;
   std::vector<Key> splits_;
   std::vector<Shard> shards_;
@@ -206,6 +256,19 @@ class ShardRouter {
   std::unique_ptr<SharedLookupCache> cache_;
   obs::ServingMetrics* metrics_ = nullptr;
   std::vector<std::string> gauge_names_;
+  bool parallel_scatter_ = true;
+  double scatter_budget_ms_ = 0;
+  /// Shards own worker pools (engine.num_workers > 0): scatter tasks ride
+  /// them; otherwise the fallback pool below.
+  bool engines_pooled_ = true;
+  std::function<void(const SelectResult&)> on_shard_visit_;
+  // Fallback scatter pool (mutable: ExecuteSelect is const). fb_stopping_
+  // is guarded by fb_mu_.
+  mutable std::mutex fb_mu_;
+  mutable std::condition_variable fb_cv_;
+  mutable std::deque<std::function<void()>> fb_queue_;
+  bool fb_stopping_ = false;
+  std::vector<std::thread> fb_workers_;
 
   mutable std::atomic<uint64_t> selects_{0};
   mutable std::atomic<uint64_t> shards_visited_{0};

@@ -2,9 +2,19 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
 #include <numeric>
 
 namespace corrmap {
+
+namespace {
+// int64 range bounds as doubles: 2^63 is exactly representable, so d >=
+// kInt64KeyMax means the cast would overflow; anything below -2^63
+// underflows.
+constexpr double kInt64KeyMax = 9223372036854775808.0;
+constexpr double kInt64KeyMin = -9223372036854775808.0;
+}  // namespace
 
 Column::Column(ValueType type) : type_(type) {
   if (type_ == ValueType::kString) dict_ = std::make_unique<StringPool>();
@@ -73,7 +83,19 @@ Value Column::GetValue(RowId row) const {
 Key Column::EncodeKey(const Value& v) const {
   switch (type_) {
     case ValueType::kInt64:
-      return Key(v.is_double() ? static_cast<int64_t>(v.AsDouble()) : v.AsInt64());
+      if (!v.is_double()) return Key(v.AsInt64());
+      // Saturate out-of-range doubles instead of the UB cast: open-ended
+      // range predicates carry +/-infinity endpoints (Predicate::Ge/Le),
+      // and the raw cast turned those into INT64_MIN on x86 -- which made
+      // open clustered ranges look empty and misrouted sharded spans.
+      {
+        const double d = v.AsDouble();
+        if (std::isnan(d) || d < kInt64KeyMin) {
+          return Key(std::numeric_limits<int64_t>::min());
+        }
+        if (d >= kInt64KeyMax) return Key(std::numeric_limits<int64_t>::max());
+        return Key(static_cast<int64_t>(d));
+      }
     case ValueType::kDouble: return Key(v.NumericValue());
     case ValueType::kString: return Key(dict_->Find(v.AsString()));
   }

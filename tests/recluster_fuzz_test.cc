@@ -30,6 +30,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <thread>
@@ -762,7 +763,13 @@ struct RoutedCrudFuzzHarness {
   std::vector<int64_t> live_ids;
   int64_t next_id = 0;
 
-  RoutedCrudFuzzHarness(uint64_t seed, int base_rows, size_t reserve_extra)
+  /// scatter_budget_ms / visit_delay_us feed the parallel-scatter race
+  /// cases: a nonzero budget exercises the degradation path under
+  /// concurrency, a nonzero per-visit delay stretches each gather so a
+  /// per-shard publish can land inside its window.
+  RoutedCrudFuzzHarness(uint64_t seed, int base_rows, size_t reserve_extra,
+                        double scatter_budget_ms = 0,
+                        uint64_t visit_delay_us = 0)
       : rng(seed) {
     Schema schema({ColumnDef::Int64("c"), ColumnDef::Int64("u"),
                    ColumnDef::Int64("v"), ColumnDef::Int64("id")});
@@ -784,6 +791,13 @@ struct RoutedCrudFuzzHarness {
     opts.engine.num_workers = 1;
     opts.engine.reserve_rows = size_t(base_rows) + reserve_extra;
     opts.engine.calibration_period = 16;
+    opts.scatter_budget_ms = scatter_budget_ms;
+    if (visit_delay_us > 0) {
+      opts.on_shard_visit = [visit_delay_us](const serve::SelectResult&) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(visit_delay_us));
+      };
+    }
     auto r = serve::ShardRouter::Create(*table, 0, opts);
     EXPECT_TRUE(r.ok());
     router = std::move(*r);
@@ -1006,6 +1020,109 @@ void RunRoutedCrudFuzz(uint64_t seed, int ops, int base_rows) {
 TEST(RoutedCrudFuzzTest, CrudThroughRouterStaysThreeWayExact) {
   for (uint64_t seed : {0xD1ull, 0xD2ull}) {
     RunRoutedCrudFuzz(seed, /*ops=*/90, /*base_rows=*/3000);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel scatter vs per-shard publishes: seeded rounds of quiescent CRUD
+// set up a frozen query battery with known counts, then concurrent readers
+// drive parallel scatters while the main thread fires per-shard reclusters
+// and compactions. Both passes preserve logical content, so every in-flight
+// scatter must keep merging to the precomputed oracle count no matter which
+// shard swaps mid-gather; the on_shard_visit delay stretches each visit so
+// publishes land inside gather windows instead of between them.
+// ---------------------------------------------------------------------------
+
+void RunParallelScatterFuzz(uint64_t seed, int rounds, int base_rows,
+                            double scatter_budget_ms) {
+  RoutedCrudFuzzHarness h(seed, base_rows,
+                          /*reserve_extra=*/size_t(rounds) * 2048 + 4096,
+                          scatter_budget_ms, /*visit_delay_us=*/200);
+  Rng chaos_rng(seed ^ 0xC4A05);
+  for (int round = 0; round < rounds; ++round) {
+    // Quiescent CRUD evolves the partition between race windows.
+    for (int op = 0; op < 10; ++op) {
+      switch (h.rng.UniformInt(0, 3)) {
+        case 0:
+          h.AppendBatch(150);
+          break;
+        case 1:
+          h.DeleteOne();
+          break;
+        default:
+          h.UpdateOne();
+          break;
+      }
+    }
+    // Freeze the battery; the chaos below only reclusters and compacts,
+    // which keep every logical row, so these counts are race-invariant.
+    std::vector<QuerySpec> specs;
+    std::vector<uint64_t> expected;
+    for (int i = 0; i < 6; ++i) {
+      specs.push_back(h.RandomSpec());
+      expected.push_back(h.OracleCount(specs.back()));
+      ASSERT_EQ(h.ScanAllShards(specs.back().query), expected.back());
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> reads{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 3; ++t) {
+      readers.emplace_back([&, t] {
+        Rng r(seed ^ (0x51ull + uint64_t(t)));
+        do {
+          const size_t pick =
+              size_t(r.UniformInt(0, int64_t(specs.size()) - 1));
+          const serve::RoutedSelectResult res =
+              h.router->ExecuteSelect(specs[pick].query);
+          EXPECT_EQ(res.merged.num_matches, expected[pick])
+              << "scatter diverged (visited " << res.shards_visited
+              << ", degraded " << res.shards_degraded << ")";
+          reads.fetch_add(1, std::memory_order_relaxed);
+        } while (!stop.load(std::memory_order_acquire));
+      });
+    }
+    // Per-shard publishes racing the in-flight scatters.
+    for (int i = 0; i < 6; ++i) {
+      const size_t s = size_t(
+          chaos_rng.UniformInt(0, int64_t(h.router->num_shards()) - 1));
+      if (chaos_rng.UniformInt(0, 1) == 0) {
+        ASSERT_TRUE(h.router->Recluster(s).ok());
+      } else {
+        ASSERT_TRUE(h.router->Compact(s).ok());
+      }
+    }
+    stop.store(true, std::memory_order_release);
+    for (std::thread& t : readers) t.join();
+    EXPECT_GE(reads.load(), 3u);
+
+    // Quiescent three-way close (shard scans are not epoch-pinned, so
+    // they stayed out of the race above).
+    for (size_t i = 0; i < specs.size(); ++i) {
+      ASSERT_EQ(h.ScanAllShards(specs[i].query), expected[i]);
+      ASSERT_EQ(h.router->ExecuteSelect(specs[i].query).merged.num_matches,
+                expected[i]);
+    }
+    ASSERT_TRUE(h.router->CheckInvariants().ok());
+  }
+}
+
+TEST(RoutedCrudFuzzTest, ParallelScatterRacesReclusterPublishes) {
+  RunParallelScatterFuzz(0xE1, /*rounds=*/3, /*base_rows=*/3000,
+                         /*scatter_budget_ms=*/0);
+  // The budget leg degrades some visits mid-race; counts must hold.
+  RunParallelScatterFuzz(0xE2, /*rounds=*/3, /*base_rows=*/3000,
+                         /*scatter_budget_ms=*/0.05);
+}
+
+TEST(RoutedCrudFuzzTest, LongParallelScatterInterleavings) {
+  if (std::getenv("CORRMAP_LONG_TESTS") == nullptr) {
+    GTEST_SKIP() << "set CORRMAP_LONG_TESTS=1 (nightly ctest label "
+                    "CORRMAP_LONG_TESTS) to run the long scatter fuzz";
+  }
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RunParallelScatterFuzz(seed * 0x9E37, /*rounds=*/8, /*base_rows=*/5000,
+                           /*scatter_budget_ms=*/seed % 2 == 0 ? 0.05 : 0.0);
   }
 }
 

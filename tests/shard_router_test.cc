@@ -11,6 +11,7 @@
 
 #include "common/rng.h"
 #include "exec/access_path.h"
+#include "index/clustered_index.h"
 #include "obs/serving_metrics.h"
 #include "serve/shard_router.h"
 #include "storage/table.h"
@@ -72,6 +73,24 @@ struct RouterFixture {
     return n;
   }
 };
+
+/// Oracle over any router (RouterFixture::ScanAllShards for bespoke ones).
+uint64_t ScanAll(const ShardRouter& r, const Query& q) {
+  uint64_t n = 0;
+  for (size_t s = 0; s < r.num_shards(); ++s) {
+    n += FullTableScan(r.shard(s).table(), q).NumMatches();
+  }
+  return n;
+}
+
+/// The fixture's CM, attachable to bespoke routers.
+CmOptions FixtureCm() {
+  CmOptions cm;
+  cm.u_cols = {1};
+  cm.u_bucketers = {Bucketer::Identity()};
+  cm.c_col = 0;
+  return cm;
+}
 
 TEST(ShardRouterTest, PartitionCoversEveryRowExactlyOnce) {
   RouterFixture f;
@@ -319,13 +338,21 @@ TEST(ShardRouterTest, MetricsRecordRoutingAndPartitionGauges) {
     for (int i = 0; i < 6; ++i) {
       visited += f.router->ExecuteSelect(cpoint).shards_visited;
     }
+    uint64_t last_fanout = 0;
     for (int i = 0; i < 4; ++i) {
-      visited += f.router->ExecuteSelect(upoint).shards_visited;
+      const RoutedSelectResult res = f.router->ExecuteSelect(upoint);
+      visited += res.shards_visited;
+      last_fanout = res.shards_visited;
     }
     // Router-level counters: one select each, visited + pruned partitions
     // the shard set per select.
     EXPECT_EQ(metrics.router_selects->Value(), 10u);
     EXPECT_EQ(metrics.router_shards_visited->Value(), visited);
+    // One visit-latency sample per visited shard; the fan-out gauge holds
+    // the most recent scatter's visit count; no budget -> no degradation.
+    EXPECT_EQ(metrics.router_shard_visit_us->Count(), visited);
+    EXPECT_EQ(metrics.router_scatter_fanout->Value(), double(last_fanout));
+    EXPECT_EQ(metrics.router_budget_degraded->Value(), 0u);
     EXPECT_EQ(metrics.router_shards_visited->Value() +
                   metrics.router_shards_pruned->Value(),
               10u * f.router->num_shards());
@@ -349,6 +376,199 @@ TEST(ShardRouterTest, MetricsRecordRoutingAndPartitionGauges) {
   EXPECT_EQ(json.find("\"router_num_shards\":"), std::string::npos);
   EXPECT_EQ(json.find("\"serve_live_rows\":"), std::string::npos);
   EXPECT_EQ(metrics.router_selects->Value(), 10u);
+}
+
+TEST(ShardRouterTest, EdgeCaseRangeEndpointsRouteLikeOneEngine) {
+  RouterFixture f;
+  // Parity baseline: one engine over the whole table must count exactly
+  // what the routed scatter counts, for every endpoint shape.
+  auto cidx = ClusteredIndex::Build(*f.table, 0);
+  ASSERT_TRUE(cidx.ok());
+  ServingOptions so;
+  so.num_workers = 0;
+  so.reserve_rows = f.table->NumRows() + 1024;
+  ServingEngine single(f.table.get(), &*cidx, so);
+
+  const std::vector<Query> probes = {
+      // Open ranges: the +/-inf endpoint used to collapse through the
+      // double->int64 cast to INT64_MIN and visit the wrong shard span.
+      Query({Predicate::Ge(*f.table, "c", Value(42))}),
+      Query({Predicate::Le(*f.table, "c", Value(37))}),
+      // Endpoints outside the clustered domain ([0, 100] here).
+      Query({Predicate::Between(*f.table, "c", Value(-500), Value(7))}),
+      Query({Predicate::Between(*f.table, "c", Value(88), Value(100000))}),
+      Query({Predicate::Between(*f.table, "c", Value(5000), Value(6000))}),
+      Query({Predicate::Eq(*f.table, "c", Value(-3))}),
+  };
+  for (const Query& q : probes) {
+    const RoutedSelectResult res = f.router->ExecuteSelect(q);
+    EXPECT_TRUE(res.clustered_routed);
+    EXPECT_EQ(res.shards_visited + res.shards_pruned,
+              f.router->num_shards());
+    EXPECT_EQ(res.merged.num_matches, single.ExecuteSelect(q).num_matches);
+    EXPECT_EQ(res.merged.num_matches, f.ScanAllShards(q));
+  }
+  // The open ranges must actually route (not degrade to a full scatter):
+  // each one-sided bound still excludes at least the far shard.
+  EXPECT_GT(f.router->ExecuteSelect(probes[0]).shards_pruned, 0u);
+  EXPECT_GT(f.router->ExecuteSelect(probes[1]).shards_pruned, 0u);
+
+  // An inverted range (lo > hi) matches nothing and visits nothing.
+  const Query inverted(
+      {Predicate::Between(*f.table, "c", Value(60), Value(10))});
+  const RoutedSelectResult none = f.router->ExecuteSelect(inverted);
+  EXPECT_TRUE(none.clustered_routed);
+  EXPECT_EQ(none.shards_visited, 0u);
+  EXPECT_EQ(none.shards_pruned, f.router->num_shards());
+  EXPECT_EQ(none.merged.num_matches, 0u);
+  EXPECT_EQ(single.ExecuteSelect(inverted).num_matches, 0u);
+}
+
+TEST(ShardRouterTest, MultiShardAppendIsAllOrNothing) {
+  RouterFixture f;
+  // A bespoke router with tight per-shard reserve so one shard's capacity
+  // is exhaustible in-test.
+  RouterOptions opts;
+  opts.num_shards = 4;
+  opts.engine.num_workers = 1;
+  opts.engine.reserve_rows = f.table->NumRows() / 4 + 2048;
+  auto r = ShardRouter::Create(*f.table, 0, opts);
+  ASSERT_TRUE(r.ok());
+  ShardRouter& router = **r;
+  const size_t last = router.num_shards() - 1;
+  const size_t cap_last = router.shard(last).table().ReservedRows() -
+                          router.shard(last).table().NumRows();
+  ASSERT_LT(cap_last, 100000u);
+  std::vector<uint64_t> before;
+  for (size_t s = 0; s < router.num_shards(); ++s) {
+    before.push_back(router.shard(s).table().NumRows());
+  }
+
+  // Overfill the last shard while shard 0's slice is small: pre-fix the
+  // router applied shard 0's rows before discovering the overflow,
+  // leaving a half-applied batch behind an error status.
+  std::vector<std::vector<Key>> batch;
+  batch.push_back({Key(int64_t{0}), Key(int64_t{1}), Key(int64_t{1})});
+  batch.push_back({Key(int64_t{0}), Key(int64_t{2}), Key(int64_t{1})});
+  for (size_t i = 0; i <= cap_last; ++i) {
+    batch.push_back({Key(int64_t{99}), Key(int64_t{990}), Key(int64_t{1})});
+  }
+  EXPECT_EQ(router.ApplyAppend(batch).code(),
+            Status::Code::kResourceExhausted);
+  for (size_t s = 0; s < router.num_shards(); ++s) {
+    EXPECT_EQ(router.shard(s).table().NumRows(), before[s]);
+    EXPECT_EQ(router.shard(s).TailRows(), 0u);
+  }
+
+  // An arity-mismatched row anywhere in the batch also applies nothing.
+  const std::vector<std::vector<Key>> bad = {
+      {Key(int64_t{1}), Key(int64_t{10}), Key(int64_t{1})},
+      {Key(int64_t{99}), Key(int64_t{990})}};
+  EXPECT_EQ(router.ApplyAppend(bad).code(),
+            Status::Code::kInvalidArgument);
+  for (size_t s = 0; s < router.num_shards(); ++s) {
+    EXPECT_EQ(router.shard(s).table().NumRows(), before[s]);
+    EXPECT_EQ(router.shard(s).TailRows(), 0u);
+  }
+
+  // The same shards accept a batch that fits (the failed batches left no
+  // lock or capacity residue behind).
+  const size_t cap0 = router.shard(0).table().ReservedRows() -
+                      router.shard(0).table().NumRows();
+  ASSERT_GE(cap0, 3u);
+  std::vector<std::vector<Key>> good;
+  for (int i = 0; i < 3; ++i) {
+    good.push_back({Key(int64_t{0}), Key(int64_t{5}), Key(int64_t{2})});
+  }
+  ASSERT_TRUE(router.ApplyAppend(good).ok());
+  EXPECT_EQ(router.shard(0).TailRows(), 3u);
+  EXPECT_TRUE(router.CheckInvariants().ok());
+}
+
+TEST(ShardRouterTest, ParallelScatterMatchesSequentialScatter) {
+  RouterFixture f;  // parallel by default
+  RouterOptions opts;
+  opts.num_shards = 4;
+  opts.engine.num_workers = 1;
+  opts.engine.reserve_rows = f.table->NumRows() + 65536;
+  opts.parallel_scatter = false;
+  auto seq = ShardRouter::Create(*f.table, 0, opts);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE((*seq)->AttachCm(FixtureCm()).ok());
+
+  std::vector<Query> probes;
+  for (int64_t u = 3; u < 1000; u += 131) {
+    probes.push_back(Query({Predicate::Eq(*f.table, "u", Value(u))}));
+  }
+  for (int64_t v = 0; v < 50; v += 11) {
+    // v is uncorrelated and unindexed: guaranteed full scatter.
+    probes.push_back(Query({Predicate::Eq(*f.table, "v", Value(v))}));
+  }
+  probes.push_back(
+      Query({Predicate::Between(*f.table, "c", Value(12), Value(63))}));
+  for (const Query& q : probes) {
+    const RoutedSelectResult p = f.router->ExecuteSelect(q);
+    const RoutedSelectResult s = (*seq)->ExecuteSelect(q);
+    EXPECT_EQ(p.merged.num_matches, s.merged.num_matches);
+    EXPECT_EQ(p.merged.rows_examined, s.merged.rows_examined);
+    EXPECT_EQ(p.shards_visited, s.shards_visited);
+    EXPECT_EQ(p.shards_pruned, s.shards_pruned);
+    EXPECT_EQ(p.clustered_routed, s.clustered_routed);
+    EXPECT_EQ(p.merged.num_matches, f.ScanAllShards(q));
+  }
+}
+
+TEST(ShardRouterTest, PoolLessEnginesScatterOnTheFallbackPool) {
+  RouterFixture f;
+  // num_workers == 0: engine queues never drain, so parallel scatter must
+  // ride the router-owned fallback pool instead of hanging on Post.
+  RouterOptions opts;
+  opts.num_shards = 4;
+  opts.engine.num_workers = 0;
+  opts.engine.reserve_rows = f.table->NumRows() + 1024;
+  auto r = ShardRouter::Create(*f.table, 0, opts);
+  ASSERT_TRUE(r.ok());
+  for (int64_t v = 0; v < 8; ++v) {
+    const Query q({Predicate::Eq(*f.table, "v", Value(v))});
+    const RoutedSelectResult res = (*r)->ExecuteSelect(q);
+    EXPECT_EQ(res.shards_visited, (*r)->num_shards());
+    EXPECT_EQ(res.merged.num_matches, ScanAll(**r, q));
+  }
+}
+
+TEST(ShardRouterTest, ScatterBudgetDegradesPlansNotResults) {
+  obs::ServingMetrics metrics;
+  RouterFixture f;
+  // A budget far below any shard's cheapest candidate: every visited
+  // shard must degrade to its cheap plan, and still count exactly.
+  RouterOptions opts;
+  opts.num_shards = 4;
+  opts.engine.num_workers = 1;
+  opts.engine.reserve_rows = f.table->NumRows() + 1024;
+  opts.engine.metrics = &metrics;
+  opts.scatter_budget_ms = 1e-6;
+  auto r = ShardRouter::Create(*f.table, 0, opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE((*r)->AttachCm(FixtureCm()).ok());
+
+  const Query scatter({Predicate::Eq(*f.table, "v", Value(9))});
+  const RoutedSelectResult res = (*r)->ExecuteSelect(scatter);
+  EXPECT_EQ(res.shards_visited, (*r)->num_shards());
+  EXPECT_EQ(res.shards_degraded, res.shards_visited);
+  EXPECT_TRUE(res.merged.budget_degraded);
+  EXPECT_EQ(res.merged.num_matches, ScanAll(**r, scatter));
+
+  const Query upoint({Predicate::Eq(*f.table, "u", Value(444))});
+  const RoutedSelectResult up = (*r)->ExecuteSelect(upoint);
+  EXPECT_EQ(up.shards_degraded, up.shards_visited);
+  EXPECT_EQ(up.merged.num_matches, ScanAll(**r, upoint));
+
+  // Degraded visits reach the bundle's counter; the fan-out gauge tracks
+  // the most recent scatter.
+  EXPECT_EQ(metrics.router_budget_degraded->Value(),
+            res.shards_degraded + up.shards_degraded);
+  EXPECT_EQ(metrics.router_scatter_fanout->Value(),
+            double(up.shards_visited));
 }
 
 }  // namespace
